@@ -1,0 +1,291 @@
+//! Optical-flow application: direction-selective motion estimation with
+//! Reichardt correlators.
+//!
+//! Optical flow is one of the applications the paper lists as running on
+//! Compass and TrueNorth ("convolutional networks, liquid state machines,
+//! ... and optical flow", §II/Fig. 2). The spike-domain construction:
+//!
+//! 1. **Onset detection** — the NeoVision-style temporal-difference
+//!    pathway turns the video into sparse motion-onset spikes per
+//!    (strided) pixel.
+//! 2. **Reichardt correlation** — for each direction, a coincidence
+//!    detector ([`tn_corelet::temporal::coincidence_bank`]) correlates a
+//!    *delayed* onset at pixel `p` with the *current* onset at
+//!    `p + Δ·direction`; when the object's velocity matches `Δ/delay`,
+//!    the delayed and direct paths align in the same tick and the
+//!    detector fires.
+//! 3. **Opponency** — rightward and leftward (upward/downward) detector
+//!    populations are pooled globally; flow direction is read out as the
+//!    dominant population, robust to chance coincidences which affect
+//!    both equally.
+
+use crate::transduce::PixelMap;
+use crate::AppProfile;
+use tn_core::Network;
+use tn_corelet::delayline::delay_bank;
+use tn_corelet::filter::pairwise_diff;
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::splitter::fanout_bank;
+use tn_corelet::temporal::coincidence_bank;
+use tn_corelet::CoreletBuilder;
+
+/// The four flow directions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowDirection {
+    Right,
+    Left,
+    Down,
+    Up,
+}
+
+impl FlowDirection {
+    pub const ALL: [FlowDirection; 4] = [
+        FlowDirection::Right,
+        FlowDirection::Left,
+        FlowDirection::Down,
+        FlowDirection::Up,
+    ];
+
+    /// Unit step in map coordinates.
+    fn step(self) -> (i32, i32) {
+        match self {
+            FlowDirection::Right => (1, 0),
+            FlowDirection::Left => (-1, 0),
+            FlowDirection::Down => (0, 1),
+            FlowDirection::Up => (0, -1),
+        }
+    }
+}
+
+/// Parameters of the optical-flow application.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowParams {
+    pub width: u16,
+    pub height: u16,
+    /// Onset-grid stride in pixels.
+    pub stride: usize,
+    /// Temporal-difference reference delay (ticks).
+    pub onset_delay: u64,
+    /// Onset threshold.
+    pub onset_threshold: i32,
+    /// Correlator delay `d` (ticks): the detector is velocity-tuned to
+    /// `stride / d` pixels per tick along its direction.
+    pub corr_delay: u64,
+    pub canvas: (u16, u16),
+    pub seed: u64,
+}
+
+impl Default for FlowParams {
+    fn default() -> Self {
+        FlowParams {
+            width: 96,
+            height: 64,
+            stride: 2,
+            onset_delay: 12,
+            onset_threshold: 3,
+            corr_delay: 12,
+            canvas: (64, 64),
+            seed: 0,
+        }
+    }
+}
+
+impl FlowParams {
+    pub fn small() -> Self {
+        FlowParams {
+            width: 48,
+            height: 32,
+            stride: 2,
+            onset_delay: 12,
+            onset_threshold: 3,
+            corr_delay: 12,
+            canvas: (32, 32),
+            seed: 0,
+        }
+    }
+}
+
+/// The built application.
+pub struct FlowApp {
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    /// Global pooled flow-evidence port per direction (index by
+    /// [`FlowDirection::ALL`] position).
+    pub direction_ports: [u32; 4],
+    pub profile: AppProfile,
+}
+
+pub fn build_flow(p: &FlowParams) -> FlowApp {
+    let mut b = CoreletBuilder::new(p.canvas.0, p.canvas.1, p.seed);
+    let mut pixel_map = PixelMap::new();
+
+    let map_w = (p.width as usize).div_ceil(p.stride);
+    let map_h = (p.height as usize).div_ceil(p.stride);
+    let n = map_w * map_h;
+
+    // ---- Onset pathway: pixel vs delayed pixel. ----
+    let refs = delay_bank(&mut b, n, p.onset_delay);
+    let mut diffs = Vec::new();
+    {
+        let mut remaining = n;
+        while remaining > 0 {
+            let here = remaining.min(128);
+            diffs.push(pairwise_diff(&mut b, here, p.onset_threshold));
+            remaining -= here;
+        }
+    }
+    let diff_out = |diffs: &Vec<tn_corelet::filter::PairwiseDiff>, i: usize| {
+        (diffs[i / 128].plus[i % 128], diffs[i / 128].minus[i % 128], diffs[i / 128].outputs[i % 128])
+    };
+    for i in 0..n {
+        let (x, y) = (i % map_w, i / map_w);
+        let px = ((x * p.stride) as u16, (y * p.stride) as u16);
+        let (plus, minus, _) = diff_out(&diffs, i);
+        pixel_map.push(px, plus);
+        pixel_map.push(px, refs.inputs[i]);
+        b.wire(refs.outputs[i], minus, 1);
+    }
+
+    // ---- Fan each onset out: 4 direct taps (one per direction's B
+    //      input) + 1 tap into the correlator delay bank (shared A). ----
+    let fans = fanout_bank(&mut b, n, 5);
+    for i in 0..n {
+        let (_, _, out) = diff_out(&diffs, i);
+        b.wire(out, fans.inputs[i], 1);
+    }
+    // Delayed copies of every onset (the A path of all four directions
+    // shares one delayed stream — Δ is applied on the B side).
+    let delayed = delay_bank(&mut b, n, p.corr_delay);
+    for i in 0..n {
+        b.wire(fans.outputs[i][4], delayed.inputs[i], 1);
+    }
+    // The delayed stream itself needs a 4-way fanout (one per direction).
+    let delayed_fans = fanout_bank(&mut b, n, 4);
+    for i in 0..n {
+        b.wire(delayed.outputs[i], delayed_fans.inputs[i], 1);
+    }
+
+    // ---- Reichardt correlators per direction. ----
+    let mut direction_ports = [0u32; 4];
+    for (d_idx, dir) in FlowDirection::ALL.iter().enumerate() {
+        let (dx, dy) = dir.step();
+        // Valid detector positions: p and p+Δ both inside the map.
+        let mut pairs = Vec::new(); // (a = delayed at p, b = current at p+Δ)
+        for y in 0..map_h as i32 {
+            for x in 0..map_w as i32 {
+                let (bx, by) = (x + dx, y + dy);
+                if bx >= 0 && by >= 0 && (bx as usize) < map_w && (by as usize) < map_h
+                {
+                    let a = y as usize * map_w + x as usize;
+                    let bch = by as usize * map_w + bx as usize;
+                    pairs.push((a, bch));
+                }
+            }
+        }
+        // Coincidence banks of ≤128 detectors.
+        let mut detector_outs = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(128) {
+            let bank = coincidence_bank(&mut b, chunk.len());
+            for (k, &(a, bch)) in chunk.iter().enumerate() {
+                b.wire(delayed_fans.outputs[a][d_idx], bank.a_inputs[k], 1);
+                b.wire(fans.outputs[bch][d_idx], bank.b_inputs[k], 1);
+            }
+            detector_outs.extend(bank.outputs);
+        }
+        // Global opponent pooling: OR over subsampled detectors.
+        let step = detector_outs.len().div_ceil(200).max(1);
+        let sampled: Vec<_> = detector_outs.iter().copied().step_by(step).collect();
+        let pool = pooling(&mut b, 1, sampled.len(), PoolKind::Or);
+        for (k, &out) in sampled.iter().enumerate() {
+            b.wire(out, pool.inputs[0][k], 1);
+        }
+        direction_ports[d_idx] = b.expose(pool.outputs[0]);
+    }
+
+    let cores = b.cores_used();
+    let net = b.build();
+    let profile = AppProfile {
+        cores,
+        neurons: crate::profile(&net).neurons,
+    };
+    FlowApp {
+        net,
+        pixel_map,
+        direction_ports,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transduce::VideoSource;
+    use crate::video::Scene;
+    use tn_compass::ReferenceSim;
+
+    /// Drive the flow app with an object moving at the tuned velocity;
+    /// the start position is chosen so it never reaches a wall (bouncing
+    /// would reverse the motion mid-run). Returns per-direction counts.
+    fn run_flow(vx16: i32, vy16: i32, ticks: u64, seed: u64) -> [usize; 4] {
+        let p = FlowParams::small();
+        let app = build_flow(&p);
+        let mut scene = Scene::new(p.width, p.height, 1, seed);
+        // Velocity tuned to the correlator: stride px per corr_delay
+        // ticks = 2 px per frame (12 ticks/frame below).
+        scene.objects[0].x16 = if vx16 < 0 { 38 << 4 } else { 4 << 4 };
+        scene.objects[0].y16 = if vy16 < 0 { 16 << 4 } else { 2 << 4 };
+        scene.objects[0].vx16 = vx16;
+        scene.objects[0].vy16 = vy16;
+        let ports = app.direction_ports;
+        let mut src =
+            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(ticks, &mut src);
+        let mut counts = [0usize; 4];
+        for (i, &port) in ports.iter().enumerate() {
+            counts[i] = sim.outputs().port_ticks(port).len();
+        }
+        counts
+    }
+
+    #[test]
+    fn build_profile() {
+        let app = build_flow(&FlowParams::small());
+        assert!(app.profile.cores > 20, "{}", app.profile.cores);
+        assert_eq!(app.direction_ports.len(), 4);
+    }
+
+    #[test]
+    fn rightward_motion_dominates_right_channel() {
+        // 2 px/frame to the right (tuned velocity).
+        let counts = run_flow(32, 0, 190, 5);
+        let [r, l, _d, _u] = counts;
+        assert!(r > 0, "right detectors must fire: {counts:?}");
+        assert!(
+            r as f64 >= 1.5 * l.max(1) as f64,
+            "right must beat left: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn leftward_motion_flips_the_opponency() {
+        let counts = run_flow(-32, 0, 190, 5);
+        let [r, l, _d, _u] = counts;
+        assert!(l > 0, "left detectors must fire: {counts:?}");
+        assert!(
+            l as f64 >= 1.5 * r.max(1) as f64,
+            "left must beat right: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn vertical_motion_prefers_vertical_channels() {
+        let counts = run_flow(0, 32, 90, 9);
+        let [r, l, d, u] = counts;
+        assert!(d > 0, "down detectors must fire: {counts:?}");
+        assert!(
+            d >= u.max(1) && d as f64 >= 1.2 * r.max(l).max(1) as f64,
+            "down must dominate: {counts:?}"
+        );
+    }
+}

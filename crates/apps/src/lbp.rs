@@ -1,0 +1,262 @@
+//! Local Binary Pattern histogram application.
+//!
+//! "...or 20-bin Local Binary Pattern feature histograms in a network of
+//! 813,978 neurons in 3,836 cores with a 64Hz mean firing rate" (paper
+//! Section IV-B).
+//!
+//! Spike-domain LBP: for each (strided) pixel, eight directional
+//! comparison maps fire when the neighbour in that direction is brighter
+//! than the centre (a rectified two-tap difference kernel), and eight
+//! anti-directional maps fire for the opposite sign. The image is split
+//! into `sx × sy` subpatches (paper: 8), and each subpatch's 20-bin
+//! histogram is: 8 directional bins + 8 anti-directional bins + 4
+//! quadrant-brightness bins, each an average-pooled rate.
+
+use crate::transduce::PixelMap;
+use crate::AppProfile;
+use tn_core::Network;
+use tn_corelet::filter::conv2d_strided;
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::CoreletBuilder;
+
+/// The eight neighbour offsets, clockwise from east.
+pub const DIRECTIONS: [(i32, i32); 8] = [
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+];
+
+/// Histogram bins per subpatch (paper: 20).
+pub const BINS: usize = 20;
+
+/// Parameters of the LBP application.
+#[derive(Clone, Copy, Debug)]
+pub struct LbpParams {
+    pub width: u16,
+    pub height: u16,
+    /// Comparison-map stride.
+    pub stride: usize,
+    /// Comparison threshold (contrast sensitivity).
+    pub threshold: i32,
+    /// Subpatch grid (paper: 8 subpatches → 4×2).
+    pub subpatches: (u16, u16),
+    /// Histogram rate divisor.
+    pub divisor: u32,
+    pub canvas: (u16, u16),
+    pub seed: u64,
+}
+
+impl Default for LbpParams {
+    fn default() -> Self {
+        LbpParams {
+            width: 200,
+            height: 100,
+            stride: 2,
+            threshold: 4,
+            subpatches: (4, 2),
+            divisor: 2,
+            canvas: (64, 64),
+            seed: 0,
+        }
+    }
+}
+
+impl LbpParams {
+    pub fn small() -> Self {
+        LbpParams {
+            width: 24,
+            height: 16,
+            stride: 2,
+            threshold: 4,
+            subpatches: (2, 1),
+            divisor: 2,
+            canvas: (24, 24),
+            seed: 0,
+        }
+    }
+}
+
+/// The built application.
+pub struct LbpApp {
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    /// `histogram_ports[sub][bin]` — output port of each histogram bin.
+    pub histogram_ports: Vec<[u32; BINS]>,
+    pub profile: AppProfile,
+}
+
+/// Build the 3×3 two-tap comparison kernel for a direction: +1 at the
+/// neighbour, −1 at the centre.
+fn comparison_kernel(dir: (i32, i32), sign: i16) -> Vec<i16> {
+    let mut k = vec![0i16; 9];
+    k[4] = -sign; // centre
+    let (dx, dy) = dir;
+    let idx = ((dy + 1) * 3 + (dx + 1)) as usize;
+    k[idx] = sign;
+    k
+}
+
+pub fn build_lbp(p: &LbpParams) -> LbpApp {
+    let mut b = CoreletBuilder::new(p.canvas.0, p.canvas.1, p.seed);
+    let mut pixel_map = PixelMap::new();
+    let (sx, sy) = p.subpatches;
+    let n_sub = sx as usize * sy as usize;
+
+    // 16 comparison maps: 8 directional + 8 anti-directional.
+    let mut maps = Vec::with_capacity(16);
+    for &dir in DIRECTIONS.iter() {
+        for sign in [1i16, -1] {
+            let conv = conv2d_strided(
+                &mut b,
+                p.width,
+                p.height,
+                &comparison_kernel(dir, sign),
+                3,
+                3,
+                p.stride,
+                p.threshold,
+            )
+            .expect("comparison kernels are 2-valued");
+            pixel_map.extend_from(&conv.inputs);
+            maps.push(conv);
+        }
+    }
+    let (map_w, map_h) = (maps[0].out_width, maps[0].out_height);
+
+    // Subpatch pooling: bin value = average-pooled rate over the
+    // subpatch's map cells, divided by `divisor`.
+    let mut histogram_ports = Vec::with_capacity(n_sub);
+    for sub_y in 0..sy {
+        for sub_x in 0..sx {
+            let x0 = (sub_x as u32 * map_w as u32 / sx as u32) as u16;
+            let x1 = ((sub_x as u32 + 1) * map_w as u32 / sx as u32) as u16;
+            let y0 = (sub_y as u32 * map_h as u32 / sy as u32) as u16;
+            let y1 = ((sub_y as u32 + 1) * map_h as u32 / sy as u32) as u16;
+            let cells: Vec<(u16, u16)> = (y0..y1)
+                .flat_map(|y| (x0..x1).map(move |x| (x, y)))
+                .collect();
+            // Cap group size to the axon budget by subsampling cells.
+            let step = cells.len().div_ceil(128).max(1);
+            let sampled: Vec<(u16, u16)> = cells.iter().copied().step_by(step).collect();
+            let group = sampled.len();
+
+            let mut ports = [0u32; BINS];
+            // Bins 0..16: one pooled rate per comparison map.
+            // Two pooling corelets of 8 groups each (8×group ≤ 256 soft
+            // budget is enforced by `pooling` itself when group ≤ 32; for
+            // larger groups allocate one corelet per map).
+            for (m, conv) in maps.iter().enumerate() {
+                let pool = pooling(&mut b, 1, group, PoolKind::Average);
+                for (k, &(cx, cy)) in sampled.iter().enumerate() {
+                    b.wire(conv.outputs[&(cx, cy)], pool.inputs[0][k], 1);
+                }
+                ports[m] = b.expose(pool.outputs[0]);
+            }
+            // Bins 16..20: quadrant brightness — raw pixels pooled.
+            let (pw, ph) = (p.width, p.height);
+            let px0 = sub_x as u32 * pw as u32 / sx as u32;
+            let px1 = (sub_x as u32 + 1) * pw as u32 / sx as u32;
+            let py0 = sub_y as u32 * ph as u32 / sy as u32;
+            let py1 = (sub_y as u32 + 1) * ph as u32 / sy as u32;
+            let (mx, my) = ((px0 + px1) / 2, (py0 + py1) / 2);
+            let quadrants = [
+                (px0, mx, py0, my),
+                (mx, px1, py0, my),
+                (px0, mx, my, py1),
+                (mx, px1, my, py1),
+            ];
+            for (q, &(qx0, qx1, qy0, qy1)) in quadrants.iter().enumerate() {
+                let pix: Vec<(u16, u16)> = (qy0..qy1)
+                    .flat_map(|y| (qx0..qx1).map(move |x| (x as u16, y as u16)))
+                    .collect();
+                let step = pix.len().div_ceil(64).max(1);
+                let sampled: Vec<(u16, u16)> =
+                    pix.iter().copied().step_by(step).collect();
+                let pool = pooling(&mut b, 1, sampled.len().max(1), PoolKind::Average);
+                for (k, &(x, y)) in sampled.iter().enumerate() {
+                    pixel_map.push((x, y), pool.inputs[0][k]);
+                }
+                ports[16 + q] = b.expose(pool.outputs[0]);
+            }
+            histogram_ports.push(ports);
+        }
+    }
+
+    let cores = b.cores_used();
+    let net = b.build();
+    let profile = AppProfile {
+        cores,
+        neurons: crate::profile(&net).neurons,
+    };
+    LbpApp {
+        net,
+        pixel_map,
+        histogram_ports,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transduce::VideoSource;
+    use crate::video::Scene;
+    use tn_compass::ReferenceSim;
+
+    #[test]
+    fn comparison_kernels_are_antisymmetric() {
+        for &dir in DIRECTIONS.iter() {
+            let pos = comparison_kernel(dir, 1);
+            let neg = comparison_kernel(dir, -1);
+            for (a, b) in pos.iter().zip(neg.iter()) {
+                assert_eq!(*a, -*b);
+            }
+            assert_eq!(pos.iter().filter(|&&v| v != 0).count(), 2);
+        }
+    }
+
+    #[test]
+    fn builds_requested_histograms() {
+        let app = build_lbp(&LbpParams::small());
+        assert_eq!(app.histogram_ports.len(), 2, "2×1 subpatches");
+        // All 40 ports distinct.
+        let mut set = std::collections::HashSet::new();
+        for h in &app.histogram_ports {
+            for &p in h.iter() {
+                set.insert(p);
+            }
+        }
+        assert_eq!(set.len(), 2 * BINS);
+        assert!(app.profile.cores > 16);
+    }
+
+    #[test]
+    fn textured_scene_populates_histograms() {
+        let p = LbpParams::small();
+        let app = build_lbp(&p);
+        let scene = Scene::new(p.width, p.height, 2, 11);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(200, &mut src);
+        let total: usize = app
+            .histogram_ports
+            .iter()
+            .flat_map(|h| h.iter())
+            .map(|&port| sim.outputs().port_ticks(port).len())
+            .sum();
+        assert!(total > 10, "histograms must accumulate mass, got {total}");
+        // Brightness bins (16..20) must be active in the subpatch that
+        // contains an object.
+        let bright: usize = app.histogram_ports[0][16..]
+            .iter()
+            .chain(app.histogram_ports[1][16..].iter())
+            .map(|&port| sim.outputs().port_ticks(port).len())
+            .sum();
+        assert!(bright > 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! # tn-apps — the paper's characterization applications
+//!
+//! "We analyze TrueNorth performance ... on several complex applications
+//! that were co-designed to run on the simulator and the TrueNorth
+//! processor to perform feature extraction, saliency, detection and
+//! classification, as well as large-scale recurrent neural network
+//! computation" (paper Section IV-B).
+//!
+//! This crate builds all of them on top of the corelet library:
+//!
+//! * [`video`] — a deterministic synthetic streaming-video generator,
+//!   substituting for the paper's camera/NeoVision2 footage (see
+//!   DESIGN.md §2), and [`transduce`] — the rate-coding retina that turns
+//!   frames into input spikes.
+//! * [`haar`] — Haar-like feature response maps (paper: 10 features,
+//!   617,567 neurons in 2,605 cores at 135 Hz).
+//! * [`lbp`] — Local Binary Pattern histograms (paper: 20-bin histograms
+//!   from 8 subpatches, 813,978 neurons in 3,836 cores at 64 Hz).
+//! * [`saliency`] — center–surround saliency map (paper: 889,461 neurons
+//!   in 3,926 cores at 86 Hz).
+//! * [`saccade`] — winner-take-all saccade selection with
+//!   inhibition-of-return (paper: 612,458 neurons in 2,571 cores, 5 Hz).
+//! * [`neovision`] — the What/Where multi-object detection and
+//!   classification system (paper: 660,009 neurons in 4,018 cores,
+//!   12.8 Hz, precision 0.85 / recall 0.80 on NeoVision2 Tower).
+//! * [`recurrent`] — the 88 probabilistically generated recurrent
+//!   networks spanning 0–200 Hz × 0–256 active synapses that drive the
+//!   Fig. 5/6 characterization.
+//! * [`metrics`] — detection scoring (precision/recall) against the
+//!   synthetic scene ground truth.
+//!
+//! Beyond the five characterization applications, the other application
+//! classes the paper lists as demonstrated on the ecosystem (Fig. 2) are
+//! also built: optical flow ([`flow`], Reichardt correlators), liquid
+//! state machines ([`lsm`]), restricted Boltzmann machines ([`rbm`]),
+//! and hidden Markov models ([`hmm`]).
+
+pub mod flow;
+pub mod haar;
+pub mod hmm;
+pub mod lbp;
+pub mod lsm;
+pub mod metrics;
+pub mod rbm;
+pub mod neovision;
+pub mod recurrent;
+pub mod saccade;
+pub mod saliency;
+pub mod transduce;
+pub mod video;
+
+/// Ticks per video frame: 30 fps at the 1 kHz tick (paper: "processed
+/// 100×200 pixel video at 30 frames per second").
+pub const TICKS_PER_FRAME: u64 = 33;
+
+/// Summary statistics of a built application network, in the units of the
+/// paper's Section IV-B table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppProfile {
+    /// Cores configured (non-default).
+    pub cores: usize,
+    /// Neurons with a wired destination (the paper counts used neurons).
+    pub neurons: usize,
+}
+
+/// Count the used cores/neurons of a built network.
+pub fn profile(net: &tn_core::Network) -> AppProfile {
+    let mut cores = 0usize;
+    let mut neurons = 0usize;
+    for c in net.cores() {
+        let used: usize = c
+            .config()
+            .neurons
+            .iter()
+            .filter(|n| !matches!(n.dest, tn_core::Dest::None))
+            .count();
+        let has_synapses = c.config().crossbar.active_synapses() > 0;
+        if used > 0 || has_synapses {
+            cores += 1;
+            neurons += used.max(
+                (0..tn_core::NEURONS_PER_CORE)
+                    .filter(|&j| c.config().crossbar.column_fanin(j) > 0)
+                    .count(),
+            );
+        }
+    }
+    AppProfile { cores, neurons }
+}

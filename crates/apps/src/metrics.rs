@@ -1,0 +1,194 @@
+//! Detection scoring: precision/recall of labeled detections against the
+//! synthetic scene ground truth (the paper reports 0.85 precision / 0.80
+//! recall for the NeoVision What/Where system).
+
+use crate::video::ObjectClass;
+
+/// A labeled detection: class + bounding box (x, y, w, h).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    pub class: ObjectClass,
+    pub bbox: (i32, i32, u16, u16),
+    /// Arbitrary confidence score (spike count).
+    pub score: f64,
+}
+
+/// Intersection-over-union of two boxes.
+pub fn iou(a: (i32, i32, u16, u16), b: (i32, i32, u16, u16)) -> f64 {
+    let (ax0, ay0, aw, ah) = a;
+    let (bx0, by0, bw, bh) = b;
+    let (ax1, ay1) = (ax0 + aw as i32, ay0 + ah as i32);
+    let (bx1, by1) = (bx0 + bw as i32, by0 + bh as i32);
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0) as f64;
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0) as f64;
+    let inter = ix * iy;
+    let union = (aw as f64 * ah as f64) + (bw as f64 * bh as f64) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Precision/recall result.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrScore {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl PrScore {
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &PrScore) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// A ground-truth entry: class + bounding box.
+pub type GroundTruth = (ObjectClass, (i32, i32, u16, u16));
+
+/// Greedy matching of detections to ground truth at an IoU threshold.
+/// `require_class`: when true a match must also agree on the class label
+/// (detection+classification); when false only localization is scored
+/// (the Where pathway alone).
+pub fn score_detections(
+    detections: &[Detection],
+    truth: &[GroundTruth],
+    iou_threshold: f64,
+    require_class: bool,
+) -> PrScore {
+    let mut dets: Vec<&Detection> = detections.iter().collect();
+    dets.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut used = vec![false; truth.len()];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for det in dets {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, &(cls, bbox)) in truth.iter().enumerate() {
+            if used[k] || (require_class && cls != det.class) {
+                continue;
+            }
+            let overlap = iou(det.bbox, bbox);
+            if overlap >= iou_threshold && best.is_none_or(|(_, b)| overlap > b) {
+                best = Some((k, overlap));
+            }
+        }
+        match best {
+            Some((k, _)) => {
+                used[k] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+    }
+    PrScore {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: used.iter().filter(|&&u| !u).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, bbox: (i32, i32, u16, u16)) -> Detection {
+        Detection {
+            class,
+            bbox,
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn iou_basics() {
+        let a = (0, 0, 10, 10);
+        assert!((iou(a, a) - 1.0).abs() < 1e-12);
+        assert_eq!(iou(a, (20, 20, 5, 5)), 0.0);
+        // Half overlap: 5×10 / (100+100−50).
+        let half = iou(a, (5, 0, 10, 10));
+        assert!((half - 50.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let truth = vec![(ObjectClass::Car, (10, 10, 16, 8))];
+        let dets = vec![det(ObjectClass::Car, (10, 10, 16, 8))];
+        let s = score_detections(&dets, &truth, 0.5, true);
+        assert_eq!(s.true_positives, 1);
+        assert!((s.precision() - 1.0).abs() < 1e-12);
+        assert!((s.recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_class_is_fp_and_fn_when_required() {
+        let truth = vec![(ObjectClass::Car, (10, 10, 16, 8))];
+        let dets = vec![det(ObjectClass::Bus, (10, 10, 16, 8))];
+        let strict = score_detections(&dets, &truth, 0.5, true);
+        assert_eq!((strict.true_positives, strict.false_positives), (0, 1));
+        assert_eq!(strict.false_negatives, 1);
+        let loose = score_detections(&dets, &truth, 0.5, false);
+        assert_eq!(loose.true_positives, 1);
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_fp() {
+        let truth = vec![(ObjectClass::Person, (0, 0, 6, 14))];
+        let dets = vec![
+            det(ObjectClass::Person, (0, 0, 6, 14)),
+            det(ObjectClass::Person, (1, 0, 6, 14)),
+        ];
+        let s = score_detections(&dets, &truth, 0.3, true);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+    }
+
+    #[test]
+    fn missed_object_is_fn() {
+        let truth = vec![
+            (ObjectClass::Car, (0, 0, 16, 8)),
+            (ObjectClass::Person, (50, 50, 6, 14)),
+        ];
+        let dets = vec![det(ObjectClass::Car, (0, 0, 16, 8))];
+        let s = score_detections(&dets, &truth, 0.5, true);
+        assert_eq!(s.false_negatives, 1);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PrScore {
+            true_positives: 3,
+            false_positives: 1,
+            false_negatives: 2,
+        };
+        a.merge(&PrScore {
+            true_positives: 1,
+            false_positives: 1,
+            false_negatives: 0,
+        });
+        assert_eq!(a.true_positives, 4);
+        assert!((a.precision() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((a.recall() - 4.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,580 @@
+//! NeoVision multi-object detection and classification (What/Where).
+//!
+//! "We built a multi-object detection and classification system for
+//! high-resolution, fixed-camera videos. Our system includes a Where
+//! network to detect objects, a What network to classify objects, and a
+//! What/Where network to bind these predictions into labeled bounding
+//! boxes. ... A single TrueNorth chip processed a 240×400 pixel aperture
+//! at 30 frames per second in real-time, using 660,009 neurons in 4,018
+//! cores with a 12.8Hz mean firing rate, and achieving 0.85 precision and
+//! 0.80 recall on the test set." (paper Section IV-B)
+//!
+//! Architecture here:
+//!
+//! * **Where** — temporal-difference motion detection: every (strided)
+//!   pixel stream is compared against a one-frame-delayed copy
+//!   ([`tn_corelet::filter::pairwise_diff`] + a
+//!   [`tn_corelet::delayline::delay_bank`]); motion is average-pooled
+//!   onto a grid of detection cells.
+//! * **What** — per-cell feature vectors (five matched texture filters,
+//!   one per class's stripe period, plus brightness and motion) feed a
+//!   per-cell template [`tn_corelet::classifier`].
+//! * **Binding** — host-side decode: cells with motion above threshold
+//!   form connected blobs; a blob's bounding box plus the argmax of its
+//!   summed class scores is a labeled detection, scored by
+//!   [`crate::metrics`].
+
+use crate::metrics::Detection;
+use crate::transduce::PixelMap;
+use crate::video::ObjectClass;
+use crate::AppProfile;
+use std::collections::HashMap;
+use tn_compass::SpikeRecord;
+use tn_core::Network;
+use tn_corelet::classifier::classifier;
+use tn_corelet::delayline::delay_bank;
+use tn_corelet::filter::{conv2d_split, pairwise_diff};
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::splitter::fanout_bank;
+use tn_corelet::CoreletBuilder;
+
+/// Number of object classes.
+pub const CLASSES: usize = 5;
+/// Feature channels: five texture periods + brightness + motion.
+pub const FEATURES: usize = 7;
+
+/// Matched filter for a class's texture (see
+/// [`crate::video::texture_dark`]): a zero-sum two-level 6×6 kernel with
+/// `−(36−n)/n` on the class's dark texture cells and `+1` elsewhere.
+/// Bright uniform regions cancel; the class's own texture responds
+/// strongly at phase-aligned positions, and the orthogonal rival
+/// textures cancel too (equal dark fraction on line and off-line cells).
+pub fn texture_kernel(class: crate::video::ObjectClass) -> (Vec<i16>, usize) {
+    let k = 6usize;
+    let on_line: Vec<bool> = (0..k * k)
+        .map(|i| crate::video::texture_dark(class, (i % k) as i32, (i / k) as i32))
+        .collect();
+    let n = on_line.iter().filter(|&&b| b).count();
+    let neg = ((k * k - n) / n) as i16;
+    assert_eq!((k * k - n) % n, 0, "kernel for {class:?} must be zero-sum");
+    (
+        on_line
+            .iter()
+            .map(|&line| if line { -neg } else { 1 })
+            .collect(),
+        k,
+    )
+}
+
+/// Parameters of the NeoVision application.
+#[derive(Clone, Copy, Debug)]
+pub struct NeoVisionParams {
+    /// Aperture width (paper: 400).
+    pub width: u16,
+    /// Aperture height (paper: 240).
+    pub height: u16,
+    /// Detection cell size in pixels.
+    pub cell: u16,
+    /// Feature/motion stride in pixels.
+    pub stride: usize,
+    /// Motion reference delay in ticks (≈ one frame).
+    pub motion_delay: u64,
+    /// Texture accumulator threshold.
+    pub tex_threshold: i32,
+    /// Motion difference threshold.
+    pub motion_threshold: i32,
+    /// Classifier evidence threshold.
+    pub class_threshold: i32,
+    pub canvas: (u16, u16),
+    pub seed: u64,
+}
+
+impl Default for NeoVisionParams {
+    /// Default scale: a 200×120 aperture (half the paper's 400×240 in
+    /// each dimension — the five full-resolution texture pathways would
+    /// need ≈13k cores under the four-axon-type replication discipline,
+    /// and the paper's system fit one 4,096-core chip with corelets we
+    /// don't have; at 200×120 ours lands at ≈3.6k cores on one chip,
+    /// matching the paper's budget. Substitution documented in
+    /// DESIGN.md/EXPERIMENTS.md).
+    fn default() -> Self {
+        NeoVisionParams {
+            width: 200,
+            height: 120,
+            cell: 20,
+            stride: 2,
+            motion_delay: 30,
+            tex_threshold: 60,
+            motion_threshold: 4,
+            class_threshold: 8,
+            canvas: (64, 64),
+            seed: 0,
+        }
+    }
+}
+
+impl NeoVisionParams {
+    pub fn small() -> Self {
+        NeoVisionParams {
+            width: 48,
+            height: 32,
+            cell: 16,
+            stride: 2,
+            motion_delay: 12,
+            tex_threshold: 40,
+            motion_threshold: 4,
+            class_threshold: 16,
+            canvas: (32, 32),
+            seed: 0,
+        }
+    }
+}
+
+/// The built application.
+pub struct NeoVisionApp {
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    /// Detection-cell grid dimensions.
+    pub grid: (u16, u16),
+    /// Cell size in pixels (for decoding boxes).
+    pub cell_px: u16,
+    /// Motion (Where) port per cell.
+    pub motion_ports: HashMap<(u16, u16), u32>,
+    /// Class score ports per cell (What).
+    pub class_ports: HashMap<(u16, u16), [u32; CLASSES]>,
+    /// Raw pooled feature-rate ports per cell (diagnostics; the spare
+    /// fanout copy of each feature channel).
+    pub feature_ports: HashMap<(u16, u16), [u32; FEATURES]>,
+    pub profile: AppProfile,
+}
+
+pub fn build_neovision(p: &NeoVisionParams) -> NeoVisionApp {
+    let mut b = CoreletBuilder::new(p.canvas.0, p.canvas.1, p.seed);
+    let mut pixel_map = PixelMap::new();
+
+    // ---- Texture pathway: five matched filters, strided. ----
+    let mut tex_convs = Vec::with_capacity(5);
+    for class in 0..5 {
+        let (kernel, k) = texture_kernel(ObjectClass::ALL[class]);
+        let part_threshold = (k * k) as i32;
+        let conv = conv2d_split(
+            &mut b,
+            p.width,
+            p.height,
+            &kernel,
+            k,
+            k,
+            p.stride,
+            part_threshold,
+            (p.tex_threshold / part_threshold.max(1)).max(1),
+        )
+        .expect("texture kernels are 2-valued");
+        pixel_map.extend_from(&conv.inputs);
+        tex_convs.push(conv);
+    }
+    let (map_w, map_h) = (
+        tex_convs[0].out_width as usize,
+        tex_convs[0].out_height as usize,
+    );
+
+    // ---- Motion pathway: strided pixels vs one-frame-delayed copies. --
+    // Motion sample grid has the same dimensions as the texture maps so
+    // pooling is uniform.
+    let n_motion = map_w * map_h;
+    let delays = delay_bank(&mut b, n_motion, p.motion_delay);
+    let mut diffs = Vec::new();
+    {
+        let mut remaining = n_motion;
+        while remaining > 0 {
+            let here = remaining.min(128);
+            diffs.push(pairwise_diff(&mut b, here, p.motion_threshold));
+            remaining -= here;
+        }
+    }
+    let diff_pin = |diffs: &Vec<tn_corelet::filter::PairwiseDiff>, i: usize| {
+        let (c, k) = (i / 128, i % 128);
+        (diffs[c].plus[k], diffs[c].minus[k], diffs[c].outputs[k])
+    };
+    for i in 0..n_motion {
+        let (mx, my) = (i % map_w, i / map_w);
+        let (px, py) = (
+            (mx * p.stride) as u16,
+            (my * p.stride) as u16,
+        );
+        let (plus, minus, _) = diff_pin(&diffs, i);
+        // Current copy straight from the sensor; delayed copy through the
+        // delay bank.
+        pixel_map.push((px, py), plus);
+        pixel_map.push((px, py), delays.inputs[i]);
+        b.wire(delays.outputs[i], minus, 1);
+    }
+
+    // ---- Per-cell pooling of the 7 feature channels. ----
+    let cells_x = (p.width / p.cell).max(1);
+    let cells_y = (p.height / p.cell).max(1);
+    let cell_maps = (p.cell as usize / p.stride).max(1); // map cells per det cell edge
+
+    let mut motion_ports = HashMap::new();
+    let mut class_ports = HashMap::new();
+    let mut feature_ports = HashMap::new();
+
+    // Class templates over [T2..T6, B, M]: favour own texture strongly,
+    // penalize rival textures. Brightness and motion are deliberately
+    // zero-weighted: they are common to all classes and would swamp the
+    // discriminative texture evidence (they still drive the Where
+    // pathway and the decode confidence).
+    let templates: Vec<Vec<i16>> = (0..CLASSES)
+        .map(|c| {
+            let mut t = vec![-1i16; FEATURES];
+            t[c] = 2;
+            t[5] = 0; // brightness
+            t[6] = 0; // motion
+            t
+        })
+        .collect();
+
+    for cy in 0..cells_y {
+        for cx in 0..cells_x {
+            // Member map-cells of this detection cell.
+            let mut members = Vec::new();
+            for dy in 0..cell_maps {
+                for dx in 0..cell_maps {
+                    let x = cx as usize * cell_maps + dx;
+                    let y = cy as usize * cell_maps + dy;
+                    if x < map_w && y < map_h {
+                        members.push((x, y));
+                    }
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            // Subsample so the 5 texture groups fit one pooling core.
+            // The step must not share a factor with the texture period
+            // (3): a period-divisible step samples a single filter phase
+            // per cell and can miss every aligned position of a diagonal
+            // texture (the subtlest bug in this pipeline's history).
+            let mut step = members.len().div_ceil(51).max(1);
+            if step % 3 == 0 {
+                step += 1;
+            }
+            let sampled: Vec<(usize, usize)> =
+                members.iter().copied().step_by(step).collect();
+            let group = sampled.len();
+            // Textures: OR pooling — a small object's matched-filter
+            // response must not be diluted by the empty remainder of the
+            // cell (average pooling divides by the full group size).
+            let pool = pooling(&mut b, FEATURES - 2, group, PoolKind::Or);
+            for (g, conv) in tex_convs.iter().enumerate() {
+                for (k, &(x, y)) in sampled.iter().enumerate() {
+                    b.wire(conv.outputs[&(x as u16, y as u16)], pool.inputs[g][k], 1);
+                }
+            }
+            // Brightness: average pooling of raw pixels (graded).
+            let bpool = pooling(&mut b, 1, group, PoolKind::Average);
+            for (k, &(x, y)) in sampled.iter().enumerate() {
+                pixel_map.push(
+                    ((x * p.stride) as u16, (y * p.stride) as u16),
+                    bpool.inputs[0][k],
+                );
+            }
+            // Motion: OR pooling — any moving pixel in the cell counts,
+            // so sparse onset spikes are not diluted by the cell area.
+            let mstep = members.len().div_ceil(252).max(1);
+            let msampled: Vec<(usize, usize)> =
+                members.iter().copied().step_by(mstep).collect();
+            let mpool = pooling(&mut b, 1, msampled.len(), PoolKind::Or);
+            for (k, &(x, y)) in msampled.iter().enumerate() {
+                let i = y * map_w + x;
+                let (_, _, out) = diff_pin(&diffs, i);
+                b.wire(out, mpool.inputs[0][k], 1);
+            }
+
+            // Fan each pooled feature out to the classifier's 3 level
+            // pins plus one spare copy (used as the motion readout).
+            let fb = fanout_bank(&mut b, FEATURES, 4);
+            for f in 0..FEATURES - 2 {
+                b.wire(pool.outputs[f], fb.inputs[f], 1);
+            }
+            b.wire(bpool.outputs[0], fb.inputs[FEATURES - 2], 1);
+            b.wire(mpool.outputs[0], fb.inputs[FEATURES - 1], 1);
+            let cl = classifier(&mut b, &templates, p.class_threshold)
+                .expect("templates are 3-level");
+            for f in 0..FEATURES {
+                // Classifier needs the stream on every level pin.
+                for (lvl, &pin) in cl.feature_inputs[f].iter().enumerate() {
+                    b.wire(fb.outputs[f][lvl], pin, 1);
+                }
+            }
+            let mut ports = [0u32; CLASSES];
+            for (c, &out) in cl.class_outputs.iter().enumerate() {
+                ports[c] = b.expose(out);
+            }
+            class_ports.insert((cx, cy), ports);
+            // Motion (Where) output: the spare fanout copy of feature 6.
+            motion_ports.insert((cx, cy), b.expose(fb.outputs[6][3]));
+            // Diagnostics: expose copy 2 of every feature channel.
+            let mut fports = [0u32; FEATURES];
+            for (f, fp) in fports.iter_mut().enumerate() {
+                *fp = b.expose(fb.outputs[f][2]);
+            }
+            feature_ports.insert((cx, cy), fports);
+        }
+    }
+
+    let cores = b.cores_used();
+    let net = b.build();
+    let profile = AppProfile {
+        cores,
+        neurons: crate::profile(&net).neurons,
+    };
+    NeoVisionApp {
+        net,
+        pixel_map,
+        grid: (cells_x, cells_y),
+        cell_px: p.cell,
+        motion_ports,
+        class_ports,
+        feature_ports,
+        profile,
+    }
+}
+
+/// Host-side readout handles — everything [`decode_detections`] needs,
+/// cloneable independently of the network (which a simulator consumes).
+#[derive(Clone)]
+pub struct NeoVisionReadout {
+    pub grid: (u16, u16),
+    pub cell_px: u16,
+    pub motion_ports: HashMap<(u16, u16), u32>,
+    pub class_ports: HashMap<(u16, u16), [u32; CLASSES]>,
+}
+
+impl NeoVisionApp {
+    pub fn readout(&self) -> NeoVisionReadout {
+        NeoVisionReadout {
+            grid: self.grid,
+            cell_px: self.cell_px,
+            motion_ports: self.motion_ports.clone(),
+            class_ports: self.class_ports.clone(),
+        }
+    }
+}
+
+/// Decode labeled detections from a run's output transcript over the tick
+/// window `[t0, t1)`: motion-active cells form 4-connected blobs; each
+/// blob becomes one detection with the argmax class of its summed scores.
+pub fn decode_detections(
+    app: &NeoVisionReadout,
+    record: &mut SpikeRecord,
+    t0: u64,
+    t1: u64,
+    motion_min: usize,
+) -> Vec<Detection> {
+    let (gw, gh) = app.grid;
+    let mut active = vec![false; gw as usize * gh as usize];
+    for cy in 0..gh {
+        for cx in 0..gw {
+            if let Some(&port) = app.motion_ports.get(&(cx, cy)) {
+                let n = record
+                    .port_ticks(port)
+                    .iter()
+                    .filter(|&&t| t >= t0 && t < t1)
+                    .count();
+                active[cy as usize * gw as usize + cx as usize] = n >= motion_min;
+            }
+        }
+    }
+    // Connected components (4-connectivity).
+    let mut seen = vec![false; active.len()];
+    let mut detections = Vec::new();
+    for start in 0..active.len() {
+        if !active[start] || seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut blob = Vec::new();
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            blob.push(i);
+            let (x, y) = (i % gw as usize, i / gw as usize);
+            let mut push = |nx: isize, ny: isize| {
+                if nx >= 0 && ny >= 0 && (nx as usize) < gw as usize && (ny as usize) < gh as usize {
+                    let j = ny as usize * gw as usize + nx as usize;
+                    if active[j] && !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            };
+            push(x as isize - 1, y as isize);
+            push(x as isize + 1, y as isize);
+            push(x as isize, y as isize - 1);
+            push(x as isize, y as isize + 1);
+        }
+        // Bounding box and class vote.
+        let (mut x0, mut y0, mut x1, mut y1) = (usize::MAX, usize::MAX, 0usize, 0usize);
+        let mut scores = [0usize; CLASSES];
+        let mut motion_total = 0usize;
+        for &i in &blob {
+            let (x, y) = (i % gw as usize, i / gw as usize);
+            x0 = x0.min(x);
+            y0 = y0.min(y);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+            if let Some(ports) = app.class_ports.get(&(x as u16, y as u16)) {
+                for (c, &port) in ports.iter().enumerate() {
+                    scores[c] += record
+                        .port_ticks(port)
+                        .iter()
+                        .filter(|&&t| t >= t0 && t < t1)
+                        .count();
+                }
+            }
+            if let Some(&port) = app.motion_ports.get(&(x as u16, y as u16)) {
+                motion_total += record
+                    .port_ticks(port)
+                    .iter()
+                    .filter(|&&t| t >= t0 && t < t1)
+                    .count();
+            }
+        }
+        let best = (0..CLASSES).max_by_key(|&c| scores[c]).unwrap();
+        let px = app.cell_px as i32;
+        detections.push(Detection {
+            class: ObjectClass::ALL[best],
+            bbox: (
+                x0 as i32 * px,
+                y0 as i32 * px,
+                ((x1 - x0 + 1) as i32 * px) as u16,
+                ((y1 - y0 + 1) as i32 * px) as u16,
+            ),
+            score: motion_total as f64,
+        });
+    }
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::score_detections;
+    use crate::transduce::VideoSource;
+    use crate::video::Scene;
+    use tn_compass::ReferenceSim;
+
+    #[test]
+    fn texture_kernels_are_zero_sum_two_level() {
+        for class in ObjectClass::ALL {
+            let (k, dim) = texture_kernel(class);
+            assert_eq!(k.len(), dim * dim);
+            let sum: i32 = k.iter().map(|&v| v as i32).sum();
+            assert_eq!(sum, 0, "{class:?}");
+            let mut vals: Vec<i16> = k.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            assert_eq!(vals.len(), 2, "{class:?}");
+        }
+        // The five kernels are pairwise orthogonal-ish: for any pair the
+        // rival's dark cells split evenly across this kernel's two
+        // levels, so a rival texture cancels. Verify cross response = 0.
+        for a in ObjectClass::ALL {
+            let (ka, dim) = texture_kernel(a);
+            for bclass in ObjectClass::ALL {
+                // Response of kernel `a` to texture `bclass` at the
+                // aligned phase: Σ k·dark(b).
+                let resp: i32 = (0..dim * dim)
+                    .map(|i| {
+                        let dark = crate::video::texture_dark(
+                            bclass,
+                            (i % dim) as i32,
+                            (i / dim) as i32,
+                        );
+                        if dark {
+                            -(ka[i] as i32)
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                if a == bclass {
+                    assert!(resp > 0, "{a:?} must respond to itself: {resp}");
+                } else {
+                    assert!(
+                        resp <= 0,
+                        "{a:?} must not respond to {bclass:?}: {resp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_small_app() {
+        let app = build_neovision(&NeoVisionParams::small());
+        assert_eq!(app.grid, (3, 2));
+        assert_eq!(app.motion_ports.len(), 6);
+        assert_eq!(app.class_ports.len(), 6);
+        assert!(app.profile.cores > 20, "cores = {}", app.profile.cores);
+    }
+
+    /// Pin the scene's single object inside detection cell (1, 0) with
+    /// slow oscillatory motion so it stays there.
+    fn pinned_scene(p: &NeoVisionParams, seed: u64) -> Scene {
+        let mut scene = Scene::new(p.width, p.height, 1, seed);
+        scene.objects[0].x16 = 20 << 4; // person is 6×14 → centre ≈ (23, 15)
+        scene.objects[0].y16 = 8 << 4;
+        scene.objects[0].vx16 = 2; // ~0.13 px/frame: drifts a few px, stays in column 1
+        scene.objects[0].vy16 = 2;
+        scene
+    }
+
+    #[test]
+    fn moving_object_is_detected_where_it_is() {
+        let p = NeoVisionParams::small();
+        let app = build_neovision(&p);
+        let scene = pinned_scene(&p, 17);
+        let motion_ports = app.motion_ports.clone();
+        let mut src =
+            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(480, &mut src);
+
+        // The cell containing the object (1,0) should be the most (or
+        // nearly the most) motion-active.
+        let mut counts: Vec<((u16, u16), usize)> = motion_ports
+            .iter()
+            .map(|(&c, &port)| (c, sim.outputs().port_ticks(port).len()))
+            .collect();
+        counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        assert!(counts[0].1 > 0, "some motion must be detected: {counts:?}");
+        // The person spans rows 0 and 1 of column 1; the most active
+        // cell must be one of the two cells it occupies.
+        assert!(
+            counts[0].0 == (1, 0) || counts[0].0 == (1, 1),
+            "most active cell must contain the object: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn decode_produces_localized_detection() {
+        let p = NeoVisionParams::small();
+        let app = build_neovision(&p);
+        let scene = pinned_scene(&p, 23);
+        let truth = scene.ground_truth();
+        let readout = app.readout();
+        let mut src =
+            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(480, &mut src);
+        let (_, mut record, _) = sim.into_parts();
+        let dets = decode_detections(&readout, &mut record, 60, 480, 3);
+        assert!(!dets.is_empty(), "must detect the moving object");
+        // Localization-only score (class not required).
+        let s = score_detections(&dets, &truth, 0.05, false);
+        assert!(
+            s.true_positives >= 1,
+            "detection must overlap the object: {dets:?} vs {truth:?}"
+        );
+    }
+}

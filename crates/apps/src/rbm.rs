@@ -1,0 +1,370 @@
+//! Restricted Boltzmann machine (RBM) application.
+//!
+//! RBMs are on the paper's list of demonstrated applications (Fig. 2).
+//! The TrueNorth mapping uses the hardware's stochastic neurons for Gibbs
+//! sampling: a unit's firing probability approximates the logistic
+//! activation via the stochastic threshold `η = ρ & M` — the neuron fires
+//! iff `V ≥ α + η`, so `P(fire)` rises linearly with the integrated
+//! evidence over a window of width `M + 1` (a piecewise-linear sigmoid).
+//!
+//! Pipeline:
+//!
+//! 1. **Off-line training** (host side, as the paper's ecosystem does):
+//!    contrastive divergence (CD-1) on binary patterns with real-valued
+//!    weights.
+//! 2. **Quantization** to the four axon-type levels `{−2, −1, +1, +2}`
+//!    per core, with visible units replicated one axon per level — the
+//!    same discipline as the convolution corelets.
+//! 3. **Deployment**: a visible→hidden core and a hidden→visible
+//!    reconstruction core, both stochastic; clamp a (possibly corrupted)
+//!    pattern on the visible axons, read the reconstruction from the
+//!    output ports, and the RBM completes the pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tn_core::{CoreConfig, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget};
+use tn_corelet::InputPin;
+
+/// Host-side real-valued RBM trained with CD-1.
+pub struct RbmModel {
+    pub visible: usize,
+    pub hidden: usize,
+    /// `w[v][h]`.
+    pub w: Vec<Vec<f64>>,
+    pub vbias: Vec<f64>,
+    pub hbias: Vec<f64>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl RbmModel {
+    pub fn new(visible: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RbmModel {
+            visible,
+            hidden,
+            w: (0..visible)
+                .map(|_| (0..hidden).map(|_| rng.gen_range(-0.1..0.1)).collect())
+                .collect(),
+            vbias: vec![0.0; visible],
+            hbias: vec![0.0; hidden],
+        }
+    }
+
+    fn hidden_probs(&self, v: &[f64]) -> Vec<f64> {
+        (0..self.hidden)
+            .map(|h| {
+                sigmoid(
+                    self.hbias[h]
+                        + (0..self.visible).map(|i| v[i] * self.w[i][h]).sum::<f64>(),
+                )
+            })
+            .collect()
+    }
+
+    fn visible_probs(&self, h: &[f64]) -> Vec<f64> {
+        (0..self.visible)
+            .map(|i| {
+                sigmoid(
+                    self.vbias[i]
+                        + (0..self.hidden).map(|j| h[j] * self.w[i][j]).sum::<f64>(),
+                )
+            })
+            .collect()
+    }
+
+    /// One CD-1 epoch over the patterns.
+    pub fn train_epoch(&mut self, patterns: &[Vec<f64>], lr: f64, rng: &mut StdRng) {
+        for v0 in patterns {
+            let h0 = self.hidden_probs(v0);
+            let h0s: Vec<f64> = h0
+                .iter()
+                .map(|&p| f64::from(rng.gen_bool(p.clamp(0.0, 1.0))))
+                .collect();
+            let v1 = self.visible_probs(&h0s);
+            let h1 = self.hidden_probs(&v1);
+            for i in 0..self.visible {
+                for j in 0..self.hidden {
+                    self.w[i][j] += lr * (v0[i] * h0[j] - v1[i] * h1[j]);
+                }
+                self.vbias[i] += lr * (v0[i] - v1[i]);
+            }
+            for j in 0..self.hidden {
+                self.hbias[j] += lr * (h0[j] - h1[j]);
+            }
+        }
+    }
+
+    /// Host-side reconstruction (for parity checks with the chip).
+    pub fn reconstruct(&self, v: &[f64]) -> Vec<f64> {
+        self.visible_probs(&self.hidden_probs(v))
+    }
+}
+
+/// Quantize a weight to the four-level set {−2, −1, +1, +2} (0 drops the
+/// synapse), with `scale` mapping real weights to levels.
+fn quantize(w: f64, scale: f64) -> i16 {
+    let q = (w / scale).round() as i32;
+    q.clamp(-2, 2) as i16
+}
+
+/// The deployed spiking RBM.
+pub struct SpikingRbm {
+    pub net: Network,
+    /// One input pin per (visible unit, level copy): drive **all** pins
+    /// of a visible unit to present it.
+    pub visible_pins: Vec<Vec<InputPin>>,
+    /// Output port of each reconstructed visible unit.
+    pub recon_ports: Vec<u32>,
+    pub visible: usize,
+    pub hidden: usize,
+}
+
+/// Deploy a trained model as a two-core spiking network.
+///
+/// `scale` is the quantization step; `window_mask` sets the stochastic
+/// threshold window `M` (a power of two minus one).
+pub fn deploy(model: &RbmModel, scale: f64, window_mask: u32, seed: u64) -> SpikingRbm {
+    assert!(model.visible * 4 <= 256, "visible units × 4 levels must fit");
+    assert!(model.hidden <= 256);
+    let levels: [i16; 4] = [-2, -1, 1, 2];
+    let mut b = NetworkBuilder::new(2, 1, seed);
+
+    // Core 0: visible axons (×4 level copies) → hidden neurons.
+    let mut up = CoreConfig::new();
+    for v in 0..model.visible {
+        for (l, _) in levels.iter().enumerate() {
+            up.axon_types[v * 4 + l] = l as u8;
+        }
+    }
+    // Evidence is integrated over a presentation window; thresholds are
+    // scaled so ~half-window evidence is borderline.
+    for h in 0..model.hidden {
+        up.neurons[h] = NeuronConfig {
+            weights: levels,
+            threshold: ((-model.hbias[h] / scale).round() as i32).max(1),
+            tm_mask: window_mask,
+            leak: -1,
+            leak_reversal: true,
+            ..Default::default()
+        };
+        for v in 0..model.visible {
+            let q = quantize(model.w[v][h], scale);
+            if q != 0 {
+                let l = levels.iter().position(|&x| x == q).unwrap();
+                up.crossbar.set(v * 4 + l, h, true);
+            }
+        }
+        up.neurons[h].dest = Dest::Axon(SpikeTarget::new(
+            tn_core::CoreId(1),
+            h as u8,
+            1,
+        ));
+    }
+    let c0 = b.add_core(up);
+
+    // Core 1: hidden axons → reconstructed visible neurons. The down
+    // pass needs per-(h, v) signed weights, but a hidden neuron can
+    // target only ONE axon, so level replication on the hidden side uses
+    // the shadow-relay trick: each hidden unit owns TWO axons on core 1
+    // (type 0 = its positive contributions, type 1 = negative), driven by
+    // the hidden neuron and an identically-configured shadow neuron on
+    // core 0 (2·hidden ≤ 256 neurons on core 0, 2·hidden ≤ 256 axons on
+    // core 1). Down weights are quantized to sign only; magnitude is
+    // carried by the stochastic-threshold window.
+    assert!(model.hidden * 2 <= 256, "2 copies per hidden unit must fit");
+    let mut down = CoreConfig::new();
+    for h in 0..model.hidden {
+        down.axon_types[2 * h] = 0; // positive contributions
+        down.axon_types[2 * h + 1] = 1; // negative contributions
+    }
+    for v in 0..model.visible {
+        down.neurons[v] = NeuronConfig {
+            weights: [1, -1, 0, 0],
+            threshold: ((-model.vbias[v] / scale).round() as i32).max(1),
+            tm_mask: window_mask,
+            leak: -1,
+            leak_reversal: true,
+            dest: Dest::Output(v as u32),
+            ..Default::default()
+        };
+        for h in 0..model.hidden {
+            let q = quantize(model.w[v][h], scale);
+            if q > 0 {
+                down.crossbar.set(2 * h, v, true);
+            } else if q < 0 {
+                down.crossbar.set(2 * h + 1, v, true);
+            }
+        }
+    }
+    b.add_core(down);
+
+    // Shadow relays on core 0: copy each hidden neuron's configuration
+    // and synapses; the original targets the positive axon, the shadow
+    // the negative one (they share the PRNG stream of core 0, drawing in
+    // scan order — both remain valid stochastic units).
+    {
+        let cfg = b.core_config_mut(c0);
+        for h in 0..model.hidden {
+            let shadow = model.hidden + h;
+            cfg.neurons[shadow] = cfg.neurons[h].clone();
+            cfg.neurons[h].dest = Dest::Axon(SpikeTarget::new(
+                tn_core::CoreId(1),
+                (2 * h) as u8,
+                1,
+            ));
+            cfg.neurons[shadow].dest = Dest::Axon(SpikeTarget::new(
+                tn_core::CoreId(1),
+                (2 * h + 1) as u8,
+                1,
+            ));
+            for v in 0..model.visible {
+                for l in 0..4 {
+                    let bit = cfg.crossbar.get(v * 4 + l, h);
+                    cfg.crossbar.set(v * 4 + l, shadow, bit);
+                }
+            }
+        }
+    }
+
+    let visible_pins = (0..model.visible)
+        .map(|v| {
+            (0..4)
+                .map(|l| InputPin {
+                    core: c0,
+                    axon: (v * 4 + l) as u8,
+                })
+                .collect()
+        })
+        .collect();
+    SpikingRbm {
+        net: b.build(),
+        visible_pins,
+        recon_ports: (0..model.visible as u32).collect(),
+        visible: model.visible,
+        hidden: model.hidden,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    /// Two orthogonal 16-pixel patterns: left-half-on and right-half-on.
+    fn patterns() -> Vec<Vec<f64>> {
+        let a: Vec<f64> = (0..16).map(|i| f64::from(i % 4 < 2)).collect();
+        let b: Vec<f64> = (0..16).map(|i| f64::from(i % 4 >= 2)).collect();
+        vec![a, b]
+    }
+
+    fn trained() -> RbmModel {
+        let mut m = RbmModel::new(16, 12, 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pats = patterns();
+        for _ in 0..400 {
+            m.train_epoch(&pats, 0.1, &mut rng);
+        }
+        m
+    }
+
+    #[test]
+    fn host_rbm_learns_reconstruction() {
+        let m = trained();
+        for p in patterns() {
+            let r = m.reconstruct(&p);
+            let err: f64 = p.iter().zip(&r).map(|(a, b)| (a - b).abs()).sum();
+            assert!(err < 3.0, "reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn quantization_levels() {
+        assert_eq!(quantize(0.9, 0.5), 2);
+        assert_eq!(quantize(0.4, 0.5), 1);
+        assert_eq!(quantize(0.1, 0.5), 0);
+        assert_eq!(quantize(-0.6, 0.5), -1);
+        assert_eq!(quantize(-5.0, 0.5), -2);
+    }
+
+    /// Present a pattern for `window` ticks; return per-unit output rates.
+    fn chip_reconstruct(rbm: &SpikingRbm, net: Network, v: &[f64], window: u64) -> Vec<f64> {
+        let mut src = ScheduledSource::new();
+        for t in 0..window {
+            for (i, &on) in v.iter().enumerate() {
+                if on > 0.5 {
+                    for pin in &rbm.visible_pins[i] {
+                        src.push(t, pin.core, pin.axon);
+                    }
+                }
+            }
+        }
+        let mut sim = ReferenceSim::new(net);
+        sim.run(window + 8, &mut src);
+        let counts = sim.outputs().window_counts(rbm.visible as u32, 0, window + 8);
+        counts.iter().map(|&c| c as f64 / window as f64).collect()
+    }
+
+    #[test]
+    fn spiking_rbm_separates_the_patterns() {
+        let m = trained();
+        let rbm = deploy(&m, 0.5, 0x1F, 3);
+        let pats = patterns();
+        let window = 96;
+        // Reconstruction rates of pattern A must correlate with A more
+        // than with B, and vice versa.
+        let score = |recon: &[f64], pat: &[f64]| -> f64 {
+            recon
+                .iter()
+                .zip(pat)
+                .map(|(&r, &p)| r * (2.0 * p - 1.0))
+                .sum()
+        };
+        let rbm2 = deploy(&m, 0.5, 0x1F, 3);
+        let ra = chip_reconstruct(&rbm, rbm2.net, &pats[0], window);
+        let rbm3 = deploy(&m, 0.5, 0x1F, 3);
+        let rb = chip_reconstruct(&rbm, rbm3.net, &pats[1], window);
+        assert!(
+            score(&ra, &pats[0]) > score(&ra, &pats[1]),
+            "A-reconstruction must match A: {ra:?}"
+        );
+        assert!(
+            score(&rb, &pats[1]) > score(&rb, &pats[0]),
+            "B-reconstruction must match B: {rb:?}"
+        );
+    }
+
+    #[test]
+    fn spiking_rbm_completes_corrupted_patterns() {
+        let m = trained();
+        let rbm = deploy(&m, 0.5, 0x1F, 3);
+        let pats = patterns();
+        // Corrupt pattern A: zero out the second half of its pixels.
+        let mut corrupted = pats[0].clone();
+        for v in corrupted.iter_mut().skip(8) {
+            *v = 0.0;
+        }
+        let fresh = deploy(&m, 0.5, 0x1F, 3);
+        let recon = chip_reconstruct(&rbm, fresh.net, &corrupted, 128);
+        // The hidden layer should infer the missing half: reconstruction
+        // rates on A's true-on hidden pixels (i%4<2, incl. the zeroed
+        // ones) must exceed rates on A's true-off pixels.
+        let on_mean: f64 = (8..16)
+            .filter(|i| i % 4 < 2)
+            .map(|i| recon[i])
+            .sum::<f64>()
+            / 4.0;
+        let off_mean: f64 = (8..16)
+            .filter(|i| i % 4 >= 2)
+            .map(|i| recon[i])
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            on_mean > off_mean + 0.05,
+            "completion must recover the missing half: on {on_mean:.3} off {off_mean:.3} ({recon:?})"
+        );
+    }
+}

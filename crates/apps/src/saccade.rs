@@ -1,0 +1,189 @@
+//! Saccade application: saliency → winner-take-all → inhibition of
+//! return.
+//!
+//! "Second, a saccade map selects regions of interest by applying a
+//! winner-take-all mechanism to the saliency map, followed by temporal
+//! inhibition-of-return to promote map exploration, using a corelet with
+//! 612,458 neurons in 2,571 cores and a 5Hz mean firing rate" (paper
+//! Section IV-B).
+//!
+//! The saliency grid cells feed a recurrent WTA core; the winning cell's
+//! spikes are the saccade targets, and the IoR loop suppresses a winner
+//! after it fires so fixation moves on to the next most salient region —
+//! producing the exploratory scan path of paper Fig. 4(f).
+
+use crate::saliency::{build_saliency_core, SaliencyParams};
+use crate::transduce::PixelMap;
+use crate::AppProfile;
+use std::collections::HashMap;
+use tn_core::Network;
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::wta::{wta, WtaParams};
+use tn_corelet::CoreletBuilder;
+
+/// Parameters of the saccade application.
+#[derive(Clone, Copy, Debug)]
+pub struct SaccadeParams {
+    pub saliency: SaliencyParams,
+    /// Coarse saccade grid (regions competing in the WTA); the saliency
+    /// grid is pooled down to this. `rx × ry ≤ 85`.
+    pub regions: (u16, u16),
+    pub wta: WtaParams,
+}
+
+impl Default for SaccadeParams {
+    fn default() -> Self {
+        SaccadeParams {
+            saliency: SaliencyParams::default(),
+            regions: (8, 5),
+            wta: WtaParams {
+                excite: 2,
+                threshold: 16,
+                inhibit: 8,
+                ior: Some((60, 15)),
+            },
+        }
+    }
+}
+
+impl SaccadeParams {
+    pub fn small() -> Self {
+        SaccadeParams {
+            saliency: SaliencyParams::small(),
+            regions: (2, 2),
+            wta: WtaParams {
+                excite: 2,
+                threshold: 8,
+                inhibit: 8,
+                ior: Some((40, 15)),
+            },
+        }
+    }
+}
+
+/// The built application.
+pub struct SaccadeApp {
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    /// Saccade output port per region: a spike on a region's port means
+    /// "fixate here now".
+    pub region_ports: HashMap<(u16, u16), u32>,
+    pub regions: (u16, u16),
+    pub profile: AppProfile,
+}
+
+pub fn build_saccade(p: &SaccadeParams) -> SaccadeApp {
+    let (rx, ry) = p.regions;
+    let k = rx as usize * ry as usize;
+    let mut b = CoreletBuilder::new(p.saliency.canvas.0, p.saliency.canvas.1, p.saliency.seed);
+    let mut pixel_map = PixelMap::new();
+    let ((gw, gh), cell_outs) = build_saliency_core(&mut b, &p.saliency, &mut pixel_map);
+
+    // Pool saliency cells down to the saccade regions.
+    let mut region_pool_outs = Vec::with_capacity(k);
+    for r_y in 0..ry {
+        for r_x in 0..rx {
+            let x0 = (r_x as u32 * gw as u32 / rx as u32) as u16;
+            let x1 = ((r_x as u32 + 1) * gw as u32 / rx as u32) as u16;
+            let y0 = (r_y as u32 * gh as u32 / ry as u32) as u16;
+            let y1 = ((r_y as u32 + 1) * gh as u32 / ry as u32) as u16;
+            let members: Vec<(u16, u16)> = (y0..y1.max(y0 + 1))
+                .flat_map(|y| (x0..x1.max(x0 + 1)).map(move |x| (x, y)))
+                .filter(|&(x, y)| x < gw && y < gh)
+                .collect();
+            let pool = pooling(&mut b, 1, members.len(), PoolKind::Or);
+            for (i, &(x, y)) in members.iter().enumerate() {
+                b.wire(cell_outs[&(x, y)], pool.inputs[0][i], 1);
+            }
+            region_pool_outs.push(pool.outputs[0]);
+        }
+    }
+
+    // The WTA + IoR competition.
+    let w = wta(&mut b, k, p.wta);
+    for (i, &out) in region_pool_outs.iter().enumerate() {
+        b.wire(out, w.inputs[i], 1);
+    }
+    let mut region_ports = HashMap::new();
+    for r_y in 0..ry {
+        for r_x in 0..rx {
+            let i = (r_y * rx + r_x) as usize;
+            region_ports.insert((r_x, r_y), b.expose(w.outputs[i]));
+        }
+    }
+
+    let cores = b.cores_used();
+    let net = b.build();
+    let profile = AppProfile {
+        cores,
+        neurons: crate::profile(&net).neurons,
+    };
+    SaccadeApp {
+        net,
+        pixel_map,
+        region_ports,
+        regions: p.regions,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transduce::VideoSource;
+    use crate::video::Scene;
+    use tn_compass::ReferenceSim;
+
+    #[test]
+    fn saccades_target_the_object_region() {
+        let p = SaccadeParams::small();
+        let app = build_saccade(&p);
+        let scene = Scene::new(p.saliency.width, p.saliency.height, 1, 21);
+        let (ox, oy, ow, oh) = scene.objects[0].bbox();
+        let cx = (ox + ow as i32 / 2) as f64 / p.saliency.width as f64;
+        let cy = (oy + oh as i32 / 2) as f64 / p.saliency.height as f64;
+        let rx = ((cx * p.regions.0 as f64) as u16).min(p.regions.0 - 1);
+        let ry = ((cy * p.regions.1 as f64) as u16).min(p.regions.1 - 1);
+
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(400, &mut src);
+
+        let mut counts: HashMap<(u16, u16), usize> = HashMap::new();
+        for (&r, &port) in &app.region_ports {
+            counts.insert(r, sim.outputs().port_ticks(port).len());
+        }
+        let at_obj = counts[&(rx, ry)];
+        let best = counts.values().copied().max().unwrap();
+        assert!(best > 0, "some region must win: {counts:?}");
+        assert!(
+            at_obj >= best / 2,
+            "object region should be (near-)dominant: {counts:?}, object at ({rx},{ry})"
+        );
+    }
+
+    #[test]
+    fn ior_makes_saccades_explore() {
+        // With IoR, more than one region should fire over a long run even
+        // with a single dominant object.
+        let p = SaccadeParams::small();
+        let app = build_saccade(&p);
+        let scene = Scene::new(p.saliency.width, p.saliency.height, 2, 5);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(600, &mut src);
+        let active = app
+            .region_ports
+            .values()
+            .filter(|&&port| !sim.outputs().port_ticks(port).is_empty())
+            .count();
+        assert!(active >= 2, "IoR should rotate fixation: {active} regions active");
+    }
+
+    #[test]
+    fn build_profile_sane() {
+        let app = build_saccade(&SaccadeParams::small());
+        assert_eq!(app.region_ports.len(), 4);
+        assert!(app.profile.cores > 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Saliency-map application.
+//!
+//! "First, our saliency system creates a saliency map using a feature
+//! extraction corelet with 889,461 neurons in 3,926 cores and an 86Hz
+//! mean firing rate" (paper Section IV-B).
+//!
+//! Classic center–surround saliency in the spike domain: an ON map
+//! (bright centre on dark surround) and an OFF map (dark centre on
+//! bright surround, i.e. the negated kernel) are computed as strided
+//! convolutions, OR-combined per location, then average-pooled onto a
+//! coarse saliency grid.
+
+use crate::transduce::PixelMap;
+use crate::AppProfile;
+use std::collections::HashMap;
+use tn_core::Network;
+use tn_corelet::filter::conv2d_split;
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::CoreletBuilder;
+
+/// Center–surround kernel: +1 in the `c×c` centre, −1 in the surround
+/// ring of a `k×k` window (zero-sum when `sign` balances areas is not
+/// required — the rectifying threshold handles DC).
+pub fn center_surround_kernel(k: usize, c: usize, sign: i16) -> Vec<i16> {
+    assert!(c < k && (k - c).is_multiple_of(2));
+    let m = (k - c) / 2;
+    (0..k * k)
+        .map(|i| {
+            let (x, y) = (i % k, i / k);
+            if (m..m + c).contains(&x) && (m..m + c).contains(&y) {
+                sign
+            } else {
+                -sign
+            }
+        })
+        .collect()
+}
+
+/// Parameters of the saliency application.
+#[derive(Clone, Copy, Debug)]
+pub struct SaliencyParams {
+    pub width: u16,
+    pub height: u16,
+    /// Surround window size.
+    pub window: usize,
+    /// Centre size.
+    pub center: usize,
+    pub stride: usize,
+    pub threshold: i32,
+    /// Saliency-grid cell size in map pixels.
+    pub cell: usize,
+    pub canvas: (u16, u16),
+    pub seed: u64,
+}
+
+impl Default for SaliencyParams {
+    fn default() -> Self {
+        SaliencyParams {
+            width: 200,
+            height: 100,
+            window: 8,
+            center: 4,
+            stride: 2,
+            threshold: 24,
+            cell: 4,
+            canvas: (64, 64),
+            seed: 0,
+        }
+    }
+}
+
+impl SaliencyParams {
+    pub fn small() -> Self {
+        SaliencyParams {
+            width: 32,
+            height: 24,
+            window: 6,
+            center: 2,
+            stride: 2,
+            threshold: 12,
+            cell: 3,
+            canvas: (16, 16),
+            seed: 0,
+        }
+    }
+}
+
+/// The built application.
+pub struct SaliencyApp {
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    /// Saliency grid dimensions (cells).
+    pub grid: (u16, u16),
+    /// Port of each saliency cell.
+    pub cell_ports: HashMap<(u16, u16), u32>,
+    pub profile: AppProfile,
+}
+
+/// Build the saliency pipeline into an existing builder, returning the
+/// grid dimensions and the *unexposed* per-cell pooled outputs — used
+/// both by [`build_saliency`] (which exposes them) and by the saccade
+/// application (which wires them into its winner-take-all stage).
+pub fn build_saliency_core(
+    b: &mut CoreletBuilder,
+    p: &SaliencyParams,
+    pixel_map: &mut PixelMap,
+) -> ((u16, u16), HashMap<(u16, u16), tn_corelet::OutputRef>) {
+    let part_threshold = (p.window * p.window) as i32 / 2;
+    let diff_threshold = (p.threshold / part_threshold.max(1)).max(1);
+    let on = conv2d_split(
+        b,
+        p.width,
+        p.height,
+        &center_surround_kernel(p.window, p.center, 1),
+        p.window,
+        p.window,
+        p.stride,
+        part_threshold,
+        diff_threshold,
+    )
+    .expect("CS kernel is 2-valued");
+    pixel_map.extend_from(&on.inputs);
+    let off = conv2d_split(
+        b,
+        p.width,
+        p.height,
+        &center_surround_kernel(p.window, p.center, -1),
+        p.window,
+        p.window,
+        p.stride,
+        part_threshold,
+        diff_threshold,
+    )
+    .expect("CS kernel is 2-valued");
+    pixel_map.extend_from(&off.inputs);
+
+    let (mw, mh) = (on.out_width as usize, on.out_height as usize);
+    let gw = mw.div_ceil(p.cell) as u16;
+    let gh = mh.div_ceil(p.cell) as u16;
+
+    // Pool ON+OFF activity per grid cell (average pooling over up to
+    // 2·cell² streams).
+    let mut cell_outs = HashMap::new();
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let mut members = Vec::new();
+            for dy in 0..p.cell {
+                for dx in 0..p.cell {
+                    let x = gx as usize * p.cell + dx;
+                    let y = gy as usize * p.cell + dy;
+                    if x < mw && y < mh {
+                        members.push((x as u16, y as u16));
+                    }
+                }
+            }
+            let group = members.len() * 2;
+            let pool = pooling(b, 1, group, PoolKind::Average);
+            for (k, &(x, y)) in members.iter().enumerate() {
+                b.wire(on.outputs[&(x, y)], pool.inputs[0][2 * k], 1);
+                b.wire(off.outputs[&(x, y)], pool.inputs[0][2 * k + 1], 1);
+            }
+            cell_outs.insert((gx, gy), pool.outputs[0]);
+        }
+    }
+    ((gw, gh), cell_outs)
+}
+
+pub fn build_saliency(p: &SaliencyParams) -> SaliencyApp {
+    let mut b = CoreletBuilder::new(p.canvas.0, p.canvas.1, p.seed);
+    let mut pixel_map = PixelMap::new();
+    let (grid, cell_outs) = build_saliency_core(&mut b, p, &mut pixel_map);
+    let mut cell_ports = HashMap::new();
+    for (&cell, &out) in &cell_outs {
+        cell_ports.insert(cell, b.expose(out));
+    }
+    let cores = b.cores_used();
+    let net = b.build();
+    let profile = AppProfile {
+        cores,
+        neurons: crate::profile(&net).neurons,
+    };
+    SaliencyApp {
+        net,
+        pixel_map,
+        grid,
+        cell_ports,
+        profile,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transduce::VideoSource;
+    use crate::video::Scene;
+    use tn_compass::ReferenceSim;
+
+    #[test]
+    fn kernel_geometry() {
+        let k = center_surround_kernel(6, 2, 1);
+        assert_eq!(k.len(), 36);
+        assert_eq!(k.iter().filter(|&&v| v == 1).count(), 4);
+        assert_eq!(k.iter().filter(|&&v| v == -1).count(), 32);
+        let off = center_surround_kernel(6, 2, -1);
+        assert!(k.iter().zip(off.iter()).all(|(a, b)| *a == -*b));
+    }
+
+    #[test]
+    fn salient_object_lights_up_its_cell() {
+        let p = SaliencyParams::small();
+        let app = build_saliency(&p);
+        let scene = Scene::new(p.width, p.height, 1, 21);
+        let (ox, oy, ow, oh) = scene.objects[0].bbox();
+        // Object centre in saliency-grid coordinates.
+        let scale = (p.stride * p.cell) as i32;
+        let gx = ((ox + ow as i32 / 2) / scale).clamp(0, app.grid.0 as i32 - 1) as u16;
+        let gy = ((oy + oh as i32 / 2) / scale).clamp(0, app.grid.1 as i32 - 1) as u16;
+
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0);
+        let mut sim = ReferenceSim::new(app.net);
+        sim.run(250, &mut src);
+
+        let at_object = sim
+            .outputs()
+            .port_ticks(app.cell_ports[&(gx, gy)])
+            .len();
+        // Mean over cells far from the object (≥2 cells away in
+        // Chebyshev distance — adjacent cells legitimately see the
+        // object's high-contrast boundary).
+        let mut far = 0usize;
+        let mut n = 0usize;
+        for (&(x, y), &port) in &app.cell_ports {
+            if x.abs_diff(gx) >= 2 || y.abs_diff(gy) >= 2 {
+                far += sim.outputs().port_ticks(port).len();
+                n += 1;
+            }
+        }
+        assert!(n > 0, "grid too small for a far-background sample");
+        let mean_far = far as f64 / n as f64;
+        assert!(
+            at_object as f64 > 1.6 * mean_far.max(0.5),
+            "object cell {at_object} vs far background {mean_far}"
+        );
+    }
+
+    #[test]
+    fn grid_covers_map() {
+        let p = SaliencyParams::small();
+        let app = build_saliency(&p);
+        assert_eq!(
+            app.cell_ports.len(),
+            app.grid.0 as usize * app.grid.1 as usize
+        );
+        assert!(app.profile.cores > 4);
+    }
+}

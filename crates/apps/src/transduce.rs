@@ -1,0 +1,240 @@
+//! Rate-coding transduction: frames → input spikes.
+//!
+//! "Frames of streaming video drive all applications" (paper Fig. 4). The
+//! transducer is the sensor-side retina: each pixel's intensity becomes a
+//! spike rate on that pixel's input pins. Because the pins live off-chip
+//! (spikes enter through the chip periphery), one pixel may feed any
+//! number of pins — corelets that read the same pixel each get their own
+//! copy, with no on-chip splitter needed (DESIGN.md §2).
+//!
+//! Rate coding uses deterministic error-diffusion (a per-pixel sigma-delta
+//! accumulator): pixel intensity `I` emits `⌊ticks·I/256⌋ ± 1` spikes over
+//! any window of `ticks` ticks, with evenly spaced spikes — far lower
+//! variance than Bernoulli coding and fully reproducible.
+
+use crate::video::{Frame, Scene};
+use crate::TICKS_PER_FRAME;
+use std::collections::HashMap;
+use tn_core::{CoreId, SpikeSource};
+use tn_corelet::InputPin;
+
+/// Registry mapping pixels to the input pins that must receive their
+/// spike stream.
+#[derive(Default, Clone)]
+pub struct PixelMap {
+    pins: HashMap<(u16, u16), Vec<InputPin>>,
+}
+
+impl PixelMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge a corelet's input map (e.g. [`tn_corelet::filter::Conv2d::inputs`]).
+    pub fn extend_from(&mut self, inputs: &HashMap<(u16, u16), Vec<InputPin>>) {
+        for (&px, pins) in inputs {
+            self.pins.entry(px).or_default().extend(pins.iter().copied());
+        }
+    }
+
+    /// Register one pin for one pixel.
+    pub fn push(&mut self, pixel: (u16, u16), pin: InputPin) {
+        self.pins.entry(pixel).or_default().push(pin);
+    }
+
+    pub fn pins(&self, pixel: (u16, u16)) -> &[InputPin] {
+        self.pins.get(&pixel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn pixels(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Total pin count (fanout included).
+    pub fn total_pins(&self) -> usize {
+        self.pins.values().map(Vec::len).sum()
+    }
+}
+
+/// A `SpikeSource` that renders a [`Scene`] and rate-codes it into a
+/// [`PixelMap`], advancing the scene every [`TICKS_PER_FRAME`] ticks.
+pub struct VideoSource {
+    scene: Scene,
+    map: PixelMap,
+    /// Sigma-delta accumulators, one per pixel, indexed row-major.
+    accum: Vec<u16>,
+    current: Frame,
+    /// Peak spike rate (spikes/tick) of a full-intensity (255) pixel.
+    gain: f64,
+    ticks_per_frame: u64,
+}
+
+impl VideoSource {
+    pub fn new(scene: Scene, map: PixelMap, gain: f64) -> Self {
+        let current = scene.render();
+        let n = scene.width as usize * scene.height as usize;
+        VideoSource {
+            scene,
+            map,
+            accum: vec![0; n],
+            current,
+            gain,
+            ticks_per_frame: TICKS_PER_FRAME,
+        }
+    }
+
+    /// Override the frame duration (tests use short frames).
+    pub fn with_ticks_per_frame(mut self, t: u64) -> Self {
+        assert!(t >= 1);
+        self.ticks_per_frame = t;
+        self
+    }
+
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    pub fn map(&self) -> &PixelMap {
+        &self.map
+    }
+}
+
+impl SpikeSource for VideoSource {
+    fn fill(&mut self, tick: u64, out: &mut Vec<(CoreId, u8)>) {
+        if tick > 0 && tick.is_multiple_of(self.ticks_per_frame) {
+            self.scene.advance();
+            self.current = self.scene.render();
+        }
+        let w = self.current.width as usize;
+        for (&(px, py), pins) in self.map.pins.iter() {
+            let idx = py as usize * w + px as usize;
+            let intensity = self.current.pixels[idx] as f64 * self.gain;
+            let step = (intensity.clamp(0.0, 255.0)) as u16;
+            let acc = &mut self.accum[idx];
+            *acc += step;
+            if *acc >= 255 {
+                *acc -= 255;
+                for pin in pins {
+                    out.push((pin.core, pin.axon));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::CoreId;
+
+    fn pin(core: u32, axon: u8) -> InputPin {
+        InputPin {
+            core: CoreId(core),
+            axon,
+        }
+    }
+
+    #[test]
+    fn pixel_map_merging() {
+        let mut m = PixelMap::new();
+        m.push((0, 0), pin(0, 1));
+        let mut other = HashMap::new();
+        other.insert((0u16, 0u16), vec![pin(1, 2), pin(1, 3)]);
+        other.insert((1, 0), vec![pin(2, 0)]);
+        m.extend_from(&other);
+        assert_eq!(m.pins((0, 0)).len(), 3);
+        assert_eq!(m.pixels(), 2);
+        assert_eq!(m.total_pins(), 4);
+    }
+
+    #[test]
+    fn bright_pixels_fire_proportionally() {
+        // A synthetic 1-object scene: count spikes of a bright pixel vs a
+        // dark one over many ticks.
+        let scene = Scene::new(32, 32, 1, 5);
+        let frame = scene.render();
+        let (x0, y0, w, h) = scene.objects[0].bbox();
+        let bright = (
+            (x0 + w as i32 / 2).clamp(0, 31) as u16,
+            (y0 + h as i32 / 2).clamp(0, 31) as u16,
+        );
+        // Find a dark pixel outside the object.
+        let mut dark = (0u16, 0u16);
+        'outer: for y in 0..32u16 {
+            for x in 0..32u16 {
+                if (x as i32) < x0 - 2 || (y as i32) < y0 - 2 {
+                    dark = (x, y);
+                    break 'outer;
+                }
+            }
+        }
+        let ib = frame.get(bright.0, bright.1) as f64;
+        let id = frame.get(dark.0, dark.1) as f64;
+        assert!(ib > 2.0 * id);
+
+        let mut m = PixelMap::new();
+        m.push(bright, pin(0, 0));
+        m.push(dark, pin(0, 1));
+        let mut src = VideoSource::new(scene, m, 1.0).with_ticks_per_frame(1_000_000);
+        let mut counts = [0usize; 2];
+        let mut buf = Vec::new();
+        let ticks = 512;
+        for t in 0..ticks {
+            buf.clear();
+            src.fill(t, &mut buf);
+            for &(_, axon) in &buf {
+                counts[axon as usize] += 1;
+            }
+        }
+        let expect_b = ib / 255.0 * ticks as f64;
+        let expect_d = id / 255.0 * ticks as f64;
+        assert!(
+            (counts[0] as f64 - expect_b).abs() <= 2.0,
+            "bright: got {} expect {expect_b}",
+            counts[0]
+        );
+        assert!(
+            (counts[1] as f64 - expect_d).abs() <= 2.0,
+            "dark: got {} expect {expect_d}",
+            counts[1]
+        );
+    }
+
+    #[test]
+    fn frames_advance_on_schedule() {
+        let scene = Scene::new(16, 16, 1, 9);
+        let mut m = PixelMap::new();
+        m.push((8, 8), pin(0, 0));
+        let mut src = VideoSource::new(scene, m, 1.0).with_ticks_per_frame(10);
+        let mut buf = Vec::new();
+        for t in 0..35 {
+            src.fill(t, &mut buf);
+        }
+        assert_eq!(src.scene().frame_index(), 3);
+    }
+
+    #[test]
+    fn gain_scales_rates() {
+        let mk = |gain: f64| {
+            let scene = Scene::new(16, 16, 1, 9);
+            let (x0, y0, _, _) = scene.objects[0].bbox();
+            let p = ((x0.max(0)) as u16, (y0.max(0)) as u16);
+            let mut m = PixelMap::new();
+            m.push(p, pin(0, 0));
+            let mut src = VideoSource::new(scene, m, gain).with_ticks_per_frame(1_000_000);
+            let mut buf = Vec::new();
+            let mut n = 0;
+            for t in 0..400 {
+                buf.clear();
+                src.fill(t, &mut buf);
+                n += buf.len();
+            }
+            n
+        };
+        let lo = mk(0.25);
+        let hi = mk(0.5);
+        assert!(hi > lo, "hi={hi} lo={lo}");
+        let ratio = hi as f64 / lo.max(1) as f64;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Whole-simulator benchmarks: seconds per tick of the reference
+//! Compass, the multithreaded Compass, and the chip model with full NoC
+//! accounting, on an 8×8-core recurrent network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+use tn_core::network::NullSource;
+
+fn params(rate: f64, syn: u32) -> RecurrentParams {
+    RecurrentParams {
+        rate_hz: rate,
+        synapses: syn,
+        cores_x: 8,
+        cores_y: 8,
+        seed: 0xBE7C,
+    }
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_tick");
+    group.sample_size(20);
+    for &(rate, syn) in &[(20.0, 32u32), (200.0, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("rate_syn", format!("{rate}x{syn}")),
+            &(rate, syn),
+            |b, _| {
+                let mut sim = ReferenceSim::new(build_recurrent(&params(rate, syn)));
+                sim.run(16, &mut NullSource); // steady state
+                b.iter(|| sim.step(&mut NullSource));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_compass");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &t| {
+                let mut sim = ParallelSim::new(build_recurrent(&params(100.0, 64)), t);
+                sim.run(16, &mut NullSource);
+                // Batch of 8 ticks amortizes the scoped-thread spawn.
+                b.iter(|| sim.run(8, &mut NullSource));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_tick");
+    group.sample_size(20);
+    for &(rate, syn) in &[(20.0, 32u32), (200.0, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("rate_syn", format!("{rate}x{syn}")),
+            &(rate, syn),
+            |b, _| {
+                let mut sim = TrueNorthSim::new(build_recurrent(&params(rate, syn)));
+                sim.run(16, &mut NullSource);
+                b.iter(|| sim.step(&mut NullSource));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference, bench_parallel, bench_chip);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Shared harness for the five characterization applications: builds
+//! each at its default (paper-comparable) scale with a synthetic scene
+//! attached, ready to run on any simulator expression.
+
+use tn_apps::haar::{build_haar, HaarParams};
+use tn_apps::lbp::{build_lbp, LbpParams};
+use tn_apps::neovision::{build_neovision, NeoVisionParams};
+use tn_apps::saccade::{build_saccade, SaccadeParams};
+use tn_apps::saliency::{build_saliency, SaliencyParams};
+use tn_apps::transduce::{PixelMap, VideoSource};
+use tn_apps::video::Scene;
+use tn_apps::AppProfile;
+use tn_core::Network;
+
+/// One built application instance.
+pub struct BuiltApp {
+    pub name: &'static str,
+    pub net: Network,
+    pub pixel_map: PixelMap,
+    pub profile: AppProfile,
+    /// Paper-reported statistics for the side-by-side table:
+    /// (cores, neurons, mean rate Hz).
+    pub paper: (u32, u32, f64),
+    /// Scene dimensions for the video source.
+    pub scene_dims: (u16, u16),
+    pub objects: usize,
+}
+
+impl BuiltApp {
+    /// Fresh deterministic video source for this app.
+    pub fn source(&self, seed: u64) -> VideoSource {
+        let scene = Scene::new(self.scene_dims.0, self.scene_dims.1, self.objects, seed);
+        VideoSource::new(scene, self.pixel_map.clone(), 1.0)
+    }
+}
+
+/// Build all five applications at default scale. Order matches paper
+/// Fig. 7(b): NeoVision, Haar, LBP, Saccade, Saliency.
+pub fn build_all() -> Vec<BuiltApp> {
+    let mut out = Vec::new();
+
+    let nv = NeoVisionParams::default();
+    let app = build_neovision(&nv);
+    out.push(BuiltApp {
+        name: "NeoVision",
+        profile: app.profile,
+        pixel_map: app.pixel_map,
+        net: app.net,
+        paper: (4_018, 660_009, 12.8),
+        scene_dims: (nv.width, nv.height),
+        objects: 4,
+    });
+
+    let hp = HaarParams::default();
+    let app = build_haar(&hp);
+    out.push(BuiltApp {
+        name: "Haar",
+        profile: app.profile,
+        pixel_map: app.pixel_map,
+        net: app.net,
+        paper: (2_605, 617_567, 135.0),
+        scene_dims: (hp.width, hp.height),
+        objects: 3,
+    });
+
+    let lp = LbpParams::default();
+    let app = build_lbp(&lp);
+    out.push(BuiltApp {
+        name: "LBP",
+        profile: app.profile,
+        pixel_map: app.pixel_map,
+        net: app.net,
+        paper: (3_836, 813_978, 64.0),
+        scene_dims: (lp.width, lp.height),
+        objects: 3,
+    });
+
+    let sp = SaccadeParams::default();
+    let app = build_saccade(&sp);
+    out.push(BuiltApp {
+        name: "Saccade",
+        profile: app.profile,
+        pixel_map: app.pixel_map,
+        net: app.net,
+        paper: (2_571, 612_458, 5.0),
+        scene_dims: (sp.saliency.width, sp.saliency.height),
+        objects: 3,
+    });
+
+    let sa = SaliencyParams::default();
+    let app = build_saliency(&sa);
+    out.push(BuiltApp {
+        name: "Saliency",
+        profile: app.profile,
+        pixel_map: app.pixel_map,
+        net: app.net,
+        paper: (3_926, 889_461, 86.0),
+        scene_dims: (sa.width, sa.height),
+        objects: 3,
+    });
+
+    out
+}

@@ -1,0 +1,277 @@
+//! Ablations of the design choices the paper calls out (DESIGN.md §7):
+//!
+//! * `traffic`      — the neurosynaptic-core clustering argument of §III-A:
+//!   per-synapse event replication sends S/N ≈ fanout messages per spike;
+//!   the core sends one.
+//! * `eventdriven`  — event-driven synaptic update vs looping over all
+//!   synapses each tick (§III, "the event-based update loop is
+//!   significantly more efficient").
+//! * `aggregation`  — Compass's pairwise spike aggregation vs a global
+//!   per-spike-locked queue.
+//! * `routing`      — dimension-order routing vs a (deadlock-prone)
+//!   random-turn alternative: hop counts are equal, but load
+//!   concentration differs.
+//! * `placement`    — corelet placement optimization: wiring cost and
+//!   mesh-hop energy before/after the swap-based placer.
+//!
+//! Usage: `ablation [traffic|eventdriven|aggregation|routing|placement|all]`
+
+use std::time::Instant;
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+use tn_compass::{AggregationMode, ParallelSim};
+use tn_core::network::NullSource;
+use tn_core::{Crossbar, NEURONS_PER_CORE};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "traffic" || which == "all" {
+        traffic();
+    }
+    if which == "eventdriven" || which == "all" {
+        eventdriven();
+    }
+    if which == "aggregation" || which == "all" {
+        aggregation();
+    }
+    if which == "routing" || which == "all" {
+        routing();
+    }
+    if which == "placement" || which == "all" {
+        placement();
+    }
+}
+
+/// Placement optimization: how much NoC traffic does layout cost?
+fn placement() {
+    println!("\n== ablation: corelet placement optimization ==");
+    use tn_chip::TrueNorthSim;
+    use tn_core::{CoreConfig, CoreCoord, Dest, NetworkBuilder, NeuronConfig, SpikeTarget};
+    use tn_corelet::place::{optimize_placement, wiring_cost};
+
+    // A 12-stage pipeline deliberately scattered across a 16x16 grid.
+    let scrambled = || {
+        let mut b = NetworkBuilder::new(16, 16, 3);
+        let stages = 12usize;
+        let coords: Vec<CoreCoord> = (0..stages)
+            .map(|k| {
+                if k % 2 == 0 {
+                    CoreCoord::new((k / 2) as u16, 0)
+                } else {
+                    CoreCoord::new(15 - (k / 2) as u16, 15)
+                }
+            })
+            .collect();
+        let ids: Vec<_> = coords
+            .iter()
+            .map(|&c| b.set_core(c, CoreConfig::new()))
+            .collect();
+        for k in 0..stages {
+            let cfg = b.core_config_mut(ids[k]);
+            for j in 0..256 {
+                cfg.crossbar.set(j, j, true);
+                cfg.neurons[j] = NeuronConfig::stochastic_source(40);
+                cfg.neurons[j].weights = [0; 4];
+                if k + 1 < stages {
+                    cfg.neurons[j].dest =
+                        Dest::Axon(SpikeTarget::new(ids[k + 1], j as u8, 1));
+                }
+            }
+        }
+        b.build()
+    };
+    let before_net = scrambled();
+    let cost_before = wiring_cost(&before_net);
+    let (placed, report) = optimize_placement(&before_net, 20_000, 1);
+    let mut bad = TrueNorthSim::new(scrambled());
+    bad.run(100, &mut tn_core::network::NullSource);
+    let mut good = TrueNorthSim::new(placed);
+    good.run(100, &mut tn_core::network::NullSource);
+    let mut t = Table::new(&["metric", "scrambled", "optimized", "x_reduction"]);
+    t.row(vec![
+        "wiring cost (conn-hops)".into(),
+        cost_before.to_string(),
+        report.final_cost.to_string(),
+        fmt_sig(cost_before as f64 / report.final_cost.max(1) as f64),
+    ]);
+    t.row(vec![
+        "mean mesh hops/spike".into(),
+        fmt_sig(bad.stats().mean_hops()),
+        fmt_sig(good.stats().mean_hops()),
+        fmt_sig(bad.stats().mean_hops() / good.stats().mean_hops().max(1e-9)),
+    ]);
+    t.row(vec![
+        "NoC hop energy (uJ/100 ticks)".into(),
+        fmt_sig(bad.energy_realtime().hop_j * 1e6),
+        fmt_sig(good.energy_realtime().hop_j * 1e6),
+        fmt_sig(bad.energy_realtime().hop_j / good.energy_realtime().hop_j.max(1e-18)),
+    ]);
+    t.print();
+}
+
+/// §III-A: "in a system with N neurons and S synapses, we need to send
+/// S/N events for each spike. By partitioning the network into
+/// neurosynaptic cores, we only need to send one event ... reducing
+/// total traffic by a factor of S/N (typically 256)."
+fn traffic() {
+    println!("\n== ablation: core clustering vs per-synapse addressing ==");
+    let mut t = Table::new(&[
+        "fanout (S/N)",
+        "msgs_per_spike_clustered",
+        "msgs_per_spike_flat",
+        "x_traffic_reduction",
+        "bits_implicit_addr",
+        "bits_explicit_addr",
+    ]);
+    for fanout in [16u64, 64, 128, 256] {
+        // Addressing cost (paper §III-A): implicit = (S/C)·log2(S/C) with
+        // C = 256; explicit = S·log2(S) for a full chip.
+        let s = (1u64 << 28) * fanout / 256; // synapses at this density
+        let c = 256u64;
+        let implicit = (s / c) as f64 * ((s / c) as f64).log2();
+        let explicit = s as f64 * (s as f64).log2();
+        t.row(vec![
+            fanout.to_string(),
+            "1".into(),
+            fanout.to_string(),
+            fmt_sig(fanout as f64),
+            fmt_sig(implicit),
+            fmt_sig(explicit),
+        ]);
+    }
+    t.print();
+}
+
+/// Event-driven update cost vs dense loop over all synapses, measured on
+/// a real crossbar.
+fn eventdriven() {
+    println!("\n== ablation: event-driven vs dense synaptic update ==");
+    let mut t = Table::new(&[
+        "active_axons/tick",
+        "event_driven_ns",
+        "dense_loop_ns",
+        "x_speedup",
+    ]);
+    let xbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17) % 2 == 0); // 50% dense
+    let reps = 200u32;
+    for active in [1usize, 8, 32, 128] {
+        // Event-driven: visit only active rows' set bits.
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..reps {
+            for a in 0..active {
+                for j in xbar.iter_row(a * 2) {
+                    acc = acc.wrapping_add(j as u64);
+                }
+            }
+        }
+        let event_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+        // Dense: visit every synapse every tick regardless of activity.
+        let start = Instant::now();
+        for _ in 0..reps {
+            for a in 0..256 {
+                for j in 0..NEURONS_PER_CORE {
+                    if xbar.get(a, j) {
+                        acc = acc.wrapping_add(j as u64);
+                    }
+                }
+            }
+        }
+        let dense_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+        std::hint::black_box(acc);
+        t.row(vec![
+            active.to_string(),
+            fmt_sig(event_ns),
+            fmt_sig(dense_ns),
+            fmt_sig(dense_ns / event_ns),
+        ]);
+    }
+    t.print();
+    println!("(neurons fire sparsely — a few Hz — so the typical tick has few active axons)");
+}
+
+/// Compass's pairwise aggregation vs a global spike queue.
+fn aggregation() {
+    println!("\n== ablation: pairwise spike aggregation vs global queue ==");
+    let p = RecurrentParams {
+        rate_hz: 100.0,
+        synapses: 64,
+        cores_x: 16,
+        cores_y: 16,
+        seed: 0xA6,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let ticks = 150;
+    let mut t = Table::new(&["scheme", "threads", "s_per_tick", "x_slowdown"]);
+    let mut base = 0.0;
+    for (name, mode) in [
+        ("pairwise (Compass)", AggregationMode::Pairwise),
+        ("global queue", AggregationMode::GlobalQueue),
+    ] {
+        let mut sim = ParallelSim::with_mode(build_recurrent(&p), threads, mode);
+        sim.run(ticks, &mut NullSource);
+        let spt = sim.stats().seconds_per_tick();
+        if base == 0.0 {
+            base = spt;
+        }
+        t.row(vec![
+            name.into(),
+            threads.to_string(),
+            fmt_sig(spt),
+            fmt_sig(spt / base),
+        ]);
+    }
+    t.print();
+}
+
+/// Dimension-order vs random-turn routing: same Manhattan hops, but
+/// dimension-order concentrates load on the turn column while staying
+/// deadlock-free.
+fn routing() {
+    println!("\n== ablation: dimension-order routing properties ==");
+    use tn_chip::Mesh;
+    use tn_core::CoreCoord;
+    let mut rngstate = 0x1234_5678_9abc_def0u64;
+    let mut rng = move || {
+        rngstate ^= rngstate << 13;
+        rngstate ^= rngstate >> 7;
+        rngstate ^= rngstate << 17;
+        rngstate
+    };
+    let n = 20_000;
+    let mut mesh = Mesh::new(64, 64);
+    mesh.begin_tick();
+    let mut total_hops = 0u64;
+    for _ in 0..n {
+        let a = CoreCoord::new((rng() % 64) as u16, (rng() % 64) as u16);
+        let b = CoreCoord::new((rng() % 64) as u16, (rng() % 64) as u16);
+        total_hops += mesh.route(a, b).unwrap_or(0) as u64;
+    }
+    let loads = mesh.finish_tick();
+    let mut t = Table::new(&["metric", "value", "paper/expectation"]);
+    t.row(vec![
+        "mean hops per packet".into(),
+        fmt_sig(total_hops as f64 / n as f64),
+        "2 x 64/3 = 42.7 (uniform)".into(),
+    ]);
+    t.row(vec![
+        "max single-link load".into(),
+        loads.max_link_load.to_string(),
+        "few x mean (XY turn concentration)".into(),
+    ]);
+    t.row(vec![
+        "mean link load".into(),
+        fmt_sig(total_hops as f64 / (2.0 * 63.0 * 64.0)),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "deadlock-free".into(),
+        "yes (XY is cycle-free)".into(),
+        "yes".into(),
+    ]);
+    t.print();
+}

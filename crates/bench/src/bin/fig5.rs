@@ -1,0 +1,149 @@
+//! Regenerates paper Fig. 5: TrueNorth characterization over the 88
+//! probabilistically generated recurrent networks.
+//!
+//! * (a) GSOPS, (b) fmax (kHz), (d) energy/tick (µJ), (e) GSOPS/W — all
+//!   as rate × synapses tables at 0.75 V from one measured sweep;
+//! * (c) fmax and (f) GSOPS/W as voltage × synapses tables at 50 Hz,
+//!   re-characterized analytically from the measured 50 Hz row.
+//!
+//! Usage: `fig5 [--quick] [a|b|c|d|e|f|all]`
+//! `--quick` subsamples the grid (every other rate/synapse level) to
+//! finish in well under a minute.
+
+use tn_apps::recurrent::{RecurrentParams, RATES_HZ, SYNAPSES};
+use tn_bench::table::fmt_sig;
+use tn_bench::{characterize_at_voltage, run_recurrent_net, NetResult, Table};
+
+const VOLTAGES: [f64; 8] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    if !["a", "b", "c", "d", "e", "f", "all"].contains(&which.as_str()) {
+        eprintln!("unknown panel '{which}': expected a|b|c|d|e|f|all");
+        std::process::exit(2);
+    }
+
+    let rates: Vec<f64> = pick(&RATES_HZ, quick);
+    let syns: Vec<u32> = pick(&SYNAPSES, quick);
+    let (warmup, ticks) = if quick { (8, 16) } else { (16, 24) };
+
+    eprintln!(
+        "fig5: sweeping {} networks ({} warmup + {} measured ticks each; full chip)...",
+        rates.len() * syns.len(),
+        warmup,
+        ticks
+    );
+    let mut results: Vec<Vec<NetResult>> = Vec::new();
+    for (ri, &r) in rates.iter().enumerate() {
+        let mut row = Vec::new();
+        for (si, &s) in syns.iter().enumerate() {
+            let p = RecurrentParams::full_chip(r, s, 0xF165 ^ ((ri as u64) << 32) ^ si as u64);
+            let res = run_recurrent_net(&p, warmup, ticks);
+            eprintln!(
+                "  rate {:>5.1} Hz × {:>3} syn: {:.1} s host time",
+                r, s, res.host_seconds
+            );
+            row.push(res);
+        }
+        results.push(row);
+    }
+
+    let grid_table = |title: &str, f: &dyn Fn(&NetResult) -> f64| {
+        println!("\n== {title} ==");
+        let mut header: Vec<String> = vec!["rate_hz\\syn".into()];
+        header.extend(syns.iter().map(|s| s.to_string()));
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hdr);
+        for (ri, &r) in rates.iter().enumerate() {
+            let mut cells = vec![format!("{r:.0}")];
+            cells.extend(results[ri].iter().map(|res| fmt_sig(f(res))));
+            t.row(cells);
+        }
+        t.print();
+    };
+
+    if which == "a" || which == "all" {
+        grid_table("Fig. 5(a): computation per time (GSOPS) @0.75 V", &|r| {
+            characterize_at_voltage(r, 0.75).gsops
+        });
+    }
+    if which == "b" || which == "all" {
+        grid_table(
+            "Fig. 5(b): maximum time-step frequency (kHz) @0.75 V",
+            &|r| characterize_at_voltage(r, 0.75).fmax_khz,
+        );
+    }
+    if which == "d" || which == "all" {
+        grid_table(
+            "Fig. 5(d): total energy per time step (µJ) @0.75 V, real-time",
+            &|r| characterize_at_voltage(r, 0.75).energy_per_tick_uj,
+        );
+    }
+    if which == "e" || which == "all" {
+        grid_table(
+            "Fig. 5(e): computation per energy (GSOPS/W) @0.75 V, real-time",
+            &|r| characterize_at_voltage(r, 0.75).gsops_per_watt_rt,
+        );
+    }
+
+    // Voltage panels use the measured row closest to 50 Hz.
+    if which == "c" || which == "f" || which == "all" {
+        let fifty = rates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - 50.0).abs().total_cmp(&(b.1 - 50.0).abs())
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        eprintln!(
+            "fig5(c,f): re-characterizing the {} Hz row across voltages",
+            rates[fifty]
+        );
+        let volt_table = |title: &str, f: &dyn Fn(&NetResult, f64) -> f64| {
+            println!("\n== {title} ==");
+            let mut header: Vec<String> = vec!["voltage\\syn".into()];
+            header.extend(syns.iter().map(|s| s.to_string()));
+            let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut t = Table::new(&hdr);
+            for &v in &VOLTAGES {
+                let mut cells = vec![format!("{v:.2}")];
+                cells.extend(results[fifty].iter().map(|res| fmt_sig(f(res, v))));
+                t.row(cells);
+            }
+            t.print();
+        };
+        if which == "c" || which == "all" {
+            volt_table(
+                "Fig. 5(c): maximum time-step frequency (kHz), voltage × synapses @≈50 Hz",
+                &|r, v| characterize_at_voltage(r, v).fmax_khz,
+            );
+        }
+        if which == "f" || which == "all" {
+            volt_table(
+                "Fig. 5(f): computation per energy (GSOPS/W), voltage × synapses @≈50 Hz",
+                &|r, v| characterize_at_voltage(r, v).gsops_per_watt_rt,
+            );
+        }
+    }
+
+    println!(
+        "\npaper anchors: 46 GSOPS/W @ (20 Hz, 128 syn) real-time & 65 mW; \
+         81 GSOPS/W @ ≈5× real-time; >400 GSOPS/W @ (200 Hz, 256 syn); \
+         fmax >1 kHz only at light load; efficiency maximal at low voltage."
+    );
+}
+
+fn pick<T: Copy>(all: &[T], quick: bool) -> Vec<T> {
+    if quick {
+        all.iter().step_by(2).copied().collect()
+    } else {
+        all.to_vec()
+    }
+}

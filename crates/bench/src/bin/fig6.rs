@@ -1,0 +1,122 @@
+//! Regenerates paper Fig. 6: TrueNorth speedup and energy improvement
+//! versus the Compass simulator on 32-host Blue Gene/Q and dual-socket
+//! x86, over the 88-network characterization space.
+//!
+//! TrueNorth's side comes from the calibrated chip model (time per tick =
+//! max(1 ms, worst-case tick period); energy from the component model);
+//! the hosts come from the Fig. 8-calibrated Compass models. Pass
+//! `--measure` to add a genuinely measured column: the Rust Compass
+//! running the (20 Hz, 128 syn) network on *this* machine.
+//!
+//! Paper anchors: (a) ≈1 order of magnitude speedup vs BG/Q,
+//! (b) ≈10⁵ energy vs BG/Q, (c) 10²–10³ speedup vs x86, (d) ≈10⁵ energy
+//! vs x86.
+
+use tn_apps::recurrent::{RecurrentParams, RATES_HZ, SYNAPSES};
+use tn_bench::sweep::analytic_point;
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+use tn_hostmodel::{BgqModel, CompassWorkload, LocalHost, X86Model};
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let bgq = BgqModel::full();
+    let x86 = X86Model::full();
+
+    let panel = |title: &str, f: &dyn Fn(f64, f64) -> f64| {
+        println!("\n== {title} ==");
+        let mut header: Vec<String> = vec!["rate_hz\\syn".into()];
+        header.extend(SYNAPSES.iter().map(|s| s.to_string()));
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hdr);
+        for &r in RATES_HZ.iter() {
+            let mut cells = vec![format!("{r:.0}")];
+            cells.extend(SYNAPSES.iter().map(|&s| {
+                if r == 0.0 {
+                    "-".to_string()
+                } else {
+                    fmt_sig(f(r, s as f64))
+                }
+            }));
+            t.row(cells);
+        }
+        t.print();
+    };
+
+    // TrueNorth operating point for a characterization cell.
+    let tn_point = |rate: f64, syn: f64| {
+        let c = analytic_point(rate, syn, 0.75);
+        let t_tick = (1e-3f64).max(1e-3 / c.fmax_khz * 1.0); // run at ≤1 kHz
+        let e_tick = c.energy_per_tick_uj * 1e-6;
+        (t_tick, e_tick)
+    };
+
+    panel("Fig. 6(a): × speedup vs Compass on 32-host BG/Q", &|r, s| {
+        let w = CompassWorkload::recurrent(r, s);
+        let (t_tn, _) = tn_point(r, s);
+        bgq.seconds_per_tick(&w) / t_tn
+    });
+    panel(
+        "Fig. 6(b): × energy improvement vs Compass on 32-host BG/Q",
+        &|r, s| {
+            let w = CompassWorkload::recurrent(r, s);
+            let (t_tn, e_tn) = tn_point(r, s);
+            let _ = t_tn;
+            bgq.operating_point(&w).energy_per_tick_j() / e_tn
+        },
+    );
+    panel("Fig. 6(c): × speedup vs Compass on dual-socket x86", &|r, s| {
+        let w = CompassWorkload::recurrent(r, s);
+        let (t_tn, _) = tn_point(r, s);
+        x86.seconds_per_tick(&w) / t_tn
+    });
+    panel(
+        "Fig. 6(d): × energy improvement vs Compass on dual-socket x86",
+        &|r, s| {
+            let w = CompassWorkload::recurrent(r, s);
+            let (_, e_tn) = tn_point(r, s);
+            x86.operating_point(&w).energy_per_tick_j() / e_tn
+        },
+    );
+
+    if measure {
+        println!("\n== measured: Rust Compass on this host, (20 Hz, 128 syn) full chip ==");
+        let p = RecurrentParams::full_chip(20.0, 128, 0x616);
+        let net = tn_apps::recurrent::build_recurrent(&p);
+        let host = LocalHost::default();
+        eprintln!(
+            "measuring with {} threads (assumed {} W)...",
+            host.resolved_threads(),
+            host.assumed_power_w
+        );
+        let (op, sim) =
+            host.measure(net, &mut tn_core::network::NullSource, 8, 32);
+        let (t_tn, e_tn) = tn_point(20.0, 128.0);
+        let mut t = Table::new(&[
+            "host",
+            "s/tick",
+            "power_W",
+            "J/tick",
+            "x_speedup_TN",
+            "x_energy_TN",
+        ]);
+        t.row(vec![
+            "this machine".into(),
+            fmt_sig(op.seconds_per_tick),
+            fmt_sig(op.power_w),
+            fmt_sig(op.energy_per_tick_j()),
+            fmt_sig(op.seconds_per_tick / t_tn),
+            fmt_sig(op.energy_per_tick_j() / e_tn),
+        ]);
+        t.print();
+        eprintln!(
+            "(measured {} spikes over {} ticks)",
+            sim.stats().totals.spikes_out,
+            sim.stats().ticks
+        );
+    }
+
+    println!(
+        "\npaper anchors: ≈10× vs 32-host BG/Q, 10²–10³× vs x86, ≈10⁵× energy vs both."
+    );
+}

@@ -1,0 +1,120 @@
+//! Regenerates paper Fig. 7: the five computer-vision applications on
+//! TrueNorth versus Compass on Blue Gene/Q and x86 —
+//! (a) execution speedup vs power improvement, (b) energy improvement.
+//!
+//! Each application is *actually simulated* on the chip expression to get
+//! its TrueNorth operating point (energy model + fmax under its real
+//! spike traffic) and on the local Rust Compass for a genuinely measured
+//! von Neumann point; the BG/Q and x86 columns come from the calibrated
+//! host models driven by the application's measured per-tick workload.
+//!
+//! Paper anchors: 1–2 orders of magnitude speedup over weak-scaled BG/Q
+//! and dual-socket x86 respectively, 3–4 orders less power, and ≈10⁵×
+//! less energy per tick across all five applications.
+
+use tn_bench::apps_harness::build_all;
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+use tn_chip::TrueNorthSim;
+use tn_hostmodel::{BgqModel, CompassWorkload, LocalHost, X86Model};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, ticks) = if quick { (10u64, 40u64) } else { (33, 200) };
+
+    let mut rows = Vec::new();
+    eprintln!("building the five applications at default scale...");
+    for app in build_all() {
+        eprintln!(
+            "  {}: {} cores, {} neurons — simulating {} ticks on the chip model...",
+            app.name, app.profile.cores, app.profile.neurons, ticks
+        );
+        // --- TrueNorth point: full chip-model simulation. ---
+        let mut src = app.source(99);
+        let mut chip = TrueNorthSim::new(app.net);
+        chip.run(warmup, &mut src);
+        let before = *chip.stats();
+        chip.run(ticks, &mut src);
+        let report = chip.report();
+        let stats = *chip.stats();
+        // Workload per tick (steady-state window) for the host models.
+        let dt = (stats.ticks - before.ticks) as f64;
+        let w = CompassWorkload {
+            neurons: (stats.totals.neuron_updates - before.totals.neuron_updates) as f64
+                / dt,
+            sops: (stats.totals.sops - before.totals.sops) as f64 / dt,
+            spikes: (stats.totals.spikes_out - before.totals.spikes_out) as f64 / dt,
+        };
+        let mean_rate = stats.mean_rate_hz(chip.network().num_neurons() as u64);
+        let tn_t = 1e-3f64.max(1e-3 / report.fmax_khz);
+        let tn_e = report.energy_per_tick_j;
+        let tn_p = report.power_realtime_w;
+
+        // --- Measured local Compass. ---
+        eprintln!("    measuring Rust Compass on this host...");
+        let rebuild = build_all()
+            .into_iter()
+            .find(|a| a.name == app.name)
+            .unwrap();
+        let mut src2 = rebuild.source(99);
+        let host = LocalHost::default();
+        let (local_op, _) = host.measure(rebuild.net, &mut src2, warmup, ticks);
+
+        // --- Modelled hosts. ---
+        let bgq = BgqModel::full().operating_point(&w);
+        let x86 = X86Model::full().operating_point(&w);
+
+        rows.push((
+            app.name,
+            mean_rate,
+            tn_t,
+            tn_p,
+            tn_e,
+            bgq,
+            x86,
+            local_op,
+        ));
+    }
+
+    println!("\n== Fig. 7(a): speedup vs power improvement (per application) ==");
+    let mut t = Table::new(&[
+        "app",
+        "rate_Hz",
+        "vs",
+        "s_per_tick",
+        "x_speedup",
+        "power_W",
+        "x_power",
+    ]);
+    for &(name, rate, tn_t, tn_p, _, bgq, x86, local) in &rows {
+        for (vs, op) in [("BG/Q-32", bgq), ("x86-12t", x86), ("this-host", local)] {
+            t.row(vec![
+                name.into(),
+                fmt_sig(rate),
+                vs.into(),
+                fmt_sig(op.seconds_per_tick),
+                fmt_sig(op.seconds_per_tick / tn_t),
+                fmt_sig(op.power_w),
+                fmt_sig(op.power_w / tn_p),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\n== Fig. 7(b): × energy improvement per tick ==");
+    let mut t = Table::new(&["app", "TN_J_per_tick", "x_vs_BGQ", "x_vs_x86", "x_vs_this_host"]);
+    for &(name, _, _, _, tn_e, bgq, x86, local) in &rows {
+        t.row(vec![
+            name.into(),
+            fmt_sig(tn_e),
+            fmt_sig(bgq.energy_per_tick_j() / tn_e),
+            fmt_sig(x86.energy_per_tick_j() / tn_e),
+            fmt_sig(local.energy_per_tick_j() / tn_e),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper anchors: 1 & 2 orders of magnitude speedup vs BG/Q & x86, \
+         4 & 3 orders less power, ≈5 orders less energy across all five apps."
+    );
+}

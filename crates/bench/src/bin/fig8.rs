@@ -1,0 +1,67 @@
+//! Regenerates paper Fig. 8: Blue Gene/Q strong scaling for the
+//! single-chip NeoVision network — run time (s/tick) versus power per
+//! spike (W/spike), across hosts {1..32} × threads {8..64}, plus the x86
+//! points.
+//!
+//! Paper anchors: a single host is the most power-efficient but slowest;
+//! 32 hosts is fastest but "even the best operating point is 12× slower
+//! than real-time".
+
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+use tn_hostmodel::bgq::neovision_workload;
+use tn_hostmodel::{BgqModel, X86Model};
+
+fn main() {
+    let w = neovision_workload();
+    println!("== Fig. 8: Single-chip NeoVision on BG/Q — time vs power ==");
+    println!(
+        "(workload: {:.0} neurons, {:.0} sops/tick, {:.0} spikes/tick)\n",
+        w.neurons, w.sops, w.spikes
+    );
+    let mut t = Table::new(&[
+        "system",
+        "hosts",
+        "threads",
+        "s_per_tick",
+        "x_realtime",
+        "power_W",
+        "W_per_spike",
+        "J_per_tick",
+    ]);
+    for m in BgqModel::strong_scaling_grid() {
+        let op = m.operating_point(&w);
+        t.row(vec![
+            "BG/Q".into(),
+            m.cards.to_string(),
+            m.threads.to_string(),
+            fmt_sig(op.seconds_per_tick),
+            fmt_sig(op.realtime_slowdown()),
+            fmt_sig(op.power_w),
+            fmt_sig(op.power_w / w.spikes),
+            fmt_sig(op.energy_per_tick_j()),
+        ]);
+    }
+    for m in X86Model::sweep() {
+        let op = m.operating_point(&w);
+        t.row(vec![
+            "x86".into(),
+            "1".into(),
+            m.threads.to_string(),
+            fmt_sig(op.seconds_per_tick),
+            fmt_sig(op.realtime_slowdown()),
+            fmt_sig(op.power_w),
+            fmt_sig(op.power_w / w.spikes),
+            fmt_sig(op.energy_per_tick_j()),
+        ]);
+    }
+    t.print();
+
+    let best = BgqModel::full().operating_point(&w);
+    println!(
+        "\nbest BG/Q operating point: {:.1} ms/tick = {:.1}× slower than real time \
+         (paper: ≈12×).",
+        best.seconds_per_tick * 1e3,
+        best.realtime_slowdown()
+    );
+}

@@ -1,0 +1,104 @@
+//! Regenerates the paper's §I/§VI headline operating points:
+//!
+//! * 65 mW total power and ≈46 GSOPS/W running a complex recurrent
+//!   network (20 Hz mean rate, 128 active synapses/neuron) in real time;
+//! * ≈81 GSOPS/W running the same network ≈5× faster (amortizing passive
+//!   power);
+//! * >400 GSOPS/W at 200 Hz / 256 synapses;
+//! * ≈20 mW/cm² power density (vs ≈100 W/cm² for a modern processor).
+//!
+//! Both the analytic model point and a measured full-chip simulation of
+//! the (20 Hz, 128 syn) network are printed so the two can be compared.
+
+use tn_apps::recurrent::RecurrentParams;
+use tn_bench::sweep::{analytic_point, characterize_at_voltage, run_recurrent_net};
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("== Headline operating points (analytic model @0.75 V) ==");
+    let mut t = Table::new(&[
+        "operating point",
+        "GSOPS",
+        "power_mW",
+        "GSOPS/W_rt",
+        "GSOPS/W_max",
+        "fmax_kHz",
+        "mW_per_cm2",
+        "paper",
+    ]);
+    let a = analytic_point(20.0, 128.0, 0.75);
+    t.row(vec![
+        "20 Hz × 128 syn, real-time".into(),
+        fmt_sig(a.gsops),
+        fmt_sig(a.power_rt_w * 1e3),
+        fmt_sig(a.gsops_per_watt_rt),
+        fmt_sig(a.gsops_per_watt_max),
+        fmt_sig(a.fmax_khz),
+        fmt_sig(a.power_rt_w * 1e3 / 4.3),
+        "65 mW, 46 GSOPS/W; 81 @≈5x".into(),
+    ]);
+    let c = analytic_point(200.0, 256.0, 0.75);
+    t.row(vec![
+        "200 Hz × 256 syn (corner)".into(),
+        fmt_sig(c.gsops),
+        fmt_sig(c.power_rt_w * 1e3),
+        fmt_sig(c.gsops_per_watt_rt),
+        fmt_sig(c.gsops_per_watt_max),
+        fmt_sig(c.fmax_khz),
+        fmt_sig(c.power_rt_w * 1e3 / 4.3),
+        ">400 GSOPS/W".into(),
+    ]);
+    t.print();
+
+    println!("\n== Measured full-chip simulation of the (20 Hz, 128 syn) network ==");
+    let (warm, ticks) = if quick { (8, 16) } else { (16, 48) };
+    let p = RecurrentParams::full_chip(20.0, 128, 0x4EAD);
+    let r = run_recurrent_net(&p, warm, ticks);
+    let m = characterize_at_voltage(&r, 0.75);
+    let mut t = Table::new(&[
+        "quantity",
+        "measured",
+        "analytic",
+        "paper",
+    ]);
+    t.row(vec![
+        "mean rate (Hz)".into(),
+        fmt_sig(m.rate_hz),
+        "20".into(),
+        "20".into(),
+    ]);
+    t.row(vec![
+        "GSOPS (real-time)".into(),
+        fmt_sig(m.gsops),
+        fmt_sig(a.gsops),
+        "~2.7".into(),
+    ]);
+    t.row(vec![
+        "total power (mW)".into(),
+        fmt_sig(m.power_rt_w * 1e3),
+        fmt_sig(a.power_rt_w * 1e3),
+        "65".into(),
+    ]);
+    t.row(vec![
+        "GSOPS/W real-time".into(),
+        fmt_sig(m.gsops_per_watt_rt),
+        fmt_sig(a.gsops_per_watt_rt),
+        "46".into(),
+    ]);
+    t.row(vec![
+        "GSOPS/W at max speed".into(),
+        fmt_sig(m.gsops_per_watt_max),
+        fmt_sig(a.gsops_per_watt_max),
+        "81 (at ~5x)".into(),
+    ]);
+    t.row(vec![
+        "fmax (kHz)".into(),
+        fmt_sig(m.fmax_khz),
+        fmt_sig(a.fmax_khz),
+        "~5x real-time".into(),
+    ]);
+    t.print();
+    eprintln!("(host wall time: {:.1} s)", r.host_seconds);
+}

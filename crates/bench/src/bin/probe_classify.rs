@@ -1,0 +1,86 @@
+//! Diagnostic: confusion matrix of the NeoVision What pathway.
+//!
+//! Places a single moving object of each class in the aperture, runs the
+//! chip model, and prints the per-class evidence collected in the cells
+//! the object actually occupies. Useful when tuning texture thresholds
+//! and class templates.
+
+use tn_apps::neovision::{build_neovision, NeoVisionParams, CLASSES};
+use tn_apps::transduce::VideoSource;
+use tn_apps::video::{ObjectClass, Scene};
+use tn_bench::Table;
+use tn_chip::TrueNorthSim;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ticks = if quick { 300u64 } else { 660 };
+    let p = NeoVisionParams::default();
+    let mut t = Table::new(&[
+        "true_class",
+        "Person",
+        "Cyclist",
+        "Car",
+        "Bus",
+        "Truck",
+        "argmax",
+        "correct",
+    ]);
+    let mut correct = 0;
+    for (ci, class) in ObjectClass::ALL.iter().enumerate() {
+        let app = build_neovision(&p);
+        let readout = app.readout();
+        let mut scene = Scene::new(p.width, p.height, 5, 777);
+        // Keep only one object of the probed class, parked mid-aperture
+        // with slow motion.
+        scene.objects.retain(|o| o.class == *class);
+        scene.objects.truncate(1);
+        scene.objects[0].x16 = (p.width as i32 / 2) << 4;
+        scene.objects[0].y16 = (p.height as i32 / 2) << 4;
+        scene.objects[0].vx16 = 4;
+        scene.objects[0].vy16 = 2;
+        let (ox, oy, ow, oh) = scene.objects[0].bbox();
+
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0);
+        let mut sim = TrueNorthSim::new(app.net);
+        sim.run(ticks, &mut src);
+
+        // Sum class scores over the cells the object's box touches.
+        let mut scores = [0usize; CLASSES];
+        for (&(cx, cy), ports) in &readout.class_ports {
+            let (x0, y0) = (cx as i32 * p.cell as i32, cy as i32 * p.cell as i32);
+            let overlaps = x0 < ox + ow as i32
+                && x0 + p.cell as i32 > ox
+                && y0 < oy + oh as i32
+                && y0 + p.cell as i32 > oy;
+            if overlaps {
+                for (c, &port) in ports.iter().enumerate() {
+                    scores[c] += sim.outputs().port_ticks(port).len();
+                }
+            }
+        }
+        // Diagnostics: pooled feature rates in the object's cells.
+        let mut feats = [0usize; tn_apps::neovision::FEATURES];
+        for (&(cx, cy), ports) in &app.feature_ports {
+            let (x0, y0) = (cx as i32 * p.cell as i32, cy as i32 * p.cell as i32);
+            let overlaps = x0 < ox + ow as i32
+                && x0 + p.cell as i32 > ox
+                && y0 < oy + oh as i32
+                && y0 + p.cell as i32 > oy;
+            if overlaps {
+                for (f, &port) in ports.iter().enumerate() {
+                    feats[f] += sim.outputs().port_ticks(port).len();
+                }
+            }
+        }
+        eprintln!("  {class:?}: features [T2..T6,B,M] = {feats:?}");
+        let best = (0..CLASSES).max_by_key(|&c| scores[c]).unwrap();
+        correct += usize::from(best == ci);
+        let mut row = vec![format!("{class:?}")];
+        row.extend(scores.iter().map(|s| s.to_string()));
+        row.push(format!("{:?}", ObjectClass::ALL[best]));
+        row.push(if best == ci { "YES".into() } else { "no".into() });
+        t.row(row);
+    }
+    t.print();
+    println!("\n{correct}/5 classes identified correctly");
+}

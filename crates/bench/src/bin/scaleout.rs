@@ -1,0 +1,69 @@
+//! Regenerates paper §VII: multi-chip boards, backplanes, and rack
+//! projections, including the rat-scale (6,400×) and 1%-human-scale
+//! (128,000×) energy-to-solution comparisons.
+
+use tn_bench::table::fmt_sig;
+use tn_bench::Table;
+use tn_hostmodel::scale::{
+    HistoricalSim, SystemProjection, BOARD_ARRAY_W, BOARD_MEASURED_W, BOARD_SUPPORT_W,
+    HUMAN_SCALE_BGP, RAT_SCALE_BGL,
+};
+
+fn main() {
+    println!("== §VII: TrueNorth system projections ==");
+    let mut t = Table::new(&[
+        "system",
+        "chips",
+        "neurons",
+        "synapses",
+        "power_W",
+        "J_per_bio_s",
+    ]);
+    for (name, sys) in [
+        ("4x4 board", SystemProjection::board()),
+        ("quarter-rack backplane", SystemProjection::backplane()),
+        ("full rack", SystemProjection::rack()),
+    ] {
+        t.row(vec![
+            name.into(),
+            sys.chips.to_string(),
+            fmt_sig(sys.neurons() as f64),
+            fmt_sig(sys.synapses() as f64),
+            fmt_sig(sys.power_w),
+            fmt_sig(sys.energy_per_bio_second_j()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nmeasured 16-chip board: {BOARD_MEASURED_W} W total \
+         ({BOARD_ARRAY_W} W TrueNorth array @1.0 V + {BOARD_SUPPORT_W} W support logic) \
+         — paper §VII-C."
+    );
+
+    println!("\n== Energy-to-solution vs historical Blue Gene simulations ==");
+    let mut t = Table::new(&[
+        "simulation",
+        "racks",
+        "slowdown",
+        "J_per_bio_s",
+        "TrueNorth system",
+        "x_energy_reduction",
+        "paper",
+    ]);
+    let rows: [(&HistoricalSim, SystemProjection, &str); 2] = [
+        (&RAT_SCALE_BGL, SystemProjection::backplane(), "6,400x"),
+        (&HUMAN_SCALE_BGP, SystemProjection::rack(), "128,000x"),
+    ];
+    for (hist, tn, paper) in rows {
+        t.row(vec![
+            hist.name.into(),
+            hist.racks.to_string(),
+            fmt_sig(hist.slowdown),
+            fmt_sig(hist.energy_per_bio_second_j()),
+            format!("{} chips @ {} W", tn.chips, tn.power_w),
+            fmt_sig(hist.energy_ratio_vs(&tn)),
+            paper.into(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,27 @@
+//! # tn-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! §4 for the full index):
+//!
+//! | binary        | regenerates |
+//! |---------------|-------------|
+//! | `fig5`        | Fig. 5(a)–(f): the 88-network characterization contours |
+//! | `fig6`        | Fig. 6(a)–(d): speedup / energy vs Compass on BG/Q & x86 |
+//! | `fig7`        | Fig. 7(a),(b): the five vision applications comparison |
+//! | `fig8`        | Fig. 8: BG/Q strong scaling for NeoVision |
+//! | `headline`    | the §I/§VI headline operating points (46/81/400 GSOPS/W, 65 mW) |
+//! | `apps_table`  | §IV-B application statistics + NeoVision precision/recall |
+//! | `scaleout`    | §VII board/backplane/rack projections |
+//! | `equivalence` | §VI-A 1:1 spike-for-spike regressions |
+//! | `ablation`    | DESIGN.md §7 design-choice ablations |
+//!
+//! This library holds the shared sweep/characterization machinery and
+//! plain-text table rendering (benchmarks print the same rows/series the
+//! paper plots; we claim shape fidelity, not absolute-number fidelity).
+
+pub mod apps_harness;
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{analytic_point, characterize_at_voltage, run_recurrent_net, NetResult};
+pub use table::Table;

@@ -1,0 +1,212 @@
+//! Characterization sweep machinery shared by the figure binaries.
+
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::timing::{uniform_core_load, CoreLoad};
+use tn_chip::{EnergyModel, TimingModel, TrueNorthSim};
+use tn_core::network::NullSource;
+use tn_core::{TickStats, TICK_SECONDS};
+
+/// Measured aggregate of one characterization network run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetResult {
+    pub params: RecurrentParams,
+    pub ticks: u64,
+    pub totals: TickStats,
+    pub total_hops: u64,
+    pub boundary_crossings: u64,
+    pub worst_core: CoreLoad,
+    pub worst_link: u64,
+    pub worst_boundary: u64,
+    pub chips: usize,
+    pub neurons: u64,
+    pub host_seconds: f64,
+}
+
+/// The Fig. 5-style characterization of one operating point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CharPoint {
+    pub rate_hz: f64,
+    pub synapses: f64,
+    pub gsops: f64,
+    pub power_rt_w: f64,
+    pub energy_per_tick_uj: f64,
+    pub gsops_per_watt_rt: f64,
+    pub gsops_per_watt_max: f64,
+    pub fmax_khz: f64,
+}
+
+/// Simulate one recurrent network on the chip simulator and collect its
+/// aggregate event/load statistics.
+pub fn run_recurrent_net(p: &RecurrentParams, warmup: u64, ticks: u64) -> NetResult {
+    let net = build_recurrent(p);
+    let neurons = net.num_neurons() as u64;
+    let chips = net.num_chips();
+    let mut sim = TrueNorthSim::new(net);
+    sim.run(warmup, &mut NullSource);
+    let before = *sim.stats();
+    sim.run(ticks, &mut NullSource);
+    let after = *sim.stats();
+    let mut totals = after.totals;
+    // Subtract the warmup phase so measurements reflect steady state.
+    totals.axon_events -= before.totals.axon_events;
+    totals.sops -= before.totals.sops;
+    totals.neuron_updates -= before.totals.neuron_updates;
+    totals.spikes_out -= before.totals.spikes_out;
+    NetResult {
+        params: *p,
+        ticks,
+        totals,
+        total_hops: after.total_hops - before.total_hops,
+        boundary_crossings: after.boundary_crossings - before.boundary_crossings,
+        worst_core: sim.worst_core_load(),
+        worst_link: sim.worst_noc_loads().0,
+        worst_boundary: sim.worst_noc_loads().1,
+        chips,
+        neurons,
+        host_seconds: after.wall_seconds,
+    }
+}
+
+/// Characterize a measured aggregate at a supply voltage (pure function —
+/// lets the voltage sweeps of Fig. 5(c),(f) reuse one 0.75 V simulation).
+pub fn characterize_at_voltage(r: &NetResult, volts: f64) -> CharPoint {
+    let em = EnergyModel::at_voltage(volts);
+    let tm = TimingModel::at_voltage(volts);
+    let per_tick = |v: u64| v as f64 / r.ticks.max(1) as f64;
+    let stats_per_tick = TickStats {
+        axon_events: per_tick(r.totals.axon_events) as u64,
+        sops: per_tick(r.totals.sops) as u64,
+        neuron_updates: per_tick(r.totals.neuron_updates) as u64,
+        spikes_out: per_tick(r.totals.spikes_out) as u64,
+        prng_draws_end: 0,
+    };
+    let hops_per_tick = per_tick(r.total_hops) as u64;
+    let bnd_per_tick = per_tick(r.boundary_crossings) as u64;
+
+    let e_rt = em.tick_energy(
+        &stats_per_tick,
+        hops_per_tick,
+        bnd_per_tick,
+        r.chips,
+        TICK_SECONDS,
+    );
+    let min_period = tm.tick_period_s(&r.worst_core, r.worst_link, r.worst_boundary);
+    let e_max = em.tick_energy(
+        &stats_per_tick,
+        hops_per_tick,
+        bnd_per_tick,
+        r.chips,
+        min_period,
+    );
+    let sops_per_tick = stats_per_tick.sops as f64;
+    let rate = r.totals.spikes_out as f64 / (r.ticks.max(1) as f64 * TICK_SECONDS)
+        / r.neurons.max(1) as f64;
+    CharPoint {
+        rate_hz: rate,
+        synapses: r.params.synapses as f64,
+        gsops: sops_per_tick / TICK_SECONDS / 1e9,
+        power_rt_w: e_rt.total_j() / TICK_SECONDS,
+        energy_per_tick_uj: e_rt.total_j() * 1e6,
+        gsops_per_watt_rt: if e_rt.total_j() > 0.0 {
+            sops_per_tick / e_rt.total_j() / 1e9
+        } else {
+            0.0
+        },
+        gsops_per_watt_max: if e_max.total_j() > 0.0 {
+            sops_per_tick / e_max.total_j() / 1e9
+        } else {
+            0.0
+        },
+        fmax_khz: 1e-3 / min_period,
+    }
+}
+
+/// Fully analytic characterization of a full-chip operating point (used
+/// by fast binaries that don't need measured event counts). Matches the
+/// simulated numbers to within the stochastic-rate quantization.
+pub fn analytic_point(rate_hz: f64, syn: f64, volts: f64) -> CharPoint {
+    let em = EnergyModel::at_voltage(volts);
+    let tm = TimingModel::at_voltage(volts);
+    let neurons = (1u64 << 20) as f64;
+    let spikes_per_tick = neurons * rate_hz * TICK_SECONDS;
+    let sops_per_tick = spikes_per_tick * syn;
+    // Uniform random targets on a 64×64 grid: mean |Δ| per axis ≈ 64/3.
+    let hops_per_spike = 2.0 * 64.0 / 3.0;
+    let stats = TickStats {
+        axon_events: spikes_per_tick as u64,
+        sops: sops_per_tick as u64,
+        neuron_updates: neurons as u64,
+        spikes_out: spikes_per_tick as u64,
+        prng_draws_end: 0,
+    };
+    let hops = (spikes_per_tick * hops_per_spike) as u64;
+    let e_rt = em.tick_energy(&stats, hops, 0, 1, TICK_SECONDS);
+    let load = uniform_core_load(rate_hz, syn);
+    let min_period = tm.tick_period_s(&load, 0, 0);
+    let e_max = em.tick_energy(&stats, hops, 0, 1, min_period);
+    CharPoint {
+        rate_hz,
+        synapses: syn,
+        gsops: sops_per_tick / TICK_SECONDS / 1e9,
+        power_rt_w: e_rt.total_j() / TICK_SECONDS,
+        energy_per_tick_uj: e_rt.total_j() * 1e6,
+        gsops_per_watt_rt: if e_rt.total_j() > 0.0 {
+            sops_per_tick / e_rt.total_j() / 1e9
+        } else {
+            0.0
+        },
+        gsops_per_watt_max: if e_max.total_j() > 0.0 {
+            sops_per_tick / e_max.total_j() / 1e9
+        } else {
+            0.0
+        },
+        fmax_khz: 1e-3 / min_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_headline_points() {
+        let a = analytic_point(20.0, 128.0, 0.75);
+        assert!((0.05..=0.08).contains(&a.power_rt_w), "{}", a.power_rt_w);
+        assert!((37.0..=55.0).contains(&a.gsops_per_watt_rt));
+        let corner = analytic_point(200.0, 256.0, 0.75);
+        assert!(corner.gsops_per_watt_rt > 350.0);
+        assert!(corner.fmax_khz <= 1.4);
+    }
+
+    #[test]
+    fn measured_sweep_matches_analytic_on_small_net() {
+        // Use a small grid; compare SOPS accounting (energy absolute
+        // values differ because leak is charged per chip).
+        let p = RecurrentParams::small(50.0, 64, 3);
+        let r = run_recurrent_net(&p, 16, 64);
+        let c = characterize_at_voltage(&r, 0.75);
+        let expect_rate = p.quantized_rate_hz();
+        assert!(
+            (c.rate_hz - expect_rate).abs() / expect_rate < 0.1,
+            "rate {} vs {}",
+            c.rate_hz,
+            expect_rate
+        );
+        let expect_sops = r.neurons as f64 * expect_rate * 64.0;
+        let got_sops = c.gsops * 1e9;
+        assert!(
+            (got_sops - expect_sops).abs() / expect_sops < 0.1,
+            "sops {got_sops} vs {expect_sops}"
+        );
+    }
+
+    #[test]
+    fn voltage_recharacterization_is_monotone() {
+        let p = RecurrentParams::small(50.0, 64, 3);
+        let r = run_recurrent_net(&p, 8, 32);
+        let lo = characterize_at_voltage(&r, 0.70);
+        let hi = characterize_at_voltage(&r, 1.05);
+        assert!(lo.gsops_per_watt_rt > hi.gsops_per_watt_rt);
+        assert!(lo.fmax_khz < hi.fmax_khz);
+    }
+}

@@ -1,0 +1,219 @@
+//! Multi-chip boards: the hardware configurations of paper §VII.
+//!
+//! "Like the cortex, TrueNorth processors are designed to tile by
+//! communicating directly with each other without need for additional
+//! peripheral circuitry." This module packages the board-level artifacts
+//! the paper demonstrates — the single-chip network-node board (§VII-A),
+//! the 4×1 array (§VII-B), and the 4×4 array (§VII-C) — as simulator
+//! configurations with board-level power accounting (TrueNorth array +
+//! support logic, anchored to the measured 7.2 W split) and peripheral
+//! spike-I/O budgeting.
+
+use crate::energy::EnergyModel;
+use crate::mesh::LinkAccounting;
+use crate::timing::TimingModel;
+use crate::tnsim::TrueNorthSim;
+use tn_core::{Network, NetworkBuilder, CHIP_CORES_X, CHIP_CORES_Y};
+
+/// A board preset: a tiled chip array plus its support infrastructure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Board {
+    pub name: &'static str,
+    /// Chip grid.
+    pub chips_x: u16,
+    pub chips_y: u16,
+    /// Support-logic power (FPGAs, regulators, network interface), watts.
+    pub support_power_w: f64,
+    /// Peripheral spike bandwidth per board edge link (spikes/tick) — the
+    /// budget for off-board I/O through the merge–split periphery.
+    pub io_spikes_per_tick: u64,
+}
+
+impl Board {
+    /// §VII-A: the single-chip 1 GbE network-node board (one TrueNorth +
+    /// one Zynq FPGA — "we think of TrueNorth as 'cortex' and the Zynq as
+    /// 'thalamus'").
+    pub fn single_chip() -> Self {
+        Board {
+            name: "single-chip network node",
+            chips_x: 1,
+            chips_y: 1,
+            // The Zynq + support of the NS1e-class board dominates: a
+            // few watts against the chip's tens of milliwatts.
+            support_power_w: 3.0,
+            io_spikes_per_tick: 20_000,
+        }
+    }
+
+    /// §VII-B: the 4×1 array board (native asynchronous chip-to-chip
+    /// bus).
+    pub fn array_4x1() -> Self {
+        Board {
+            name: "4x1 array",
+            chips_x: 4,
+            chips_y: 1,
+            support_power_w: 3.5,
+            io_spikes_per_tick: 20_000,
+        }
+    }
+
+    /// §VII-C: the 4×4 array board — 16M neurons, 4B synapses, measured
+    /// 7.2 W total: 2.5 W TrueNorth array @1.0 V + 4.7 W support logic.
+    pub fn array_4x4() -> Self {
+        Board {
+            name: "4x4 array",
+            chips_x: 4,
+            chips_y: 4,
+            support_power_w: 4.7,
+            io_spikes_per_tick: 40_000,
+        }
+    }
+
+    pub fn chips(&self) -> u32 {
+        self.chips_x as u32 * self.chips_y as u32
+    }
+
+    pub fn neurons(&self) -> u64 {
+        self.chips() as u64 * (1 << 20)
+    }
+
+    pub fn synapses(&self) -> u64 {
+        self.chips() as u64 * (1 << 28)
+    }
+
+    /// An empty network spanning this board's full core grid.
+    pub fn blank_network(&self, seed: u64) -> NetworkBuilder {
+        NetworkBuilder::new(
+            self.chips_x * CHIP_CORES_X as u16,
+            self.chips_y * CHIP_CORES_Y as u16,
+            seed,
+        )
+    }
+
+    /// Whether a network fits this board.
+    pub fn fits(&self, net: &Network) -> bool {
+        net.width() as usize <= self.chips_x as usize * CHIP_CORES_X
+            && net.height() as usize <= self.chips_y as usize * CHIP_CORES_Y
+    }
+
+    /// A chip simulator for a network deployed on this board. The
+    /// network's grid must fit the board.
+    pub fn simulator(&self, net: Network, volts: f64) -> TrueNorthSim {
+        assert!(self.fits(&net), "network does not fit {}", self.name);
+        TrueNorthSim::with_models(
+            net,
+            EnergyModel::at_voltage(volts),
+            TimingModel::at_voltage(volts),
+            LinkAccounting::Exact,
+        )
+    }
+
+    /// Total board power given the chip array's power: array + support.
+    pub fn total_power_w(&self, array_power_w: f64) -> f64 {
+        array_power_w + self.support_power_w
+    }
+
+    /// Whether a tick's peripheral I/O (external inputs + outputs +
+    /// off-board crossings) fits the board's link budget.
+    pub fn io_within_budget(&self, io_spikes: u64) -> bool {
+        io_spikes <= self.io_spikes_per_tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_apps_placeholder::*;
+
+    // Minimal local stand-ins (tn-chip cannot depend on tn-apps).
+    mod tn_apps_placeholder {
+        use tn_core::{CoreConfig, CoreId, Dest, NeuronConfig, SpikeTarget};
+
+        pub fn stochastic_cfg(target: CoreId, rate256: u8, seed_ax: usize) -> CoreConfig {
+            let mut cfg = CoreConfig::new();
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(rate256);
+                cfg.neurons[j].weights = [0; 4];
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    target,
+                    ((j + seed_ax) % 256) as u8,
+                    1 + (j % 15) as u8,
+                ));
+            }
+            cfg
+        }
+    }
+
+    #[test]
+    fn board_inventory_matches_paper() {
+        let b = Board::array_4x4();
+        assert_eq!(b.chips(), 16);
+        assert_eq!(b.neurons(), 16 * (1 << 20));
+        assert_eq!(b.synapses(), 4 * (1u64 << 30)); // "4 billion synapses"
+        assert_eq!(Board::array_4x1().chips(), 4);
+        assert_eq!(Board::single_chip().chips(), 1);
+    }
+
+    #[test]
+    fn measured_7_2w_split_reproduced() {
+        // Paper §VII-C: 2.5 W array + 4.7 W support = 7.2 W total.
+        let b = Board::array_4x4();
+        let total = b.total_power_w(2.5);
+        assert!((total - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_fits_check() {
+        let b = Board::array_4x1();
+        let net_ok = NetworkBuilder::new(256, 64, 0).build();
+        let net_too_tall = NetworkBuilder::new(256, 65, 0).build();
+        assert!(b.fits(&net_ok));
+        assert!(!b.fits(&net_too_tall));
+    }
+
+    #[test]
+    fn four_by_one_board_simulates_cross_chip_traffic() {
+        // Two active cores on different chips of a 4×1 board, firing at
+        // each other across the merge–split boundary.
+        let b = Board::array_4x1();
+        let mut nb = b.blank_network(9);
+        let left = nb.set_core(
+            tn_core::CoreCoord::new(10, 10),
+            stochastic_cfg(tn_core::CoreId(0), 40, 1),
+        );
+        // Target coordinates on chip 2 (x = 140).
+        let right_coord = tn_core::CoreCoord::new(140, 10);
+        let right_id = nb.id_of(right_coord);
+        nb.set_core(right_coord, stochastic_cfg(left, 40, 7));
+        // Re-target the left core at the right one.
+        {
+            let cfg = nb.core_config_mut(left);
+            for j in 0..256 {
+                cfg.neurons[j].dest = tn_core::Dest::Axon(tn_core::SpikeTarget::new(
+                    right_id,
+                    (j % 256) as u8,
+                    1,
+                ));
+            }
+        }
+        let mut sim = b.simulator(nb.build(), 1.0);
+        sim.run(50, &mut tn_core::network::NullSource);
+        let st = *sim.stats();
+        assert!(st.totals.spikes_out > 0);
+        assert!(
+            st.boundary_crossings > 0,
+            "cross-chip traffic must traverse merge–split links"
+        );
+        // At 1.0 V the 4 chips' leakage dominates a near-idle array.
+        let power = sim.report().power_realtime_w;
+        assert!(power > 4.0 * 0.030, "4 chips of leakage: {power} W");
+        assert!(b.total_power_w(power) < 8.0);
+    }
+
+    #[test]
+    fn io_budget() {
+        let b = Board::single_chip();
+        assert!(b.io_within_budget(10_000));
+        assert!(!b.io_within_budget(30_000));
+    }
+}

@@ -1,0 +1,196 @@
+//! Tick-timing model: how fast can the chip run?
+//!
+//! TrueNorth runs in real time at a 1 kHz tick, but "faster-than-real-time
+//! (>1kHz) operation is possible when active synapses are few and firing
+//! rates are low; that is, when the TrueNorth computational load is light"
+//! (paper Fig. 5(b)), and the maximum frequency scales with supply voltage
+//! (Fig. 5(c)).
+//!
+//! The critical path of a tick is the busiest core: each core must scan
+//! its 256 time-multiplexed neurons and process every pending axon event
+//! through the crossbar before the next synchronization pulse. The model:
+//!
+//! ```text
+//! T_core = t_fixed + N_neurons·t_nrn + Σ_events (t_row + fanout·t_acc)
+//! T_noc  = max_link_load · t_link  +  max_boundary_load · t_xchip
+//! T_tick = (max_core T_core + T_noc) / speed_scale(V)
+//! fmax   = 1 / T_tick
+//! ```
+//!
+//! Calibrated (see DESIGN.md §5) so that at 0.75 V an idle chip reaches
+//! ≈6 kHz, the (20 Hz, 128 syn) workload ≈5 kHz (the paper's "running this
+//! network ∼5× faster"), and the (200 Hz, 256 syn) corner ≈1 kHz (the
+//! real-time envelope).
+
+use crate::voltage::VoltageParams;
+
+/// Per-core and per-link service times at the nominal voltage, in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingModel {
+    /// Fixed per-tick overhead of a core (sync, state walk setup).
+    pub t_fixed: f64,
+    /// Time per neuron evaluation slot.
+    pub t_neuron: f64,
+    /// Time to service one incoming event's crossbar row read.
+    pub t_row: f64,
+    /// Time per synaptic accumulate within a row.
+    pub t_acc: f64,
+    /// Serialization time per packet on one mesh link.
+    pub t_link: f64,
+    /// Serialization time per packet through a merge–split boundary link.
+    pub t_xchip: f64,
+    /// Operating voltage.
+    pub voltage: VoltageParams,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            t_fixed: 20e-6,
+            t_neuron: 0.55e-6,
+            t_row: 2.0e-6,
+            t_acc: 0.05e-6,
+            t_link: 10e-9,
+            t_xchip: 60e-9,
+            voltage: VoltageParams::default(),
+        }
+    }
+}
+
+/// Load description of the critical (busiest) core for one tick.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CoreLoad {
+    /// Events delivered to the core this tick.
+    pub events: u64,
+    /// Synaptic operations performed by the core this tick.
+    pub sops: u64,
+    /// Neurons scanned (256 for an enabled core).
+    pub neurons: u64,
+}
+
+impl TimingModel {
+    pub fn at_voltage(v: f64) -> Self {
+        TimingModel {
+            voltage: VoltageParams::new(v),
+            ..Default::default()
+        }
+    }
+
+    /// Service time of one core under `load`, before voltage scaling.
+    pub fn core_time_s(&self, load: &CoreLoad) -> f64 {
+        self.t_fixed
+            + load.neurons as f64 * self.t_neuron
+            + load.events as f64 * self.t_row
+            + load.sops as f64 * self.t_acc
+    }
+
+    /// Minimum tick period given the busiest core's load and the busiest
+    /// link/boundary occupancies (packets per tick).
+    pub fn tick_period_s(
+        &self,
+        max_core: &CoreLoad,
+        max_link_load: u64,
+        max_boundary_load: u64,
+    ) -> f64 {
+        let t = self.core_time_s(max_core)
+            + max_link_load as f64 * self.t_link
+            + max_boundary_load as f64 * self.t_xchip;
+        t / self.voltage.speed_scale()
+    }
+
+    /// Maximum tick frequency in kHz.
+    pub fn fmax_khz(
+        &self,
+        max_core: &CoreLoad,
+        max_link_load: u64,
+        max_boundary_load: u64,
+    ) -> f64 {
+        1e-3 / self.tick_period_s(max_core, max_link_load, max_boundary_load)
+    }
+
+    /// Whether the chip can sustain real-time (1 kHz) operation under this
+    /// load.
+    pub fn realtime_capable(
+        &self,
+        max_core: &CoreLoad,
+        max_link_load: u64,
+        max_boundary_load: u64,
+    ) -> bool {
+        self.fmax_khz(max_core, max_link_load, max_boundary_load) >= 1.0
+    }
+}
+
+/// The uniform per-core load of the paper's characterization workloads:
+/// `rate` Hz × `syn` active synapses over a fully populated chip.
+pub fn uniform_core_load(rate_hz: f64, syn: f64) -> CoreLoad {
+    // spikes per core per tick = 256 neurons × rate × 1 ms
+    let events = 256.0 * rate_hz * 1e-3;
+    CoreLoad {
+        events: events.round() as u64,
+        sops: (events * syn).round() as u64,
+        neurons: 256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_chip_runs_several_khz() {
+        let tm = TimingModel::default();
+        let f = tm.fmax_khz(&uniform_core_load(0.0, 0.0), 0, 0);
+        assert!((5.0..=8.0).contains(&f), "idle fmax {f} kHz");
+    }
+
+    #[test]
+    fn characterization_point_runs_about_5x() {
+        // Paper: the (20 Hz, 128 syn) network can run ≈5× real time.
+        let tm = TimingModel::default();
+        let f = tm.fmax_khz(&uniform_core_load(20.0, 128.0), 0, 0);
+        assert!((4.0..=6.0).contains(&f), "fmax {f} kHz should be ≈5");
+    }
+
+    #[test]
+    fn dense_corner_is_real_time_limited() {
+        let tm = TimingModel::default();
+        let f = tm.fmax_khz(&uniform_core_load(200.0, 256.0), 0, 0);
+        assert!((0.8..=1.4).contains(&f), "corner fmax {f} kHz should be ≈1");
+        assert!(tm.realtime_capable(&uniform_core_load(20.0, 128.0), 0, 0));
+    }
+
+    #[test]
+    fn fmax_decreases_with_load() {
+        let tm = TimingModel::default();
+        let mut last = f64::INFINITY;
+        for syn in [0.0, 64.0, 128.0, 192.0, 256.0] {
+            let f = tm.fmax_khz(&uniform_core_load(100.0, syn), 0, 0);
+            assert!(f < last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn fmax_increases_with_voltage() {
+        // Shape of paper Fig. 5(c).
+        let load = uniform_core_load(50.0, 128.0);
+        let mut last = 0.0;
+        for mv in (70..=105).step_by(5) {
+            let tm = TimingModel::at_voltage(mv as f64 / 100.0);
+            let f = tm.fmax_khz(&load, 0, 0);
+            assert!(f > last, "fmax must rise with voltage");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn noc_terms_extend_period() {
+        let tm = TimingModel::default();
+        let load = uniform_core_load(20.0, 128.0);
+        let base = tm.tick_period_s(&load, 0, 0);
+        let congested = tm.tick_period_s(&load, 10_000, 1_000);
+        assert!(congested > base);
+        let expect = base + 10_000.0 * 10e-9 + 1_000.0 * 60e-9;
+        assert!((congested - expect).abs() < 1e-12);
+    }
+}

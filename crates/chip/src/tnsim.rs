@@ -1,0 +1,472 @@
+//! The TrueNorth chip simulator: blueprint execution + NoC routing +
+//! energy and timing accounting.
+//!
+//! [`TrueNorthSim`] executes the identical kernel semantics as the
+//! Compass simulators — same cores, same PRNG streams, same delivery
+//! ticks — and therefore passes the paper's 1:1 spike-for-spike
+//! equivalence regressions against them. On top it models everything the
+//! silicon adds: per-packet mesh routing with defect avoidance, per-link
+//! congestion, merge–split boundary traffic for tiled multi-chip arrays,
+//! a per-tick energy breakdown, and the maximum tick frequency.
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::mesh::{LinkAccounting, Mesh, NocTickLoads};
+use crate::timing::{CoreLoad, TimingModel};
+use std::time::Instant;
+use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats, TICK_SECONDS};
+use tn_compass::SpikeRecord;
+
+/// Characterization report for a run, in the units of paper Fig. 5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChipReport {
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Mean firing rate per neuron (Hz, at the nominal 1 kHz tick).
+    pub mean_rate_hz: f64,
+    /// Mean active synapses traversed per spike.
+    pub syn_per_spike: f64,
+    /// Giga synaptic operations per second at real-time operation.
+    pub gsops_realtime: f64,
+    /// Mean total power at real-time operation (W).
+    pub power_realtime_w: f64,
+    /// Energy per tick at real-time (J).
+    pub energy_per_tick_j: f64,
+    /// Computation per energy at real time (GSOPS/W).
+    pub gsops_per_watt_realtime: f64,
+    /// Computation per energy running at maximum speed (GSOPS/W).
+    pub gsops_per_watt_max_speed: f64,
+    /// Maximum sustainable tick frequency (kHz).
+    pub fmax_khz: f64,
+    /// Power density over the 4.3 cm² die at real time (W/cm²).
+    pub power_density_w_cm2: f64,
+    /// Wall-clock seconds the host spent simulating.
+    pub host_wall_seconds: f64,
+}
+
+/// Architectural simulator of one or more tiled TrueNorth chips.
+pub struct TrueNorthSim {
+    net: Network,
+    mesh: Mesh,
+    energy_model: EnergyModel,
+    timing_model: TimingModel,
+    tick: u64,
+    stats: RunStats,
+    outputs: SpikeRecord,
+    /// Energy accumulated assuming real-time operation.
+    energy_realtime: EnergyBreakdown,
+    /// Sum over ticks of the minimum tick period (for fmax).
+    total_min_period_s: f64,
+    /// Worst (longest) single-tick minimum period seen.
+    worst_min_period_s: f64,
+    /// Worst per-tick core load / link load / boundary load seen (each
+    /// the maximum over ticks; used for analytic re-characterization at
+    /// other voltages).
+    worst_core_load: CoreLoad,
+    worst_link_load: u64,
+    worst_boundary_load: u64,
+    /// Worst single-tick peripheral I/O (injected inputs + emitted
+    /// outputs + chip-boundary crossings) — checked against a board's
+    /// merge–split link budget.
+    worst_io_load: u64,
+    /// Energy accumulated assuming max-speed operation.
+    energy_max_speed: EnergyBreakdown,
+    spike_buf: Vec<OutSpike>,
+    input_buf: Vec<(tn_core::CoreId, u8)>,
+    wall_seconds: f64,
+}
+
+impl TrueNorthSim {
+    pub fn new(net: Network) -> Self {
+        Self::with_models(
+            net,
+            EnergyModel::default(),
+            TimingModel::default(),
+            LinkAccounting::Exact,
+        )
+    }
+
+    /// Simulator at a non-nominal supply voltage.
+    pub fn at_voltage(net: Network, volts: f64) -> Self {
+        Self::with_models(
+            net,
+            EnergyModel::at_voltage(volts),
+            TimingModel::at_voltage(volts),
+            LinkAccounting::Exact,
+        )
+    }
+
+    pub fn with_models(
+        net: Network,
+        energy_model: EnergyModel,
+        timing_model: TimingModel,
+        accounting: LinkAccounting,
+    ) -> Self {
+        let mesh = Mesh::with_accounting(net.width(), net.height(), accounting);
+        TrueNorthSim {
+            mesh,
+            energy_model,
+            timing_model,
+            tick: 0,
+            stats: RunStats::default(),
+            outputs: SpikeRecord::new(),
+            energy_realtime: EnergyBreakdown::default(),
+            total_min_period_s: 0.0,
+            worst_min_period_s: 0.0,
+            worst_core_load: CoreLoad::default(),
+            worst_link_load: 0,
+            worst_boundary_load: 0,
+            worst_io_load: 0,
+            energy_max_speed: EnergyBreakdown::default(),
+            spike_buf: Vec::new(),
+            input_buf: Vec::new(),
+            wall_seconds: 0.0,
+            net,
+        }
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    pub fn mesh(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
+    pub fn outputs(&mut self) -> &mut SpikeRecord {
+        &mut self.outputs
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Mark a core defective: its computation is disabled and the mesh
+    /// routes packets around it.
+    pub fn inject_defect(&mut self, coord: tn_core::CoreCoord) {
+        let id = self.net.id_of(coord);
+        self.net.core_mut(id).set_disabled(true);
+        self.mesh.defects.disable(coord);
+    }
+
+    /// Advance one tick. Returns the tick's event stats and NoC loads.
+    pub fn step(&mut self, src: &mut dyn SpikeSource) -> (TickStats, NocTickLoads) {
+        let t = self.tick;
+        let wall = Instant::now();
+
+        self.input_buf.clear();
+        src.fill(t, &mut self.input_buf);
+        let inputs_this_tick = self.input_buf.len() as u64;
+        for &(core, axon) in &self.input_buf {
+            self.net.core_mut(core).deliver(t + 1, axon);
+        }
+
+        self.mesh.begin_tick();
+        let mut tick_stats = TickStats::default();
+        let mut max_core = CoreLoad::default();
+        self.spike_buf.clear();
+        for idx in 0..self.net.num_cores() {
+            let before = tick_stats;
+            self.net.cores_mut()[idx].tick(t, &mut self.spike_buf, &mut tick_stats);
+            let load = CoreLoad {
+                events: tick_stats.axon_events - before.axon_events,
+                sops: tick_stats.sops - before.sops,
+                neurons: tick_stats.neuron_updates - before.neuron_updates,
+            };
+            if self.timing_model.core_time_s(&load)
+                > self.timing_model.core_time_s(&max_core)
+            {
+                max_core = load;
+            }
+        }
+
+        // Network phase: route each spike through the mesh.
+        for i in 0..self.spike_buf.len() {
+            let s = self.spike_buf[i];
+            match s.dest {
+                Dest::Axon(tgt) => {
+                    let src_coord = self.net.coord_of(s.src.core);
+                    let dst_coord = self.net.coord_of(tgt.core);
+                    if self.mesh.route(src_coord, dst_coord).is_some() {
+                        self.net
+                            .core_mut(tgt.core)
+                            .deliver(t + tgt.delay as u64, tgt.axon);
+                    }
+                }
+                Dest::Output(port) => self.outputs.push(t, port),
+                Dest::None => {}
+            }
+        }
+        let loads = self.mesh.finish_tick();
+        let outputs_this_tick = self
+            .spike_buf
+            .iter()
+            .filter(|s| matches!(s.dest, Dest::Output(_)))
+            .count() as u64;
+        self.worst_io_load = self
+            .worst_io_load
+            .max(inputs_this_tick + outputs_this_tick + loads.boundary_crossings);
+
+        // Timing: the minimum period this tick could have run at.
+        let min_period = self.timing_model.tick_period_s(
+            &max_core,
+            loads.max_link_load,
+            loads.max_boundary_load,
+        );
+        self.total_min_period_s += min_period;
+        self.worst_min_period_s = self.worst_min_period_s.max(min_period);
+        if self.timing_model.core_time_s(&max_core)
+            > self.timing_model.core_time_s(&self.worst_core_load)
+        {
+            self.worst_core_load = max_core;
+        }
+        self.worst_link_load = self.worst_link_load.max(loads.max_link_load);
+        self.worst_boundary_load = self.worst_boundary_load.max(loads.max_boundary_load);
+
+        // Energy under both operating regimes.
+        let chips = self.net.num_chips();
+        let e_rt = self.energy_model.tick_energy(
+            &tick_stats,
+            loads.total_hops,
+            loads.boundary_crossings,
+            chips,
+            TICK_SECONDS,
+        );
+        self.energy_realtime.add(&e_rt);
+        let e_max = self.energy_model.tick_energy(
+            &tick_stats,
+            loads.total_hops,
+            loads.boundary_crossings,
+            chips,
+            min_period,
+        );
+        self.energy_max_speed.add(&e_max);
+
+        self.stats.ticks += 1;
+        self.stats.totals += tick_stats;
+        self.stats.total_hops += loads.total_hops;
+        self.stats.boundary_crossings += loads.boundary_crossings;
+        self.tick += 1;
+        self.wall_seconds += wall.elapsed().as_secs_f64();
+        (tick_stats, loads)
+    }
+
+    pub fn run(&mut self, ticks: u64, src: &mut dyn SpikeSource) -> RunStats {
+        for _ in 0..ticks {
+            self.step(src);
+        }
+        self.stats.wall_seconds = self.wall_seconds;
+        self.stats
+    }
+
+    /// Total energy so far assuming real-time (1 kHz) operation.
+    pub fn energy_realtime(&self) -> &EnergyBreakdown {
+        &self.energy_realtime
+    }
+
+    /// Total energy so far assuming the chip runs each tick at its
+    /// maximum sustainable speed (leakage amortized).
+    pub fn energy_max_speed(&self) -> &EnergyBreakdown {
+        &self.energy_max_speed
+    }
+
+    /// Worst single-tick core load observed (for analytic voltage
+    /// re-characterization).
+    pub fn worst_core_load(&self) -> CoreLoad {
+        self.worst_core_load
+    }
+
+    /// Worst single-link and single-boundary occupancies observed.
+    pub fn worst_noc_loads(&self) -> (u64, u64) {
+        (self.worst_link_load, self.worst_boundary_load)
+    }
+
+    /// Worst single-tick peripheral I/O (inputs + outputs + boundary
+    /// crossings); compare against [`crate::Board::io_within_budget`].
+    pub fn worst_io_load(&self) -> u64 {
+        self.worst_io_load
+    }
+
+    /// Maximum sustainable tick frequency over the run so far (kHz) —
+    /// limited by the worst tick (the chip must not miss its
+    /// synchronization deadline on any tick).
+    pub fn fmax_khz(&self) -> f64 {
+        if self.worst_min_period_s == 0.0 {
+            return f64::INFINITY;
+        }
+        1e-3 / self.worst_min_period_s
+    }
+
+    /// Build the characterization report (paper Fig. 5 quantities).
+    pub fn report(&self) -> ChipReport {
+        let ticks = self.stats.ticks;
+        if ticks == 0 {
+            return ChipReport::default();
+        }
+        let neurons = self.net.num_neurons() as u64;
+        let sops_per_s_rt = self.stats.sops_per_second_realtime();
+        let e_rt_total = self.energy_realtime.total_j();
+        let seconds_rt = ticks as f64 * TICK_SECONDS;
+        let power_rt = e_rt_total / seconds_rt;
+        let e_max_total = self.energy_max_speed.total_j();
+        let spikes = self.stats.totals.spikes_out;
+        // Die area: 4.3 cm² per chip (paper Section III-C).
+        let die_cm2 = 4.3 * self.net.num_chips() as f64;
+        ChipReport {
+            ticks,
+            mean_rate_hz: self.stats.mean_rate_hz(neurons),
+            syn_per_spike: if spikes == 0 {
+                0.0
+            } else {
+                self.stats.totals.sops as f64 / spikes as f64
+            },
+            gsops_realtime: sops_per_s_rt / 1e9,
+            power_realtime_w: power_rt,
+            energy_per_tick_j: e_rt_total / ticks as f64,
+            gsops_per_watt_realtime: if e_rt_total > 0.0 {
+                (self.stats.totals.sops as f64 / e_rt_total) / 1e9
+            } else {
+                0.0
+            },
+            gsops_per_watt_max_speed: if e_max_total > 0.0 {
+                (self.stats.totals.sops as f64 / e_max_total) / 1e9
+            } else {
+                0.0
+            },
+            fmax_khz: self.fmax_khz(),
+            power_density_w_cm2: power_rt / die_cm2,
+            host_wall_seconds: self.wall_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::{
+        CoreConfig, CoreCoord, CoreId, Crossbar, NetworkBuilder, NeuronConfig,
+        ScheduledSource, SpikeTarget,
+    };
+    use tn_compass::ReferenceSim;
+
+    fn stochastic_net(w: u16, h: u16, seed: u64, rate256: u8) -> Network {
+        let mut b = NetworkBuilder::new(w, h, seed);
+        let num = (w as u32 * h as u32) as usize;
+        for c in 0..num {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17 + c) % 9 == 0);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(rate256);
+                cfg.neurons[j].weights = [0; 4];
+                let tgt = ((c * 13 + j * 5) % num) as u32;
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(tgt),
+                    ((j * 7 + c) % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+            b.add_core(cfg);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chip_matches_reference_spike_for_spike() {
+        // The 1:1 equivalence property (paper Section VI-A) on a small
+        // stochastic recurrent network.
+        let mut reference = ReferenceSim::new(stochastic_net(4, 4, 11, 30));
+        reference.run(60, &mut tn_core::network::NullSource);
+        let mut chip = TrueNorthSim::new(stochastic_net(4, 4, 11, 30));
+        chip.run(60, &mut tn_core::network::NullSource);
+        assert_eq!(
+            chip.network().state_digest(),
+            reference.network().state_digest()
+        );
+        assert_eq!(
+            chip.stats().totals.spikes_out,
+            reference.stats().totals.spikes_out
+        );
+    }
+
+    #[test]
+    fn energy_accumulates_and_splits() {
+        let mut chip = TrueNorthSim::new(stochastic_net(4, 4, 3, 40));
+        chip.run(30, &mut tn_core::network::NullSource);
+        let e = chip.energy_realtime();
+        assert!(e.leak_j > 0.0);
+        assert!(e.neuron_j > 0.0);
+        assert!(e.row_j > 0.0, "spikes were delivered");
+        assert!(e.hop_j > 0.0, "packets traversed the mesh");
+        assert!(e.total_j() > e.active_j());
+        // Max-speed operation must spend less leak energy for the same
+        // work (this net is light, so fmax > 1 kHz).
+        let em = chip.energy_max_speed();
+        assert!(em.leak_j < e.leak_j);
+        assert_eq!(em.sop_j, e.sop_j);
+    }
+
+    #[test]
+    fn fmax_reflects_load() {
+        let mut light = TrueNorthSim::new(stochastic_net(4, 4, 3, 5));
+        light.run(20, &mut tn_core::network::NullSource);
+        let mut heavy = TrueNorthSim::new(stochastic_net(4, 4, 3, 120));
+        heavy.run(20, &mut tn_core::network::NullSource);
+        assert!(light.fmax_khz() > heavy.fmax_khz());
+        assert!(light.fmax_khz() > 1.0, "light load is faster than real time");
+    }
+
+    #[test]
+    fn defective_core_dropped_and_routed_around() {
+        let mut chip = TrueNorthSim::new(stochastic_net(4, 4, 7, 50));
+        chip.inject_defect(CoreCoord::new(1, 1));
+        let st = chip.run(30, &mut tn_core::network::NullSource);
+        assert!(st.totals.spikes_out > 0, "rest of the chip keeps working");
+        // The disabled core never fires.
+        let dead = chip.network().id_of(CoreCoord::new(1, 1));
+        assert_eq!(chip.network().core(dead).pending_events(), 0);
+    }
+
+    #[test]
+    fn report_units_are_consistent() {
+        let mut chip = TrueNorthSim::new(stochastic_net(4, 4, 9, 51));
+        chip.run(50, &mut tn_core::network::NullSource);
+        let r = chip.report();
+        assert_eq!(r.ticks, 50);
+        // rate256 = 51 → ≈ 51/256 kHz ≈ 199 Hz mean rate.
+        assert!((r.mean_rate_hz - 199.0).abs() < 30.0, "{}", r.mean_rate_hz);
+        assert!(r.power_realtime_w > 0.0);
+        assert!(r.gsops_per_watt_realtime > 0.0);
+        // GSOPS identity: gsops = power × gsops/W.
+        let lhs = r.gsops_realtime;
+        let rhs = r.power_realtime_w * r.gsops_per_watt_realtime;
+        assert!((lhs - rhs).abs() / lhs < 1e-9);
+    }
+
+    #[test]
+    fn external_input_equivalence_with_reference() {
+        let mk_src = || {
+            let mut s = ScheduledSource::new();
+            for t in 0..15 {
+                s.push(t, CoreId((t % 4) as u32), (t * 31 % 256) as u8);
+            }
+            s
+        };
+        let mut a = ReferenceSim::new(stochastic_net(2, 2, 21, 25));
+        a.run(20, &mut mk_src());
+        let mut b = TrueNorthSim::new(stochastic_net(2, 2, 21, 25));
+        b.run(20, &mut mk_src());
+        assert_eq!(a.network().state_digest(), b.network().state_digest());
+        assert_eq!(a.outputs().digest(), b.outputs().digest());
+    }
+}

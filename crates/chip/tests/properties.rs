@@ -1,0 +1,132 @@
+//! Property-based tests of the NoC, energy, and timing models.
+
+use proptest::prelude::*;
+use tn_chip::mesh::{DefectMap, Mesh};
+use tn_chip::router::route_path;
+use tn_chip::timing::{CoreLoad, TimingModel};
+use tn_chip::{EnergyModel, VoltageParams};
+use tn_core::{CoreCoord, TickStats};
+
+proptest! {
+    /// Routes are at least Manhattan distance, detours are even and only
+    /// appear when defects exist, and boundary counts match chip math.
+    #[test]
+    fn route_invariants(
+        sx in 0u16..64, sy in 0u16..64,
+        dx in 0u16..64, dy in 0u16..64,
+        defects in prop::collection::vec((0u16..64, 0u16..64), 0..20),
+    ) {
+        let src = CoreCoord::new(sx, sy);
+        let dst = CoreCoord::new(dx, dy);
+        let mut map = DefectMap::new(64, 64);
+        for &(x, y) in &defects {
+            if (x, y) != (dx, dy) {
+                map.disable(CoreCoord::new(x, y));
+            }
+        }
+        let r = route_path(src, dst, &map).expect("destination is healthy");
+        let manhattan = src.hops_to(dst);
+        prop_assert!(r.hops >= manhattan);
+        prop_assert_eq!((r.hops - manhattan) % 2, 0, "detours cost 2 hops each");
+        prop_assert_eq!(r.hops, manhattan + 2 * r.detours);
+        prop_assert_eq!(r.boundary_crossings, 0, "single chip has no boundaries");
+    }
+
+    /// Multi-chip boundary crossings equal per-axis chip distance.
+    #[test]
+    fn boundary_crossings_match_chip_distance(
+        sx in 0u16..256, sy in 0u16..128,
+        dx in 0u16..256, dy in 0u16..128,
+    ) {
+        let map = DefectMap::new(256, 128);
+        let src = CoreCoord::new(sx, sy);
+        let dst = CoreCoord::new(dx, dy);
+        let r = route_path(src, dst, &map).unwrap();
+        let expect = (sx / 64).abs_diff(dx / 64) + (sy / 64).abs_diff(dy / 64);
+        prop_assert_eq!(r.boundary_crossings, expect as u32);
+    }
+
+    /// Mesh link accounting: total link occupancy equals total hops, and
+    /// the max link is bounded by the packet count.
+    #[test]
+    fn mesh_load_conservation(
+        routes in prop::collection::vec((0u16..32, 0u16..32, 0u16..32, 0u16..32), 1..80)
+    ) {
+        let mut mesh = Mesh::new(32, 32);
+        mesh.begin_tick();
+        let mut expect_hops = 0u64;
+        for &(a, b, c, d) in &routes {
+            let src = CoreCoord::new(a, b);
+            let dst = CoreCoord::new(c, d);
+            expect_hops += mesh.route(src, dst).unwrap() as u64;
+        }
+        let loads = mesh.finish_tick();
+        prop_assert_eq!(loads.total_hops, expect_hops);
+        prop_assert!(loads.max_link_load <= routes.len() as u64);
+        if expect_hops > 0 {
+            prop_assert!(loads.max_link_load >= 1);
+        }
+    }
+
+    /// Energy is monotone in every event-count argument and voltage.
+    #[test]
+    fn energy_monotonicity(
+        events in 0u64..1_000_000,
+        sops in 0u64..10_000_000,
+        spikes in 0u64..500_000,
+        hops in 0u64..10_000_000,
+    ) {
+        let m = EnergyModel::default();
+        let stats = TickStats {
+            axon_events: events,
+            sops,
+            neuron_updates: 1 << 20,
+            spikes_out: spikes,
+            prng_draws_end: 0,
+        };
+        let base = m.tick_energy(&stats, hops, 0, 1, 1e-3).total_j();
+        let mut more = stats;
+        more.sops += 1000;
+        prop_assert!(m.tick_energy(&more, hops, 0, 1, 1e-3).total_j() > base);
+        prop_assert!(m.tick_energy(&stats, hops + 1000, 0, 1, 1e-3).total_j() > base);
+        prop_assert!(m.tick_energy(&stats, hops, 1000, 1, 1e-3).total_j() > base);
+        // Higher voltage costs more for the same tick.
+        let hv = EnergyModel::at_voltage(0.95);
+        prop_assert!(hv.tick_energy(&stats, hops, 0, 1, 1e-3).total_j() > base);
+    }
+
+    /// Tick period is monotone in load and inversely monotone in voltage.
+    #[test]
+    fn timing_monotonicity(
+        events in 0u64..200,
+        sops in 0u64..20_000,
+        link in 0u64..10_000,
+    ) {
+        let tm = TimingModel::default();
+        let load = CoreLoad { events, sops, neurons: 256 };
+        let t = tm.tick_period_s(&load, link, 0);
+        let mut heavier = load;
+        heavier.events += 10;
+        prop_assert!(tm.tick_period_s(&heavier, link, 0) > t);
+        prop_assert!(tm.tick_period_s(&load, link + 100, 0) > t);
+        let fast = TimingModel::at_voltage(1.05);
+        prop_assert!(fast.tick_period_s(&load, link, 0) < t);
+    }
+
+    /// Voltage scale factors are continuous-ish and ordered.
+    #[test]
+    fn voltage_scaling_sane(mv in 700u32..=1050) {
+        let v = VoltageParams::new(mv as f64 / 1000.0);
+        prop_assert!(v.dynamic_energy_scale() > 0.0);
+        prop_assert!(v.leakage_power_scale() > 0.0);
+        prop_assert!(v.speed_scale() > 0.0);
+        // Leakage grows faster than dynamic with voltage (cubic vs
+        // square) above nominal, slower below.
+        let nominal = 0.75;
+        if (mv as f64 / 1000.0) > nominal {
+            prop_assert!(v.leakage_power_scale() >= v.dynamic_energy_scale());
+        } else {
+            prop_assert!(v.leakage_power_scale() <= v.dynamic_energy_scale() + 1e-12);
+        }
+    }
+}

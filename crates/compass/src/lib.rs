@@ -1,0 +1,32 @@
+//! # tn-compass — the software expression of the neurosynaptic kernel
+//!
+//! Compass is "a highly-optimized function-level simulator for large-scale
+//! networks of spiking neurons organized as neurosynaptic cores" (paper
+//! Section III-B). This crate is its Rust counterpart, executing the exact
+//! blueprint semantics of [`tn_core`]:
+//!
+//! * [`reference::ReferenceSim`] — a single-threaded, obviously-correct
+//!   simulator used as the ground truth of the 1:1 equivalence
+//!   regressions, and
+//! * [`parallel::ParallelSim`] — the multithreaded simulator mirroring the
+//!   Compass design: cores partitioned across threads with load balancing,
+//!   the semi-synchronous Synapse → Neuron → Network phase loop, pairwise
+//!   spike aggregation between thread pairs, and a two-step barrier
+//!   synchronization per tick.
+//!
+//! Both simulators produce bit-identical network state for identical
+//! (configuration, seed, input) triples — the property paper Section VI-A
+//! verifies between Compass and the TrueNorth silicon with 413,333
+//! regressions.
+
+pub mod output;
+pub mod parallel;
+pub mod partition;
+pub mod reference;
+pub mod trace;
+
+pub use output::{OutputEvent, SpikeRecord};
+pub use parallel::{AggregationMode, ParallelSim};
+pub use partition::weighted_split_points;
+pub use reference::ReferenceSim;
+pub use trace::SpikeTrace;

@@ -1,0 +1,144 @@
+//! Recording of network output spikes.
+//!
+//! Neurons whose destination is [`tn_core::Dest::Output`] feed application
+//! readout (on the physical system these leave the chip through the
+//! periphery). Simulators record them as `(tick, port)` events; the record
+//! is canonically ordered so that different execution schedules (reference,
+//! parallel with any thread count, chip) produce comparable transcripts.
+
+/// One output spike.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OutputEvent {
+    pub tick: u64,
+    pub port: u32,
+}
+
+/// Accumulated, canonically ordered output transcript.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct SpikeRecord {
+    events: Vec<OutputEvent>,
+    sorted: bool,
+}
+
+impl SpikeRecord {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, tick: u64, port: u32) {
+        self.events.push(OutputEvent { tick, port });
+        self.sorted = false;
+    }
+
+    pub fn extend(&mut self, it: impl IntoIterator<Item = OutputEvent>) {
+        self.events.extend(it);
+        self.sorted = false;
+    }
+
+    /// Canonically ordered events (by tick, then port).
+    pub fn events(&mut self) -> &[OutputEvent] {
+        if !self.sorted {
+            self.events.sort_unstable();
+            self.sorted = true;
+        }
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events emitted on `port`, in tick order.
+    pub fn port_ticks(&mut self, port: u32) -> Vec<u64> {
+        self.events();
+        self.events
+            .iter()
+            .filter(|e| e.port == port)
+            .map(|e| e.tick)
+            .collect()
+    }
+
+    /// Spike count per port over a tick window, as a dense histogram of
+    /// size `ports` — the rate-decoding primitive used by the vision
+    /// applications.
+    pub fn window_counts(&mut self, ports: u32, t0: u64, t1: u64) -> Vec<u32> {
+        let mut counts = vec![0u32; ports as usize];
+        for e in self.events() {
+            if e.tick >= t0 && e.tick < t1 && e.port < ports {
+                counts[e.port as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Order-insensitive digest for equivalence regressions.
+    pub fn digest(&mut self) -> u64 {
+        let mut h: u64 = 0x84222325_cbf29ce4;
+        for e in self.events() {
+            h ^= (e.tick << 32) ^ e.port as u64;
+            h = h.rotate_left(17).wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ self.events.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ordering() {
+        let mut r = SpikeRecord::new();
+        r.push(5, 1);
+        r.push(2, 9);
+        r.push(2, 3);
+        let ev = r.events();
+        assert_eq!(
+            ev,
+            &[
+                OutputEvent { tick: 2, port: 3 },
+                OutputEvent { tick: 2, port: 9 },
+                OutputEvent { tick: 5, port: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_is_order_insensitive() {
+        let mut a = SpikeRecord::new();
+        a.push(1, 1);
+        a.push(2, 2);
+        let mut b = SpikeRecord::new();
+        b.push(2, 2);
+        b.push(1, 1);
+        assert_eq!(a.digest(), b.digest());
+        b.push(3, 3);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn window_counts() {
+        let mut r = SpikeRecord::new();
+        for t in 0..10 {
+            r.push(t, (t % 3) as u32);
+        }
+        let c = r.window_counts(3, 0, 10);
+        assert_eq!(c, vec![4, 3, 3]);
+        let c = r.window_counts(3, 5, 6);
+        assert_eq!(c.iter().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn port_ticks_filters() {
+        let mut r = SpikeRecord::new();
+        r.push(4, 7);
+        r.push(1, 7);
+        r.push(2, 8);
+        assert_eq!(r.port_ticks(7), vec![1, 4]);
+        assert_eq!(r.port_ticks(9), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,414 @@
+//! Multithreaded Compass simulator.
+//!
+//! Mirrors the design of the Compass simulator (paper Section III-B):
+//!
+//! * **Parallelism across threads** — cores are partitioned into
+//!   contiguous, load-balanced ranges ([`crate::partition`]), one per
+//!   worker thread; each thread owns its cores' state exclusively.
+//! * **Semi-synchronous phase loop** — every tick runs Synapse + Neuron
+//!   phases on the owned cores, then a Network phase exchanging spikes,
+//!   separated by barriers to keep the simulation deterministic.
+//! * **Message aggregation** — outgoing spikes are buffered per
+//!   (source-thread, destination-thread) pair and handed over in bulk,
+//!   the shared-memory analogue of Compass aggregating spikes between
+//!   pairs of MPI processes into a single message. The
+//!   [`AggregationMode::GlobalQueue`] mode disables this (one shared
+//!   queue, one lock acquisition per spike) and exists purely as the
+//!   ablation baseline for the paper's aggregation claim.
+//!
+//! Determinism: spike delivery is an idempotent, commutative bit-set into
+//! per-tick delay-buffer slots, and each core's PRNG/potential updates are
+//! confined to its owner thread, so the final network state is identical
+//! for any thread count — verified against [`crate::ReferenceSim`] in the
+//! equivalence tests.
+
+use crate::output::{OutputEvent, SpikeRecord};
+use crate::partition::{owner_of, weighted_split_points};
+use parking_lot::Mutex;
+use std::sync::Barrier;
+use std::time::Instant;
+use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats};
+
+/// How threads hand spikes to each other.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AggregationMode {
+    /// Pairwise per-thread buffers exchanged in bulk (Compass's scheme).
+    #[default]
+    Pairwise,
+    /// A single global spike queue with per-spike locking — the
+    /// no-aggregation ablation baseline.
+    GlobalQueue,
+}
+
+/// A spike in flight between threads.
+#[derive(Clone, Copy, Debug)]
+struct Packet {
+    core: u32,
+    axon: u8,
+    delay: u8,
+}
+
+/// Multithreaded software expression of the kernel.
+pub struct ParallelSim {
+    net: Network,
+    threads: usize,
+    mode: AggregationMode,
+    tick: u64,
+    stats: RunStats,
+    outputs: SpikeRecord,
+}
+
+impl ParallelSim {
+    /// Create a simulator using `threads` worker threads (clamped to the
+    /// number of cores in the network).
+    pub fn new(net: Network, threads: usize) -> Self {
+        Self::with_mode(net, threads, AggregationMode::Pairwise)
+    }
+
+    pub fn with_mode(net: Network, threads: usize, mode: AggregationMode) -> Self {
+        let threads = threads.clamp(1, net.num_cores());
+        ParallelSim {
+            net,
+            threads,
+            mode,
+            tick: 0,
+            stats: RunStats::default(),
+            outputs: SpikeRecord::new(),
+        }
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    pub fn outputs(&mut self) -> &mut SpikeRecord {
+        &mut self.outputs
+    }
+
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn into_parts(self) -> (Network, SpikeRecord, RunStats) {
+        (self.net, self.outputs, self.stats)
+    }
+
+    /// Run `ticks` steps on the worker pool. Workers are spawned per call;
+    /// for realistic tick counts the spawn cost is negligible relative to
+    /// simulation work.
+    pub fn run(&mut self, ticks: u64, src: &mut (dyn SpikeSource + Send)) -> RunStats {
+        if ticks == 0 {
+            return self.stats;
+        }
+        let n = self.threads;
+        let start_tick = self.tick;
+
+        // Load-balanced contiguous partition by per-core synaptic weight.
+        let weights: Vec<u64> = self
+            .net
+            .cores()
+            .iter()
+            .map(|c| 64 + c.config().crossbar.active_synapses() as u64)
+            .collect();
+        let starts = weighted_split_points(&weights, n);
+        let n = starts.len(); // may have been clamped
+
+        // Split the core array into owned slices.
+        let mut slices = Vec::with_capacity(n);
+        {
+            let mut rest = self.net.cores_mut();
+            let mut consumed = 0usize;
+            for k in 0..n {
+                let end = if k + 1 < n { starts[k + 1] } else { rest.len() + consumed };
+                let (head, tail) = rest.split_at_mut(end - consumed);
+                consumed = end;
+                slices.push(head);
+                rest = tail;
+            }
+        }
+
+        // Mailboxes: mailboxes[src][dst]; src writes its own row during
+        // the compute phase, dst drains its column during the exchange
+        // phase — the two-step communication scheme.
+        let mailboxes: Vec<Vec<Mutex<Vec<Packet>>>> = (0..n)
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let global_queue: Mutex<Vec<Packet>> = Mutex::new(Vec::new());
+        let input_shared: Mutex<Vec<(tn_core::CoreId, u8)>> = Mutex::new(Vec::new());
+        let src_shared: Mutex<&mut (dyn SpikeSource + Send)> = Mutex::new(src);
+        let barrier = Barrier::new(n);
+        let merged: Mutex<(TickStats, Vec<OutputEvent>)> =
+            Mutex::new((TickStats::default(), Vec::new()));
+
+        let mode = self.mode;
+        let starts_ref = &starts;
+        let mailboxes_ref = &mailboxes;
+        let global_ref = &global_queue;
+        let input_ref = &input_shared;
+        let src_ref = &src_shared;
+        let barrier_ref = &barrier;
+        let merged_ref = &merged;
+
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for (k, my_cores) in slices.into_iter().enumerate() {
+                let my_offset = starts_ref[k] as u32;
+                scope.spawn(move || {
+                    let mut local_stats = TickStats::default();
+                    let mut local_out: Vec<OutputEvent> = Vec::new();
+                    let mut spike_buf: Vec<OutSpike> = Vec::new();
+                    let mut buckets: Vec<Vec<Packet>> =
+                        (0..n).map(|_| Vec::new()).collect();
+
+                    for t in start_tick..start_tick + ticks {
+                        // -- input phase (thread 0 polls the source) --
+                        if k == 0 {
+                            let mut inp = input_ref.lock();
+                            inp.clear();
+                            src_ref.lock().fill(t, &mut inp);
+                        }
+                        barrier_ref.wait();
+                        {
+                            let inp = input_ref.lock();
+                            for &(core, axon) in inp.iter() {
+                                let owner = owner_of(starts_ref, core.index());
+                                if owner == k {
+                                    my_cores[core.index() - my_offset as usize]
+                                        .deliver(t + 1, axon);
+                                }
+                            }
+                        }
+
+                        // -- synapse + neuron phases on owned cores --
+                        spike_buf.clear();
+                        for core in my_cores.iter_mut() {
+                            core.tick(t, &mut spike_buf, &mut local_stats);
+                        }
+
+                        // -- network phase, local half: bucket spikes --
+                        for s in spike_buf.drain(..) {
+                            match s.dest {
+                                Dest::Axon(tgt) => {
+                                    let pkt = Packet {
+                                        core: tgt.core.0,
+                                        axon: tgt.axon,
+                                        delay: tgt.delay,
+                                    };
+                                    match mode {
+                                        AggregationMode::Pairwise => {
+                                            let dst =
+                                                owner_of(starts_ref, tgt.core.index());
+                                            buckets[dst].push(pkt);
+                                        }
+                                        AggregationMode::GlobalQueue => {
+                                            // Ablation: one lock per spike.
+                                            global_ref.lock().push(pkt);
+                                        }
+                                    }
+                                }
+                                Dest::Output(port) => {
+                                    local_out.push(OutputEvent { tick: t, port })
+                                }
+                                Dest::None => {}
+                            }
+                        }
+                        if mode == AggregationMode::Pairwise {
+                            for (dst, bucket) in buckets.iter_mut().enumerate() {
+                                if !bucket.is_empty() {
+                                    let mut slot = mailboxes_ref[k][dst].lock();
+                                    std::mem::swap(&mut *slot, bucket);
+                                }
+                            }
+                        }
+                        barrier_ref.wait();
+
+                        // -- network phase, remote half: drain and deliver --
+                        match mode {
+                            AggregationMode::Pairwise => {
+                                for row in mailboxes_ref.iter() {
+                                    let mut slot = row[k].lock();
+                                    for pkt in slot.drain(..) {
+                                        let idx = pkt.core as usize - my_offset as usize;
+                                        my_cores[idx]
+                                            .deliver(t + pkt.delay as u64, pkt.axon);
+                                    }
+                                }
+                            }
+                            AggregationMode::GlobalQueue => {
+                                let q = global_ref.lock();
+                                for pkt in q.iter() {
+                                    let owner = owner_of(starts_ref, pkt.core as usize);
+                                    if owner == k {
+                                        let idx = pkt.core as usize - my_offset as usize;
+                                        my_cores[idx]
+                                            .deliver(t + pkt.delay as u64, pkt.axon);
+                                    }
+                                }
+                            }
+                        }
+                        barrier_ref.wait();
+                        if mode == AggregationMode::GlobalQueue && k == 0 {
+                            global_ref.lock().clear();
+                        }
+                        barrier_ref.wait();
+                    }
+
+                    let mut m = merged_ref.lock();
+                    m.0 += local_stats;
+                    m.1.append(&mut local_out);
+                });
+            }
+        });
+        let elapsed = wall.elapsed().as_secs_f64();
+
+        let (tick_totals, outs) = {
+            let mut m = merged.lock();
+            (m.0, std::mem::take(&mut m.1))
+        };
+        self.outputs.extend(outs);
+        self.stats.ticks += ticks;
+        self.stats.totals += tick_totals;
+        self.stats.wall_seconds += elapsed;
+        self.tick += ticks;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceSim;
+    use tn_core::{
+        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource,
+        SpikeTarget,
+    };
+
+    /// Random-ish stochastic recurrent network over `w×h` cores.
+    fn stochastic_net(w: u16, h: u16, seed: u64) -> Network {
+        let mut b = NetworkBuilder::new(w, h, seed);
+        let num = (w as u32 * h as u32) as usize;
+        for c in 0..num {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17 + c) % 13 == 0);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(20);
+                // Recurrent connections with zero weight keep rates
+                // stationary while still exercising routing.
+                cfg.neurons[j].weights = [0; 4];
+                let tgt = ((c * 7 + j * 3) % num) as u32;
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(tgt),
+                    ((j * 11 + c) % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+            b.add_core(cfg);
+        }
+        b.build()
+    }
+
+    fn digest_after(net: Network, threads: usize, ticks: u64) -> (u64, u64) {
+        if threads == 0 {
+            let mut sim = ReferenceSim::new(net);
+            sim.run(ticks, &mut tn_core::network::NullSource);
+            (sim.network().state_digest(), sim.stats().totals.spikes_out)
+        } else {
+            let mut sim = ParallelSim::new(net, threads);
+            sim.run(ticks, &mut tn_core::network::NullSource);
+            (sim.network().state_digest(), sim.stats().totals.spikes_out)
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference_all_thread_counts() {
+        let (ref_digest, ref_spikes) = digest_after(stochastic_net(4, 4, 99), 0, 40);
+        assert!(ref_spikes > 0, "network must actually be active");
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let (d, s) = digest_after(stochastic_net(4, 4, 99), threads, 40);
+            assert_eq!(d, ref_digest, "{threads} threads diverged");
+            assert_eq!(s, ref_spikes);
+        }
+    }
+
+    #[test]
+    fn global_queue_mode_matches_too() {
+        let (ref_digest, _) = digest_after(stochastic_net(3, 3, 5), 0, 30);
+        let mut sim = ParallelSim::with_mode(
+            stochastic_net(3, 3, 5),
+            4,
+            AggregationMode::GlobalQueue,
+        );
+        sim.run(30, &mut tn_core::network::NullSource);
+        assert_eq!(sim.network().state_digest(), ref_digest);
+    }
+
+    #[test]
+    fn external_input_matches_reference() {
+        let mk_src = || {
+            let mut s = ScheduledSource::new();
+            for t in 0..20 {
+                s.push(t, CoreId((t % 9) as u32), (t * 13 % 256) as u8);
+            }
+            s
+        };
+        let mut a = ReferenceSim::new(stochastic_net(3, 3, 1));
+        a.run(25, &mut mk_src());
+        let mut b = ParallelSim::new(stochastic_net(3, 3, 1), 3);
+        b.run(25, &mut mk_src());
+        assert_eq!(a.network().state_digest(), b.network().state_digest());
+        assert_eq!(a.outputs().digest(), b.outputs().digest());
+    }
+
+    #[test]
+    fn outputs_collected_across_threads() {
+        let mut b = NetworkBuilder::new(4, 1, 0);
+        for c in 0..4u32 {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                cfg.neurons[j].dest = Dest::Output(c * 256 + j as u32);
+            }
+            b.add_core(cfg);
+        }
+        let mut sim = ParallelSim::new(b.build(), 4);
+        let mut src = ScheduledSource::new();
+        for c in 0..4u32 {
+            src.push(0, CoreId(c), 7);
+        }
+        sim.run(3, &mut src);
+        let ev = sim.outputs().events().to_vec();
+        assert_eq!(ev.len(), 4);
+        let ports: Vec<u32> = ev.iter().map(|e| e.port).collect();
+        assert_eq!(ports, vec![7, 263, 519, 775]);
+    }
+
+    #[test]
+    fn resume_runs_continue_tick_count() {
+        let mut sim = ParallelSim::new(stochastic_net(2, 2, 3), 2);
+        sim.run(10, &mut tn_core::network::NullSource);
+        assert_eq!(sim.current_tick(), 10);
+        sim.run(5, &mut tn_core::network::NullSource);
+        assert_eq!(sim.current_tick(), 15);
+        assert_eq!(sim.stats().ticks, 15);
+
+        // Split run must equal one continuous run.
+        let mut whole = ParallelSim::new(stochastic_net(2, 2, 3), 2);
+        whole.run(15, &mut tn_core::network::NullSource);
+        assert_eq!(sim.network().state_digest(), whole.network().state_digest());
+    }
+
+    #[test]
+    fn threads_clamped_to_core_count() {
+        let sim = ParallelSim::new(stochastic_net(2, 1, 0), 64);
+        assert_eq!(sim.threads(), 2);
+    }
+}

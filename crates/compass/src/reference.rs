@@ -1,0 +1,276 @@
+//! Single-threaded reference simulator.
+//!
+//! Executes the kernel of paper Listing 1 one core at a time. This is the
+//! ground truth: every other expression (multithreaded Compass, the chip
+//! simulator) must match it spike-for-spike and state-digest-for-digest.
+
+use crate::output::SpikeRecord;
+use crate::trace::SpikeTrace;
+use std::time::Instant;
+use tn_core::{Dest, Network, NetworkSnapshot, OutSpike, RunStats, SpikeSource, TickStats};
+
+/// Single-threaded blueprint simulator.
+pub struct ReferenceSim {
+    net: Network,
+    tick: u64,
+    stats: RunStats,
+    outputs: SpikeRecord,
+    spike_buf: Vec<OutSpike>,
+    input_buf: Vec<(tn_core::CoreId, u8)>,
+    trace: Option<SpikeTrace>,
+}
+
+impl ReferenceSim {
+    pub fn new(net: Network) -> Self {
+        ReferenceSim {
+            net,
+            tick: 0,
+            stats: RunStats::default(),
+            outputs: SpikeRecord::new(),
+            spike_buf: Vec::new(),
+            input_buf: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enable full spike tracing with a rolling window of `capacity`
+    /// events (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(SpikeTrace::new(capacity));
+    }
+
+    pub fn trace(&self) -> Option<&SpikeTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Checkpoint the simulation at the current tick boundary.
+    pub fn checkpoint(&self) -> NetworkSnapshot {
+        NetworkSnapshot::capture(&self.net, self.tick)
+    }
+
+    /// Restore a checkpoint taken from an identically-configured
+    /// simulation; the tick counter resumes from the snapshot's tick.
+    pub fn restore(&mut self, snap: &NetworkSnapshot) {
+        snap.restore(&mut self.net);
+        self.tick = snap.tick;
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    pub fn outputs(&mut self) -> &mut SpikeRecord {
+        &mut self.outputs
+    }
+
+    /// Consume the simulator, returning the network and transcript.
+    pub fn into_parts(self) -> (Network, SpikeRecord, RunStats) {
+        (self.net, self.outputs, self.stats)
+    }
+
+    /// Advance one tick.
+    ///
+    /// Order of operations per tick `t` (the blueprint's semi-synchronous
+    /// loop):
+    /// 1. external input injection — events from `src` activate axons at
+    ///    `t + 1`;
+    /// 2. Synapse + Neuron phases for every core at tick `t`;
+    /// 3. Network phase: emitted spikes are delivered into target delay
+    ///    buffers at `t + delay`.
+    pub fn step(&mut self, src: &mut dyn SpikeSource) -> TickStats {
+        let t = self.tick;
+        self.input_buf.clear();
+        src.fill(t, &mut self.input_buf);
+        for &(core, axon) in &self.input_buf {
+            self.net.core_mut(core).deliver(t + 1, axon);
+        }
+
+        let mut tick_stats = TickStats::default();
+        self.spike_buf.clear();
+        for idx in 0..self.net.num_cores() {
+            self.net.cores_mut()[idx].tick(t, &mut self.spike_buf, &mut tick_stats);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record_tick(t, &self.spike_buf);
+        }
+
+        for s in self.spike_buf.drain(..) {
+            match s.dest {
+                Dest::Axon(tgt) => {
+                    self.net
+                        .core_mut(tgt.core)
+                        .deliver(t + tgt.delay as u64, tgt.axon);
+                }
+                Dest::Output(port) => self.outputs.push(t, port),
+                Dest::None => {}
+            }
+        }
+
+        self.stats.ticks += 1;
+        self.stats.totals += tick_stats;
+        self.tick += 1;
+        tick_stats
+    }
+
+    /// Run `ticks` steps, measuring wall-clock time into the stats.
+    pub fn run(&mut self, ticks: u64, src: &mut dyn SpikeSource) -> RunStats {
+        let start = Instant::now();
+        for _ in 0..ticks {
+            self.step(src);
+        }
+        self.stats.wall_seconds += start.elapsed().as_secs_f64();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::{
+        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource,
+        SpikeTarget,
+    };
+
+    /// A 2-core ring: core 0 neuron k targets core 1 axon k (delay 1);
+    /// core 1 neuron k targets core 0 axon k (delay 2). Inject one spike
+    /// and watch it circulate forever.
+    fn ring() -> Network {
+        let mut b = NetworkBuilder::new(2, 1, 42);
+        let mk = |target_core: u32, delay: u8| {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(target_core),
+                    j as u8,
+                    delay,
+                ));
+            }
+            cfg
+        };
+        b.add_core(mk(1, 1));
+        b.add_core(mk(0, 2));
+        b.build()
+    }
+
+    #[test]
+    fn spike_circulates_ring() {
+        let mut sim = ReferenceSim::new(ring());
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 9); // activates core 0 axon 9 at tick 1
+        let mut spikes_per_tick = Vec::new();
+        for _ in 0..12 {
+            let st = sim.step(&mut src);
+            spikes_per_tick.push(st.spikes_out);
+        }
+        // t=1: core0 fires. t=2: core1 fires. t=4: core0 again (delay 2).
+        // Period is 3 ticks after the first circuit.
+        assert_eq!(spikes_per_tick[0], 0);
+        assert_eq!(spikes_per_tick[1], 1);
+        assert_eq!(spikes_per_tick[2], 1);
+        assert_eq!(spikes_per_tick[3], 0);
+        assert_eq!(spikes_per_tick[4], 1);
+        assert_eq!(spikes_per_tick[5], 1);
+        let total: u64 = spikes_per_tick.iter().sum();
+        assert_eq!(sim.stats().totals.spikes_out, total);
+        assert_eq!(sim.stats().totals.sops, total, "identity crossbars");
+    }
+
+    #[test]
+    fn outputs_recorded() {
+        let mut b = NetworkBuilder::new(1, 1, 0);
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+        for j in 0..256 {
+            cfg.neurons[j] = NeuronConfig::lif(1, 1);
+            cfg.neurons[j].dest = Dest::Output(j as u32 + 1000);
+        }
+        b.add_core(cfg);
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 0);
+        src.push(0, CoreId(0), 255);
+        sim.run(3, &mut src);
+        let ev = sim.outputs().events().to_vec();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].tick, 1);
+        assert_eq!(ev[0].port, 1000);
+        assert_eq!(ev[1].port, 1255);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = ReferenceSim::new(ring());
+            let mut src = ScheduledSource::new();
+            src.push(0, CoreId(0), 3);
+            sim.run(50, &mut src);
+            sim.network().state_digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_bit_exact() {
+        let mut src_a = ScheduledSource::new();
+        src_a.push(0, CoreId(0), 3);
+        let mut continuous = ReferenceSim::new(ring());
+        continuous.run(80, &mut src_a);
+
+        let mut src_b = ScheduledSource::new();
+        src_b.push(0, CoreId(0), 3);
+        let mut first = ReferenceSim::new(ring());
+        first.run(30, &mut src_b);
+        let snap = first.checkpoint();
+        assert_eq!(snap.tick, 30);
+
+        // A brand-new simulator with the same configuration resumes from
+        // the snapshot and must land on the identical state.
+        let mut resumed = ReferenceSim::new(ring());
+        resumed.restore(&snap);
+        assert_eq!(resumed.current_tick(), 30);
+        resumed.run(50, &mut tn_core::network::NullSource);
+        assert_eq!(
+            resumed.network().state_digest(),
+            continuous.network().state_digest()
+        );
+    }
+
+    #[test]
+    fn trace_captures_every_spike() {
+        let mut sim = ReferenceSim::new(ring());
+        sim.enable_trace(1000);
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 9);
+        sim.run(20, &mut src);
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.observed(), sim.stats().totals.spikes_out);
+        // The ring fires one neuron per active tick; events alternate
+        // between core 0 and core 1.
+        let cores: Vec<u32> = trace.events().iter().map(|e| e.src.core.0).collect();
+        assert!(cores.windows(2).all(|w| w[0] != w[1]), "{cores:?}");
+    }
+
+    #[test]
+    fn run_accumulates_wall_time_and_ticks() {
+        let mut sim = ReferenceSim::new(ring());
+        let mut src = tn_core::network::NullSource;
+        let st = sim.run(10, &mut src);
+        assert_eq!(st.ticks, 10);
+        assert!(st.wall_seconds > 0.0);
+        assert_eq!(sim.current_tick(), 10);
+    }
+}

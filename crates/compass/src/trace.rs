@@ -1,0 +1,157 @@
+//! Spike tracing: full-resolution event logs of a simulation.
+//!
+//! The paper's regressions compare *every* spike between expressions, not
+//! just exposed outputs ("not a single spike mismatch was found"). The
+//! [`SpikeTrace`] records `(tick, core, neuron)` for every fired neuron —
+//! bounded by a capacity so multi-million-spike runs can keep a rolling
+//! window — and renders an event-log text for offline diffing.
+
+use tn_core::{NeuronId, OutSpike};
+
+/// One traced spike.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    pub tick: u64,
+    pub src: NeuronId,
+}
+
+/// Bounded spike trace (rolling window once `capacity` is exceeded).
+#[derive(Clone, Debug)]
+pub struct SpikeTrace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Total events observed, including those that rolled out.
+    observed: u64,
+    dropped: u64,
+}
+
+impl SpikeTrace {
+    /// A trace holding at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        SpikeTrace {
+            events: Vec::new(),
+            capacity,
+            observed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record every spike of a tick.
+    pub fn record_tick(&mut self, tick: u64, spikes: &[OutSpike]) {
+        for s in spikes {
+            if self.events.len() == self.capacity {
+                // Rolling window: drop the oldest half in one memmove —
+                // amortized O(1) per event.
+                let keep = self.capacity / 2;
+                let cut = self.events.len() - keep;
+                self.dropped += cut as u64;
+                self.events.drain(..cut);
+            }
+            self.events.push(TraceEvent { tick, src: s.src });
+            self.observed += 1;
+        }
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Order-sensitive digest of the retained window.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0x811c_9dc5;
+        for e in &self.events {
+            h ^= e.tick ^ ((e.src.core.0 as u64) << 40) ^ ((e.src.neuron as u64) << 32);
+            h = h.wrapping_mul(0x0100_0000_01b3).rotate_left(7);
+        }
+        h ^ self.observed
+    }
+
+    /// Render as an event-log text: one `tick core neuron` line each.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 16);
+        for e in &self.events {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                e.tick, e.src.core.0, e.src.neuron
+            ));
+        }
+        out
+    }
+
+    /// Spikes per tick histogram over the retained window.
+    pub fn per_tick_counts(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = Vec::new();
+        for e in &self.events {
+            match out.last_mut() {
+                Some((t, n)) if *t == e.tick => *n += 1,
+                _ => out.push((e.tick, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::{CoreId, Dest};
+
+    fn spike(core: u32, neuron: u8) -> OutSpike {
+        OutSpike {
+            src: NeuronId {
+                core: CoreId(core),
+                neuron,
+            },
+            dest: Dest::None,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = SpikeTrace::new(100);
+        t.record_tick(0, &[spike(0, 1), spike(1, 2)]);
+        t.record_tick(3, &[spike(0, 9)]);
+        assert_eq!(t.observed(), 3);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[2].tick, 3);
+        assert_eq!(t.per_tick_counts(), vec![(0, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn rolling_window_drops_oldest() {
+        let mut t = SpikeTrace::new(10);
+        for tick in 0..20u64 {
+            t.record_tick(tick, &[spike(0, tick as u8)]);
+        }
+        assert_eq!(t.observed(), 20);
+        assert!(t.dropped() > 0);
+        assert!(t.events().len() <= 10);
+        // The newest event is retained.
+        assert_eq!(t.events().last().unwrap().tick, 19);
+    }
+
+    #[test]
+    fn digest_detects_single_spike_differences() {
+        let mut a = SpikeTrace::new(100);
+        let mut b = SpikeTrace::new(100);
+        a.record_tick(1, &[spike(0, 1), spike(0, 2)]);
+        b.record_tick(1, &[spike(0, 1), spike(0, 3)]); // one neuron differs
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn render_format() {
+        let mut t = SpikeTrace::new(10);
+        t.record_tick(7, &[spike(3, 200)]);
+        assert_eq!(t.render(), "7 3 200\n");
+    }
+}

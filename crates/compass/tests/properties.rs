@@ -1,0 +1,118 @@
+//! Property-based tests of the Compass simulator layer.
+
+use proptest::prelude::*;
+use tn_compass::partition::{owner_of, weighted_split_points};
+use tn_compass::{ParallelSim, ReferenceSim, SpikeRecord};
+use tn_core::network::NullSource;
+use tn_core::{
+    CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, SpikeTarget,
+};
+
+proptest! {
+    /// The weighted partitioner always produces a valid cover: ascending
+    /// non-overlapping non-empty ranges whose union is the whole array,
+    /// and owner lookup agrees with range membership.
+    #[test]
+    fn partitioner_produces_valid_cover(
+        weights in prop::collection::vec(0u64..1000, 1..300),
+        n in 1usize..40,
+    ) {
+        let starts = weighted_split_points(&weights, n);
+        prop_assert!(!starts.is_empty());
+        prop_assert_eq!(starts[0], 0);
+        prop_assert!(starts.len() <= n.min(weights.len()));
+        prop_assert!(starts.windows(2).all(|w| w[0] < w[1]), "{:?}", starts);
+        prop_assert!(*starts.last().unwrap() < weights.len());
+        for idx in 0..weights.len() {
+            let k = owner_of(&starts, idx);
+            prop_assert!(idx >= starts[k]);
+            if k + 1 < starts.len() {
+                prop_assert!(idx < starts[k + 1]);
+            }
+        }
+    }
+
+    /// Partition balance: with uniform weights no range is more than 2×
+    /// the ideal size.
+    #[test]
+    fn partitioner_balances_uniform_loads(len in 10usize..400, n in 1usize..16) {
+        let weights = vec![7u64; len];
+        let starts = weighted_split_points(&weights, n);
+        let k = starts.len();
+        let ideal = len as f64 / k as f64;
+        for i in 0..k {
+            let end = starts.get(i + 1).copied().unwrap_or(len);
+            let size = (end - starts[i]) as f64;
+            prop_assert!(size <= 2.0 * ideal + 1.0, "range {i}: {size} vs ideal {ideal}");
+        }
+    }
+
+    /// SpikeRecord digests are permutation-invariant, content-sensitive.
+    #[test]
+    fn spike_record_digest_properties(
+        events in prop::collection::vec((0u64..1000, 0u32..100), 1..100),
+        swap_a in 0usize..100,
+        swap_b in 0usize..100,
+    ) {
+        let mut a = SpikeRecord::new();
+        for &(t, p) in &events {
+            a.push(t, p);
+        }
+        // A permuted insertion order gives the same digest.
+        let mut shuffled = events.clone();
+        let (x, y) = (swap_a % events.len(), swap_b % events.len());
+        shuffled.swap(x, y);
+        let mut b = SpikeRecord::new();
+        for &(t, p) in &shuffled {
+            b.push(t, p);
+        }
+        prop_assert_eq!(a.digest(), b.digest());
+        // Adding one more event changes it.
+        b.push(5000, 7);
+        prop_assert_ne!(a.digest(), b.digest());
+    }
+
+    /// Parallel simulation with an arbitrary thread count matches the
+    /// reference for arbitrary ring-ish topologies.
+    #[test]
+    fn parallel_matches_reference_for_random_topologies(
+        threads in 1usize..9,
+        rate in 5u8..60,
+        fan_seed in any::<u32>(),
+        ticks in 10u64..60,
+    ) {
+        let mk = || {
+            let mut b = NetworkBuilder::new(3, 2, fan_seed as u64);
+            for c in 0..6u32 {
+                let mut cfg = CoreConfig::new();
+                *cfg.crossbar = Crossbar::from_fn(|i, j| {
+                    (i as u32).wrapping_mul(7).wrapping_add(j as u32)
+                        .wrapping_add(fan_seed) % 9 == 0
+                });
+                for j in 0..256 {
+                    cfg.neurons[j] = NeuronConfig::stochastic_source(rate);
+                    cfg.neurons[j].weights = [0; 4];
+                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                        CoreId((c + 1 + (j as u32 % 3)) % 6),
+                        (j as u32).wrapping_mul(31) as u8,
+                        1 + (j % 15) as u8,
+                    ));
+                }
+                b.add_core(cfg);
+            }
+            b.build()
+        };
+        let mut reference = ReferenceSim::new(mk());
+        reference.run(ticks, &mut NullSource);
+        let mut par = ParallelSim::new(mk(), threads);
+        par.run(ticks, &mut NullSource);
+        prop_assert_eq!(
+            reference.network().state_digest(),
+            par.network().state_digest()
+        );
+        prop_assert_eq!(
+            reference.stats().totals.spikes_out,
+            par.stats().totals.spikes_out
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Global addressing of cores, neurons, axons, and spike events.
+//!
+//! The physical chip addresses spike packets with a relative (Δx, Δy) hop
+//! count, a target axon index, a delivery tick, and (across chip
+//! boundaries) a row/column tag added by the merge–split blocks. At the
+//! blueprint level we address cores by their coordinate in one global 2D
+//! grid of cores that may span multiple tiled chips — exactly the
+//! abstraction the mesh network provides (paper Fig. 3(b),(c)).
+
+use crate::{CHIP_CORES_X, CHIP_CORES_Y, MAX_DELAY};
+
+/// Dense index of a core within a [`crate::network::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Coordinate of a core in the global (possibly multi-chip) core grid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CoreCoord {
+    pub x: u16,
+    pub y: u16,
+}
+
+impl CoreCoord {
+    pub fn new(x: u16, y: u16) -> Self {
+        CoreCoord { x, y }
+    }
+
+    /// Which chip of a tiled array this core falls on (chips are 64×64
+    /// cores).
+    pub fn chip(self) -> (u16, u16) {
+        (
+            self.x / CHIP_CORES_X as u16,
+            self.y / CHIP_CORES_Y as u16,
+        )
+    }
+
+    /// Coordinate of the core within its chip.
+    pub fn within_chip(self) -> (u16, u16) {
+        (
+            self.x % CHIP_CORES_X as u16,
+            self.y % CHIP_CORES_Y as u16,
+        )
+    }
+
+    /// Manhattan distance in core hops — the mesh uses dimension-order
+    /// routing so the hop count of a packet is exactly this.
+    pub fn hops_to(self, other: CoreCoord) -> u32 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u32
+    }
+
+    /// Whether a route from `self` to `other` crosses a chip boundary
+    /// (and therefore traverses merge–split peripheral blocks).
+    pub fn crosses_chip_boundary(self, other: CoreCoord) -> bool {
+        self.chip() != other.chip()
+    }
+}
+
+/// A neuron, identified by its core and index within the core.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NeuronId {
+    pub core: CoreId,
+    pub neuron: u8,
+}
+
+/// Destination of one neuron's output spikes: a (core, axon, delay)
+/// triple. The paper: "Each spike is associated with a target core, a
+/// target axon address, and a delivery time t_D computed as t plus a
+/// programmable axonal delay from 1 to 15."
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpikeTarget {
+    pub core: CoreId,
+    pub axon: u8,
+    pub delay: u8,
+}
+
+impl SpikeTarget {
+    /// Construct a target, validating the 1..=15 delay range.
+    pub fn new(core: CoreId, axon: u8, delay: u8) -> Self {
+        assert!(
+            (1..=MAX_DELAY).contains(&delay),
+            "axonal delay must be in 1..=15, got {delay}"
+        );
+        SpikeTarget { core, axon, delay }
+    }
+}
+
+/// Where a neuron's spike goes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Dest {
+    /// Unconnected neuron: spikes are computed (and counted) but dropped.
+    #[default]
+    None,
+    /// Another core's axon somewhere in the mesh.
+    Axon(SpikeTarget),
+    /// An off-network output port (read by the application layer; on the
+    /// physical system these exit through the chip periphery).
+    Output(u32),
+}
+
+/// A spike emitted by a neuron during a tick, before routing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutSpike {
+    pub src: NeuronId,
+    pub dest: Dest,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_decomposition() {
+        let c = CoreCoord::new(130, 65);
+        assert_eq!(c.chip(), (2, 1));
+        assert_eq!(c.within_chip(), (2, 1));
+        let d = CoreCoord::new(63, 63);
+        assert_eq!(d.chip(), (0, 0));
+        assert_eq!(d.within_chip(), (63, 63));
+    }
+
+    #[test]
+    fn hop_count_is_manhattan() {
+        let a = CoreCoord::new(3, 7);
+        let b = CoreCoord::new(10, 2);
+        assert_eq!(a.hops_to(b), 7 + 5);
+        assert_eq!(b.hops_to(a), 12);
+        assert_eq!(a.hops_to(a), 0);
+    }
+
+    #[test]
+    fn boundary_crossing() {
+        let a = CoreCoord::new(63, 0);
+        let b = CoreCoord::new(64, 0);
+        assert!(a.crosses_chip_boundary(b));
+        assert!(!a.crosses_chip_boundary(CoreCoord::new(0, 63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "axonal delay")]
+    fn zero_delay_rejected() {
+        SpikeTarget::new(CoreId(0), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axonal delay")]
+    fn oversized_delay_rejected() {
+        SpikeTarget::new(CoreId(0), 0, 16);
+    }
+}

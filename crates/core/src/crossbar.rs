@@ -1,0 +1,204 @@
+//! The 256×256 binary synaptic crossbar.
+//!
+//! "Internally, [a core] is a fully-connected directed graph with
+//! programmable synaptic connections from all axons to all neurons
+//! (synapses are non-learning)" — paper Section III-A. A crossbar row `i`
+//! holds the (binary) synapses driven by axon `i`; column `j` collects the
+//! inputs of neuron `j`. The silicon realizes this as a 1024×256-bit SRAM;
+//! here each row is four `u64` words (256 bits).
+
+use crate::{AXONS_PER_CORE, NEURONS_PER_CORE};
+
+/// Words of 64 bits per 256-bit crossbar row.
+pub const ROW_WORDS: usize = NEURONS_PER_CORE / 64;
+
+/// Binary 256×256 synapse matrix, row-major by axon.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    rows: [[u64; ROW_WORDS]; AXONS_PER_CORE],
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Crossbar {
+            rows: [[0; ROW_WORDS]; AXONS_PER_CORE],
+        }
+    }
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Crossbar({} active synapses)", self.active_synapses())
+    }
+}
+
+impl Crossbar {
+    /// Empty crossbar (no synapses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a predicate `f(axon, neuron) -> connected`.
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut xb = Self::new();
+        for i in 0..AXONS_PER_CORE {
+            for j in 0..NEURONS_PER_CORE {
+                if f(i, j) {
+                    xb.set(i, j, true);
+                }
+            }
+        }
+        xb
+    }
+
+    /// Set or clear the synapse from axon `i` to neuron `j`.
+    #[inline]
+    pub fn set(&mut self, axon: usize, neuron: usize, connected: bool) {
+        debug_assert!(axon < AXONS_PER_CORE && neuron < NEURONS_PER_CORE);
+        let (w, b) = (neuron / 64, neuron % 64);
+        if connected {
+            self.rows[axon][w] |= 1 << b;
+        } else {
+            self.rows[axon][w] &= !(1 << b);
+        }
+    }
+
+    /// Whether axon `i` connects to neuron `j`.
+    #[inline(always)]
+    pub fn get(&self, axon: usize, neuron: usize) -> bool {
+        let (w, b) = (neuron / 64, neuron % 64);
+        (self.rows[axon][w] >> b) & 1 != 0
+    }
+
+    /// Raw row words for axon `i` (one 256-bit SRAM row read).
+    #[inline(always)]
+    pub fn row(&self, axon: usize) -> &[u64; ROW_WORDS] {
+        &self.rows[axon]
+    }
+
+    /// Number of active synapses on a row (the fanout of axon `i`).
+    pub fn row_fanout(&self, axon: usize) -> u32 {
+        self.rows[axon].iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of active synapses feeding neuron `j` (its in-degree).
+    pub fn column_fanin(&self, neuron: usize) -> u32 {
+        (0..AXONS_PER_CORE)
+            .filter(|&i| self.get(i, neuron))
+            .count() as u32
+    }
+
+    /// Total active synapses in the crossbar.
+    pub fn active_synapses(&self) -> u32 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// Fraction of the 65,536 crosspoints that are active.
+    pub fn density(&self) -> f64 {
+        self.active_synapses() as f64 / (AXONS_PER_CORE * NEURONS_PER_CORE) as f64
+    }
+
+    /// Iterate the indices of neurons connected to `axon`, ascending.
+    pub fn iter_row(&self, axon: usize) -> RowIter<'_> {
+        RowIter {
+            words: &self.rows[axon],
+            word_idx: 0,
+            current: self.rows[axon][0],
+        }
+    }
+}
+
+/// Iterator over set bits of one crossbar row.
+pub struct RowIter<'a> {
+    words: &'a [u64; ROW_WORDS],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= ROW_WORDS {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut xb = Crossbar::new();
+        assert!(!xb.get(5, 9));
+        xb.set(5, 9, true);
+        assert!(xb.get(5, 9));
+        xb.set(5, 9, false);
+        assert!(!xb.get(5, 9));
+    }
+
+    #[test]
+    fn corners() {
+        let mut xb = Crossbar::new();
+        for (i, j) in [(0, 0), (0, 255), (255, 0), (255, 255)] {
+            xb.set(i, j, true);
+            assert!(xb.get(i, j));
+        }
+        assert_eq!(xb.active_synapses(), 4);
+    }
+
+    #[test]
+    fn row_iter_matches_get() {
+        let xb = Crossbar::from_fn(|i, j| (i * 7 + j * 13) % 11 == 0);
+        for i in [0usize, 1, 100, 255] {
+            let via_iter: Vec<usize> = xb.iter_row(i).collect();
+            let via_get: Vec<usize> =
+                (0..256).filter(|&j| xb.get(i, j)).collect();
+            assert_eq!(via_iter, via_get);
+            assert_eq!(xb.row_fanout(i) as usize, via_iter.len());
+        }
+    }
+
+    #[test]
+    fn row_iter_is_ascending() {
+        let xb = Crossbar::from_fn(|i, j| (i + j) % 3 == 0);
+        for i in 0..256 {
+            let idx: Vec<usize> = xb.iter_row(i).collect();
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn density_and_counts() {
+        let xb = Crossbar::from_fn(|i, j| i == j);
+        assert_eq!(xb.active_synapses(), 256);
+        assert!((xb.density() - 1.0 / 256.0).abs() < 1e-12);
+        for j in 0..256 {
+            assert_eq!(xb.column_fanin(j), 1);
+        }
+    }
+
+    #[test]
+    fn full_crossbar() {
+        let xb = Crossbar::from_fn(|_, _| true);
+        assert_eq!(xb.active_synapses(), 65536);
+        assert_eq!(xb.row_fanout(17), 256);
+        assert_eq!(xb.iter_row(250).count(), 256);
+    }
+}

@@ -1,0 +1,132 @@
+//! # tn-core — the neurosynaptic kernel blueprint
+//!
+//! This crate is the Rust expression of the *blueprint* shared by the two
+//! systems described in the SC'14 TrueNorth paper:
+//!
+//! * **Compass**, the parallel software simulator (see the `tn-compass`
+//!   crate), and
+//! * **TrueNorth**, the silicon neurosynaptic processor (see the `tn-chip`
+//!   crate, an architectural simulator with energy/timing models).
+//!
+//! Both expressions execute *exactly* the semantics defined here, which is
+//! what makes the paper's 1:1 spike-for-spike equivalence regressions
+//! possible (Section VI-A). The blueprint consists of:
+//!
+//! * a deterministic, hardware-style **LFSR PRNG** ([`prng`]) used for the
+//!   stochastic synapse / leak / threshold modes,
+//! * the fully programmable **digital spiking neuron model** ([`neuron`])
+//!   after Cassidy et al., IJCNN 2013,
+//! * the **neurosynaptic core** ([`nscore`]): 256 axons × 256 neurons joined
+//!   by a 256×256 binary crossbar ([`crossbar`]), with 1–15 tick axonal
+//!   delay buffers ([`delay`]),
+//! * global **addressing** of cores/axons/neurons and spike events
+//!   ([`address`]),
+//! * a whole-**network** container and builder ([`network`]), and
+//! * **statistics** used for SOPS accounting ([`stats`]).
+//!
+//! ## Determinism contract
+//!
+//! A network's evolution is a pure function of (configuration, seed,
+//! injected input spikes). Within a tick every core processes its active
+//! axons in ascending axon order and its neurons in ascending neuron order;
+//! PRNG draws happen only when a stochastic feature is consulted, in that
+//! scan order. Any simulator claiming to be an expression of the blueprint
+//! must preserve this order; delivery of output spikes into target delay
+//! buffers is a commutative bit-set and may happen in any order.
+
+pub mod address;
+pub mod crossbar;
+pub mod delay;
+pub mod modelfile;
+pub mod network;
+pub mod neuron;
+pub mod nscore;
+pub mod prng;
+pub mod snapshot;
+pub mod stats;
+
+pub use address::{CoreCoord, CoreId, Dest, NeuronId, OutSpike, SpikeTarget};
+pub use crossbar::Crossbar;
+pub use delay::DelayBuffer;
+pub use network::{Network, NetworkBuilder, ScheduledSource, SpikeSource};
+pub use neuron::{NeuronConfig, ResetMode};
+pub use nscore::{CoreConfig, NeurosynapticCore};
+pub use prng::CorePrng;
+pub use snapshot::NetworkSnapshot;
+pub use stats::{RunStats, TickStats};
+
+/// Number of input axons per neurosynaptic core (paper Section III-A).
+pub const AXONS_PER_CORE: usize = 256;
+/// Number of neurons per neurosynaptic core (paper Section III-A).
+pub const NEURONS_PER_CORE: usize = 256;
+/// Number of distinct axon types `G_i`; each maps to a per-neuron signed
+/// weight `S^{G_i}_j` (paper Section III-A).
+pub const NUM_AXON_TYPES: usize = 4;
+/// Maximum programmable axonal delay in ticks (paper: 1 to 15).
+pub const MAX_DELAY: u8 = 15;
+/// Number of slots in the circular axonal delay buffer (delays 1..=15 plus
+/// the slot currently being consumed).
+pub const DELAY_SLOTS: usize = 16;
+/// Membrane potentials are 20-bit signed integers (paper Section V-1).
+pub const POTENTIAL_BITS: u32 = 20;
+/// Synaptic weights are 9-bit signed integers (paper Section V-1).
+pub const WEIGHT_BITS: u32 = 9;
+/// Cores per chip edge: a TrueNorth chip is a 64×64 grid of cores.
+pub const CHIP_CORES_X: usize = 64;
+/// Cores per chip edge in y.
+pub const CHIP_CORES_Y: usize = 64;
+/// Total cores on one TrueNorth chip (4,096).
+pub const CORES_PER_CHIP: usize = CHIP_CORES_X * CHIP_CORES_Y;
+/// Neurons on one chip (1,048,576 ≈ “1 million neurons”).
+pub const NEURONS_PER_CHIP: usize = CORES_PER_CHIP * NEURONS_PER_CORE;
+/// Synapses on one chip (268,435,456 ≈ “256 million synapses”).
+pub const SYNAPSES_PER_CHIP: usize = CORES_PER_CHIP * AXONS_PER_CORE * NEURONS_PER_CORE;
+/// Nominal real-time tick period: 1 ms (networks are updated at 1 kHz).
+pub const TICK_SECONDS: f64 = 1e-3;
+
+/// Inclusive upper bound of the 20-bit signed membrane potential.
+pub const POTENTIAL_MAX: i32 = (1 << (POTENTIAL_BITS - 1)) - 1;
+/// Inclusive lower bound of the 20-bit signed membrane potential.
+pub const POTENTIAL_MIN: i32 = -(1 << (POTENTIAL_BITS - 1));
+
+/// Saturate a wide intermediate value into the 20-bit membrane range.
+///
+/// The hardware performs saturating arithmetic after every accumulate, so
+/// the *order* of accumulation is part of the blueprint semantics.
+#[inline(always)]
+pub fn clamp_potential(v: i64) -> i32 {
+    v.clamp(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64) as i32
+}
+
+/// Saturate a value into the 9-bit signed weight range.
+#[inline]
+pub fn clamp_weight(v: i32) -> i16 {
+    v.clamp(-(1 << (WEIGHT_BITS - 1)), (1 << (WEIGHT_BITS - 1)) - 1) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_scale_constants_match_paper() {
+        assert_eq!(CORES_PER_CHIP, 4096);
+        assert_eq!(NEURONS_PER_CHIP, 1 << 20);
+        assert_eq!(SYNAPSES_PER_CHIP, 1 << 28);
+    }
+
+    #[test]
+    fn potential_clamp_is_20_bit() {
+        assert_eq!(clamp_potential(i64::MAX), (1 << 19) - 1);
+        assert_eq!(clamp_potential(i64::MIN), -(1 << 19));
+        assert_eq!(clamp_potential(12345), 12345);
+        assert_eq!(clamp_potential(-12345), -12345);
+    }
+
+    #[test]
+    fn weight_clamp_is_9_bit() {
+        assert_eq!(clamp_weight(1000), 255);
+        assert_eq!(clamp_weight(-1000), -256);
+        assert_eq!(clamp_weight(-7), -7);
+    }
+}

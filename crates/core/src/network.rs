@@ -1,0 +1,397 @@
+//! Whole-network container and builder.
+//!
+//! A [`Network`] is a 2D grid of neurosynaptic cores — one or more tiled
+//! 64×64-core chips — plus the external spike interface. It is the object
+//! both simulator expressions (`tn-compass`, `tn-chip`) execute; neither
+//! owns any semantic state of its own, which is what makes the 1:1
+//! equivalence regressions of paper Section VI-A meaningful.
+
+use crate::address::{CoreCoord, CoreId};
+use crate::nscore::{CoreConfig, NeurosynapticCore};
+use crate::{CHIP_CORES_X, CHIP_CORES_Y, NEURONS_PER_CORE};
+use std::collections::HashMap;
+
+/// Source of externally injected spikes (sensor/transducer input). The
+/// simulator calls [`SpikeSource::fill`] once per tick *before* evaluating
+/// cores; the returned events activate axons at `tick + 1` (one-tick
+/// injection latency, matching the chip's peripheral input path).
+pub trait SpikeSource {
+    fn fill(&mut self, tick: u64, out: &mut Vec<(CoreId, u8)>);
+}
+
+/// A source that never produces spikes (self-driven networks).
+pub struct NullSource;
+
+impl SpikeSource for NullSource {
+    fn fill(&mut self, _tick: u64, _out: &mut Vec<(CoreId, u8)>) {}
+}
+
+/// A source replaying a pre-computed schedule of `(tick, core, axon)`
+/// events.
+#[derive(Default)]
+pub struct ScheduledSource {
+    by_tick: HashMap<u64, Vec<(CoreId, u8)>>,
+}
+
+impl ScheduledSource {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, tick: u64, core: CoreId, axon: u8) {
+        self.by_tick.entry(tick).or_default().push((core, axon));
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_tick.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_tick.is_empty()
+    }
+}
+
+impl SpikeSource for ScheduledSource {
+    fn fill(&mut self, tick: u64, out: &mut Vec<(CoreId, u8)>) {
+        if let Some(mut v) = self.by_tick.remove(&tick) {
+            out.append(&mut v);
+        }
+    }
+}
+
+/// The configured network: a `width × height` grid of cores.
+pub struct Network {
+    width: u16,
+    height: u16,
+    seed: u64,
+    cores: Vec<NeurosynapticCore>,
+}
+
+impl Network {
+    /// Dense core id of a coordinate.
+    #[inline]
+    pub fn id_of(&self, c: CoreCoord) -> CoreId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        CoreId(c.y as u32 * self.width as u32 + c.x as u32)
+    }
+
+    /// Coordinate of a dense core id.
+    #[inline]
+    pub fn coord_of(&self, id: CoreId) -> CoreCoord {
+        CoreCoord {
+            x: (id.0 % self.width as u32) as u16,
+            y: (id.0 / self.width as u32) as u16,
+        }
+    }
+
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    pub fn num_neurons(&self) -> usize {
+        self.cores.len() * NEURONS_PER_CORE
+    }
+
+    /// Chips spanned by the grid, assuming 64×64-core chips.
+    pub fn chip_dims(&self) -> (u16, u16) {
+        (
+            self.width.div_ceil(CHIP_CORES_X as u16),
+            self.height.div_ceil(CHIP_CORES_Y as u16),
+        )
+    }
+
+    pub fn num_chips(&self) -> usize {
+        let (cx, cy) = self.chip_dims();
+        cx as usize * cy as usize
+    }
+
+    pub fn core(&self, id: CoreId) -> &NeurosynapticCore {
+        &self.cores[id.index()]
+    }
+
+    pub fn core_mut(&mut self, id: CoreId) -> &mut NeurosynapticCore {
+        &mut self.cores[id.index()]
+    }
+
+    pub fn cores(&self) -> &[NeurosynapticCore] {
+        &self.cores
+    }
+
+    pub fn cores_mut(&mut self) -> &mut [NeurosynapticCore] {
+        &mut self.cores
+    }
+
+    /// Split the cores into `n` contiguous mutable partitions for
+    /// thread-parallel execution (the Compass expression). Returns the
+    /// partitions and the core-id offset of each.
+    pub fn partitions(&mut self, n: usize) -> Vec<(u32, &mut [NeurosynapticCore])> {
+        let total = self.cores.len();
+        let n = n.clamp(1, total.max(1));
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut rest: &mut [NeurosynapticCore] = &mut self.cores;
+        let mut offset = 0u32;
+        for k in 0..n {
+            let len = base + usize::from(k < extra);
+            let (head, tail) = rest.split_at_mut(len);
+            out.push((offset, head));
+            offset += len as u32;
+            rest = tail;
+        }
+        out
+    }
+
+    /// Total active synapses across all cores.
+    pub fn total_synapses(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.config().crossbar.active_synapses() as u64)
+            .sum()
+    }
+
+    /// Structural digest of all dynamic state (potentials, PRNGs, pending
+    /// events) — equality of digests across expressions is the
+    /// spike-for-spike regression criterion.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for c in &self.cores {
+            h ^= c.state_digest();
+            h = h.rotate_left(13).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Builder for [`Network`].
+pub struct NetworkBuilder {
+    width: u16,
+    height: u16,
+    seed: u64,
+    configs: Vec<Option<CoreConfig>>,
+    next_free: usize,
+}
+
+impl NetworkBuilder {
+    /// A grid of `width × height` cores. Cores not explicitly configured
+    /// are instantiated with the default (silent) configuration, matching
+    /// the physical chip where all 4,096 cores exist whether used or not.
+    pub fn new(width: u16, height: u16, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "network must have at least 1 core");
+        NetworkBuilder {
+            width,
+            height,
+            seed,
+            configs: (0..width as usize * height as usize).map(|_| None).collect(),
+            next_free: 0,
+        }
+    }
+
+    /// Convenience: a single-chip (64×64) network.
+    pub fn single_chip(seed: u64) -> Self {
+        Self::new(CHIP_CORES_X as u16, CHIP_CORES_Y as u16, seed)
+    }
+
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.configs.len()
+    }
+
+    #[inline]
+    pub fn id_of(&self, c: CoreCoord) -> CoreId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        CoreId(c.y as u32 * self.width as u32 + c.x as u32)
+    }
+
+    pub fn coord_of(&self, id: CoreId) -> CoreCoord {
+        CoreCoord {
+            x: (id.0 % self.width as u32) as u16,
+            y: (id.0 / self.width as u32) as u16,
+        }
+    }
+
+    /// Place a configuration at an explicit coordinate.
+    pub fn set_core(&mut self, at: CoreCoord, cfg: CoreConfig) -> CoreId {
+        let id = self.id_of(at);
+        self.configs[id.index()] = Some(cfg);
+        id
+    }
+
+    /// Place a configuration at the next unused grid slot (row-major).
+    /// Panics if the grid is full.
+    pub fn add_core(&mut self, cfg: CoreConfig) -> CoreId {
+        while self.next_free < self.configs.len() && self.configs[self.next_free].is_some() {
+            self.next_free += 1;
+        }
+        assert!(
+            self.next_free < self.configs.len(),
+            "network grid is full ({} cores)",
+            self.configs.len()
+        );
+        let id = CoreId(self.next_free as u32);
+        self.configs[self.next_free] = Some(cfg);
+        id
+    }
+
+    /// Number of explicitly configured cores so far.
+    pub fn used_cores(&self) -> usize {
+        self.configs.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Mutable access to an already-placed configuration.
+    pub fn core_config_mut(&mut self, id: CoreId) -> &mut CoreConfig {
+        self.configs[id.index()]
+            .as_mut()
+            .expect("core was not configured")
+    }
+
+    /// Finalize into an executable [`Network`].
+    pub fn build(self) -> Network {
+        let width = self.width;
+        let seed = self.seed;
+        let cores = self
+            .configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                NeurosynapticCore::new(CoreId(i as u32), cfg.unwrap_or_default(), seed)
+            })
+            .collect();
+        Network {
+            width,
+            height: self.height,
+            seed,
+            cores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Dest;
+    use crate::crossbar::Crossbar;
+    use crate::neuron::NeuronConfig;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let net = NetworkBuilder::new(10, 7, 0).build();
+        for y in 0..7u16 {
+            for x in 0..10u16 {
+                let c = CoreCoord::new(x, y);
+                assert_eq!(net.coord_of(net.id_of(c)), c);
+            }
+        }
+        assert_eq!(net.num_cores(), 70);
+        assert_eq!(net.num_neurons(), 70 * 256);
+    }
+
+    #[test]
+    fn single_chip_dimensions() {
+        let net = NetworkBuilder::single_chip(1).build();
+        assert_eq!(net.num_cores(), 4096);
+        assert_eq!(net.chip_dims(), (1, 1));
+        assert_eq!(net.num_chips(), 1);
+    }
+
+    #[test]
+    fn multi_chip_dims() {
+        let net = NetworkBuilder::new(256, 64, 0).build(); // 4×1 board
+        assert_eq!(net.chip_dims(), (4, 1));
+        assert_eq!(net.num_chips(), 4);
+        let net = NetworkBuilder::new(256, 256, 0).build(); // 4×4 board
+        assert_eq!(net.num_chips(), 16);
+        assert_eq!(net.num_neurons(), 16 * (1 << 20));
+    }
+
+    #[test]
+    fn add_core_fills_row_major() {
+        let mut b = NetworkBuilder::new(4, 2, 0);
+        let a = b.add_core(CoreConfig::new());
+        let c = b.add_core(CoreConfig::new());
+        assert_eq!(a, CoreId(0));
+        assert_eq!(c, CoreId(1));
+        b.set_core(CoreCoord::new(2, 0), CoreConfig::new());
+        let d = b.add_core(CoreConfig::new());
+        assert_eq!(d, CoreId(3), "skips explicitly placed slot");
+        assert_eq!(b.used_cores(), 4);
+    }
+
+    #[test]
+    fn partitions_cover_all_cores_once() {
+        let mut net = NetworkBuilder::new(8, 8, 0).build();
+        let total = net.num_cores();
+        let parts = net.partitions(7);
+        let mut seen = 0usize;
+        let mut expected_offset = 0u32;
+        for (off, slice) in &parts {
+            assert_eq!(*off, expected_offset);
+            expected_offset += slice.len() as u32;
+            seen += slice.len();
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn partitions_more_threads_than_cores() {
+        let mut net = NetworkBuilder::new(2, 1, 0).build();
+        let parts = net.partitions(16);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn scheduled_source_drains() {
+        let mut s = ScheduledSource::new();
+        s.push(3, CoreId(0), 5);
+        s.push(3, CoreId(1), 6);
+        s.push(9, CoreId(0), 7);
+        assert_eq!(s.len(), 3);
+        let mut out = Vec::new();
+        s.fill(3, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        s.fill(3, &mut out);
+        assert!(out.is_empty(), "events delivered once");
+        s.fill(9, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mk = || {
+            let mut b = NetworkBuilder::new(2, 2, 5);
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                cfg.neurons[j].dest = Dest::Output(j as u32);
+            }
+            b.add_core(cfg);
+            b.build()
+        };
+        let mut a = mk();
+        let b = mk();
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.core_mut(CoreId(0)).deliver(0, 3);
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+}

@@ -1,0 +1,397 @@
+//! The programmable digital spiking neuron model.
+//!
+//! The paper builds on "a simple, digital, reconfigurable, versatile
+//! spiking neuron model that is efficient to implement in hardware"
+//! (Cassidy et al., IJCNN 2013). Each of the 256 neurons on a core is
+//! individually programmed with:
+//!
+//! * four signed synaptic weights `S^0..S^3` (one per axon *type* `G_i`),
+//!   each optionally stochastic,
+//! * a signed leak `λ`, optionally stochastic, optionally "leak-reversal"
+//!   (driving the potential toward zero rather than in a fixed direction),
+//! * a positive threshold `α` with an optional PRNG mask `M` adding a
+//!   stochastic component `η = ρ & M`,
+//! * a negative threshold `β` with either saturation or symmetric-reset
+//!   semantics (`κ`),
+//! * a reset mode `γ` ∈ {absolute, linear, none} and reset value `R`.
+//!
+//! One **synaptic operation** — the unit behind the paper's SOPS metric —
+//! is the conditional weighted accumulate
+//! `V_j(t) += A_i(t) · W_{i,j} · S^{G_i}_j` (paper Section V-1), executed
+//! by [`NeuronConfig::integrate`]. Membrane potentials are 20-bit signed
+//! and all arithmetic saturates.
+
+use crate::prng::CorePrng;
+use crate::{clamp_potential, Dest, NUM_AXON_TYPES};
+
+/// Reset behaviour after a spike (the `γ` parameter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ResetMode {
+    /// `V ← R` (absolute reset; the classic integrate-and-fire behaviour).
+    #[default]
+    Absolute,
+    /// `V ← V − α` (linear reset; preserves super-threshold residue).
+    Linear,
+    /// `V` unchanged (non-reset; used e.g. for rate-preserving relays).
+    None,
+}
+
+/// Full per-neuron configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NeuronConfig {
+    /// Signed synaptic weight per axon type, 9-bit semantics.
+    pub weights: [i16; NUM_AXON_TYPES],
+    /// Per-type stochastic synapse flag `b^G`: when set, an incoming event
+    /// of that type adds `sgn(S)` with probability `|S|/256` instead of
+    /// adding `S` deterministically.
+    pub stoch_synapse: [bool; NUM_AXON_TYPES],
+    /// Signed leak `λ`, applied once per tick.
+    pub leak: i16,
+    /// Stochastic leak flag: add `sgn(λ)` with probability `|λ|/256`.
+    pub stoch_leak: bool,
+    /// Leak-reversal flag `ε`: the leak's sign is multiplied by `sgn(V)`,
+    /// so a negative `λ` decays the potential toward zero from either side.
+    pub leak_reversal: bool,
+    /// Positive threshold `α ≥ 0` (20-bit).
+    pub threshold: i32,
+    /// PRNG mask `M` for the stochastic threshold component `η = ρ & M`.
+    /// Zero means a fully deterministic threshold.
+    pub tm_mask: u32,
+    /// Negative threshold magnitude `β ≥ 0`.
+    pub neg_threshold: i32,
+    /// `κ`: if true the potential saturates at `−β`; if false crossing `−β`
+    /// triggers a symmetric reset to `−R`.
+    pub neg_saturate: bool,
+    /// Reset mode `γ`.
+    pub reset_mode: ResetMode,
+    /// Reset value `R`.
+    pub reset: i32,
+    /// Initial membrane potential at configuration time.
+    pub initial_potential: i32,
+    /// Where this neuron's spikes go.
+    pub dest: Dest,
+}
+
+impl Default for NeuronConfig {
+    fn default() -> Self {
+        NeuronConfig {
+            weights: [0; NUM_AXON_TYPES],
+            stoch_synapse: [false; NUM_AXON_TYPES],
+            leak: 0,
+            stoch_leak: false,
+            leak_reversal: false,
+            threshold: 1,
+            tm_mask: 0,
+            neg_threshold: 0,
+            neg_saturate: true,
+            reset_mode: ResetMode::Absolute,
+            reset: 0,
+            initial_potential: 0,
+            dest: Dest::None,
+        }
+    }
+}
+
+impl NeuronConfig {
+    /// Convenience constructor: deterministic integrate-and-fire with
+    /// threshold `alpha`, absolute reset to 0, and uniform weight `w` on
+    /// all four axon types.
+    pub fn lif(w: i16, alpha: i32) -> Self {
+        NeuronConfig {
+            weights: [w; NUM_AXON_TYPES],
+            threshold: alpha,
+            ..Default::default()
+        }
+    }
+
+    /// Convenience constructor: a Poisson-like stochastic source firing
+    /// with probability `num/256` per tick, independent of input. Built
+    /// from a stochastic leak of +1 w.p. `num/256` against threshold 1
+    /// with absolute reset — the standard trick for the paper's
+    /// probabilistically generated networks.
+    pub fn stochastic_source(num: u8) -> Self {
+        NeuronConfig {
+            leak: num as i16,
+            stoch_leak: true,
+            threshold: 1,
+            reset_mode: ResetMode::Absolute,
+            reset: 0,
+            ..Default::default()
+        }
+    }
+
+    /// One synaptic operation: integrate an event arriving on an axon of
+    /// type `ty` into potential `v`. Returns the new potential. Consumes
+    /// one PRNG draw iff the type's stochastic-synapse flag is set.
+    #[inline(always)]
+    pub fn integrate(&self, v: i32, ty: usize, prng: &mut CorePrng) -> i32 {
+        let s = self.weights[ty] as i64;
+        let dv = if self.stoch_synapse[ty] {
+            if prng.bernoulli_256(s.unsigned_abs() as u32) {
+                s.signum()
+            } else {
+                0
+            }
+        } else {
+            s
+        };
+        clamp_potential(v as i64 + dv)
+    }
+
+    /// Per-tick leak update. Consumes one PRNG draw iff stochastic leak is
+    /// enabled.
+    #[inline(always)]
+    pub fn apply_leak(&self, v: i32, prng: &mut CorePrng) -> i32 {
+        if self.leak == 0 && !self.stoch_leak {
+            return v;
+        }
+        let lam = self.leak as i64;
+        let mag = if self.stoch_leak {
+            if prng.bernoulli_256(lam.unsigned_abs() as u32) {
+                lam.signum()
+            } else {
+                0
+            }
+        } else {
+            lam
+        };
+        let dv = if self.leak_reversal {
+            // Leak direction follows the sign of V: Ω = sgn(V) (with
+            // sgn(0) = 0), so λ<0 decays toward zero from both sides.
+            mag * (v.signum() as i64)
+        } else {
+            mag
+        };
+        clamp_potential(v as i64 + dv)
+    }
+
+    /// Threshold, fire, and reset. Returns `(new_v, fired)`. Consumes one
+    /// PRNG draw iff `tm_mask != 0`.
+    #[inline(always)]
+    pub fn threshold_fire(&self, v: i32, prng: &mut CorePrng) -> (i32, bool) {
+        let eta = if self.tm_mask != 0 {
+            prng.draw_masked(self.tm_mask) as i64
+        } else {
+            0
+        };
+        let alpha = self.threshold as i64 + eta;
+        if (v as i64) >= alpha {
+            let nv = match self.reset_mode {
+                ResetMode::Absolute => self.reset,
+                ResetMode::Linear => clamp_potential(v as i64 - alpha),
+                ResetMode::None => v,
+            };
+            return (nv, true);
+        }
+        // Negative-threshold handling (no spike is emitted on the negative
+        // side; it bounds runaway inhibition).
+        let beta = self.neg_threshold as i64;
+        if beta > 0 && (v as i64) < -beta {
+            let nv = if self.neg_saturate {
+                clamp_potential(-beta)
+            } else {
+                clamp_potential(-(self.reset as i64))
+            };
+            return (nv, false);
+        }
+        (v, false)
+    }
+
+    /// Number of PRNG draws this configuration consumes for one event of
+    /// axon type `ty` — used by draw-accounting tests.
+    pub fn draws_per_event(&self, ty: usize) -> u64 {
+        self.stoch_synapse[ty] as u64
+    }
+
+    /// Number of PRNG draws consumed by the per-tick leak + threshold
+    /// stages.
+    pub fn draws_per_tick(&self) -> u64 {
+        let leak = (self.stoch_leak && self.leak != 0) as u64
+            + ((self.stoch_leak && self.leak == 0) as u64); // draw happens whenever flag set
+        let thr = (self.tm_mask != 0) as u64;
+        leak + thr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::POTENTIAL_MAX;
+
+    fn prng() -> CorePrng {
+        CorePrng::from_seed(1234)
+    }
+
+    #[test]
+    fn deterministic_integration_adds_weight() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(5, 100);
+        cfg.weights[2] = -3;
+        assert_eq!(cfg.integrate(10, 0, &mut p), 15);
+        assert_eq!(cfg.integrate(10, 2, &mut p), 7);
+        assert_eq!(p.draws(), 0, "deterministic path must not draw");
+    }
+
+    #[test]
+    fn integration_saturates_at_20_bits() {
+        let mut p = prng();
+        let cfg = NeuronConfig::lif(255, 100);
+        let v = cfg.integrate(POTENTIAL_MAX - 1, 0, &mut p);
+        assert_eq!(v, POTENTIAL_MAX);
+    }
+
+    #[test]
+    fn stochastic_synapse_mean_matches_probability() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 1000);
+        cfg.weights[0] = 64; // p = 64/256 = 0.25 of +1
+        cfg.stoch_synapse[0] = true;
+        let mut acc = 0i64;
+        let n = 20_000;
+        for _ in 0..n {
+            acc += cfg.integrate(0, 0, &mut p) as i64;
+        }
+        let mean = acc as f64 / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean={mean}");
+        assert_eq!(p.draws(), n);
+    }
+
+    #[test]
+    fn stochastic_negative_weight_decrements() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 1000);
+        cfg.weights[1] = -128; // p = 0.5 of −1
+        cfg.stoch_synapse[1] = true;
+        let mut acc = 0i64;
+        for _ in 0..10_000 {
+            acc += cfg.integrate(0, 1, &mut p) as i64;
+        }
+        let mean = acc as f64 / 10_000.0;
+        assert!((mean + 0.5).abs() < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn leak_applies_once_per_tick() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::default();
+        cfg.leak = -2;
+        assert_eq!(cfg.apply_leak(10, &mut p), 8);
+        assert_eq!(cfg.apply_leak(-10, &mut p), -12);
+        assert_eq!(p.draws(), 0);
+    }
+
+    #[test]
+    fn leak_reversal_decays_toward_zero() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::default();
+        cfg.leak = -3;
+        cfg.leak_reversal = true;
+        assert_eq!(cfg.apply_leak(10, &mut p), 7);
+        assert_eq!(cfg.apply_leak(-10, &mut p), -7);
+        assert_eq!(cfg.apply_leak(0, &mut p), 0);
+    }
+
+    #[test]
+    fn stochastic_leak_rate() {
+        let mut p = prng();
+        let cfg = NeuronConfig::stochastic_source(26); // ≈ 26/256 ≈ 0.1016
+        let mut v = 0;
+        let mut fires = 0;
+        for _ in 0..50_000 {
+            v = cfg.apply_leak(v, &mut p);
+            let (nv, fired) = cfg.threshold_fire(v, &mut p);
+            v = nv;
+            fires += fired as u32;
+        }
+        let rate = fires as f64 / 50_000.0;
+        let expect = 26.0 / 256.0;
+        assert!((rate - expect).abs() < 0.01, "rate={rate} expect={expect}");
+    }
+
+    #[test]
+    fn absolute_reset() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.reset = 2;
+        let (v, fired) = cfg.threshold_fire(15, &mut p);
+        assert!(fired);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn linear_reset_keeps_residue() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.reset_mode = ResetMode::Linear;
+        let (v, fired) = cfg.threshold_fire(17, &mut p);
+        assert!(fired);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn non_reset_mode() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.reset_mode = ResetMode::None;
+        let (v, fired) = cfg.threshold_fire(17, &mut p);
+        assert!(fired);
+        assert_eq!(v, 17);
+    }
+
+    #[test]
+    fn below_threshold_no_fire() {
+        let mut p = prng();
+        let cfg = NeuronConfig::lif(0, 10);
+        let (v, fired) = cfg.threshold_fire(9, &mut p);
+        assert!(!fired);
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn negative_threshold_saturates() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.neg_threshold = 5;
+        cfg.neg_saturate = true;
+        let (v, fired) = cfg.threshold_fire(-9, &mut p);
+        assert!(!fired);
+        assert_eq!(v, -5);
+    }
+
+    #[test]
+    fn negative_threshold_symmetric_reset() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.neg_threshold = 5;
+        cfg.neg_saturate = false;
+        cfg.reset = 1;
+        let (v, _) = cfg.threshold_fire(-9, &mut p);
+        assert_eq!(v, -1);
+    }
+
+    #[test]
+    fn stochastic_threshold_raises_effective_alpha() {
+        let mut p = prng();
+        let mut cfg = NeuronConfig::lif(0, 10);
+        cfg.tm_mask = 0x7; // η ∈ 0..=7 uniform
+        // V = 12 fires iff η <= 2, i.e. with probability 3/8.
+        let fires = (0..20_000)
+            .filter(|_| cfg.threshold_fire(12, &mut p).1)
+            .count();
+        let rate = fires as f64 / 20_000.0;
+        assert!((rate - 0.375).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn draw_accounting() {
+        let mut cfg = NeuronConfig::lif(1, 10);
+        assert_eq!(cfg.draws_per_event(0), 0);
+        assert_eq!(cfg.draws_per_tick(), 0);
+        cfg.stoch_synapse[0] = true;
+        cfg.stoch_leak = true;
+        cfg.tm_mask = 0xFF;
+        assert_eq!(cfg.draws_per_event(0), 1);
+        assert_eq!(cfg.draws_per_event(1), 0);
+        assert_eq!(cfg.draws_per_tick(), 2);
+    }
+}

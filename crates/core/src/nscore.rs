@@ -1,0 +1,408 @@
+//! The neurosynaptic core — the blueprint's "novel fundamental data
+//! structure ... which integrates axons, neurons, and synapses" (paper
+//! Section III-A).
+//!
+//! An individual core holds 256 input axons, 256 output neurons, and the
+//! 256×256 binary crossbar between them. It "brings computation,
+//! communication, and memory together and operates in an event-driven
+//! fashion": each tick the core consumes the pending axon events `A(t)`
+//! from its delay buffer, integrates them through the crossbar into the
+//! 256 membrane potentials, applies leak/threshold/reset per neuron, and
+//! emits output spikes.
+//!
+//! The per-tick scan order — neurons ascending, and within each neuron its
+//! active axons ascending — is part of the blueprint's determinism
+//! contract ([`crate`] docs) because saturating arithmetic and PRNG draws
+//! make order observable.
+
+use crate::address::{CoreId, NeuronId, OutSpike};
+use crate::crossbar::{Crossbar, ROW_WORDS};
+use crate::delay::DelayBuffer;
+use crate::neuron::NeuronConfig;
+use crate::prng::CorePrng;
+use crate::stats::TickStats;
+use crate::{AXONS_PER_CORE, NEURONS_PER_CORE, NUM_AXON_TYPES};
+
+/// Static (programmed) configuration of one core.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// The binary synapse matrix.
+    pub crossbar: Box<Crossbar>,
+    /// Type `G_i ∈ 0..4` of each input axon; selects which of the target
+    /// neuron's four weights an event carries.
+    pub axon_types: Box<[u8; AXONS_PER_CORE]>,
+    /// Per-neuron programmable parameters.
+    pub neurons: Box<[NeuronConfig; NEURONS_PER_CORE]>,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            crossbar: Box::new(Crossbar::new()),
+            axon_types: Box::new([0; AXONS_PER_CORE]),
+            neurons: Box::new(std::array::from_fn(|_| NeuronConfig::default())),
+        }
+    }
+}
+
+impl CoreConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate the configuration against blueprint invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &t) in self.axon_types.iter().enumerate() {
+            if t as usize >= NUM_AXON_TYPES {
+                return Err(format!("axon {i} has invalid type {t}"));
+            }
+        }
+        for (j, n) in self.neurons.iter().enumerate() {
+            if n.threshold < 0 {
+                return Err(format!("neuron {j} has negative threshold"));
+            }
+            if n.neg_threshold < 0 {
+                return Err(format!("neuron {j} has negative β"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A configured core plus its mutable runtime state.
+#[derive(Clone, Debug)]
+pub struct NeurosynapticCore {
+    id: CoreId,
+    cfg: CoreConfig,
+    /// Column-major shadow of the crossbar: `columns[j]` is the 256-bit
+    /// mask of axons feeding neuron `j`. Built once at construction; lets
+    /// the tick loop AND it against the active-axon vector instead of
+    /// probing individual bits (the software analogue of the SRAM's
+    /// one-row-read-per-event access pattern).
+    columns: Box<[[u64; ROW_WORDS]; NEURONS_PER_CORE]>,
+    potentials: Box<[i32; NEURONS_PER_CORE]>,
+    delay: Box<DelayBuffer>,
+    prng: CorePrng,
+    /// Disabled cores drop all computation — the paper's fault-tolerance
+    /// mechanism ("if a core fails, we disable it and route spike events
+    /// around it").
+    disabled: bool,
+}
+
+/// Build the column-major shadow masks from a crossbar.
+fn transpose(xbar: &Crossbar) -> Box<[[u64; ROW_WORDS]; NEURONS_PER_CORE]> {
+    let mut cols = Box::new([[0u64; ROW_WORDS]; NEURONS_PER_CORE]);
+    for i in 0..crate::AXONS_PER_CORE {
+        for j in xbar.iter_row(i) {
+            cols[j][i / 64] |= 1 << (i % 64);
+        }
+    }
+    cols
+}
+
+impl NeurosynapticCore {
+    /// Instantiate a core. The PRNG stream is derived from the network
+    /// seed and the core's dense id so that identical configurations
+    /// reproduce identical runs.
+    pub fn new(id: CoreId, cfg: CoreConfig, network_seed: u64) -> Self {
+        let potentials =
+            Box::new(std::array::from_fn(|j| cfg.neurons[j].initial_potential));
+        let columns = transpose(&cfg.crossbar);
+        NeurosynapticCore {
+            id,
+            cfg,
+            columns,
+            potentials,
+            delay: Box::new(DelayBuffer::new()),
+            prng: CorePrng::for_core(network_seed, id.0 as u64),
+            disabled: false,
+        }
+    }
+
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    pub fn potential(&self, neuron: usize) -> i32 {
+        self.potentials[neuron]
+    }
+
+    pub fn potentials(&self) -> &[i32; NEURONS_PER_CORE] {
+        &self.potentials
+    }
+
+    pub fn prng(&self) -> &CorePrng {
+        &self.prng
+    }
+
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Disable the core (fault injection). Pending and future input events
+    /// are discarded; no neuron updates occur.
+    pub fn set_disabled(&mut self, disabled: bool) {
+        self.disabled = disabled;
+    }
+
+    /// Deliver an input spike event to `axon`, to be consumed at absolute
+    /// tick `deliver_tick` (already includes the axonal delay).
+    #[inline]
+    pub fn deliver(&mut self, deliver_tick: u64, axon: u8) {
+        self.delay.schedule(deliver_tick, axon);
+    }
+
+    /// Number of input events pending in the delay buffer.
+    pub fn pending_events(&self) -> u32 {
+        self.delay.pending()
+    }
+
+    /// Execute one tick `t`: the Synapse, Neuron, and (local half of the)
+    /// Network phases of the kernel in paper Listing 1. Emitted spikes are
+    /// appended to `out`; the caller (a simulator expression) routes them.
+    pub fn tick(&mut self, t: u64, out: &mut Vec<OutSpike>, stats: &mut TickStats) {
+        let active: [u64; ROW_WORDS] = self.delay.take(t);
+        if self.disabled {
+            return;
+        }
+        stats.axon_events += active.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+
+        for j in 0..NEURONS_PER_CORE {
+            let cfg = &self.cfg.neurons[j];
+            let mut v = self.potentials[j];
+            // Synapse phase: conditional weighted accumulates over the
+            // axons that are both active this tick and connected to
+            // neuron j, in ascending axon order.
+            let col = &self.columns[j];
+            for w in 0..ROW_WORDS {
+                let mut hits = col[w] & active[w];
+                while hits != 0 {
+                    let a = w * 64 + hits.trailing_zeros() as usize;
+                    hits &= hits - 1;
+                    let ty = self.cfg.axon_types[a] as usize;
+                    v = cfg.integrate(v, ty, &mut self.prng);
+                    stats.sops += 1;
+                }
+            }
+            // Neuron phase: leak, threshold, fire, reset.
+            v = cfg.apply_leak(v, &mut self.prng);
+            let (nv, fired) = cfg.threshold_fire(v, &mut self.prng);
+            self.potentials[j] = nv;
+            stats.neuron_updates += 1;
+            if fired {
+                stats.spikes_out += 1;
+                out.push(OutSpike {
+                    src: NeuronId {
+                        core: self.id,
+                        neuron: j as u8,
+                    },
+                    dest: cfg.dest,
+                });
+            }
+        }
+        stats.prng_draws_end = self.prng.draws();
+    }
+
+    /// Structural summary used by the energy/timing models: the mean
+    /// fanout over connected rows, and the number of connected rows.
+    pub fn fanout_profile(&self) -> (f64, u32) {
+        let mut connected = 0u32;
+        let mut total = 0u64;
+        for i in 0..AXONS_PER_CORE {
+            let f = self.cfg.crossbar.row_fanout(i);
+            if f > 0 {
+                connected += 1;
+                total += f as u64;
+            }
+        }
+        let mean = if connected == 0 {
+            0.0
+        } else {
+            total as f64 / connected as f64
+        };
+        (mean, connected)
+    }
+
+    /// Capture this core's dynamic state (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::CoreSnapshot {
+        crate::snapshot::CoreSnapshot {
+            potentials: self.potentials.to_vec(),
+            prng_state: self.prng.state(),
+            prng_draws: self.prng.draws(),
+            delay_slots: self.delay.slots().to_vec(),
+            disabled: self.disabled,
+        }
+    }
+
+    /// Restore dynamic state captured by [`Self::snapshot`]. The static
+    /// configuration is not touched.
+    pub fn restore(&mut self, snap: &crate::snapshot::CoreSnapshot) {
+        assert_eq!(snap.potentials.len(), NEURONS_PER_CORE);
+        self.potentials.copy_from_slice(&snap.potentials);
+        self.prng = CorePrng::from_raw(snap.prng_state, snap.prng_draws);
+        self.delay.set_slots(&snap.delay_slots);
+        self.disabled = snap.disabled;
+    }
+
+    /// Snapshot of the dynamic state, used by equivalence regressions.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in self.potentials.iter() {
+            h ^= v as u32 as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= self.prng.state() as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= self.delay.pending() as u64;
+        h.wrapping_mul(0x1000_0000_01b3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{Dest, SpikeTarget};
+    use crate::neuron::ResetMode;
+
+    fn relay_core() -> NeurosynapticCore {
+        // Identity relay: axon i -> neuron i, weight 1, threshold 1.
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+        for j in 0..NEURONS_PER_CORE {
+            cfg.neurons[j] = NeuronConfig::lif(1, 1);
+            cfg.neurons[j].dest = Dest::Output(j as u32);
+        }
+        NeurosynapticCore::new(CoreId(0), cfg, 0)
+    }
+
+    #[test]
+    fn relay_passes_spikes_one_tick() {
+        let mut core = relay_core();
+        core.deliver(3, 42);
+        let mut out = Vec::new();
+        let mut st = TickStats::default();
+        core.tick(2, &mut out, &mut st);
+        assert!(out.is_empty(), "nothing due at tick 2");
+        core.tick(3, &mut out, &mut st);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].src.neuron, 42);
+        assert_eq!(out[0].dest, Dest::Output(42));
+    }
+
+    #[test]
+    fn sops_count_events_through_connected_synapses() {
+        let mut core = relay_core();
+        core.deliver(0, 1);
+        core.deliver(0, 2);
+        core.deliver(0, 3);
+        let mut out = Vec::new();
+        let mut st = TickStats::default();
+        core.tick(0, &mut out, &mut st);
+        assert_eq!(st.axon_events, 3);
+        assert_eq!(st.sops, 3, "identity crossbar: one SOP per event");
+        assert_eq!(st.spikes_out, 3);
+        assert_eq!(st.neuron_updates, 256);
+    }
+
+    #[test]
+    fn fanout_multiplies_sops() {
+        // One axon fanning out to all 256 neurons.
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, _| i == 0);
+        for j in 0..NEURONS_PER_CORE {
+            cfg.neurons[j] = NeuronConfig::lif(1, 10);
+        }
+        let mut core = NeurosynapticCore::new(CoreId(1), cfg, 0);
+        core.deliver(5, 0);
+        let mut out = Vec::new();
+        let mut st = TickStats::default();
+        core.tick(5, &mut out, &mut st);
+        assert_eq!(st.axon_events, 1);
+        assert_eq!(st.sops, 256);
+        assert!(out.is_empty(), "threshold 10 not reached by one event");
+        assert_eq!(core.potential(100), 1);
+    }
+
+    #[test]
+    fn axon_types_select_weights() {
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| j == 0 && i < 2);
+        cfg.axon_types[0] = 0;
+        cfg.axon_types[1] = 3;
+        cfg.neurons[0].weights = [5, 0, 0, -2];
+        cfg.neurons[0].threshold = 1000;
+        let mut core = NeurosynapticCore::new(CoreId(0), cfg, 0);
+        core.deliver(0, 0);
+        core.deliver(0, 1);
+        let (mut out, mut st) = (Vec::new(), TickStats::default());
+        core.tick(0, &mut out, &mut st);
+        assert_eq!(core.potential(0), 3, "5 (type 0) + −2 (type 3)");
+    }
+
+    #[test]
+    fn disabled_core_is_silent() {
+        let mut core = relay_core();
+        core.set_disabled(true);
+        core.deliver(0, 7);
+        let (mut out, mut st) = (Vec::new(), TickStats::default());
+        core.tick(0, &mut out, &mut st);
+        assert!(out.is_empty());
+        assert_eq!(st.sops, 0);
+        assert_eq!(st.neuron_updates, 0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let build = || {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j) % 5 == 0);
+            for j in 0..NEURONS_PER_CORE {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(40);
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(0), (j % 256) as u8, 1));
+            }
+            NeurosynapticCore::new(CoreId(9), cfg, 777)
+        };
+        let mut a = build();
+        let mut b = build();
+        for t in 0..200 {
+            let (mut oa, mut ob) = (Vec::new(), Vec::new());
+            let (mut sa, mut sb) = (TickStats::default(), TickStats::default());
+            a.tick(t, &mut oa, &mut sa);
+            b.tick(t, &mut ob, &mut sb);
+            assert_eq!(oa, ob, "divergence at tick {t}");
+            assert_eq!(a.state_digest(), b.state_digest());
+        }
+    }
+
+    #[test]
+    fn linear_reset_spike_train() {
+        // Constant drive of +3 against threshold 10 with linear reset
+        // should fire at exactly rate 3/10 over long windows.
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| i == 0 && j == 0);
+        cfg.neurons[0] = NeuronConfig::lif(3, 10);
+        cfg.neurons[0].reset_mode = ResetMode::Linear;
+        let mut core = NeurosynapticCore::new(CoreId(0), cfg, 0);
+        let mut fires = 0;
+        for t in 0..1000u64 {
+            core.deliver(t, 0);
+            let (mut out, mut st) = (Vec::new(), TickStats::default());
+            core.tick(t, &mut out, &mut st);
+            fires += out.len();
+        }
+        assert_eq!(fires, 300);
+    }
+
+    #[test]
+    fn validate_catches_bad_axon_type() {
+        let mut cfg = CoreConfig::new();
+        cfg.axon_types[17] = 4;
+        assert!(cfg.validate().is_err());
+        cfg.axon_types[17] = 3;
+        assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! Hardware-style pseudo-random number generation.
+//!
+//! Each neurosynaptic core contains one linear-feedback shift register
+//! (LFSR) PRNG that serves the stochastic synapse, stochastic leak, and
+//! stochastic threshold modes of all 256 neurons on the core (paper
+//! Section III-A: "the active connections are integrated probabilistically
+//! (using a pseudo-random number generator, PRNG, in each core)").
+//!
+//! The exact generator polynomial of the silicon is not published; the
+//! blueprint fixes a 32-bit Galois LFSR with a maximal-length tap mask.
+//! What matters for the paper's 1:1 equivalence property is not the choice
+//! of generator but that both expressions (software simulator and chip
+//! simulator) consume draws from the *same* generator in the *same* order —
+//! which this module guarantees by being the single implementation.
+
+/// Tap mask of a maximal-length 32-bit Galois LFSR (x^32+x^22+x^2+x^1+1).
+const GALOIS_TAPS: u32 = 0x8020_0003;
+
+/// Per-core deterministic PRNG.
+///
+/// Cloning a `CorePrng` clones its state, so snapshots of simulations can
+/// be compared draw-for-draw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorePrng {
+    state: u32,
+    draws: u64,
+}
+
+impl CorePrng {
+    /// Create a PRNG from a 64-bit seed. The seed is mixed with a
+    /// SplitMix64 finalizer so that consecutive core ids produce
+    /// uncorrelated streams; a zero state (the LFSR fixed point) is mapped
+    /// away.
+    pub fn from_seed(seed: u64) -> Self {
+        let mixed = splitmix64(seed);
+        let mut state = (mixed ^ (mixed >> 32)) as u32;
+        if state == 0 {
+            state = 0x1F2E_3D4C;
+        }
+        CorePrng { state, draws: 0 }
+    }
+
+    /// Derive the PRNG for core `core_index` of a network seeded with
+    /// `network_seed`. Used by [`crate::nscore::NeurosynapticCore`].
+    pub fn for_core(network_seed: u64, core_index: u64) -> Self {
+        Self::from_seed(network_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ core_index)
+    }
+
+    /// Advance the LFSR one step and return the full 32-bit state.
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= GALOIS_TAPS;
+        }
+        self.draws += 1;
+        self.state
+    }
+
+    /// Draw an 8-bit uniform value (used to compare against |weight| /
+    /// |leak| magnitudes in the stochastic modes).
+    #[inline(always)]
+    pub fn draw8(&mut self) -> u8 {
+        (self.next_u32() >> 13) as u8
+    }
+
+    /// Draw masked by `mask` — the hardware's stochastic-threshold draw
+    /// `η = ρ & M` (paper Section III-A: "thresholds can also be drawn from
+    /// the PRNG").
+    #[inline(always)]
+    pub fn draw_masked(&mut self, mask: u32) -> u32 {
+        self.next_u32() & mask
+    }
+
+    /// Bernoulli draw: true with probability `num / 256`.
+    ///
+    /// `num == 0` never fires and `num >= 256` always fires; neither
+    /// consumes entropy asymmetrically — exactly one draw is consumed in
+    /// all cases so that configuration changes do not shift the stream of
+    /// *other* stochastic features.
+    #[inline(always)]
+    pub fn bernoulli_256(&mut self, num: u32) -> bool {
+        (self.draw8() as u32) < num
+    }
+
+    /// Number of draws consumed so far; simulators cross-check this in the
+    /// equivalence regressions.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Raw LFSR state (for snapshot comparison).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Rebuild a PRNG from raw snapshot fields. The state must be
+    /// non-zero (the LFSR fixed point is unreachable in normal
+    /// operation).
+    pub fn from_raw(state: u32, draws: u64) -> Self {
+        assert_ne!(state, 0, "zero is the LFSR fixed point");
+        CorePrng { state, draws }
+    }
+}
+
+/// SplitMix64 finalizer, used only for seeding.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = CorePrng::from_seed(42);
+        let mut b = CorePrng::from_seed(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_cores_get_different_streams() {
+        let mut a = CorePrng::for_core(7, 0);
+        let mut b = CorePrng::for_core(7, 1);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same} collisions");
+    }
+
+    #[test]
+    fn zero_seed_does_not_stick() {
+        let mut p = CorePrng::from_seed(0);
+        let first = p.next_u32();
+        let second = p.next_u32();
+        assert_ne!(first, 0);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn lfsr_period_is_long() {
+        // The maximal-length 32-bit LFSR must not cycle quickly.
+        let mut p = CorePrng::from_seed(1);
+        let start = p.state();
+        for _ in 0..100_000 {
+            p.next_u32();
+            assert_ne!(p.state(), 0, "LFSR fell into the zero fixed point");
+        }
+        assert_ne!(p.state(), start, "cycled within 100k draws");
+    }
+
+    #[test]
+    fn draw8_is_roughly_uniform() {
+        let mut p = CorePrng::from_seed(99);
+        let mut counts = [0u32; 256];
+        let n = 256 * 200;
+        for _ in 0..n {
+            counts[p.draw8() as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 100 && max < 320, "min={min} max={max}");
+    }
+
+    #[test]
+    fn bernoulli_bounds() {
+        let mut p = CorePrng::from_seed(3);
+        for _ in 0..100 {
+            assert!(!p.bernoulli_256(0));
+            assert!(p.bernoulli_256(256));
+        }
+        // p = 128/256 should be near one half.
+        let hits = (0..10_000).filter(|_| p.bernoulli_256(128)).count();
+        assert!((4_500..5_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn draws_counter_tracks_consumption() {
+        let mut p = CorePrng::from_seed(5);
+        assert_eq!(p.draws(), 0);
+        p.draw8();
+        p.draw_masked(0xFF);
+        p.bernoulli_256(10);
+        assert_eq!(p.draws(), 3);
+    }
+}

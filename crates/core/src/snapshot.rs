@@ -1,0 +1,169 @@
+//! Dynamic-state snapshots: checkpoint and restore of a running network.
+//!
+//! Compass supported checkpointing for its long supercomputer runs; the
+//! equivalent here captures everything the blueprint's determinism
+//! contract says a network's evolution depends on *at runtime*: membrane
+//! potentials, PRNG states, and pending delay-buffer events. Restoring a
+//! snapshot onto an identically-configured network resumes the simulation
+//! bit-exactly — verified by the `resume_is_bit_exact` test and used by
+//! the harness to split long regressions across sessions.
+
+use crate::crossbar::ROW_WORDS;
+use crate::network::Network;
+use crate::{DELAY_SLOTS, NEURONS_PER_CORE};
+
+/// Dynamic state of one core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoreSnapshot {
+    pub potentials: Vec<i32>,
+    pub prng_state: u32,
+    pub prng_draws: u64,
+    /// Delay-buffer slots, absolute-slot-indexed (slot = tick mod 16).
+    pub delay_slots: Vec<[u64; ROW_WORDS]>,
+    pub disabled: bool,
+}
+
+/// Snapshot of a whole network at a tick boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetworkSnapshot {
+    /// The tick at which the snapshot was taken (the next tick to run).
+    pub tick: u64,
+    pub cores: Vec<CoreSnapshot>,
+}
+
+impl NetworkSnapshot {
+    /// Capture the dynamic state of `net` as of tick `tick`.
+    pub fn capture(net: &Network, tick: u64) -> Self {
+        NetworkSnapshot {
+            tick,
+            cores: net.cores().iter().map(|c| c.snapshot()).collect(),
+        }
+    }
+
+    /// Restore this state onto an identically-shaped network. Panics if
+    /// the core count differs; configuration equality is the caller's
+    /// responsibility (use [`crate::modelfile`] to persist that half).
+    pub fn restore(&self, net: &mut Network) {
+        assert_eq!(
+            net.num_cores(),
+            self.cores.len(),
+            "snapshot shape mismatch"
+        );
+        for (core, snap) in net.cores_mut().iter_mut().zip(&self.cores) {
+            core.restore(snap);
+        }
+    }
+
+    /// Approximate size in bytes (for checkpoint budgeting).
+    pub fn size_bytes(&self) -> usize {
+        self.cores.len()
+            * (NEURONS_PER_CORE * 4 + 12 + DELAY_SLOTS * ROW_WORDS * 8 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{CoreId, Dest, SpikeTarget};
+    use crate::crossbar::Crossbar;
+    use crate::network::NetworkBuilder;
+    use crate::neuron::NeuronConfig;
+    use crate::nscore::CoreConfig;
+    use crate::stats::TickStats;
+
+    fn active_net(seed: u64) -> Network {
+        let mut b = NetworkBuilder::new(3, 3, seed);
+        for c in 0..9usize {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j + c) % 11 == 0);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(35);
+                cfg.neurons[j].weights = [1, 0, 0, 0];
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(((c + j) % 9) as u32),
+                    (j * 3 % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+            b.add_core(cfg);
+        }
+        b.build()
+    }
+
+    fn run_ticks(net: &mut Network, from: u64, ticks: u64) {
+        let mut out = Vec::new();
+        let mut stats = TickStats::default();
+        for t in from..from + ticks {
+            out.clear();
+            for idx in 0..net.num_cores() {
+                net.cores_mut()[idx].tick(t, &mut out, &mut stats);
+            }
+            for s in out.iter() {
+                if let Dest::Axon(tgt) = s.dest {
+                    net.core_mut(tgt.core).deliver(t + tgt.delay as u64, tgt.axon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        // Continuous run vs snapshot-at-30 + restore-and-continue.
+        let mut continuous = active_net(77);
+        run_ticks(&mut continuous, 0, 100);
+
+        let mut first_half = active_net(77);
+        run_ticks(&mut first_half, 0, 30);
+        let snap = NetworkSnapshot::capture(&first_half, 30);
+
+        let mut resumed = active_net(77); // fresh network, same config
+        snap.restore(&mut resumed);
+        run_ticks(&mut resumed, snap.tick, 70);
+
+        assert_eq!(continuous.state_digest(), resumed.state_digest());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_equality() {
+        let mut net = active_net(5);
+        run_ticks(&mut net, 0, 17);
+        let a = NetworkSnapshot::capture(&net, 17);
+        let mut other = active_net(5);
+        a.restore(&mut other);
+        let b = NetworkSnapshot::capture(&other, 17);
+        assert_eq!(a, b);
+        assert_eq!(net.state_digest(), other.state_digest());
+    }
+
+    #[test]
+    fn snapshot_captures_pending_events() {
+        let mut net = active_net(9);
+        net.core_mut(CoreId(0)).deliver(5, 123);
+        let snap = NetworkSnapshot::capture(&net, 0);
+        let pending: u32 = snap.cores[0]
+            .delay_slots
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|w| w.count_ones())
+            .sum();
+        assert_eq!(pending, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restoring_onto_wrong_shape_panics() {
+        let net = active_net(1);
+        let snap = NetworkSnapshot::capture(&net, 0);
+        let mut small = NetworkBuilder::new(1, 1, 1).build();
+        snap.restore(&mut small);
+    }
+
+    #[test]
+    fn size_estimate_is_sane() {
+        let net = active_net(1);
+        let snap = NetworkSnapshot::capture(&net, 0);
+        // 9 cores ≈ 9 × (1 KiB potentials + 2 KiB delays).
+        let kb = snap.size_bytes() / 1024;
+        assert!((9..=30).contains(&kb), "{kb} KiB");
+    }
+}

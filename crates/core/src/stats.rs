@@ -1,0 +1,165 @@
+//! Statistics and SOPS accounting.
+//!
+//! The paper defines the fundamental operation as a *synaptic operation*:
+//! "a conditional weighted-accumulate operation that forms the inner loop
+//! of the neuron function", counted only when the synapse is active
+//! (`W_{i,j} = 1`) **and** a spike arrives on the axon (`A_i(t) = 1`)
+//! (Section V-1). SOPS = synaptic operations per second =
+//! `avg firing rate × avg active synapses × neurons`.
+
+use std::ops::AddAssign;
+
+/// Event counts for one tick of one core (or, accumulated, of a network).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Axon events consumed (spikes delivered into cores this tick).
+    pub axon_events: u64,
+    /// Synaptic operations: events × connected synapses actually
+    /// integrated.
+    pub sops: u64,
+    /// Neurons evaluated (leak/threshold path) this tick.
+    pub neuron_updates: u64,
+    /// Spikes emitted by neurons this tick.
+    pub spikes_out: u64,
+    /// PRNG draw counter after the tick (diagnostic; not additive).
+    pub prng_draws_end: u64,
+}
+
+impl AddAssign for TickStats {
+    fn add_assign(&mut self, rhs: TickStats) {
+        self.axon_events += rhs.axon_events;
+        self.sops += rhs.sops;
+        self.neuron_updates += rhs.neuron_updates;
+        self.spikes_out += rhs.spikes_out;
+        self.prng_draws_end = self.prng_draws_end.max(rhs.prng_draws_end);
+    }
+}
+
+/// Accumulated statistics over a whole run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    pub ticks: u64,
+    pub totals: TickStats,
+    /// Wall-clock seconds spent simulating (filled in by simulators).
+    pub wall_seconds: f64,
+    /// Sum over spikes of mesh hops traversed (filled in by routing
+    /// simulators; zero for the abstract reference simulator).
+    pub total_hops: u64,
+    /// Spikes that crossed a chip boundary (merge–split traversals).
+    pub boundary_crossings: u64,
+}
+
+impl RunStats {
+    /// Mean firing rate in Hz per neuron, assuming the nominal 1 ms tick
+    /// and `neurons` neurons in the network.
+    pub fn mean_rate_hz(&self, neurons: u64) -> f64 {
+        if self.ticks == 0 || neurons == 0 {
+            return 0.0;
+        }
+        self.totals.spikes_out as f64 / (self.ticks as f64 * crate::TICK_SECONDS)
+            / neurons as f64
+    }
+
+    /// Synaptic operations per biological (network) second at real time.
+    pub fn sops_per_second_realtime(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.totals.sops as f64 / (self.ticks as f64 * crate::TICK_SECONDS)
+    }
+
+    /// Mean synaptic ops per tick.
+    pub fn sops_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.totals.sops as f64 / self.ticks as f64
+    }
+
+    /// Mean hops per emitted spike (0 when routing wasn't modelled).
+    pub fn mean_hops(&self) -> f64 {
+        if self.totals.spikes_out == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.totals.spikes_out as f64
+    }
+
+    /// Wall-clock seconds per simulated tick.
+    pub fn seconds_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.wall_seconds / self.ticks as f64
+    }
+
+    /// Slowdown relative to biological real time (1.0 = real-time;
+    /// >1 = slower than real time).
+    pub fn realtime_slowdown(&self) -> f64 {
+        self.seconds_per_tick() / crate::TICK_SECONDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_stats_accumulate() {
+        let mut a = TickStats {
+            axon_events: 1,
+            sops: 10,
+            neuron_updates: 256,
+            spikes_out: 2,
+            prng_draws_end: 5,
+        };
+        a += TickStats {
+            axon_events: 3,
+            sops: 30,
+            neuron_updates: 256,
+            spikes_out: 4,
+            prng_draws_end: 9,
+        };
+        assert_eq!(a.axon_events, 4);
+        assert_eq!(a.sops, 40);
+        assert_eq!(a.neuron_updates, 512);
+        assert_eq!(a.spikes_out, 6);
+        assert_eq!(a.prng_draws_end, 9);
+    }
+
+    #[test]
+    fn rate_math() {
+        let rs = RunStats {
+            ticks: 1000,
+            totals: TickStats {
+                spikes_out: 20_000,
+                sops: 2_560_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // 20k spikes / 1000 neurons / 1 s = 20 Hz
+        assert!((rs.mean_rate_hz(1000) - 20.0).abs() < 1e-9);
+        // 2.56M sops over 1 s of network time.
+        assert!((rs.sops_per_second_realtime() - 2.56e6).abs() < 1.0);
+        assert!((rs.sops_per_tick() - 2560.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown() {
+        let rs = RunStats {
+            ticks: 100,
+            wall_seconds: 1.2,
+            ..Default::default()
+        };
+        assert!((rs.seconds_per_tick() - 0.012).abs() < 1e-12);
+        assert!((rs.realtime_slowdown() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let rs = RunStats::default();
+        assert_eq!(rs.mean_rate_hz(100), 0.0);
+        assert_eq!(rs.sops_per_second_realtime(), 0.0);
+        assert_eq!(rs.mean_hops(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the blueprint's core data structures.
+
+use proptest::prelude::*;
+use tn_core::crossbar::Crossbar;
+use tn_core::delay::{iter_active_axons, DelayBuffer};
+use tn_core::neuron::{NeuronConfig, ResetMode};
+use tn_core::prng::CorePrng;
+use tn_core::{clamp_potential, POTENTIAL_MAX, POTENTIAL_MIN};
+
+proptest! {
+    /// Crossbar set/get/clear roundtrips for arbitrary coordinate sets.
+    #[test]
+    fn crossbar_set_get_roundtrip(points in prop::collection::hash_set((0usize..256, 0usize..256), 0..200)) {
+        let mut xb = Crossbar::new();
+        for &(i, j) in &points {
+            xb.set(i, j, true);
+        }
+        prop_assert_eq!(xb.active_synapses() as usize, points.len());
+        for &(i, j) in &points {
+            prop_assert!(xb.get(i, j));
+        }
+        // Row iteration covers exactly the set points of the row.
+        for i in 0..256 {
+            let row: Vec<usize> = xb.iter_row(i).collect();
+            let expect: usize = points.iter().filter(|&&(a, _)| a == i).count();
+            prop_assert_eq!(row.len(), expect);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "ascending");
+        }
+        // Clearing restores emptiness.
+        for &(i, j) in &points {
+            xb.set(i, j, false);
+        }
+        prop_assert_eq!(xb.active_synapses(), 0);
+    }
+
+    /// Row fanout equals column-fanin totals (double counting check).
+    #[test]
+    fn crossbar_fanout_fanin_balance(seed in any::<u32>()) {
+        let xb = Crossbar::from_fn(|i, j| {
+            (i as u32).wrapping_mul(2654435761)
+                .wrapping_add((j as u32).wrapping_mul(40503))
+                .wrapping_add(seed) % 11 == 0
+        });
+        let by_rows: u32 = (0..256).map(|i| xb.row_fanout(i)).sum();
+        let by_cols: u32 = (0..256).map(|j| xb.column_fanin(j)).sum();
+        prop_assert_eq!(by_rows, by_cols);
+        prop_assert_eq!(by_rows, xb.active_synapses());
+    }
+
+    /// Delay-buffer scheduling: every scheduled event is consumed exactly
+    /// once, at exactly its delivery tick (within the 16-tick horizon).
+    #[test]
+    fn delay_buffer_delivers_exactly_once(
+        events in prop::collection::vec((0u64..16, 0u8..=255), 1..100)
+    ) {
+        let mut buf = DelayBuffer::new();
+        use std::collections::HashSet;
+        let unique: HashSet<(u64, u8)> = events.iter().copied().collect();
+        for &(t, a) in &unique {
+            buf.schedule(t, a);
+        }
+        prop_assert_eq!(buf.pending() as usize, unique.len());
+        let mut seen = HashSet::new();
+        for t in 0..16u64 {
+            for a in iter_active_axons(&buf.take(t)) {
+                prop_assert!(unique.contains(&(t, a)), "unscheduled delivery");
+                prop_assert!(seen.insert((t, a)), "double delivery");
+            }
+        }
+        prop_assert_eq!(seen.len(), unique.len());
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Potential clamping is idempotent, monotone, and range-correct.
+    #[test]
+    fn clamp_properties(a in any::<i64>(), b in any::<i64>()) {
+        let ca = clamp_potential(a);
+        prop_assert!((POTENTIAL_MIN..=POTENTIAL_MAX).contains(&ca));
+        prop_assert_eq!(clamp_potential(ca as i64), ca, "idempotent");
+        if a <= b {
+            prop_assert!(ca <= clamp_potential(b), "monotone");
+        }
+    }
+
+    /// The neuron update never leaves the 20-bit envelope and never fires
+    /// below a positive deterministic threshold from a sub-threshold
+    /// state without input.
+    #[test]
+    fn neuron_update_stays_in_envelope(
+        w in -255i16..=255,
+        leak in -64i16..=64,
+        thr in 1i32..=1000,
+        v0 in POTENTIAL_MIN..=POTENTIAL_MAX,
+        steps in 1usize..200,
+    ) {
+        let cfg = NeuronConfig {
+            weights: [w, 0, 0, 0],
+            leak,
+            threshold: thr,
+            reset_mode: ResetMode::Linear,
+            ..Default::default()
+        };
+        let mut prng = CorePrng::from_seed(1);
+        let mut v = v0;
+        for s in 0..steps {
+            if s % 3 == 0 {
+                v = cfg.integrate(v, 0, &mut prng);
+            }
+            v = cfg.apply_leak(v, &mut prng);
+            let (nv, fired) = cfg.threshold_fire(v, &mut prng);
+            if fired {
+                prop_assert!(v >= thr, "fired below threshold");
+            }
+            v = nv;
+            prop_assert!((POTENTIAL_MIN..=POTENTIAL_MAX).contains(&v));
+        }
+    }
+
+    /// PRNG streams are reproducible and restorable from raw state.
+    #[test]
+    fn prng_restore_resumes_stream(seed in any::<u64>(), skip in 0usize..500) {
+        let mut a = CorePrng::from_seed(seed);
+        for _ in 0..skip {
+            a.next_u32();
+        }
+        let mut b = CorePrng::from_raw(a.state(), a.draws());
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_u32(), b.next_u32());
+        }
+        prop_assert_eq!(a.draws(), b.draws());
+    }
+
+    /// Model-file save/load roundtrips arbitrary sparse configurations.
+    #[test]
+    fn modelfile_roundtrip(
+        synapses in prop::collection::vec((0usize..256, 0usize..256), 0..50),
+        weights in prop::collection::vec(-255i16..=255, 4),
+        thr in 1i32..=100_000,
+        seed in any::<u64>(),
+    ) {
+        use tn_core::{CoreConfig, NetworkBuilder, Dest};
+        let mut b = NetworkBuilder::new(2, 1, seed);
+        let mut cfg = CoreConfig::new();
+        for &(i, j) in &synapses {
+            cfg.crossbar.set(i, j, true);
+        }
+        cfg.neurons[7] = tn_core::NeuronConfig {
+            weights: [weights[0], weights[1], weights[2], weights[3]],
+            threshold: thr,
+            dest: Dest::Output(1234),
+            ..Default::default()
+        };
+        b.add_core(cfg);
+        let net = b.build();
+        let text = tn_core::modelfile::save(&net);
+        let loaded = tn_core::modelfile::load(&text).unwrap();
+        prop_assert_eq!(loaded.seed(), net.seed());
+        let (a, c) = (net.core(tn_core::CoreId(0)), loaded.core(tn_core::CoreId(0)));
+        prop_assert_eq!(&*a.config().crossbar, &*c.config().crossbar);
+        prop_assert_eq!(&a.config().neurons[7], &c.config().neurons[7]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The corelet compiler substrate: allocation, wiring, pins.
+
+use tn_core::{
+    CoreConfig, CoreId, Dest, NetworkBuilder, Network, SpikeTarget, AXONS_PER_CORE,
+    NEURONS_PER_CORE,
+};
+
+/// An input connection point: a (core, axon) pair a spike stream can be
+/// wired into.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct InputPin {
+    pub core: CoreId,
+    pub axon: u8,
+}
+
+/// An output connection point: a neuron whose spikes carry the corelet's
+/// result.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OutputRef {
+    pub core: CoreId,
+    pub neuron: u8,
+}
+
+/// Compositional builder for networks of corelets.
+///
+/// Wraps a [`NetworkBuilder`] and adds per-core axon/neuron allocation so
+/// independent corelets can share cores without clashing, plus the wiring
+/// primitives corelets compose with.
+pub struct CoreletBuilder {
+    net: NetworkBuilder,
+    /// Next free axon per configured core.
+    axon_cursor: Vec<u16>,
+    /// Next free neuron per configured core.
+    neuron_cursor: Vec<u16>,
+    /// Next external output port.
+    next_port: u32,
+}
+
+impl CoreletBuilder {
+    pub fn new(width: u16, height: u16, seed: u64) -> Self {
+        let n = width as usize * height as usize;
+        CoreletBuilder {
+            net: NetworkBuilder::new(width, height, seed),
+            axon_cursor: vec![0; n],
+            neuron_cursor: vec![0; n],
+            next_port: 0,
+        }
+    }
+
+    /// A single-chip (64×64) canvas.
+    pub fn single_chip(seed: u64) -> Self {
+        Self::new(64, 64, seed)
+    }
+
+    /// Allocate a fresh core and return its id.
+    pub fn alloc_core(&mut self) -> CoreId {
+        self.net.add_core(CoreConfig::new())
+    }
+
+    /// Number of cores allocated so far.
+    pub fn cores_used(&self) -> usize {
+        self.net.used_cores()
+    }
+
+    /// Total capacity of the canvas.
+    pub fn capacity(&self) -> usize {
+        self.net.num_cores()
+    }
+
+    /// Mutable access to a core's configuration.
+    pub fn core(&mut self, id: CoreId) -> &mut CoreConfig {
+        self.net.core_config_mut(id)
+    }
+
+    /// Allocate `n` consecutive axons on `core`; returns the first index.
+    /// Panics when the core's 256 axons are exhausted.
+    pub fn alloc_axons(&mut self, core: CoreId, n: usize) -> u8 {
+        let cur = &mut self.axon_cursor[core.index()];
+        assert!(
+            *cur as usize + n <= AXONS_PER_CORE,
+            "core {core:?} out of axons ({cur} used, {n} requested)"
+        );
+        let first = *cur as u8;
+        *cur += n as u16;
+        first
+    }
+
+    /// Allocate `n` consecutive neurons on `core`; returns the first
+    /// index.
+    pub fn alloc_neurons(&mut self, core: CoreId, n: usize) -> u8 {
+        let cur = &mut self.neuron_cursor[core.index()];
+        assert!(
+            *cur as usize + n <= NEURONS_PER_CORE,
+            "core {core:?} out of neurons ({cur} used, {n} requested)"
+        );
+        let first = *cur as u8;
+        *cur += n as u16;
+        first
+    }
+
+    /// Remaining free axons on a core.
+    pub fn free_axons(&self, core: CoreId) -> usize {
+        AXONS_PER_CORE - self.axon_cursor[core.index()] as usize
+    }
+
+    /// Remaining free neurons on a core.
+    pub fn free_neurons(&self, core: CoreId) -> usize {
+        NEURONS_PER_CORE - self.neuron_cursor[core.index()] as usize
+    }
+
+    /// Wire a corelet output to an input pin with an axonal `delay`
+    /// (1..=15). A neuron has exactly one target; wiring the same output
+    /// twice panics — use a [`crate::splitter`] for fanout.
+    pub fn wire(&mut self, from: OutputRef, to: InputPin, delay: u8) {
+        let cfg = self.net.core_config_mut(from.core);
+        let slot = &mut cfg.neurons[from.neuron as usize].dest;
+        assert!(
+            matches!(slot, Dest::None),
+            "neuron {from:?} already wired; insert a splitter for fanout"
+        );
+        *slot = Dest::Axon(SpikeTarget::new(to.core, to.axon, delay));
+    }
+
+    /// Expose a corelet output as an external output port; returns the
+    /// port id.
+    pub fn expose(&mut self, from: OutputRef) -> u32 {
+        let port = self.next_port;
+        self.next_port += 1;
+        let cfg = self.net.core_config_mut(from.core);
+        let slot = &mut cfg.neurons[from.neuron as usize].dest;
+        assert!(
+            matches!(slot, Dest::None),
+            "neuron {from:?} already wired; insert a splitter for fanout"
+        );
+        *slot = Dest::Output(port);
+        port
+    }
+
+    /// Expose with an explicit port id (applications that encode pixel
+    /// coordinates in ports).
+    pub fn expose_as(&mut self, from: OutputRef, port: u32) {
+        let cfg = self.net.core_config_mut(from.core);
+        let slot = &mut cfg.neurons[from.neuron as usize].dest;
+        assert!(matches!(slot, Dest::None), "neuron {from:?} already wired");
+        *slot = Dest::Output(port);
+        self.next_port = self.next_port.max(port + 1);
+    }
+
+    /// Finalize into an executable network.
+    pub fn build(self) -> Network {
+        self.net.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::NeuronConfig;
+
+    #[test]
+    fn axon_and_neuron_allocation() {
+        let mut b = CoreletBuilder::new(4, 4, 0);
+        let c = b.alloc_core();
+        assert_eq!(b.alloc_axons(c, 10), 0);
+        assert_eq!(b.alloc_axons(c, 5), 10);
+        assert_eq!(b.free_axons(c), 256 - 15);
+        assert_eq!(b.alloc_neurons(c, 200), 0);
+        assert_eq!(b.free_neurons(c), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of axons")]
+    fn axon_exhaustion_panics() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        let c = b.alloc_core();
+        b.alloc_axons(c, 200);
+        b.alloc_axons(c, 100);
+    }
+
+    #[test]
+    fn wire_sets_destination() {
+        let mut b = CoreletBuilder::new(2, 1, 0);
+        let c0 = b.alloc_core();
+        let c1 = b.alloc_core();
+        b.core(c0).neurons[3] = NeuronConfig::lif(1, 1);
+        b.wire(
+            OutputRef { core: c0, neuron: 3 },
+            InputPin { core: c1, axon: 7 },
+            2,
+        );
+        let net = b.build();
+        assert_eq!(
+            net.core(c0).config().neurons[3].dest,
+            Dest::Axon(SpikeTarget::new(c1, 7, 2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wire_panics() {
+        let mut b = CoreletBuilder::new(2, 1, 0);
+        let c0 = b.alloc_core();
+        let c1 = b.alloc_core();
+        let out = OutputRef { core: c0, neuron: 0 };
+        b.wire(out, InputPin { core: c1, axon: 0 }, 1);
+        b.wire(out, InputPin { core: c1, axon: 1 }, 1);
+    }
+
+    #[test]
+    fn expose_assigns_sequential_ports() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        let c = b.alloc_core();
+        let p0 = b.expose(OutputRef { core: c, neuron: 0 });
+        let p1 = b.expose(OutputRef { core: c, neuron: 1 });
+        assert_eq!((p0, p1), (0, 1));
+        b.expose_as(OutputRef { core: c, neuron: 2 }, 500);
+        let p3 = b.expose(OutputRef { core: c, neuron: 3 });
+        assert_eq!(p3, 501, "cursor jumps past explicit ports");
+    }
+}

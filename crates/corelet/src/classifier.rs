@@ -1,0 +1,168 @@
+//! Template-matching classifier corelet.
+//!
+//! The What network of the paper's NeoVision application classifies
+//! detected objects into classes (people, cyclists, cars, buses, trucks).
+//! The classifier here is the standard TrueNorth construction: each class
+//! neuron accumulates rate-coded feature evidence through a quantized
+//! template (at most four distinct weight levels — the axon-type budget),
+//! and a winner-take-all stage picks the best-matching class.
+//!
+//! Because the same feature enters different class neurons with different
+//! template weights, feature axons are replicated per weight level, just
+//! like [`crate::filter::conv2d`].
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use crate::filter::distinct_values;
+use tn_core::{NeuronConfig, ResetMode, AXONS_PER_CORE, NEURONS_PER_CORE};
+
+/// A built classifier corelet.
+pub struct Classifier {
+    /// Input pins per feature: every pin must receive the feature's spike
+    /// stream (replication across weight levels).
+    pub feature_inputs: Vec<Vec<InputPin>>,
+    /// Per-class match-score outputs (rate-coded).
+    pub class_outputs: Vec<OutputRef>,
+}
+
+/// Build a classifier with `templates[class][feature]` weights (each
+/// template row the same length; all values drawn from ≤4 distinct
+/// non-zero levels across the whole template matrix). `threshold` sets
+/// the evidence needed per output spike.
+pub fn classifier(
+    b: &mut CoreletBuilder,
+    templates: &[Vec<i16>],
+    threshold: i32,
+) -> Result<Classifier, String> {
+    let classes = templates.len();
+    assert!(classes >= 1, "need at least one class");
+    let features = templates[0].len();
+    assert!(
+        templates.iter().all(|t| t.len() == features),
+        "ragged template matrix"
+    );
+    let all: Vec<i16> = templates.iter().flatten().copied().collect();
+    let vals = distinct_values(&all)?;
+    let d = vals.len().max(1);
+    if features * d > AXONS_PER_CORE {
+        return Err(format!(
+            "{features} features × {d} levels exceeds 256 axons; pool features first"
+        ));
+    }
+    if classes > NEURONS_PER_CORE {
+        return Err(format!("{classes} classes exceed 256 neurons"));
+    }
+
+    let core = b.alloc_core();
+    let axon0 = b.alloc_axons(core, features * d) as usize;
+    let neuron0 = b.alloc_neurons(core, classes) as usize;
+    let cfg = b.core(core);
+    let mut nw = [0i16; 4];
+    for (v, &val) in vals.iter().enumerate() {
+        nw[v] = val;
+    }
+    let mut feature_inputs = Vec::with_capacity(features);
+    for f in 0..features {
+        let mut pins = Vec::with_capacity(d);
+        for v in 0..d {
+            let a = axon0 + f * d + v;
+            cfg.axon_types[a] = v as u8;
+            pins.push(InputPin {
+                core,
+                axon: a as u8,
+            });
+        }
+        feature_inputs.push(pins);
+    }
+    for (c, template) in templates.iter().enumerate() {
+        cfg.neurons[neuron0 + c] = NeuronConfig {
+            weights: nw,
+            threshold,
+            reset_mode: ResetMode::Linear,
+            neg_threshold: 4 * threshold,
+            neg_saturate: true,
+            ..Default::default()
+        };
+        for (f, &w) in template.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let v = vals.iter().position(|&x| x == w).unwrap();
+            cfg.crossbar.set(axon0 + f * d + v, neuron0 + c, true);
+        }
+    }
+    Ok(Classifier {
+        feature_inputs,
+        class_outputs: (0..classes)
+            .map(|c| OutputRef {
+                core,
+                neuron: (neuron0 + c) as u8,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    /// Two classes over 4 features with opposite preferences.
+    fn two_class() -> Vec<Vec<i16>> {
+        vec![vec![2, 2, -1, -1], vec![-1, -1, 2, 2]]
+    }
+
+    fn scores(feature_rates: [u32; 4]) -> Vec<usize> {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let cl = classifier(&mut b, &two_class(), 8).unwrap();
+        let ports: Vec<u32> = cl.class_outputs.iter().map(|&o| b.expose(o)).collect();
+        let pins = cl.feature_inputs.clone();
+        let mut src = ScheduledSource::new();
+        for t in 0..32u64 {
+            for (f, &r) in feature_rates.iter().enumerate() {
+                if t % 8 < r as u64 {
+                    for p in &pins[f] {
+                        src.push(t, p.core, p.axon);
+                    }
+                }
+            }
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(40, &mut src);
+        ports
+            .iter()
+            .map(|&p| sim.outputs().port_ticks(p).len())
+            .collect()
+    }
+
+    #[test]
+    fn matching_pattern_wins() {
+        let s = scores([8, 8, 0, 0]); // pure class-0 evidence
+        assert!(s[0] > 0, "{s:?}");
+        assert_eq!(s[1], 0, "{s:?}");
+        let s = scores([0, 0, 8, 8]); // pure class-1 evidence
+        assert_eq!(s[0], 0, "{s:?}");
+        assert!(s[1] > 0, "{s:?}");
+    }
+
+    #[test]
+    fn mixed_pattern_scores_proportionally() {
+        let s = scores([8, 8, 4, 4]);
+        // Class 0: 2·16 − 1·8 = 24 per frame; class 1: −16+16 = 0.
+        assert!(s[0] > s[1], "{s:?}");
+    }
+
+    #[test]
+    fn too_many_levels_rejected() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        let t = vec![vec![1, 2, 3, 4, 5]];
+        assert!(classifier(&mut b, &t, 4).is_err());
+    }
+
+    #[test]
+    fn too_many_features_rejected() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        let t = vec![vec![1i16; 200], vec![-1i16; 200]];
+        assert!(classifier(&mut b, &t, 4).is_err());
+    }
+}

@@ -1,0 +1,680 @@
+//! Linear filter corelets: weighted sums and 2-D convolutions.
+//!
+//! These are the workhorses of the paper's feature-extraction
+//! applications (Haar-like features, Local Binary Patterns, saliency
+//! center–surround). Values are rate-coded: a pixel's intensity is the
+//! spike rate of its input stream, and a filter output's magnitude is the
+//! firing rate of its accumulator neuron (threshold θ with *linear*
+//! reset, so the output rate approximates `max(0, Σ wᵢ·xᵢ)/θ`).
+//!
+//! ## The four-type discipline
+//!
+//! A core's axons carry one of four types and a neuron holds one weight
+//! per type, so a kernel must quantize to at most four distinct non-zero
+//! values per core. Because the *same* input pixel must enter different
+//! output neurons with *different* kernel values, input pixels are
+//! replicated onto one axon per distinct value they serve — exactly the
+//! replication discipline real corelets use.
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use std::collections::HashMap;
+use tn_core::{NeuronConfig, ResetMode, AXONS_PER_CORE, NEURONS_PER_CORE};
+
+/// Extract the sorted distinct non-zero values of a kernel.
+///
+/// Errors if there are more than four (the axon-type budget).
+pub fn distinct_values(kernel: &[i16]) -> Result<Vec<i16>, String> {
+    let mut vals: Vec<i16> = kernel.iter().copied().filter(|&w| w != 0).collect();
+    vals.sort_unstable();
+    vals.dedup();
+    if vals.len() > 4 {
+        return Err(format!(
+            "kernel has {} distinct non-zero values; a core supports at most 4 axon types",
+            vals.len()
+        ));
+    }
+    Ok(vals)
+}
+
+/// A built weighted-sum corelet.
+pub struct WeightedSum {
+    /// One input pin per kernel tap (taps with weight 0 get a pin that is
+    /// simply unconnected).
+    pub inputs: Vec<InputPin>,
+    pub output: OutputRef,
+}
+
+/// Build `y = ⌊Σ wᵢ·xᵢ / threshold⌋` (rectified, rate-coded) on a fresh
+/// core. `weights.len() ≤ 64` so the replicated axons fit.
+pub fn weighted_sum(
+    b: &mut CoreletBuilder,
+    weights: &[i16],
+    threshold: i32,
+) -> Result<WeightedSum, String> {
+    let vals = distinct_values(weights)?;
+    let d = vals.len().max(1);
+    if weights.len() * d > AXONS_PER_CORE {
+        return Err(format!(
+            "{} taps × {} values exceeds 256 axons",
+            weights.len(),
+            d
+        ));
+    }
+    let core = b.alloc_core();
+    let neuron = b.alloc_neurons(core, 1) as usize;
+    // One axon per tap (a tap only needs the copy matching its value, so
+    // no replication is needed for a single output neuron — replication
+    // matters for conv2d below).
+    let first_axon = b.alloc_axons(core, weights.len());
+    let cfg = b.core(core);
+    let mut nw = [0i16; 4];
+    for (v, &val) in vals.iter().enumerate() {
+        nw[v] = val;
+    }
+    cfg.neurons[neuron] = NeuronConfig {
+        weights: nw,
+        threshold,
+        reset_mode: ResetMode::Linear,
+        ..Default::default()
+    };
+    let mut inputs = Vec::with_capacity(weights.len());
+    for (k, &w) in weights.iter().enumerate() {
+        let axon = first_axon as usize + k;
+        if w != 0 {
+            let ty = vals.iter().position(|&v| v == w).unwrap();
+            cfg.axon_types[axon] = ty as u8;
+            cfg.crossbar.set(axon, neuron, true);
+        }
+        inputs.push(InputPin {
+            core,
+            axon: axon as u8,
+        });
+    }
+    Ok(WeightedSum {
+        inputs,
+        output: OutputRef {
+            core,
+            neuron: neuron as u8,
+        },
+    })
+}
+
+/// A built 2-D convolution corelet.
+pub struct Conv2d {
+    /// Image width/height (pixels).
+    pub width: u16,
+    pub height: u16,
+    /// Output dimensions (valid convolution).
+    pub out_width: u16,
+    pub out_height: u16,
+    /// Input pins per pixel: a pixel feeding several cores (or several
+    /// kernel values) has several pins, all of which must receive the
+    /// pixel's spike stream.
+    pub inputs: HashMap<(u16, u16), Vec<InputPin>>,
+    /// Output accumulator neuron per output pixel.
+    pub outputs: HashMap<(u16, u16), OutputRef>,
+    /// Cores consumed.
+    pub cores_used: usize,
+}
+
+/// Build a valid 2-D convolution with stride 1. See [`conv2d_strided`].
+pub fn conv2d(
+    b: &mut CoreletBuilder,
+    width: u16,
+    height: u16,
+    kernel: &[i16],
+    kw: usize,
+    kh: usize,
+    threshold: i32,
+) -> Result<Conv2d, String> {
+    conv2d_strided(b, width, height, kernel, kw, kh, 1, threshold)
+}
+
+/// Build a valid 2-D convolution of an image with `kernel`
+/// (`kw × kh`, row-major, ≤4 distinct non-zero values) evaluated every
+/// `stride` pixels, rate-coded with accumulator threshold `threshold` and
+/// linear reset.
+///
+/// Output pixels are tiled over cores in blocks sized so that the block's
+/// input field — replicated per distinct kernel value — fits the 256-axon
+/// budget. Striding is how the paper-scale feature extractors fit their
+/// core budgets.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_strided(
+    b: &mut CoreletBuilder,
+    width: u16,
+    height: u16,
+    kernel: &[i16],
+    kw: usize,
+    kh: usize,
+    stride: usize,
+    threshold: i32,
+) -> Result<Conv2d, String> {
+    assert_eq!(kernel.len(), kw * kh, "kernel shape mismatch");
+    assert!(stride >= 1);
+    if (width as usize) < kw || (height as usize) < kh {
+        return Err("image smaller than kernel".into());
+    }
+    let vals = distinct_values(kernel)?;
+    let d = vals.len().max(1);
+
+    // Pick the largest square-ish output block whose replicated field
+    // fits in 256 axons and whose outputs fit in 256 neurons.
+    let (mut bw, mut bh) = (1usize, 1usize);
+    for cand_h in 1..=NEURONS_PER_CORE {
+        for cand_w in 1..=NEURONS_PER_CORE {
+            let field = ((cand_w - 1) * stride + kw) * ((cand_h - 1) * stride + kh) * d;
+            if field <= AXONS_PER_CORE
+                && cand_w * cand_h <= NEURONS_PER_CORE
+                && cand_w * cand_h > bw * bh
+            {
+                bw = cand_w;
+                bh = cand_h;
+            }
+        }
+    }
+
+    let out_w = (width as usize - kw) / stride + 1;
+    let out_h = (height as usize - kh) / stride + 1;
+    let mut inputs: HashMap<(u16, u16), Vec<InputPin>> = HashMap::new();
+    let mut outputs = HashMap::new();
+    let mut cores_used = 0usize;
+
+    let mut oy = 0usize;
+    while oy < out_h {
+        let bh_here = bh.min(out_h - oy);
+        let mut ox = 0usize;
+        while ox < out_w {
+            let bw_here = bw.min(out_w - ox);
+            let core = b.alloc_core();
+            cores_used += 1;
+            // Field of input pixels this block reads.
+            let (fx0, fy0) = (ox * stride, oy * stride);
+            let (fw, fh) = (
+                (bw_here - 1) * stride + kw,
+                (bh_here - 1) * stride + kh,
+            );
+            let first_axon = b.alloc_axons(core, fw * fh * d) as usize;
+            let first_neuron = b.alloc_neurons(core, bw_here * bh_here) as usize;
+            let cfg = b.core(core);
+            let mut nw = [0i16; 4];
+            for (v, &val) in vals.iter().enumerate() {
+                nw[v] = val;
+            }
+            // Axon layout: (field pixel row-major) × value copy.
+            for fy in 0..fh {
+                for fx in 0..fw {
+                    for v in 0..d {
+                        let axon = first_axon + (fy * fw + fx) * d + v;
+                        cfg.axon_types[axon] = v as u8;
+                        let px = (fx0 + fx) as u16;
+                        let py = (fy0 + fy) as u16;
+                        inputs.entry((px, py)).or_default().push(InputPin {
+                            core,
+                            axon: axon as u8,
+                        });
+                    }
+                }
+            }
+            // Neurons: one per output pixel of the block.
+            for by in 0..bh_here {
+                for bx in 0..bw_here {
+                    let j = first_neuron + by * bw_here + bx;
+                    cfg.neurons[j] = NeuronConfig {
+                        weights: nw,
+                        threshold,
+                        reset_mode: ResetMode::Linear,
+                        ..Default::default()
+                    };
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let w = kernel[ky * kw + kx];
+                            if w == 0 {
+                                continue;
+                            }
+                            let v = vals.iter().position(|&x| x == w).unwrap();
+                            let fx = bx * stride + kx;
+                            let fy = by * stride + ky;
+                            let axon = first_axon + (fy * fw + fx) * d + v;
+                            cfg.crossbar.set(axon, j, true);
+                        }
+                    }
+                    outputs.insert(
+                        ((ox + bx) as u16, (oy + by) as u16),
+                        OutputRef {
+                            core,
+                            neuron: j as u8,
+                        },
+                    );
+                }
+            }
+            ox += bw_here;
+        }
+        oy += bh_here;
+    }
+
+    Ok(Conv2d {
+        width,
+        height,
+        out_width: out_w as u16,
+        out_height: out_h as u16,
+        inputs,
+        outputs,
+        cores_used,
+    })
+}
+
+/// Build a two-valued (±) convolution as **two single-value part
+/// convolutions combined by a difference stage** — the core-count trick
+/// real corelets use. A `{+a, −b}` kernel replicated per value costs
+/// `d = 2` axon copies per field pixel and tiles only ~6 outputs per core
+/// at paper scales; splitting it into a positive part (value `a` only)
+/// and a negative part (value `b` only) makes each part `d = 1`
+/// (~80+ outputs/core), and a [`pairwise_diff`] bank computes the
+/// rectified difference `max(0, P − N)`.
+///
+/// `part_threshold` should be ≈ the per-part field size so the part
+/// accumulators don't saturate their 1-spike-per-tick output rate;
+/// `diff_threshold` sets the output gain.
+///
+/// Falls back to an error if the kernel has more than two distinct
+/// non-zero values (use [`conv2d_strided`] for richer kernels) and
+/// handles single-signed kernels by skipping the difference stage.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_split(
+    b: &mut CoreletBuilder,
+    width: u16,
+    height: u16,
+    kernel: &[i16],
+    kw: usize,
+    kh: usize,
+    stride: usize,
+    part_threshold: i32,
+    diff_threshold: i32,
+) -> Result<Conv2d, String> {
+    let vals = distinct_values(kernel)?;
+    if vals.len() > 2 {
+        return Err(format!(
+            "conv2d_split wants a ±2-valued kernel, got {} values",
+            vals.len()
+        ));
+    }
+    let pos: Vec<i16> = kernel.iter().map(|&w| if w > 0 { w } else { 0 }).collect();
+    let neg: Vec<i16> = kernel.iter().map(|&w| if w < 0 { -w } else { 0 }).collect();
+    let has_pos = pos.iter().any(|&w| w != 0);
+    let has_neg = neg.iter().any(|&w| w != 0);
+    if !has_pos || !has_neg {
+        // Single-signed kernel: one part, no difference stage. (An
+        // all-negative kernel rectifies to zero everywhere; build the
+        // magnitude response instead, which is what callers want.)
+        let k = if has_pos { pos } else { neg };
+        return conv2d_strided(b, width, height, &k, kw, kh, stride, part_threshold);
+    }
+
+    let p_conv = conv2d_strided(b, width, height, &pos, kw, kh, stride, part_threshold)?;
+    let n_conv = conv2d_strided(b, width, height, &neg, kw, kh, stride, part_threshold)?;
+    let (ow, oh) = (p_conv.out_width, p_conv.out_height);
+    let n_out = ow as usize * oh as usize;
+
+    let mut inputs = p_conv.inputs;
+    for (px, pins) in n_conv.inputs {
+        inputs.entry(px).or_default().extend(pins);
+    }
+    let mut cores_used = p_conv.cores_used + n_conv.cores_used;
+
+    // Difference banks of up to 128 channels per core.
+    let mut outputs = HashMap::new();
+    let coords: Vec<(u16, u16)> = (0..oh)
+        .flat_map(|y| (0..ow).map(move |x| (x, y)))
+        .collect();
+    let mut done = 0usize;
+    while done < n_out {
+        let here = (n_out - done).min(128);
+        let diff = pairwise_diff(b, here, diff_threshold);
+        cores_used += 1;
+        for k in 0..here {
+            let (x, y) = coords[done + k];
+            b.wire(p_conv.outputs[&(x, y)], diff.plus[k], 1);
+            b.wire(n_conv.outputs[&(x, y)], diff.minus[k], 1);
+            outputs.insert((x, y), diff.outputs[k]);
+        }
+        done += here;
+    }
+
+    Ok(Conv2d {
+        width,
+        height,
+        out_width: ow,
+        out_height: oh,
+        inputs,
+        outputs,
+        cores_used,
+    })
+}
+
+/// A built pairwise-difference corelet.
+pub struct PairwiseDiff {
+    /// Positive ("current") input per channel.
+    pub plus: Vec<InputPin>,
+    /// Negative ("reference") input per channel.
+    pub minus: Vec<InputPin>,
+    /// Rectified difference output per channel, rate-coded.
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build `n ≤ 128` rectified differences `max(0, aᵢ − bᵢ)/θ` on one core
+/// (2n axons, n neurons). This is the temporal-difference primitive of
+/// the NeoVision Where pathway: feed a pixel stream to `plus` and a
+/// delayed copy to `minus`, and the output fires on onsets.
+pub fn pairwise_diff(
+    b: &mut CoreletBuilder,
+    n: usize,
+    threshold: i32,
+) -> PairwiseDiff {
+    assert!((1..=128).contains(&n), "pairwise_diff size {n}");
+    let core = b.alloc_core();
+    let plus0 = b.alloc_axons(core, n) as usize;
+    let minus0 = b.alloc_axons(core, n) as usize;
+    let neuron0 = b.alloc_neurons(core, n) as usize;
+    let cfg = b.core(core);
+    for k in 0..n {
+        cfg.axon_types[plus0 + k] = 0;
+        cfg.axon_types[minus0 + k] = 1;
+        cfg.crossbar.set(plus0 + k, neuron0 + k, true);
+        cfg.crossbar.set(minus0 + k, neuron0 + k, true);
+        cfg.neurons[neuron0 + k] = NeuronConfig {
+            weights: [1, -1, 0, 0],
+            threshold,
+            reset_mode: ResetMode::Linear,
+            // Bound how negative the potential can go so a long dark
+            // period doesn't mask a later onset forever.
+            neg_threshold: 2 * threshold,
+            neg_saturate: true,
+            ..Default::default()
+        };
+    }
+    PairwiseDiff {
+        plus: (0..n)
+            .map(|k| InputPin {
+                core,
+                axon: (plus0 + k) as u8,
+            })
+            .collect(),
+        minus: (0..n)
+            .map(|k| InputPin {
+                core,
+                axon: (minus0 + k) as u8,
+            })
+            .collect(),
+        outputs: (0..n)
+            .map(|k| OutputRef {
+                core,
+                neuron: (neuron0 + k) as u8,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    #[test]
+    fn distinct_value_budget() {
+        assert_eq!(distinct_values(&[1, -1, 1, 0]).unwrap(), vec![-1, 1]);
+        assert!(distinct_values(&[1, 2, 3, 4, 5]).is_err());
+        assert_eq!(distinct_values(&[0, 0]).unwrap(), Vec::<i16>::new());
+    }
+
+    #[test]
+    fn weighted_sum_rate_codes() {
+        let mut b = CoreletBuilder::new(4, 4, 0);
+        let ws = weighted_sum(&mut b, &[2, -1], 4).unwrap();
+        let port = b.expose(ws.output);
+        let pins = ws.inputs.clone();
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        // 10 spikes on tap 0 (+2 each), 4 on tap 1 (−1 each): Σ = 16.
+        for t in 0..10 {
+            src.push(t, pins[0].core, pins[0].axon);
+        }
+        for t in 0..4 {
+            src.push(t, pins[1].core, pins[1].axon);
+        }
+        sim.run(20, &mut src);
+        // θ=4 with linear reset → 16/4 = 4 output spikes.
+        assert_eq!(sim.outputs().port_ticks(port).len(), 4);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_relays_image() {
+        let mut b = CoreletBuilder::new(8, 8, 0);
+        let conv = conv2d(&mut b, 4, 4, &[1], 1, 1, 1).unwrap();
+        assert_eq!(conv.out_width, 4);
+        assert_eq!(conv.out_height, 4);
+        let port = b.expose(conv.outputs[&(2, 1)]);
+        let pins = conv.inputs[&(2, 1)].clone();
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        for t in [0u64, 3, 7] {
+            for p in &pins {
+                src.push(t, p.core, p.axon);
+            }
+        }
+        sim.run(12, &mut src);
+        assert_eq!(sim.outputs().port_ticks(port), vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn conv2d_edge_detector_responds_to_edges_only() {
+        // Horizontal difference kernel [+1, -1] on a 6×3 image with a
+        // vertical edge between x=2 and x=3.
+        let mut b = CoreletBuilder::new(8, 8, 0);
+        let conv = conv2d(&mut b, 6, 3, &[1, -1], 2, 1, 4).unwrap();
+        let edge_port = b.expose(conv.outputs[&(2, 1)]); // straddles edge
+        let flat_port = b.expose(conv.outputs[&(0, 1)]); // flat region
+        let inputs = conv.inputs.clone();
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        // Left half bright (rate 1 per tick for 20 ticks), right half dark.
+        for t in 0..20u64 {
+            for y in 0..3u16 {
+                for x in 0..3u16 {
+                    for p in &inputs[&(x, y)] {
+                        src.push(t, p.core, p.axon);
+                    }
+                }
+            }
+        }
+        sim.run(30, &mut src);
+        // Edge output: +1·bright −1·dark = 20 → 20/4 = 5 spikes.
+        assert_eq!(sim.outputs().port_ticks(edge_port).len(), 5);
+        // Flat output: +1·bright −1·bright = 0 → no spikes.
+        assert_eq!(sim.outputs().port_ticks(flat_port).len(), 0);
+    }
+
+    #[test]
+    fn conv2d_tiles_multiple_cores() {
+        let mut b = CoreletBuilder::new(16, 16, 0);
+        // 3×3 two-value kernel over a 20×20 image: field per block is
+        // (bw+2)(bh+2)×2 ≤ 256 → blocks of ≈ 9×9.
+        let kernel = [1, 1, 1, 1, -1, 1, 1, 1, 1];
+        let conv = conv2d(&mut b, 20, 20, &kernel, 3, 3, 8).unwrap();
+        assert_eq!(conv.out_width, 18);
+        assert!(conv.cores_used > 1, "must tile across cores");
+        assert_eq!(conv.outputs.len(), 18 * 18);
+        // Every output pixel exists; every input pixel has ≥1 pin.
+        for y in 0..20u16 {
+            for x in 0..20u16 {
+                assert!(conv.inputs.contains_key(&(x, y)), "missing input {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_too_rich_is_rejected() {
+        let mut b = CoreletBuilder::new(4, 4, 0);
+        let kernel = [1, 2, 3, 4, 5, 0];
+        assert!(conv2d(&mut b, 8, 8, &kernel, 3, 2, 1).is_err());
+    }
+
+    #[test]
+    fn strided_conv_subsamples() {
+        let mut b = CoreletBuilder::new(8, 8, 0);
+        let conv = conv2d_strided(&mut b, 10, 10, &[1, 1, 1, 1], 2, 2, 2, 2).unwrap();
+        assert_eq!(conv.out_width, 5);
+        assert_eq!(conv.out_height, 5);
+        // Output (1,1) must read input pixels (2..4, 2..4).
+        let port = b.expose(conv.outputs[&(1, 1)]);
+        let pins: Vec<InputPin> = conv.inputs[&(2, 2)].clone();
+        let far: Vec<InputPin> = conv.inputs[&(0, 0)].clone();
+        let mut src = ScheduledSource::new();
+        for t in 0..4u64 {
+            for p in &pins {
+                src.push(t, p.core, p.axon);
+            }
+            for p in &far {
+                src.push(t, p.core, p.axon);
+            }
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(10, &mut src);
+        // 4 spikes × weight 1 on one tap with θ=2 → 2 output spikes; the
+        // (0,0) pixel must not contribute to output (1,1).
+        assert_eq!(sim.outputs().port_ticks(port).len(), 2);
+    }
+
+    #[test]
+    fn strided_conv_uses_fewer_cores() {
+        let kernel = [1i16, 1, 1, 1, -1, 1, 1, 1, 1];
+        let mut b1 = CoreletBuilder::new(64, 64, 0);
+        let dense = conv2d_strided(&mut b1, 32, 32, &kernel, 3, 3, 1, 8).unwrap();
+        let mut b2 = CoreletBuilder::new(64, 64, 0);
+        let strided = conv2d_strided(&mut b2, 32, 32, &kernel, 3, 3, 4, 8).unwrap();
+        assert!(strided.cores_used < dense.cores_used);
+        assert_eq!(strided.out_width, 8);
+    }
+
+    #[test]
+    fn split_conv_matches_sign_of_plain_conv() {
+        // Horizontal edge kernel on a left-bright scene: both variants
+        // must respond at the edge and stay silent on flat regions.
+        let kernel = [1i16, -1, 1, -1]; // 2x2 vertical-edge detector
+        let drive = |split: bool| {
+            let mut b = CoreletBuilder::new(16, 16, 0);
+            let conv = if split {
+                conv2d_split(&mut b, 8, 4, &kernel, 2, 2, 1, 2, 2).unwrap()
+            } else {
+                conv2d_strided(&mut b, 8, 4, &kernel, 2, 2, 1, 4).unwrap()
+            };
+            let edge = b.expose(conv.outputs[&(3, 1)]); // straddles x=3/4
+            let flat = b.expose(conv.outputs[&(0, 1)]);
+            let inputs = conv.inputs.clone();
+            let mut src = ScheduledSource::new();
+            for t in 0..30u64 {
+                for y in 0..4u16 {
+                    for x in 0..4u16 {
+                        for p in &inputs[&(x, y)] {
+                            src.push(t, p.core, p.axon);
+                        }
+                    }
+                }
+            }
+            let mut sim = ReferenceSim::new(b.build());
+            sim.run(40, &mut src);
+            (
+                sim.outputs().port_ticks(edge).len(),
+                sim.outputs().port_ticks(flat).len(),
+            )
+        };
+        let (edge_plain, flat_plain) = drive(false);
+        let (edge_split, flat_split) = drive(true);
+        assert!(edge_plain > 0 && edge_split > 0);
+        assert_eq!(flat_plain, 0);
+        assert_eq!(flat_split, 0);
+    }
+
+    #[test]
+    fn split_conv_uses_fewer_cores_at_scale() {
+        // The whole point: ± kernels tile far more outputs per core when
+        // split into single-value parts.
+        let k = 8usize;
+        let kernel: Vec<i16> = (0..k * k)
+            .map(|i| if i / k < k / 2 { 1 } else { -1 })
+            .collect();
+        let mut b1 = CoreletBuilder::new(64, 64, 0);
+        let plain = conv2d_strided(&mut b1, 64, 64, &kernel, k, k, 2, 32).unwrap();
+        let mut b2 = CoreletBuilder::new(64, 64, 0);
+        let split = conv2d_split(&mut b2, 64, 64, &kernel, k, k, 2, 32, 2).unwrap();
+        assert_eq!(plain.out_width, split.out_width);
+        assert!(
+            (split.cores_used as f64) < 0.6 * plain.cores_used as f64,
+            "split {} vs plain {}",
+            split.cores_used,
+            plain.cores_used
+        );
+    }
+
+    #[test]
+    fn split_conv_single_signed_kernel_skips_diff() {
+        let mut b = CoreletBuilder::new(8, 8, 0);
+        let conv = conv2d_split(&mut b, 6, 6, &[1, 1, 1, 1], 2, 2, 1, 4, 1).unwrap();
+        let port = b.expose(conv.outputs[&(0, 0)]);
+        let pins = conv.inputs[&(0, 0)].clone();
+        let mut src = ScheduledSource::new();
+        for t in 0..8 {
+            src.push(t, pins[0].core, pins[0].axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(12, &mut src);
+        assert_eq!(sim.outputs().port_ticks(port).len(), 2, "8 spikes / θ=4");
+    }
+
+    #[test]
+    fn pairwise_diff_detects_onsets() {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let pd = pairwise_diff(&mut b, 3, 2);
+        let port = b.expose(pd.outputs[1]);
+        let (p, m) = (pd.plus[1], pd.minus[1]);
+        let mut src = ScheduledSource::new();
+        // Phase 1: plus only (onset) — 6 spikes → 3 outputs.
+        for t in 0..6 {
+            src.push(t, p.core, p.axon);
+        }
+        // Phase 2: both (steady state) — difference 0 → no outputs.
+        for t in 10..20 {
+            src.push(t, p.core, p.axon);
+            src.push(t, m.core, m.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(25, &mut src);
+        let ticks = sim.outputs().port_ticks(port);
+        assert_eq!(ticks.len(), 3, "{ticks:?}");
+        assert!(ticks.iter().all(|&t| t < 10));
+    }
+
+    #[test]
+    fn pairwise_diff_negative_saturation_bounds_masking() {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let pd = pairwise_diff(&mut b, 1, 2);
+        let port = b.expose(pd.outputs[0]);
+        let (p, m) = (pd.plus[0], pd.minus[0]);
+        let mut src = ScheduledSource::new();
+        // Long negative phase drives V to the −2θ=−4 floor, not −100.
+        for t in 0..100 {
+            src.push(t, m.core, m.axon);
+        }
+        // Then an onset: potential must recover within ~6 spikes.
+        for t in 110..120 {
+            src.push(t, p.core, p.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(130, &mut src);
+        assert!(
+            !sim.outputs().port_ticks(port).is_empty(),
+            "onset after darkness must still be detected"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Histogram and rate-divider corelets.
+//!
+//! The LBP application extracts "20-bin Local Binary Pattern feature
+//! histograms" (paper Section IV-B): pattern detectors fire per
+//! occurrence and bin accumulators count them. The accumulator here is a
+//! rate divider — threshold `n` with linear reset emits one spike per `n`
+//! inputs, turning raw event counts into bounded-rate histogram outputs.
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use tn_core::{NeuronConfig, ResetMode, AXONS_PER_CORE};
+
+/// A built histogram corelet.
+pub struct Histogram {
+    /// One input pin per bin (wire each detector stream to its bin).
+    pub inputs: Vec<InputPin>,
+    /// One divided-rate output per bin.
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build a `bins`-bin histogram whose outputs emit one spike per
+/// `divisor` input events (`bins ≤ 256`).
+pub fn histogram(b: &mut CoreletBuilder, bins: usize, divisor: u32) -> Histogram {
+    assert!((1..=AXONS_PER_CORE).contains(&bins), "histogram bins {bins}");
+    assert!(divisor >= 1);
+    let core = b.alloc_core();
+    let axon0 = b.alloc_axons(core, bins) as usize;
+    let neuron0 = b.alloc_neurons(core, bins) as usize;
+    let cfg = b.core(core);
+    for k in 0..bins {
+        cfg.crossbar.set(axon0 + k, neuron0 + k, true);
+        cfg.neurons[neuron0 + k] = NeuronConfig {
+            weights: [1, 0, 0, 0],
+            threshold: divisor as i32,
+            reset_mode: ResetMode::Linear,
+            ..Default::default()
+        };
+    }
+    Histogram {
+        inputs: (0..bins)
+            .map(|k| InputPin {
+                core,
+                axon: (axon0 + k) as u8,
+            })
+            .collect(),
+        outputs: (0..bins)
+            .map(|k| OutputRef {
+                core,
+                neuron: (neuron0 + k) as u8,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    #[test]
+    fn bins_count_independently() {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let h = histogram(&mut b, 3, 4);
+        let ports: Vec<u32> = h.outputs.iter().map(|&o| b.expose(o)).collect();
+        let pins = h.inputs.clone();
+        let mut src = ScheduledSource::new();
+        // Bin 0: 9 events → 2 output spikes (9/4). Bin 1: 4 → 1. Bin 2: 3 → 0.
+        for t in 0..9 {
+            src.push(t, pins[0].core, pins[0].axon);
+        }
+        for t in 0..4 {
+            src.push(t, pins[1].core, pins[1].axon);
+        }
+        for t in 0..3 {
+            src.push(t, pins[2].core, pins[2].axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(15, &mut src);
+        let counts: Vec<usize> = ports
+            .iter()
+            .map(|&p| sim.outputs().port_ticks(p).len())
+            .collect();
+        assert_eq!(counts, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn divisor_one_relays_everything() {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let h = histogram(&mut b, 1, 1);
+        let port = b.expose(h.outputs[0]);
+        let pin = h.inputs[0];
+        let mut src = ScheduledSource::new();
+        for t in 0..5 {
+            src.push(t * 2, pin.core, pin.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(15, &mut src);
+        assert_eq!(sim.outputs().port_ticks(port).len(), 5);
+    }
+
+    #[test]
+    fn residue_carries_across_windows() {
+        // Linear reset keeps sub-threshold residue: 3 then 1 later event
+        // with divisor 4 must produce exactly one spike at the 4th event.
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let h = histogram(&mut b, 1, 4);
+        let port = b.expose(h.outputs[0]);
+        let pin = h.inputs[0];
+        let mut src = ScheduledSource::new();
+        for t in [0u64, 1, 2, 10] {
+            src.push(t, pin.core, pin.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(15, &mut src);
+        assert_eq!(sim.outputs().port_ticks(port), vec![11]);
+    }
+}

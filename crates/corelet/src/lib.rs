@@ -1,0 +1,43 @@
+//! # tn-corelet — the Corelet Programming Environment, in Rust
+//!
+//! "Applications for the TrueNorth processor are developed in the Corelet
+//! Programming Environment (CPE), a new, object-oriented, compositional
+//! language and development environment ... A corelet is a functional
+//! encapsulation of a network of neurosynaptic cores that collectively
+//! perform a specific task" (paper Section IV-A).
+//!
+//! This crate provides:
+//!
+//! * [`builder::CoreletBuilder`] — the compiler substrate: core and axon
+//!   allocation over the chip grid, neuron-to-axon wiring, and external
+//!   input/output pin management. Programming a corelet means exactly
+//!   what the paper says programming TrueNorth means: "specifying the
+//!   dynamics of each neuron, the mapping from neuron outputs to axon
+//!   inputs, and the local synaptic connectivity between axons and
+//!   dendrites".
+//! * a **corelet library** mirroring the seminal algorithms of the paper's
+//!   corelet library: stream splitters ([`splitter`]), linear filters and
+//!   2-D convolutions ([`filter`]), winner-take-all and
+//!   inhibition-of-return ([`wta`]), pooling ([`pooling`]), histograms and
+//!   rate dividers ([`histogram`]), template classifiers ([`classifier`]),
+//!   and delay lines ([`delayline`]).
+//!
+//! Hardware constraints are enforced, not papered over: a neuron has
+//! exactly one output target (fanout needs a splitter core), a core has
+//! 256 axons and 256 neurons, and each axon carries one of only four
+//! types, so filter kernels must quantize to at most four distinct weight
+//! values per core — the same discipline real corelets obey.
+
+pub mod builder;
+pub mod classifier;
+pub mod delayline;
+pub mod filter;
+pub mod histogram;
+pub mod place;
+pub mod pooling;
+pub mod splitter;
+pub mod temporal;
+pub mod wta;
+
+pub use builder::{CoreletBuilder, InputPin, OutputRef};
+pub use place::{optimize_placement, wiring_cost, PlacementReport};

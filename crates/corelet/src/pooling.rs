@@ -1,0 +1,140 @@
+//! Pooling corelets: OR-pooling and average (rate) pooling over groups of
+//! spike streams — the spatial down-sampling stages of the vision
+//! pipelines.
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use tn_core::{NeuronConfig, ResetMode, AXONS_PER_CORE};
+
+/// Pooling flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolKind {
+    /// Fire when *any* group member fires this tick (threshold 1,
+    /// absolute reset — coincident spikes collapse to one).
+    Or,
+    /// Fire once per `group_size` input spikes (threshold = group size,
+    /// linear reset — output rate ≈ mean input rate).
+    Average,
+}
+
+/// A built pooling corelet.
+pub struct Pooling {
+    /// `groups × group_size` input pins, row-major by group.
+    pub inputs: Vec<Vec<InputPin>>,
+    /// One output per group.
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Pool `groups` groups of `group_size` streams on a fresh core
+/// (`groups × group_size ≤ 256`).
+pub fn pooling(
+    b: &mut CoreletBuilder,
+    groups: usize,
+    group_size: usize,
+    kind: PoolKind,
+) -> Pooling {
+    assert!(groups >= 1 && group_size >= 1);
+    assert!(
+        groups * group_size <= AXONS_PER_CORE && groups <= 256,
+        "pooling {groups}×{group_size} exceeds core budget"
+    );
+    let core = b.alloc_core();
+    let axon0 = b.alloc_axons(core, groups * group_size) as usize;
+    let neuron0 = b.alloc_neurons(core, groups) as usize;
+    let cfg = b.core(core);
+    let threshold = match kind {
+        PoolKind::Or => 1,
+        PoolKind::Average => group_size as i32,
+    };
+    let reset_mode = match kind {
+        PoolKind::Or => ResetMode::Absolute,
+        PoolKind::Average => ResetMode::Linear,
+    };
+    let mut inputs = Vec::with_capacity(groups);
+    for g in 0..groups {
+        cfg.neurons[neuron0 + g] = NeuronConfig {
+            weights: [1, 0, 0, 0],
+            threshold,
+            reset_mode,
+            ..Default::default()
+        };
+        let mut pins = Vec::with_capacity(group_size);
+        for m in 0..group_size {
+            let a = axon0 + g * group_size + m;
+            cfg.crossbar.set(a, neuron0 + g, true);
+            pins.push(InputPin {
+                core,
+                axon: a as u8,
+            });
+        }
+        inputs.push(pins);
+    }
+    Pooling {
+        inputs,
+        outputs: (0..groups)
+            .map(|g| OutputRef {
+                core,
+                neuron: (neuron0 + g) as u8,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    fn drive(kind: PoolKind, pattern: &[(usize, u64)]) -> usize {
+        // One group of 4 streams; pattern = (member, tick) spikes.
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let p = pooling(&mut b, 1, 4, kind);
+        let port = b.expose(p.outputs[0]);
+        let pins = p.inputs[0].clone();
+        let mut src = ScheduledSource::new();
+        for &(m, t) in pattern {
+            src.push(t, pins[m].core, pins[m].axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(20, &mut src);
+        sim.outputs().port_ticks(port).len()
+    }
+
+    #[test]
+    fn or_pool_collapses_coincident_spikes() {
+        // All four members spike at tick 0 → one output spike, and a
+        // lone member at tick 5 → one more.
+        let n = drive(PoolKind::Or, &[(0, 0), (1, 0), (2, 0), (3, 0), (2, 5)]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn average_pool_divides_rate() {
+        // 8 spikes spread over the 4 members with θ=4 → 2 output spikes.
+        let pat: Vec<(usize, u64)> = (0..8).map(|k| (k % 4, k as u64)).collect();
+        let n = drive(PoolKind::Average, &pat);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn multiple_groups_are_independent() {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let p = pooling(&mut b, 3, 2, PoolKind::Or);
+        let ports: Vec<u32> = p.outputs.iter().map(|&o| b.expose(o)).collect();
+        let g1 = p.inputs[1][0];
+        let mut src = ScheduledSource::new();
+        src.push(0, g1.core, g1.axon);
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(5, &mut src);
+        assert_eq!(sim.outputs().port_ticks(ports[0]).len(), 0);
+        assert_eq!(sim.outputs().port_ticks(ports[1]).len(), 1);
+        assert_eq!(sim.outputs().port_ticks(ports[2]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds core budget")]
+    fn oversized_pooling_rejected() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        pooling(&mut b, 100, 100, PoolKind::Or);
+    }
+}

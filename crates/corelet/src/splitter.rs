@@ -1,0 +1,186 @@
+//! Stream splitter corelet.
+//!
+//! A TrueNorth neuron targets exactly one axon, so fanning a spike stream
+//! out to `n` consumers requires a core whose crossbar does the
+//! replication: one input axon drives `n` relay neurons, each wired to a
+//! different destination. This is the fundamental fanout primitive every
+//! composite corelet leans on.
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use tn_core::{NeuronConfig, NEURONS_PER_CORE};
+
+/// A built splitter: one input, `n` identical output copies.
+pub struct Splitter {
+    pub input: InputPin,
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build an `n`-way splitter (1 ≤ n ≤ 256) on a fresh core.
+///
+/// Every relay neuron is an integrate-and-fire with weight 1 and
+/// threshold 1: one output spike per input spike, one tick of latency
+/// inside the core plus the outgoing axonal delay.
+pub fn splitter(b: &mut CoreletBuilder, n: usize) -> Splitter {
+    assert!((1..=NEURONS_PER_CORE).contains(&n), "splitter fanout {n}");
+    let core = b.alloc_core();
+    let axon = b.alloc_axons(core, 1);
+    let first = b.alloc_neurons(core, n);
+    let cfg = b.core(core);
+    for k in 0..n {
+        let j = first as usize + k;
+        cfg.crossbar.set(axon as usize, j, true);
+        cfg.neurons[j] = NeuronConfig::lif(1, 1);
+    }
+    Splitter {
+        input: InputPin { core, axon },
+        outputs: (0..n)
+            .map(|k| OutputRef {
+                core,
+                neuron: first + k as u8,
+            })
+            .collect(),
+    }
+}
+
+/// Build a splitter tree for fanouts beyond 256: cascades splitters so
+/// each copy is an independent output. Latency grows by one core per
+/// level.
+pub fn splitter_tree(b: &mut CoreletBuilder, n: usize) -> Splitter {
+    if n <= NEURONS_PER_CORE {
+        return splitter(b, n);
+    }
+    // First level: 256-way; each output feeds another splitter.
+    let branches = n.div_ceil(NEURONS_PER_CORE);
+    let top = splitter(b, branches);
+    let mut outputs = Vec::with_capacity(n);
+    let mut remaining = n;
+    for out in top.outputs {
+        let take = remaining.min(NEURONS_PER_CORE);
+        let sub = splitter(b, take);
+        b.wire(out, sub.input, 1);
+        outputs.extend(sub.outputs);
+        remaining -= take;
+    }
+    Splitter {
+        input: top.input,
+        outputs,
+    }
+}
+
+/// A built fanout bank: `channels` independent streams, each replicated
+/// `copies` times, packed onto shared cores (cheaper than one
+/// [`splitter`] core per stream).
+pub struct FanoutBank {
+    pub inputs: Vec<InputPin>,
+    /// `outputs[ch][copy]`.
+    pub outputs: Vec<Vec<OutputRef>>,
+}
+
+/// Replicate each of `channels` streams `copies` times
+/// (`copies ≤ 256`); channels are packed `⌊256/copies⌋` per core.
+pub fn fanout_bank(b: &mut CoreletBuilder, channels: usize, copies: usize) -> FanoutBank {
+    assert!(channels >= 1 && (1..=NEURONS_PER_CORE).contains(&copies));
+    let per_core = (NEURONS_PER_CORE / copies).min(256);
+    let mut inputs = Vec::with_capacity(channels);
+    let mut outputs = Vec::with_capacity(channels);
+    let mut done = 0usize;
+    while done < channels {
+        let here = per_core.min(channels - done);
+        let core = b.alloc_core();
+        let axon0 = b.alloc_axons(core, here) as usize;
+        let neuron0 = b.alloc_neurons(core, here * copies) as usize;
+        let cfg = b.core(core);
+        for ch in 0..here {
+            let mut outs = Vec::with_capacity(copies);
+            for c in 0..copies {
+                let j = neuron0 + ch * copies + c;
+                cfg.crossbar.set(axon0 + ch, j, true);
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                outs.push(OutputRef {
+                    core,
+                    neuron: j as u8,
+                });
+            }
+            inputs.push(InputPin {
+                core,
+                axon: (axon0 + ch) as u8,
+            });
+            outputs.push(outs);
+        }
+        done += here;
+    }
+    FanoutBank { inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    #[test]
+    fn splitter_replicates_spikes() {
+        let mut b = CoreletBuilder::new(4, 4, 0);
+        let sp = splitter(&mut b, 5);
+        let ports: Vec<u32> = sp.outputs.iter().map(|&o| b.expose(o)).collect();
+        let pin = sp.input;
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        src.push(0, pin.core, pin.axon);
+        src.push(5, pin.core, pin.axon);
+        sim.run(10, &mut src);
+        for &p in &ports {
+            assert_eq!(sim.outputs().port_ticks(p), vec![1, 6]);
+        }
+    }
+
+    #[test]
+    fn splitter_tree_fans_beyond_one_core() {
+        let mut b = CoreletBuilder::new(8, 8, 0);
+        let sp = splitter_tree(&mut b, 600);
+        assert_eq!(sp.outputs.len(), 600);
+        let probe = [0usize, 299, 599];
+        let ports: Vec<u32> = probe.iter().map(|&i| b.expose(sp.outputs[i])).collect();
+        let pin = sp.input;
+        let mut sim = ReferenceSim::new(b.build());
+        let mut src = ScheduledSource::new();
+        src.push(0, pin.core, pin.axon);
+        sim.run(5, &mut src);
+        for &p in &ports {
+            // Two levels: input lands tick 1, top relay fires tick 1,
+            // second level consumes tick 2, fires tick 2.
+            assert_eq!(sim.outputs().port_ticks(p), vec![2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "splitter fanout")]
+    fn zero_fanout_rejected() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        splitter(&mut b, 0);
+    }
+
+    #[test]
+    fn fanout_bank_replicates_each_channel() {
+        let mut b = CoreletBuilder::new(4, 4, 0);
+        // 100 channels × 3 copies → needs two cores (85 per core).
+        let fb = fanout_bank(&mut b, 100, 3);
+        assert_eq!(fb.inputs.len(), 100);
+        assert_eq!(fb.outputs.len(), 100);
+        let mut ports = Vec::new();
+        for &ch in &[0usize, 90] {
+            for c in 0..3 {
+                ports.push((ch, b.expose(fb.outputs[ch][c])));
+            }
+        }
+        let mut src = ScheduledSource::new();
+        let p0 = fb.inputs[0];
+        src.push(0, p0.core, p0.axon);
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(5, &mut src);
+        for &(ch, port) in &ports {
+            let n = sim.outputs().port_ticks(port).len();
+            assert_eq!(n, usize::from(ch == 0), "channel {ch}");
+        }
+    }
+}

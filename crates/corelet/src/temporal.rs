@@ -1,0 +1,209 @@
+//! Temporal corelets: coincidence detection and leaky integration —
+//! the "spatio-temporal filtering" entries of the paper's corelet
+//! library (§IV-A).
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use tn_core::NeuronConfig;
+
+/// A bank of two-input coincidence detectors.
+pub struct CoincidenceBank {
+    pub a_inputs: Vec<InputPin>,
+    pub b_inputs: Vec<InputPin>,
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build `n ≤ 128` coincidence detectors on shared cores: a detector
+/// fires iff its two inputs arrive in the *same tick* (potential +1 per
+/// input, full decay each tick, threshold checked after leak). Because
+/// coincident events on one axon OR-merge, a single input can never
+/// contribute more than +1 per tick, so only genuine A∧B coincidences
+/// fire. This is the correlator at the heart of Reichardt motion
+/// detectors.
+pub fn coincidence_bank(b: &mut CoreletBuilder, n: usize) -> CoincidenceBank {
+    assert!((1..=128).contains(&n), "coincidence bank size {n}");
+    let core = b.alloc_core();
+    let a0 = b.alloc_axons(core, n) as usize;
+    let b0 = b.alloc_axons(core, n) as usize;
+    let n0 = b.alloc_neurons(core, n) as usize;
+    let cfg = b.core(core);
+    for k in 0..n {
+        cfg.crossbar.set(a0 + k, n0 + k, true);
+        cfg.crossbar.set(b0 + k, n0 + k, true);
+        cfg.neurons[n0 + k] = NeuronConfig {
+            weights: [1, 0, 0, 0],
+            leak: -1,
+            leak_reversal: true, // decay toward zero
+            threshold: 1, // checked after leak: needs 2 arrivals this tick
+            ..Default::default()
+        };
+    }
+    CoincidenceBank {
+        a_inputs: (0..n)
+            .map(|k| InputPin {
+                core,
+                axon: (a0 + k) as u8,
+            })
+            .collect(),
+        b_inputs: (0..n)
+            .map(|k| InputPin {
+                core,
+                axon: (b0 + k) as u8,
+            })
+            .collect(),
+        outputs: (0..n)
+            .map(|k| OutputRef {
+                core,
+                neuron: (n0 + k) as u8,
+            })
+            .collect(),
+    }
+}
+
+/// A bank of leaky integrators (low-pass rate filters).
+pub struct LeakyIntegratorBank {
+    pub inputs: Vec<InputPin>,
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build `n ≤ 256` leaky integrators: potential +1 per input spike,
+/// constant leak `−leak` per tick, threshold `threshold`, linear reset.
+/// Output rate ≈ `max(0, rate_in − leak)/threshold` — a high-pass-
+/// suppressing, sustained-rate detector (input bursts below the leak
+/// rate never reach threshold).
+pub fn leaky_integrator_bank(
+    b: &mut CoreletBuilder,
+    n: usize,
+    leak: i16,
+    threshold: i32,
+) -> LeakyIntegratorBank {
+    assert!((1..=256).contains(&n));
+    assert!(leak >= 0);
+    let core = b.alloc_core();
+    let a0 = b.alloc_axons(core, n) as usize;
+    let n0 = b.alloc_neurons(core, n) as usize;
+    let cfg = b.core(core);
+    for k in 0..n {
+        cfg.crossbar.set(a0 + k, n0 + k, true);
+        cfg.neurons[n0 + k] = NeuronConfig {
+            weights: [1, 0, 0, 0],
+            leak: -leak,
+            leak_reversal: true,
+            threshold,
+            reset_mode: tn_core::ResetMode::Linear,
+            ..Default::default()
+        };
+    }
+    LeakyIntegratorBank {
+        inputs: (0..n)
+            .map(|k| InputPin {
+                core,
+                axon: (a0 + k) as u8,
+            })
+            .collect(),
+        outputs: (0..n)
+            .map(|k| OutputRef {
+                core,
+                neuron: (n0 + k) as u8,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    fn run_one(
+        build: impl FnOnce(&mut CoreletBuilder) -> (Vec<InputPin>, Vec<InputPin>, u32),
+        spikes: &[(usize, u64)], // (input set 0/1 ... via index), tick
+    ) -> Vec<u64> {
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let (a, bb, port) = build(&mut b);
+        let mut src = ScheduledSource::new();
+        for &(which, t) in spikes {
+            let pin = if which == 0 { a[0] } else { bb[0] };
+            src.push(t, pin.core, pin.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(60, &mut src);
+        sim.outputs().port_ticks(port)
+    }
+
+    #[test]
+    fn coincidence_fires_on_same_tick_arrivals() {
+        let ticks = run_one(
+            |b| {
+                let c = coincidence_bank(b, 3);
+                let port = b.expose(c.outputs[0]);
+                (c.a_inputs, c.b_inputs, port)
+            },
+            &[(0, 5), (1, 5)],
+        );
+        assert_eq!(ticks, vec![6], "both land at tick 6 → fire");
+    }
+
+    #[test]
+    fn coincidence_rejects_one_tick_skew() {
+        let ticks = run_one(
+            |b| {
+                let c = coincidence_bank(b, 1);
+                let port = b.expose(c.outputs[0]);
+                (c.a_inputs, c.b_inputs, port)
+            },
+            &[(0, 5), (1, 6)],
+        );
+        assert!(ticks.is_empty(), "{ticks:?}");
+    }
+
+    #[test]
+    fn single_input_alone_never_fires() {
+        let ticks = run_one(
+            |b| {
+                let c = coincidence_bank(b, 1);
+                let port = b.expose(c.outputs[0]);
+                (c.a_inputs, c.b_inputs, port)
+            },
+            &[(0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10)],
+        );
+        assert!(ticks.is_empty(), "a lone stream must not self-coincide");
+    }
+
+    #[test]
+    fn coincidence_rejects_separated_arrivals() {
+        let ticks = run_one(
+            |b| {
+                let c = coincidence_bank(b, 1);
+                let port = b.expose(c.outputs[0]);
+                (c.a_inputs, c.b_inputs, port)
+            },
+            &[(0, 5), (1, 10), (0, 20), (1, 26)],
+        );
+        assert!(ticks.is_empty(), "{ticks:?}");
+    }
+
+    #[test]
+    fn leaky_integrator_passes_sustained_rates_only() {
+        // A leak of 1/tick blocks any ≤1/tick stream entirely (events
+        // OR-merge per tick), so compare against a leak-free integrator
+        // on the same 0.5/tick stream.
+        let mut b = CoreletBuilder::new(2, 2, 0);
+        let li = leaky_integrator_bank(&mut b, 2, 0, 4);
+        let lo = leaky_integrator_bank(&mut b, 2, 1, 4);
+        let p_hi = b.expose(li.outputs[0]);
+        let p_lo = b.expose(lo.outputs[0]);
+        let (pin_hi, pin_lo) = (li.inputs[0], lo.inputs[0]);
+        let mut src = ScheduledSource::new();
+        for t in (0..200).step_by(2) {
+            src.push(t, pin_hi.core, pin_hi.axon);
+            src.push(t, pin_lo.core, pin_lo.axon);
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(220, &mut src);
+        let n_hi = sim.outputs().port_ticks(p_hi).len();
+        let n_lo = sim.outputs().port_ticks(p_lo).len();
+        assert_eq!(n_hi, 25, "no leak: 100 spikes / θ=4");
+        assert_eq!(n_lo, 0, "leak 1 blocks a 0.5/tick stream entirely");
+    }
+}

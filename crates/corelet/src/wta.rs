@@ -1,0 +1,250 @@
+//! Winner-take-all and inhibition-of-return corelets.
+//!
+//! The paper's saccade application "selects regions of interest by
+//! applying a winner-take-all mechanism to the saliency map, followed by
+//! temporal inhibition-of-return to promote map exploration" (Section
+//! IV-B). The WTA here is the classic recurrent-inhibition circuit: each
+//! candidate accumulates its own evidence and is inhibited by every other
+//! candidate's firing, so the strongest input suppresses the rest.
+//! Inhibition-of-return adds a delayed self-inhibition loop so a winner
+//! silences itself for a while after firing, letting the next-strongest
+//! region win.
+//!
+//! Circuit (single core, `k` candidates):
+//!
+//! * axons: `k` evidence inputs (type 0), `k` feedback axons (type 1),
+//!   and — with IoR — `k` self-inhibition axons (type 2);
+//! * neurons: `k` *main* accumulators, `k` *output relays*, and — with
+//!   IoR — `k` *IoR relays*;
+//! * main_j fires → feedback axon j → inhibits every main_i (i≠j),
+//!   excites relay_j (the visible output), and excites ior_relay_j, which
+//!   fires back into self axon j with a programmable delay, inhibiting
+//!   main_j itself.
+
+use crate::builder::{CoreletBuilder, InputPin, OutputRef};
+use tn_core::{NeuronConfig, ResetMode};
+
+/// Parameters of a WTA stage.
+#[derive(Clone, Copy, Debug)]
+pub struct WtaParams {
+    /// Weight of each evidence spike.
+    pub excite: i16,
+    /// Firing threshold of the accumulators.
+    pub threshold: i32,
+    /// Cross-inhibition weight (positive magnitude).
+    pub inhibit: i16,
+    /// Inhibition-of-return: `None` disables the self-inhibition loop;
+    /// `Some((weight, delay))` inhibits the winner by `weight` arriving
+    /// `delay` ticks after it fires (1..=15).
+    pub ior: Option<(i16, u8)>,
+}
+
+impl Default for WtaParams {
+    fn default() -> Self {
+        WtaParams {
+            excite: 1,
+            threshold: 8,
+            inhibit: 4,
+            ior: None,
+        }
+    }
+}
+
+/// A built WTA corelet.
+pub struct Wta {
+    /// Evidence input per candidate.
+    pub inputs: Vec<InputPin>,
+    /// Winner output per candidate (spikes when that candidate fires).
+    pub outputs: Vec<OutputRef>,
+}
+
+/// Build a `k`-candidate winner-take-all on a fresh core.
+/// `k ≤ 85` with IoR (3k axons + 3k neurons), `k ≤ 128` without.
+pub fn wta(b: &mut CoreletBuilder, k: usize, p: WtaParams) -> Wta {
+    let groups = if p.ior.is_some() { 3 } else { 2 };
+    assert!(
+        k >= 2 && groups * k <= 256,
+        "wta size {k} with {groups} groups exceeds core budget"
+    );
+    let core = b.alloc_core();
+    let in_axon = b.alloc_axons(core, k) as usize;
+    let fb_axon = b.alloc_axons(core, k) as usize;
+    let self_axon = p.ior.map(|_| b.alloc_axons(core, k) as usize);
+    let main0 = b.alloc_neurons(core, k) as usize;
+    let relay0 = b.alloc_neurons(core, k) as usize;
+    let ior0 = p.ior.map(|_| b.alloc_neurons(core, k) as usize);
+
+    let cfg = b.core(core);
+    for j in 0..k {
+        cfg.axon_types[in_axon + j] = 0;
+        cfg.axon_types[fb_axon + j] = 1;
+        if let Some(sa) = self_axon {
+            cfg.axon_types[sa + j] = 2;
+        }
+    }
+    for j in 0..k {
+        // Main accumulator: evidence in, cross-inhibition from others'
+        // feedback, optional delayed self-inhibition. Negative threshold
+        // bounds runaway inhibition.
+        let ior_w = p.ior.map(|(w, _)| w).unwrap_or(0);
+        cfg.neurons[main0 + j] = NeuronConfig {
+            weights: [p.excite, -p.inhibit, -ior_w, 0],
+            threshold: p.threshold,
+            reset_mode: ResetMode::Absolute,
+            reset: 0,
+            neg_threshold: 4 * p.threshold,
+            neg_saturate: true,
+            ..Default::default()
+        };
+        cfg.crossbar.set(in_axon + j, main0 + j, true);
+        for i in 0..k {
+            if i != j {
+                cfg.crossbar.set(fb_axon + i, main0 + j, true);
+            }
+        }
+        if let Some(sa) = self_axon {
+            cfg.crossbar.set(sa + j, main0 + j, true);
+        }
+
+        // Output relay: driven by own feedback axon (type 1) with a
+        // per-neuron positive weight — per-neuron weights let the same
+        // axon type inhibit accumulators yet excite relays.
+        cfg.neurons[relay0 + j] = NeuronConfig {
+            weights: [0, 1, 0, 0],
+            threshold: 1,
+            ..Default::default()
+        };
+        cfg.crossbar.set(fb_axon + j, relay0 + j, true);
+
+        // IoR relay: fires with the winner and loops back into the self
+        // axon after the programmed delay.
+        if let (Some(ior_base), Some(sa), Some((_, delay))) = (ior0, self_axon, p.ior) {
+            cfg.neurons[ior_base + j] = NeuronConfig {
+                weights: [0, 1, 0, 0],
+                threshold: 1,
+                ..Default::default()
+            };
+            cfg.crossbar.set(fb_axon + j, ior_base + j, true);
+            cfg.neurons[ior_base + j].dest = tn_core::Dest::Axon(
+                tn_core::SpikeTarget::new(core, (sa + j) as u8, delay),
+            );
+        }
+    }
+    // Main neurons feed their own feedback axons (delay 1).
+    for j in 0..k {
+        cfg.neurons[main0 + j].dest = tn_core::Dest::Axon(tn_core::SpikeTarget::new(
+            core,
+            (fb_axon + j) as u8,
+            1,
+        ));
+    }
+
+    Wta {
+        inputs: (0..k)
+            .map(|j| InputPin {
+                core,
+                axon: (in_axon + j) as u8,
+            })
+            .collect(),
+        outputs: (0..k)
+            .map(|j| OutputRef {
+                core,
+                neuron: (relay0 + j) as u8,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::ScheduledSource;
+
+    /// Drive candidate j with `rates[j]` spikes per 8-tick frame for
+    /// `frames` frames; return output spike counts.
+    fn run_wta(p: WtaParams, rates: &[u32], ticks: u64) -> Vec<usize> {
+        let mut b = CoreletBuilder::new(4, 4, 7);
+        let w = wta(&mut b, rates.len(), p);
+        let ports: Vec<u32> = w.outputs.iter().map(|&o| b.expose(o)).collect();
+        let pins = w.inputs.clone();
+        let mut src = ScheduledSource::new();
+        for t in 0..ticks {
+            for (j, &r) in rates.iter().enumerate() {
+                if r > 0 && t % 8 < r as u64 {
+                    src.push(t, pins[j].core, pins[j].axon);
+                }
+            }
+        }
+        let mut sim = ReferenceSim::new(b.build());
+        sim.run(ticks + 10, &mut src);
+        ports
+            .iter()
+            .map(|&p| sim.outputs().port_ticks(p).len())
+            .collect()
+    }
+
+    #[test]
+    fn strongest_candidate_wins() {
+        let counts = run_wta(WtaParams::default(), &[8, 3, 1], 80);
+        assert!(counts[0] > 0, "winner must fire: {counts:?}");
+        assert!(
+            counts[0] > 3 * counts[1].max(1),
+            "winner should dominate: {counts:?}"
+        );
+        assert_eq!(counts[2], 0, "weak candidate fully suppressed: {counts:?}");
+    }
+
+    #[test]
+    fn tie_without_inhibition_would_fire_both() {
+        // Sanity check of the mechanism: with inhibition, a clear winner
+        // suppresses a 75% rival that would otherwise fire freely.
+        let with = run_wta(WtaParams::default(), &[8, 6], 80);
+        let without = run_wta(
+            WtaParams {
+                inhibit: 0,
+                ..WtaParams::default()
+            },
+            &[8, 6],
+            80,
+        );
+        assert!(without[1] > 0, "{without:?}");
+        assert!(
+            (with[1] as f64) < 0.5 * without[1] as f64,
+            "inhibition must suppress the rival: with={with:?} without={without:?}"
+        );
+    }
+
+    #[test]
+    fn inhibition_of_return_rotates_winners() {
+        let p = WtaParams {
+            excite: 2,
+            threshold: 8,
+            inhibit: 8,
+            ior: Some((60, 15)),
+        };
+        let with_ior = run_wta(p, &[8, 4], 400);
+        let without = run_wta(WtaParams { ior: None, ..p }, &[8, 4], 400);
+        // Without IoR the dominant candidate fully suppresses the
+        // runner-up; with IoR the winner silences itself after firing and
+        // the runner-up gets its turns.
+        assert!(without[0] > 0, "{without:?}");
+        // At most a couple of startup spikes before inhibition builds up.
+        assert!(without[1] <= 2, "runner-up must be suppressed: {without:?}");
+        assert!(
+            with_ior[1] > without[1] + 5,
+            "IoR must let the runner-up through: with={with_ior:?} without={without:?}"
+        );
+        assert!(
+            with_ior[0] < without[0],
+            "IoR must throttle the perpetual winner: with={with_ior:?} without={without:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds core budget")]
+    fn oversized_wta_rejected() {
+        let mut b = CoreletBuilder::new(1, 1, 0);
+        wta(&mut b, 200, WtaParams::default());
+    }
+}

@@ -1,0 +1,149 @@
+//! Ground-truth validation: the spike-domain convolution corelets must
+//! approximate a host floating-point convolution of the same image.
+//!
+//! Rate coding with sigma-delta inputs and linear-reset accumulators
+//! computes `max(0, Σ w·x)/θ` per output; over a long window the output
+//! spike count should track the rectified convolution within quantization
+//! error. This is the corelet compiler's end-to-end numerical contract.
+
+use proptest::prelude::*;
+use tn_compass::ReferenceSim;
+use tn_core::{CoreId, SpikeSource};
+use tn_corelet::filter::{conv2d_split, conv2d_strided};
+use tn_corelet::CoreletBuilder;
+
+/// Deterministic sigma-delta rate source for a static image.
+struct ImageSource {
+    width: usize,
+    pixels: Vec<f64>, // 0..1 rates
+    pins: std::collections::HashMap<(u16, u16), Vec<tn_corelet::InputPin>>,
+    accum: Vec<f64>,
+}
+
+impl SpikeSource for ImageSource {
+    fn fill(&mut self, _tick: u64, out: &mut Vec<(CoreId, u8)>) {
+        for (&(x, y), pins) in &self.pins {
+            let idx = y as usize * self.width + x as usize;
+            self.accum[idx] += self.pixels[idx];
+            if self.accum[idx] >= 1.0 {
+                self.accum[idx] -= 1.0;
+                for p in pins {
+                    out.push((p.core, p.axon));
+                }
+            }
+        }
+    }
+}
+
+/// Host reference: rectified valid convolution of rates.
+fn reference_conv(
+    img: &[f64],
+    w: usize,
+    h: usize,
+    kernel: &[i16],
+    kw: usize,
+    kh: usize,
+) -> Vec<Vec<f64>> {
+    let (ow, oh) = (w - kw + 1, h - kh + 1);
+    let mut out = vec![vec![0.0; ow]; oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    acc += kernel[ky * kw + kx] as f64 * img[(oy + ky) * w + ox + kx];
+                }
+            }
+            out[oy][ox] = acc.max(0.0);
+        }
+    }
+    out
+}
+
+fn run_case(img: Vec<f64>, w: usize, h: usize, kernel: Vec<i16>, kw: usize, kh: usize, split: bool) {
+    let theta = 4i32;
+    let ticks = 600u64;
+    let mut b = CoreletBuilder::new(32, 32, 0);
+    let conv = if split {
+        conv2d_split(&mut b, w as u16, h as u16, &kernel, kw, kh, 1, (kw * kh) as i32, theta)
+            .unwrap()
+    } else {
+        conv2d_strided(&mut b, w as u16, h as u16, &kernel, kw, kh, 1, theta).unwrap()
+    };
+    let mut ports = std::collections::HashMap::new();
+    for (&pos, &out) in conv.outputs.iter() {
+        ports.insert(pos, b.expose(out));
+    }
+    let mut src = ImageSource {
+        width: w,
+        pixels: img.clone(),
+        pins: conv.inputs.clone(),
+        accum: vec![0.0; w * h],
+    };
+    let mut sim = ReferenceSim::new(b.build());
+    sim.run(ticks, &mut src);
+
+    let expect = reference_conv(&img, w, h, &kernel, kw, kh);
+    // Gain: the plain corelet divides by θ once; the split variant
+    // divides by the part threshold in each part accumulator and then by
+    // the difference threshold.
+    let gain = if split {
+        1.0 / ((kw * kh) as f64 * theta as f64)
+    } else {
+        1.0 / theta as f64
+    };
+    for (&(ox, oy), &port) in &ports {
+        let measured = sim.outputs().port_ticks(port).len() as f64 / ticks as f64;
+        let target = expect[oy as usize][ox as usize] * gain;
+        // Split variant quantizes twice (two part accumulators feeding a
+        // difference), so allow a looser envelope there.
+        let tol = if split { 0.04 } else { 0.03 } + 0.1 * target;
+        assert!(
+            (measured - target.min(1.0)).abs() <= tol,
+            "output ({ox},{oy}): measured rate {measured:.3} vs reference {target:.3} (split={split})"
+        );
+    }
+}
+
+#[test]
+fn plain_conv_matches_host_reference_on_gradient() {
+    let (w, h) = (8usize, 6usize);
+    let img: Vec<f64> = (0..w * h).map(|i| (i % w) as f64 / w as f64).collect();
+    run_case(img, w, h, vec![1, -1], 2, 1, false);
+}
+
+#[test]
+fn plain_conv_matches_host_reference_on_blob() {
+    let (w, h) = (8usize, 8usize);
+    let img: Vec<f64> = (0..w * h)
+        .map(|i| {
+            let (x, y) = ((i % w) as f64, (i / w) as f64);
+            let d2 = (x - 4.0).powi(2) + (y - 4.0).powi(2);
+            (1.0 - d2 / 16.0).clamp(0.0, 0.9)
+        })
+        .collect();
+    let kernel = vec![1i16, 1, 1, 1, -2, 1, 1, 1, 1];
+    run_case(img, w, h, kernel, 3, 3, false);
+}
+
+#[test]
+fn split_conv_matches_host_reference() {
+    let (w, h) = (8usize, 6usize);
+    let img: Vec<f64> = (0..w * h)
+        .map(|i| if (i % w) < w / 2 { 0.8 } else { 0.2 })
+        .collect();
+    run_case(img, w, h, vec![1, -1, 1, -1], 2, 2, true);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random small images through a fixed edge kernel stay within the
+    /// quantization envelope of the host reference.
+    #[test]
+    fn conv_tracks_reference_on_random_images(
+        pix in prop::collection::vec(0.0f64..0.95, 36)
+    ) {
+        run_case(pix, 6, 6, vec![1, 1, -1, -1], 2, 2, false);
+    }
+}

@@ -1,0 +1,163 @@
+//! Compass-on-Blue-Gene/Q model.
+//!
+//! "On Blue Gene/Q we used up to 32 compute cards, each card with 16GB of
+//! DDR3 DRAM and an 18-core PowerPC A2 processor (of which 16 cores run
+//! applications), with four hardware threads per core" (paper Section V).
+//! Power was measured through the EMON environmental database, averaging
+//! node-card power over its 32 compute cards.
+//!
+//! Model: per-tick time = compute term (single-thread service times per
+//! neuron update / synaptic op / routed spike, divided over cards ×
+//! sub-linear thread speedup) + the two-step synchronization/communication
+//! term growing with log(cards). Service times and communication costs
+//! are calibrated to Fig. 8 (see crate docs).
+
+use crate::{thread_speedup, CompassWorkload, OperatingPoint};
+
+/// BG/Q configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BgqModel {
+    /// Compute cards (paper: 1–32).
+    pub cards: u32,
+    /// Simulation threads per card (paper: 8–64; 4 hardware threads ×
+    /// 16 cores).
+    pub threads: u32,
+}
+
+/// Per-unit single-thread service times on a 1.6 GHz A2 hardware thread.
+const T_NEURON_S: f64 = 700e-9;
+const T_SOP_S: f64 = 80e-9;
+const T_SPIKE_S: f64 = 500e-9;
+/// Communication: per-doubling latency of the two-step barrier exchange,
+/// and a fixed per-tick MPI overhead.
+const T_COMM_PER_DOUBLING_S: f64 = 2.0e-3;
+const T_COMM_BASE_S: f64 = 1.0e-3;
+/// Electrical power per compute card (node-card power / 32, paper §V-2).
+const CARD_POWER_W: f64 = 60.0;
+
+impl BgqModel {
+    pub fn new(cards: u32, threads: u32) -> Self {
+        assert!((1..=32).contains(&cards), "paper used 1–32 cards");
+        assert!((1..=64).contains(&threads), "A2 exposes up to 64 threads");
+        BgqModel { cards, threads }
+    }
+
+    /// The paper's strongest configuration (32 cards × 64 threads).
+    pub fn full() -> Self {
+        BgqModel::new(32, 64)
+    }
+
+    /// Single-thread seconds of pure compute per tick for a workload.
+    pub fn serial_seconds(w: &CompassWorkload) -> f64 {
+        w.neurons * T_NEURON_S + w.sops * T_SOP_S + w.spikes * T_SPIKE_S
+    }
+
+    /// Modelled seconds per simulated tick.
+    pub fn seconds_per_tick(&self, w: &CompassWorkload) -> f64 {
+        let compute =
+            Self::serial_seconds(w) / (self.cards as f64 * thread_speedup(self.threads));
+        let comm = T_COMM_BASE_S + (self.cards as f64).log2() * T_COMM_PER_DOUBLING_S;
+        compute + comm
+    }
+
+    /// Modelled electrical power.
+    pub fn power_w(&self) -> f64 {
+        self.cards as f64 * CARD_POWER_W
+    }
+
+    pub fn operating_point(&self, w: &CompassWorkload) -> OperatingPoint {
+        OperatingPoint {
+            seconds_per_tick: self.seconds_per_tick(w),
+            power_w: self.power_w(),
+        }
+    }
+
+    /// The Fig. 8 sweep: every (cards, threads) combination the paper
+    /// plots.
+    pub fn strong_scaling_grid() -> Vec<BgqModel> {
+        let mut out = Vec::new();
+        for &cards in &[1u32, 2, 4, 8, 16, 32] {
+            for &threads in &[8u32, 16, 32, 64] {
+                out.push(BgqModel::new(cards, threads));
+            }
+        }
+        out
+    }
+}
+
+/// The paper's NeoVision workload (§IV-B: 660,009 neurons in 4,018 cores
+/// at 12.8 Hz; Compass still evaluates every neuron of every configured
+/// core each tick).
+pub fn neovision_workload() -> CompassWorkload {
+    let neurons = 4_018.0 * 256.0;
+    let spikes = 660_009.0 * 12.8e-3;
+    CompassWorkload {
+        neurons,
+        sops: spikes * 128.0,
+        spikes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_anchor_one_host_is_slowest() {
+        let w = neovision_workload();
+        let slow = BgqModel::new(1, 8).seconds_per_tick(&w);
+        // Paper Fig. 8: ≈0.15 s/tick at the slow end.
+        assert!((0.08..=0.25).contains(&slow), "1-host 8-thread: {slow} s");
+    }
+
+    #[test]
+    fn fig8_anchor_32_hosts_about_12x_realtime() {
+        let w = neovision_workload();
+        let best = BgqModel::full().operating_point(&w);
+        // "even the best operating point is 12× slower than real-time".
+        let slowdown = best.realtime_slowdown();
+        assert!((8.0..=16.0).contains(&slowdown), "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn strong_scaling_is_monotone_in_cards() {
+        let w = neovision_workload();
+        let mut last = f64::INFINITY;
+        for cards in [1u32, 2, 4, 8] {
+            let t = BgqModel::new(cards, 32).seconds_per_tick(&w);
+            assert!(t < last, "{cards} cards must be faster");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn communication_floor_limits_scaling() {
+        // At 32 cards the comm term dominates: doubling threads barely
+        // helps — the "12× slower than real time" wall.
+        let w = neovision_workload();
+        let a = BgqModel::new(32, 32).seconds_per_tick(&w);
+        let b = BgqModel::new(32, 64).seconds_per_tick(&w);
+        assert!(b < a);
+        assert!((a - b) / a < 0.10, "comm-bound regime");
+    }
+
+    #[test]
+    fn power_scales_with_cards() {
+        assert!((BgqModel::new(1, 8).power_w() - 60.0).abs() < 1e-9);
+        assert!((BgqModel::full().power_w() - 1920.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_host_most_energy_efficient() {
+        // Paper: "a single host is the most power-efficient but slowest".
+        let w = neovision_workload();
+        let e1 = BgqModel::new(1, 64).operating_point(&w).energy_per_tick_j();
+        let e32 = BgqModel::new(32, 64).operating_point(&w).energy_per_tick_j();
+        assert!(e1 < e32);
+    }
+
+    #[test]
+    fn grid_has_24_points() {
+        assert_eq!(BgqModel::strong_scaling_grid().len(), 24);
+    }
+}

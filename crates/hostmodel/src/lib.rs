@@ -1,0 +1,161 @@
+//! # tn-hostmodel — Compass-on-von-Neumann performance & power models
+//!
+//! The paper benchmarks TrueNorth against the Compass simulator running
+//! on two von Neumann systems: up to 32 IBM Blue Gene/Q compute cards and
+//! a dual-socket Intel x86 server (Section V). We cannot run a Blue Gene,
+//! so this crate provides *parametric analytic models* of Compass on both
+//! systems, calibrated to the operating points the paper itself reports
+//! (DESIGN.md §2):
+//!
+//! * Fig. 8's strong-scaling anchors for the NeoVision workload — one
+//!   BG/Q host is slowest (~0.15 s/tick) but most power-efficient, 32
+//!   hosts reach ≈12 ms/tick ("even the best operating point is 12×
+//!   slower than real-time"), x86 sits at ≈0.1 s/tick with 12 threads;
+//! * Fig. 6's summary ratios — TrueNorth ≈1 order of magnitude faster
+//!   than 32-host BG/Q, 2–3 orders faster than x86, and ≈5 orders more
+//!   energy-efficient than both.
+//!
+//! [`local`] additionally measures *this* machine running the real Rust
+//! Compass, so one comparison column is genuinely measured rather than
+//! modelled. [`scale`] encodes the Section VII board/rack projections.
+
+pub mod bgq;
+pub mod local;
+pub mod scale;
+pub mod sequoia;
+pub mod x86;
+
+pub use bgq::BgqModel;
+pub use local::LocalHost;
+pub use x86::X86Model;
+
+/// Workload description of one simulated tick, extracted from run
+/// statistics. The Compass inner loop touches every neuron once per tick
+/// (leak/threshold) and every pending synaptic event once.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompassWorkload {
+    /// Neurons evaluated per tick.
+    pub neurons: f64,
+    /// Synaptic operations per tick.
+    pub sops: f64,
+    /// Spikes routed per tick.
+    pub spikes: f64,
+}
+
+impl CompassWorkload {
+    /// Derive the mean per-tick workload from accumulated run stats.
+    pub fn from_stats(stats: &tn_core::RunStats) -> Self {
+        let t = stats.ticks.max(1) as f64;
+        CompassWorkload {
+            neurons: stats.totals.neuron_updates as f64 / t,
+            sops: stats.totals.sops as f64 / t,
+            spikes: stats.totals.spikes_out as f64 / t,
+        }
+    }
+
+    /// Analytic workload of a full-chip recurrent characterization
+    /// network at (`rate_hz`, `syn`) — used to sweep Fig. 6 without
+    /// simulating all 88 networks on the host model's behalf.
+    pub fn recurrent(rate_hz: f64, syn: f64) -> Self {
+        let neurons = (1u64 << 20) as f64;
+        let spikes = neurons * rate_hz * 1e-3;
+        CompassWorkload {
+            neurons,
+            sops: spikes * syn,
+            spikes,
+        }
+    }
+}
+
+/// A modelled (or measured) Compass operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperatingPoint {
+    /// Wall-clock seconds per simulated tick.
+    pub seconds_per_tick: f64,
+    /// Mean electrical power (W).
+    pub power_w: f64,
+}
+
+impl OperatingPoint {
+    /// Joules per simulated tick.
+    pub fn energy_per_tick_j(&self) -> f64 {
+        self.seconds_per_tick * self.power_w
+    }
+
+    /// Slowdown relative to the 1 kHz biological real time.
+    pub fn realtime_slowdown(&self) -> f64 {
+        self.seconds_per_tick / 1e-3
+    }
+
+    /// Speedup of `other` (e.g. TrueNorth) over this operating point:
+    /// `T_proc / T_TrueNorth` (paper Section VI-C).
+    pub fn speedup_vs(&self, other_seconds_per_tick: f64) -> f64 {
+        self.seconds_per_tick / other_seconds_per_tick
+    }
+
+    /// Energy-improvement ratio `E_proc / E_other` per tick.
+    pub fn energy_improvement_vs(&self, other_energy_per_tick_j: f64) -> f64 {
+        self.energy_per_tick_j() / other_energy_per_tick_j
+    }
+
+    /// Power-improvement ratio.
+    pub fn power_improvement_vs(&self, other_power_w: f64) -> f64 {
+        self.power_w / other_power_w
+    }
+}
+
+/// Sub-linear thread scaling shared by both host models: parallel
+/// efficiency decays as threads contend for memory bandwidth.
+pub(crate) fn thread_speedup(threads: u32) -> f64 {
+    (threads.max(1) as f64).powf(0.85)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_from_stats() {
+        let stats = tn_core::RunStats {
+            ticks: 10,
+            totals: tn_core::TickStats {
+                neuron_updates: 1000,
+                sops: 5000,
+                spikes_out: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let w = CompassWorkload::from_stats(&stats);
+        assert_eq!(w.neurons, 100.0);
+        assert_eq!(w.sops, 500.0);
+        assert_eq!(w.spikes, 10.0);
+    }
+
+    #[test]
+    fn recurrent_workload_scales() {
+        let w = CompassWorkload::recurrent(20.0, 128.0);
+        assert!((w.spikes - 20_971.52).abs() < 0.1);
+        assert!((w.sops / w.spikes - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operating_point_arithmetic() {
+        let op = OperatingPoint {
+            seconds_per_tick: 0.1,
+            power_w: 200.0,
+        };
+        assert!((op.energy_per_tick_j() - 20.0).abs() < 1e-12);
+        assert!((op.realtime_slowdown() - 100.0).abs() < 1e-9);
+        assert!((op.speedup_vs(1e-3) - 100.0).abs() < 1e-9);
+        assert!((op.energy_improvement_vs(65e-6) - 20.0 / 65e-6).abs() < 1.0);
+    }
+
+    #[test]
+    fn thread_scaling_is_sublinear_and_monotone() {
+        assert!((thread_speedup(1) - 1.0).abs() < 1e-12);
+        assert!(thread_speedup(8) < 8.0);
+        assert!(thread_speedup(8) > 4.0);
+        assert!(thread_speedup(64) > thread_speedup(32));
+    }
+}

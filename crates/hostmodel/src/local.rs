@@ -1,0 +1,103 @@
+//! Measured Compass performance on *this* machine.
+//!
+//! The BG/Q and x86 numbers are calibrated models; this module runs the
+//! real multithreaded Rust Compass ([`tn_compass::ParallelSim`]) on the
+//! local host and measures seconds/tick directly, so the benchmark
+//! harness always has one genuinely measured von Neumann column. Power
+//! cannot be read portably, so a configurable host-power assumption
+//! converts time to energy (documented in EXPERIMENTS.md).
+
+use crate::OperatingPoint;
+use tn_compass::ParallelSim;
+use tn_core::{Network, SpikeSource};
+
+/// Local-host measurement configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalHost {
+    /// Threads for the parallel simulator (0 = all available).
+    pub threads: usize,
+    /// Assumed electrical power of the host under load (W).
+    pub assumed_power_w: f64,
+}
+
+impl Default for LocalHost {
+    fn default() -> Self {
+        LocalHost {
+            threads: 0,
+            assumed_power_w: 65.0,
+        }
+    }
+}
+
+impl LocalHost {
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Run `ticks` ticks (after `warmup` unmeasured ticks) and return the
+    /// measured operating point plus the simulator for further
+    /// inspection.
+    pub fn measure(
+        &self,
+        net: Network,
+        src: &mut (dyn SpikeSource + Send),
+        warmup: u64,
+        ticks: u64,
+    ) -> (OperatingPoint, ParallelSim) {
+        let mut sim = ParallelSim::new(net, self.resolved_threads());
+        sim.run(warmup, src);
+        let before = sim.stats().wall_seconds;
+        sim.run(ticks, src);
+        let elapsed = sim.stats().wall_seconds - before;
+        (
+            OperatingPoint {
+                seconds_per_tick: elapsed / ticks.max(1) as f64,
+                power_w: self.assumed_power_w,
+            },
+            sim,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::network::NullSource;
+    use tn_core::{CoreConfig, NetworkBuilder, NeuronConfig};
+
+    fn small_net() -> Network {
+        let mut b = NetworkBuilder::new(4, 4, 1);
+        for _ in 0..16 {
+            let mut cfg = CoreConfig::new();
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(30);
+            }
+            b.add_core(cfg);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn measurement_produces_positive_times() {
+        let host = LocalHost {
+            threads: 2,
+            assumed_power_w: 50.0,
+        };
+        let (op, sim) = host.measure(small_net(), &mut NullSource, 5, 20);
+        assert!(op.seconds_per_tick > 0.0);
+        assert!(op.energy_per_tick_j() > 0.0);
+        assert_eq!(sim.stats().ticks, 25);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_hardware() {
+        let host = LocalHost::default();
+        assert!(host.resolved_threads() >= 1);
+    }
+}

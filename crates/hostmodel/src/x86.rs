@@ -1,0 +1,127 @@
+//! Compass-on-x86 model.
+//!
+//! "The x86 system was a dual socket board with two 6-core E5-2440
+//! processors operating at 2.4GHz, 188GB of DRAM, a last-level 15MB
+//! shared cache" (paper Section V); power read via the RAPL registers
+//! (package + DRAM). Compass on this class of machine is memory-latency
+//! bound — its per-event service times end up comparable to a BG/Q
+//! hardware thread's, which is exactly what Fig. 8's x86 points
+//! (≈0.1 s/tick for the NeoVision network at 4–12 threads) show.
+
+use crate::{thread_speedup, CompassWorkload, OperatingPoint};
+
+/// Dual-socket x86 configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct X86Model {
+    /// Simulation threads (paper plots 4, 6, 8, 12).
+    pub threads: u32,
+}
+
+/// Per-unit single-thread service times (memory-bound Compass loop).
+const T_NEURON_S: f64 = 650e-9;
+const T_SOP_S: f64 = 70e-9;
+const T_SPIKE_S: f64 = 400e-9;
+/// Single shared-memory node: fixed per-tick barrier cost only.
+const T_SYNC_S: f64 = 0.2e-3;
+/// RAPL package power of both sockets plus DRAM (paper §V-2).
+const PKG_POWER_W: f64 = 190.0;
+const DRAM_POWER_W: f64 = 30.0;
+
+impl X86Model {
+    pub fn new(threads: u32) -> Self {
+        assert!((1..=12).contains(&threads), "dual 6-core board");
+        X86Model { threads }
+    }
+
+    /// The strongest configuration the paper plots (12 threads).
+    pub fn full() -> Self {
+        X86Model::new(12)
+    }
+
+    pub fn serial_seconds(w: &CompassWorkload) -> f64 {
+        w.neurons * T_NEURON_S + w.sops * T_SOP_S + w.spikes * T_SPIKE_S
+    }
+
+    pub fn seconds_per_tick(&self, w: &CompassWorkload) -> f64 {
+        Self::serial_seconds(w) / thread_speedup(self.threads) + T_SYNC_S
+    }
+
+    /// Full-package power; Compass saturates the memory system, so power
+    /// is modelled as load-independent (RAPL at steady state).
+    pub fn power_w(&self) -> f64 {
+        PKG_POWER_W + DRAM_POWER_W
+    }
+
+    pub fn operating_point(&self, w: &CompassWorkload) -> OperatingPoint {
+        OperatingPoint {
+            seconds_per_tick: self.seconds_per_tick(w),
+            power_w: self.power_w(),
+        }
+    }
+
+    /// The thread counts the paper plots in Fig. 8.
+    pub fn sweep() -> Vec<X86Model> {
+        [4u32, 6, 8, 12].iter().map(|&t| X86Model::new(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgq::neovision_workload;
+
+    #[test]
+    fn fig8_anchor_neovision_about_100ms() {
+        let w = neovision_workload();
+        let t = X86Model::full().seconds_per_tick(&w);
+        assert!((0.06..=0.2).contains(&t), "12-thread x86: {t} s/tick");
+    }
+
+    #[test]
+    fn x86_slower_than_32_host_bgq_but_less_power() {
+        let w = neovision_workload();
+        let x = X86Model::full().operating_point(&w);
+        let b = crate::BgqModel::full().operating_point(&w);
+        assert!(x.seconds_per_tick > b.seconds_per_tick);
+        assert!(x.power_w < b.power_w);
+    }
+
+    #[test]
+    fn threads_help_monotonically() {
+        let w = neovision_workload();
+        let mut last = f64::INFINITY;
+        for m in X86Model::sweep() {
+            let t = m.seconds_per_tick(&w);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn paper_ratio_two_to_three_orders_vs_truenorth() {
+        // Fig. 6(c): TrueNorth (1 ms/tick) is 2–3 orders of magnitude
+        // faster than the x86 across the characterization space.
+        for (rate, syn) in [(20.0, 128.0), (100.0, 128.0), (200.0, 256.0)] {
+            let w = CompassWorkload::recurrent(rate, syn);
+            let op = X86Model::full().operating_point(&w);
+            let speedup = op.speedup_vs(1e-3);
+            assert!(
+                (80.0..=4000.0).contains(&speedup),
+                "({rate},{syn}) speedup {speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ratio_five_orders_energy_vs_truenorth() {
+        // Fig. 6(d): ≈10⁵ energy ratio. TrueNorth at the (20 Hz, 128 syn)
+        // point burns ≈65 µJ per tick.
+        let w = CompassWorkload::recurrent(20.0, 128.0);
+        let op = X86Model::full().operating_point(&w);
+        let ratio = op.energy_improvement_vs(65e-6);
+        assert!(
+            (5e4..=2e6).contains(&ratio),
+            "energy improvement {ratio:.2e}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Pattern completion with the spiking restricted Boltzmann machine.
+//!
+//! Trains a tiny RBM off-line (contrastive divergence on the host, as the
+//! paper's ecosystem trains networks off-line), quantizes it to the
+//! four-level axon-type discipline, deploys it on two neurosynaptic
+//! cores, corrupts a pattern, and lets the stochastic hardware neurons
+//! fill in the missing half.
+//!
+//! ```sh
+//! cargo run --release --example pattern_completion
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tn_apps::rbm::{deploy, RbmModel};
+use tn_compass::ReferenceSim;
+use tn_core::ScheduledSource;
+
+fn render(v: &[f64], width: usize) -> String {
+    let mut s = String::new();
+    for (i, &x) in v.iter().enumerate() {
+        s.push(if x > 0.5 {
+            '#'
+        } else if x > 0.2 {
+            '+'
+        } else {
+            '.'
+        });
+        if (i + 1) % width == 0 {
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn main() {
+    // Two 4×4 patterns: vertical bars (left pair) and (right pair).
+    let a: Vec<f64> = (0..16).map(|i| f64::from(i % 4 < 2)).collect();
+    let b: Vec<f64> = (0..16).map(|i| f64::from(i % 4 >= 2)).collect();
+
+    println!("training a 16v × 12h RBM on two patterns (CD-1, host side)...");
+    let mut model = RbmModel::new(16, 12, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..400 {
+        model.train_epoch(&[a.clone(), b.clone()], 0.1, &mut rng);
+    }
+
+    // Corrupt pattern A: erase the bottom half.
+    let mut corrupted = a.clone();
+    for v in corrupted.iter_mut().skip(8) {
+        *v = 0.0;
+    }
+    println!("\npattern A:\n{}", render(&a, 4));
+    println!("corrupted input (bottom half erased):\n{}", render(&corrupted, 4));
+
+    // Deploy on the spiking substrate and present the corrupted pattern.
+    let rbm = deploy(&model, 0.5, 0x1F, 3);
+    let window = 128u64;
+    let mut src = ScheduledSource::new();
+    for t in 0..window {
+        for (i, &on) in corrupted.iter().enumerate() {
+            if on > 0.5 {
+                for pin in &rbm.visible_pins[i] {
+                    src.push(t, pin.core, pin.axon);
+                }
+            }
+        }
+    }
+    let mut sim = ReferenceSim::new(rbm.net);
+    sim.run(window + 8, &mut src);
+    let counts = sim.outputs().window_counts(16, 0, window + 8);
+    let recon: Vec<f64> = counts.iter().map(|&c| c as f64 / window as f64).collect();
+    // Normalize to the strongest unit for display.
+    let peak = recon.iter().cloned().fold(0.05, f64::max);
+    let shown: Vec<f64> = recon.iter().map(|&r| r / peak).collect();
+
+    println!("spiking reconstruction (normalized rates):\n{}", render(&shown, 4));
+    let on_mean: f64 = (8..16).filter(|i| i % 4 < 2).map(|i| recon[i]).sum::<f64>() / 4.0;
+    let off_mean: f64 = (8..16).filter(|i| i % 4 >= 2).map(|i| recon[i]).sum::<f64>() / 4.0;
+    println!(
+        "erased-half rates: true-on pixels {:.3}, true-off pixels {:.3} → {}",
+        on_mean,
+        off_mean,
+        if on_mean > off_mean {
+            "completed correctly"
+        } else {
+            "completion failed"
+        }
+    );
+}

@@ -1,0 +1,25 @@
+//! # truenorth-repro — umbrella crate
+//!
+//! Rust reproduction of *"Real-Time Scalable Cortical Computing at 46
+//! Giga-Synaptic OPS/Watt..."* (SC'14, the TrueNorth paper). This crate
+//! re-exports the whole stack; see the individual crates for the deep
+//! documentation:
+//!
+//! * [`core`] (`tn-core`) — the neurosynaptic kernel blueprint,
+//! * [`compass`] (`tn-compass`) — the parallel software expression,
+//! * [`chip`] (`tn-chip`) — the silicon expression (mesh NoC + energy +
+//!   timing models),
+//! * [`corelet`] (`tn-corelet`) — the corelet programming environment,
+//! * [`apps`] (`tn-apps`) — the five vision applications and the 88
+//!   characterization networks,
+//! * [`hostmodel`] (`tn-hostmodel`) — Compass-on-BG/Q and -x86 models.
+//!
+//! Run `cargo run --release -p tn-bench --bin headline` for the paper's
+//! headline numbers, or see `examples/quickstart.rs` to get started.
+
+pub use tn_apps as apps;
+pub use tn_chip as chip;
+pub use tn_compass as compass;
+pub use tn_core as core;
+pub use tn_corelet as corelet;
+pub use tn_hostmodel as hostmodel;

@@ -1,0 +1,95 @@
+//! Integration: the vision applications, driven by the deterministic
+//! video transducer, behave identically on the software and silicon
+//! expressions — the paper's co-design promise applied to whole
+//! applications ("we have developed a cache of applications on Compass
+//! ... that now run without modification on TrueNorth").
+
+use tn_apps::flow::{build_flow, FlowParams};
+use tn_apps::haar::{build_haar, HaarParams};
+use tn_apps::saccade::{build_saccade, SaccadeParams};
+use tn_apps::transduce::VideoSource;
+use tn_apps::video::Scene;
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+
+/// Run one (network, source) pair on all three expressions and compare
+/// state digests and output transcripts.
+fn assert_app_equivalent<F>(build: F, w: u16, h: u16, ticks: u64)
+where
+    F: Fn() -> (tn_core::Network, tn_apps::transduce::PixelMap),
+{
+    let mk_src = |map: tn_apps::transduce::PixelMap| {
+        VideoSource::new(Scene::new(w, h, 2, 77), map, 1.0).with_ticks_per_frame(16)
+    };
+
+    let (net_a, map_a) = build();
+    let mut reference = ReferenceSim::new(net_a);
+    reference.run(ticks, &mut mk_src(map_a));
+
+    let (net_b, map_b) = build();
+    let mut parallel = ParallelSim::new(net_b, 3);
+    parallel.run(ticks, &mut mk_src(map_b));
+
+    let (net_c, map_c) = build();
+    let mut chip = TrueNorthSim::new(net_c);
+    chip.run(ticks, &mut mk_src(map_c));
+
+    assert_eq!(
+        reference.network().state_digest(),
+        parallel.network().state_digest(),
+        "reference vs parallel"
+    );
+    assert_eq!(
+        reference.network().state_digest(),
+        chip.network().state_digest(),
+        "reference vs chip"
+    );
+    assert_eq!(reference.outputs().digest(), parallel.outputs().digest());
+    assert_eq!(reference.outputs().digest(), chip.outputs().digest());
+    assert!(
+        reference.stats().totals.spikes_out > 0,
+        "application must actually be active"
+    );
+}
+
+#[test]
+fn haar_runs_identically_on_all_expressions() {
+    let p = HaarParams::small();
+    assert_app_equivalent(
+        || {
+            let app = build_haar(&p);
+            (app.net, app.pixel_map)
+        },
+        p.width,
+        p.height,
+        120,
+    );
+}
+
+#[test]
+fn saccade_runs_identically_on_all_expressions() {
+    let p = SaccadeParams::small();
+    assert_app_equivalent(
+        || {
+            let app = build_saccade(&p);
+            (app.net, app.pixel_map)
+        },
+        p.saliency.width,
+        p.saliency.height,
+        150,
+    );
+}
+
+#[test]
+fn optical_flow_runs_identically_on_all_expressions() {
+    let p = FlowParams::small();
+    assert_app_equivalent(
+        || {
+            let app = build_flow(&p);
+            (app.net, app.pixel_map)
+        },
+        p.width,
+        p.height,
+        100,
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration: the characterization pipeline produces the paper's
+//! qualitative shapes on reduced-scale sweeps.
+
+use tn_apps::recurrent::RecurrentParams;
+use tn_bench::sweep::{analytic_point, characterize_at_voltage, run_recurrent_net};
+
+#[test]
+fn sops_identity_holds_over_the_grid() {
+    // SOPS = rate × synapses × neurons — the paper's Section V-1 formula.
+    for (rate, syn) in [(50.0, 16u32), (100.0, 64), (150.0, 32)] {
+        let p = RecurrentParams {
+            rate_hz: rate,
+            synapses: syn,
+            cores_x: 6,
+            cores_y: 6,
+            seed: 0x5075,
+        };
+        let r = run_recurrent_net(&p, 16, 48);
+        let c = characterize_at_voltage(&r, 0.75);
+        let expect =
+            r.neurons as f64 * p.quantized_rate_hz() * syn as f64 / 1e9;
+        let got = c.gsops;
+        assert!(
+            (got - expect).abs() / expect < 0.12,
+            "({rate},{syn}): gsops {got} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn efficiency_contour_shape_matches_fig5e() {
+    // GSOPS/W increases along both the rate and synapse axes.
+    let g = |r, s| analytic_point(r, s, 0.75).gsops_per_watt_rt;
+    let rates = [5.0, 20.0, 50.0, 100.0, 200.0];
+    let syns = [8.0, 32.0, 128.0, 256.0];
+    for w in rates.windows(2) {
+        assert!(g(w[1], 128.0) > g(w[0], 128.0));
+    }
+    for w in syns.windows(2) {
+        assert!(g(100.0, w[1]) > g(100.0, w[0]));
+    }
+}
+
+#[test]
+fn fmax_contour_shape_matches_fig5b() {
+    // fmax decreases with load; light loads are faster than real time;
+    // the dense corner is not.
+    let f = |r, s| analytic_point(r, s, 0.75).fmax_khz;
+    assert!(f(0.0, 0.0) > 5.0);
+    assert!(f(20.0, 128.0) > 4.0);
+    assert!(f(200.0, 256.0) <= 1.4);
+    for w in [0.0f64, 50.0, 100.0, 200.0].windows(2) {
+        assert!(f(w[1], 128.0) < f(w[0], 128.0));
+    }
+}
+
+#[test]
+fn voltage_shape_matches_fig5cf() {
+    // Higher voltage → faster but less efficient (Fig. 5(c), (f)).
+    let volts = [0.70, 0.80, 0.90, 1.00];
+    for w in volts.windows(2) {
+        let lo = analytic_point(50.0, 128.0, w[0]);
+        let hi = analytic_point(50.0, 128.0, w[1]);
+        assert!(hi.fmax_khz > lo.fmax_khz);
+        assert!(hi.gsops_per_watt_rt < lo.gsops_per_watt_rt);
+    }
+}
+
+#[test]
+fn headline_anchors_reproduced() {
+    let a = analytic_point(20.0, 128.0, 0.75);
+    assert!(
+        (0.050..=0.080).contains(&a.power_rt_w),
+        "{} W should be ≈65 mW",
+        a.power_rt_w
+    );
+    assert!((37.0..=55.0).contains(&a.gsops_per_watt_rt));
+    assert!((60.0..=100.0).contains(&a.gsops_per_watt_max));
+    let corner = analytic_point(200.0, 256.0, 0.75);
+    assert!(corner.gsops_per_watt_rt > 350.0);
+    // Power density ≈ 20 mW/cm² at application-like operating points
+    // (paper §I), 4.3 cm² die.
+    let density_mw_cm2 = a.power_rt_w * 1e3 / 4.3;
+    assert!(
+        (8.0..=25.0).contains(&density_mw_cm2),
+        "{density_mw_cm2} mW/cm²"
+    );
+}
+
+#[test]
+fn measured_and_analytic_agree_on_shared_quantities() {
+    let p = RecurrentParams {
+        rate_hz: 100.0,
+        synapses: 32,
+        cores_x: 8,
+        cores_y: 8,
+        seed: 0xABCD,
+    };
+    let r = run_recurrent_net(&p, 16, 64);
+    let m = characterize_at_voltage(&r, 0.75);
+    // The measured per-neuron rate and SOPS match the analytic targets;
+    // absolute power differs because leakage is charged per chip while
+    // the measured grid is 1/64th of a chip.
+    assert!((m.rate_hz - p.quantized_rate_hz()).abs() < 6.0);
+    let expect_sops = r.neurons as f64 * p.quantized_rate_hz() * 32.0;
+    assert!((m.gsops * 1e9 - expect_sops).abs() / expect_sops < 0.12);
+}

@@ -1,0 +1,92 @@
+//! Integration: fault tolerance — "local core failures do not disrupt
+//! global usability" (paper §III-C).
+
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::TrueNorthSim;
+use tn_core::network::NullSource;
+use tn_core::CoreCoord;
+
+fn params() -> RecurrentParams {
+    RecurrentParams {
+        rate_hz: 100.0,
+        synapses: 32,
+        cores_x: 8,
+        cores_y: 8,
+        seed: 0xDEF,
+    }
+}
+
+#[test]
+fn network_survives_core_failures() {
+    let mut healthy = TrueNorthSim::new(build_recurrent(&params()));
+    healthy.run(100, &mut NullSource);
+    let healthy_spikes = healthy.stats().totals.spikes_out;
+
+    let mut damaged = TrueNorthSim::new(build_recurrent(&params()));
+    for c in [
+        CoreCoord::new(3, 3),
+        CoreCoord::new(4, 3),
+        CoreCoord::new(5, 5),
+    ] {
+        damaged.inject_defect(c);
+    }
+    damaged.run(100, &mut NullSource);
+    let damaged_spikes = damaged.stats().totals.spikes_out;
+
+    // 3 of 64 cores dead → activity drops roughly proportionally, not
+    // catastrophically.
+    let ratio = damaged_spikes as f64 / healthy_spikes as f64;
+    assert!(
+        (0.85..1.0).contains(&ratio),
+        "3/64 defects should cost ~5% of activity, kept {ratio:.3}"
+    );
+}
+
+#[test]
+fn defective_cores_stay_silent_and_receive_nothing() {
+    let mut sim = TrueNorthSim::new(build_recurrent(&params()));
+    let dead = CoreCoord::new(2, 6);
+    sim.inject_defect(dead);
+    sim.run(60, &mut NullSource);
+    let id = sim.network().id_of(dead);
+    assert_eq!(sim.network().core(id).pending_events(), 0);
+    assert!(sim.network().core(id).is_disabled());
+}
+
+#[test]
+fn routes_detour_around_defects() {
+    // Compare total hops with a wall of defects in the middle: packets
+    // crossing it must pay 2 extra hops each.
+    let mut clean = TrueNorthSim::new(build_recurrent(&params()));
+    clean.run(60, &mut NullSource);
+    let clean_hops = clean.stats().total_hops as f64
+        / clean.stats().totals.spikes_out.max(1) as f64;
+
+    let mut walled = TrueNorthSim::new(build_recurrent(&params()));
+    for y in 0..8u16 {
+        // A broken column (except one gap so everything stays reachable).
+        if y != 7 {
+            walled.inject_defect(CoreCoord::new(4, y));
+        }
+    }
+    walled.run(60, &mut NullSource);
+    let walled_hops = walled.stats().total_hops as f64
+        / walled.stats().totals.spikes_out.max(1) as f64;
+    assert!(
+        walled_hops > clean_hops,
+        "detours must add hops: {walled_hops} vs {clean_hops}"
+    );
+}
+
+#[test]
+fn spikes_to_dead_cores_are_dropped_not_crashing() {
+    let mut sim = TrueNorthSim::new(build_recurrent(&params()));
+    // Kill a quarter of the chip.
+    for y in 0..4u16 {
+        for x in 0..4u16 {
+            sim.inject_defect(CoreCoord::new(x, y));
+        }
+    }
+    let stats = sim.run(80, &mut NullSource);
+    assert!(stats.totals.spikes_out > 0, "the rest keeps running");
+}

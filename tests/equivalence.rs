@@ -1,0 +1,180 @@
+//! Integration: the paper §VI-A 1:1 spike-for-spike equivalence property
+//! across all three kernel expressions, including property-based fuzzing
+//! of neuron configurations.
+
+use proptest::prelude::*;
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+use tn_core::network::NullSource;
+use tn_core::{
+    CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig, ResetMode,
+    ScheduledSource, SpikeTarget,
+};
+
+fn run_all_expressions(mk: impl Fn() -> Network, ticks: u64) -> Vec<u64> {
+    let mut digests = Vec::new();
+    let mut reference = ReferenceSim::new(mk());
+    reference.run(ticks, &mut NullSource);
+    digests.push(reference.network().state_digest());
+    for threads in [2usize, 5] {
+        let mut sim = ParallelSim::new(mk(), threads);
+        sim.run(ticks, &mut NullSource);
+        digests.push(sim.network().state_digest());
+    }
+    let mut chip = TrueNorthSim::new(mk());
+    chip.run(ticks, &mut NullSource);
+    digests.push(chip.network().state_digest());
+    digests
+}
+
+#[test]
+fn recurrent_networks_agree_across_expressions() {
+    for (rate, syn) in [(20.0, 32), (150.0, 128)] {
+        let mk = || {
+            build_recurrent(&RecurrentParams {
+                rate_hz: rate,
+                synapses: syn,
+                cores_x: 6,
+                cores_y: 6,
+                seed: 0xEE1,
+            })
+        };
+        let digests = run_all_expressions(mk, 120);
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "expressions diverged at ({rate}, {syn}): {digests:?}"
+        );
+    }
+}
+
+#[test]
+fn long_regression_10k_ticks() {
+    // Paper: "regressions from 10k to 100M time steps ... not a single
+    // spike mismatch".
+    let mk = || {
+        build_recurrent(&RecurrentParams {
+            rate_hz: 100.0,
+            synapses: 16,
+            cores_x: 3,
+            cores_y: 3,
+            seed: 0x10_000,
+        })
+    };
+    let digests = run_all_expressions(mk, 10_000);
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+}
+
+#[test]
+fn external_input_stream_agrees() {
+    let mk = || {
+        build_recurrent(&RecurrentParams {
+            rate_hz: 50.0,
+            synapses: 64,
+            cores_x: 4,
+            cores_y: 4,
+            seed: 3,
+        })
+    };
+    let mk_src = || {
+        let mut s = ScheduledSource::new();
+        for t in 0..200u64 {
+            s.push(t, CoreId((t * 7 % 16) as u32), (t * 31 % 256) as u8);
+        }
+        s
+    };
+    let mut a = ReferenceSim::new(mk());
+    a.run(220, &mut mk_src());
+    let mut b = ParallelSim::new(mk(), 4);
+    b.run(220, &mut mk_src());
+    let mut c = TrueNorthSim::new(mk());
+    c.run(220, &mut mk_src());
+    assert_eq!(a.network().state_digest(), b.network().state_digest());
+    assert_eq!(a.network().state_digest(), c.network().state_digest());
+    assert_eq!(a.outputs().digest(), c.outputs().digest());
+}
+
+/// Strategy for an arbitrary (but valid) neuron configuration.
+fn arb_neuron() -> impl Strategy<Value = NeuronConfig> {
+    (
+        prop::array::uniform4(-255i16..=255),
+        prop::array::uniform4(any::<bool>()),
+        -64i16..=64,
+        any::<bool>(),
+        any::<bool>(),
+        1i32..=64,
+        0u32..=15,
+        0i32..=64,
+        any::<bool>(),
+        0usize..3,
+        0i32..=8,
+    )
+        .prop_map(
+            |(weights, stoch, leak, sl, lr, thr, tm, neg, sat, reset_mode, reset)| {
+                NeuronConfig {
+                    weights,
+                    stoch_synapse: stoch,
+                    leak,
+                    stoch_leak: sl,
+                    leak_reversal: lr,
+                    threshold: thr,
+                    tm_mask: tm,
+                    neg_threshold: neg,
+                    neg_saturate: sat,
+                    reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None]
+                        [reset_mode],
+                    reset,
+                    initial_potential: 0,
+                    dest: Dest::None,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuzz: random neuron programs + random sparse crossbars on a 2×2
+    /// grid must evolve identically on every expression.
+    #[test]
+    fn fuzzed_configs_agree(
+        neurons in prop::collection::vec(arb_neuron(), 16),
+        xbar_seed in any::<u32>(),
+        net_seed in any::<u64>(),
+    ) {
+        let mk = || {
+            let mut b = NetworkBuilder::new(2, 2, net_seed);
+            for c in 0..4u32 {
+                let mut cfg = CoreConfig::new();
+                *cfg.crossbar = Crossbar::from_fn(|i, j| {
+                    (i as u32)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add((j as u32).wrapping_mul(40503))
+                        .wrapping_add(xbar_seed)
+                        % 7
+                        == 0
+                });
+                for j in 0..256 {
+                    let mut n = neurons[(j + c as usize) % neurons.len()].clone();
+                    // Give every neuron a destination so traffic flows.
+                    n.dest = Dest::Axon(SpikeTarget::new(
+                        CoreId((c + 1) % 4),
+                        (j as u32 * 13 % 256) as u8,
+                        1 + (j % 15) as u8,
+                    ));
+                    // Make some neurons spontaneously active.
+                    if j % 3 == 0 {
+                        n.stoch_leak = true;
+                        n.leak = n.leak.abs().max(8);
+                    }
+                    cfg.neurons[j] = n;
+                }
+                cfg.validate().unwrap();
+                b.add_core(cfg);
+            }
+            b.build()
+        };
+        let digests = run_all_expressions(mk, 40);
+        prop_assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+}

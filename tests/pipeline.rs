@@ -1,0 +1,107 @@
+//! Integration: corelet pipelines composed across crates run identically
+//! on the software and silicon expressions, end to end.
+
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+use tn_core::{Network, ScheduledSource};
+use tn_corelet::filter::weighted_sum;
+use tn_corelet::pooling::{pooling, PoolKind};
+use tn_corelet::splitter::splitter;
+use tn_corelet::wta::{wta, WtaParams};
+use tn_corelet::CoreletBuilder;
+
+/// A composite pipeline: input → splitter → {weighted sum, OR pool} →
+/// WTA. Returns (network, input pin, output ports).
+fn build_pipeline() -> (Network, tn_corelet::InputPin, Vec<u32>) {
+    let mut b = CoreletBuilder::new(8, 8, 11);
+    let sp = splitter(&mut b, 4);
+
+    // Branch A: weighted sum of two splitter copies.
+    let ws = weighted_sum(&mut b, &[2, 1], 3).unwrap();
+    b.wire(sp.outputs[0], ws.inputs[0], 1);
+    b.wire(sp.outputs[1], ws.inputs[1], 2);
+
+    // Branch B: OR pool of the other two copies.
+    let pool = pooling(&mut b, 1, 2, PoolKind::Or);
+    b.wire(sp.outputs[2], pool.inputs[0][0], 1);
+    b.wire(sp.outputs[3], pool.inputs[0][1], 3);
+
+    // WTA across the two branches.
+    let w = wta(
+        &mut b,
+        2,
+        WtaParams {
+            excite: 2,
+            threshold: 4,
+            inhibit: 4,
+            ior: None,
+        },
+    );
+    b.wire(ws.output, w.inputs[0], 1);
+    b.wire(pool.outputs[0], w.inputs[1], 1);
+    let ports = vec![b.expose(w.outputs[0]), b.expose(w.outputs[1])];
+    let pin = sp.input;
+    (b.build(), pin, ports)
+}
+
+#[test]
+fn pipeline_runs_identically_everywhere() {
+    let (net_a, pin, ports) = build_pipeline();
+    let (net_b, _, _) = build_pipeline();
+    let (net_c, _, _) = build_pipeline();
+    let mk_src = || {
+        let mut s = ScheduledSource::new();
+        for t in (0..120).step_by(2) {
+            s.push(t, pin.core, pin.axon);
+        }
+        s
+    };
+
+    let mut reference = ReferenceSim::new(net_a);
+    reference.run(140, &mut mk_src());
+    let mut parallel = ParallelSim::new(net_b, 3);
+    parallel.run(140, &mut mk_src());
+    let mut chip = TrueNorthSim::new(net_c);
+    chip.run(140, &mut mk_src());
+
+    assert_eq!(
+        reference.network().state_digest(),
+        parallel.network().state_digest()
+    );
+    assert_eq!(
+        reference.network().state_digest(),
+        chip.network().state_digest()
+    );
+    assert_eq!(reference.outputs().digest(), chip.outputs().digest());
+
+    // Both branches accumulate equal long-run evidence, but branch B
+    // (the OR pool) has one tick less latency, fires first, and the
+    // WTA's recurrent inhibition then locks branch A out — the classic
+    // first-mover dynamics of a race between equal candidates.
+    let a = reference.outputs().port_ticks(ports[0]).len();
+    let b = reference.outputs().port_ticks(ports[1]).len();
+    assert!(b > 0, "winner must fire: A={a} B={b}");
+    assert!(b > a, "lower-latency branch wins the race: A={a} B={b}");
+
+    // Chip-side accounting must have seen the traffic.
+    assert!(chip.stats().total_hops > 0);
+    assert!(chip.energy_realtime().row_j > 0.0);
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let (net_a, pin, _) = build_pipeline();
+    let (net_b, _, _) = build_pipeline();
+    let mk_src = || {
+        let mut s = ScheduledSource::new();
+        for t in (0..80).step_by(3) {
+            s.push(t, pin.core, pin.axon);
+        }
+        s
+    };
+    let mut first = ReferenceSim::new(net_a);
+    first.run(100, &mut mk_src());
+    let mut second = ReferenceSim::new(net_b);
+    second.run(100, &mut mk_src());
+    assert_eq!(first.outputs().digest(), second.outputs().digest());
+}
