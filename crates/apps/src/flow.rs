@@ -135,7 +135,11 @@ pub fn build_flow(p: &FlowParams) -> FlowApp {
         }
     }
     let diff_out = |diffs: &Vec<tn_corelet::filter::PairwiseDiff>, i: usize| {
-        (diffs[i / 128].plus[i % 128], diffs[i / 128].minus[i % 128], diffs[i / 128].outputs[i % 128])
+        (
+            diffs[i / 128].plus[i % 128],
+            diffs[i / 128].minus[i % 128],
+            diffs[i / 128].outputs[i % 128],
+        )
     };
     for i in 0..n {
         let (x, y) = (i % map_w, i / map_w);
@@ -174,8 +178,7 @@ pub fn build_flow(p: &FlowParams) -> FlowApp {
         for y in 0..map_h as i32 {
             for x in 0..map_w as i32 {
                 let (bx, by) = (x + dx, y + dy);
-                if bx >= 0 && by >= 0 && (bx as usize) < map_w && (by as usize) < map_h
-                {
+                if bx >= 0 && by >= 0 && (bx as usize) < map_w && (by as usize) < map_h {
                     let a = y as usize * map_w + x as usize;
                     let bch = by as usize * map_w + bx as usize;
                     pairs.push((a, bch));
@@ -237,8 +240,7 @@ mod tests {
         scene.objects[0].vx16 = vx16;
         scene.objects[0].vy16 = vy16;
         let ports = app.direction_ports;
-        let mut src =
-            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
         let mut sim = ReferenceSim::new(app.net);
         sim.run(ticks, &mut src);
         let mut counts = [0usize; 4];

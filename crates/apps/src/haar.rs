@@ -38,8 +38,20 @@ pub fn haar_kernels() -> Vec<HaarKernel> {
     };
     out.push(mk("edge_h", &|_, y| if y < 4 { 1 } else { -1 }));
     out.push(mk("edge_v", &|x, _| if x < 4 { 1 } else { -1 }));
-    out.push(mk("line_h", &|_, y| if (2..6).contains(&y) { 1 } else { -1 }));
-    out.push(mk("line_v", &|x, _| if (2..6).contains(&x) { 1 } else { -1 }));
+    out.push(mk("line_h", &|_, y| {
+        if (2..6).contains(&y) {
+            1
+        } else {
+            -1
+        }
+    }));
+    out.push(mk("line_v", &|x, _| {
+        if (2..6).contains(&x) {
+            1
+        } else {
+            -1
+        }
+    }));
     out.push(mk("diag", &|x, y| if (x < 4) == (y < 4) { 1 } else { -1 }));
     out.push(mk("center_surround", &|x, y| {
         if (2..6).contains(&x) && (2..6).contains(&y) {
@@ -49,7 +61,13 @@ pub fn haar_kernels() -> Vec<HaarKernel> {
         }
     }));
     out.push(mk("corner_tl", &|x, y| if x < 4 && y < 4 { 1 } else { -1 }));
-    out.push(mk("corner_br", &|x, y| if x >= 4 && y >= 4 { 1 } else { -1 }));
+    out.push(mk("corner_br", &|x, y| {
+        if x >= 4 && y >= 4 {
+            1
+        } else {
+            -1
+        }
+    }));
     out.push(mk("thirds_h", &|_, y| if y % 3 == 0 { 1 } else { -1 }));
     out.push(mk("thirds_v", &|x, _| if x % 3 == 0 { 1 } else { -1 }));
     out
@@ -137,8 +155,7 @@ pub fn build_haar(p: &HaarParams) -> HaarApp {
         pixel_map.extend_from(&conv.inputs);
         let mut port_map = HashMap::new();
         for (&(ox, oy), &out) in conv.outputs.iter() {
-            let port =
-                f as u32 * PORT_STRIDE + oy as u32 * conv.out_width as u32 + ox as u32;
+            let port = f as u32 * PORT_STRIDE + oy as u32 * conv.out_width as u32 + ox as u32;
             b.expose_as(out, port);
             port_map.insert((ox, oy), port);
         }

@@ -193,10 +193,7 @@ mod tests {
         symbols[5] = 1;
         symbols[9] = 1;
         let sticky_decoded = filter(&symbols);
-        let held = sticky_decoded[3..]
-            .iter()
-            .filter(|&&s| s == 0)
-            .count();
+        let held = sticky_decoded[3..].iter().filter(|&&s| s == 0).count();
         assert!(
             held >= 10,
             "sticky filter should ride out outliers: {sticky_decoded:?}"

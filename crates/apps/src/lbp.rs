@@ -175,8 +175,7 @@ pub fn build_lbp(p: &LbpParams) -> LbpApp {
                     .flat_map(|y| (qx0..qx1).map(move |x| (x as u16, y as u16)))
                     .collect();
                 let step = pix.len().div_ceil(64).max(1);
-                let sampled: Vec<(u16, u16)> =
-                    pix.iter().copied().step_by(step).collect();
+                let sampled: Vec<(u16, u16)> = pix.iter().copied().step_by(step).collect();
                 let pool = pooling(&mut b, 1, sampled.len().max(1), PoolKind::Average);
                 for (k, &(x, y)) in sampled.iter().enumerate() {
                     pixel_map.push((x, y), pool.inputs[0][k]);

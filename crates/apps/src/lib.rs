@@ -41,8 +41,8 @@ pub mod hmm;
 pub mod lbp;
 pub mod lsm;
 pub mod metrics;
-pub mod rbm;
 pub mod neovision;
+pub mod rbm;
 pub mod recurrent;
 pub mod saccade;
 pub mod saliency;

@@ -22,10 +22,8 @@
 //!   off-line training path ("Compass to simulate networks and to
 //!   facilitate training off-line").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tn_core::{
-    CoreConfig, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget,
+    CoreConfig, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget, SplitMix64,
     NEURONS_PER_CORE,
 };
 use tn_corelet::InputPin;
@@ -82,7 +80,7 @@ pub struct LsmApp {
 }
 
 pub fn build_lsm(p: &LsmParams) -> LsmApp {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::new(p.seed);
     let mut b = NetworkBuilder::new(p.cores, 1, p.seed);
     let n_cores = p.cores as usize;
     let reservoir_neurons = n_cores * NEURONS_PER_CORE;
@@ -121,15 +119,15 @@ pub fn build_lsm(p: &LsmParams) -> LsmApp {
         let cfg = b.core_config_mut(id);
         for row in 0..256 {
             for _ in 0..p.recurrent_fanout {
-                cfg.crossbar.set(row, rng.gen_range(0..256), true);
+                cfg.crossbar.set(row, rng.below_usize(256), true);
             }
         }
         for j in 0..NEURONS_PER_CORE {
-            let tc = rng.gen_range(0..n_cores);
+            let tc = rng.below_usize(n_cores);
             cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
                 core_ids[tc],
-                rng.gen_range(0..=255u8),
-                1 + rng.gen_range(0..15u8),
+                rng.below(256) as u8,
+                1 + rng.below(15) as u8,
             ));
         }
         let _ = c;
@@ -141,8 +139,8 @@ pub fn build_lsm(p: &LsmParams) -> LsmApp {
     for _k in 0..p.inputs {
         let mut pins = Vec::with_capacity(p.input_fanout);
         for _ in 0..p.input_fanout {
-            let c = rng.gen_range(0..n_cores);
-            let axon = rng.gen_range(0..=255u8);
+            let c = rng.below_usize(n_cores);
+            let axon = rng.below(256) as u8;
             let cfg = b.core_config_mut(core_ids[c]);
             cfg.axon_types[axon as usize] = 2;
             pins.push(InputPin {
@@ -235,11 +233,11 @@ mod tests {
     /// memoryless rate readout of the raw input cannot.
     fn pattern(class: usize, len: u64, jitter_seed: u64) -> Vec<(usize, u64)> {
         let mut out = Vec::new();
-        let mut rng = StdRng::seed_from_u64(jitter_seed);
+        let mut rng = SplitMix64::new(jitter_seed);
         for rep in 0..len / 16 {
             for step in 0..8usize {
                 let ch = if class == 0 { step } else { 7 - step };
-                let t = rep * 16 + step as u64 * 2 + rng.gen_range(0..2);
+                let t = rep * 16 + step as u64 * 2 + rng.below(2);
                 out.push((ch, t));
             }
         }
@@ -257,9 +255,9 @@ mod tests {
         }
         let mut sim = ReferenceSim::new(app.net);
         sim.run(len + 16, &mut src);
-        let counts = sim
-            .outputs()
-            .window_counts(*app.readout_ports.iter().max().unwrap() + 1, 0, len + 16);
+        let counts =
+            sim.outputs()
+                .window_counts(*app.readout_ports.iter().max().unwrap() + 1, 0, len + 16);
         app.readout_ports
             .iter()
             .map(|&p| counts[p as usize] as f64 / len as f64)

@@ -197,10 +197,7 @@ pub fn build_neovision(p: &NeoVisionParams) -> NeoVisionApp {
     };
     for i in 0..n_motion {
         let (mx, my) = (i % map_w, i / map_w);
-        let (px, py) = (
-            (mx * p.stride) as u16,
-            (my * p.stride) as u16,
-        );
+        let (px, py) = ((mx * p.stride) as u16, (my * p.stride) as u16);
         let (plus, minus, _) = diff_pin(&diffs, i);
         // Current copy straight from the sensor; delayed copy through the
         // delay bank.
@@ -258,8 +255,7 @@ pub fn build_neovision(p: &NeoVisionParams) -> NeoVisionApp {
             if step % 3 == 0 {
                 step += 1;
             }
-            let sampled: Vec<(usize, usize)> =
-                members.iter().copied().step_by(step).collect();
+            let sampled: Vec<(usize, usize)> = members.iter().copied().step_by(step).collect();
             let group = sampled.len();
             // Textures: OR pooling — a small object's matched-filter
             // response must not be diluted by the empty remainder of the
@@ -281,8 +277,7 @@ pub fn build_neovision(p: &NeoVisionParams) -> NeoVisionApp {
             // Motion: OR pooling — any moving pixel in the cell counts,
             // so sparse onset spikes are not diluted by the cell area.
             let mstep = members.len().div_ceil(252).max(1);
-            let msampled: Vec<(usize, usize)> =
-                members.iter().copied().step_by(mstep).collect();
+            let msampled: Vec<(usize, usize)> = members.iter().copied().step_by(mstep).collect();
             let mpool = pooling(&mut b, 1, msampled.len(), PoolKind::Or);
             for (k, &(x, y)) in msampled.iter().enumerate() {
                 let i = y * map_w + x;
@@ -298,8 +293,8 @@ pub fn build_neovision(p: &NeoVisionParams) -> NeoVisionApp {
             }
             b.wire(bpool.outputs[0], fb.inputs[FEATURES - 2], 1);
             b.wire(mpool.outputs[0], fb.inputs[FEATURES - 1], 1);
-            let cl = classifier(&mut b, &templates, p.class_threshold)
-                .expect("templates are 3-level");
+            let cl =
+                classifier(&mut b, &templates, p.class_threshold).expect("templates are 3-level");
             for f in 0..FEATURES {
                 // Classifier needs the stream on every level pin.
                 for (lvl, &pin) in cl.feature_inputs[f].iter().enumerate() {
@@ -399,7 +394,8 @@ pub fn decode_detections(
             blob.push(i);
             let (x, y) = (i % gw as usize, i / gw as usize);
             let mut push = |nx: isize, ny: isize| {
-                if nx >= 0 && ny >= 0 && (nx as usize) < gw as usize && (ny as usize) < gh as usize {
+                if nx >= 0 && ny >= 0 && (nx as usize) < gw as usize && (ny as usize) < gh as usize
+                {
                     let j = ny as usize * gw as usize + nx as usize;
                     if active[j] && !seen[j] {
                         seen[j] = true;
@@ -485,11 +481,8 @@ mod tests {
                 // aligned phase: Σ k·dark(b).
                 let resp: i32 = (0..dim * dim)
                     .map(|i| {
-                        let dark = crate::video::texture_dark(
-                            bclass,
-                            (i % dim) as i32,
-                            (i / dim) as i32,
-                        );
+                        let dark =
+                            crate::video::texture_dark(bclass, (i % dim) as i32, (i / dim) as i32);
                         if dark {
                             -(ka[i] as i32)
                         } else {
@@ -500,10 +493,7 @@ mod tests {
                 if a == bclass {
                     assert!(resp > 0, "{a:?} must respond to itself: {resp}");
                 } else {
-                    assert!(
-                        resp <= 0,
-                        "{a:?} must not respond to {bclass:?}: {resp}"
-                    );
+                    assert!(resp <= 0, "{a:?} must not respond to {bclass:?}: {resp}");
                 }
             }
         }
@@ -535,8 +525,7 @@ mod tests {
         let app = build_neovision(&p);
         let scene = pinned_scene(&p, 17);
         let motion_ports = app.motion_ports.clone();
-        let mut src =
-            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
         let mut sim = ReferenceSim::new(app.net);
         sim.run(480, &mut src);
 
@@ -563,8 +552,7 @@ mod tests {
         let scene = pinned_scene(&p, 23);
         let truth = scene.ground_truth();
         let readout = app.readout();
-        let mut src =
-            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
         let mut sim = ReferenceSim::new(app.net);
         sim.run(480, &mut src);
         let (_, mut record, _) = sim.into_parts();

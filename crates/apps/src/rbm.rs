@@ -20,9 +20,7 @@
 //!    pattern on the visible axons, read the reconstruction from the
 //!    output ports, and the RBM completes the pattern.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tn_core::{CoreConfig, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget};
+use tn_core::{CoreConfig, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget, SplitMix64};
 use tn_corelet::InputPin;
 
 /// Host-side real-valued RBM trained with CD-1.
@@ -41,12 +39,12 @@ fn sigmoid(x: f64) -> f64 {
 
 impl RbmModel {
     pub fn new(visible: usize, hidden: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         RbmModel {
             visible,
             hidden,
             w: (0..visible)
-                .map(|_| (0..hidden).map(|_| rng.gen_range(-0.1..0.1)).collect())
+                .map(|_| (0..hidden).map(|_| rng.range_f64(-0.1, 0.1)).collect())
                 .collect(),
             vbias: vec![0.0; visible],
             hbias: vec![0.0; hidden],
@@ -56,10 +54,7 @@ impl RbmModel {
     fn hidden_probs(&self, v: &[f64]) -> Vec<f64> {
         (0..self.hidden)
             .map(|h| {
-                sigmoid(
-                    self.hbias[h]
-                        + (0..self.visible).map(|i| v[i] * self.w[i][h]).sum::<f64>(),
-                )
+                sigmoid(self.hbias[h] + (0..self.visible).map(|i| v[i] * self.w[i][h]).sum::<f64>())
             })
             .collect()
     }
@@ -67,21 +62,18 @@ impl RbmModel {
     fn visible_probs(&self, h: &[f64]) -> Vec<f64> {
         (0..self.visible)
             .map(|i| {
-                sigmoid(
-                    self.vbias[i]
-                        + (0..self.hidden).map(|j| h[j] * self.w[i][j]).sum::<f64>(),
-                )
+                sigmoid(self.vbias[i] + (0..self.hidden).map(|j| h[j] * self.w[i][j]).sum::<f64>())
             })
             .collect()
     }
 
     /// One CD-1 epoch over the patterns.
-    pub fn train_epoch(&mut self, patterns: &[Vec<f64>], lr: f64, rng: &mut StdRng) {
+    pub fn train_epoch(&mut self, patterns: &[Vec<f64>], lr: f64, rng: &mut SplitMix64) {
         for v0 in patterns {
             let h0 = self.hidden_probs(v0);
             let h0s: Vec<f64> = h0
                 .iter()
-                .map(|&p| f64::from(rng.gen_bool(p.clamp(0.0, 1.0))))
+                .map(|&p| f64::from(rng.bool_with(p.clamp(0.0, 1.0))))
                 .collect();
             let v1 = self.visible_probs(&h0s);
             let h1 = self.hidden_probs(&v1);
@@ -127,7 +119,10 @@ pub struct SpikingRbm {
 /// `scale` is the quantization step; `window_mask` sets the stochastic
 /// threshold window `M` (a power of two minus one).
 pub fn deploy(model: &RbmModel, scale: f64, window_mask: u32, seed: u64) -> SpikingRbm {
-    assert!(model.visible * 4 <= 256, "visible units × 4 levels must fit");
+    assert!(
+        model.visible * 4 <= 256,
+        "visible units × 4 levels must fit"
+    );
     assert!(model.hidden <= 256);
     let levels: [i16; 4] = [-2, -1, 1, 2];
     let mut b = NetworkBuilder::new(2, 1, seed);
@@ -157,11 +152,7 @@ pub fn deploy(model: &RbmModel, scale: f64, window_mask: u32, seed: u64) -> Spik
                 up.crossbar.set(v * 4 + l, h, true);
             }
         }
-        up.neurons[h].dest = Dest::Axon(SpikeTarget::new(
-            tn_core::CoreId(1),
-            h as u8,
-            1,
-        ));
+        up.neurons[h].dest = Dest::Axon(SpikeTarget::new(tn_core::CoreId(1), h as u8, 1));
     }
     let c0 = b.add_core(up);
 
@@ -210,16 +201,10 @@ pub fn deploy(model: &RbmModel, scale: f64, window_mask: u32, seed: u64) -> Spik
         for h in 0..model.hidden {
             let shadow = model.hidden + h;
             cfg.neurons[shadow] = cfg.neurons[h].clone();
-            cfg.neurons[h].dest = Dest::Axon(SpikeTarget::new(
-                tn_core::CoreId(1),
-                (2 * h) as u8,
-                1,
-            ));
-            cfg.neurons[shadow].dest = Dest::Axon(SpikeTarget::new(
-                tn_core::CoreId(1),
-                (2 * h + 1) as u8,
-                1,
-            ));
+            cfg.neurons[h].dest =
+                Dest::Axon(SpikeTarget::new(tn_core::CoreId(1), (2 * h) as u8, 1));
+            cfg.neurons[shadow].dest =
+                Dest::Axon(SpikeTarget::new(tn_core::CoreId(1), (2 * h + 1) as u8, 1));
             for v in 0..model.visible {
                 for l in 0..4 {
                     let bit = cfg.crossbar.get(v * 4 + l, h);
@@ -263,7 +248,7 @@ mod tests {
 
     fn trained() -> RbmModel {
         let mut m = RbmModel::new(16, 12, 42);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let pats = patterns();
         for _ in 0..400 {
             m.train_epoch(&pats, 0.1, &mut rng);
@@ -304,7 +289,9 @@ mod tests {
         }
         let mut sim = ReferenceSim::new(net);
         sim.run(window + 8, &mut src);
-        let counts = sim.outputs().window_counts(rbm.visible as u32, 0, window + 8);
+        let counts = sim
+            .outputs()
+            .window_counts(rbm.visible as u32, 0, window + 8);
         counts.iter().map(|&c| c as f64 / window as f64).collect()
     }
 
@@ -352,11 +339,7 @@ mod tests {
         // The hidden layer should infer the missing half: reconstruction
         // rates on A's true-on hidden pixels (i%4<2, incl. the zeroed
         // ones) must exceed rates on A's true-off pixels.
-        let on_mean: f64 = (8..16)
-            .filter(|i| i % 4 < 2)
-            .map(|i| recon[i])
-            .sum::<f64>()
-            / 4.0;
+        let on_mean: f64 = (8..16).filter(|i| i % 4 < 2).map(|i| recon[i]).sum::<f64>() / 4.0;
         let off_mean: f64 = (8..16)
             .filter(|i| i % 4 >= 2)
             .map(|i| recon[i])

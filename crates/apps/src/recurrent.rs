@@ -24,11 +24,8 @@
 //!   the whole (rate × synapses) grid, exactly what a controlled
 //!   characterization sweep needs.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use tn_core::{
-    CoreConfig, CoreId, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget,
+    CoreConfig, CoreId, Dest, Network, NetworkBuilder, NeuronConfig, SpikeTarget, SplitMix64,
     AXONS_PER_CORE, NEURONS_PER_CORE,
 };
 
@@ -87,8 +84,7 @@ impl RecurrentParams {
 
     /// Expected SOPS of the whole network at real time.
     pub fn expected_sops(&self) -> f64 {
-        let neurons =
-            self.cores_x as f64 * self.cores_y as f64 * NEURONS_PER_CORE as f64;
+        let neurons = self.cores_x as f64 * self.cores_y as f64 * NEURONS_PER_CORE as f64;
         neurons * self.quantized_rate_hz() * self.synapses as f64
     }
 }
@@ -112,12 +108,12 @@ pub fn characterization_grid(seed: u64) -> Vec<RecurrentParams> {
 pub fn build_recurrent(p: &RecurrentParams) -> Network {
     let n_cores = p.cores_x as usize * p.cores_y as usize;
     let n_neurons = n_cores * NEURONS_PER_CORE;
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::new(p.seed);
 
     // A global permutation of (core, axon) slots guarantees each neuron a
     // unique target axon.
     let mut slots: Vec<u32> = (0..n_neurons as u32).collect();
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
 
     let rate_num = p.rate_num();
     let mut b = NetworkBuilder::new(p.cores_x, p.cores_y, p.seed);
@@ -128,15 +124,17 @@ pub fn build_recurrent(p: &RecurrentParams) -> Network {
         // Crossbar: every row gets exactly `syn` random synapses.
         for row in 0..AXONS_PER_CORE {
             for k in 0..p.synapses as usize {
-                let pick = rng.gen_range(k..cols.len());
+                let pick = k + rng.below_usize(cols.len() - k);
                 cols.swap(k, pick);
                 cfg.crossbar.set(row, cols[k] as usize, true);
             }
         }
         for j in 0..NEURONS_PER_CORE {
             let slot = slots[c * NEURONS_PER_CORE + j];
-            let (target_core, target_axon) =
-                (slot / NEURONS_PER_CORE as u32, (slot % NEURONS_PER_CORE as u32) as u8);
+            let (target_core, target_axon) = (
+                slot / NEURONS_PER_CORE as u32,
+                (slot % NEURONS_PER_CORE as u32) as u8,
+            );
             let mut n = NeuronConfig::stochastic_source(rate_num);
             // Zero-weight recurrent synapses: integrations happen (and
             // are counted as SOPS) without perturbing the dynamics.
@@ -144,7 +142,7 @@ pub fn build_recurrent(p: &RecurrentParams) -> Network {
             n.dest = Dest::Axon(SpikeTarget::new(
                 CoreId(target_core),
                 target_axon,
-                1 + (rng.gen_range(0..15u8)),
+                1 + rng.below(15) as u8,
             ));
             cfg.neurons[j] = n;
         }

@@ -177,7 +177,10 @@ mod tests {
             .values()
             .filter(|&&port| !sim.outputs().port_ticks(port).is_empty())
             .count();
-        assert!(active >= 2, "IoR should rotate fixation: {active} regions active");
+        assert!(
+            active >= 2,
+            "IoR should rotate fixation: {active} regions active"
+        );
     }
 
     #[test]

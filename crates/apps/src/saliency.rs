@@ -188,7 +188,6 @@ pub fn build_saliency(p: &SaliencyParams) -> SaliencyApp {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,10 +220,7 @@ mod tests {
         let mut sim = ReferenceSim::new(app.net);
         sim.run(250, &mut src);
 
-        let at_object = sim
-            .outputs()
-            .port_ticks(app.cell_ports[&(gx, gy)])
-            .len();
+        let at_object = sim.outputs().port_ticks(app.cell_ports[&(gx, gy)]).len();
         // Mean over cells far from the object (≥2 cells away in
         // Chebyshev distance — adjacent cells legitimately see the
         // object's high-contrast boundary).

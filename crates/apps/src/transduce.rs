@@ -33,7 +33,10 @@ impl PixelMap {
     /// Merge a corelet's input map (e.g. [`tn_corelet::filter::Conv2d::inputs`]).
     pub fn extend_from(&mut self, inputs: &HashMap<(u16, u16), Vec<InputPin>>) {
         for (&px, pins) in inputs {
-            self.pins.entry(px).or_default().extend(pins.iter().copied());
+            self.pins
+                .entry(px)
+                .or_default()
+                .extend(pins.iter().copied());
         }
     }
 

@@ -7,8 +7,7 @@
 //! class-specific size and texture, so the What network has something to
 //! discriminate and the Where network sees genuine motion.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tn_core::SplitMix64;
 
 /// Object classes, mirroring the NeoVision2 Tower label set.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -155,14 +154,14 @@ impl Scene {
     /// Generate a scene with `n_objects` moving objects cycling through
     /// the five classes.
     pub fn new(width: u16, height: u16, n_objects: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         // Low-contrast textured background.
         let background: Vec<u8> = (0..width as usize * height as usize)
             .map(|i| {
                 let x = (i % width as usize) as u32;
                 let y = (i / width as usize) as u32;
                 let base = 40 + ((x / 7 + y / 5) % 3) as u8 * 8;
-                base + rng.gen_range(0..8)
+                base + rng.below(8) as u8
             })
             .collect();
         let objects = (0..n_objects)
@@ -171,10 +170,10 @@ impl Scene {
                 let (w, h) = class.size();
                 SceneObject {
                     class,
-                    x16: rng.gen_range(0..((width.saturating_sub(w)) as i32).max(1)) << 4,
-                    y16: rng.gen_range(0..((height.saturating_sub(h)) as i32).max(1)) << 4,
-                    vx16: rng.gen_range(-24..=24),
-                    vy16: rng.gen_range(-8..=8),
+                    x16: (rng.range_i64(0, ((width.saturating_sub(w)) as i64).max(1)) as i32) << 4,
+                    y16: (rng.range_i64(0, ((height.saturating_sub(h)) as i64).max(1)) as i32) << 4,
+                    vx16: rng.range_inclusive_i64(-24, 24) as i32,
+                    vy16: rng.range_inclusive_i64(-8, 8) as i32,
                 }
             })
             .collect();
@@ -201,8 +200,7 @@ impl Scene {
             for dy in 0..h as i32 {
                 for dx in 0..w as i32 {
                     let (x, y) = (x0 + dx, y0 + dy);
-                    if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32
-                    {
+                    if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
                         continue;
                     }
                     // Class-specific orthogonal texture (see

@@ -1,91 +1,84 @@
 //! Microbenchmarks of the kernel's inner loops: the synaptic-integration
 //! path (the operation behind the paper's SOPS metric), the neuron
 //! update, the crossbar row read, and the PRNG.
+//!
+//! Plain `harness = false` binary on the in-tree harness
+//! ([`tn_bench::micro`]); run with `cargo bench --bench kernel`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tn_core::{
-    CoreConfig, CoreId, CorePrng, Crossbar, NeuronConfig, NeurosynapticCore, TickStats,
-};
+use tn_bench::micro::{bench, black_box};
+use tn_core::{CoreConfig, CoreId, CorePrng, Crossbar, NeuronConfig, NeurosynapticCore, TickStats};
 
-fn bench_prng(c: &mut Criterion) {
-    c.bench_function("prng/next_u32", |b| {
-        let mut p = CorePrng::from_seed(1);
-        b.iter(|| black_box(p.next_u32()));
+fn bench_prng() {
+    let mut p = CorePrng::from_seed(1);
+    bench("prng/next_u32", || {
+        black_box(p.next_u32());
     });
-    c.bench_function("prng/bernoulli", |b| {
-        let mut p = CorePrng::from_seed(1);
-        b.iter(|| black_box(p.bernoulli_256(128)));
+    let mut p = CorePrng::from_seed(1);
+    bench("prng/bernoulli", || {
+        black_box(p.bernoulli_256(128));
     });
 }
 
-fn bench_neuron(c: &mut Criterion) {
+fn bench_neuron() {
     let mut p = CorePrng::from_seed(2);
     let det = NeuronConfig::lif(3, 100);
-    c.bench_function("neuron/integrate_deterministic", |b| {
-        b.iter(|| black_box(det.integrate(black_box(50), 0, &mut p)));
+    bench("neuron/integrate_deterministic", || {
+        black_box(det.integrate(black_box(50), 0, &mut p));
     });
     let mut stoch = NeuronConfig::lif(3, 100);
     stoch.stoch_synapse[0] = true;
     stoch.weights[0] = 128;
-    c.bench_function("neuron/integrate_stochastic", |b| {
-        b.iter(|| black_box(stoch.integrate(black_box(50), 0, &mut p)));
+    bench("neuron/integrate_stochastic", || {
+        black_box(stoch.integrate(black_box(50), 0, &mut p));
     });
-    c.bench_function("neuron/leak_threshold_fire", |b| {
-        let cfg = NeuronConfig::lif(0, 10);
-        b.iter(|| {
-            let v = cfg.apply_leak(black_box(5), &mut p);
-            black_box(cfg.threshold_fire(v, &mut p))
-        });
+    let cfg = NeuronConfig::lif(0, 10);
+    bench("neuron/leak_threshold_fire", || {
+        let v = cfg.apply_leak(black_box(5), &mut p);
+        black_box(cfg.threshold_fire(v, &mut p));
     });
 }
 
-fn bench_crossbar(c: &mut Criterion) {
+fn bench_crossbar() {
     let xbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17) % 4 == 0);
-    c.bench_function("crossbar/row_iter_64_synapses", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for j in xbar.iter_row(black_box(5)) {
-                acc += j;
-            }
-            black_box(acc)
-        });
+    bench("crossbar/row_iter_64_synapses", || {
+        let mut acc = 0usize;
+        for j in xbar.iter_row(black_box(5)) {
+            acc += j;
+        }
+        black_box(acc);
     });
-    c.bench_function("crossbar/get", |b| {
-        b.iter(|| black_box(xbar.get(black_box(100), black_box(200))));
+    bench("crossbar/get", || {
+        black_box(xbar.get(black_box(100), black_box(200)));
     });
 }
 
 /// Full core tick across the activity range of paper Fig. 5's axes.
-fn bench_core_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core_tick");
+fn bench_core_tick() {
     for &active_axons in &[0usize, 8, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("active_axons", active_axons),
-            &active_axons,
-            |b, &n| {
-                let mut cfg = CoreConfig::new();
-                *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j) % 2 == 0); // 128/row
-                for j in 0..256 {
-                    cfg.neurons[j] = NeuronConfig::lif(1, 1_000_000);
-                }
-                let mut core = NeurosynapticCore::new(CoreId(0), cfg, 1);
-                let mut out = Vec::new();
-                let mut stats = TickStats::default();
-                let mut t = 0u64;
-                b.iter(|| {
-                    for a in 0..n {
-                        core.deliver(t, a as u8);
-                    }
-                    out.clear();
-                    core.tick(t, &mut out, &mut stats);
-                    t += 1;
-                    black_box(stats.sops)
-                });
-            },
-        );
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j) % 2 == 0); // 128/row
+        for j in 0..256 {
+            cfg.neurons[j] = NeuronConfig::lif(1, 1_000_000);
+        }
+        let mut core = NeurosynapticCore::new(CoreId(0), cfg, 1);
+        let mut out = Vec::new();
+        let mut stats = TickStats::default();
+        let mut t = 0u64;
+        bench(&format!("core_tick/active_axons/{active_axons}"), || {
+            for a in 0..active_axons {
+                core.deliver(t, a as u8);
+            }
+            out.clear();
+            core.tick(t, &mut out, &mut stats);
+            t += 1;
+            black_box(stats.sops);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_prng, bench_neuron, bench_crossbar, bench_core_tick);
-criterion_main!(benches);
+fn main() {
+    bench_prng();
+    bench_neuron();
+    bench_crossbar();
+    bench_core_tick();
+}

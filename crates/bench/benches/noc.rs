@@ -1,63 +1,60 @@
 //! Network-on-chip benchmarks: route computation, per-packet mesh
 //! accounting, and the per-tick link-load reduction.
+//!
+//! Plain `harness = false` binary on the in-tree harness
+//! ([`tn_bench::micro`]); run with `cargo bench --bench noc`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tn_bench::micro::{bench, black_box};
 use tn_chip::mesh::{DefectMap, Mesh};
 use tn_chip::router::route_path;
 use tn_core::CoreCoord;
 
-fn bench_route_path(c: &mut Criterion) {
+fn bench_route_path() {
     let clean = DefectMap::new(64, 64);
-    c.bench_function("router/route_path_clean", |b| {
-        let mut k = 0u16;
-        b.iter(|| {
-            k = k.wrapping_add(13);
-            let src = CoreCoord::new(k % 64, (k / 64) % 64);
-            let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
-            black_box(route_path(src, dst, &clean))
-        });
+    let mut k = 0u16;
+    bench("router/route_path_clean", || {
+        k = k.wrapping_add(13);
+        let src = CoreCoord::new(k % 64, (k / 64) % 64);
+        let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
+        black_box(route_path(src, dst, &clean));
     });
     let mut dirty = DefectMap::new(64, 64);
     for i in 0..40u16 {
         dirty.disable(CoreCoord::new((i * 11) % 64, (i * 17) % 64));
     }
-    c.bench_function("router/route_path_40_defects", |b| {
-        let mut k = 0u16;
-        b.iter(|| {
-            k = k.wrapping_add(13);
-            let src = CoreCoord::new(k % 64, (k / 64) % 64);
-            let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
-            black_box(route_path(src, dst, &dirty))
-        });
+    let mut k = 0u16;
+    bench("router/route_path_40_defects", || {
+        k = k.wrapping_add(13);
+        let src = CoreCoord::new(k % 64, (k / 64) % 64);
+        let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
+        black_box(route_path(src, dst, &dirty));
     });
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("mesh/route_with_link_accounting", |b| {
-        let mut mesh = Mesh::new(64, 64);
+fn bench_mesh() {
+    let mut mesh = Mesh::new(64, 64);
+    mesh.begin_tick();
+    let mut k = 0u16;
+    bench("mesh/route_with_link_accounting", || {
+        k = k.wrapping_add(13);
+        let src = CoreCoord::new(k % 64, (k / 64) % 64);
+        let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
+        black_box(mesh.route(src, dst));
+    });
+    let mut mesh = Mesh::new(64, 64);
+    bench("mesh/tick_reduce_4096_cores", || {
         mesh.begin_tick();
-        let mut k = 0u16;
-        b.iter(|| {
-            k = k.wrapping_add(13);
-            let src = CoreCoord::new(k % 64, (k / 64) % 64);
-            let dst = CoreCoord::new((k * 7) % 64, (k * 3) % 64);
-            black_box(mesh.route(src, dst))
-        });
-    });
-    c.bench_function("mesh/tick_reduce_4096_cores", |b| {
-        let mut mesh = Mesh::new(64, 64);
-        b.iter(|| {
-            mesh.begin_tick();
-            for k in 0..256u16 {
-                mesh.route(
-                    CoreCoord::new(k % 64, (k * 5) % 64),
-                    CoreCoord::new((k * 7) % 64, (k * 3) % 64),
-                );
-            }
-            black_box(mesh.finish_tick())
-        });
+        for k in 0..256u16 {
+            mesh.route(
+                CoreCoord::new(k % 64, (k * 5) % 64),
+                CoreCoord::new((k * 7) % 64, (k * 3) % 64),
+            );
+        }
+        black_box(mesh.finish_tick());
     });
 }
 
-criterion_group!(benches, bench_route_path, bench_mesh);
-criterion_main!(benches);
+fn main() {
+    bench_route_path();
+    bench_mesh();
+}

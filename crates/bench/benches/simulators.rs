@@ -1,9 +1,13 @@
 //! Whole-simulator benchmarks: seconds per tick of the reference
 //! Compass, the multithreaded Compass, and the chip model with full NoC
 //! accounting, on an 8×8-core recurrent network.
+//!
+//! Plain `harness = false` binary on the in-tree harness
+//! ([`tn_bench::micro`]); run with `cargo bench --bench simulators`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_bench::micro::bench_with_target;
 use tn_chip::TrueNorthSim;
 use tn_compass::{ParallelSim, ReferenceSim};
 use tn_core::network::NullSource;
@@ -18,57 +22,45 @@ fn params(rate: f64, syn: u32) -> RecurrentParams {
     }
 }
 
-fn bench_reference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reference_tick");
-    group.sample_size(20);
+const TARGET: Duration = Duration::from_millis(200);
+
+fn bench_reference() {
     for &(rate, syn) in &[(20.0, 32u32), (200.0, 256)] {
-        group.bench_with_input(
-            BenchmarkId::new("rate_syn", format!("{rate}x{syn}")),
-            &(rate, syn),
-            |b, _| {
-                let mut sim = ReferenceSim::new(build_recurrent(&params(rate, syn)));
-                sim.run(16, &mut NullSource); // steady state
-                b.iter(|| sim.step(&mut NullSource));
-            },
-        );
+        let mut sim = ReferenceSim::new(build_recurrent(&params(rate, syn)));
+        sim.run(16, &mut NullSource); // steady state
+        bench_with_target(&format!("reference_tick/{rate}x{syn}"), TARGET, &mut || {
+            sim.step(&mut NullSource);
+        });
     }
-    group.finish();
 }
 
-fn bench_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_compass");
-    group.sample_size(10);
+fn bench_parallel() {
     for &threads in &[1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &t| {
-                let mut sim = ParallelSim::new(build_recurrent(&params(100.0, 64)), t);
-                sim.run(16, &mut NullSource);
-                // Batch of 8 ticks amortizes the scoped-thread spawn.
-                b.iter(|| sim.run(8, &mut NullSource));
+        let mut sim = ParallelSim::new(build_recurrent(&params(100.0, 64)), threads);
+        sim.run(16, &mut NullSource);
+        // Batch of 8 ticks amortizes the scoped-thread spawn.
+        bench_with_target(
+            &format!("parallel_compass/threads/{threads} (8 ticks)"),
+            TARGET,
+            &mut || {
+                sim.run(8, &mut NullSource);
             },
         );
     }
-    group.finish();
 }
 
-fn bench_chip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chip_tick");
-    group.sample_size(20);
+fn bench_chip() {
     for &(rate, syn) in &[(20.0, 32u32), (200.0, 256)] {
-        group.bench_with_input(
-            BenchmarkId::new("rate_syn", format!("{rate}x{syn}")),
-            &(rate, syn),
-            |b, _| {
-                let mut sim = TrueNorthSim::new(build_recurrent(&params(rate, syn)));
-                sim.run(16, &mut NullSource);
-                b.iter(|| sim.step(&mut NullSource));
-            },
-        );
+        let mut sim = TrueNorthSim::new(build_recurrent(&params(rate, syn)));
+        sim.run(16, &mut NullSource);
+        bench_with_target(&format!("chip_tick/{rate}x{syn}"), TARGET, &mut || {
+            sim.step(&mut NullSource);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_reference, bench_parallel, bench_chip);
-criterion_main!(benches);
+fn main() {
+    bench_reference();
+    bench_parallel();
+    bench_chip();
+}

@@ -74,8 +74,7 @@ fn placement() {
                 cfg.neurons[j] = NeuronConfig::stochastic_source(40);
                 cfg.neurons[j].weights = [0; 4];
                 if k + 1 < stages {
-                    cfg.neurons[j].dest =
-                        Dest::Axon(SpikeTarget::new(ids[k + 1], j as u8, 1));
+                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(ids[k + 1], j as u8, 1));
                 }
             }
         }

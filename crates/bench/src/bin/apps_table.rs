@@ -79,8 +79,7 @@ fn main() {
             sim.run(window_ticks / 2, &mut src);
             let truth = src.scene().ground_truth();
             sim.run(window_ticks - window_ticks / 2, &mut src);
-            let dets =
-                decode_detections(&readout, sim.outputs(), t0, t0 + window_ticks, 3);
+            let dets = decode_detections(&readout, sim.outputs(), t0, t0 + window_ticks, 3);
             n_dets += dets.len();
             totals.merge(&score_detections(&dets, &truth, 0.1, true));
             loc_totals.merge(&score_detections(&dets, &truth, 0.1, false));

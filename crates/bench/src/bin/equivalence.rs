@@ -25,10 +25,7 @@ fn digests(p: &RecurrentParams, ticks: u64) -> (u64, Vec<(String, u64)>) {
     for threads in [2usize, 4, 8] {
         let mut sim = ParallelSim::new(build_recurrent(p), threads);
         sim.run(ticks, &mut NullSource);
-        got.push((
-            format!("compass-{threads}t"),
-            sim.network().state_digest(),
-        ));
+        got.push((format!("compass-{threads}t"), sim.network().state_digest()));
     }
     let mut chip = TrueNorthSim::new(build_recurrent(p));
     chip.run(ticks, &mut NullSource);

@@ -97,9 +97,7 @@ fn main() {
         let fifty = rates
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - 50.0).abs().total_cmp(&(b.1 - 50.0).abs())
-            })
+            .min_by(|a, b| (a.1 - 50.0).abs().total_cmp(&(b.1 - 50.0).abs()))
             .map(|(i, _)| i)
             .unwrap();
         eprintln!(

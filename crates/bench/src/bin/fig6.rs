@@ -51,11 +51,14 @@ fn main() {
         (t_tick, e_tick)
     };
 
-    panel("Fig. 6(a): × speedup vs Compass on 32-host BG/Q", &|r, s| {
-        let w = CompassWorkload::recurrent(r, s);
-        let (t_tn, _) = tn_point(r, s);
-        bgq.seconds_per_tick(&w) / t_tn
-    });
+    panel(
+        "Fig. 6(a): × speedup vs Compass on 32-host BG/Q",
+        &|r, s| {
+            let w = CompassWorkload::recurrent(r, s);
+            let (t_tn, _) = tn_point(r, s);
+            bgq.seconds_per_tick(&w) / t_tn
+        },
+    );
     panel(
         "Fig. 6(b): × energy improvement vs Compass on 32-host BG/Q",
         &|r, s| {
@@ -65,11 +68,14 @@ fn main() {
             bgq.operating_point(&w).energy_per_tick_j() / e_tn
         },
     );
-    panel("Fig. 6(c): × speedup vs Compass on dual-socket x86", &|r, s| {
-        let w = CompassWorkload::recurrent(r, s);
-        let (t_tn, _) = tn_point(r, s);
-        x86.seconds_per_tick(&w) / t_tn
-    });
+    panel(
+        "Fig. 6(c): × speedup vs Compass on dual-socket x86",
+        &|r, s| {
+            let w = CompassWorkload::recurrent(r, s);
+            let (t_tn, _) = tn_point(r, s);
+            x86.seconds_per_tick(&w) / t_tn
+        },
+    );
     panel(
         "Fig. 6(d): × energy improvement vs Compass on dual-socket x86",
         &|r, s| {
@@ -89,8 +95,7 @@ fn main() {
             host.resolved_threads(),
             host.assumed_power_w
         );
-        let (op, sim) =
-            host.measure(net, &mut tn_core::network::NullSource, 8, 32);
+        let (op, sim) = host.measure(net, &mut tn_core::network::NullSource, 8, 32);
         let (t_tn, e_tn) = tn_point(20.0, 128.0);
         let mut t = Table::new(&[
             "host",
@@ -116,7 +121,5 @@ fn main() {
         );
     }
 
-    println!(
-        "\npaper anchors: ≈10× vs 32-host BG/Q, 10²–10³× vs x86, ≈10⁵× energy vs both."
-    );
+    println!("\npaper anchors: ≈10× vs 32-host BG/Q, 10²–10³× vs x86, ≈10⁵× energy vs both.");
 }

@@ -40,8 +40,7 @@ fn main() {
         // Workload per tick (steady-state window) for the host models.
         let dt = (stats.ticks - before.ticks) as f64;
         let w = CompassWorkload {
-            neurons: (stats.totals.neuron_updates - before.totals.neuron_updates) as f64
-                / dt,
+            neurons: (stats.totals.neuron_updates - before.totals.neuron_updates) as f64 / dt,
             sops: (stats.totals.sops - before.totals.sops) as f64 / dt,
             spikes: (stats.totals.spikes_out - before.totals.spikes_out) as f64 / dt,
         };
@@ -64,16 +63,7 @@ fn main() {
         let bgq = BgqModel::full().operating_point(&w);
         let x86 = X86Model::full().operating_point(&w);
 
-        rows.push((
-            app.name,
-            mean_rate,
-            tn_t,
-            tn_p,
-            tn_e,
-            bgq,
-            x86,
-            local_op,
-        ));
+        rows.push((app.name, mean_rate, tn_t, tn_p, tn_e, bgq, x86, local_op));
     }
 
     println!("\n== Fig. 7(a): speedup vs power improvement (per application) ==");
@@ -102,7 +92,13 @@ fn main() {
     t.print();
 
     println!("\n== Fig. 7(b): × energy improvement per tick ==");
-    let mut t = Table::new(&["app", "TN_J_per_tick", "x_vs_BGQ", "x_vs_x86", "x_vs_this_host"]);
+    let mut t = Table::new(&[
+        "app",
+        "TN_J_per_tick",
+        "x_vs_BGQ",
+        "x_vs_x86",
+        "x_vs_this_host",
+    ]);
     for &(name, _, _, _, tn_e, bgq, x86, local) in &rows {
         t.row(vec![
             name.into(),

@@ -57,12 +57,7 @@ fn main() {
     let p = RecurrentParams::full_chip(20.0, 128, 0x4EAD);
     let r = run_recurrent_net(&p, warm, ticks);
     let m = characterize_at_voltage(&r, 0.75);
-    let mut t = Table::new(&[
-        "quantity",
-        "measured",
-        "analytic",
-        "paper",
-    ]);
+    let mut t = Table::new(&["quantity", "measured", "analytic", "paper"]);
     t.row(vec![
         "mean rate (Hz)".into(),
         fmt_sig(m.rate_hz),

@@ -78,7 +78,11 @@ fn main() {
         let mut row = vec![format!("{class:?}")];
         row.extend(scores.iter().map(|s| s.to_string()));
         row.push(format!("{:?}", ObjectClass::ALL[best]));
-        row.push(if best == ci { "YES".into() } else { "no".into() });
+        row.push(if best == ci {
+            "YES".into()
+        } else {
+            "no".into()
+        });
         t.row(row);
     }
     t.print();

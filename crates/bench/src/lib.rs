@@ -20,6 +20,7 @@
 //! paper plots; we claim shape fidelity, not absolute-number fidelity).
 
 pub mod apps_harness;
+pub mod micro;
 pub mod sweep;
 pub mod table;
 

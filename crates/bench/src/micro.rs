@@ -1,0 +1,81 @@
+//! Minimal wall-clock microbenchmark harness.
+//!
+//! Replaces the external `criterion` dev-dependency so the workspace
+//! builds with no network access and no vendored registry. Each bench
+//! target under `benches/` is a plain `harness = false` binary that
+//! calls [`bench`] per case and prints one `name  time/iter` row. No
+//! statistics beyond best-of-N: these benches exist to expose gross
+//! regressions and to give order-of-magnitude numbers for DESIGN.md,
+//! not to resolve ±1% effects.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measure `f`, printing time per iteration (~60 ms per timed run).
+pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+    bench_with_target(name, Duration::from_millis(60), &mut f);
+}
+
+/// Measure `f` with an explicit per-run time budget.
+///
+/// Warms up while calibrating the iteration count to roughly `target`
+/// wall clock, then reports the best of 3 timed runs (the minimum is the
+/// robust microbenchmark estimator — noise only ever adds time).
+pub fn bench_with_target(name: &str, target: Duration, f: &mut dyn FnMut()) {
+    let mut iters = 1u64;
+    loop {
+        let t = time(iters, f);
+        if t >= target / 8 || iters >= 1 << 30 {
+            let per_ns = t.as_nanos() as f64 / iters as f64;
+            iters = ((target.as_nanos() as f64 / per_ns.max(0.1)).ceil() as u64).max(1);
+            break;
+        }
+        iters *= 8;
+    }
+    let best = (0..3).map(|_| time(iters, f)).min().unwrap();
+    let per_ns = best.as_nanos() as f64 / iters as f64;
+    println!("{name:<48} {:>12}/iter   ({iters} iters)", fmt_ns(per_ns));
+}
+
+fn time(iters: u64, f: &mut dyn FnMut()) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_calls() {
+        let mut calls = 0u64;
+        bench_with_target("test/noop", Duration::from_millis(2), &mut || {
+            calls += 1;
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.0e9).ends_with('s'));
+    }
+}

@@ -37,8 +37,17 @@ pub struct CharPoint {
 
 /// Simulate one recurrent network on the chip simulator and collect its
 /// aggregate event/load statistics.
+///
+/// The network is statically verified before the first tick: measuring a
+/// broken network (dangling destinations, illegal delays) would silently
+/// distort a whole characterization sweep, so error diagnostics abort.
 pub fn run_recurrent_net(p: &RecurrentParams, warmup: u64, ticks: u64) -> NetResult {
     let net = build_recurrent(p);
+    let diags = net.verify(&tn_lint::LintConfig::default());
+    assert!(
+        !tn_lint::has_errors(&diags),
+        "refusing to characterize a network with lint errors: {diags:?}"
+    );
     let neurons = net.num_neurons() as u64;
     let chips = net.num_chips();
     let mut sim = TrueNorthSim::new(net);
@@ -99,7 +108,8 @@ pub fn characterize_at_voltage(r: &NetResult, volts: f64) -> CharPoint {
         min_period,
     );
     let sops_per_tick = stats_per_tick.sops as f64;
-    let rate = r.totals.spikes_out as f64 / (r.ticks.max(1) as f64 * TICK_SECONDS)
+    let rate = r.totals.spikes_out as f64
+        / (r.ticks.max(1) as f64 * TICK_SECONDS)
         / r.neurons.max(1) as f64;
     CharPoint {
         rate_hz: rate,

@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn sig_formatting() {
         assert_eq!(fmt_sig(0.0), "0");
-        assert_eq!(fmt_sig(3.14159), "3.14");
+        assert_eq!(fmt_sig(3.17159), "3.17");
         assert_eq!(fmt_sig(42.5), "42.5");
         assert_eq!(fmt_sig(123.4), "123");
         assert_eq!(fmt_sig(1.23e6), "1.23e6");

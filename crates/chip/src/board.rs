@@ -189,11 +189,8 @@ mod tests {
         {
             let cfg = nb.core_config_mut(left);
             for j in 0..256 {
-                cfg.neurons[j].dest = tn_core::Dest::Axon(tn_core::SpikeTarget::new(
-                    right_id,
-                    (j % 256) as u8,
-                    1,
-                ));
+                cfg.neurons[j].dest =
+                    tn_core::Dest::Axon(tn_core::SpikeTarget::new(right_id, (j % 256) as u8, 1));
             }
         }
         let mut sim = b.simulator(nb.build(), 1.0);

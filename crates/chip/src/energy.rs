@@ -72,7 +72,11 @@ pub struct EnergyBreakdown {
 
 impl EnergyBreakdown {
     pub fn total_j(&self) -> f64 {
-        self.leak_j + self.neuron_j + self.row_j + self.sop_j + self.spike_j
+        self.leak_j
+            + self.neuron_j
+            + self.row_j
+            + self.sop_j
+            + self.spike_j
             + self.hop_j
             + self.xchip_j
     }

@@ -312,7 +312,9 @@ mod tests {
         let mut m = Mesh::new(8, 8);
         m.defects.disable(CoreCoord::new(7, 7));
         m.begin_tick();
-        assert!(m.route(CoreCoord::new(0, 0), CoreCoord::new(7, 7)).is_none());
+        assert!(m
+            .route(CoreCoord::new(0, 0), CoreCoord::new(7, 7))
+            .is_none());
         let loads = m.finish_tick();
         assert_eq!(loads.undeliverable, 1);
         assert_eq!(loads.total_hops, 0);

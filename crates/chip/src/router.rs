@@ -183,8 +183,7 @@ mod tests {
     fn boundary_crossings_counted_per_axis() {
         let d = DefectMap::new(256, 256);
         // (10,10) on chip (0,0) → (200,200) on chip (3,3).
-        let r =
-            route_path(CoreCoord::new(10, 10), CoreCoord::new(200, 200), &d).unwrap();
+        let r = route_path(CoreCoord::new(10, 10), CoreCoord::new(200, 200), &d).unwrap();
         assert_eq!(r.boundary_crossings, 6);
         assert!(intra_chip(CoreCoord::new(0, 0), CoreCoord::new(63, 63)));
         assert!(!intra_chip(CoreCoord::new(0, 0), CoreCoord::new(64, 0)));

@@ -99,13 +99,16 @@ impl TimingModel {
     }
 
     /// Maximum tick frequency in kHz.
-    pub fn fmax_khz(
-        &self,
-        max_core: &CoreLoad,
-        max_link_load: u64,
-        max_boundary_load: u64,
-    ) -> f64 {
+    pub fn fmax_khz(&self, max_core: &CoreLoad, max_link_load: u64, max_boundary_load: u64) -> f64 {
         1e-3 / self.tick_period_s(max_core, max_link_load, max_boundary_load)
+    }
+
+    /// Worst-case packets one mesh link can serialize within a real-time
+    /// (1 kHz) tick at this voltage — the capacity bound handed to the
+    /// static TN008 link-bandwidth lint so offline verification and this
+    /// timing model agree.
+    pub fn link_capacity_per_tick(&self) -> u64 {
+        (tn_core::TICK_SECONDS * self.voltage.speed_scale() / self.t_link) as u64
     }
 
     /// Whether the chip can sustain real-time (1 kHz) operation under this

@@ -13,8 +13,8 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::mesh::{LinkAccounting, Mesh, NocTickLoads};
 use crate::timing::{CoreLoad, TimingModel};
 use std::time::Instant;
-use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats, TICK_SECONDS};
 use tn_compass::SpikeRecord;
+use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats, TICK_SECONDS};
 
 /// Characterization report for a run, in the units of paper Fig. 5.
 #[derive(Clone, Copy, Debug, Default)]
@@ -73,6 +73,7 @@ pub struct TrueNorthSim {
     spike_buf: Vec<OutSpike>,
     input_buf: Vec<(tn_core::CoreId, u8)>,
     wall_seconds: f64,
+    dropped_inputs: u64,
 }
 
 impl TrueNorthSim {
@@ -120,8 +121,38 @@ impl TrueNorthSim {
             spike_buf: Vec::new(),
             input_buf: Vec::new(),
             wall_seconds: 0.0,
+            dropped_inputs: 0,
             net,
         }
+    }
+
+    /// Strict constructor: statically verify the network first (see
+    /// [`tn_core::lint`]) and refuse configurations with error-severity
+    /// diagnostics. The capacity bound for the TN008 link check is taken
+    /// from this simulator's own timing model, so the static pass and the
+    /// dynamic congestion accounting agree on what "one tick" can carry.
+    pub fn new_verified(
+        net: Network,
+        cfg: &tn_core::LintConfig,
+    ) -> Result<(Self, Vec<tn_core::Diagnostic>), tn_core::VerifyError> {
+        let mut cfg = cfg.clone();
+        cfg.link_capacity = TimingModel::default().link_capacity_per_tick();
+        let diagnostics = net.verify(&cfg);
+        if tn_core::lint::has_errors(&diagnostics) {
+            return Err(tn_core::VerifyError { diagnostics });
+        }
+        Ok((Self::new(net), diagnostics))
+    }
+
+    /// Statically verify the network (see [`tn_core::lint`]).
+    pub fn verify(&self, cfg: &tn_core::LintConfig) -> Vec<tn_core::Diagnostic> {
+        self.net.verify(cfg)
+    }
+
+    /// Externally injected events dropped because they targeted a core
+    /// outside the grid (diagnosed instead of panicking at tick time).
+    pub fn dropped_inputs(&self) -> u64 {
+        self.dropped_inputs
     }
 
     pub fn network(&self) -> &Network {
@@ -167,6 +198,10 @@ impl TrueNorthSim {
 
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
+        let num_cores = self.net.num_cores();
+        let before = self.input_buf.len();
+        self.input_buf.retain(|(core, _)| core.index() < num_cores);
+        self.dropped_inputs += (before - self.input_buf.len()) as u64;
         let inputs_this_tick = self.input_buf.len() as u64;
         for &(core, axon) in &self.input_buf {
             self.net.core_mut(core).deliver(t + 1, axon);
@@ -184,9 +219,7 @@ impl TrueNorthSim {
                 sops: tick_stats.sops - before.sops,
                 neurons: tick_stats.neuron_updates - before.neuron_updates,
             };
-            if self.timing_model.core_time_s(&load)
-                > self.timing_model.core_time_s(&max_core)
-            {
+            if self.timing_model.core_time_s(&load) > self.timing_model.core_time_s(&max_core) {
                 max_core = load;
             }
         }
@@ -354,11 +387,11 @@ impl TrueNorthSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_core::{
-        CoreConfig, CoreCoord, CoreId, Crossbar, NetworkBuilder, NeuronConfig,
-        ScheduledSource, SpikeTarget,
-    };
     use tn_compass::ReferenceSim;
+    use tn_core::{
+        CoreConfig, CoreCoord, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource,
+        SpikeTarget,
+    };
 
     fn stochastic_net(w: u16, h: u16, seed: u64, rate256: u8) -> Network {
         let mut b = NetworkBuilder::new(w, h, seed);
@@ -423,7 +456,10 @@ mod tests {
         let mut heavy = TrueNorthSim::new(stochastic_net(4, 4, 3, 120));
         heavy.run(20, &mut tn_core::network::NullSource);
         assert!(light.fmax_khz() > heavy.fmax_khz());
-        assert!(light.fmax_khz() > 1.0, "light load is faster than real time");
+        assert!(
+            light.fmax_khz() > 1.0,
+            "light load is faster than real time"
+        );
     }
 
     #[test]

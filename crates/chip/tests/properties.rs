@@ -1,132 +1,164 @@
-//! Property-based tests of the NoC, energy, and timing models.
+//! Property-style tests of the NoC, energy, and timing models, run over
+//! many SplitMix64-seeded random cases (seeds fixed for reproducibility).
 
-use proptest::prelude::*;
 use tn_chip::mesh::{DefectMap, Mesh};
 use tn_chip::router::route_path;
 use tn_chip::timing::{CoreLoad, TimingModel};
 use tn_chip::{EnergyModel, VoltageParams};
-use tn_core::{CoreCoord, TickStats};
+use tn_core::{CoreCoord, SplitMix64, TickStats};
 
-proptest! {
-    /// Routes are at least Manhattan distance, detours are even and only
-    /// appear when defects exist, and boundary counts match chip math.
-    #[test]
-    fn route_invariants(
-        sx in 0u16..64, sy in 0u16..64,
-        dx in 0u16..64, dy in 0u16..64,
-        defects in prop::collection::vec((0u16..64, 0u16..64), 0..20),
-    ) {
-        let src = CoreCoord::new(sx, sy);
-        let dst = CoreCoord::new(dx, dy);
+/// Routes are at least Manhattan distance, detours are even and only
+/// appear when defects exist, and boundary counts match chip math.
+#[test]
+fn route_invariants() {
+    let mut rng = SplitMix64::new(0x9047);
+    for case in 0..128 {
+        let src = CoreCoord::new(rng.below(64) as u16, rng.below(64) as u16);
+        let dst = CoreCoord::new(rng.below(64) as u16, rng.below(64) as u16);
         let mut map = DefectMap::new(64, 64);
-        for &(x, y) in &defects {
-            if (x, y) != (dx, dy) {
+        for _ in 0..rng.below_usize(20) {
+            let (x, y) = (rng.below(64) as u16, rng.below(64) as u16);
+            if (x, y) != (dst.x, dst.y) {
                 map.disable(CoreCoord::new(x, y));
             }
         }
         let r = route_path(src, dst, &map).expect("destination is healthy");
         let manhattan = src.hops_to(dst);
-        prop_assert!(r.hops >= manhattan);
-        prop_assert_eq!((r.hops - manhattan) % 2, 0, "detours cost 2 hops each");
-        prop_assert_eq!(r.hops, manhattan + 2 * r.detours);
-        prop_assert_eq!(r.boundary_crossings, 0, "single chip has no boundaries");
+        assert!(r.hops >= manhattan, "case {case}");
+        assert_eq!(
+            (r.hops - manhattan) % 2,
+            0,
+            "detours cost 2 hops each, case {case}"
+        );
+        assert_eq!(r.hops, manhattan + 2 * r.detours, "case {case}");
+        assert_eq!(
+            r.boundary_crossings, 0,
+            "single chip has no boundaries, case {case}"
+        );
     }
+}
 
-    /// Multi-chip boundary crossings equal per-axis chip distance.
-    #[test]
-    fn boundary_crossings_match_chip_distance(
-        sx in 0u16..256, sy in 0u16..128,
-        dx in 0u16..256, dy in 0u16..128,
-    ) {
-        let map = DefectMap::new(256, 128);
+/// Multi-chip boundary crossings equal per-axis chip distance.
+#[test]
+fn boundary_crossings_match_chip_distance() {
+    let mut rng = SplitMix64::new(0xB0C5);
+    let map = DefectMap::new(256, 128);
+    for case in 0..128 {
+        let (sx, sy) = (rng.below(256) as u16, rng.below(128) as u16);
+        let (dx, dy) = (rng.below(256) as u16, rng.below(128) as u16);
         let src = CoreCoord::new(sx, sy);
         let dst = CoreCoord::new(dx, dy);
         let r = route_path(src, dst, &map).unwrap();
         let expect = (sx / 64).abs_diff(dx / 64) + (sy / 64).abs_diff(dy / 64);
-        prop_assert_eq!(r.boundary_crossings, expect as u32);
+        assert_eq!(r.boundary_crossings, expect as u32, "case {case}");
     }
+}
 
-    /// Mesh link accounting: total link occupancy equals total hops, and
-    /// the max link is bounded by the packet count.
-    #[test]
-    fn mesh_load_conservation(
-        routes in prop::collection::vec((0u16..32, 0u16..32, 0u16..32, 0u16..32), 1..80)
-    ) {
+/// Mesh link accounting: total link occupancy equals total hops, and the
+/// max link is bounded by the packet count.
+#[test]
+fn mesh_load_conservation() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x3E57 + case);
+        let n_routes = 1 + rng.below_usize(79);
         let mut mesh = Mesh::new(32, 32);
         mesh.begin_tick();
         let mut expect_hops = 0u64;
-        for &(a, b, c, d) in &routes {
-            let src = CoreCoord::new(a, b);
-            let dst = CoreCoord::new(c, d);
+        for _ in 0..n_routes {
+            let src = CoreCoord::new(rng.below(32) as u16, rng.below(32) as u16);
+            let dst = CoreCoord::new(rng.below(32) as u16, rng.below(32) as u16);
             expect_hops += mesh.route(src, dst).unwrap() as u64;
         }
         let loads = mesh.finish_tick();
-        prop_assert_eq!(loads.total_hops, expect_hops);
-        prop_assert!(loads.max_link_load <= routes.len() as u64);
+        assert_eq!(loads.total_hops, expect_hops, "case {case}");
+        assert!(loads.max_link_load <= n_routes as u64, "case {case}");
         if expect_hops > 0 {
-            prop_assert!(loads.max_link_load >= 1);
+            assert!(loads.max_link_load >= 1, "case {case}");
         }
     }
+}
 
-    /// Energy is monotone in every event-count argument and voltage.
-    #[test]
-    fn energy_monotonicity(
-        events in 0u64..1_000_000,
-        sops in 0u64..10_000_000,
-        spikes in 0u64..500_000,
-        hops in 0u64..10_000_000,
-    ) {
-        let m = EnergyModel::default();
+/// Energy is monotone in every event-count argument and voltage.
+#[test]
+fn energy_monotonicity() {
+    let mut rng = SplitMix64::new(0xE6E9);
+    let m = EnergyModel::default();
+    for case in 0..64 {
         let stats = TickStats {
-            axon_events: events,
-            sops,
+            axon_events: rng.below(1_000_000),
+            sops: rng.below(10_000_000),
             neuron_updates: 1 << 20,
-            spikes_out: spikes,
+            spikes_out: rng.below(500_000),
             prng_draws_end: 0,
         };
+        let hops = rng.below(10_000_000);
         let base = m.tick_energy(&stats, hops, 0, 1, 1e-3).total_j();
         let mut more = stats;
         more.sops += 1000;
-        prop_assert!(m.tick_energy(&more, hops, 0, 1, 1e-3).total_j() > base);
-        prop_assert!(m.tick_energy(&stats, hops + 1000, 0, 1, 1e-3).total_j() > base);
-        prop_assert!(m.tick_energy(&stats, hops, 1000, 1, 1e-3).total_j() > base);
+        assert!(
+            m.tick_energy(&more, hops, 0, 1, 1e-3).total_j() > base,
+            "case {case}"
+        );
+        assert!(
+            m.tick_energy(&stats, hops + 1000, 0, 1, 1e-3).total_j() > base,
+            "case {case}"
+        );
+        assert!(
+            m.tick_energy(&stats, hops, 1000, 1, 1e-3).total_j() > base,
+            "case {case}"
+        );
         // Higher voltage costs more for the same tick.
         let hv = EnergyModel::at_voltage(0.95);
-        prop_assert!(hv.tick_energy(&stats, hops, 0, 1, 1e-3).total_j() > base);
+        assert!(
+            hv.tick_energy(&stats, hops, 0, 1, 1e-3).total_j() > base,
+            "case {case}"
+        );
     }
+}
 
-    /// Tick period is monotone in load and inversely monotone in voltage.
-    #[test]
-    fn timing_monotonicity(
-        events in 0u64..200,
-        sops in 0u64..20_000,
-        link in 0u64..10_000,
-    ) {
-        let tm = TimingModel::default();
-        let load = CoreLoad { events, sops, neurons: 256 };
+/// Tick period is monotone in load and inversely monotone in voltage.
+#[test]
+fn timing_monotonicity() {
+    let mut rng = SplitMix64::new(0x7141);
+    let tm = TimingModel::default();
+    for case in 0..64 {
+        let load = CoreLoad {
+            events: rng.below(200),
+            sops: rng.below(20_000),
+            neurons: 256,
+        };
+        let link = rng.below(10_000);
         let t = tm.tick_period_s(&load, link, 0);
         let mut heavier = load;
         heavier.events += 10;
-        prop_assert!(tm.tick_period_s(&heavier, link, 0) > t);
-        prop_assert!(tm.tick_period_s(&load, link + 100, 0) > t);
+        assert!(tm.tick_period_s(&heavier, link, 0) > t, "case {case}");
+        assert!(tm.tick_period_s(&load, link + 100, 0) > t, "case {case}");
         let fast = TimingModel::at_voltage(1.05);
-        prop_assert!(fast.tick_period_s(&load, link, 0) < t);
+        assert!(fast.tick_period_s(&load, link, 0) < t, "case {case}");
     }
+}
 
-    /// Voltage scale factors are continuous-ish and ordered.
-    #[test]
-    fn voltage_scaling_sane(mv in 700u32..=1050) {
+/// Voltage scale factors are continuous-ish and ordered.
+#[test]
+fn voltage_scaling_sane() {
+    for mv in 700u32..=1050 {
         let v = VoltageParams::new(mv as f64 / 1000.0);
-        prop_assert!(v.dynamic_energy_scale() > 0.0);
-        prop_assert!(v.leakage_power_scale() > 0.0);
-        prop_assert!(v.speed_scale() > 0.0);
+        assert!(v.dynamic_energy_scale() > 0.0);
+        assert!(v.leakage_power_scale() > 0.0);
+        assert!(v.speed_scale() > 0.0);
         // Leakage grows faster than dynamic with voltage (cubic vs
         // square) above nominal, slower below.
         let nominal = 0.75;
         if (mv as f64 / 1000.0) > nominal {
-            prop_assert!(v.leakage_power_scale() >= v.dynamic_energy_scale());
+            assert!(
+                v.leakage_power_scale() >= v.dynamic_energy_scale(),
+                "{mv} mV"
+            );
         } else {
-            prop_assert!(v.leakage_power_scale() <= v.dynamic_energy_scale() + 1e-12);
+            assert!(
+                v.leakage_power_scale() <= v.dynamic_energy_scale() + 1e-12,
+                "{mv} mV"
+            );
         }
     }
 }

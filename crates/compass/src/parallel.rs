@@ -24,8 +24,8 @@
 
 use crate::output::{OutputEvent, SpikeRecord};
 use crate::partition::{owner_of, weighted_split_points};
-use parking_lot::Mutex;
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats};
 
@@ -56,6 +56,7 @@ pub struct ParallelSim {
     tick: u64,
     stats: RunStats,
     outputs: SpikeRecord,
+    dropped_inputs: u64,
 }
 
 impl ParallelSim {
@@ -74,6 +75,7 @@ impl ParallelSim {
             tick: 0,
             stats: RunStats::default(),
             outputs: SpikeRecord::new(),
+            dropped_inputs: 0,
         }
     }
 
@@ -95,6 +97,12 @@ impl ParallelSim {
 
     pub fn current_tick(&self) -> u64 {
         self.tick
+    }
+
+    /// Externally injected events dropped because they targeted a core
+    /// outside the grid (diagnosed instead of panicking at tick time).
+    pub fn dropped_inputs(&self) -> u64 {
+        self.dropped_inputs
     }
 
     pub fn into_parts(self) -> (Network, SpikeRecord, RunStats) {
@@ -127,7 +135,11 @@ impl ParallelSim {
             let mut rest = self.net.cores_mut();
             let mut consumed = 0usize;
             for k in 0..n {
-                let end = if k + 1 < n { starts[k + 1] } else { rest.len() + consumed };
+                let end = if k + 1 < n {
+                    starts[k + 1]
+                } else {
+                    rest.len() + consumed
+                };
                 let (head, tail) = rest.split_at_mut(end - consumed);
                 consumed = end;
                 slices.push(head);
@@ -147,6 +159,8 @@ impl ParallelSim {
         let barrier = Barrier::new(n);
         let merged: Mutex<(TickStats, Vec<OutputEvent>)> =
             Mutex::new((TickStats::default(), Vec::new()));
+        let dropped = AtomicU64::new(0);
+        let total_cores = weights.len();
 
         let mode = self.mode;
         let starts_ref = &starts;
@@ -156,6 +170,7 @@ impl ParallelSim {
         let src_ref = &src_shared;
         let barrier_ref = &barrier;
         let merged_ref = &merged;
+        let dropped_ref = &dropped;
 
         let wall = Instant::now();
         std::thread::scope(|scope| {
@@ -165,19 +180,27 @@ impl ParallelSim {
                     let mut local_stats = TickStats::default();
                     let mut local_out: Vec<OutputEvent> = Vec::new();
                     let mut spike_buf: Vec<OutSpike> = Vec::new();
-                    let mut buckets: Vec<Vec<Packet>> =
-                        (0..n).map(|_| Vec::new()).collect();
+                    let mut buckets: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
 
                     for t in start_tick..start_tick + ticks {
                         // -- input phase (thread 0 polls the source) --
                         if k == 0 {
-                            let mut inp = input_ref.lock();
+                            let mut inp = input_ref.lock().unwrap();
                             inp.clear();
-                            src_ref.lock().fill(t, &mut inp);
+                            src_ref.lock().unwrap().fill(t, &mut inp);
+                            // Bounds-check the injection here, once, so a
+                            // misbehaving source is diagnosed instead of
+                            // panicking a worker mid-tick.
+                            let before = inp.len();
+                            inp.retain(|(core, _)| core.index() < total_cores);
+                            let bad = (before - inp.len()) as u64;
+                            if bad > 0 {
+                                dropped_ref.fetch_add(bad, Ordering::Relaxed);
+                            }
                         }
                         barrier_ref.wait();
                         {
-                            let inp = input_ref.lock();
+                            let inp = input_ref.lock().unwrap();
                             for &(core, axon) in inp.iter() {
                                 let owner = owner_of(starts_ref, core.index());
                                 if owner == k {
@@ -204,26 +227,23 @@ impl ParallelSim {
                                     };
                                     match mode {
                                         AggregationMode::Pairwise => {
-                                            let dst =
-                                                owner_of(starts_ref, tgt.core.index());
+                                            let dst = owner_of(starts_ref, tgt.core.index());
                                             buckets[dst].push(pkt);
                                         }
                                         AggregationMode::GlobalQueue => {
                                             // Ablation: one lock per spike.
-                                            global_ref.lock().push(pkt);
+                                            global_ref.lock().unwrap().push(pkt);
                                         }
                                     }
                                 }
-                                Dest::Output(port) => {
-                                    local_out.push(OutputEvent { tick: t, port })
-                                }
+                                Dest::Output(port) => local_out.push(OutputEvent { tick: t, port }),
                                 Dest::None => {}
                             }
                         }
                         if mode == AggregationMode::Pairwise {
                             for (dst, bucket) in buckets.iter_mut().enumerate() {
                                 if !bucket.is_empty() {
-                                    let mut slot = mailboxes_ref[k][dst].lock();
+                                    let mut slot = mailboxes_ref[k][dst].lock().unwrap();
                                     std::mem::swap(&mut *slot, bucket);
                                 }
                             }
@@ -234,34 +254,32 @@ impl ParallelSim {
                         match mode {
                             AggregationMode::Pairwise => {
                                 for row in mailboxes_ref.iter() {
-                                    let mut slot = row[k].lock();
+                                    let mut slot = row[k].lock().unwrap();
                                     for pkt in slot.drain(..) {
                                         let idx = pkt.core as usize - my_offset as usize;
-                                        my_cores[idx]
-                                            .deliver(t + pkt.delay as u64, pkt.axon);
+                                        my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
                                     }
                                 }
                             }
                             AggregationMode::GlobalQueue => {
-                                let q = global_ref.lock();
+                                let q = global_ref.lock().unwrap();
                                 for pkt in q.iter() {
                                     let owner = owner_of(starts_ref, pkt.core as usize);
                                     if owner == k {
                                         let idx = pkt.core as usize - my_offset as usize;
-                                        my_cores[idx]
-                                            .deliver(t + pkt.delay as u64, pkt.axon);
+                                        my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
                                     }
                                 }
                             }
                         }
                         barrier_ref.wait();
                         if mode == AggregationMode::GlobalQueue && k == 0 {
-                            global_ref.lock().clear();
+                            global_ref.lock().unwrap().clear();
                         }
                         barrier_ref.wait();
                     }
 
-                    let mut m = merged_ref.lock();
+                    let mut m = merged_ref.lock().unwrap();
                     m.0 += local_stats;
                     m.1.append(&mut local_out);
                 });
@@ -270,9 +288,10 @@ impl ParallelSim {
         let elapsed = wall.elapsed().as_secs_f64();
 
         let (tick_totals, outs) = {
-            let mut m = merged.lock();
+            let mut m = merged.lock().unwrap();
             (m.0, std::mem::take(&mut m.1))
         };
+        self.dropped_inputs += dropped.into_inner();
         self.outputs.extend(outs);
         self.stats.ticks += ticks;
         self.stats.totals += tick_totals;
@@ -287,8 +306,7 @@ mod tests {
     use super::*;
     use crate::reference::ReferenceSim;
     use tn_core::{
-        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource,
-        SpikeTarget,
+        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource, SpikeTarget,
     };
 
     /// Random-ish stochastic recurrent network over `w×h` cores.
@@ -341,11 +359,8 @@ mod tests {
     #[test]
     fn global_queue_mode_matches_too() {
         let (ref_digest, _) = digest_after(stochastic_net(3, 3, 5), 0, 30);
-        let mut sim = ParallelSim::with_mode(
-            stochastic_net(3, 3, 5),
-            4,
-            AggregationMode::GlobalQueue,
-        );
+        let mut sim =
+            ParallelSim::with_mode(stochastic_net(3, 3, 5), 4, AggregationMode::GlobalQueue);
         sim.run(30, &mut tn_core::network::NullSource);
         assert_eq!(sim.network().state_digest(), ref_digest);
     }
@@ -404,6 +419,16 @@ mod tests {
         let mut whole = ParallelSim::new(stochastic_net(2, 2, 3), 2);
         whole.run(15, &mut tn_core::network::NullSource);
         assert_eq!(sim.network().state_digest(), whole.network().state_digest());
+    }
+
+    #[test]
+    fn out_of_grid_injection_dropped_in_parallel() {
+        let mut sim = ParallelSim::new(stochastic_net(2, 2, 3), 2);
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(99), 1); // outside the 4-core grid
+        src.push(1, CoreId(1), 1);
+        sim.run(3, &mut src);
+        assert_eq!(sim.dropped_inputs(), 1);
     }
 
     #[test]

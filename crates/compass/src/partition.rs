@@ -81,7 +81,7 @@ mod tests {
     fn skewed_weights_balance() {
         // First 10 items carry 10× the weight of the rest.
         let mut w = vec![10u64; 10];
-        w.extend(std::iter::repeat(1).take(90));
+        w.extend(std::iter::repeat_n(1, 90));
         let starts = weighted_split_points(&w, 2);
         let rw = range_weights(&w, &starts);
         let total: u64 = w.iter().sum();

@@ -18,6 +18,7 @@ pub struct ReferenceSim {
     spike_buf: Vec<OutSpike>,
     input_buf: Vec<(tn_core::CoreId, u8)>,
     trace: Option<SpikeTrace>,
+    dropped_inputs: u64,
 }
 
 impl ReferenceSim {
@@ -30,7 +31,19 @@ impl ReferenceSim {
             spike_buf: Vec::new(),
             input_buf: Vec::new(),
             trace: None,
+            dropped_inputs: 0,
         }
+    }
+
+    /// Statically verify the network before running (see [`tn_core::lint`]).
+    pub fn verify(&self, cfg: &tn_core::LintConfig) -> Vec<tn_core::Diagnostic> {
+        self.net.verify(cfg)
+    }
+
+    /// Externally injected events dropped because they targeted a core
+    /// outside the grid (diagnosed instead of panicking at tick time).
+    pub fn dropped_inputs(&self) -> u64 {
+        self.dropped_inputs
     }
 
     /// Enable full spike tracing with a rolling window of `capacity`
@@ -93,7 +106,14 @@ impl ReferenceSim {
         let t = self.tick;
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
+        let num_cores = self.net.num_cores();
         for &(core, axon) in &self.input_buf {
+            // Bounds-check injection: a source naming a core outside the
+            // grid is diagnosed (counted and dropped), not a panic.
+            if core.index() >= num_cores {
+                self.dropped_inputs += 1;
+                continue;
+            }
             self.net.core_mut(core).deliver(t + 1, axon);
         }
 
@@ -139,8 +159,7 @@ impl ReferenceSim {
 mod tests {
     use super::*;
     use tn_core::{
-        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource,
-        SpikeTarget,
+        CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, ScheduledSource, SpikeTarget,
     };
 
     /// A 2-core ring: core 0 neuron k targets core 1 axon k (delay 1);
@@ -153,11 +172,8 @@ mod tests {
             *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
             for j in 0..256 {
                 cfg.neurons[j] = NeuronConfig::lif(1, 1);
-                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
-                    CoreId(target_core),
-                    j as u8,
-                    delay,
-                ));
+                cfg.neurons[j].dest =
+                    Dest::Axon(SpikeTarget::new(CoreId(target_core), j as u8, delay));
             }
             cfg
         };
@@ -262,6 +278,17 @@ mod tests {
         // between core 0 and core 1.
         let cores: Vec<u32> = trace.events().iter().map(|e| e.src.core.0).collect();
         assert!(cores.windows(2).all(|w| w[0] != w[1]), "{cores:?}");
+    }
+
+    #[test]
+    fn out_of_grid_injection_is_dropped_not_fatal() {
+        let mut sim = ReferenceSim::new(ring());
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(999), 3); // outside the 2-core grid
+        src.push(0, CoreId(0), 3);
+        sim.run(5, &mut src);
+        assert_eq!(sim.dropped_inputs(), 1);
+        assert!(sim.stats().totals.spikes_out > 0, "valid event survived");
     }
 
     #[test]

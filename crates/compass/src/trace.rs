@@ -79,10 +79,7 @@ impl SpikeTrace {
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 16);
         for e in &self.events {
-            out.push_str(&format!(
-                "{} {} {}\n",
-                e.tick, e.src.core.0, e.src.neuron
-            ));
+            out.push_str(&format!("{} {} {}\n", e.tick, e.src.core.0, e.src.neuron));
         }
         out
     }

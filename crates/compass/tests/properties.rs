@@ -1,41 +1,50 @@
-//! Property-based tests of the Compass simulator layer.
+//! Property-style tests of the Compass simulator layer, run over many
+//! SplitMix64-seeded random cases (seeds fixed for reproducibility).
 
-use proptest::prelude::*;
 use tn_compass::partition::{owner_of, weighted_split_points};
 use tn_compass::{ParallelSim, ReferenceSim, SpikeRecord};
 use tn_core::network::NullSource;
 use tn_core::{
-    CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, SpikeTarget,
+    CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, SpikeTarget, SplitMix64,
 };
 
-proptest! {
-    /// The weighted partitioner always produces a valid cover: ascending
-    /// non-overlapping non-empty ranges whose union is the whole array,
-    /// and owner lookup agrees with range membership.
-    #[test]
-    fn partitioner_produces_valid_cover(
-        weights in prop::collection::vec(0u64..1000, 1..300),
-        n in 1usize..40,
-    ) {
+/// The weighted partitioner always produces a valid cover: ascending
+/// non-overlapping non-empty ranges whose union is the whole array, and
+/// owner lookup agrees with range membership.
+#[test]
+fn partitioner_produces_valid_cover() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x9A51 + case);
+        let len = 1 + rng.below_usize(299);
+        let weights: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
+        let n = 1 + rng.below_usize(39);
         let starts = weighted_split_points(&weights, n);
-        prop_assert!(!starts.is_empty());
-        prop_assert_eq!(starts[0], 0);
-        prop_assert!(starts.len() <= n.min(weights.len()));
-        prop_assert!(starts.windows(2).all(|w| w[0] < w[1]), "{:?}", starts);
-        prop_assert!(*starts.last().unwrap() < weights.len());
+        assert!(!starts.is_empty(), "case {case}");
+        assert_eq!(starts[0], 0, "case {case}");
+        assert!(starts.len() <= n.min(weights.len()), "case {case}");
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: {starts:?}"
+        );
+        assert!(*starts.last().unwrap() < weights.len(), "case {case}");
         for idx in 0..weights.len() {
             let k = owner_of(&starts, idx);
-            prop_assert!(idx >= starts[k]);
+            assert!(idx >= starts[k], "case {case}");
             if k + 1 < starts.len() {
-                prop_assert!(idx < starts[k + 1]);
+                assert!(idx < starts[k + 1], "case {case}");
             }
         }
     }
+}
 
-    /// Partition balance: with uniform weights no range is more than 2×
-    /// the ideal size.
-    #[test]
-    fn partitioner_balances_uniform_loads(len in 10usize..400, n in 1usize..16) {
+/// Partition balance: with uniform weights no range is more than 2× the
+/// ideal size.
+#[test]
+fn partitioner_balances_uniform_loads() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xBA7A + case);
+        let len = 10 + rng.below_usize(390);
+        let n = 1 + rng.below_usize(15);
         let weights = vec![7u64; len];
         let starts = weighted_split_points(&weights, n);
         let k = starts.len();
@@ -43,51 +52,62 @@ proptest! {
         for i in 0..k {
             let end = starts.get(i + 1).copied().unwrap_or(len);
             let size = (end - starts[i]) as f64;
-            prop_assert!(size <= 2.0 * ideal + 1.0, "range {i}: {size} vs ideal {ideal}");
+            assert!(
+                size <= 2.0 * ideal + 1.0,
+                "case {case} range {i}: {size} vs ideal {ideal}"
+            );
         }
     }
+}
 
-    /// SpikeRecord digests are permutation-invariant, content-sensitive.
-    #[test]
-    fn spike_record_digest_properties(
-        events in prop::collection::vec((0u64..1000, 0u32..100), 1..100),
-        swap_a in 0usize..100,
-        swap_b in 0usize..100,
-    ) {
+/// SpikeRecord digests are permutation-invariant, content-sensitive.
+#[test]
+fn spike_record_digest_properties() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xD167 + case);
+        let n = 1 + rng.below_usize(99);
+        let events: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(1000), rng.below(100) as u32))
+            .collect();
         let mut a = SpikeRecord::new();
         for &(t, p) in &events {
             a.push(t, p);
         }
         // A permuted insertion order gives the same digest.
         let mut shuffled = events.clone();
-        let (x, y) = (swap_a % events.len(), swap_b % events.len());
+        let (x, y) = (rng.below_usize(n), rng.below_usize(n));
         shuffled.swap(x, y);
         let mut b = SpikeRecord::new();
         for &(t, p) in &shuffled {
             b.push(t, p);
         }
-        prop_assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), b.digest(), "case {case}");
         // Adding one more event changes it.
         b.push(5000, 7);
-        prop_assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), b.digest(), "case {case}");
     }
+}
 
-    /// Parallel simulation with an arbitrary thread count matches the
-    /// reference for arbitrary ring-ish topologies.
-    #[test]
-    fn parallel_matches_reference_for_random_topologies(
-        threads in 1usize..9,
-        rate in 5u8..60,
-        fan_seed in any::<u32>(),
-        ticks in 10u64..60,
-    ) {
+/// Parallel simulation with an arbitrary thread count matches the
+/// reference for arbitrary ring-ish topologies.
+#[test]
+fn parallel_matches_reference_for_random_topologies() {
+    let mut rng = SplitMix64::new(0x7093);
+    for case in 0..10 {
+        let threads = 1 + rng.below_usize(8);
+        let rate = 5 + rng.below(55) as u8;
+        let fan_seed = rng.next_u32();
+        let ticks = 10 + rng.below(50);
         let mk = || {
             let mut b = NetworkBuilder::new(3, 2, fan_seed as u64);
             for c in 0..6u32 {
                 let mut cfg = CoreConfig::new();
                 *cfg.crossbar = Crossbar::from_fn(|i, j| {
-                    (i as u32).wrapping_mul(7).wrapping_add(j as u32)
-                        .wrapping_add(fan_seed) % 9 == 0
+                    (i as u32)
+                        .wrapping_mul(7)
+                        .wrapping_add(j as u32)
+                        .wrapping_add(fan_seed)
+                        .is_multiple_of(9)
                 });
                 for j in 0..256 {
                     cfg.neurons[j] = NeuronConfig::stochastic_source(rate);
@@ -106,13 +126,15 @@ proptest! {
         reference.run(ticks, &mut NullSource);
         let mut par = ParallelSim::new(mk(), threads);
         par.run(ticks, &mut NullSource);
-        prop_assert_eq!(
+        assert_eq!(
             reference.network().state_digest(),
-            par.network().state_digest()
+            par.network().state_digest(),
+            "case {case} threads {threads}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             reference.stats().totals.spikes_out,
-            par.stats().totals.spikes_out
+            par.stats().totals.spikes_out,
+            "case {case} threads {threads}"
         );
     }
 }

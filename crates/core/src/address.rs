@@ -35,18 +35,12 @@ impl CoreCoord {
     /// Which chip of a tiled array this core falls on (chips are 64×64
     /// cores).
     pub fn chip(self) -> (u16, u16) {
-        (
-            self.x / CHIP_CORES_X as u16,
-            self.y / CHIP_CORES_Y as u16,
-        )
+        (self.x / CHIP_CORES_X as u16, self.y / CHIP_CORES_Y as u16)
     }
 
     /// Coordinate of the core within its chip.
     pub fn within_chip(self) -> (u16, u16) {
-        (
-            self.x % CHIP_CORES_X as u16,
-            self.y % CHIP_CORES_Y as u16,
-        )
+        (self.x % CHIP_CORES_X as u16, self.y % CHIP_CORES_Y as u16)
     }
 
     /// Manhattan distance in core hops — the mesh uses dimension-order

@@ -83,9 +83,7 @@ impl Crossbar {
 
     /// Number of active synapses feeding neuron `j` (its in-degree).
     pub fn column_fanin(&self, neuron: usize) -> u32 {
-        (0..AXONS_PER_CORE)
-            .filter(|&i| self.get(i, neuron))
-            .count() as u32
+        (0..AXONS_PER_CORE).filter(|&i| self.get(i, neuron)).count() as u32
     }
 
     /// Total active synapses in the crossbar.
@@ -168,8 +166,7 @@ mod tests {
         let xb = Crossbar::from_fn(|i, j| (i * 7 + j * 13) % 11 == 0);
         for i in [0usize, 1, 100, 255] {
             let via_iter: Vec<usize> = xb.iter_row(i).collect();
-            let via_get: Vec<usize> =
-                (0..256).filter(|&j| xb.get(i, j)).collect();
+            let via_get: Vec<usize> = (0..256).filter(|&j| xb.get(i, j)).collect();
             assert_eq!(via_iter, via_get);
             assert_eq!(xb.row_fanout(i) as usize, via_iter.len());
         }

@@ -37,21 +37,25 @@
 pub mod address;
 pub mod crossbar;
 pub mod delay;
+pub mod lint;
 pub mod modelfile;
 pub mod network;
 pub mod neuron;
 pub mod nscore;
 pub mod prng;
+pub mod rng;
 pub mod snapshot;
 pub mod stats;
 
 pub use address::{CoreCoord, CoreId, Dest, NeuronId, OutSpike, SpikeTarget};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
-pub use network::{Network, NetworkBuilder, ScheduledSource, SpikeSource};
+pub use lint::{Diagnostic, DiagnosticSink, LintConfig, Severity, VerifyError};
+pub use network::{InjectError, Network, NetworkBuilder, ScheduledSource, SpikeSource};
 pub use neuron::{NeuronConfig, ResetMode};
 pub use nscore::{CoreConfig, NeurosynapticCore};
 pub use prng::CorePrng;
+pub use rng::SplitMix64;
 pub use snapshot::NetworkSnapshot;
 pub use stats::{RunStats, TickStats};
 

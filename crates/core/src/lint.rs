@@ -1,0 +1,837 @@
+//! Static network verification — offline program checking before any tick
+//! executes.
+//!
+//! The paper's 1:1 spike-for-spike equivalence between Compass and the
+//! chip (Section VI-A) is a statement about *well-formed* networks; a
+//! configuration with a dangling spike destination or an out-of-range
+//! delay fails deep inside a simulation run instead of at load time. Real
+//! neuromorphic toolchains verify mapped networks offline before
+//! deployment; this module is that pass for the blueprint.
+//!
+//! The verifier walks a network configuration (no dynamic state needed)
+//! and emits structured [`Diagnostic`]s through a [`DiagnosticSink`].
+//! Every diagnostic carries a stable code:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | TN001 | error | spike destination core outside the grid (dangling) |
+//! | TN002 | error | axonal delay outside 1..=15 |
+//! | TN003 | warn  | worst-case membrane potential can exceed the 20-bit range (saturation semantics will engage) |
+//! | TN004 | warn  | dead neuron: has a destination but provably can never fire |
+//! | TN005 | warn  | unreachable core: configured but no inbound connectivity and no self-drive (requires an external-input assumption) |
+//! | TN006 | warn  | silent drop: destination axon has no synapses in the target core |
+//! | TN007 | warn  | determinism contract: stochastic modes configured with the degenerate seed 0 |
+//! | TN008 | warn  | worst-case spikes/tick on a mesh link exceeds one-tick delivery capacity |
+//! | TN009 | error | invalid axon type (≥ 4) |
+//! | TN010 | error | invalid neuron parameter (negative threshold or negative β) |
+//!
+//! Entry points: [`lint_network`] / [`Network::verify`] for built
+//! networks, [`crate::network::NetworkBuilder::verify`] and
+//! [`crate::network::NetworkBuilder::build_verified`] during
+//! construction, and [`crate::modelfile::load_verified`] for model files.
+//! The `tn-lint` crate wraps this engine in a CLI.
+
+use crate::address::{CoreId, Dest};
+use crate::network::Network;
+use crate::neuron::ResetMode;
+use crate::nscore::CoreConfig;
+use crate::{
+    AXONS_PER_CORE, MAX_DELAY, NEURONS_PER_CORE, NUM_AXON_TYPES, POTENTIAL_MAX, TICK_SECONDS,
+};
+
+/// How serious a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Advisory: worth knowing, nothing will misbehave.
+    Info,
+    /// The network will run, but part of it is provably wasted work or
+    /// will engage saturation/drop semantics the author may not intend.
+    Warn,
+    /// The network violates a blueprint invariant; simulation would panic
+    /// or silently misdeliver.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the network a diagnostic points.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Location {
+    /// The network as a whole.
+    Network,
+    /// A specific core.
+    Core(CoreId),
+    /// A specific neuron of a core.
+    Neuron(CoreId, u8),
+    /// A specific input axon of a core.
+    Axon(CoreId, u8),
+    /// A mesh link between two adjacent cores, identified by the dense
+    /// ids of its endpoints.
+    Link(CoreId, CoreId),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Network => write!(f, "network"),
+            Location::Core(c) => write!(f, "core {}", c.0),
+            Location::Neuron(c, n) => write!(f, "core {} neuron {n}", c.0),
+            Location::Axon(c, a) => write!(f, "core {} axon {a}", c.0),
+            Location::Link(a, b) => write!(f, "link {}->{}", a.0, b.0),
+        }
+    }
+}
+
+/// One structured finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"TN001"`.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub location: Location,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if !self.help.is_empty() {
+            write!(f, " (help: {})", self.help)?;
+        }
+        Ok(())
+    }
+}
+
+/// Receiver of diagnostics. `Vec<Diagnostic>` implements this for the
+/// common collect-everything case; custom sinks can stream, count, or
+/// filter.
+pub trait DiagnosticSink {
+    fn report(&mut self, diagnostic: Diagnostic);
+}
+
+impl DiagnosticSink for Vec<Diagnostic> {
+    fn report(&mut self, diagnostic: Diagnostic) {
+        self.push(diagnostic);
+    }
+}
+
+/// A sink that only counts by severity — for cheap pass/fail gating.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    pub errors: u64,
+    pub warnings: u64,
+    pub infos: u64,
+}
+
+impl DiagnosticSink for CountingSink {
+    fn report(&mut self, d: Diagnostic) {
+        match d.severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warn => self.warnings += 1,
+            Severity::Info => self.infos += 1,
+        }
+    }
+}
+
+/// What the verifier may assume about externally injected spikes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum InputAssumption {
+    /// Any core may receive external input (the conservative default):
+    /// reachability checks that depend on "no one drives this core" are
+    /// suppressed.
+    #[default]
+    AnyCore,
+    /// The network is self-driven (e.g. run with `NullSource`); cores
+    /// with no inbound connectivity and no self-driving neurons are
+    /// flagged unreachable.
+    NoExternalInput,
+    /// Only the listed cores receive external input.
+    Cores(Vec<CoreId>),
+}
+
+/// Tunable bounds for the verifier.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LintConfig {
+    pub external_input: InputAssumption,
+    /// Worst-case packets one mesh link can deliver within a single tick.
+    /// The default derives from the chip timing model: a tick is 1 ms and
+    /// a link serializes one packet per 10 ns, so 100 000 packets/tick.
+    pub link_capacity: u64,
+    /// Cap on per-link TN008 diagnostics before summarizing (keeps
+    /// pathological networks from producing megabytes of output).
+    pub max_link_reports: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            external_input: InputAssumption::AnyCore,
+            link_capacity: (TICK_SECONDS / 10e-9) as u64,
+            max_link_reports: 8,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Config for self-driven networks (no external spike source).
+    pub fn self_driven() -> Self {
+        LintConfig {
+            external_input: InputAssumption::NoExternalInput,
+            ..Default::default()
+        }
+    }
+}
+
+/// Verification failure: the configuration produced at least one
+/// error-severity diagnostic. Warnings and infos ride along for context.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VerifyError {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyError {
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.errors().count();
+        write!(f, "network verification failed with {n} error(s)")?;
+        if let Some(first) = self.errors().next() {
+            write!(f, "; first: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Lint a built [`Network`]. Collects everything into a `Vec`.
+pub fn lint_network(net: &Network, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_network_into(net, cfg, &mut out);
+    out
+}
+
+/// Lint a built [`Network`] into an arbitrary sink.
+pub fn lint_network_into(net: &Network, cfg: &LintConfig, sink: &mut dyn DiagnosticSink) {
+    let cores: Vec<&CoreConfig> = net.cores().iter().map(|c| c.config()).collect();
+    lint_configs(net.width(), net.height(), net.seed(), &cores, cfg, sink);
+}
+
+impl Network {
+    /// Run the static verifier over this network's configuration.
+    pub fn verify(&self, cfg: &LintConfig) -> Vec<Diagnostic> {
+        lint_network(self, cfg)
+    }
+}
+
+/// Severity gate: does a diagnostic list contain errors?
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// The engine: lint a grid of core configurations. `cores[i]` is the
+/// configuration of dense core id `i`; the slice length must be
+/// `width × height`.
+pub fn lint_configs(
+    width: u16,
+    height: u16,
+    seed: u64,
+    cores: &[&CoreConfig],
+    cfg: &LintConfig,
+    sink: &mut dyn DiagnosticSink,
+) {
+    let n_cores = cores.len();
+    debug_assert_eq!(n_cores, width as usize * height as usize);
+
+    // Pass 1 — per-core structural facts gathered once:
+    //   * inbound[c]: some neuron targets core c,
+    //   * per-neuron fan-in by axon type (for the overflow proof),
+    //   * config-validity checks (TN009/TN010),
+    //   * destination checks (TN001/TN002/TN006),
+    //   * self-drive / stochastic usage.
+    let mut inbound = vec![false; n_cores];
+    let mut uses_stochastic = false;
+
+    for (ci, core) in cores.iter().enumerate() {
+        let src = CoreId(ci as u32);
+
+        // TN009: axon types.
+        for (a, &t) in core.axon_types.iter().enumerate() {
+            if t as usize >= NUM_AXON_TYPES {
+                sink.report(Diagnostic {
+                    code: "TN009",
+                    severity: Severity::Error,
+                    location: Location::Axon(src, a as u8),
+                    message: format!("axon type {t} is out of range (valid: 0..=3)"),
+                    help: "axon types select one of the neuron's four weights".to_string(),
+                });
+            }
+        }
+
+        // Per-neuron fan-in count by axon type: counts[j][t].
+        let mut fanin = vec![[0u16; NUM_AXON_TYPES]; NEURONS_PER_CORE];
+        for a in 0..AXONS_PER_CORE {
+            let t = (core.axon_types[a] as usize).min(NUM_AXON_TYPES - 1);
+            for j in core.crossbar.iter_row(a) {
+                fanin[j][t] += 1;
+            }
+        }
+
+        for (j, n) in core.neurons.iter().enumerate() {
+            let loc = Location::Neuron(src, j as u8);
+
+            // TN010: parameter validity.
+            if n.threshold < 0 {
+                sink.report(Diagnostic {
+                    code: "TN010",
+                    severity: Severity::Error,
+                    location: loc,
+                    message: format!("negative threshold α = {}", n.threshold),
+                    help: "α must be ≥ 0; use the negative threshold β for the lower bound"
+                        .to_string(),
+                });
+            }
+            if n.neg_threshold < 0 {
+                sink.report(Diagnostic {
+                    code: "TN010",
+                    severity: Severity::Error,
+                    location: loc,
+                    message: format!("negative β magnitude = {}", n.neg_threshold),
+                    help: "β is a magnitude and must be ≥ 0".to_string(),
+                });
+            }
+
+            if n.stoch_leak || n.tm_mask != 0 || n.stoch_synapse.iter().any(|&s| s) {
+                uses_stochastic = true;
+            }
+
+            // Destination checks.
+            match n.dest {
+                Dest::Axon(t) => {
+                    if t.core.index() >= n_cores {
+                        sink.report(Diagnostic {
+                            code: "TN001",
+                            severity: Severity::Error,
+                            location: loc,
+                            message: format!(
+                                "spike destination core {} is outside the {width}×{height} grid",
+                                t.core.0
+                            ),
+                            help: "every Dest::Axon target must name a core inside the network"
+                                .to_string(),
+                        });
+                    } else {
+                        inbound[t.core.index()] = true;
+                        if (t.axon as usize) < AXONS_PER_CORE
+                            && cores[t.core.index()].crossbar.row_fanout(t.axon as usize) == 0
+                        {
+                            sink.report(Diagnostic {
+                                code: "TN006",
+                                severity: Severity::Warn,
+                                location: loc,
+                                message: format!(
+                                    "destination (core {}, axon {}) has no synapses: spikes are silently dropped",
+                                    t.core.0, t.axon
+                                ),
+                                help: "connect the target axon's crossbar row, or set dest to Dest::None to make the drop explicit".to_string(),
+                            });
+                        }
+                    }
+                    if t.delay < 1 || t.delay > MAX_DELAY {
+                        sink.report(Diagnostic {
+                            code: "TN002",
+                            severity: Severity::Error,
+                            location: loc,
+                            message: format!(
+                                "axonal delay {} outside the programmable range 1..=15",
+                                t.delay
+                            ),
+                            help: "the delay buffer holds 15 future slots; clamp the delay into 1..=15".to_string(),
+                        });
+                    }
+                }
+                Dest::Output(_) | Dest::None => {}
+            }
+
+            // TN003 / TN004 need the neuron's drive profile.
+            let mut worst_pos_event_sum: i64 = 0;
+            for (t, &fan) in fanin[j].iter().enumerate().take(NUM_AXON_TYPES) {
+                let per_event: i64 = if n.stoch_synapse[t] {
+                    i64::from(n.weights[t] > 0)
+                } else {
+                    n.weights[t].max(0) as i64
+                };
+                worst_pos_event_sum += fan as i64 * per_event;
+            }
+            let pos_leak: i64 = if n.leak > 0 {
+                if n.stoch_leak {
+                    1
+                } else {
+                    n.leak as i64
+                }
+            } else {
+                0
+            };
+            let has_positive_drive = worst_pos_event_sum > 0 || pos_leak > 0;
+
+            // TN004: dead neuron — has a destination but provably cannot
+            // fire. Two proofs: (a) the threshold is above the 20-bit
+            // ceiling, so V ≥ α is unsatisfiable; (b) the neuron has no
+            // positive drive and starts below threshold, so V never
+            // rises to α (η ≥ 0 only raises the effective threshold).
+            if n.dest != Dest::None {
+                let unreachable_threshold = n.threshold as i64 > POTENTIAL_MAX as i64;
+                let inert =
+                    !has_positive_drive && (n.initial_potential as i64) < n.threshold as i64;
+                if unreachable_threshold || inert {
+                    let why = if unreachable_threshold {
+                        format!(
+                            "threshold {} exceeds the 20-bit potential ceiling {}",
+                            n.threshold, POTENTIAL_MAX
+                        )
+                    } else {
+                        "no connected positive-weight synapse, no positive leak, and initial potential below threshold".to_string()
+                    };
+                    sink.report(Diagnostic {
+                        code: "TN004",
+                        severity: Severity::Warn,
+                        location: loc,
+                        message: format!(
+                            "dead neuron: has a destination but can never fire ({why})"
+                        ),
+                        help: "wire an excitatory input, lower α, or set dest to Dest::None"
+                            .to_string(),
+                    });
+                }
+            }
+
+            // TN003: worst-case single-tick excursion past the 20-bit
+            // ceiling. The highest sub-threshold potential that can
+            // persist across ticks is max(initial, reset, α + M − 1)
+            // (η = ρ & M can hold the effective threshold at α + M);
+            // adding the worst-case positive synaptic sum and leak must
+            // stay within range or saturation semantics engage.
+            // ResetMode::None neurons retain V after firing, so sustained
+            // drive saturates by design — skip them to avoid noise.
+            if has_positive_drive && n.reset_mode != ResetMode::None && n.threshold >= 0 {
+                let start_max = (n.initial_potential as i64)
+                    .max(n.reset as i64)
+                    .max(n.threshold as i64 + n.tm_mask as i64 - 1)
+                    .min(POTENTIAL_MAX as i64);
+                if start_max + worst_pos_event_sum + pos_leak > POTENTIAL_MAX as i64 {
+                    sink.report(Diagnostic {
+                        code: "TN003",
+                        severity: Severity::Warn,
+                        location: loc,
+                        message: format!(
+                            "worst-case fan-in can overflow the 20-bit potential: start ≤ {start_max}, +{worst_pos_event_sum} synaptic, +{pos_leak} leak > {POTENTIAL_MAX}; saturation semantics will engage"
+                        ),
+                        help: "reduce fan-in or weights, raise θ quantization, or accept saturating accumulation".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // TN007: determinism contract — stochastic modes with the degenerate
+    // seed 0. Seed 0 is the "unset" sentinel; stochastic experiments must
+    // carry an explicit seed so recorded runs stay attributable.
+    if uses_stochastic && seed == 0 {
+        sink.report(Diagnostic {
+            code: "TN007",
+            severity: Severity::Warn,
+            location: Location::Network,
+            message: "stochastic neuron modes are configured but the network seed is 0 (the unset sentinel)".to_string(),
+            help: "pass an explicit nonzero seed to NetworkBuilder so stochastic runs are reproducible by record".to_string(),
+        });
+    }
+
+    // TN005: unreachable cores (needs an input assumption).
+    let externally_driven: Box<dyn Fn(usize) -> bool> = match &cfg.external_input {
+        InputAssumption::AnyCore => Box::new(|_| true),
+        InputAssumption::NoExternalInput => Box::new(|_| false),
+        InputAssumption::Cores(list) => {
+            let set: std::collections::HashSet<u32> = list.iter().map(|c| c.0).collect();
+            Box::new(move |i| set.contains(&(i as u32)))
+        }
+    };
+    for (ci, core) in cores.iter().enumerate() {
+        if externally_driven(ci) || inbound[ci] {
+            continue;
+        }
+        let configured = core.crossbar.active_synapses() > 0
+            || core.neurons.iter().any(|n| n.dest != Dest::None);
+        if !configured {
+            continue;
+        }
+        let self_driven = core
+            .neurons
+            .iter()
+            .any(|n| n.leak > 0 || (n.initial_potential as i64) >= n.threshold as i64);
+        if !self_driven {
+            sink.report(Diagnostic {
+                code: "TN005",
+                severity: Severity::Warn,
+                location: Location::Core(CoreId(ci as u32)),
+                message: "unreachable core: configured, but nothing targets it, it has no self-driving neurons, and no external input is declared for it".to_string(),
+                help: "wire an input to this core, declare it an external-input core, or drop its configuration".to_string(),
+            });
+        }
+    }
+
+    // TN008: static per-link worst-case bandwidth bound. Assume every
+    // neuron with an on-mesh destination fires every tick; accumulate
+    // dimension-order (x-then-y) link loads with difference arrays —
+    // the same accounting the chip's mesh model uses — and flag links
+    // whose worst-case load exceeds one-tick delivery capacity.
+    lint_link_bandwidth(width, height, cores, cfg, sink);
+}
+
+/// TN008 worst-case mesh-link load check (dimension-order routing).
+fn lint_link_bandwidth(
+    width: u16,
+    height: u16,
+    cores: &[&CoreConfig],
+    cfg: &LintConfig,
+    sink: &mut dyn DiagnosticSink,
+) {
+    let (w, h) = (width as usize, height as usize);
+    if w == 0 || h == 0 {
+        return;
+    }
+    // h_diff[y*w + x] covers horizontal link (x,y)->(x+1,y);
+    // v_diff[y*w + x] covers vertical link (x,y)->(x,y+1).
+    let mut h_diff = vec![0i64; w * h];
+    let mut v_diff = vec![0i64; w * h];
+    let mut any = false;
+    for (ci, core) in cores.iter().enumerate() {
+        let (sx, sy) = (ci % w, ci / w);
+        for n in core.neurons.iter() {
+            let Dest::Axon(t) = n.dest else { continue };
+            if t.core.index() >= cores.len() {
+                continue; // TN001 already reported
+            }
+            let (dx, dy) = (t.core.index() % w, t.core.index() / w);
+            any = true;
+            if sx != dx {
+                let (a, b) = (sx.min(dx), sx.max(dx));
+                h_diff[sy * w + a] += 1;
+                h_diff[sy * w + b] -= 1;
+            }
+            if sy != dy {
+                let (a, b) = (sy.min(dy), sy.max(dy));
+                v_diff[a * w + dx] += 1;
+                v_diff[b * w + dx] -= 1;
+            }
+        }
+    }
+    if !any {
+        return;
+    }
+    let mut reported = 0usize;
+    let mut suppressed = 0usize;
+    let mut worst: u64 = 0;
+    let mut flag =
+        |load: i64, from: (usize, usize), to: (usize, usize), sink: &mut dyn DiagnosticSink| {
+            let load = load as u64;
+            worst = worst.max(load);
+            if load <= cfg.link_capacity {
+                return;
+            }
+            if reported >= cfg.max_link_reports {
+                suppressed += 1;
+                return;
+            }
+            reported += 1;
+            let a = CoreId((from.1 * w + from.0) as u32);
+            let b = CoreId((to.1 * w + to.0) as u32);
+            sink.report(Diagnostic {
+            code: "TN008",
+            severity: Severity::Warn,
+            location: Location::Link(a, b),
+            message: format!(
+                "worst-case {load} spikes/tick exceed the link's one-tick delivery capacity ({})",
+                cfg.link_capacity
+            ),
+            help:
+                "re-place the hot corelets closer together or split the traffic across rows/columns"
+                    .to_string(),
+        });
+        };
+    for y in 0..h {
+        let mut acc = 0i64;
+        for x in 0..w.saturating_sub(1) {
+            acc += h_diff[y * w + x];
+            flag(acc, (x, y), (x + 1, y), sink);
+        }
+    }
+    for x in 0..w {
+        let mut acc = 0i64;
+        for y in 0..h.saturating_sub(1) {
+            acc += v_diff[y * w + x];
+            flag(acc, (x, y), (x, y + 1), sink);
+        }
+    }
+    if suppressed > 0 {
+        sink.report(Diagnostic {
+            code: "TN008",
+            severity: Severity::Warn,
+            location: Location::Network,
+            message: format!(
+                "{suppressed} further overloaded links suppressed (worst-case load {worst})"
+            ),
+            help: String::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::SpikeTarget;
+    use crate::network::NetworkBuilder;
+    use crate::neuron::NeuronConfig;
+
+    fn code_count(diags: &[Diagnostic], code: &str) -> usize {
+        diags.iter().filter(|d| d.code == code).count()
+    }
+
+    #[test]
+    fn default_network_lints_clean() {
+        let net = NetworkBuilder::new(4, 4, 1).build();
+        let diags = net.verify(&LintConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dangling_destination_is_tn001() {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(9), 0, 1));
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN001"), 1, "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn out_of_range_delay_is_tn002() {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        // Bypass SpikeTarget::new's assertion the way a corrupted model
+        // file or direct field construction would.
+        cfg.neurons[3].dest = Dest::Axon(SpikeTarget {
+            core: CoreId(1),
+            axon: 0,
+            delay: 0,
+        });
+        cfg.crossbar.set(0, 3, true);
+        cfg.neurons[3].weights[0] = 1;
+        b.add_core(cfg);
+        let mut tgt = CoreConfig::new();
+        tgt.crossbar.set(0, 0, true);
+        b.add_core(tgt);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN002"), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn overflow_risk_is_tn003() {
+        let mut b = NetworkBuilder::new(1, 1, 1);
+        let mut cfg = CoreConfig::new();
+        // 256 axons × weight 255 = 65 280 per tick against a start of
+        // α−1 with α near the ceiling: guaranteed saturation.
+        *cfg.crossbar = crate::Crossbar::from_fn(|_, j| j == 0);
+        cfg.neurons[0].weights = [255; 4];
+        cfg.neurons[0].threshold = POTENTIAL_MAX - 10;
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN003"), 1, "{diags:?}");
+        assert!(!has_errors(&diags), "TN003 is a warning");
+    }
+
+    #[test]
+    fn dead_neuron_is_tn004() {
+        let mut b = NetworkBuilder::new(1, 1, 1);
+        let mut cfg = CoreConfig::new();
+        // Dest set, but no synapses, no leak, V0 < α: can never fire.
+        cfg.neurons[7].dest = Dest::Output(7);
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN004"), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn live_neuron_is_not_tn004() {
+        let mut b = NetworkBuilder::new(1, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.crossbar.set(0, 7, true);
+        cfg.neurons[7] = NeuronConfig::lif(1, 1);
+        cfg.neurons[7].dest = Dest::Output(7);
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN004"), 0, "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_core_is_tn005_under_no_input() {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.crossbar.set(0, 0, true);
+        cfg.neurons[0] = NeuronConfig::lif(1, 1);
+        cfg.neurons[0].dest = Dest::Output(0);
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::self_driven());
+        assert_eq!(code_count(&diags, "TN005"), 1, "{diags:?}");
+        // Under the AnyCore assumption the same network is clean.
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.crossbar.set(0, 0, true);
+        cfg.neurons[0] = NeuronConfig::lif(1, 1);
+        cfg.neurons[0].dest = Dest::Output(0);
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN005"), 0, "{diags:?}");
+    }
+
+    #[test]
+    fn silent_drop_is_tn006() {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.crossbar.set(0, 0, true);
+        cfg.neurons[0] = NeuronConfig::lif(1, 1);
+        // Axon 5 of core 1 has no synapses.
+        cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(1), 5, 1));
+        b.add_core(cfg);
+        b.add_core(CoreConfig::new());
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN006"), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn stochastic_with_seed_zero_is_tn007() {
+        let mut b = NetworkBuilder::new(1, 1, 0);
+        let mut cfg = CoreConfig::new();
+        cfg.neurons[0] = NeuronConfig::stochastic_source(40);
+        cfg.neurons[0].dest = Dest::Output(0);
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN007"), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn link_overload_is_tn008() {
+        // Shrink the capacity so a small fixture can exceed it: 600
+        // neurons' worst-case traffic over the single horizontal link of
+        // a 3×1 grid against a capacity of 300.
+        let mut b = NetworkBuilder::new(3, 1, 1);
+        for c in 0..2u32 {
+            let mut cfg = CoreConfig::new();
+            for j in 0..NEURONS_PER_CORE {
+                cfg.crossbar.set(j, j, true);
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(2), (j % 256) as u8, 1));
+            }
+            b.set_core(crate::CoreCoord::new(c as u16, 0), cfg);
+        }
+        let mut tgt = CoreConfig::new();
+        for j in 0..NEURONS_PER_CORE {
+            tgt.crossbar.set(j, j, true);
+        }
+        b.set_core(crate::CoreCoord::new(2, 0), tgt);
+        let cfg = LintConfig {
+            link_capacity: 300,
+            ..Default::default()
+        };
+        let diags = b.build().verify(&cfg);
+        // Link 1->2 carries both cores' 512 worst-case spikes/tick.
+        assert!(code_count(&diags, "TN008") >= 1, "{diags:?}");
+        // The stock capacity clears the same network.
+        let mut b2 = NetworkBuilder::new(3, 1, 1);
+        let mut c0 = CoreConfig::new();
+        for j in 0..NEURONS_PER_CORE {
+            c0.crossbar.set(j, j, true);
+            c0.neurons[j] = NeuronConfig::lif(1, 1);
+            c0.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(2), (j % 256) as u8, 1));
+        }
+        b2.add_core(c0);
+        let mut t2 = CoreConfig::new();
+        for j in 0..NEURONS_PER_CORE {
+            t2.crossbar.set(j, j, true);
+        }
+        b2.set_core(crate::CoreCoord::new(2, 0), t2);
+        assert_eq!(
+            code_count(&b2.build().verify(&LintConfig::default()), "TN008"),
+            0
+        );
+    }
+
+    #[test]
+    fn invalid_axon_type_is_tn009() {
+        let mut b = NetworkBuilder::new(1, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.axon_types[17] = 4;
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN009"), 1, "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn invalid_neuron_params_are_tn010() {
+        let mut b = NetworkBuilder::new(1, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.neurons[0].threshold = -5;
+        cfg.neurons[1].neg_threshold = -1;
+        b.add_core(cfg);
+        let diags = b.build().verify(&LintConfig::default());
+        assert_eq!(code_count(&diags, "TN010"), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(9), 0, 1));
+        b.add_core(cfg);
+        let net = b.build();
+        let mut counts = CountingSink::default();
+        lint_network_into(&net, &LintConfig::default(), &mut counts);
+        assert_eq!(counts.errors, 1);
+    }
+
+    #[test]
+    fn diagnostics_render_readably() {
+        let d = Diagnostic {
+            code: "TN001",
+            severity: Severity::Error,
+            location: Location::Neuron(CoreId(3), 7),
+            message: "spike destination core 99 is outside the 2×2 grid".to_string(),
+            help: "fix the wiring".to_string(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("error[TN001]"), "{s}");
+        assert!(s.contains("core 3 neuron 7"), "{s}");
+    }
+}

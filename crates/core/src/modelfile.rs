@@ -21,10 +21,11 @@
 //! ```
 
 use crate::address::{CoreId, Dest, SpikeTarget};
+use crate::lint::{Diagnostic, LintConfig, VerifyError};
 use crate::network::{Network, NetworkBuilder};
 use crate::neuron::{NeuronConfig, ResetMode};
 use crate::nscore::CoreConfig;
-use crate::{AXONS_PER_CORE, NEURONS_PER_CORE};
+use crate::{AXONS_PER_CORE, MAX_DELAY, NEURONS_PER_CORE};
 use std::fmt::Write as _;
 
 /// Current format version.
@@ -42,10 +43,7 @@ pub fn save(net: &Network) -> String {
         // Skip fully default cores — the loader recreates them.
         if cfg.crossbar.active_synapses() == 0
             && *cfg.axon_types == *default.axon_types
-            && cfg
-                .neurons
-                .iter()
-                .all(|n| *n == NeuronConfig::default())
+            && cfg.neurons.iter().all(|n| *n == NeuronConfig::default())
         {
             continue;
         }
@@ -130,14 +128,65 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Error from [`load_verified`]: either the text failed to parse, or the
+/// parsed configuration failed static verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    Parse(ParseError),
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+impl From<VerifyError> for LoadError {
+    fn from(e: VerifyError) -> Self {
+        LoadError::Verify(e)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Load a network configuration from model-file text.
+///
+/// Parse-level validity (including destination cores inside the declared
+/// grid) is enforced here; for full static verification use
+/// [`load_verified`].
 pub fn load(text: &str) -> Result<Network, ParseError> {
+    parse(text).map(NetworkBuilder::build)
+}
+
+/// Load and statically verify: parse the text, run the [`crate::lint`]
+/// pass, and refuse configurations with error-severity diagnostics.
+/// Returns the network plus any warning/info diagnostics on success.
+pub fn load_verified(
+    text: &str,
+    cfg: &LintConfig,
+) -> Result<(Network, Vec<Diagnostic>), LoadError> {
+    let builder = parse(text)?;
+    Ok(builder.build_verified(cfg)?)
+}
+
+/// Parse model-file text into a [`NetworkBuilder`]. Every malformed input
+/// — truncated records, bad coordinates, out-of-range fields, non-ASCII
+/// bytes — yields a [`ParseError`]; no input text can panic this path.
+fn parse(text: &str) -> Result<NetworkBuilder, ParseError> {
     let mut lines = text.lines().enumerate().peekable();
 
     // Header.
-    let (ln, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty model file"))?;
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty model file"))?;
     let mut h = header.split_whitespace();
     if h.next() != Some("tnmodel") {
         return Err(err(ln + 1, "missing 'tnmodel' header"));
@@ -160,11 +209,18 @@ pub fn load(text: &str) -> Result<Network, ParseError> {
             continue;
         }
         let mut tok = line.split_whitespace();
-        match tok.next().unwrap() {
+        let keyword = tok.next().ok_or_else(|| err(ln, "empty record"))?;
+        match keyword {
             "net" => {
+                if builder.is_some() {
+                    return Err(err(ln, "duplicate 'net' record"));
+                }
                 let w: u16 = parse_tok(&mut tok, ln, "width")?;
                 let h: u16 = parse_tok(&mut tok, ln, "height")?;
                 let seed: u64 = parse_tok(&mut tok, ln, "seed")?;
+                if w == 0 || h == 0 {
+                    return Err(err(ln, format!("degenerate grid {w}×{h}")));
+                }
                 builder = Some(NetworkBuilder::new(w, h, seed));
             }
             "core" => {
@@ -174,6 +230,9 @@ pub fn load(text: &str) -> Result<Network, ParseError> {
                 let id: u32 = parse_tok(&mut tok, ln, "core id")?;
                 if id as usize >= b.num_cores() {
                     return Err(err(ln, format!("core id {id} out of range")));
+                }
+                if b.is_configured(CoreId(id)) {
+                    return Err(err(ln, format!("duplicate 'core {id}' record")));
                 }
                 let coord = b.coord_of(CoreId(id));
                 b.set_core(coord, CoreConfig::new());
@@ -201,7 +260,7 @@ pub fn load(text: &str) -> Result<Network, ParseError> {
                     return Err(err(ln, "axon out of range"));
                 }
                 let s = tok.next().ok_or_else(|| err(ln, "missing row bits"))?;
-                if s.len() != 64 {
+                if s.len() != 64 || !s.is_ascii() {
                     return Err(err(ln, "row must be 64 hex chars"));
                 }
                 let cfg = b.core_config_mut(id);
@@ -238,8 +297,14 @@ pub fn load(text: &str) -> Result<Network, ParseError> {
                         let core: u32 = parse_tok(&mut tok, ln, "dest core")?;
                         let axon: u8 = parse_tok(&mut tok, ln, "dest axon")?;
                         let delay: u8 = parse_tok(&mut tok, ln, "dest delay")?;
-                        if !(1..=15).contains(&delay) {
+                        if !(1..=MAX_DELAY).contains(&delay) {
                             return Err(err(ln, "delay out of range"));
+                        }
+                        if core as usize >= b.num_cores() {
+                            return Err(err(
+                                ln,
+                                format!("destination core {core} outside the grid"),
+                            ));
                         }
                         Dest::Axon(SpikeTarget::new(CoreId(core), axon, delay))
                     }
@@ -276,9 +341,7 @@ pub fn load(text: &str) -> Result<Network, ParseError> {
             other => return Err(err(ln, format!("unknown record '{other}'"))),
         }
     }
-    builder
-        .map(NetworkBuilder::build)
-        .ok_or_else(|| err(0, "no 'net' record"))
+    builder.ok_or_else(|| err(0, "no 'net' record"))
 }
 
 fn ctx(
@@ -325,8 +388,7 @@ mod tests {
                 tm_mask: (j as u32) & 0xF,
                 neg_threshold: j as i32 / 2,
                 neg_saturate: j % 2 == 1,
-                reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None]
-                    [j % 3],
+                reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None][j % 3],
                 reset: j as i32 % 9,
                 initial_potential: (j as i32) - 128,
                 dest: match j % 3 {
@@ -394,7 +456,8 @@ mod tests {
             for (net, evs) in [(&mut cores_a, &ev_a), (&mut cores_b, &ev_b)] {
                 for s in evs.iter() {
                     if let Dest::Axon(tgt) = s.dest {
-                        net.core_mut(tgt.core).deliver(t + tgt.delay as u64, tgt.axon);
+                        net.core_mut(tgt.core)
+                            .deliver(t + tgt.delay as u64, tgt.axon);
                     }
                 }
             }
@@ -422,6 +485,120 @@ mod tests {
         assert!(load("tnmodel 1\nnet 1 1 0\ncore 5").is_err(), "id range");
         let bad_delay = "tnmodel 1\nnet 1 1 0\ncore 0\nn 0 1 0 0 0 0 0 1 0 0 0 0 a 0 0 0";
         assert!(load(bad_delay).is_err());
+    }
+
+    /// Satellite guarantee: every malformed input is a `ParseError`, never
+    /// a panic. Each case names the defect it exercises.
+    #[test]
+    fn malformed_inputs_return_parse_errors() {
+        const CORE: &str = "tnmodel 1\nnet 2 2 0\ncore 0\n";
+        let cases: &[(&str, String)] = &[
+            ("empty file", String::new()),
+            ("whitespace only", "   \n\t\n".to_string()),
+            ("wrong magic", "truenorth 1\nnet 1 1 0".to_string()),
+            ("missing version", "tnmodel\nnet 1 1 0".to_string()),
+            ("non-numeric version", "tnmodel one\nnet 1 1 0".to_string()),
+            ("no net record", "tnmodel 1\n# nothing else\n".to_string()),
+            ("zero-width grid", "tnmodel 1\nnet 0 4 0".to_string()),
+            ("zero-height grid", "tnmodel 1\nnet 4 0 0".to_string()),
+            ("truncated net", "tnmodel 1\nnet 4".to_string()),
+            ("net width overflow", "tnmodel 1\nnet 70000 1 0".to_string()),
+            ("negative seed", "tnmodel 1\nnet 1 1 -3".to_string()),
+            (
+                "duplicate net",
+                "tnmodel 1\nnet 1 1 0\nnet 1 1 0".to_string(),
+            ),
+            ("duplicate core", format!("{CORE}core 0\n")),
+            (
+                "core id out of range",
+                "tnmodel 1\nnet 2 2 0\ncore 4".to_string(),
+            ),
+            (
+                "types before core",
+                "tnmodel 1\nnet 1 1 0\ntypes 00".to_string(),
+            ),
+            ("types too short", format!("{CORE}types 012\n")),
+            (
+                "types bad nibble",
+                format!("{CORE}types {}\n", "z".repeat(256)),
+            ),
+            (
+                "types value > 3",
+                format!("{CORE}types {}\n", "7".repeat(256)),
+            ),
+            (
+                "row axon out of range",
+                format!("{CORE}row 256 {}\n", "0".repeat(64)),
+            ),
+            ("row too short", format!("{CORE}row 0 ffff\n")),
+            ("row bad hex", format!("{CORE}row 0 {}\n", "g".repeat(64))),
+            ("row non-ascii", format!("{CORE}row 0 {}\n", "é".repeat(32))),
+            ("row missing bits", format!("{CORE}row 0\n")),
+            (
+                "neuron index out of range",
+                format!("{CORE}n 256 1 0 0 0 0 0 1 0 0 0 0 -\n"),
+            ),
+            ("neuron truncated", format!("{CORE}n 0 1 0 0\n")),
+            (
+                "weight overflows i16",
+                format!("{CORE}n 0 40000 0 0 0 0 0 1 0 0 0 0 -\n"),
+            ),
+            ("bad flags", format!("{CORE}n 0 1 0 0 0 zz 0 1 0 0 0 0 -\n")),
+            (
+                "bad reset mode",
+                format!("{CORE}n 0 1 0 0 0 384 0 1 0 0 0 0 -\n"),
+            ),
+            (
+                "missing destination",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0\n"),
+            ),
+            (
+                "bad destination tag",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 x\n"),
+            ),
+            (
+                "dest axon >= 256",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 a 0 300 1\n"),
+            ),
+            (
+                "dest delay zero",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 a 0 0 0\n"),
+            ),
+            (
+                "dest delay sixteen",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 a 0 0 16\n"),
+            ),
+            (
+                "dest core outside grid",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 a 9 0 1\n"),
+            ),
+            (
+                "output port non-numeric",
+                format!("{CORE}n 0 1 0 0 0 0 0 1 0 0 0 0 o x\n"),
+            ),
+            ("unknown record", format!("{CORE}quux 1 2 3\n")),
+        ];
+        for (what, text) in cases {
+            let res = std::panic::catch_unwind(|| load(text));
+            match res {
+                Ok(Err(_)) => {}
+                Ok(Ok(_)) => panic!("case '{what}' was accepted"),
+                Err(_) => panic!("case '{what}' panicked"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_verified_runs_the_linter() {
+        // Parses fine, but neuron 0 has a dest and can never fire → the
+        // lint pass surfaces TN004 as a warning; no errors → loads.
+        let text = "tnmodel 1\nnet 1 1 7\ncore 0\nn 0 0 0 0 0 64 0 1 0 0 0 0 o 0\n";
+        let (net, diags) = load_verified(text, &LintConfig::default()).expect("loads");
+        assert_eq!(net.num_cores(), 1);
+        assert!(
+            diags.iter().any(|d| d.code == "TN004"),
+            "expected a dead-neuron warning, got {diags:?}"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! equivalence regressions of paper Section VI-A meaningful.
 
 use crate::address::{CoreCoord, CoreId};
+use crate::lint::{self, Diagnostic, LintConfig, VerifyError};
 use crate::nscore::{CoreConfig, NeurosynapticCore};
-use crate::{CHIP_CORES_X, CHIP_CORES_Y, NEURONS_PER_CORE};
+use crate::{AXONS_PER_CORE, CHIP_CORES_X, CHIP_CORES_Y, NEURONS_PER_CORE};
 use std::collections::HashMap;
 
 /// Source of externally injected spikes (sensor/transducer input). The
@@ -26,6 +27,32 @@ impl SpikeSource for NullSource {
     fn fill(&mut self, _tick: u64, _out: &mut Vec<(CoreId, u8)>) {}
 }
 
+/// Why an injected spike event was rejected before reaching a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectError {
+    /// The target core id does not exist in the grid.
+    CoreOutOfGrid { core: CoreId, num_cores: usize },
+    /// The target axon index is ≥ 256.
+    AxonOutOfRange { axon: u16 },
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::CoreOutOfGrid { core, num_cores } => write!(
+                f,
+                "injected spike targets core {} but the grid has only {num_cores} cores",
+                core.0
+            ),
+            InjectError::AxonOutOfRange { axon } => {
+                write!(f, "injected spike targets axon {axon} (valid: 0..=255)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
 /// A source replaying a pre-computed schedule of `(tick, core, axon)`
 /// events.
 #[derive(Default)]
@@ -40,6 +67,26 @@ impl ScheduledSource {
 
     pub fn push(&mut self, tick: u64, core: CoreId, axon: u8) {
         self.by_tick.entry(tick).or_default().push((core, axon));
+    }
+
+    /// Bounds-checked push: rejects axon indices ≥ 256 and cores outside
+    /// a grid of `num_cores` cores at schedule-build time, instead of
+    /// deferring the failure to tick time.
+    pub fn push_checked(
+        &mut self,
+        tick: u64,
+        core: CoreId,
+        axon: u16,
+        num_cores: usize,
+    ) -> Result<(), InjectError> {
+        if axon as usize >= AXONS_PER_CORE {
+            return Err(InjectError::AxonOutOfRange { axon });
+        }
+        if core.index() >= num_cores {
+            return Err(InjectError::CoreOutOfGrid { core, num_cores });
+        }
+        self.push(tick, core, axon as u8);
+        Ok(())
     }
 
     pub fn len(&self) -> usize {
@@ -194,7 +241,9 @@ impl NetworkBuilder {
             width,
             height,
             seed,
-            configs: (0..width as usize * height as usize).map(|_| None).collect(),
+            configs: (0..width as usize * height as usize)
+                .map(|_| None)
+                .collect(),
             next_free: 0,
         }
     }
@@ -257,11 +306,45 @@ impl NetworkBuilder {
         self.configs.iter().filter(|c| c.is_some()).count()
     }
 
+    /// Whether a configuration has been placed at `id`.
+    pub fn is_configured(&self, id: CoreId) -> bool {
+        self.configs.get(id.index()).is_some_and(|c| c.is_some())
+    }
+
     /// Mutable access to an already-placed configuration.
     pub fn core_config_mut(&mut self, id: CoreId) -> &mut CoreConfig {
         self.configs[id.index()]
             .as_mut()
             .expect("core was not configured")
+    }
+
+    /// Run the static verifier ([`crate::lint`]) over the configurations
+    /// placed so far, without consuming the builder. Non-fatal: returns
+    /// every diagnostic and leaves acting on them to the caller.
+    pub fn verify(&self, cfg: &LintConfig) -> Vec<Diagnostic> {
+        let default = CoreConfig::default();
+        let cores: Vec<&CoreConfig> = self
+            .configs
+            .iter()
+            .map(|c| c.as_ref().unwrap_or(&default))
+            .collect();
+        let mut out = Vec::new();
+        lint::lint_configs(self.width, self.height, self.seed, &cores, cfg, &mut out);
+        out
+    }
+
+    /// Strict finalization: verify first, and refuse to build a network
+    /// whose configuration carries error-severity diagnostics. Warnings
+    /// and infos are returned alongside the network for optional display.
+    pub fn build_verified(
+        self,
+        cfg: &LintConfig,
+    ) -> Result<(Network, Vec<Diagnostic>), VerifyError> {
+        let diagnostics = self.verify(cfg);
+        if lint::has_errors(&diagnostics) {
+            return Err(VerifyError { diagnostics });
+        }
+        Ok((self.build(), diagnostics))
     }
 
     /// Finalize into an executable [`Network`].
@@ -272,9 +355,7 @@ impl NetworkBuilder {
             .configs
             .into_iter()
             .enumerate()
-            .map(|(i, cfg)| {
-                NeurosynapticCore::new(CoreId(i as u32), cfg.unwrap_or_default(), seed)
-            })
+            .map(|(i, cfg)| NeurosynapticCore::new(CoreId(i as u32), cfg.unwrap_or_default(), seed))
             .collect();
         Network {
             width,
@@ -373,6 +454,51 @@ mod tests {
         assert!(out.is_empty(), "events delivered once");
         s.fill(9, &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn push_checked_rejects_out_of_bounds() {
+        let mut s = ScheduledSource::new();
+        let num_cores = 4;
+        assert_eq!(
+            s.push_checked(0, CoreId(0), 300, num_cores),
+            Err(InjectError::AxonOutOfRange { axon: 300 })
+        );
+        assert_eq!(
+            s.push_checked(0, CoreId(9), 3, num_cores),
+            Err(InjectError::CoreOutOfGrid {
+                core: CoreId(9),
+                num_cores
+            })
+        );
+        assert!(s.is_empty(), "rejected events are not queued");
+        assert_eq!(s.push_checked(0, CoreId(3), 255, num_cores), Ok(()));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn build_verified_rejects_broken_config() {
+        use crate::address::SpikeTarget;
+        use crate::lint::LintConfig;
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(77), 0, 1));
+        b.add_core(cfg);
+        let err = match b.build_verified(&LintConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("broken config must fail the strict build"),
+        };
+        assert!(err.errors().count() >= 1);
+        assert!(err.to_string().contains("TN001"), "{err}");
+    }
+
+    #[test]
+    fn build_verified_accepts_clean_config() {
+        use crate::lint::LintConfig;
+        let b = NetworkBuilder::new(2, 2, 1);
+        let (net, diags) = b.build_verified(&LintConfig::default()).unwrap();
+        assert_eq!(net.num_cores(), 4);
+        assert!(diags.is_empty());
     }
 
     #[test]

@@ -273,8 +273,10 @@ mod tests {
     #[test]
     fn leak_applies_once_per_tick() {
         let mut p = prng();
-        let mut cfg = NeuronConfig::default();
-        cfg.leak = -2;
+        let cfg = NeuronConfig {
+            leak: -2,
+            ..Default::default()
+        };
         assert_eq!(cfg.apply_leak(10, &mut p), 8);
         assert_eq!(cfg.apply_leak(-10, &mut p), -12);
         assert_eq!(p.draws(), 0);
@@ -283,9 +285,11 @@ mod tests {
     #[test]
     fn leak_reversal_decays_toward_zero() {
         let mut p = prng();
-        let mut cfg = NeuronConfig::default();
-        cfg.leak = -3;
-        cfg.leak_reversal = true;
+        let cfg = NeuronConfig {
+            leak: -3,
+            leak_reversal: true,
+            ..Default::default()
+        };
         assert_eq!(cfg.apply_leak(10, &mut p), 7);
         assert_eq!(cfg.apply_leak(-10, &mut p), -7);
         assert_eq!(cfg.apply_leak(0, &mut p), 0);
@@ -374,7 +378,7 @@ mod tests {
         let mut p = prng();
         let mut cfg = NeuronConfig::lif(0, 10);
         cfg.tm_mask = 0x7; // η ∈ 0..=7 uniform
-        // V = 12 fires iff η <= 2, i.e. with probability 3/8.
+                           // V = 12 fires iff η <= 2, i.e. with probability 3/8.
         let fires = (0..20_000)
             .filter(|_| cfg.threshold_fire(12, &mut p).1)
             .count();

@@ -105,8 +105,7 @@ impl NeurosynapticCore {
     /// seed and the core's dense id so that identical configurations
     /// reproduce identical runs.
     pub fn new(id: CoreId, cfg: CoreConfig, network_seed: u64) -> Self {
-        let potentials =
-            Box::new(std::array::from_fn(|j| cfg.neurons[j].initial_potential));
+        let potentials = Box::new(std::array::from_fn(|j| cfg.neurons[j].initial_potential));
         let columns = transpose(&cfg.crossbar);
         NeurosynapticCore {
             id,

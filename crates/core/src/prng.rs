@@ -130,7 +130,10 @@ mod tests {
         let mut a = CorePrng::for_core(7, 0);
         let mut b = CorePrng::for_core(7, 1);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "streams should be uncorrelated, {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be uncorrelated, {same} collisions"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Self-contained host-side random number generation.
+//!
+//! The blueprint's own stochastic features use the hardware-style LFSR in
+//! [`crate::prng`]; this module serves everything *around* the blueprint —
+//! scene synthesis, probabilistically generated characterization networks,
+//! randomized tests — that previously pulled in an external `rand`
+//! dependency. Keeping it in-tree makes the workspace fully
+//! self-contained (it builds with no network access and no vendored
+//! registry) and keeps every generated artifact reproducible from a
+//! `u64` seed.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): 64 bits
+//! of state, full 2^64 period, passes BigCrush, and — crucially for test
+//! fixtures — trivially seedable and portable across platforms.
+
+/// A deterministic SplitMix64 generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        // Lemire-style widening multiply avoids modulo bias for all
+        // practically sized `n` without a rejection loop's variability.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    #[inline]
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform integer in the closed range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+        if span == 0 {
+            // Full i64 domain.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = r.range_i64(-24, 25);
+            assert!((-24..25).contains(&v));
+            let w = r.range_inclusive_i64(-8, 8);
+            assert!((-8..=8).contains(&w));
+            let f = r.range_f64(-0.1, 0.1);
+            assert!((-0.1..0.1).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut r = SplitMix64::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "order changed");
+    }
+
+    #[test]
+    fn bool_with_tracks_probability() {
+        let mut r = SplitMix64::new(9);
+        let hits = (0..10_000).filter(|_| r.bool_with(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits={hits}");
+    }
+}

@@ -44,11 +44,7 @@ impl NetworkSnapshot {
     /// the core count differs; configuration equality is the caller's
     /// responsibility (use [`crate::modelfile`] to persist that half).
     pub fn restore(&self, net: &mut Network) {
-        assert_eq!(
-            net.num_cores(),
-            self.cores.len(),
-            "snapshot shape mismatch"
-        );
+        assert_eq!(net.num_cores(), self.cores.len(), "snapshot shape mismatch");
         for (core, snap) in net.cores_mut().iter_mut().zip(&self.cores) {
             core.restore(snap);
         }
@@ -56,8 +52,7 @@ impl NetworkSnapshot {
 
     /// Approximate size in bytes (for checkpoint budgeting).
     pub fn size_bytes(&self) -> usize {
-        self.cores.len()
-            * (NEURONS_PER_CORE * 4 + 12 + DELAY_SLOTS * ROW_WORDS * 8 + 1)
+        self.cores.len() * (NEURONS_PER_CORE * 4 + 12 + DELAY_SLOTS * ROW_WORDS * 8 + 1)
     }
 }
 
@@ -100,7 +95,8 @@ mod tests {
             }
             for s in out.iter() {
                 if let Dest::Axon(tgt) = s.dest {
-                    net.core_mut(tgt.core).deliver(t + tgt.delay as u64, tgt.axon);
+                    net.core_mut(tgt.core)
+                        .deliver(t + tgt.delay as u64, tgt.axon);
                 }
             }
         }

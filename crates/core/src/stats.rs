@@ -56,8 +56,7 @@ impl RunStats {
         if self.ticks == 0 || neurons == 0 {
             return 0.0;
         }
-        self.totals.spikes_out as f64 / (self.ticks as f64 * crate::TICK_SECONDS)
-            / neurons as f64
+        self.totals.spikes_out as f64 / (self.ticks as f64 * crate::TICK_SECONDS) / neurons as f64
     }
 
     /// Synaptic operations per biological (network) second at real time.

@@ -1,98 +1,129 @@
-//! Property-based tests of the blueprint's core data structures.
+//! Property-style tests of the blueprint's core data structures.
+//!
+//! Each test runs the property over many SplitMix64-seeded random cases;
+//! the seeds are fixed so failures are reproducible without an external
+//! shrinking framework (the failing case prints its seed).
 
-use proptest::prelude::*;
+use std::collections::HashSet;
 use tn_core::crossbar::Crossbar;
 use tn_core::delay::{iter_active_axons, DelayBuffer};
 use tn_core::neuron::{NeuronConfig, ResetMode};
 use tn_core::prng::CorePrng;
-use tn_core::{clamp_potential, POTENTIAL_MAX, POTENTIAL_MIN};
+use tn_core::{clamp_potential, SplitMix64, POTENTIAL_MAX, POTENTIAL_MIN};
 
-proptest! {
-    /// Crossbar set/get/clear roundtrips for arbitrary coordinate sets.
-    #[test]
-    fn crossbar_set_get_roundtrip(points in prop::collection::hash_set((0usize..256, 0usize..256), 0..200)) {
+/// Crossbar set/get/clear roundtrips for arbitrary coordinate sets.
+#[test]
+fn crossbar_set_get_roundtrip() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xC0DE + case);
+        let n_points = rng.below_usize(200);
+        let points: HashSet<(usize, usize)> = (0..n_points)
+            .map(|_| (rng.below_usize(256), rng.below_usize(256)))
+            .collect();
         let mut xb = Crossbar::new();
         for &(i, j) in &points {
             xb.set(i, j, true);
         }
-        prop_assert_eq!(xb.active_synapses() as usize, points.len());
+        assert_eq!(xb.active_synapses() as usize, points.len(), "case {case}");
         for &(i, j) in &points {
-            prop_assert!(xb.get(i, j));
+            assert!(xb.get(i, j), "case {case}");
         }
         // Row iteration covers exactly the set points of the row.
         for i in 0..256 {
             let row: Vec<usize> = xb.iter_row(i).collect();
             let expect: usize = points.iter().filter(|&&(a, _)| a == i).count();
-            prop_assert_eq!(row.len(), expect);
-            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert_eq!(row.len(), expect, "case {case} row {i}");
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "ascending, case {case}"
+            );
         }
         // Clearing restores emptiness.
         for &(i, j) in &points {
             xb.set(i, j, false);
         }
-        prop_assert_eq!(xb.active_synapses(), 0);
+        assert_eq!(xb.active_synapses(), 0, "case {case}");
     }
+}
 
-    /// Row fanout equals column-fanin totals (double counting check).
-    #[test]
-    fn crossbar_fanout_fanin_balance(seed in any::<u32>()) {
+/// Row fanout equals column-fanin totals (double counting check).
+#[test]
+fn crossbar_fanout_fanin_balance() {
+    let mut rng = SplitMix64::new(0xBA1A);
+    for case in 0..64 {
+        let seed = rng.next_u32();
         let xb = Crossbar::from_fn(|i, j| {
-            (i as u32).wrapping_mul(2654435761)
+            (i as u32)
+                .wrapping_mul(2654435761)
                 .wrapping_add((j as u32).wrapping_mul(40503))
-                .wrapping_add(seed) % 11 == 0
+                .wrapping_add(seed)
+                .is_multiple_of(11)
         });
         let by_rows: u32 = (0..256).map(|i| xb.row_fanout(i)).sum();
         let by_cols: u32 = (0..256).map(|j| xb.column_fanin(j)).sum();
-        prop_assert_eq!(by_rows, by_cols);
-        prop_assert_eq!(by_rows, xb.active_synapses());
+        assert_eq!(by_rows, by_cols, "case {case} seed {seed}");
+        assert_eq!(by_rows, xb.active_synapses(), "case {case} seed {seed}");
     }
+}
 
-    /// Delay-buffer scheduling: every scheduled event is consumed exactly
-    /// once, at exactly its delivery tick (within the 16-tick horizon).
-    #[test]
-    fn delay_buffer_delivers_exactly_once(
-        events in prop::collection::vec((0u64..16, 0u8..=255), 1..100)
-    ) {
+/// Delay-buffer scheduling: every scheduled event is consumed exactly
+/// once, at exactly its delivery tick (within the 16-tick horizon).
+#[test]
+fn delay_buffer_delivers_exactly_once() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xDE1A + case);
+        let n_events = 1 + rng.below_usize(99);
+        let unique: HashSet<(u64, u8)> = (0..n_events)
+            .map(|_| (rng.below(16), rng.below(256) as u8))
+            .collect();
         let mut buf = DelayBuffer::new();
-        use std::collections::HashSet;
-        let unique: HashSet<(u64, u8)> = events.iter().copied().collect();
         for &(t, a) in &unique {
             buf.schedule(t, a);
         }
-        prop_assert_eq!(buf.pending() as usize, unique.len());
+        assert_eq!(buf.pending() as usize, unique.len(), "case {case}");
         let mut seen = HashSet::new();
         for t in 0..16u64 {
             for a in iter_active_axons(&buf.take(t)) {
-                prop_assert!(unique.contains(&(t, a)), "unscheduled delivery");
-                prop_assert!(seen.insert((t, a)), "double delivery");
+                assert!(
+                    unique.contains(&(t, a)),
+                    "unscheduled delivery, case {case}"
+                );
+                assert!(seen.insert((t, a)), "double delivery, case {case}");
             }
         }
-        prop_assert_eq!(seen.len(), unique.len());
-        prop_assert!(buf.is_empty());
+        assert_eq!(seen.len(), unique.len(), "case {case}");
+        assert!(buf.is_empty(), "case {case}");
     }
+}
 
-    /// Potential clamping is idempotent, monotone, and range-correct.
-    #[test]
-    fn clamp_properties(a in any::<i64>(), b in any::<i64>()) {
+/// Potential clamping is idempotent, monotone, and range-correct.
+#[test]
+fn clamp_properties() {
+    let mut rng = SplitMix64::new(0xC1A0);
+    for case in 0..10_000 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
         let ca = clamp_potential(a);
-        prop_assert!((POTENTIAL_MIN..=POTENTIAL_MAX).contains(&ca));
-        prop_assert_eq!(clamp_potential(ca as i64), ca, "idempotent");
+        assert!((POTENTIAL_MIN..=POTENTIAL_MAX).contains(&ca), "case {case}");
+        assert_eq!(clamp_potential(ca as i64), ca, "idempotent, case {case}");
         if a <= b {
-            prop_assert!(ca <= clamp_potential(b), "monotone");
+            assert!(ca <= clamp_potential(b), "monotone, case {case}");
         }
     }
+}
 
-    /// The neuron update never leaves the 20-bit envelope and never fires
-    /// below a positive deterministic threshold from a sub-threshold
-    /// state without input.
-    #[test]
-    fn neuron_update_stays_in_envelope(
-        w in -255i16..=255,
-        leak in -64i16..=64,
-        thr in 1i32..=1000,
-        v0 in POTENTIAL_MIN..=POTENTIAL_MAX,
-        steps in 1usize..200,
-    ) {
+/// The neuron update never leaves the 20-bit envelope and never fires
+/// below a positive deterministic threshold from a sub-threshold state
+/// without input.
+#[test]
+fn neuron_update_stays_in_envelope() {
+    let mut rng = SplitMix64::new(0xE417);
+    for case in 0..64 {
+        let w = rng.range_inclusive_i64(-255, 255) as i16;
+        let leak = rng.range_inclusive_i64(-64, 64) as i16;
+        let thr = rng.range_inclusive_i64(1, 1000) as i32;
+        let v0 = rng.range_inclusive_i64(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64) as i32;
+        let steps = 1 + rng.below_usize(199);
         let cfg = NeuronConfig {
             weights: [w, 0, 0, 0],
             leak,
@@ -109,36 +140,52 @@ proptest! {
             v = cfg.apply_leak(v, &mut prng);
             let (nv, fired) = cfg.threshold_fire(v, &mut prng);
             if fired {
-                prop_assert!(v >= thr, "fired below threshold");
+                assert!(v >= thr, "fired below threshold, case {case}");
             }
             v = nv;
-            prop_assert!((POTENTIAL_MIN..=POTENTIAL_MAX).contains(&v));
+            assert!(
+                (POTENTIAL_MIN..=POTENTIAL_MAX).contains(&v),
+                "escaped envelope, case {case}"
+            );
         }
     }
+}
 
-    /// PRNG streams are reproducible and restorable from raw state.
-    #[test]
-    fn prng_restore_resumes_stream(seed in any::<u64>(), skip in 0usize..500) {
+/// PRNG streams are reproducible and restorable from raw state.
+#[test]
+fn prng_restore_resumes_stream() {
+    let mut rng = SplitMix64::new(0x9296);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let skip = rng.below_usize(500);
         let mut a = CorePrng::from_seed(seed);
         for _ in 0..skip {
             a.next_u32();
         }
         let mut b = CorePrng::from_raw(a.state(), a.draws());
         for _ in 0..100 {
-            prop_assert_eq!(a.next_u32(), b.next_u32());
+            assert_eq!(a.next_u32(), b.next_u32(), "case {case} seed {seed}");
         }
-        prop_assert_eq!(a.draws(), b.draws());
+        assert_eq!(a.draws(), b.draws(), "case {case} seed {seed}");
     }
+}
 
-    /// Model-file save/load roundtrips arbitrary sparse configurations.
-    #[test]
-    fn modelfile_roundtrip(
-        synapses in prop::collection::vec((0usize..256, 0usize..256), 0..50),
-        weights in prop::collection::vec(-255i16..=255, 4),
-        thr in 1i32..=100_000,
-        seed in any::<u64>(),
-    ) {
-        use tn_core::{CoreConfig, NetworkBuilder, Dest};
+/// Model-file save/load roundtrips arbitrary sparse configurations.
+#[test]
+fn modelfile_roundtrip() {
+    use tn_core::{CoreConfig, Dest, NetworkBuilder};
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x30DE + case);
+        let n_syn = rng.below_usize(50);
+        let synapses: Vec<(usize, usize)> = (0..n_syn)
+            .map(|_| (rng.below_usize(256), rng.below_usize(256)))
+            .collect();
+        let weights: Vec<i16> = (0..4)
+            .map(|_| rng.range_inclusive_i64(-255, 255) as i16)
+            .collect();
+        let thr = rng.range_inclusive_i64(1, 100_000) as i32;
+        let seed = rng.next_u64();
+
         let mut b = NetworkBuilder::new(2, 1, seed);
         let mut cfg = CoreConfig::new();
         for &(i, j) in &synapses {
@@ -154,9 +201,16 @@ proptest! {
         let net = b.build();
         let text = tn_core::modelfile::save(&net);
         let loaded = tn_core::modelfile::load(&text).unwrap();
-        prop_assert_eq!(loaded.seed(), net.seed());
-        let (a, c) = (net.core(tn_core::CoreId(0)), loaded.core(tn_core::CoreId(0)));
-        prop_assert_eq!(&*a.config().crossbar, &*c.config().crossbar);
-        prop_assert_eq!(&a.config().neurons[7], &c.config().neurons[7]);
+        assert_eq!(loaded.seed(), net.seed(), "case {case}");
+        let (a, c) = (
+            net.core(tn_core::CoreId(0)),
+            loaded.core(tn_core::CoreId(0)),
+        );
+        assert_eq!(&*a.config().crossbar, &*c.config().crossbar, "case {case}");
+        assert_eq!(
+            &a.config().neurons[7],
+            &c.config().neurons[7],
+            "case {case}"
+        );
     }
 }

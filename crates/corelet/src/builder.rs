@@ -1,7 +1,7 @@
 //! The corelet compiler substrate: allocation, wiring, pins.
 
 use tn_core::{
-    CoreConfig, CoreId, Dest, NetworkBuilder, Network, SpikeTarget, AXONS_PER_CORE,
+    CoreConfig, CoreId, Dest, Network, NetworkBuilder, SpikeTarget, AXONS_PER_CORE,
     NEURONS_PER_CORE,
 };
 
@@ -150,6 +150,21 @@ impl CoreletBuilder {
     pub fn build(self) -> Network {
         self.net.build()
     }
+
+    /// Run the static verifier ([`tn_core::lint`]) over the corelets
+    /// placed so far, without consuming the builder.
+    pub fn verify(&self, cfg: &tn_core::LintConfig) -> Vec<tn_core::Diagnostic> {
+        self.net.verify(cfg)
+    }
+
+    /// Strict finalization: refuse to build a canvas carrying
+    /// error-severity diagnostics. Warnings/infos ride along on success.
+    pub fn build_verified(
+        self,
+        cfg: &tn_core::LintConfig,
+    ) -> Result<(Network, Vec<tn_core::Diagnostic>), tn_core::VerifyError> {
+        self.net.build_verified(cfg)
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +199,10 @@ mod tests {
         let c1 = b.alloc_core();
         b.core(c0).neurons[3] = NeuronConfig::lif(1, 1);
         b.wire(
-            OutputRef { core: c0, neuron: 3 },
+            OutputRef {
+                core: c0,
+                neuron: 3,
+            },
             InputPin { core: c1, axon: 7 },
             2,
         );
@@ -201,7 +219,10 @@ mod tests {
         let mut b = CoreletBuilder::new(2, 1, 0);
         let c0 = b.alloc_core();
         let c1 = b.alloc_core();
-        let out = OutputRef { core: c0, neuron: 0 };
+        let out = OutputRef {
+            core: c0,
+            neuron: 0,
+        };
         b.wire(out, InputPin { core: c1, axon: 0 }, 1);
         b.wire(out, InputPin { core: c1, axon: 1 }, 1);
     }

@@ -190,10 +190,7 @@ pub fn conv2d_strided(
             cores_used += 1;
             // Field of input pixels this block reads.
             let (fx0, fy0) = (ox * stride, oy * stride);
-            let (fw, fh) = (
-                (bw_here - 1) * stride + kw,
-                (bh_here - 1) * stride + kh,
-            );
+            let (fw, fh) = ((bw_here - 1) * stride + kw, (bh_here - 1) * stride + kh);
             let first_axon = b.alloc_axons(core, fw * fh * d) as usize;
             let first_neuron = b.alloc_neurons(core, bw_here * bh_here) as usize;
             let cfg = b.core(core);
@@ -324,9 +321,7 @@ pub fn conv2d_split(
 
     // Difference banks of up to 128 channels per core.
     let mut outputs = HashMap::new();
-    let coords: Vec<(u16, u16)> = (0..oh)
-        .flat_map(|y| (0..ow).map(move |x| (x, y)))
-        .collect();
+    let coords: Vec<(u16, u16)> = (0..oh).flat_map(|y| (0..ow).map(move |x| (x, y))).collect();
     let mut done = 0usize;
     while done < n_out {
         let here = (n_out - done).min(128);
@@ -366,11 +361,7 @@ pub struct PairwiseDiff {
 /// (2n axons, n neurons). This is the temporal-difference primitive of
 /// the NeoVision Where pathway: feed a pixel stream to `plus` and a
 /// delayed copy to `minus`, and the output fires on onsets.
-pub fn pairwise_diff(
-    b: &mut CoreletBuilder,
-    n: usize,
-    threshold: i32,
-) -> PairwiseDiff {
+pub fn pairwise_diff(b: &mut CoreletBuilder, n: usize, threshold: i32) -> PairwiseDiff {
     assert!((1..=128).contains(&n), "pairwise_diff size {n}");
     let core = b.alloc_core();
     let plus0 = b.alloc_axons(core, n) as usize;

@@ -20,7 +20,10 @@ pub struct Histogram {
 /// Build a `bins`-bin histogram whose outputs emit one spike per
 /// `divisor` input events (`bins ≤ 256`).
 pub fn histogram(b: &mut CoreletBuilder, bins: usize, divisor: u32) -> Histogram {
-    assert!((1..=AXONS_PER_CORE).contains(&bins), "histogram bins {bins}");
+    assert!(
+        (1..=AXONS_PER_CORE).contains(&bins),
+        "histogram bins {bins}"
+    );
     assert!(divisor >= 1);
     let core = b.alloc_core();
     let axon0 = b.alloc_axons(core, bins) as usize;

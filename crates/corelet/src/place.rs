@@ -105,11 +105,31 @@ impl EdgeGraph {
     }
 }
 
+/// Optimize placement and statically verify the re-placed network before
+/// handing it back. Placement only permutes coordinates — it cannot
+/// introduce new faults — but running the verifier here catches corelets
+/// that were already broken before layout, at the last stage where the
+/// corelet-level structure is still known.
+pub fn optimize_placement_verified(
+    net: &Network,
+    swap_attempts: u64,
+    seed: u64,
+    cfg: &tn_core::LintConfig,
+) -> Result<(Network, PlacementReport, Vec<tn_core::Diagnostic>), tn_core::VerifyError> {
+    let (placed, report) = optimize_placement(net, swap_attempts, seed);
+    let diagnostics = placed.verify(cfg);
+    if tn_core::lint::has_errors(&diagnostics) {
+        return Err(tn_core::VerifyError { diagnostics });
+    }
+    Ok((placed, report, diagnostics))
+}
+
 /// Measure a network's wiring cost without changing it.
 pub fn wiring_cost(net: &Network) -> u64 {
     let graph = EdgeGraph::build(net);
-    let pos: Vec<CoreCoord> =
-        (0..net.num_cores()).map(|i| net.coord_of(CoreId(i as u32))).collect();
+    let pos: Vec<CoreCoord> = (0..net.num_cores())
+        .map(|i| net.coord_of(CoreId(i as u32)))
+        .collect();
     graph.total_cost(&pos)
 }
 
@@ -124,8 +144,7 @@ pub fn optimize_placement(
     let n = net.num_cores();
     let graph = EdgeGraph::build(net);
     // pos[slot] = coordinate currently assigned to original core `slot`.
-    let mut pos: Vec<CoreCoord> =
-        (0..n).map(|i| net.coord_of(CoreId(i as u32))).collect();
+    let mut pos: Vec<CoreCoord> = (0..n).map(|i| net.coord_of(CoreId(i as u32))).collect();
     let initial_cost = graph.total_cost(&pos);
     let mut cost = initial_cost;
     let mut rng = SplitMix(seed ^ 0x9E3779B97F4A7C15);
@@ -137,11 +156,10 @@ pub fn optimize_placement(
         if a == b {
             continue;
         }
-        let before = graph.incident_cost(a, &pos, b as u32)
-            + graph.incident_cost(b, &pos, a as u32);
+        let before =
+            graph.incident_cost(a, &pos, b as u32) + graph.incident_cost(b, &pos, a as u32);
         pos.swap(a, b);
-        let after = graph.incident_cost(a, &pos, b as u32)
-            + graph.incident_cost(b, &pos, a as u32);
+        let after = graph.incident_cost(a, &pos, b as u32) + graph.incident_cost(b, &pos, a as u32);
         if after <= before {
             if after < before {
                 cost -= before - after;
@@ -161,11 +179,7 @@ pub fn optimize_placement(
         let mut cfg: CoreConfig = net.core(CoreId(slot as u32)).config().clone();
         for neuron in cfg.neurons.iter_mut() {
             if let Dest::Axon(t) = neuron.dest {
-                neuron.dest = Dest::Axon(SpikeTarget::new(
-                    new_id[t.core.index()],
-                    t.axon,
-                    t.delay,
-                ));
+                neuron.dest = Dest::Axon(SpikeTarget::new(new_id[t.core.index()], t.axon, t.delay));
             }
         }
         b.set_core(pos[slot], cfg);
@@ -214,11 +228,7 @@ mod tests {
                 cfg.neurons[j] = NeuronConfig::stochastic_source(40);
                 cfg.neurons[j].weights = [0; 4];
                 if k + 1 < stages {
-                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
-                        ids[k + 1],
-                        j as u8,
-                        1,
-                    ));
+                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(ids[k + 1], j as u8, 1));
                 }
             }
         }
@@ -259,10 +269,7 @@ mod tests {
             "placement must not change behaviour: {ra} vs {rb}"
         );
         // Structure preserved: same number of wired neurons and synapses.
-        assert_eq!(
-            a.network().total_synapses(),
-            b.network().total_synapses()
-        );
+        assert_eq!(a.network().total_synapses(), b.network().total_synapses());
     }
 
     #[test]
@@ -285,6 +292,17 @@ mod tests {
     }
 
     #[test]
+    fn verified_placement_passes_lint_on_clean_network() {
+        let net = scrambled_chain(6, 4);
+        let cfg = tn_core::LintConfig::default();
+        let (placed, report, diagnostics) =
+            optimize_placement_verified(&net, 2000, 5, &cfg).expect("clean network");
+        assert!(report.final_cost <= report.initial_cost);
+        assert!(!tn_core::lint::has_errors(&diagnostics));
+        assert_eq!(wiring_cost(&placed), report.final_cost);
+    }
+
+    #[test]
     fn identity_placement_costs_nothing_extra() {
         // A well-placed chain (consecutive coords) can't be improved much.
         let mut b = NetworkBuilder::new(4, 1, 0);
@@ -295,8 +313,7 @@ mod tests {
                 let cfg = b.core_config_mut(p);
                 for j in 0..4 {
                     cfg.neurons[j] = NeuronConfig::lif(1, 1);
-                    cfg.neurons[j].dest =
-                        Dest::Axon(SpikeTarget::new(id, j as u8, 1));
+                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(id, j as u8, 1));
                 }
             }
             prev = Some(id);

@@ -33,7 +33,7 @@ pub fn coincidence_bank(b: &mut CoreletBuilder, n: usize) -> CoincidenceBank {
             weights: [1, 0, 0, 0],
             leak: -1,
             leak_reversal: true, // decay toward zero
-            threshold: 1, // checked after leak: needs 2 arrivals this tick
+            threshold: 1,        // checked after leak: needs 2 arrivals this tick
             ..Default::default()
         };
     }

@@ -125,18 +125,14 @@ pub fn wta(b: &mut CoreletBuilder, k: usize, p: WtaParams) -> Wta {
                 ..Default::default()
             };
             cfg.crossbar.set(fb_axon + j, ior_base + j, true);
-            cfg.neurons[ior_base + j].dest = tn_core::Dest::Axon(
-                tn_core::SpikeTarget::new(core, (sa + j) as u8, delay),
-            );
+            cfg.neurons[ior_base + j].dest =
+                tn_core::Dest::Axon(tn_core::SpikeTarget::new(core, (sa + j) as u8, delay));
         }
     }
     // Main neurons feed their own feedback axons (delay 1).
     for j in 0..k {
-        cfg.neurons[main0 + j].dest = tn_core::Dest::Axon(tn_core::SpikeTarget::new(
-            core,
-            (fb_axon + j) as u8,
-            1,
-        ));
+        cfg.neurons[main0 + j].dest =
+            tn_core::Dest::Axon(tn_core::SpikeTarget::new(core, (fb_axon + j) as u8, 1));
     }
 
     Wta {

@@ -6,7 +6,6 @@
 //! spike count should track the rectified convolution within quantization
 //! error. This is the corelet compiler's end-to-end numerical contract.
 
-use proptest::prelude::*;
 use tn_compass::ReferenceSim;
 use tn_core::{CoreId, SpikeSource};
 use tn_corelet::filter::{conv2d_split, conv2d_strided};
@@ -60,13 +59,31 @@ fn reference_conv(
     out
 }
 
-fn run_case(img: Vec<f64>, w: usize, h: usize, kernel: Vec<i16>, kw: usize, kh: usize, split: bool) {
+fn run_case(
+    img: Vec<f64>,
+    w: usize,
+    h: usize,
+    kernel: Vec<i16>,
+    kw: usize,
+    kh: usize,
+    split: bool,
+) {
     let theta = 4i32;
     let ticks = 600u64;
     let mut b = CoreletBuilder::new(32, 32, 0);
     let conv = if split {
-        conv2d_split(&mut b, w as u16, h as u16, &kernel, kw, kh, 1, (kw * kh) as i32, theta)
-            .unwrap()
+        conv2d_split(
+            &mut b,
+            w as u16,
+            h as u16,
+            &kernel,
+            kw,
+            kh,
+            1,
+            (kw * kh) as i32,
+            theta,
+        )
+        .unwrap()
     } else {
         conv2d_strided(&mut b, w as u16, h as u16, &kernel, kw, kh, 1, theta).unwrap()
     };
@@ -135,15 +152,13 @@ fn split_conv_matches_host_reference() {
     run_case(img, w, h, vec![1, -1, 1, -1], 2, 2, true);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Random small images through a fixed edge kernel stay within the
-    /// quantization envelope of the host reference.
-    #[test]
-    fn conv_tracks_reference_on_random_images(
-        pix in prop::collection::vec(0.0f64..0.95, 36)
-    ) {
+/// Random small images through a fixed edge kernel stay within the
+/// quantization envelope of the host reference.
+#[test]
+fn conv_tracks_reference_on_random_images() {
+    for case in 0..8u64 {
+        let mut rng = tn_core::SplitMix64::new(0xC04F + case);
+        let pix: Vec<f64> = (0..36).map(|_| rng.range_f64(0.0, 0.95)).collect();
         run_case(pix, 6, 6, vec![1, 1, -1, -1], 2, 2, false);
     }
 }

@@ -54,8 +54,7 @@ impl BgqModel {
 
     /// Modelled seconds per simulated tick.
     pub fn seconds_per_tick(&self, w: &CompassWorkload) -> f64 {
-        let compute =
-            Self::serial_seconds(w) / (self.cards as f64 * thread_speedup(self.threads));
+        let compute = Self::serial_seconds(w) / (self.cards as f64 * thread_speedup(self.threads));
         let comm = T_COMM_BASE_S + (self.cards as f64).log2() * T_COMM_PER_DOUBLING_S;
         compute + comm
     }
@@ -152,7 +151,9 @@ mod tests {
         // Paper: "a single host is the most power-efficient but slowest".
         let w = neovision_workload();
         let e1 = BgqModel::new(1, 64).operating_point(&w).energy_per_tick_j();
-        let e32 = BgqModel::new(32, 64).operating_point(&w).energy_per_tick_j();
+        let e32 = BgqModel::new(32, 64)
+            .operating_point(&w)
+            .energy_per_tick_j();
         assert!(e1 < e32);
     }
 

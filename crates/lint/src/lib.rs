@@ -1,0 +1,121 @@
+//! # tn-lint — static network verification, packaged
+//!
+//! Facade over the verifier engine in [`tn_core::lint`] plus the pieces
+//! the engine itself cannot own: linting saved model files (parse
+//! failures become diagnostics rather than a separate error channel) and
+//! the `tn-lint` command-line binary.
+//!
+//! The full diagnostic-code table lives in [`tn_core::lint`] (TN001 —
+//! dangling destinations — through TN010 — invalid neuron parameters).
+//! This crate adds one code of its own:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | TN000 | error    | the model file failed to parse at all |
+//!
+//! ## Library use
+//!
+//! ```
+//! use tn_lint::{lint_model_text, LintConfig};
+//!
+//! let text = "tnmodel 1\nnet 1 1 7\n";
+//! let diagnostics = lint_model_text(text, &LintConfig::default());
+//! assert!(!tn_lint::has_errors(&diagnostics));
+//! ```
+//!
+//! ## CLI use
+//!
+//! ```sh
+//! tn-lint model.tnm               # exit 1 if any error diagnostics
+//! tn-lint --deny-warnings model.tnm
+//! tn-lint --no-input model.tnm    # assume no external spike source
+//! ```
+
+pub use tn_core::lint::{
+    has_errors, lint_configs, lint_network, lint_network_into, CountingSink, Diagnostic,
+    DiagnosticSink, InputAssumption, LintConfig, Location, Severity, VerifyError,
+};
+pub use tn_core::modelfile::{LoadError, ParseError};
+
+/// Lint model-file text. A file that does not parse yields a single
+/// TN000 error diagnostic (carrying the parser's line and message), so
+/// callers see one uniform stream of findings for any input.
+pub fn lint_model_text(text: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    match tn_core::modelfile::load(text) {
+        Ok(net) => net.verify(cfg),
+        Err(e) => vec![Diagnostic {
+            code: "TN000",
+            severity: Severity::Error,
+            location: Location::Network,
+            message: format!("model file does not parse: line {}: {}", e.line, e.message),
+            help: "fix the record syntax; see tn_core::modelfile for the format".to_string(),
+        }],
+    }
+}
+
+/// Severity tallies of a diagnostic list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub errors: u64,
+    pub warnings: u64,
+    pub infos: u64,
+}
+
+impl Summary {
+    pub fn of(diagnostics: &[Diagnostic]) -> Self {
+        let mut s = Summary::default();
+        for d in diagnostics {
+            match d.severity {
+                Severity::Error => s.errors += 1,
+                Severity::Warn => s.warnings += 1,
+                Severity::Info => s.infos += 1,
+            }
+        }
+        s
+    }
+
+    /// Gate: should the CLI exit nonzero?
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.errors > 0 || (deny_warnings && self.warnings > 0)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info(s)",
+            self.errors, self.warnings, self.infos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unparseable_text_is_tn000() {
+        let diags = lint_model_text("not a model file", &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "TN000");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn clean_model_text_is_clean() {
+        let diags = lint_model_text("tnmodel 1\nnet 2 2 9\n", &LintConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn summary_counts_and_gates() {
+        let text = "tnmodel 1\nnet 1 1 7\ncore 0\nn 0 0 0 0 0 64 0 1 0 0 0 0 o 0\n";
+        let diags = lint_model_text(text, &LintConfig::default());
+        let s = Summary::of(&diags);
+        assert_eq!(s.errors, 0);
+        assert!(s.warnings >= 1, "{diags:?}");
+        assert!(!s.fails(false));
+        assert!(s.fails(true));
+    }
+}

@@ -1,0 +1,105 @@
+//! `tn-lint` — lint saved TrueNorth model files from the command line.
+//!
+//! Exit codes: 0 clean, 1 diagnostics failed the gate, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use tn_lint::{lint_model_text, InputAssumption, LintConfig, Summary};
+
+const USAGE: &str = "\
+usage: tn-lint [options] <model-file>...
+
+Statically verifies saved model files before any tick executes.
+
+options:
+  --no-input           assume no external spike injection (enables
+                       unreachable-core analysis, TN005)
+  --deny-warnings      exit nonzero on warnings, not just errors
+  --link-capacity <N>  spikes/tick a mesh link can carry (TN008 bound)
+  --max-link-reports <N>
+                       cap on individual TN008 reports before summarizing
+  -h, --help           print this help
+";
+
+fn parse_args(args: &[String]) -> Result<(LintConfig, bool, Vec<String>), String> {
+    let mut cfg = LintConfig::default();
+    let mut deny_warnings = false;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-input" => cfg.external_input = InputAssumption::NoExternalInput,
+            "--deny-warnings" => deny_warnings = true,
+            "--link-capacity" => {
+                let v = it.next().ok_or("--link-capacity needs a value")?;
+                cfg.link_capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --link-capacity value: {v}"))?;
+            }
+            "--max-link-reports" => {
+                let v = it.next().ok_or("--max-link-reports needs a value")?;
+                cfg.max_link_reports = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-link-reports value: {v}"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no model files given".to_string());
+    }
+    Ok((cfg, deny_warnings, files))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, deny_warnings, files) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tn-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total = Summary::default();
+    let mut io_error = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tn-lint: cannot read {file}: {e}");
+                io_error = true;
+                continue;
+            }
+        };
+        let diagnostics = lint_model_text(&text, &cfg);
+        for d in &diagnostics {
+            println!("{file}: {d}");
+        }
+        let summary = Summary::of(&diagnostics);
+        println!("{file}: {summary}");
+        total.errors += summary.errors;
+        total.warnings += summary.warnings;
+        total.infos += summary.infos;
+    }
+
+    if files.len() > 1 {
+        println!("total: {total}");
+    }
+    if io_error {
+        ExitCode::from(2)
+    } else if total.fails(deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,89 @@
+//! Acceptance: every shipped corelet application builds a network that
+//! lints with **zero errors** (warnings are tolerated — several apps
+//! intentionally carry idle neurons as spares).
+
+use tn_core::{Network, SplitMix64};
+use tn_lint::{has_errors, LintConfig, Severity};
+
+fn assert_error_free(name: &str, net: &Network) {
+    let diags = net.verify(&LintConfig::default());
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(
+        !has_errors(&diags),
+        "{name} has lint errors: {errors:?} ({} total diagnostics)",
+        diags.len()
+    );
+}
+
+#[test]
+fn lbp_lints_clean() {
+    let app = tn_apps::lbp::build_lbp(&tn_apps::lbp::LbpParams::small());
+    assert_error_free("lbp", &app.net);
+}
+
+#[test]
+fn lsm_lints_clean() {
+    let app = tn_apps::lsm::build_lsm(&tn_apps::lsm::LsmParams::default());
+    assert_error_free("lsm", &app.net);
+}
+
+#[test]
+fn haar_lints_clean() {
+    let app = tn_apps::haar::build_haar(&tn_apps::haar::HaarParams::small());
+    assert_error_free("haar", &app.net);
+}
+
+#[test]
+fn saccade_lints_clean() {
+    let app = tn_apps::saccade::build_saccade(&tn_apps::saccade::SaccadeParams::small());
+    assert_error_free("saccade", &app.net);
+}
+
+#[test]
+fn neovision_lints_clean() {
+    let app = tn_apps::neovision::build_neovision(&tn_apps::neovision::NeoVisionParams::small());
+    assert_error_free("neovision", &app.net);
+}
+
+#[test]
+fn saliency_lints_clean() {
+    let app = tn_apps::saliency::build_saliency(&tn_apps::saliency::SaliencyParams::small());
+    assert_error_free("saliency", &app.net);
+}
+
+#[test]
+fn recurrent_lints_clean() {
+    let net = tn_apps::recurrent::build_recurrent(&tn_apps::recurrent::RecurrentParams::small(
+        50.0, 32, 0xA11,
+    ));
+    assert_error_free("recurrent", &net);
+}
+
+#[test]
+fn hmm_lints_clean() {
+    let app = tn_apps::hmm::build_hmm(&tn_apps::hmm::HmmParams::default());
+    assert_error_free("hmm", &app.net);
+}
+
+#[test]
+fn flow_lints_clean() {
+    let app = tn_apps::flow::build_flow(&tn_apps::flow::FlowParams::small());
+    assert_error_free("flow", &app.net);
+}
+
+#[test]
+fn rbm_lints_clean() {
+    let mut model = tn_apps::rbm::RbmModel::new(16, 12, 5);
+    let patterns: Vec<Vec<f64>> = (0..4)
+        .map(|k| (0..16).map(|i| f64::from(u8::from(i % 4 == k))).collect())
+        .collect();
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..5 {
+        model.train_epoch(&patterns, 0.1, &mut rng);
+    }
+    let rbm = tn_apps::rbm::deploy(&model, 0.05, 63, 0xB00);
+    assert_error_free("rbm", &rbm.net);
+}

@@ -1,0 +1,73 @@
+//! End-to-end tests of the `tn-lint` binary: exit codes and output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_temp(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tn-lint-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tn-lint"))
+        .args(args)
+        .output()
+        .expect("spawn tn-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_model_exits_zero() {
+    let path = write_temp("clean.tnm", "tnmodel 1\nnet 2 2 9\n");
+    let (code, stdout, _) = run(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn unparseable_model_exits_one_with_tn000() {
+    let path = write_temp("garbage.tnm", "this is not a model\n");
+    let (code, stdout, _) = run(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("TN000"), "{stdout}");
+}
+
+#[test]
+fn deny_warnings_promotes_warnings_to_failure() {
+    // One neuron with a destination but no way to ever fire: TN004 warn.
+    let text = "tnmodel 1\nnet 1 1 7\ncore 0\nn 0 0 0 0 0 64 0 1 0 0 0 0 o 0\n";
+    let path = write_temp("warny.tnm", text);
+    let (code, stdout, _) = run(&[path.to_str().unwrap()]);
+    let (code_strict, _, _) = run(&["--deny-warnings", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "warnings alone must not fail by default: {stdout}");
+    assert_eq!(code_strict, 1, "--deny-warnings must fail on warnings");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let (code, _, stderr) = run(&["/definitely/not/a/real/file.tnm"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("usage"), "{stdout}");
+}

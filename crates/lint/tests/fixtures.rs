@@ -1,0 +1,195 @@
+//! One triggering fixture per diagnostic code, exercised through the
+//! `tn-lint` facade — TN000 (parse) through TN010 (neuron parameters).
+//!
+//! These complement the engine's own unit tests in `tn_core::lint`: here
+//! every fixture goes through the public crate surface (`lint_model_text`
+//! or `Network::verify` re-exported via `tn_lint`).
+
+use tn_core::{
+    CoreConfig, CoreCoord, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, SpikeTarget,
+    NEURONS_PER_CORE, POTENTIAL_MAX,
+};
+use tn_lint::{has_errors, lint_model_text, Diagnostic, LintConfig, Severity};
+
+fn code_count(diags: &[Diagnostic], code: &str) -> usize {
+    diags.iter().filter(|d| d.code == code).count()
+}
+
+fn severity_of(diags: &[Diagnostic], code: &str) -> Severity {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} in {diags:?}"))
+        .severity
+}
+
+#[test]
+fn tn000_model_text_that_does_not_parse() {
+    let diags = lint_model_text("tnmodel 1\nnet banana\n", &LintConfig::default());
+    assert_eq!(code_count(&diags, "TN000"), 1, "{diags:?}");
+    assert!(has_errors(&diags));
+    assert!(diags[0].message.contains("line"), "{}", diags[0].message);
+}
+
+#[test]
+fn tn001_dangling_destination_core() {
+    let mut b = NetworkBuilder::new(2, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(9), 0, 1));
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN001"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN001"), Severity::Error);
+}
+
+#[test]
+fn tn002_delay_outside_hardware_range() {
+    let mut b = NetworkBuilder::new(2, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[3].dest = Dest::Axon(SpikeTarget {
+        core: CoreId(1),
+        axon: 0,
+        delay: 0,
+    });
+    cfg.crossbar.set(0, 3, true);
+    cfg.neurons[3].weights[0] = 1;
+    b.add_core(cfg);
+    let mut tgt = CoreConfig::new();
+    tgt.crossbar.set(0, 0, true);
+    b.add_core(tgt);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN002"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN002"), Severity::Error);
+}
+
+#[test]
+fn tn003_worst_case_potential_overflow() {
+    let mut b = NetworkBuilder::new(1, 1, 1);
+    let mut cfg = CoreConfig::new();
+    *cfg.crossbar = Crossbar::from_fn(|_, j| j == 0);
+    cfg.neurons[0].weights = [255; 4];
+    cfg.neurons[0].threshold = POTENTIAL_MAX - 10;
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN003"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN003"), Severity::Warn);
+}
+
+#[test]
+fn tn004_dead_neuron_with_live_destination() {
+    let mut b = NetworkBuilder::new(1, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[7].dest = Dest::Output(7);
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN004"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN004"), Severity::Warn);
+}
+
+#[test]
+fn tn005_unreachable_core_when_self_driven() {
+    let mk = || {
+        let mut b = NetworkBuilder::new(2, 1, 1);
+        let mut cfg = CoreConfig::new();
+        cfg.crossbar.set(0, 0, true);
+        cfg.neurons[0] = NeuronConfig::lif(1, 1);
+        cfg.neurons[0].dest = Dest::Output(0);
+        b.add_core(cfg);
+        b.build()
+    };
+    let diags = mk().verify(&LintConfig::self_driven());
+    assert_eq!(code_count(&diags, "TN005"), 1, "{diags:?}");
+    // The default assumption (any core may receive input) clears it.
+    let diags = mk().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN005"), 0, "{diags:?}");
+}
+
+#[test]
+fn tn006_spikes_into_synapse_free_axon() {
+    let mut b = NetworkBuilder::new(2, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.crossbar.set(0, 0, true);
+    cfg.neurons[0] = NeuronConfig::lif(1, 1);
+    cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(1), 5, 1));
+    b.add_core(cfg);
+    b.add_core(CoreConfig::new());
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN006"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN006"), Severity::Warn);
+}
+
+#[test]
+fn tn007_stochastic_modes_with_degenerate_seed() {
+    let mut b = NetworkBuilder::new(1, 1, 0);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[0] = NeuronConfig::stochastic_source(40);
+    cfg.neurons[0].dest = Dest::Output(0);
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN007"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN007"), Severity::Warn);
+}
+
+#[test]
+fn tn008_static_link_bandwidth_bound() {
+    let mut b = NetworkBuilder::new(3, 1, 1);
+    for c in 0..2u16 {
+        let mut cfg = CoreConfig::new();
+        for j in 0..NEURONS_PER_CORE {
+            cfg.crossbar.set(j, j, true);
+            cfg.neurons[j] = NeuronConfig::lif(1, 1);
+            cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(2), (j % 256) as u8, 1));
+        }
+        b.set_core(CoreCoord::new(c, 0), cfg);
+    }
+    let mut tgt = CoreConfig::new();
+    for j in 0..NEURONS_PER_CORE {
+        tgt.crossbar.set(j, j, true);
+    }
+    b.set_core(CoreCoord::new(2, 0), tgt);
+    let cfg = LintConfig {
+        link_capacity: 300,
+        ..Default::default()
+    };
+    let diags = b.build().verify(&cfg);
+    assert!(code_count(&diags, "TN008") >= 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN008"), Severity::Warn);
+}
+
+#[test]
+fn tn009_axon_type_out_of_range() {
+    let mut b = NetworkBuilder::new(1, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.axon_types[17] = 4;
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN009"), 1, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN009"), Severity::Error);
+}
+
+#[test]
+fn tn010_negative_thresholds() {
+    let mut b = NetworkBuilder::new(1, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[0].threshold = -5;
+    cfg.neurons[1].neg_threshold = -1;
+    b.add_core(cfg);
+    let diags = b.build().verify(&LintConfig::default());
+    assert_eq!(code_count(&diags, "TN010"), 2, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN010"), Severity::Error);
+}
+
+/// The strict build path rejects networks with error diagnostics and the
+/// error lists them.
+#[test]
+fn build_verified_rejects_errors() {
+    let mut b = NetworkBuilder::new(2, 1, 1);
+    let mut cfg = CoreConfig::new();
+    cfg.neurons[0].dest = Dest::Axon(SpikeTarget::new(CoreId(9), 0, 1));
+    b.add_core(cfg);
+    let err = match b.build_verified(&LintConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("dangling destination must fail the strict build"),
+    };
+    assert!(err.errors().any(|d| d.code == "TN001"), "{err}");
+}

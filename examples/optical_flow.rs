@@ -22,7 +22,10 @@ fn main() {
         params.stride as f64 * 12.0 / params.corr_delay as f64,
     );
 
-    println!("{:>10} {:>7} {:>7} {:>7} {:>7}   verdict", "motion", "R", "L", "D", "U");
+    println!(
+        "{:>10} {:>7} {:>7} {:>7} {:>7}   verdict",
+        "motion", "R", "L", "D", "U"
+    );
     for (name, vx, vy, ticks) in [
         ("rightward", 32i32, 0i32, 190u64),
         ("leftward", -32, 0, 190),
@@ -36,8 +39,7 @@ fn main() {
         scene.objects[0].vx16 = vx;
         scene.objects[0].vy16 = vy;
         let ports = app.direction_ports;
-        let mut src =
-            VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
+        let mut src = VideoSource::new(scene, app.pixel_map.clone(), 1.0).with_ticks_per_frame(12);
         let mut sim = ReferenceSim::new(app.net);
         sim.run(ticks, &mut src);
         let counts: Vec<usize> = ports
@@ -47,7 +49,12 @@ fn main() {
         let best = (0..4).max_by_key(|&i| counts[i]).unwrap();
         println!(
             "{:>10} {:>7} {:>7} {:>7} {:>7}   {:?}",
-            name, counts[0], counts[1], counts[2], counts[3], FlowDirection::ALL[best]
+            name,
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            FlowDirection::ALL[best]
         );
     }
     println!("\n(opponent channels: the tuned direction should dominate each row)");

@@ -10,11 +10,9 @@
 //! cargo run --release --example pattern_completion
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tn_apps::rbm::{deploy, RbmModel};
 use tn_compass::ReferenceSim;
-use tn_core::ScheduledSource;
+use tn_core::{ScheduledSource, SplitMix64};
 
 fn render(v: &[f64], width: usize) -> String {
     let mut s = String::new();
@@ -40,7 +38,7 @@ fn main() {
 
     println!("training a 16v × 12h RBM on two patterns (CD-1, host side)...");
     let mut model = RbmModel::new(16, 12, 42);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     for _ in 0..400 {
         model.train_epoch(&[a.clone(), b.clone()], 0.1, &mut rng);
     }
@@ -51,7 +49,10 @@ fn main() {
         *v = 0.0;
     }
     println!("\npattern A:\n{}", render(&a, 4));
-    println!("corrupted input (bottom half erased):\n{}", render(&corrupted, 4));
+    println!(
+        "corrupted input (bottom half erased):\n{}",
+        render(&corrupted, 4)
+    );
 
     // Deploy on the spiking substrate and present the corrupted pattern.
     let rbm = deploy(&model, 0.5, 0x1F, 3);
@@ -74,9 +75,16 @@ fn main() {
     let peak = recon.iter().cloned().fold(0.05, f64::max);
     let shown: Vec<f64> = recon.iter().map(|&r| r / peak).collect();
 
-    println!("spiking reconstruction (normalized rates):\n{}", render(&shown, 4));
+    println!(
+        "spiking reconstruction (normalized rates):\n{}",
+        render(&shown, 4)
+    );
     let on_mean: f64 = (8..16).filter(|i| i % 4 < 2).map(|i| recon[i]).sum::<f64>() / 4.0;
-    let off_mean: f64 = (8..16).filter(|i| i % 4 >= 2).map(|i| recon[i]).sum::<f64>() / 4.0;
+    let off_mean: f64 = (8..16)
+        .filter(|i| i % 4 >= 2)
+        .map(|i| recon[i])
+        .sum::<f64>()
+        / 4.0;
     println!(
         "erased-half rates: true-on pixels {:.3}, true-off pixels {:.3} → {}",
         on_mean,

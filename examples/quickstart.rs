@@ -8,8 +8,7 @@
 use tn_chip::TrueNorthSim;
 use tn_compass::ReferenceSim;
 use tn_core::{
-    CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, ScheduledSource,
-    SpikeTarget,
+    CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, ScheduledSource, SpikeTarget,
 };
 
 fn build_network() -> tn_core::Network {

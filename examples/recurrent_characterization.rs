@@ -35,12 +35,28 @@ fn main() {
 
     let report = sim.report();
     println!("\nmeasured over 80 ticks (16 warm-up):");
-    println!("  mean rate        : {:>8.1} Hz (target {:.1})", report.mean_rate_hz, p.quantized_rate_hz());
-    println!("  syn per spike    : {:>8.1} (target {})", report.syn_per_spike, syn);
+    println!(
+        "  mean rate        : {:>8.1} Hz (target {:.1})",
+        report.mean_rate_hz,
+        p.quantized_rate_hz()
+    );
+    println!(
+        "  syn per spike    : {:>8.1} (target {})",
+        report.syn_per_spike, syn
+    );
     println!("  GSOPS (real-time): {:>8.3}", report.gsops_realtime);
-    println!("  power (real-time): {:>8.2} mW", report.power_realtime_w * 1e3);
-    println!("  GSOPS/W          : {:>8.1}", report.gsops_per_watt_realtime);
-    println!("  GSOPS/W (max spd): {:>8.1}", report.gsops_per_watt_max_speed);
+    println!(
+        "  power (real-time): {:>8.2} mW",
+        report.power_realtime_w * 1e3
+    );
+    println!(
+        "  GSOPS/W          : {:>8.1}",
+        report.gsops_per_watt_realtime
+    );
+    println!(
+        "  GSOPS/W (max spd): {:>8.1}",
+        report.gsops_per_watt_max_speed
+    );
     println!("  fmax             : {:>8.2} kHz", report.fmax_khz);
     println!(
         "  mesh hops/spike  : {:>8.1} (paper: 21.66 per axis → ~43)",

@@ -41,10 +41,7 @@ fn main() {
     for ry in 0..app.regions.1 {
         let mut row = String::from("  ");
         for rx in 0..app.regions.0 {
-            let n = sim
-                .outputs()
-                .port_ticks(app.region_ports[&(rx, ry)])
-                .len();
+            let n = sim.outputs().port_ticks(app.region_ports[&(rx, ry)]).len();
             row.push_str(&format!("{n:>6}"));
         }
         println!("{row}");

@@ -17,8 +17,7 @@ fn sops_identity_holds_over_the_grid() {
         };
         let r = run_recurrent_net(&p, 16, 48);
         let c = characterize_at_voltage(&r, 0.75);
-        let expect =
-            r.neurons as f64 * p.quantized_rate_hz() * syn as f64 / 1e9;
+        let expect = r.neurons as f64 * p.quantized_rate_hz() * syn as f64 / 1e9;
         let got = c.gsops;
         assert!(
             (got - expect).abs() / expect < 0.12,

@@ -59,8 +59,8 @@ fn routes_detour_around_defects() {
     // crossing it must pay 2 extra hops each.
     let mut clean = TrueNorthSim::new(build_recurrent(&params()));
     clean.run(60, &mut NullSource);
-    let clean_hops = clean.stats().total_hops as f64
-        / clean.stats().totals.spikes_out.max(1) as f64;
+    let clean_hops =
+        clean.stats().total_hops as f64 / clean.stats().totals.spikes_out.max(1) as f64;
 
     let mut walled = TrueNorthSim::new(build_recurrent(&params()));
     for y in 0..8u16 {
@@ -70,8 +70,8 @@ fn routes_detour_around_defects() {
         }
     }
     walled.run(60, &mut NullSource);
-    let walled_hops = walled.stats().total_hops as f64
-        / walled.stats().totals.spikes_out.max(1) as f64;
+    let walled_hops =
+        walled.stats().total_hops as f64 / walled.stats().totals.spikes_out.max(1) as f64;
     assert!(
         walled_hops > clean_hops,
         "detours must add hops: {walled_hops} vs {clean_hops}"

@@ -2,14 +2,13 @@
 //! across all three kernel expressions, including property-based fuzzing
 //! of neuron configurations.
 
-use proptest::prelude::*;
 use tn_apps::recurrent::{build_recurrent, RecurrentParams};
 use tn_chip::TrueNorthSim;
 use tn_compass::{ParallelSim, ReferenceSim};
 use tn_core::network::NullSource;
 use tn_core::{
     CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig, ResetMode,
-    ScheduledSource, SpikeTarget,
+    ScheduledSource, SpikeTarget, SplitMix64,
 };
 
 fn run_all_expressions(mk: impl Fn() -> Network, ticks: u64) -> Vec<u64> {
@@ -94,54 +93,34 @@ fn external_input_stream_agrees() {
     assert_eq!(a.outputs().digest(), c.outputs().digest());
 }
 
-/// Strategy for an arbitrary (but valid) neuron configuration.
-fn arb_neuron() -> impl Strategy<Value = NeuronConfig> {
-    (
-        prop::array::uniform4(-255i16..=255),
-        prop::array::uniform4(any::<bool>()),
-        -64i16..=64,
-        any::<bool>(),
-        any::<bool>(),
-        1i32..=64,
-        0u32..=15,
-        0i32..=64,
-        any::<bool>(),
-        0usize..3,
-        0i32..=8,
-    )
-        .prop_map(
-            |(weights, stoch, leak, sl, lr, thr, tm, neg, sat, reset_mode, reset)| {
-                NeuronConfig {
-                    weights,
-                    stoch_synapse: stoch,
-                    leak,
-                    stoch_leak: sl,
-                    leak_reversal: lr,
-                    threshold: thr,
-                    tm_mask: tm,
-                    neg_threshold: neg,
-                    neg_saturate: sat,
-                    reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None]
-                        [reset_mode],
-                    reset,
-                    initial_potential: 0,
-                    dest: Dest::None,
-                }
-            },
-        )
+/// Draw an arbitrary (but valid) neuron configuration.
+fn arb_neuron(rng: &mut SplitMix64) -> NeuronConfig {
+    NeuronConfig {
+        weights: std::array::from_fn(|_| rng.range_inclusive_i64(-255, 255) as i16),
+        stoch_synapse: std::array::from_fn(|_| rng.bool_with(0.5)),
+        leak: rng.range_inclusive_i64(-64, 64) as i16,
+        stoch_leak: rng.bool_with(0.5),
+        leak_reversal: rng.bool_with(0.5),
+        threshold: rng.range_inclusive_i64(1, 64) as i32,
+        tm_mask: rng.below(16) as u32,
+        neg_threshold: rng.range_inclusive_i64(0, 64) as i32,
+        neg_saturate: rng.bool_with(0.5),
+        reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None][rng.below_usize(3)],
+        reset: rng.range_inclusive_i64(0, 8) as i32,
+        initial_potential: 0,
+        dest: Dest::None,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Fuzz: random neuron programs + random sparse crossbars on a 2×2
-    /// grid must evolve identically on every expression.
-    #[test]
-    fn fuzzed_configs_agree(
-        neurons in prop::collection::vec(arb_neuron(), 16),
-        xbar_seed in any::<u32>(),
-        net_seed in any::<u64>(),
-    ) {
+/// Fuzz: random neuron programs + random sparse crossbars on a 2×2 grid
+/// must evolve identically on every expression.
+#[test]
+fn fuzzed_configs_agree() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0xF022 + case);
+        let neurons: Vec<NeuronConfig> = (0..16).map(|_| arb_neuron(&mut rng)).collect();
+        let xbar_seed = rng.next_u32();
+        let net_seed = rng.next_u64();
         let mk = || {
             let mut b = NetworkBuilder::new(2, 2, net_seed);
             for c in 0..4u32 {
@@ -151,8 +130,7 @@ proptest! {
                         .wrapping_mul(2654435761)
                         .wrapping_add((j as u32).wrapping_mul(40503))
                         .wrapping_add(xbar_seed)
-                        % 7
-                        == 0
+                        .is_multiple_of(7)
                 });
                 for j in 0..256 {
                     let mut n = neurons[(j + c as usize) % neurons.len()].clone();
@@ -175,6 +153,9 @@ proptest! {
             b.build()
         };
         let digests = run_all_expressions(mk, 40);
-        prop_assert!(digests.windows(2).all(|w| w[0] == w[1]));
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "case {case}: {digests:?}"
+        );
     }
 }
