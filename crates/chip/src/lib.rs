@@ -31,6 +31,7 @@ pub mod board;
 pub mod energy;
 pub mod mesh;
 pub mod router;
+pub mod stream;
 pub mod timing;
 pub mod tnsim;
 pub mod voltage;
@@ -39,6 +40,7 @@ pub use board::Board;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use mesh::{DefectMap, LinkAccounting, Mesh};
 pub use router::{route_path, RoutePath};
+pub use stream::{stream_channel, Injector, OfferOutcome, StreamSource};
 pub use timing::TimingModel;
 pub use tnsim::{ChipReport, TrueNorthSim};
 pub use voltage::VoltageParams;

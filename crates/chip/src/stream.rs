@@ -1,0 +1,248 @@
+//! Streaming spike injection: the peripheral-input path of a live system.
+//!
+//! The physical TrueNorth board receives spikes continuously through its
+//! merge–split peripheral links while the chip free-runs at the 1 ms
+//! tick. [`StreamSource`] models that path for a long-running simulator
+//! session: producers on other threads [`Injector::offer`] timestamped
+//! events into a *bounded* queue, and the simulator drains the events due
+//! each tick through the ordinary [`SpikeSource`] interface. When
+//! producers outrun the link (queue full) or inject behind the sweep
+//! line (tick already passed), events are *counted and dropped* — never
+//! silently stalling the tick loop, mirroring how the real periphery
+//! sheds load rather than missing its synchronization deadline.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tn_core::{CoreId, InjectError, SpikeSource, AXONS_PER_CORE};
+
+/// Outcome of one [`Injector::offer`] batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OfferOutcome {
+    /// Events queued for delivery.
+    pub accepted: u32,
+    /// Events shed: queue at capacity or timestamp already swept past.
+    pub dropped: u32,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    by_tick: BTreeMap<u64, Vec<(CoreId, u8)>>,
+    pending: usize,
+    dropped_overflow: u64,
+    dropped_stale: u64,
+}
+
+struct Shared {
+    queue: Mutex<QueueInner>,
+    /// The next tick the consumer will fill — events below it are stale.
+    sweep: AtomicU64,
+    capacity: usize,
+    num_cores: usize,
+}
+
+/// Consumer half: hand to the simulator as its [`SpikeSource`].
+pub struct StreamSource {
+    shared: Arc<Shared>,
+}
+
+/// Producer half: thread-safe, cloneable handle for injecting events.
+#[derive(Clone)]
+pub struct Injector {
+    shared: Arc<Shared>,
+}
+
+/// A bounded streaming spike channel for a grid of `num_cores` cores:
+/// at most `capacity` events may be pending at once.
+pub fn stream_channel(num_cores: usize, capacity: usize) -> (StreamSource, Injector) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(QueueInner::default()),
+        sweep: AtomicU64::new(0),
+        capacity: capacity.max(1),
+        num_cores,
+    });
+    (
+        StreamSource {
+            shared: Arc::clone(&shared),
+        },
+        Injector { shared },
+    )
+}
+
+impl Injector {
+    /// Validate and enqueue a batch of `(tick, core, axon)` events.
+    ///
+    /// Validation is all-or-nothing and mirrors
+    /// [`tn_core::ScheduledSource::push_checked`]: any event naming an
+    /// axon ≥ 256 or a core outside the grid rejects the whole batch with
+    /// an [`InjectError`] (a *client* bug, reported loudly). Valid events
+    /// are then admitted individually: stale timestamps and
+    /// over-capacity events are shed and counted (*load*, reported as
+    /// backpressure), the rest are queued.
+    pub fn offer(&self, events: &[(u64, CoreId, u16)]) -> Result<OfferOutcome, InjectError> {
+        for &(_, core, axon) in events {
+            if axon as usize >= AXONS_PER_CORE {
+                return Err(InjectError::AxonOutOfRange { axon });
+            }
+            if core.index() >= self.shared.num_cores {
+                return Err(InjectError::CoreOutOfGrid {
+                    core,
+                    num_cores: self.shared.num_cores,
+                });
+            }
+        }
+        let mut out = OfferOutcome::default();
+        let sweep = self.shared.sweep.load(Ordering::Acquire);
+        let mut q = self.shared.queue.lock().unwrap();
+        for &(tick, core, axon) in events {
+            if tick < sweep {
+                q.dropped_stale += 1;
+                out.dropped += 1;
+            } else if q.pending >= self.shared.capacity {
+                q.dropped_overflow += 1;
+                out.dropped += 1;
+            } else {
+                q.by_tick.entry(tick).or_default().push((core, axon as u8));
+                q.pending += 1;
+                out.accepted += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total events shed so far (stale + overflow).
+    pub fn dropped(&self) -> u64 {
+        let q = self.shared.queue.lock().unwrap();
+        q.dropped_overflow + q.dropped_stale
+    }
+
+    /// Events currently queued awaiting their tick.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().unwrap().pending
+    }
+
+    /// The earliest tick a new event may target.
+    pub fn sweep(&self) -> u64 {
+        self.shared.sweep.load(Ordering::Acquire)
+    }
+
+    /// Queue capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+impl SpikeSource for StreamSource {
+    fn fill(&mut self, tick: u64, out: &mut Vec<(CoreId, u8)>) {
+        self.shared.sweep.store(tick + 1, Ordering::Release);
+        let mut q = self.shared.queue.lock().unwrap();
+        // Sweep anything at or below this tick: `tick` is delivered,
+        // strictly-older leftovers (offer races) are shed as stale.
+        while let Some((&t, _)) = q.by_tick.first_key_value() {
+            if t > tick {
+                break;
+            }
+            let v = q.by_tick.remove(&t).unwrap();
+            q.pending -= v.len();
+            if t == tick {
+                out.extend(v);
+            } else {
+                q.dropped_stale += v.len() as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_deliver_on_their_tick() {
+        let (mut src, inj) = stream_channel(4, 100);
+        inj.offer(&[(2, CoreId(1), 7), (5, CoreId(0), 9), (2, CoreId(3), 1)])
+            .unwrap();
+        assert_eq!(inj.pending(), 3);
+        let mut out = Vec::new();
+        src.fill(0, &mut out);
+        assert!(out.is_empty());
+        src.fill(2, &mut out);
+        assert_eq!(out, vec![(CoreId(1), 7), (CoreId(3), 1)]);
+        out.clear();
+        src.fill(5, &mut out);
+        assert_eq!(out, vec![(CoreId(0), 9)]);
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.dropped(), 0);
+    }
+
+    #[test]
+    fn invalid_events_reject_the_batch() {
+        let (_src, inj) = stream_channel(4, 100);
+        assert_eq!(
+            inj.offer(&[(0, CoreId(0), 300)]),
+            Err(InjectError::AxonOutOfRange { axon: 300 })
+        );
+        assert_eq!(
+            inj.offer(&[(0, CoreId(9), 3)]),
+            Err(InjectError::CoreOutOfGrid {
+                core: CoreId(9),
+                num_cores: 4
+            })
+        );
+        assert_eq!(inj.pending(), 0, "rejected batches queue nothing");
+    }
+
+    #[test]
+    fn overflow_sheds_and_counts_instead_of_blocking() {
+        let (_src, inj) = stream_channel(2, 3);
+        let events: Vec<_> = (0..10).map(|i| (5u64, CoreId(0), i as u16)).collect();
+        let o = inj.offer(&events).unwrap();
+        assert_eq!(o.accepted, 3);
+        assert_eq!(o.dropped, 7);
+        assert_eq!(inj.dropped(), 7);
+        assert_eq!(inj.pending(), 3);
+    }
+
+    #[test]
+    fn stale_events_are_shed() {
+        let (mut src, inj) = stream_channel(2, 100);
+        let mut out = Vec::new();
+        src.fill(9, &mut out); // sweep line now at tick 10
+        let o = inj.offer(&[(3, CoreId(0), 1), (10, CoreId(0), 2)]).unwrap();
+        assert_eq!(o.accepted, 1);
+        assert_eq!(o.dropped, 1);
+        src.fill(10, &mut out);
+        assert_eq!(out, vec![(CoreId(0), 2)]);
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_accounting() {
+        let (mut src, inj) = stream_channel(8, 64);
+        let offered: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|p| {
+                    let inj = inj.clone();
+                    s.spawn(move || {
+                        let mut n = 0u64;
+                        for i in 0..50u64 {
+                            let o = inj.offer(&[(i % 16, CoreId(p), (i % 256) as u16)]).unwrap();
+                            n += (o.accepted + o.dropped) as u64;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(offered, 200);
+        let mut delivered = 0u64;
+        let mut out = Vec::new();
+        for t in 0..16 {
+            out.clear();
+            src.fill(t, &mut out);
+            delivered += out.len() as u64;
+        }
+        assert_eq!(delivered + inj.dropped(), 200, "every event accounted");
+        assert_eq!(inj.pending(), 0);
+    }
+}

@@ -41,6 +41,60 @@ pub struct ChipReport {
     pub power_density_w_cm2: f64,
     /// Wall-clock seconds the host spent simulating.
     pub host_wall_seconds: f64,
+    /// Externally injected events dropped before delivery (overload or
+    /// out-of-grid targets) — nonzero means the run was input-lossy.
+    pub dropped_inputs: u64,
+    /// Worst single-tick peripheral I/O (injected inputs + emitted
+    /// outputs + chip-boundary crossings); compare against the board's
+    /// merge–split link budget.
+    pub worst_io_load: u64,
+}
+
+impl std::fmt::Display for ChipReport {
+    /// Human-readable characterization block (paper Fig. 5 quantities
+    /// plus the peripheral I/O health line).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ticks              : {:>10}", self.ticks)?;
+        writeln!(f, "mean rate          : {:>10.1} Hz", self.mean_rate_hz)?;
+        writeln!(f, "syn per spike      : {:>10.1}", self.syn_per_spike)?;
+        writeln!(f, "GSOPS (real-time)  : {:>10.3}", self.gsops_realtime)?;
+        writeln!(
+            f,
+            "power (real-time)  : {:>10.2} mW",
+            self.power_realtime_w * 1e3
+        )?;
+        writeln!(
+            f,
+            "GSOPS/W            : {:>10.1}",
+            self.gsops_per_watt_realtime
+        )?;
+        writeln!(
+            f,
+            "GSOPS/W (max speed): {:>10.1}",
+            self.gsops_per_watt_max_speed
+        )?;
+        writeln!(f, "fmax               : {:>10.2} kHz", self.fmax_khz)?;
+        writeln!(
+            f,
+            "power density      : {:>10.4} W/cm²",
+            self.power_density_w_cm2
+        )?;
+        writeln!(
+            f,
+            "worst I/O load     : {:>10} spikes/tick",
+            self.worst_io_load
+        )?;
+        write!(
+            f,
+            "dropped inputs     : {:>10}{}",
+            self.dropped_inputs,
+            if self.dropped_inputs > 0 {
+                "  (OVERLOADED: input was shed)"
+            } else {
+                ""
+            }
+        )
+    }
 }
 
 /// Architectural simulator of one or more tiled TrueNorth chips.
@@ -181,6 +235,20 @@ impl TrueNorthSim {
 
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy_model
+    }
+
+    /// Checkpoint the simulation at the current tick boundary.
+    pub fn checkpoint(&self) -> tn_core::NetworkSnapshot {
+        tn_core::NetworkSnapshot::capture(&self.net, self.tick)
+    }
+
+    /// Restore a checkpoint taken from an identically-configured
+    /// simulation; the tick counter resumes from the snapshot's tick.
+    /// Accumulated energy/timing telemetry is *not* rewound — it keeps
+    /// describing the work this simulator instance actually performed.
+    pub fn restore(&mut self, snap: &tn_core::NetworkSnapshot) {
+        snap.restore(&mut self.net);
+        self.tick = snap.tick;
     }
 
     /// Mark a core defective: its computation is disabled and the mesh
@@ -380,7 +448,51 @@ impl TrueNorthSim {
             fmax_khz: self.fmax_khz(),
             power_density_w_cm2: power_rt / die_cm2,
             host_wall_seconds: self.wall_seconds,
+            dropped_inputs: self.dropped_inputs,
+            worst_io_load: self.worst_io_load,
         }
+    }
+}
+
+impl tn_compass::KernelSession for TrueNorthSim {
+    fn engine_name(&self) -> &'static str {
+        "chip"
+    }
+
+    fn step(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats {
+        TrueNorthSim::step(self, src).0
+    }
+
+    fn current_tick(&self) -> u64 {
+        TrueNorthSim::current_tick(self)
+    }
+
+    fn network(&self) -> &Network {
+        TrueNorthSim::network(self)
+    }
+
+    fn outputs(&mut self) -> &mut SpikeRecord {
+        TrueNorthSim::outputs(self)
+    }
+
+    fn stats(&self) -> &RunStats {
+        TrueNorthSim::stats(self)
+    }
+
+    fn dropped_inputs(&self) -> u64 {
+        TrueNorthSim::dropped_inputs(self)
+    }
+
+    fn checkpoint(&self) -> tn_core::NetworkSnapshot {
+        TrueNorthSim::checkpoint(self)
+    }
+
+    fn restore(&mut self, snap: &tn_core::NetworkSnapshot) {
+        TrueNorthSim::restore(self, snap)
+    }
+
+    fn energy_j(&self) -> Option<f64> {
+        Some(self.energy_realtime.total_j())
     }
 }
 
@@ -487,6 +599,73 @@ mod tests {
         let lhs = r.gsops_realtime;
         let rhs = r.power_realtime_w * r.gsops_per_watt_realtime;
         assert!((lhs - rhs).abs() / lhs < 1e-9);
+    }
+
+    #[test]
+    fn report_surfaces_overload_and_io_load() {
+        let mut chip = TrueNorthSim::new(stochastic_net(2, 2, 5, 40));
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 3); // valid
+        src.push(1, CoreId(99), 3); // out of the 4-core grid → dropped
+        chip.run(10, &mut src);
+        let r = chip.report();
+        assert_eq!(r.dropped_inputs, 1);
+        assert!(r.worst_io_load > 0, "outputs/boundary traffic was counted");
+        assert_eq!(r.worst_io_load, chip.worst_io_load());
+        let text = r.to_string();
+        assert!(text.contains("dropped inputs"), "{text}");
+        assert!(text.contains("OVERLOADED"), "{text}");
+        assert!(text.contains("worst I/O load"), "{text}");
+    }
+
+    #[test]
+    fn streamed_injection_matches_scheduled_batch() {
+        // The same trace through the live streaming path and the batch
+        // ScheduledSource path lands on identical state — the property
+        // the serving layer depends on.
+        let trace: Vec<(u64, CoreId, u16)> = (0..30u64)
+            .map(|t| (t, CoreId((t % 4) as u32), (t * 37 % 256) as u16))
+            .collect();
+
+        let mut batch_src = ScheduledSource::new();
+        for &(t, c, a) in &trace {
+            batch_src.push_checked(t, c, a, 4).unwrap();
+        }
+        let mut batch = TrueNorthSim::new(stochastic_net(2, 2, 31, 25));
+        batch.run(40, &mut batch_src);
+
+        let (mut stream_src, inj) = crate::stream::stream_channel(4, 1024);
+        let o = inj.offer(&trace).unwrap();
+        assert_eq!(o.dropped, 0);
+        let mut streamed = TrueNorthSim::new(stochastic_net(2, 2, 31, 25));
+        streamed.run(40, &mut stream_src);
+
+        assert_eq!(
+            batch.network().state_digest(),
+            streamed.network().state_digest()
+        );
+        assert_eq!(batch.outputs().digest(), streamed.outputs().digest());
+        assert_eq!(streamed.dropped_inputs(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_exact() {
+        let mut continuous = TrueNorthSim::new(stochastic_net(2, 2, 8, 45));
+        continuous.run(50, &mut tn_core::network::NullSource);
+
+        let mut first = TrueNorthSim::new(stochastic_net(2, 2, 8, 45));
+        first.run(20, &mut tn_core::network::NullSource);
+        let snap = first.checkpoint();
+        assert_eq!(snap.tick, 20);
+
+        let mut resumed = TrueNorthSim::new(stochastic_net(2, 2, 8, 45));
+        resumed.restore(&snap);
+        assert_eq!(resumed.current_tick(), 20);
+        resumed.run(30, &mut tn_core::network::NullSource);
+        assert_eq!(
+            continuous.network().state_digest(),
+            resumed.network().state_digest()
+        );
     }
 
     #[test]

@@ -23,10 +23,12 @@ pub mod output;
 pub mod parallel;
 pub mod partition;
 pub mod reference;
+pub mod session;
 pub mod trace;
 
 pub use output::{OutputEvent, SpikeRecord};
 pub use parallel::{AggregationMode, ParallelSim};
 pub use partition::weighted_split_points;
 pub use reference::ReferenceSim;
+pub use session::KernelSession;
 pub use trace::SpikeTrace;

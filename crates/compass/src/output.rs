@@ -44,6 +44,15 @@ impl SpikeRecord {
         &self.events
     }
 
+    /// Drain every recorded event, leaving the record empty — the
+    /// streaming-consumption primitive: a long-running server forwards
+    /// each tick's outputs to subscribers instead of accumulating an
+    /// unbounded transcript. Events come out in insertion order.
+    pub fn take(&mut self) -> Vec<OutputEvent> {
+        self.sorted = false;
+        std::mem::take(&mut self.events)
+    }
+
     pub fn len(&self) -> usize {
         self.events.len()
     }

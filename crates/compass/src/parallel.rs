@@ -83,6 +83,22 @@ impl ParallelSim {
         &self.net
     }
 
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Checkpoint the simulation at the current tick boundary.
+    pub fn checkpoint(&self) -> tn_core::NetworkSnapshot {
+        tn_core::NetworkSnapshot::capture(&self.net, self.tick)
+    }
+
+    /// Restore a checkpoint taken from an identically-configured
+    /// simulation; the tick counter resumes from the snapshot's tick.
+    pub fn restore(&mut self, snap: &tn_core::NetworkSnapshot) {
+        snap.restore(&mut self.net);
+        self.tick = snap.tick;
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }

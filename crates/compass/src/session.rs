@@ -1,0 +1,225 @@
+//! The session abstraction over kernel expressions.
+//!
+//! The paper's central claim is that Compass (software) and TrueNorth
+//! (silicon) are two *expressions of one blueprint*: any model runs
+//! unchanged on either. [`KernelSession`] is that claim as an object-safe
+//! Rust trait — the uniform surface a host (the `tn-serve` runtime, a
+//! test harness, a batch driver) needs to drive *any* expression: step it
+//! tick by tick with injected spikes, read its outputs and statistics,
+//! and checkpoint/restore its dynamic state. `ReferenceSim` and
+//! `ParallelSim` implement it here; the chip simulator implements it in
+//! `tn-chip`.
+
+use crate::output::SpikeRecord;
+use crate::parallel::ParallelSim;
+use crate::reference::ReferenceSim;
+use tn_core::{Network, NetworkSnapshot, RunStats, SpikeSource, TickStats};
+
+/// A running instance of one kernel expression, drivable one tick at a
+/// time. All expressions of the blueprint are deterministic, so two
+/// sessions created from the same configuration and fed the same inputs
+/// stay bit-identical tick for tick — the property the serving layer's
+/// equivalence tests assert over the wire.
+pub trait KernelSession: Send {
+    /// Short identifier of the expression ("chip", "reference", ...).
+    fn engine_name(&self) -> &'static str;
+
+    /// Advance one tick, pulling external input from `src`.
+    fn step(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats;
+
+    /// The tick about to run (= ticks completed so far).
+    fn current_tick(&self) -> u64;
+
+    fn network(&self) -> &Network;
+
+    /// Output transcript; a streaming host drains it each tick via
+    /// [`SpikeRecord::take`] to keep memory bounded.
+    fn outputs(&mut self) -> &mut SpikeRecord;
+
+    fn stats(&self) -> &RunStats;
+
+    /// Injected events dropped by the expression itself (out-of-grid
+    /// targets), excluding drops upstream in any injection queue.
+    fn dropped_inputs(&self) -> u64;
+
+    /// Capture dynamic state at the current tick boundary.
+    fn checkpoint(&self) -> NetworkSnapshot;
+
+    /// Restore dynamic state; the tick counter resumes from the
+    /// snapshot's tick. The snapshot must match the network shape.
+    fn restore(&mut self, snap: &NetworkSnapshot);
+
+    /// Cumulative modelled energy in joules at real-time operation, if
+    /// this expression carries an energy model.
+    fn energy_j(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl KernelSession for ReferenceSim {
+    fn engine_name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn step(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats {
+        ReferenceSim::step(self, src)
+    }
+
+    fn current_tick(&self) -> u64 {
+        ReferenceSim::current_tick(self)
+    }
+
+    fn network(&self) -> &Network {
+        ReferenceSim::network(self)
+    }
+
+    fn outputs(&mut self) -> &mut SpikeRecord {
+        ReferenceSim::outputs(self)
+    }
+
+    fn stats(&self) -> &RunStats {
+        ReferenceSim::stats(self)
+    }
+
+    fn dropped_inputs(&self) -> u64 {
+        ReferenceSim::dropped_inputs(self)
+    }
+
+    fn checkpoint(&self) -> NetworkSnapshot {
+        ReferenceSim::checkpoint(self)
+    }
+
+    fn restore(&mut self, snap: &NetworkSnapshot) {
+        ReferenceSim::restore(self, snap)
+    }
+}
+
+impl KernelSession for ParallelSim {
+    fn engine_name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn step(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats {
+        let before = self.stats().totals;
+        ParallelSim::run(self, 1, src);
+        let after = self.stats().totals;
+        TickStats {
+            axon_events: after.axon_events - before.axon_events,
+            sops: after.sops - before.sops,
+            neuron_updates: after.neuron_updates - before.neuron_updates,
+            spikes_out: after.spikes_out - before.spikes_out,
+            prng_draws_end: after.prng_draws_end,
+        }
+    }
+
+    fn current_tick(&self) -> u64 {
+        ParallelSim::current_tick(self)
+    }
+
+    fn network(&self) -> &Network {
+        ParallelSim::network(self)
+    }
+
+    fn outputs(&mut self) -> &mut SpikeRecord {
+        ParallelSim::outputs(self)
+    }
+
+    fn stats(&self) -> &RunStats {
+        ParallelSim::stats(self)
+    }
+
+    fn dropped_inputs(&self) -> u64 {
+        ParallelSim::dropped_inputs(self)
+    }
+
+    fn checkpoint(&self) -> NetworkSnapshot {
+        ParallelSim::checkpoint(self)
+    }
+
+    fn restore(&mut self, snap: &NetworkSnapshot) {
+        ParallelSim::restore(self, snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::{
+        CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, ScheduledSource,
+        SpikeTarget,
+    };
+
+    /// A 2-core ring with output taps (every neuron also echoes to an
+    /// output port via core 1).
+    fn ring() -> Network {
+        let mut b = NetworkBuilder::new(2, 1, 7);
+        let mut a = CoreConfig::new();
+        *a.crossbar = Crossbar::from_fn(|i, j| i == j);
+        let mut c = CoreConfig::new();
+        *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+        for j in 0..256 {
+            a.neurons[j] = NeuronConfig::lif(1, 1);
+            a.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(1), j as u8, 1));
+            c.neurons[j] = NeuronConfig::lif(1, 1);
+            c.neurons[j].dest = Dest::Output(j as u32);
+        }
+        b.add_core(a);
+        b.add_core(c);
+        b.build()
+    }
+
+    fn drive(sim: &mut dyn KernelSession) -> (u64, u64, Vec<crate::output::OutputEvent>) {
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 9);
+        src.push(4, CoreId(0), 100);
+        let mut spikes = 0;
+        for _ in 0..20 {
+            spikes += sim.step(&mut src).spikes_out;
+        }
+        let mut out = sim.outputs().take();
+        out.sort_unstable();
+        (sim.network().state_digest(), spikes, out)
+    }
+
+    #[test]
+    fn expressions_agree_behind_the_trait() {
+        let mut a = ReferenceSim::new(ring());
+        let mut b = ParallelSim::new(ring(), 2);
+        let (da, sa, oa) = drive(&mut a);
+        let (db, sb, ob) = drive(&mut b);
+        assert_eq!(da, db);
+        assert_eq!(sa, sb);
+        assert_eq!(oa, ob);
+        assert!(sa > 0, "the ring fired");
+        assert!(!oa.is_empty(), "outputs were recorded");
+        assert_eq!(a.engine_name(), "reference");
+        assert_eq!(b.engine_name(), "parallel");
+        assert_eq!(a.current_tick(), 20);
+        assert_eq!(b.current_tick(), 20);
+    }
+
+    #[test]
+    fn checkpoint_restore_through_the_trait() {
+        let mut src = ScheduledSource::new();
+        src.push(0, CoreId(0), 3);
+        let mut sim: Box<dyn KernelSession> = Box::new(ReferenceSim::new(ring()));
+        for _ in 0..10 {
+            sim.step(&mut src);
+        }
+        let snap = sim.checkpoint();
+        let bytes = snap.to_bytes();
+
+        let mut resumed: Box<dyn KernelSession> = Box::new(ParallelSim::new(ring(), 2));
+        resumed.restore(&NetworkSnapshot::from_bytes(&bytes).unwrap());
+        assert_eq!(resumed.current_tick(), 10);
+        for _ in 0..10 {
+            sim.step(&mut src);
+            resumed.step(&mut src);
+        }
+        assert_eq!(
+            sim.network().state_digest(),
+            resumed.network().state_digest(),
+            "a parallel session resumed from a reference checkpoint stays bit-exact"
+        );
+    }
+}

@@ -46,6 +46,7 @@ pub mod prng;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use address::{CoreCoord, CoreId, Dest, NeuronId, OutSpike, SpikeTarget};
 pub use crossbar::Crossbar;
@@ -56,8 +57,9 @@ pub use neuron::{NeuronConfig, ResetMode};
 pub use nscore::{CoreConfig, NeurosynapticCore};
 pub use prng::CorePrng;
 pub use rng::SplitMix64;
-pub use snapshot::NetworkSnapshot;
+pub use snapshot::{NetworkSnapshot, SnapshotDecodeError};
 pub use stats::{RunStats, TickStats};
+pub use wire::WireError;
 
 /// Number of input axons per neurosynaptic core (paper Section III-A).
 pub const AXONS_PER_CORE: usize = 256;

@@ -10,6 +10,7 @@
 
 use crate::crossbar::ROW_WORDS;
 use crate::network::Network;
+use crate::wire::{self, ByteReader, WireError};
 use crate::{DELAY_SLOTS, NEURONS_PER_CORE};
 
 /// Dynamic state of one core.
@@ -54,7 +55,151 @@ impl NetworkSnapshot {
     pub fn size_bytes(&self) -> usize {
         self.cores.len() * (NEURONS_PER_CORE * 4 + 12 + DELAY_SLOTS * ROW_WORDS * 8 + 1)
     }
+
+    /// Serialize to the versioned binary checkpoint format (see
+    /// [`crate::wire`]). The encoding is self-describing enough to be
+    /// validated on decode: magic, version, and the per-core shape
+    /// constants are all carried in the header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(SNAPSHOT_HEADER_BYTES + self.size_bytes());
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        wire::put_u16(&mut buf, SNAPSHOT_VERSION);
+        wire::put_u8(&mut buf, NEURONS_PER_CORE.trailing_zeros() as u8);
+        wire::put_u8(&mut buf, DELAY_SLOTS as u8);
+        wire::put_u8(&mut buf, ROW_WORDS as u8);
+        wire::put_u64(&mut buf, self.tick);
+        wire::put_u32(&mut buf, self.cores.len() as u32);
+        for core in &self.cores {
+            wire::put_u8(&mut buf, core.disabled as u8);
+            wire::put_u32(&mut buf, core.prng_state);
+            wire::put_u64(&mut buf, core.prng_draws);
+            wire::put_u16(&mut buf, core.potentials.len() as u16);
+            for &v in &core.potentials {
+                wire::put_i32(&mut buf, v);
+            }
+            wire::put_u8(&mut buf, core.delay_slots.len() as u8);
+            for slot in &core.delay_slots {
+                for &w in slot.iter() {
+                    wire::put_u64(&mut buf, w);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode bytes produced by [`Self::to_bytes`]. Every malformed input
+    /// — wrong magic, truncated records, mismatched shape constants,
+    /// lying core counts — yields a [`SnapshotDecodeError`]; no input can
+    /// panic this path.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        use SnapshotDecodeError as E;
+        let mut r = ByteReader::new(bytes);
+        if r.take(4, "snapshot magic")? != SNAPSHOT_MAGIC {
+            return Err(E::BadMagic);
+        }
+        let version = r.u16("snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(E::BadVersion(version));
+        }
+        let neurons_log2 = r.u8("neurons per core")?;
+        let slots = r.u8("delay slots")? as usize;
+        let words = r.u8("row words")? as usize;
+        if 1usize << neurons_log2 != NEURONS_PER_CORE || slots != DELAY_SLOTS || words != ROW_WORDS
+        {
+            return Err(E::Shape(format!(
+                "core shape 2^{neurons_log2} neurons / {slots} slots / {words} words \
+                 does not match this build ({NEURONS_PER_CORE}/{DELAY_SLOTS}/{ROW_WORDS})"
+            )));
+        }
+        let tick = r.u64("snapshot tick")?;
+        let num_cores = r.u32("core count")? as usize;
+        // A core record is at least this many bytes; reject a lying count
+        // before allocating for it.
+        let min_core_bytes = 1 + 4 + 8 + 2 + NEURONS_PER_CORE * 4 + 1 + DELAY_SLOTS * ROW_WORDS * 8;
+        if r.remaining() < num_cores * min_core_bytes {
+            return Err(E::Shape(format!(
+                "core count {num_cores} exceeds the bytes present"
+            )));
+        }
+        let mut cores = Vec::with_capacity(num_cores);
+        for c in 0..num_cores {
+            let disabled = match r.u8("disabled flag")? {
+                0 => false,
+                1 => true,
+                v => return Err(E::Shape(format!("core {c}: bad disabled flag {v}"))),
+            };
+            let prng_state = r.u32("prng state")?;
+            let prng_draws = r.u64("prng draws")?;
+            let n_pot = r.u16("potential count")? as usize;
+            if n_pot != NEURONS_PER_CORE {
+                return Err(E::Shape(format!("core {c}: {n_pot} potentials")));
+            }
+            let mut potentials = Vec::with_capacity(n_pot);
+            for _ in 0..n_pot {
+                potentials.push(r.i32("potential")?);
+            }
+            let n_slots = r.u8("slot count")? as usize;
+            if n_slots != DELAY_SLOTS {
+                return Err(E::Shape(format!("core {c}: {n_slots} delay slots")));
+            }
+            let mut delay_slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                let mut slot = [0u64; ROW_WORDS];
+                for w in slot.iter_mut() {
+                    *w = r.u64("delay word")?;
+                }
+                delay_slots.push(slot);
+            }
+            cores.push(CoreSnapshot {
+                potentials,
+                prng_state,
+                prng_draws,
+                delay_slots,
+                disabled,
+            });
+        }
+        r.finish("trailing bytes after snapshot")?;
+        Ok(NetworkSnapshot { tick, cores })
+    }
 }
+
+/// Magic bytes opening a binary snapshot ("TNS1").
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TNS1";
+/// Binary snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+const SNAPSHOT_HEADER_BYTES: usize = 4 + 2 + 3 + 8 + 4;
+
+/// Why a binary snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// A count or flag disagrees with this build's core shape.
+    Shape(String),
+    /// Truncated or malformed bytes.
+    Wire(WireError),
+}
+
+impl From<WireError> for SnapshotDecodeError {
+    fn from(e: WireError) -> Self {
+        SnapshotDecodeError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDecodeError::BadMagic => write!(f, "not a TNS1 snapshot (bad magic)"),
+            SnapshotDecodeError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotDecodeError::Shape(s) => write!(f, "snapshot shape mismatch: {s}"),
+            SnapshotDecodeError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
 
 #[cfg(test)]
 mod tests {
@@ -152,6 +297,55 @@ mod tests {
         let snap = NetworkSnapshot::capture(&net, 0);
         let mut small = NetworkBuilder::new(1, 1, 1).build();
         snap.restore(&mut small);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let mut net = active_net(13);
+        run_ticks(&mut net, 0, 23);
+        let snap = NetworkSnapshot::capture(&net, 23);
+        let bytes = snap.to_bytes();
+        let back = NetworkSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+        // And the decoded snapshot still resumes bit-exactly.
+        let mut resumed = active_net(13);
+        back.restore(&mut resumed);
+        assert_eq!(net.state_digest(), resumed.state_digest());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_cleanly() {
+        assert_eq!(
+            NetworkSnapshot::from_bytes(b"not a snapshot at all"),
+            Err(SnapshotDecodeError::BadMagic)
+        );
+        let net = active_net(2);
+        let good = NetworkSnapshot::capture(&net, 1).to_bytes();
+        // Truncations at every prefix length decode to an error, never a panic.
+        for cut in [0, 3, 6, 10, 20, good.len() / 2, good.len() - 1] {
+            assert!(NetworkSnapshot::from_bytes(&good[..cut]).is_err(), "{cut}");
+        }
+        // Version bump is refused.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            NetworkSnapshot::from_bytes(&bad),
+            Err(SnapshotDecodeError::BadVersion(99))
+        );
+        // A lying core count is caught before allocation.
+        let mut lying = good.clone();
+        lying[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            NetworkSnapshot::from_bytes(&lying),
+            Err(SnapshotDecodeError::Shape(_))
+        ));
+        // Trailing junk is refused.
+        let mut long = good;
+        long.push(0);
+        assert!(matches!(
+            NetworkSnapshot::from_bytes(&long),
+            Err(SnapshotDecodeError::Wire(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Byte-level encoding primitives shared by snapshot serialization and
+//! network protocols.
+//!
+//! The physical TrueNorth system moved spikes and configuration over
+//! defined binary interfaces (the merge–split peripheral links, the
+//! host's programming path). This module is the repo's equivalent
+//! interchange layer: a tiny, dependency-free little-endian writer/reader
+//! pair plus the canonical encodings of spike events, used by
+//! [`crate::snapshot`] for on-disk checkpoints and by the `tn-serve` wire
+//! protocol. Every decode is bounds-checked and returns a [`WireError`]
+//! with the failing offset — no input bytes can panic this path.
+
+use crate::address::CoreId;
+
+/// Decode failure: what was expected and where in the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset at which the read failed.
+    pub offset: usize,
+    /// What the reader was trying to decode.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error at byte {}: {}",
+            self.offset, self.what
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `u32` length prefix followed by the raw bytes.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// `u16` length prefix followed by UTF-8 bytes (short strings: names,
+/// error messages). Longer inputs are truncated at a character boundary.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    let mut end = v.len().min(u16::MAX as usize);
+    while !v.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(buf, end as u16);
+    buf.extend_from_slice(&v.as_bytes()[..end]);
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn err(&self, what: &'static str) -> WireError {
+        WireError {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.err(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// `u32`-length-prefixed byte run (see [`put_bytes`]).
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let n = self.u32(what)? as usize;
+        self.take(n, what)
+    }
+
+    /// `u16`-length-prefixed UTF-8 string (see [`put_str`]).
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, WireError> {
+        let n = self.u16(what)? as usize;
+        let start = self.pos;
+        let raw = self.take(n, what)?;
+        std::str::from_utf8(raw).map_err(|_| WireError {
+            offset: start,
+            what: "invalid UTF-8 in string",
+        })
+    }
+
+    /// Error unless the whole buffer was consumed.
+    pub fn finish(&self, what: &'static str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(self.err(what));
+        }
+        Ok(())
+    }
+}
+
+/// One externally injected spike event: activate `axon` on `core` from
+/// tick `tick` (the canonical `ScheduledSource` triple). The axon is
+/// carried as `u16` so out-of-range values survive the wire and can be
+/// rejected by the bounds-checked injection path instead of silently
+/// wrapping.
+pub type InputEvent = (u64, CoreId, u16);
+
+/// Encode a batch of input events with a `u32` count prefix.
+pub fn put_input_events(buf: &mut Vec<u8>, events: &[InputEvent]) {
+    put_u32(buf, events.len() as u32);
+    for &(tick, core, axon) in events {
+        put_u64(buf, tick);
+        put_u32(buf, core.0);
+        put_u16(buf, axon);
+    }
+}
+
+/// Decode a batch written by [`put_input_events`]. The declared count is
+/// validated against the bytes actually present before allocating.
+pub fn read_input_events(r: &mut ByteReader<'_>) -> Result<Vec<InputEvent>, WireError> {
+    const EVENT_BYTES: usize = 8 + 4 + 2;
+    let n = r.u32("input event count")? as usize;
+    if r.remaining() < n * EVENT_BYTES {
+        return Err(WireError {
+            offset: r.pos(),
+            what: "input event count exceeds payload",
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tick = r.u64("input event tick")?;
+        let core = CoreId(r.u32("input event core")?);
+        let axon = r.u16("input event axon")?;
+        out.push((tick, core, axon));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u16(&mut buf, 0xCAFE);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_i32(&mut buf, -123456);
+        put_f64(&mut buf, -0.125);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 0xAB);
+        assert_eq!(r.u16("b").unwrap(), 0xCAFE);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 7);
+        assert_eq!(r.i32("e").unwrap(), -123456);
+        assert_eq!(r.f64("f").unwrap(), -0.125);
+        r.finish("trailing").unwrap();
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "vision-0");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.str("name").unwrap(), "vision-0");
+        assert_eq!(r.bytes("blob").unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_reads_fail_with_offset() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut r = ByteReader::new(&buf);
+        r.u16("head").unwrap();
+        let e = r.u32("tail").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(e.to_string().contains("tail"), "{e}");
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = ByteReader::new(&buf);
+        let e = r.str("name").unwrap_err();
+        assert!(e.to_string().contains("UTF-8"), "{e}");
+    }
+
+    #[test]
+    fn overlong_string_is_truncated_at_char_boundary() {
+        let long = "é".repeat(40_000); // 80,000 bytes of 2-byte chars
+        let mut buf = Vec::new();
+        put_str(&mut buf, &long);
+        let mut r = ByteReader::new(&buf);
+        let s = r.str("long").unwrap();
+        assert!(s.len() <= u16::MAX as usize);
+        assert!(s.chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn input_event_batch_roundtrip() {
+        let events: Vec<InputEvent> = (0..17).map(|i| (i * 3, CoreId(i as u32), 255)).collect();
+        let mut buf = Vec::new();
+        put_input_events(&mut buf, &events);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(read_input_events(&mut r).unwrap(), events);
+        r.finish("trailing").unwrap();
+    }
+
+    #[test]
+    fn lying_event_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims 4 billion events, has none
+        let mut r = ByteReader::new(&buf);
+        let e = read_input_events(&mut r).unwrap_err();
+        assert!(e.to_string().contains("exceeds payload"), "{e}");
+    }
+}

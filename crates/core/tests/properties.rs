@@ -214,3 +214,56 @@ fn modelfile_roundtrip() {
         );
     }
 }
+
+/// Binary snapshot encode/decode round-trips exactly for arbitrary
+/// dynamic states (the checkpoint + wire-protocol codec).
+#[test]
+fn snapshot_byte_roundtrip_arbitrary_states() {
+    use tn_core::crossbar::ROW_WORDS;
+    use tn_core::snapshot::{CoreSnapshot, NetworkSnapshot};
+    use tn_core::{DELAY_SLOTS, NEURONS_PER_CORE, POTENTIAL_MAX, POTENTIAL_MIN};
+
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x5AFE + case);
+        let num_cores = 1 + rng.below_usize(12);
+        let cores: Vec<CoreSnapshot> = (0..num_cores)
+            .map(|_| CoreSnapshot {
+                potentials: (0..NEURONS_PER_CORE)
+                    .map(|_| {
+                        rng.range_inclusive_i64(POTENTIAL_MIN as i64, POTENTIAL_MAX as i64) as i32
+                    })
+                    .collect(),
+                prng_state: rng.next_u32(),
+                prng_draws: rng.next_u64(),
+                delay_slots: (0..DELAY_SLOTS)
+                    .map(|_| {
+                        let mut slot = [0u64; ROW_WORDS];
+                        for w in slot.iter_mut() {
+                            // Sparse occupancy, like a real delay buffer.
+                            *w = rng.next_u64() & rng.next_u64() & rng.next_u64();
+                        }
+                        slot
+                    })
+                    .collect(),
+                disabled: rng.bool_with(0.1),
+            })
+            .collect();
+        let snap = NetworkSnapshot {
+            tick: rng.next_u64(),
+            cores,
+        };
+        let bytes = snap.to_bytes();
+        let back = NetworkSnapshot::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(snap, back, "case {case}");
+        // Single-bit corruption in the header never round-trips silently.
+        let mut corrupt = bytes.clone();
+        let bit = rng.below_usize(8 * 9);
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        assert_ne!(
+            NetworkSnapshot::from_bytes(&corrupt).ok().as_ref(),
+            Some(&snap),
+            "case {case}: header bit {bit} flipped undetected"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Demo client for tn-serve: create a session, stream spikes in,
+//! subscribe to output spikes, and read statistics.
+//!
+//! Run standalone (spawns an in-process server on a loopback port):
+//!
+//! ```text
+//! cargo run --release -p tn-serve --example tn_client
+//! ```
+//!
+//! Or point it at a running `tn-serve` instance:
+//!
+//! ```text
+//! cargo run --release -p tn-serve --example tn_client -- 127.0.0.1:4160
+//! ```
+
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, NetworkBuilder, NeuronConfig, NEURONS_PER_CORE,
+};
+use tn_serve::{Client, Engine, ModelSource, Pace, Response, Server, ServerConfig};
+
+/// A 1×1 board whose neurons echo their identity axon to output ports.
+fn echo_model() -> String {
+    let mut b = NetworkBuilder::new(1, 1, 2014);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    modelfile::save(&b.build())
+}
+
+fn main() {
+    // Connect to the given address, or host a throwaway server in-process.
+    let mut embedded = None;
+    let addr = match std::env::args().nth(1) {
+        Some(addr) => addr,
+        None => {
+            let server = Server::spawn(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_speed: true,
+                ..Default::default()
+            })
+            .expect("bind loopback server");
+            let addr = server.addr().to_string();
+            println!("hosting an in-process server on {addr}");
+            embedded = Some(server);
+            addr
+        }
+    };
+
+    let mut client = Client::connect(&addr).expect("connect");
+    println!("ping → {:?}", client.ping().expect("ping"));
+
+    let created = client
+        .create_session(
+            "demo",
+            Engine::Chip,
+            Pace::MaxSpeed,
+            ModelSource::Model(echo_model()),
+        )
+        .expect("create session");
+    println!("create → {created:?}");
+
+    // A pulse train: two axons per tick for 50 ticks.
+    let events: Vec<(u64, CoreId, u16)> = (0..50u64)
+        .flat_map(|t| [(t, CoreId(0), (t % 256) as u16), (t, CoreId(0), 200)])
+        .collect();
+    println!(
+        "inject → {:?}",
+        client.inject("demo", &events).expect("inject")
+    );
+
+    client.subscribe("demo").expect("subscribe");
+    client.run_for("demo", 50).expect("run");
+
+    let mut spikes = 0u64;
+    let mut updates = 0u64;
+    while let Some(u) = client.poll_update() {
+        updates += 1;
+        spikes += u.ports.len() as u64;
+        if u.tick < 3 {
+            println!("tick {:>2}: output ports {:?}", u.tick, u.ports);
+        }
+    }
+    println!("... {updates} tick updates, {spikes} output spikes total");
+
+    match client.stats("demo").expect("stats") {
+        Response::StatsData(s) => println!(
+            "stats: tick={} spikes_out={} sops={} dropped_inputs={} digest={:#018x} \
+             energy={:.3e} J ({})",
+            s.tick, s.spikes_out, s.sops, s.dropped_inputs, s.state_digest, s.energy_j, s.engine
+        ),
+        other => println!("stats → {other:?}"),
+    }
+
+    client.close_session("demo").expect("close");
+    if let Some(server) = embedded {
+        server.shutdown();
+    }
+    println!("done");
+}

@@ -1,0 +1,250 @@
+//! A blocking client for the tn-serve protocol.
+//!
+//! [`Client`] speaks one connection. Requests and replies are strictly
+//! paired; [`Response::TickUpdate`] frames from subscribed sessions may
+//! arrive between a request and its reply, so the client buffers them —
+//! [`Client::request`] returns the first *non-update* frame, and buffered
+//! updates are consumed with [`Client::poll_update`] /
+//! [`Client::wait_update`].
+
+use crate::protocol::{
+    parse_header, ProtocolError, Request, Response, TickUpdate, FRAME_HEADER_BYTES,
+};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use tn_core::wire::InputEvent;
+
+/// Client-side failures: transport errors or malformed server frames.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a tn-serve server.
+pub struct Client {
+    stream: TcpStream,
+    /// Tick updates that arrived while waiting for a reply.
+    updates: VecDeque<TickUpdate>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            updates: VecDeque::new(),
+        })
+    }
+
+    /// Send a request and return its reply (never a tick update; updates
+    /// received in the meantime are buffered).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&req.encode())?;
+        loop {
+            match self.read_response()? {
+                Response::TickUpdate(u) => self.updates.push_back(u),
+                resp => return Ok(resp),
+            }
+        }
+    }
+
+    /// The next buffered tick update, if any (no I/O).
+    pub fn poll_update(&mut self) -> Option<TickUpdate> {
+        self.updates.pop_front()
+    }
+
+    /// Block until the next tick update arrives or `timeout` elapses.
+    pub fn wait_update(&mut self, timeout: Duration) -> Result<Option<TickUpdate>, ClientError> {
+        if let Some(u) = self.updates.pop_front() {
+            return Ok(Some(u));
+        }
+        let deadline = Instant::now() + timeout;
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(20)))?;
+        let result = loop {
+            match self.try_read_response() {
+                Ok(Some(Response::TickUpdate(u))) => break Ok(Some(u)),
+                Ok(Some(_)) => {
+                    break Err(ClientError::Protocol(ProtocolError::new(
+                        "unexpected non-update frame while waiting for updates",
+                    )))
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        break Ok(None);
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_read_timeout(None)?;
+        result
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        self.stream.read_exact(&mut hdr)?;
+        let (opcode, len) = parse_header(&hdr)?;
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        Ok(Response::decode(opcode, &payload)?)
+    }
+
+    /// Like [`Self::read_response`] but `Ok(None)` on a read timeout
+    /// before any byte arrived. A timeout mid-frame is an error.
+    fn try_read_response(&mut self) -> Result<Option<Response>, ClientError> {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        let mut at = 0;
+        while at < hdr.len() {
+            match self.stream.read(&mut hdr[at..]) {
+                Ok(0) => return Err(ClientError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+                Ok(n) => at += n,
+                Err(e)
+                    if at == 0
+                        && (e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut) =>
+                {
+                    return Ok(None)
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        let (opcode, len) = parse_header(&hdr)?;
+        let mut payload = vec![0u8; len as usize];
+        let mut at = 0;
+        while at < payload.len() {
+            match self.stream.read(&mut payload[at..]) {
+                Ok(0) => return Err(ClientError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+                Ok(n) => at += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        Ok(Some(Response::decode(opcode, &payload)?))
+    }
+
+    // Convenience wrappers — thin sugar over `request`.
+
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Ping)
+    }
+
+    pub fn create_session(
+        &mut self,
+        name: &str,
+        engine: crate::protocol::Engine,
+        pace: crate::protocol::Pace,
+        source: crate::protocol::ModelSource,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::CreateSession {
+            name: name.to_string(),
+            engine,
+            pace,
+            source,
+        })
+    }
+
+    pub fn inject(
+        &mut self,
+        session: &str,
+        events: &[InputEvent],
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::InjectSpikes {
+            session: session.to_string(),
+            events: events.to_vec(),
+        })
+    }
+
+    pub fn subscribe(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Subscribe {
+            session: session.to_string(),
+        })
+    }
+
+    pub fn run_for(&mut self, session: &str, ticks: u64) -> Result<Response, ClientError> {
+        self.request(&Request::RunFor {
+            session: session.to_string(),
+            ticks,
+        })
+    }
+
+    pub fn step(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.run_for(session, 1)
+    }
+
+    pub fn snapshot(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Snapshot {
+            session: session.to_string(),
+        })
+    }
+
+    pub fn restore(&mut self, session: &str, bytes: Vec<u8>) -> Result<Response, ClientError> {
+        self.request(&Request::Restore {
+            session: session.to_string(),
+            bytes,
+        })
+    }
+
+    pub fn stats(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Stats {
+            session: session.to_string(),
+        })
+    }
+
+    pub fn close_session(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::CloseSession {
+            session: session.to_string(),
+        })
+    }
+
+    /// Write raw bytes on the wire — test hook for malformed-frame
+    /// integration tests.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Read the next frame whatever it is — test hook paired with
+    /// [`Self::send_raw`].
+    pub fn read_any(&mut self) -> Result<Response, ClientError> {
+        self.read_response()
+    }
+}

@@ -1,0 +1,117 @@
+//! `tn-serve` — run the spike-streaming session server.
+//!
+//! Exit codes: 0 clean shutdown, 2 usage or bind error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tn_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: tn-serve [options]
+
+Hosts live neurosynaptic simulator sessions over TCP: clients create
+sessions from model files (or blank boards), stream spikes in, and
+subscribe to output spikes and per-tick statistics. Real-time sessions
+honor the paper's 1 ms tick.
+
+options:
+  --listen <addr>        listen address (default 127.0.0.1:4160)
+  --max-speed            free-run every session at host speed instead of
+                         pacing real-time sessions to the tick period
+  --tick-us <N>          real-time tick period in microseconds
+                         (default 1000 = the paper's 1 ms tick)
+  --idle-timeout-s <N>   evict sessions idle this many seconds
+                         (default 120)
+  --input-capacity <N>   per-session bound on queued injected events
+                         (default 65536)
+  --max-sessions <N>     cap on concurrently live sessions (default 32)
+  --parallel-threads <N> worker threads for parallel-engine sessions
+                         (default 2)
+  -h, --help             print this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                cfg.addr = it.next().ok_or("--listen needs an address")?.clone();
+            }
+            "--max-speed" => cfg.max_speed = true,
+            "--tick-us" => {
+                let v = it.next().ok_or("--tick-us needs a value")?;
+                let us: u64 = v.parse().map_err(|_| format!("bad --tick-us value: {v}"))?;
+                cfg.tick_period = Duration::from_micros(us.max(1));
+            }
+            "--idle-timeout-s" => {
+                let v = it.next().ok_or("--idle-timeout-s needs a value")?;
+                let s: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --idle-timeout-s value: {v}"))?;
+                cfg.idle_timeout = Duration::from_secs(s.max(1));
+            }
+            "--input-capacity" => {
+                let v = it.next().ok_or("--input-capacity needs a value")?;
+                cfg.input_capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --input-capacity value: {v}"))?;
+            }
+            "--max-sessions" => {
+                let v = it.next().ok_or("--max-sessions needs a value")?;
+                cfg.max_sessions = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-sessions value: {v}"))?;
+            }
+            "--parallel-threads" => {
+                let v = it.next().ok_or("--parallel-threads needs a value")?;
+                cfg.parallel_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --parallel-threads value: {v}"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tn-serve: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let server = match Server::bind(cfg.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tn-serve: cannot bind {}: {e}", cfg.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(cfg.addr.clone());
+    eprintln!(
+        "tn-serve: listening on {addr} (tick {:?}{}, idle timeout {:?}, \
+         input capacity {}, max sessions {})",
+        cfg.tick_period,
+        if cfg.max_speed { ", max speed" } else { "" },
+        cfg.idle_timeout,
+        cfg.input_capacity,
+        cfg.max_sessions,
+    );
+    server.run();
+    ExitCode::SUCCESS
+}

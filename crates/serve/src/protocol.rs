@@ -1,0 +1,779 @@
+//! The tn-serve wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request, reply, or streamed update — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N (u32 LE), ≤ MAX_FRAME_BYTES
+//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 5       1     opcode
+//! 6       N     payload (opcode-specific, see `tn_core::wire`)
+//! ```
+//!
+//! Requests and replies are strictly paired per connection (the server
+//! answers in order), but subscribed sessions interleave
+//! [`Response::TickUpdate`] frames into the stream at any point; clients
+//! dispatch on the opcode. Malformed input of any kind decodes to a
+//! [`ProtocolError`] and is answered with an [`ErrorCode::Protocol`]
+//! reply — the connection survives every malformation whose frame
+//! boundary is still known.
+
+use tn_core::wire::{self, ByteReader, InputEvent, WireError};
+
+/// Protocol version carried in every frame header.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Frame header size: length + version + opcode.
+pub const FRAME_HEADER_BYTES: usize = 6;
+/// Hard cap on payload size (model files and whole-board snapshots are
+/// megabytes; anything beyond this is a corrupt or hostile length).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+// Request opcodes.
+pub const OP_PING: u8 = 0x01;
+pub const OP_CREATE_SESSION: u8 = 0x02;
+pub const OP_INJECT_SPIKES: u8 = 0x03;
+pub const OP_SUBSCRIBE: u8 = 0x04;
+pub const OP_STEP: u8 = 0x05;
+pub const OP_RUN_FOR: u8 = 0x06;
+pub const OP_SNAPSHOT: u8 = 0x07;
+pub const OP_RESTORE: u8 = 0x08;
+pub const OP_STATS: u8 = 0x09;
+pub const OP_CLOSE_SESSION: u8 = 0x0A;
+
+// Response opcodes.
+pub const OP_PONG: u8 = 0x80;
+pub const OP_OK: u8 = 0x81;
+pub const OP_ERROR: u8 = 0x82;
+pub const OP_CREATED: u8 = 0x83;
+pub const OP_INJECT_ACK: u8 = 0x84;
+pub const OP_OVERLOADED: u8 = 0x85;
+pub const OP_SNAPSHOT_DATA: u8 = 0x86;
+pub const OP_STATS_DATA: u8 = 0x87;
+pub const OP_TICK_UPDATE: u8 = 0x88;
+
+/// A malformed frame or payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    pub message: String,
+}
+
+impl ProtocolError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::new(e.to_string())
+    }
+}
+
+/// Which kernel expression hosts a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// `tn_chip::TrueNorthSim` — NoC routing + energy/timing models.
+    Chip,
+    /// `tn_compass::ReferenceSim` — single-threaded ground truth.
+    Reference,
+    /// `tn_compass::ParallelSim` — multithreaded Compass.
+    Parallel,
+}
+
+impl Engine {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Engine::Chip => 0,
+            Engine::Reference => 1,
+            Engine::Parallel => 2,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        match v {
+            0 => Ok(Engine::Chip),
+            1 => Ok(Engine::Reference),
+            2 => Ok(Engine::Parallel),
+            v => Err(ProtocolError::new(format!("unknown engine {v}"))),
+        }
+    }
+}
+
+/// Session pacing: honor the paper's 1 ms tick, or free-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pace {
+    /// One tick per configured period (1 ms by default), wall-clock
+    /// paced — the chip's real-time operating regime.
+    RealTime,
+    /// As fast as the host simulates — the "max speed" regime.
+    MaxSpeed,
+}
+
+impl Pace {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Pace::RealTime => 0,
+            Pace::MaxSpeed => 1,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        match v {
+            0 => Ok(Pace::RealTime),
+            1 => Ok(Pace::MaxSpeed),
+            v => Err(ProtocolError::new(format!("unknown pace mode {v}"))),
+        }
+    }
+}
+
+/// Where a session's network comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelSource {
+    /// An unconfigured `width × height` grid (all cores silent).
+    Blank { width: u16, height: u16, seed: u64 },
+    /// Model-file text, lint-verified on load.
+    Model(String),
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Ping,
+    CreateSession {
+        name: String,
+        engine: Engine,
+        pace: Pace,
+        source: ModelSource,
+    },
+    InjectSpikes {
+        session: String,
+        events: Vec<InputEvent>,
+    },
+    Subscribe {
+        session: String,
+    },
+    /// Advance exactly `ticks` ticks at the session's pace; the `Ok`
+    /// reply arrives when they have run.
+    RunFor {
+        session: String,
+        ticks: u64,
+    },
+    Snapshot {
+        session: String,
+    },
+    Restore {
+        session: String,
+        bytes: Vec<u8>,
+    },
+    Stats {
+        session: String,
+    },
+    CloseSession {
+        session: String,
+    },
+}
+
+/// Machine-readable failure classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame or payload.
+    Protocol = 1,
+    /// No live session by that name (never created, closed, or evicted).
+    UnknownSession = 2,
+    /// A live session by that name already exists.
+    SessionExists = 3,
+    /// The model file failed to parse or failed static verification.
+    ModelRejected = 4,
+    /// An injected event named an axon or core outside the grid.
+    InvalidInjection = 5,
+    /// Snapshot bytes failed to decode or mismatch the session's shape.
+    SnapshotRejected = 6,
+    /// The server's session budget is exhausted.
+    TooManySessions = 7,
+    /// The server is shutting down.
+    Shutdown = 8,
+}
+
+impl ErrorCode {
+    pub fn from_u16(v: u16) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::UnknownSession,
+            3 => ErrorCode::SessionExists,
+            4 => ErrorCode::ModelRejected,
+            5 => ErrorCode::InvalidInjection,
+            6 => ErrorCode::SnapshotRejected,
+            7 => ErrorCode::TooManySessions,
+            8 => ErrorCode::Shutdown,
+            v => return Err(ProtocolError::new(format!("unknown error code {v}"))),
+        })
+    }
+}
+
+/// Per-session counters returned by [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionStats {
+    pub tick: u64,
+    pub spikes_out: u64,
+    pub sops: u64,
+    pub neuron_updates: u64,
+    /// Total injected events shed anywhere on the path (queue overflow,
+    /// stale timestamps, out-of-grid targets).
+    pub dropped_inputs: u64,
+    /// Events queued awaiting their tick.
+    pub pending_inputs: u64,
+    /// Real-time deadlines missed by the tick scheduler.
+    pub missed_deadlines: u64,
+    /// `Network::state_digest` — lets a client assert bit-exact
+    /// equivalence against a local run.
+    pub state_digest: u64,
+    /// Modelled real-time energy so far (J); 0 for non-chip engines.
+    pub energy_j: f64,
+    pub engine: String,
+}
+
+/// One tick of a subscribed session.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TickUpdate {
+    pub session: String,
+    /// The tick that just ran.
+    pub tick: u64,
+    pub spikes_out: u64,
+    pub sops: u64,
+    /// Modelled real-time energy for this tick (J); 0 for non-chip.
+    pub energy_j: f64,
+    /// Output ports that fired this tick.
+    pub ports: Vec<u32>,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Pong,
+    Ok,
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+    Created {
+        session: String,
+    },
+    /// All offered events were queued.
+    InjectAck {
+        accepted: u32,
+    },
+    /// Backpressure: some events were shed instead of stalling the tick
+    /// loop. The session keeps ticking.
+    Overloaded {
+        accepted: u32,
+        dropped: u32,
+        total_dropped: u64,
+    },
+    SnapshotData {
+        bytes: Vec<u8>,
+    },
+    StatsData(SessionStats),
+    /// Streamed to subscribers; not a reply to any request.
+    TickUpdate(TickUpdate),
+}
+
+/// Assemble a full frame around a payload.
+pub fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    wire::put_u32(&mut buf, payload.len() as u32);
+    wire::put_u8(&mut buf, PROTOCOL_VERSION);
+    wire::put_u8(&mut buf, opcode);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Parse a frame header: returns `(opcode, payload_len)`.
+pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<(u8, u32), ProtocolError> {
+    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::new(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    if hdr[4] != PROTOCOL_VERSION {
+        return Err(ProtocolError::new(format!(
+            "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
+            hdr[4]
+        )));
+    }
+    Ok((hdr[5], len))
+}
+
+impl Request {
+    /// Encode as a full frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            Request::Ping => OP_PING,
+            Request::CreateSession {
+                name,
+                engine,
+                pace,
+                source,
+            } => {
+                wire::put_str(&mut p, name);
+                wire::put_u8(&mut p, engine.as_u8());
+                wire::put_u8(&mut p, pace.as_u8());
+                match source {
+                    ModelSource::Blank {
+                        width,
+                        height,
+                        seed,
+                    } => {
+                        wire::put_u8(&mut p, 0);
+                        wire::put_u16(&mut p, *width);
+                        wire::put_u16(&mut p, *height);
+                        wire::put_u64(&mut p, *seed);
+                    }
+                    ModelSource::Model(text) => {
+                        wire::put_u8(&mut p, 1);
+                        wire::put_bytes(&mut p, text.as_bytes());
+                    }
+                }
+                OP_CREATE_SESSION
+            }
+            Request::InjectSpikes { session, events } => {
+                wire::put_str(&mut p, session);
+                wire::put_input_events(&mut p, events);
+                OP_INJECT_SPIKES
+            }
+            Request::Subscribe { session } => {
+                wire::put_str(&mut p, session);
+                OP_SUBSCRIBE
+            }
+            Request::RunFor { session, ticks } => {
+                wire::put_str(&mut p, session);
+                if *ticks == 1 {
+                    OP_STEP
+                } else {
+                    wire::put_u64(&mut p, *ticks);
+                    OP_RUN_FOR
+                }
+            }
+            Request::Snapshot { session } => {
+                wire::put_str(&mut p, session);
+                OP_SNAPSHOT
+            }
+            Request::Restore { session, bytes } => {
+                wire::put_str(&mut p, session);
+                wire::put_bytes(&mut p, bytes);
+                OP_RESTORE
+            }
+            Request::Stats { session } => {
+                wire::put_str(&mut p, session);
+                OP_STATS
+            }
+            Request::CloseSession { session } => {
+                wire::put_str(&mut p, session);
+                OP_CLOSE_SESSION
+            }
+        };
+        frame(opcode, &p)
+    }
+
+    /// Decode a request payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = ByteReader::new(payload);
+        let req = match opcode {
+            OP_PING => Request::Ping,
+            OP_CREATE_SESSION => {
+                let name = r.str("session name")?.to_string();
+                if name.is_empty() {
+                    return Err(ProtocolError::new("empty session name"));
+                }
+                let engine = Engine::from_u8(r.u8("engine")?)?;
+                let pace = Pace::from_u8(r.u8("pace")?)?;
+                let source = match r.u8("model source tag")? {
+                    0 => {
+                        let width = r.u16("grid width")?;
+                        let height = r.u16("grid height")?;
+                        let seed = r.u64("seed")?;
+                        if width == 0 || height == 0 {
+                            return Err(ProtocolError::new(format!(
+                                "degenerate grid {width}×{height}"
+                            )));
+                        }
+                        ModelSource::Blank {
+                            width,
+                            height,
+                            seed,
+                        }
+                    }
+                    1 => {
+                        let raw = r.bytes("model text")?;
+                        let text = std::str::from_utf8(raw)
+                            .map_err(|_| ProtocolError::new("model text is not UTF-8"))?;
+                        ModelSource::Model(text.to_string())
+                    }
+                    t => return Err(ProtocolError::new(format!("unknown model source tag {t}"))),
+                };
+                Request::CreateSession {
+                    name,
+                    engine,
+                    pace,
+                    source,
+                }
+            }
+            OP_INJECT_SPIKES => {
+                let session = r.str("session name")?.to_string();
+                let events = wire::read_input_events(&mut r)?;
+                Request::InjectSpikes { session, events }
+            }
+            OP_SUBSCRIBE => Request::Subscribe {
+                session: r.str("session name")?.to_string(),
+            },
+            OP_STEP => Request::RunFor {
+                session: r.str("session name")?.to_string(),
+                ticks: 1,
+            },
+            OP_RUN_FOR => {
+                let session = r.str("session name")?.to_string();
+                let ticks = r.u64("tick count")?;
+                Request::RunFor { session, ticks }
+            }
+            OP_SNAPSHOT => Request::Snapshot {
+                session: r.str("session name")?.to_string(),
+            },
+            OP_RESTORE => {
+                let session = r.str("session name")?.to_string();
+                let bytes = r.bytes("snapshot bytes")?.to_vec();
+                Request::Restore { session, bytes }
+            }
+            OP_STATS => Request::Stats {
+                session: r.str("session name")?.to_string(),
+            },
+            OP_CLOSE_SESSION => Request::CloseSession {
+                session: r.str("session name")?.to_string(),
+            },
+            op => {
+                return Err(ProtocolError::new(format!(
+                    "unknown request opcode {op:#x}"
+                )))
+            }
+        };
+        r.finish("trailing bytes after request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as a full frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            Response::Pong => OP_PONG,
+            Response::Ok => OP_OK,
+            Response::Error { code, message } => {
+                wire::put_u16(&mut p, *code as u16);
+                wire::put_str(&mut p, message);
+                OP_ERROR
+            }
+            Response::Created { session } => {
+                wire::put_str(&mut p, session);
+                OP_CREATED
+            }
+            Response::InjectAck { accepted } => {
+                wire::put_u32(&mut p, *accepted);
+                OP_INJECT_ACK
+            }
+            Response::Overloaded {
+                accepted,
+                dropped,
+                total_dropped,
+            } => {
+                wire::put_u32(&mut p, *accepted);
+                wire::put_u32(&mut p, *dropped);
+                wire::put_u64(&mut p, *total_dropped);
+                OP_OVERLOADED
+            }
+            Response::SnapshotData { bytes } => {
+                wire::put_bytes(&mut p, bytes);
+                OP_SNAPSHOT_DATA
+            }
+            Response::StatsData(s) => {
+                wire::put_u64(&mut p, s.tick);
+                wire::put_u64(&mut p, s.spikes_out);
+                wire::put_u64(&mut p, s.sops);
+                wire::put_u64(&mut p, s.neuron_updates);
+                wire::put_u64(&mut p, s.dropped_inputs);
+                wire::put_u64(&mut p, s.pending_inputs);
+                wire::put_u64(&mut p, s.missed_deadlines);
+                wire::put_u64(&mut p, s.state_digest);
+                wire::put_f64(&mut p, s.energy_j);
+                wire::put_str(&mut p, &s.engine);
+                OP_STATS_DATA
+            }
+            Response::TickUpdate(u) => {
+                wire::put_str(&mut p, &u.session);
+                wire::put_u64(&mut p, u.tick);
+                wire::put_u64(&mut p, u.spikes_out);
+                wire::put_u64(&mut p, u.sops);
+                wire::put_f64(&mut p, u.energy_j);
+                wire::put_u32(&mut p, u.ports.len() as u32);
+                for &port in &u.ports {
+                    wire::put_u32(&mut p, port);
+                }
+                OP_TICK_UPDATE
+            }
+        };
+        frame(opcode, &p)
+    }
+
+    /// Decode a response payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = ByteReader::new(payload);
+        let resp = match opcode {
+            OP_PONG => Response::Pong,
+            OP_OK => Response::Ok,
+            OP_ERROR => {
+                let code = ErrorCode::from_u16(r.u16("error code")?)?;
+                let message = r.str("error message")?.to_string();
+                Response::Error { code, message }
+            }
+            OP_CREATED => Response::Created {
+                session: r.str("session name")?.to_string(),
+            },
+            OP_INJECT_ACK => Response::InjectAck {
+                accepted: r.u32("accepted count")?,
+            },
+            OP_OVERLOADED => Response::Overloaded {
+                accepted: r.u32("accepted count")?,
+                dropped: r.u32("dropped count")?,
+                total_dropped: r.u64("total dropped")?,
+            },
+            OP_SNAPSHOT_DATA => Response::SnapshotData {
+                bytes: r.bytes("snapshot bytes")?.to_vec(),
+            },
+            OP_STATS_DATA => Response::StatsData(SessionStats {
+                tick: r.u64("tick")?,
+                spikes_out: r.u64("spikes")?,
+                sops: r.u64("sops")?,
+                neuron_updates: r.u64("neuron updates")?,
+                dropped_inputs: r.u64("dropped inputs")?,
+                pending_inputs: r.u64("pending inputs")?,
+                missed_deadlines: r.u64("missed deadlines")?,
+                state_digest: r.u64("state digest")?,
+                energy_j: r.f64("energy")?,
+                engine: r.str("engine")?.to_string(),
+            }),
+            OP_TICK_UPDATE => {
+                let session = r.str("session name")?.to_string();
+                let tick = r.u64("tick")?;
+                let spikes_out = r.u64("spikes")?;
+                let sops = r.u64("sops")?;
+                let energy_j = r.f64("energy")?;
+                let n = r.u32("port count")? as usize;
+                if r.remaining() < n * 4 {
+                    return Err(ProtocolError::new("port count exceeds payload"));
+                }
+                let mut ports = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ports.push(r.u32("port")?);
+                }
+                Response::TickUpdate(TickUpdate {
+                    session,
+                    tick,
+                    spikes_out,
+                    sops,
+                    energy_j,
+                    ports,
+                })
+            }
+            op => {
+                return Err(ProtocolError::new(format!(
+                    "unknown response opcode {op:#x}"
+                )))
+            }
+        };
+        r.finish("trailing bytes after response")?;
+        Ok(resp)
+    }
+}
+
+/// Split a full frame back into `(opcode, payload)` — test/client helper
+/// for decoding frames already read off the wire.
+pub fn split_frame(buf: &[u8]) -> Result<(u8, &[u8]), ProtocolError> {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return Err(ProtocolError::new("frame shorter than its header"));
+    }
+    let hdr: &[u8; FRAME_HEADER_BYTES] = buf[..FRAME_HEADER_BYTES].try_into().unwrap();
+    let (opcode, len) = parse_header(hdr)?;
+    let payload = &buf[FRAME_HEADER_BYTES..];
+    if payload.len() != len as usize {
+        return Err(ProtocolError::new("frame length disagrees with payload"));
+    }
+    Ok((opcode, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::CoreId;
+
+    fn roundtrip_req(req: Request) {
+        let f = req.encode();
+        let (op, payload) = split_frame(&f).unwrap();
+        assert_eq!(Request::decode(op, payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let f = resp.encode();
+        let (op, payload) = split_frame(&f).unwrap();
+        assert_eq!(Response::decode(op, payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::CreateSession {
+            name: "vision-0".into(),
+            engine: Engine::Chip,
+            pace: Pace::RealTime,
+            source: ModelSource::Blank {
+                width: 8,
+                height: 4,
+                seed: 99,
+            },
+        });
+        roundtrip_req(Request::CreateSession {
+            name: "m".into(),
+            engine: Engine::Parallel,
+            pace: Pace::MaxSpeed,
+            source: ModelSource::Model("tnmodel 1\nnet 2 2 9\n".into()),
+        });
+        roundtrip_req(Request::InjectSpikes {
+            session: "s".into(),
+            events: vec![(0, CoreId(1), 255), (7, CoreId(0), 0)],
+        });
+        roundtrip_req(Request::Subscribe {
+            session: "s".into(),
+        });
+        roundtrip_req(Request::RunFor {
+            session: "s".into(),
+            ticks: 1, // encodes as OP_STEP
+        });
+        roundtrip_req(Request::RunFor {
+            session: "s".into(),
+            ticks: 1000,
+        });
+        roundtrip_req(Request::Snapshot {
+            session: "s".into(),
+        });
+        roundtrip_req(Request::Restore {
+            session: "s".into(),
+            bytes: vec![1, 2, 3],
+        });
+        roundtrip_req(Request::Stats {
+            session: "s".into(),
+        });
+        roundtrip_req(Request::CloseSession {
+            session: "s".into(),
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "no such session".into(),
+        });
+        roundtrip_resp(Response::Created {
+            session: "s".into(),
+        });
+        roundtrip_resp(Response::InjectAck { accepted: 42 });
+        roundtrip_resp(Response::Overloaded {
+            accepted: 10,
+            dropped: 90,
+            total_dropped: 1234,
+        });
+        roundtrip_resp(Response::SnapshotData {
+            bytes: vec![9; 300],
+        });
+        roundtrip_resp(Response::StatsData(SessionStats {
+            tick: 100,
+            spikes_out: 5,
+            sops: 50,
+            neuron_updates: 512,
+            dropped_inputs: 3,
+            pending_inputs: 2,
+            missed_deadlines: 1,
+            state_digest: 0xDEAD_BEEF,
+            energy_j: 6.5e-5,
+            engine: "chip".into(),
+        }));
+        roundtrip_resp(Response::TickUpdate(TickUpdate {
+            session: "s".into(),
+            tick: 17,
+            spikes_out: 3,
+            sops: 30,
+            energy_j: 1e-7,
+            ports: vec![5, 6, 7],
+        }));
+    }
+
+    #[test]
+    fn step_opcode_is_runfor_one() {
+        let f = Request::RunFor {
+            session: "s".into(),
+            ticks: 1,
+        }
+        .encode();
+        let (op, _) = split_frame(&f).unwrap();
+        assert_eq!(op, OP_STEP);
+    }
+
+    #[test]
+    fn header_rejects_bad_version_and_hostile_length() {
+        let mut f = Request::Ping.encode();
+        f[4] = 9;
+        let hdr: [u8; FRAME_HEADER_BYTES] = f[..FRAME_HEADER_BYTES].try_into().unwrap();
+        assert!(parse_header(&hdr).unwrap_err().message.contains("version"));
+
+        let mut f = Request::Ping.encode();
+        f[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let hdr: [u8; FRAME_HEADER_BYTES] = f[..FRAME_HEADER_BYTES].try_into().unwrap();
+        assert!(parse_header(&hdr).unwrap_err().message.contains("cap"));
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_errors() {
+        // Truncated create-session payload.
+        assert!(Request::decode(OP_CREATE_SESSION, &[0, 0]).is_err());
+        // Unknown opcode.
+        assert!(Request::decode(0x7F, &[]).is_err());
+        // Trailing garbage after a valid request.
+        let f = Request::Ping.encode();
+        let (_, _) = split_frame(&f).unwrap();
+        assert!(Request::decode(OP_PING, &[1, 2, 3]).is_err());
+        // Empty session name.
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "");
+        wire::put_u8(&mut p, 0);
+        wire::put_u8(&mut p, 0);
+        wire::put_u8(&mut p, 0);
+        wire::put_u16(&mut p, 2);
+        wire::put_u16(&mut p, 2);
+        wire::put_u64(&mut p, 0);
+        assert!(Request::decode(OP_CREATE_SESSION, &p)
+            .unwrap_err()
+            .message
+            .contains("empty session name"));
+    }
+}

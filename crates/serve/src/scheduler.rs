@@ -1,0 +1,140 @@
+//! The real-time tick scheduler.
+//!
+//! The physical chip advances on a global 1 kHz synchronization signal:
+//! every core must finish its tick before the next 1 ms edge, and a tick
+//! that misses the edge is a *deadline miss*, not a silent slowdown
+//! (paper Section III-C). [`TickScheduler`] reproduces that contract for
+//! a served session: in [`Pace::RealTime`] it sleeps each tick out to
+//! the configured period and *counts* deadline misses when the host
+//! falls behind — without accumulating debt, exactly like a dropped
+//! sync edge — while [`Pace::MaxSpeed`] free-runs the simulator at host
+//! speed (the paper's "faster than real-time" operating regime).
+
+use crate::protocol::Pace;
+use std::time::{Duration, Instant};
+
+/// Paces a session's tick loop; create one per session driver.
+pub struct TickScheduler {
+    pace: Pace,
+    period: Duration,
+    /// Deadline of the next tick; `None` until the first paced tick
+    /// (and after [`Self::reset`], so idle waits are not counted late).
+    next: Option<Instant>,
+    missed: u64,
+}
+
+impl TickScheduler {
+    pub fn new(pace: Pace, period: Duration) -> Self {
+        TickScheduler {
+            pace,
+            period: period.max(Duration::from_micros(1)),
+            next: None,
+            missed: 0,
+        }
+    }
+
+    pub fn pace_mode(&self) -> Pace {
+        self.pace
+    }
+
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Real-time deadlines missed so far (always 0 at max speed).
+    pub fn missed_deadlines(&self) -> u64 {
+        self.missed
+    }
+
+    /// Forget the current cadence. Call after an idle gap (no ticks
+    /// requested) so the pause is not booked as missed deadlines.
+    pub fn reset(&mut self) {
+        self.next = None;
+    }
+
+    /// Block until the next tick may run. Returns the time waited.
+    pub fn pace(&mut self) -> Duration {
+        if self.pace == Pace::MaxSpeed {
+            return Duration::ZERO;
+        }
+        let now = Instant::now();
+        match self.next {
+            None => {
+                // First tick of a burst runs immediately and anchors the
+                // cadence.
+                self.next = Some(now + self.period);
+                Duration::ZERO
+            }
+            Some(deadline) => {
+                if now < deadline {
+                    let wait = deadline - now;
+                    std::thread::sleep(wait);
+                    self.next = Some(deadline + self.period);
+                    wait
+                } else {
+                    // Late: count every whole period overrun as a missed
+                    // sync edge and re-anchor — the chip drops edges, it
+                    // does not replay them.
+                    let behind = now - deadline;
+                    self.missed += 1 + (behind.as_nanos() / self.period.as_nanos()) as u64;
+                    self.next = Some(now + self.period);
+                    Duration::ZERO
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_speed_never_sleeps() {
+        let mut s = TickScheduler::new(Pace::MaxSpeed, Duration::from_millis(50));
+        let start = Instant::now();
+        for _ in 0..100 {
+            s.pace();
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(s.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn real_time_holds_the_cadence() {
+        let period = Duration::from_millis(2);
+        let mut s = TickScheduler::new(Pace::RealTime, period);
+        let start = Instant::now();
+        for _ in 0..5 {
+            s.pace();
+        }
+        // First tick is immediate; four more are paced ≥ one period each.
+        assert!(start.elapsed() >= 4 * period, "{:?}", start.elapsed());
+        assert_eq!(s.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn falling_behind_counts_missed_deadlines_without_debt() {
+        let period = Duration::from_millis(1);
+        let mut s = TickScheduler::new(Pace::RealTime, period);
+        s.pace(); // anchor
+        std::thread::sleep(5 * period); // simulate a slow tick
+        s.pace();
+        assert!(s.missed_deadlines() >= 3, "{}", s.missed_deadlines());
+        // The next tick is paced normally again (no catch-up burst).
+        let start = Instant::now();
+        s.pace();
+        assert!(start.elapsed() >= period / 2, "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn reset_forgives_idle_gaps() {
+        let period = Duration::from_millis(1);
+        let mut s = TickScheduler::new(Pace::RealTime, period);
+        s.pace();
+        std::thread::sleep(5 * period);
+        s.reset(); // the gap was idleness, not lateness
+        s.pace();
+        assert_eq!(s.missed_deadlines(), 0);
+    }
+}

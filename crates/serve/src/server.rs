@@ -1,0 +1,533 @@
+//! The TCP server: acceptor, session registry, and connection threads.
+//!
+//! Thread model (all `std::thread`, no external runtime):
+//!
+//! - one **acceptor** thread polls a nonblocking listener and spawns a
+//!   pair of threads per connection;
+//! - each connection gets a **reader** thread (parses frames, dispatches
+//!   requests, answers in order) and a **writer** thread (drains a
+//!   channel of outbound frames, so subscribed tick updates never block
+//!   the reader or the session driver);
+//! - each session runs its own **driver** thread (see
+//!   [`crate::session`]).
+//!
+//! Shutdown is cooperative: a shared flag flips, the acceptor stops, the
+//! readers notice on their next read timeout and hang up, and every
+//! session is sent `Close`. Injection never crosses a thread boundary
+//! twice — connection readers push straight into the session's bounded
+//! stream queue and report shed load as [`Response::Overloaded`].
+
+use crate::protocol::{
+    parse_header, ErrorCode, ModelSource, Pace, ProtocolError, Request, Response,
+    FRAME_HEADER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::session::{spawn_session, Cmd, Outbound, SessionConfig, SessionHandle};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tn_compass::{KernelSession, ParallelSim, ReferenceSim};
+use tn_core::{modelfile, LintConfig, Network, NetworkBuilder};
+
+/// Server-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; use `127.0.0.1:0` to let the OS pick a port.
+    pub addr: String,
+    /// Real-time tick period for [`Pace::RealTime`] sessions (the
+    /// paper's tick is 1 ms).
+    pub tick_period: Duration,
+    /// Force every session to [`Pace::MaxSpeed`] regardless of what its
+    /// creator asked for (the `--max-speed` server flag).
+    pub max_speed: bool,
+    /// Idle sessions are evicted after this long without work.
+    pub idle_timeout: Duration,
+    /// Per-session bound on queued injected events.
+    pub input_capacity: usize,
+    /// Hard cap on concurrently live sessions.
+    pub max_sessions: usize,
+    /// Worker threads for [`crate::protocol::Engine::Parallel`] sessions.
+    pub parallel_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4160".to_string(),
+            tick_period: Duration::from_millis(1),
+            max_speed: false,
+            idle_timeout: Duration::from_secs(120),
+            input_capacity: 1 << 16,
+            max_sessions: 32,
+            parallel_threads: 2,
+        }
+    }
+}
+
+/// Named live sessions. Closed/evicted entries are reaped lazily on
+/// every lookup and create.
+struct Registry {
+    sessions: Mutex<HashMap<String, SessionHandle>>,
+    max_sessions: usize,
+}
+
+impl Registry {
+    fn new(max_sessions: usize) -> Self {
+        Registry {
+            sessions: Mutex::new(HashMap::new()),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<SessionHandle> {
+        let mut map = self.sessions.lock().unwrap();
+        map.retain(|_, h| !h.is_closed());
+        map.get(name).cloned()
+    }
+
+    fn insert(&self, handle: SessionHandle) -> Result<(), Response> {
+        let mut map = self.sessions.lock().unwrap();
+        map.retain(|_, h| !h.is_closed());
+        if map.contains_key(&handle.name) {
+            return Err(Response::Error {
+                code: ErrorCode::SessionExists,
+                message: format!("session '{}' already exists", handle.name),
+            });
+        }
+        if map.len() >= self.max_sessions {
+            return Err(Response::Error {
+                code: ErrorCode::TooManySessions,
+                message: format!("session budget ({}) exhausted", self.max_sessions),
+            });
+        }
+        map.insert(handle.name.clone(), handle);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Option<SessionHandle> {
+        self.sessions.lock().unwrap().remove(name)
+    }
+
+    fn drain(&self) -> Vec<SessionHandle> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, h)| h)
+            .collect()
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Controls a server started with [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listen socket (sessions start only when clients ask).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(Registry::new(cfg.max_sessions)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            cfg,
+        })
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Bind and run the accept loop on a background thread; returns a
+    /// handle for shutdown. This is the embedding/test entry point.
+    pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr()?;
+        let shutdown = Arc::clone(&server.shutdown);
+        let registry = Arc::clone(&server.registry);
+        let acceptor = std::thread::Builder::new()
+            .name("tn-serve-acceptor".to_string())
+            .spawn(move || server.run())
+            .expect("spawn acceptor");
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            registry,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Accept connections until shutdown. Blocks the calling thread;
+    /// this is the CLI entry point.
+    pub fn run(self) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn = Connection {
+                        cfg: self.cfg.clone(),
+                        registry: Arc::clone(&self.registry),
+                        shutdown: Arc::clone(&self.shutdown),
+                    };
+                    let _ = std::thread::Builder::new()
+                        .name("tn-serve-conn".to_string())
+                        .spawn(move || conn.serve(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        // Close every session so driver threads exit promptly.
+        for handle in self.registry.drain() {
+            let (tx, rx) = mpsc::channel();
+            if handle.send(Cmd::Close { reply: tx }).is_ok() {
+                let _ = rx.recv_timeout(Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and wait for the acceptor (and thus session
+    /// teardown) to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Live session count (for tests and the CLI status line).
+    pub fn session_count(&self) -> usize {
+        let mut map = self.registry.sessions.lock().unwrap();
+        map.retain(|_, h| !h.is_closed());
+        map.len()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// How one read attempt ended.
+enum ReadOutcome {
+    Frame(u8, Vec<u8>),
+    /// A malformed header whose frame boundary is still known: the
+    /// payload was skipped, answer and carry on.
+    Recoverable(ProtocolError),
+    /// Peer hung up or the stream broke or shutdown was signalled.
+    Hangup,
+    /// Malformed beyond resynchronization: answer and close.
+    Fatal(ProtocolError),
+}
+
+struct Connection {
+    cfg: ServerConfig,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Connection {
+    fn serve(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let (out_tx, out_rx) = mpsc::channel::<Outbound>();
+        let writer = std::thread::Builder::new()
+            .name("tn-serve-writer".to_string())
+            .spawn(move || writer_loop(write_half, out_rx))
+            .expect("spawn writer");
+
+        let mut reader = FrameReader::new(stream, Arc::clone(&self.shutdown));
+        loop {
+            match reader.next_frame() {
+                ReadOutcome::Frame(opcode, payload) => {
+                    let resp = match Request::decode(opcode, &payload) {
+                        Ok(req) => self.dispatch(req, &out_tx),
+                        Err(e) => Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.message,
+                        },
+                    };
+                    if out_tx.send(Outbound::Frame(resp.encode())).is_err() {
+                        break;
+                    }
+                }
+                ReadOutcome::Recoverable(e) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.message,
+                    };
+                    if out_tx.send(Outbound::Frame(resp.encode())).is_err() {
+                        break;
+                    }
+                }
+                ReadOutcome::Fatal(e) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.message,
+                    };
+                    let _ = out_tx.send(Outbound::Frame(resp.encode()));
+                    break;
+                }
+                ReadOutcome::Hangup => break,
+            }
+        }
+        let _ = out_tx.send(Outbound::Close);
+        let _ = writer.join();
+    }
+
+    fn dispatch(&self, req: Request, out_tx: &Sender<Outbound>) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::CreateSession {
+                name,
+                engine,
+                pace,
+                source,
+            } => self.create_session(name, engine, pace, source),
+            Request::InjectSpikes { session, events } => {
+                let handle = match self.lookup(&session) {
+                    Ok(h) => h,
+                    Err(resp) => return resp,
+                };
+                match handle.injector().offer(&events) {
+                    Ok(outcome) if outcome.dropped > 0 => Response::Overloaded {
+                        accepted: outcome.accepted,
+                        dropped: outcome.dropped,
+                        total_dropped: handle.injector().dropped(),
+                    },
+                    Ok(outcome) => Response::InjectAck {
+                        accepted: outcome.accepted,
+                    },
+                    Err(e) => Response::Error {
+                        code: ErrorCode::InvalidInjection,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Subscribe { session } => self.session_cmd(&session, |reply| Cmd::Subscribe {
+                sink: out_tx.clone(),
+                reply,
+            }),
+            Request::RunFor { session, ticks } => {
+                self.session_cmd(&session, |reply| Cmd::RunFor { ticks, reply })
+            }
+            Request::Snapshot { session } => {
+                self.session_cmd(&session, |reply| Cmd::Snapshot { reply })
+            }
+            Request::Restore { session, bytes } => {
+                self.session_cmd(&session, |reply| Cmd::Restore { bytes, reply })
+            }
+            Request::Stats { session } => self.session_cmd(&session, |reply| Cmd::Stats { reply }),
+            Request::CloseSession { session } => {
+                let resp = self.session_cmd(&session, |reply| Cmd::Close { reply });
+                self.registry.remove(&session);
+                resp
+            }
+        }
+    }
+
+    fn lookup(&self, session: &str) -> Result<SessionHandle, Response> {
+        self.registry.get(session).ok_or_else(|| Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: format!("no session named '{session}'"),
+        })
+    }
+
+    /// Round-trip a command to a session driver and relay its reply.
+    fn session_cmd(&self, session: &str, mk: impl FnOnce(Sender<Response>) -> Cmd) -> Response {
+        let handle = match self.lookup(session) {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        let (tx, rx) = mpsc::channel();
+        if handle.send(mk(tx)).is_err() {
+            return Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: format!("session '{session}' closed"),
+            };
+        }
+        match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error {
+                code: ErrorCode::Shutdown,
+                message: format!("session '{session}' went away mid-request"),
+            },
+        }
+    }
+
+    fn create_session(
+        &self,
+        name: String,
+        engine: crate::protocol::Engine,
+        pace: Pace,
+        source: ModelSource,
+    ) -> Response {
+        let net = match self.build_network(source) {
+            Ok(net) => net,
+            Err(message) => {
+                return Response::Error {
+                    code: ErrorCode::ModelRejected,
+                    message,
+                }
+            }
+        };
+        let sim: Box<dyn KernelSession> = match engine {
+            crate::protocol::Engine::Chip => Box::new(tn_chip::TrueNorthSim::new(net)),
+            crate::protocol::Engine::Reference => Box::new(ReferenceSim::new(net)),
+            crate::protocol::Engine::Parallel => {
+                Box::new(ParallelSim::new(net, self.cfg.parallel_threads))
+            }
+        };
+        let session_cfg = SessionConfig {
+            pace: if self.cfg.max_speed {
+                Pace::MaxSpeed
+            } else {
+                pace
+            },
+            tick_period: self.cfg.tick_period,
+            idle_timeout: self.cfg.idle_timeout,
+            input_capacity: self.cfg.input_capacity,
+        };
+        let handle = spawn_session(name.clone(), sim, session_cfg);
+        match self.registry.insert(handle.clone()) {
+            Ok(()) => Response::Created { session: name },
+            Err(resp) => {
+                // Lost the race (or over budget): tear the driver down.
+                let (tx, _rx) = mpsc::channel();
+                let _ = handle.send(Cmd::Close { reply: tx });
+                resp
+            }
+        }
+    }
+
+    /// Build (and statically verify) the session's network.
+    fn build_network(&self, source: ModelSource) -> Result<Network, String> {
+        match source {
+            ModelSource::Blank {
+                width,
+                height,
+                seed,
+            } => NetworkBuilder::new(width, height, seed)
+                .build_verified(&LintConfig::default())
+                .map(|(net, _)| net)
+                .map_err(|e| e.to_string()),
+            ModelSource::Model(text) => modelfile::load_verified(&text, &LintConfig::default())
+                .map(|(net, _)| net)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Incremental frame reader over a blocking socket with a short read
+/// timeout, so shutdown is noticed between partial reads.
+struct FrameReader {
+    stream: TcpStream,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, shutdown: Arc<AtomicBool>) -> Self {
+        FrameReader { stream, shutdown }
+    }
+
+    /// Read exactly `buf.len()` bytes, tolerating read timeouts.
+    /// Returns `false` on EOF/error/shutdown.
+    fn read_full(&mut self, buf: &mut [u8]) -> bool {
+        let mut at = 0;
+        while at < buf.len() {
+            if self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            match self.stream.read(&mut buf[at..]) {
+                Ok(0) => return false,
+                Ok(n) => at += n,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    continue;
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn next_frame(&mut self) -> ReadOutcome {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES];
+        if !self.read_full(&mut hdr) {
+            return ReadOutcome::Hangup;
+        }
+        // Decode the length first: as long as it is sane, the frame
+        // boundary is known and any other malformation is recoverable.
+        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            return ReadOutcome::Fatal(ProtocolError::new(format!(
+                "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        if !self.read_full(&mut payload) {
+            return ReadOutcome::Hangup;
+        }
+        if hdr[4] != PROTOCOL_VERSION {
+            return ReadOutcome::Recoverable(ProtocolError::new(format!(
+                "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                hdr[4]
+            )));
+        }
+        match parse_header(&hdr) {
+            Ok((opcode, _)) => ReadOutcome::Frame(opcode, payload),
+            Err(e) => ReadOutcome::Recoverable(e),
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outbound>) {
+    while let Ok(out) = rx.recv() {
+        match out {
+            Outbound::Frame(frame) => {
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Outbound::Close => break,
+        }
+    }
+    let _ = stream.flush();
+}

@@ -1,0 +1,437 @@
+//! A session: one live simulator instance behind a driver thread.
+//!
+//! Each session owns a boxed [`KernelSession`] (any kernel expression)
+//! and is advanced exclusively by its driver thread, which multiplexes
+//! three duties at tick granularity:
+//!
+//! 1. **Ticking** — running queued `RunFor` work at the session's pace
+//!    (real-time 1 ms cadence or max speed), pulling injected spikes
+//!    from the bounded [`tn_chip::stream`] queue;
+//! 2. **Command service** — snapshots, restores, and stats are handled
+//!    *between* ticks, so they always observe a tick boundary (the only
+//!    place the blueprint's state is well-defined);
+//! 3. **Streaming** — after every tick, output spikes and tick
+//!    statistics fan out to subscribers; a subscriber that went away is
+//!    dropped, never waited on.
+//!
+//! A session with no work and no commands for the configured idle
+//! timeout evicts itself: the driver exits, marks the handle closed,
+//! and the registry reaps it. Backpressure never blocks the driver —
+//! injection overload is shed and counted upstream, and slow
+//! subscriber channels fail the send rather than stalling the tick.
+
+use crate::protocol::{ErrorCode, Pace, Response, SessionStats, TickUpdate};
+use crate::scheduler::TickScheduler;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+use tn_chip::stream::{stream_channel, Injector, StreamSource};
+use tn_compass::KernelSession;
+use tn_core::NetworkSnapshot;
+
+/// Per-session tuning, inherited from the server configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    pub pace: Pace,
+    /// Real-time tick period (the paper's tick is 1 ms).
+    pub tick_period: Duration,
+    /// Sessions idle longer than this are evicted.
+    pub idle_timeout: Duration,
+    /// Bound on queued injected events (backpressure threshold).
+    pub input_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            pace: Pace::RealTime,
+            tick_period: Duration::from_millis(1),
+            idle_timeout: Duration::from_secs(120),
+            input_capacity: 1 << 16,
+        }
+    }
+}
+
+/// A frame on its way out to one connection's writer thread.
+pub enum Outbound {
+    /// An encoded frame to write.
+    Frame(Vec<u8>),
+    /// Close the connection's writer.
+    Close,
+}
+
+/// Commands a connection thread sends to a session driver. Replies
+/// arrive on the per-command channel; `RunFor` replies only after all
+/// requested ticks have run.
+pub enum Cmd {
+    RunFor {
+        ticks: u64,
+        reply: Sender<Response>,
+    },
+    Snapshot {
+        reply: Sender<Response>,
+    },
+    Restore {
+        bytes: Vec<u8>,
+        reply: Sender<Response>,
+    },
+    Stats {
+        reply: Sender<Response>,
+    },
+    Subscribe {
+        sink: Sender<Outbound>,
+        reply: Sender<Response>,
+    },
+    Close {
+        reply: Sender<Response>,
+    },
+}
+
+/// The session's driver is gone (evicted, closed, or crashed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionGone;
+
+impl std::fmt::Display for SessionGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session driver is gone")
+    }
+}
+
+impl std::error::Error for SessionGone {}
+
+/// Shared handle to a live session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    pub name: String,
+    cmd: Sender<Cmd>,
+    injector: Injector,
+    closed: Arc<AtomicBool>,
+}
+
+impl SessionHandle {
+    /// Queue a command for the driver. `Err` means the driver is gone
+    /// (evicted or closed).
+    pub fn send(&self, cmd: Cmd) -> Result<(), SessionGone> {
+        if self.is_closed() {
+            return Err(SessionGone);
+        }
+        self.cmd.send(cmd).map_err(|_| SessionGone)
+    }
+
+    /// The injection side-channel: offers go straight into the bounded
+    /// stream queue without a driver round-trip.
+    pub fn injector(&self) -> &Injector {
+        &self.injector
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Spawn a session driver around a simulator instance. The thread is
+/// detached; it exits on `Close`, on idle timeout, or when every
+/// `SessionHandle` clone is dropped.
+pub fn spawn_session(
+    name: String,
+    sim: Box<dyn KernelSession>,
+    cfg: SessionConfig,
+) -> SessionHandle {
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let (source, injector) = stream_channel(sim.network().num_cores(), cfg.input_capacity);
+    let closed = Arc::new(AtomicBool::new(false));
+    let handle = SessionHandle {
+        name: name.clone(),
+        cmd: cmd_tx,
+        injector: injector.clone(),
+        closed: Arc::clone(&closed),
+    };
+    let mut driver = Driver {
+        name,
+        sim,
+        source,
+        injector,
+        scheduler: TickScheduler::new(cfg.pace, cfg.tick_period),
+        subscribers: Vec::new(),
+        run_queue: VecDeque::new(),
+    };
+    std::thread::Builder::new()
+        .name(format!("tn-session-{}", driver.name))
+        .spawn(move || {
+            driver.run(cmd_rx, cfg.idle_timeout);
+            closed.store(true, Ordering::Release);
+        })
+        .expect("spawn session driver");
+    handle
+}
+
+struct Driver {
+    name: String,
+    sim: Box<dyn KernelSession>,
+    source: StreamSource,
+    injector: Injector,
+    scheduler: TickScheduler,
+    subscribers: Vec<Sender<Outbound>>,
+    /// Outstanding `RunFor` work: `(ticks_left, reply)` in arrival order.
+    run_queue: VecDeque<(u64, Sender<Response>)>,
+}
+
+impl Driver {
+    fn run(&mut self, cmd_rx: Receiver<Cmd>, idle_timeout: Duration) {
+        loop {
+            if self.run_queue.is_empty() {
+                // Idle: block for the next command, up to eviction.
+                self.scheduler.reset();
+                match cmd_rx.recv_timeout(idle_timeout) {
+                    Ok(cmd) => {
+                        if self.handle_cmd(cmd) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        return; // evicted / abandoned
+                    }
+                }
+            } else {
+                // Busy: service pending commands between ticks, without
+                // blocking the cadence.
+                while let Ok(cmd) = cmd_rx.try_recv() {
+                    if self.handle_cmd(cmd) {
+                        return;
+                    }
+                }
+                if self.run_queue.is_empty() {
+                    continue;
+                }
+                self.scheduler.pace();
+                self.tick();
+            }
+        }
+    }
+
+    /// Run exactly one tick and stream it to subscribers.
+    fn tick(&mut self) {
+        let tick = self.sim.current_tick();
+        let energy_before = self.sim.energy_j().unwrap_or(0.0);
+        let stats = self.sim.step(&mut self.source);
+        let outputs = self.sim.outputs().take();
+        if !self.subscribers.is_empty() {
+            let update = Response::TickUpdate(TickUpdate {
+                session: self.name.clone(),
+                tick,
+                spikes_out: stats.spikes_out,
+                sops: stats.sops,
+                energy_j: self.sim.energy_j().map_or(0.0, |e| e - energy_before),
+                ports: outputs.iter().map(|e| e.port).collect(),
+            });
+            let frame = update.encode();
+            self.subscribers
+                .retain(|sink| sink.send(Outbound::Frame(frame.clone())).is_ok());
+        }
+        if let Some((left, _)) = self.run_queue.front_mut() {
+            *left -= 1;
+            if *left == 0 {
+                let (_, reply) = self.run_queue.pop_front().unwrap();
+                let _ = reply.send(Response::Ok);
+            }
+        }
+    }
+
+    /// Handle one command; returns `true` when the session should close.
+    fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+        match cmd {
+            Cmd::RunFor { ticks, reply } => {
+                if ticks == 0 {
+                    let _ = reply.send(Response::Ok);
+                } else {
+                    self.run_queue.push_back((ticks, reply));
+                }
+            }
+            Cmd::Snapshot { reply } => {
+                let bytes = self.sim.checkpoint().to_bytes();
+                let _ = reply.send(Response::SnapshotData { bytes });
+            }
+            Cmd::Restore { bytes, reply } => {
+                let resp = match NetworkSnapshot::from_bytes(&bytes) {
+                    Ok(snap) if snap.cores.len() == self.sim.network().num_cores() => {
+                        self.sim.restore(&snap);
+                        Response::Ok
+                    }
+                    Ok(snap) => Response::Error {
+                        code: ErrorCode::SnapshotRejected,
+                        message: format!(
+                            "snapshot has {} cores, session has {}",
+                            snap.cores.len(),
+                            self.sim.network().num_cores()
+                        ),
+                    },
+                    Err(e) => Response::Error {
+                        code: ErrorCode::SnapshotRejected,
+                        message: e.to_string(),
+                    },
+                };
+                let _ = reply.send(resp);
+            }
+            Cmd::Stats { reply } => {
+                let totals = self.sim.stats().totals;
+                let _ = reply.send(Response::StatsData(SessionStats {
+                    tick: self.sim.current_tick(),
+                    spikes_out: totals.spikes_out,
+                    sops: totals.sops,
+                    neuron_updates: totals.neuron_updates,
+                    dropped_inputs: self.sim.dropped_inputs() + self.injector.dropped(),
+                    pending_inputs: self.injector.pending() as u64,
+                    missed_deadlines: self.scheduler.missed_deadlines(),
+                    state_digest: self.sim.network().state_digest(),
+                    energy_j: self.sim.energy_j().unwrap_or(0.0),
+                    engine: self.sim.engine_name().to_string(),
+                }));
+            }
+            Cmd::Subscribe { sink, reply } => {
+                self.subscribers.push(sink);
+                let _ = reply.send(Response::Ok);
+            }
+            Cmd::Close { reply } => {
+                // Unfinished runs are abandoned; tell their waiters.
+                for (_, waiting) in self.run_queue.drain(..) {
+                    let _ = waiting.send(Response::Error {
+                        code: ErrorCode::Shutdown,
+                        message: "session closed".to_string(),
+                    });
+                }
+                let _ = reply.send(Response::Ok);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::NetworkBuilder;
+
+    fn blank_session(cfg: SessionConfig) -> SessionHandle {
+        let net = NetworkBuilder::new(2, 2, 1).build();
+        spawn_session("t".into(), Box::new(ReferenceSim::new(net)), cfg)
+    }
+
+    fn ask(h: &SessionHandle, mk: impl FnOnce(Sender<Response>) -> Cmd) -> Response {
+        let (tx, rx) = mpsc::channel();
+        h.send(mk(tx)).expect("session alive");
+        rx.recv_timeout(Duration::from_secs(10)).expect("reply")
+    }
+
+    #[test]
+    fn run_for_replies_after_the_ticks_ran() {
+        let h = blank_session(SessionConfig {
+            pace: Pace::MaxSpeed,
+            ..Default::default()
+        });
+        assert_eq!(
+            ask(&h, |r| Cmd::RunFor {
+                ticks: 25,
+                reply: r
+            }),
+            Response::Ok
+        );
+        match ask(&h, |r| Cmd::Stats { reply: r }) {
+            Response::StatsData(s) => {
+                assert_eq!(s.tick, 25);
+                assert_eq!(s.engine, "reference");
+                assert_eq!(s.missed_deadlines, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ask(&h, |r| Cmd::Close { reply: r }), Response::Ok);
+        // The driver marks itself closed promptly after Close.
+        for _ in 0..100 {
+            if h.is_closed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(h.is_closed());
+    }
+
+    #[test]
+    fn idle_sessions_evict_themselves() {
+        let h = blank_session(SessionConfig {
+            pace: Pace::MaxSpeed,
+            idle_timeout: Duration::from_millis(50),
+            ..Default::default()
+        });
+        assert!(!h.is_closed());
+        for _ in 0..100 {
+            if h.is_closed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(h.is_closed(), "idle session was not evicted");
+        // Commands to an evicted session fail cleanly.
+        let (tx, _rx) = mpsc::channel();
+        assert!(h.send(Cmd::Stats { reply: tx }).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_between_sessions() {
+        let cfg = SessionConfig {
+            pace: Pace::MaxSpeed,
+            ..Default::default()
+        };
+        let a = blank_session(cfg.clone());
+        ask(&a, |r| Cmd::RunFor {
+            ticks: 10,
+            reply: r,
+        });
+        let bytes = match ask(&a, |r| Cmd::Snapshot { reply: r }) {
+            Response::SnapshotData { bytes } => bytes,
+            other => panic!("{other:?}"),
+        };
+        let b = blank_session(cfg);
+        assert_eq!(
+            ask(&b, |r| Cmd::Restore {
+                bytes: bytes.clone(),
+                reply: r
+            }),
+            Response::Ok
+        );
+        match ask(&b, |r| Cmd::Stats { reply: r }) {
+            Response::StatsData(s) => assert_eq!(s.tick, 10),
+            other => panic!("{other:?}"),
+        }
+        // Garbage bytes are rejected, not fatal.
+        match ask(&b, |r| Cmd::Restore {
+            bytes: vec![1, 2, 3],
+            reply: r,
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::SnapshotRejected),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribers_receive_every_tick() {
+        let h = blank_session(SessionConfig {
+            pace: Pace::MaxSpeed,
+            ..Default::default()
+        });
+        let (sink, updates) = mpsc::channel();
+        assert_eq!(ask(&h, |r| Cmd::Subscribe { sink, reply: r }), Response::Ok);
+        ask(&h, |r| Cmd::RunFor { ticks: 5, reply: r });
+        let mut ticks = Vec::new();
+        while let Ok(Outbound::Frame(f)) = updates.try_recv() {
+            let (op, payload) = crate::protocol::split_frame(&f).unwrap();
+            match Response::decode(op, payload).unwrap() {
+                Response::TickUpdate(u) => ticks.push(u.tick),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+}

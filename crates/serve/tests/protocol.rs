@@ -1,0 +1,537 @@
+//! End-to-end tests over a loopback socket: a real server, real client
+//! connections, real frames.
+//!
+//! The centerpiece is `streamed_outputs_match_batch_run`: the same
+//! network and injection trace driven (a) through the wire into a served
+//! chip session and (b) through a local batch `TrueNorthSim::run` must
+//! produce identical output spike transcripts, tick counts, and state
+//! digests — the paper's spike-for-spike equivalence claim extended
+//! across the serving layer.
+
+use std::time::{Duration, Instant};
+use tn_core::wire;
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, LintConfig, Network, NetworkBuilder,
+    NeuronConfig, ScheduledSource, NEURONS_PER_CORE,
+};
+use tn_serve::protocol::{frame, OP_CREATE_SESSION, OP_PING};
+use tn_serve::{
+    Client, Engine, ErrorCode, ModelSource, Pace, Request, Response, Server, ServerConfig,
+    ServerHandle,
+};
+
+/// Spawn a loopback server on an OS-assigned port.
+fn spawn(mutate: impl FnOnce(&mut ServerConfig)) -> (ServerHandle, Client) {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..Default::default()
+    };
+    mutate(&mut cfg);
+    let handle = Server::spawn(cfg).expect("bind loopback");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+/// A 1×1 network whose 256 LIF neurons integrate their identity axon
+/// and emit on output ports 0..=255 — injected spikes become observable
+/// output spikes.
+fn output_net() -> Network {
+    let mut b = NetworkBuilder::new(1, 1, 42);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    b.build()
+}
+
+/// A deterministic injection trace over `ticks` ticks.
+fn trace(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    let mut events = Vec::new();
+    for t in 0..ticks {
+        events.push((t, CoreId(0), ((t * 7) % 256) as u16));
+        if t % 3 == 0 {
+            events.push((t, CoreId(0), ((t * 13 + 5) % 256) as u16));
+        }
+    }
+    events
+}
+
+#[test]
+fn ping_pong() {
+    let (server, mut client) = spawn(|_| {});
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    server.shutdown();
+}
+
+#[test]
+fn create_run_stats_close() {
+    let (server, mut client) = spawn(|c| c.max_speed = true);
+    assert_eq!(
+        client
+            .create_session(
+                "a",
+                Engine::Reference,
+                Pace::MaxSpeed,
+                ModelSource::Blank {
+                    width: 2,
+                    height: 2,
+                    seed: 7
+                },
+            )
+            .unwrap(),
+        Response::Created {
+            session: "a".into()
+        }
+    );
+    assert_eq!(server.session_count(), 1);
+    assert_eq!(client.run_for("a", 30).unwrap(), Response::Ok);
+    match client.stats("a").unwrap() {
+        Response::StatsData(s) => {
+            assert_eq!(s.tick, 30);
+            assert_eq!(s.engine, "reference");
+            assert_eq!(s.dropped_inputs, 0);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(client.close_session("a").unwrap(), Response::Ok);
+    match client.stats("a").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_clean_errors() {
+    let (server, mut client) = spawn(|_| {});
+
+    // Each case is a raw byte string whose frame boundary is intact; the
+    // server must answer ErrorCode::Protocol and keep the connection.
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("unknown opcode", frame(0x7F, &[])),
+        ("truncated payload", frame(OP_CREATE_SESSION, &[5])),
+        ("trailing garbage", frame(OP_PING, &[1, 2, 3])),
+        ("unknown engine", {
+            let mut p = Vec::new();
+            wire::put_str(&mut p, "x");
+            wire::put_u8(&mut p, 9); // no such engine
+            wire::put_u8(&mut p, 0);
+            wire::put_u8(&mut p, 0);
+            wire::put_u16(&mut p, 2);
+            wire::put_u16(&mut p, 2);
+            wire::put_u64(&mut p, 0);
+            frame(OP_CREATE_SESSION, &p)
+        }),
+        ("empty session name", {
+            let mut p = Vec::new();
+            wire::put_str(&mut p, "");
+            wire::put_u8(&mut p, 0);
+            wire::put_u8(&mut p, 0);
+            wire::put_u8(&mut p, 0);
+            wire::put_u16(&mut p, 2);
+            wire::put_u16(&mut p, 2);
+            wire::put_u64(&mut p, 0);
+            frame(OP_CREATE_SESSION, &p)
+        }),
+        ("degenerate grid", {
+            let mut p = Vec::new();
+            wire::put_str(&mut p, "x");
+            wire::put_u8(&mut p, 0);
+            wire::put_u8(&mut p, 0);
+            wire::put_u8(&mut p, 0);
+            wire::put_u16(&mut p, 0); // 0×2 grid
+            wire::put_u16(&mut p, 2);
+            wire::put_u64(&mut p, 0);
+            frame(OP_CREATE_SESSION, &p)
+        }),
+        ("wrong protocol version", {
+            let mut f = Request::Ping.encode();
+            f[4] = 9;
+            f
+        }),
+    ];
+    for (what, bytes) in cases {
+        client.send_raw(&bytes).unwrap();
+        match client.read_any().unwrap() {
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Protocol, "case: {what}");
+            }
+            other => panic!("case {what}: {other:?}"),
+        }
+    }
+    // The connection survived the whole table.
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+
+    // A hostile length is unrecoverable: one final error, then hangup.
+    let mut hostile = Vec::new();
+    wire::put_u32(&mut hostile, u32::MAX);
+    wire::put_u8(&mut hostile, 1);
+    wire::put_u8(&mut hostile, OP_PING);
+    client.send_raw(&hostile).unwrap();
+    match client.read_any().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("{other:?}"),
+    }
+    assert!(
+        client.read_any().is_err(),
+        "server hung up after a hostile length"
+    );
+
+    // Fresh connections are unaffected.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    assert_eq!(fresh.ping().unwrap(), Response::Pong);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_duplicate_and_rejected_sessions() {
+    let (server, mut client) = spawn(|c| c.max_speed = true);
+    match client.stats("nope").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("{other:?}"),
+    }
+    let blank = ModelSource::Blank {
+        width: 1,
+        height: 1,
+        seed: 1,
+    };
+    client
+        .create_session("dup", Engine::Reference, Pace::MaxSpeed, blank.clone())
+        .unwrap();
+    match client
+        .create_session("dup", Engine::Reference, Pace::MaxSpeed, blank)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::SessionExists),
+        other => panic!("{other:?}"),
+    }
+    // A model that does not even parse is rejected with ModelRejected.
+    match client
+        .create_session(
+            "bad",
+            Engine::Chip,
+            Pace::MaxSpeed,
+            ModelSource::Model("not a model file".into()),
+        )
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::ModelRejected),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn session_budget_is_enforced() {
+    let (server, mut client) = spawn(|c| {
+        c.max_speed = true;
+        c.max_sessions = 1;
+    });
+    let blank = ModelSource::Blank {
+        width: 1,
+        height: 1,
+        seed: 1,
+    };
+    client
+        .create_session("only", Engine::Reference, Pace::MaxSpeed, blank.clone())
+        .unwrap();
+    match client
+        .create_session("more", Engine::Reference, Pace::MaxSpeed, blank.clone())
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::TooManySessions),
+        other => panic!("{other:?}"),
+    }
+    // Closing the first frees the budget.
+    client.close_session("only").unwrap();
+    assert_eq!(
+        client
+            .create_session("more", Engine::Reference, Pace::MaxSpeed, blank)
+            .unwrap(),
+        Response::Created {
+            session: "more".into()
+        }
+    );
+    server.shutdown();
+}
+
+#[test]
+fn streamed_outputs_match_batch_run() {
+    const TICKS: u64 = 40;
+    let net = output_net();
+    let model_text = modelfile::save(&net);
+    let events = trace(TICKS);
+
+    // (a) Over the wire: served chip session, injected then subscribed.
+    let (server, mut client) = spawn(|c| c.max_speed = true);
+    assert_eq!(
+        client
+            .create_session(
+                "wire",
+                Engine::Chip,
+                Pace::MaxSpeed,
+                ModelSource::Model(model_text.clone()),
+            )
+            .unwrap(),
+        Response::Created {
+            session: "wire".into()
+        }
+    );
+    match client.inject("wire", &events).unwrap() {
+        Response::InjectAck { accepted } => assert_eq!(accepted as usize, events.len()),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(client.subscribe("wire").unwrap(), Response::Ok);
+    assert_eq!(client.run_for("wire", TICKS).unwrap(), Response::Ok);
+
+    let mut served_events: Vec<(u64, u32)> = Vec::new();
+    let mut served_ticks = 0u64;
+    let mut served_spikes = 0u64;
+    while let Some(u) = client.poll_update() {
+        served_ticks += 1;
+        served_spikes += u.spikes_out;
+        for port in u.ports {
+            served_events.push((u.tick, port));
+        }
+    }
+    let served = match client.stats("wire").unwrap() {
+        Response::StatsData(s) => s,
+        other => panic!("{other:?}"),
+    };
+    server.shutdown();
+
+    // (b) Locally: batch TrueNorthSim::run over the same model + trace.
+    let (batch_net, _) = modelfile::load_verified(&model_text, &LintConfig::default()).unwrap();
+    let mut sim = tn_chip::TrueNorthSim::new(batch_net);
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in &events {
+        src.push_checked(t, core, axon, sim.network().num_cores())
+            .unwrap();
+    }
+    sim.run(TICKS, &mut src);
+    let batch_events: Vec<(u64, u32)> = sim
+        .outputs()
+        .events()
+        .iter()
+        .map(|e| (e.tick, e.port))
+        .collect();
+
+    // Spike-for-spike equivalence across the serving layer.
+    served_events.sort_unstable();
+    assert!(!batch_events.is_empty(), "the net produced output spikes");
+    assert_eq!(served_events, batch_events, "output transcripts differ");
+    assert_eq!(served_ticks, TICKS, "one TickUpdate per tick");
+    assert_eq!(served.tick, sim.current_tick());
+    assert_eq!(served_spikes, sim.stats().totals.spikes_out);
+    assert_eq!(
+        served.state_digest,
+        sim.network().state_digest(),
+        "served and batch state diverged"
+    );
+    assert!(served.energy_j > 0.0, "chip sessions report energy");
+}
+
+#[test]
+fn overload_sheds_and_keeps_ticking() {
+    let (server, mut client) = spawn(|c| {
+        c.max_speed = true;
+        c.input_capacity = 8;
+    });
+    client
+        .create_session(
+            "hot",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            ModelSource::Blank {
+                width: 1,
+                height: 1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+    // Offer far more than the queue holds, all for a future tick.
+    let burst: Vec<_> = (0..100u64)
+        .map(|i| (1000, CoreId(0), (i % 256) as u16))
+        .collect();
+    match client.inject("hot", &burst).unwrap() {
+        Response::Overloaded {
+            accepted,
+            dropped,
+            total_dropped,
+        } => {
+            assert_eq!(accepted, 8);
+            assert_eq!(dropped, 92);
+            assert_eq!(total_dropped, 92);
+        }
+        other => panic!("{other:?}"),
+    }
+    // The session keeps ticking and surfaces the shed load in stats.
+    assert_eq!(client.run_for("hot", 10).unwrap(), Response::Ok);
+    match client.stats("hot").unwrap() {
+        Response::StatsData(s) => {
+            assert_eq!(s.tick, 10);
+            assert_eq!(s.dropped_inputs, 92);
+            assert_eq!(s.pending_inputs, 8);
+        }
+        other => panic!("{other:?}"),
+    }
+    // An invalid batch is a client bug, not backpressure.
+    match client.inject("hot", &[(2000, CoreId(0), 999)]).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::InvalidInjection),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_evicted() {
+    let (server, mut client) = spawn(|c| {
+        c.max_speed = true;
+        c.idle_timeout = Duration::from_millis(80);
+    });
+    client
+        .create_session(
+            "sleepy",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            ModelSource::Blank {
+                width: 1,
+                height: 1,
+                seed: 5,
+            },
+        )
+        .unwrap();
+    assert_eq!(server.session_count(), 1);
+    // Wait without touching the session — every command resets its idle
+    // clock; `session_count` only reads the registry.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.session_count() != 0 {
+        assert!(Instant::now() < deadline, "session was never evicted");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    match client.stats("sleepy").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restores_across_sessions() {
+    let (server, mut client) = spawn(|c| c.max_speed = true);
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    client
+        .create_session("a", Engine::Chip, Pace::MaxSpeed, model.clone())
+        .unwrap();
+    client.inject("a", &trace(20)).unwrap();
+    client.run_for("a", 20).unwrap();
+    let bytes = match client.snapshot("a").unwrap() {
+        Response::SnapshotData { bytes } => bytes,
+        other => panic!("{other:?}"),
+    };
+    let digest_a = match client.stats("a").unwrap() {
+        Response::StatsData(s) => s.state_digest,
+        other => panic!("{other:?}"),
+    };
+
+    // Restore into a *different* engine: the snapshot is portable across
+    // expressions of the kernel.
+    client
+        .create_session("b", Engine::Reference, Pace::MaxSpeed, model)
+        .unwrap();
+    assert_eq!(client.restore("b", bytes).unwrap(), Response::Ok);
+    match client.stats("b").unwrap() {
+        Response::StatsData(s) => {
+            assert_eq!(s.tick, 20);
+            assert_eq!(s.state_digest, digest_a);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Garbage snapshots are rejected cleanly.
+    match client.restore("b", vec![0xFF; 10]).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::SnapshotRejected),
+        other => panic!("{other:?}"),
+    }
+    // A shape-mismatched snapshot is rejected too.
+    client
+        .create_session(
+            "tiny",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            ModelSource::Blank {
+                width: 2,
+                height: 2,
+                seed: 1,
+            },
+        )
+        .unwrap();
+    let snap_b = match client.snapshot("b").unwrap() {
+        Response::SnapshotData { bytes } => bytes,
+        other => panic!("{other:?}"),
+    };
+    match client.restore("tiny", snap_b).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::SnapshotRejected);
+            assert!(message.contains("cores"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn real_time_sessions_hold_the_tick() {
+    let (server, mut client) = spawn(|c| {
+        c.tick_period = Duration::from_millis(2);
+    });
+    client
+        .create_session(
+            "rt",
+            Engine::Reference,
+            Pace::RealTime,
+            ModelSource::Blank {
+                width: 1,
+                height: 1,
+                seed: 9,
+            },
+        )
+        .unwrap();
+    let start = Instant::now();
+    assert_eq!(client.run_for("rt", 10).unwrap(), Response::Ok);
+    // First tick is immediate, nine more are paced at 2 ms each.
+    assert!(
+        start.elapsed() >= Duration::from_millis(10),
+        "real-time run finished implausibly fast: {:?}",
+        start.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn subscriber_streams_while_another_connection_drives() {
+    let (server, mut driver) = spawn(|c| c.max_speed = true);
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    driver
+        .create_session("shared", Engine::Chip, Pace::MaxSpeed, model)
+        .unwrap();
+
+    let mut watcher = Client::connect(server.addr()).unwrap();
+    assert_eq!(watcher.subscribe("shared").unwrap(), Response::Ok);
+
+    driver.inject("shared", &trace(10)).unwrap();
+    driver.run_for("shared", 10).unwrap();
+
+    let mut seen = 0;
+    while let Some(u) = watcher.wait_update(Duration::from_secs(5)).unwrap() {
+        assert_eq!(u.session, "shared");
+        seen += 1;
+        if seen == 10 {
+            break;
+        }
+    }
+    assert_eq!(seen, 10, "watcher saw every tick another connection ran");
+    server.shutdown();
+}
