@@ -14,6 +14,7 @@ use crate::mesh::{LinkAccounting, Mesh, NocTickLoads};
 use crate::timing::{CoreLoad, TimingModel};
 use std::time::Instant;
 use tn_compass::SpikeRecord;
+use tn_core::fault::{FaultCounters, FaultKind, FaultPlan, FaultState};
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats, TICK_SECONDS};
 
 /// Characterization report for a run, in the units of paper Fig. 5.
@@ -48,6 +49,9 @@ pub struct ChipReport {
     /// outputs + chip-boundary crossings); compare against the board's
     /// merge–split link budget.
     pub worst_io_load: u64,
+    /// Per-class drop/reroute counters from the attached fault plan
+    /// (all zero when no plan is attached).
+    pub faults: FaultCounters,
 }
 
 impl std::fmt::Display for ChipReport {
@@ -84,6 +88,23 @@ impl std::fmt::Display for ChipReport {
             "worst I/O load     : {:>10} spikes/tick",
             self.worst_io_load
         )?;
+        if self.faults.total_dropped() > 0 || self.faults.rerouted > 0 {
+            writeln!(
+                f,
+                "fault drops        : {:>10}  (dead {}, stuck {}, sync {}, severed {}, lossy {})",
+                self.faults.total_dropped(),
+                self.faults.dead_dropped,
+                self.faults.stuck_dropped,
+                self.faults.sync_dropped,
+                self.faults.severed_dropped,
+                self.faults.lossy_dropped,
+            )?;
+            writeln!(
+                f,
+                "fault reroutes     : {:>10} spikes detoured",
+                self.faults.rerouted
+            )?;
+        }
         write!(
             f,
             "dropped inputs     : {:>10}{}",
@@ -128,6 +149,7 @@ pub struct TrueNorthSim {
     input_buf: Vec<(tn_core::CoreId, u8)>,
     wall_seconds: f64,
     dropped_inputs: u64,
+    faults: Option<FaultState>,
 }
 
 impl TrueNorthSim {
@@ -176,8 +198,28 @@ impl TrueNorthSim {
             input_buf: Vec::new(),
             wall_seconds: 0.0,
             dropped_inputs: 0,
+            faults: None,
             net,
         }
+    }
+
+    /// Attach a scheduled fault plan. The kernel-level fault semantics
+    /// (send-time filtering, structural mutations) are identical to the
+    /// Compass engines so faulted runs stay spike-for-spike equivalent;
+    /// on top, a [`FaultKind::DeadCore`] event also marks the core
+    /// defective in the mesh so subsequent packets physically detour
+    /// around it (and pay the extra hop energy).
+    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::compile(
+            plan,
+            self.net.width(),
+            self.net.height(),
+        ));
+    }
+
+    /// The attached fault state (counters, schedule), if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Strict constructor: statically verify the network first (see
@@ -249,6 +291,9 @@ impl TrueNorthSim {
     pub fn restore(&mut self, snap: &tn_core::NetworkSnapshot) {
         snap.restore(&mut self.net);
         self.tick = snap.tick;
+        if let Some(f) = &mut self.faults {
+            f.reset_for_restore(&mut self.net, snap.tick);
+        }
     }
 
     /// Mark a core defective: its computation is disabled and the mesh
@@ -264,6 +309,22 @@ impl TrueNorthSim {
         let t = self.tick;
         let wall = Instant::now();
 
+        // Fault phase: schedule-driven structural mutations, plus mesh
+        // defect marking so the NoC detours around freshly dead cores.
+        if let Some(f) = &mut self.faults {
+            for i in f.advance(t) {
+                let ev = f.events()[i];
+                let id = self.net.id_of(ev.coord);
+                FaultState::apply_to_core(&ev, self.net.core_mut(id), f.seed());
+                if matches!(ev.kind, FaultKind::DeadCore) {
+                    self.mesh.defects.disable(ev.coord);
+                }
+            }
+            for &(core, axon) in f.stuck1() {
+                self.net.cores_mut()[core as usize].deliver(t, axon);
+            }
+        }
+
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
         let num_cores = self.net.num_cores();
@@ -272,6 +333,11 @@ impl TrueNorthSim {
         self.dropped_inputs += (before - self.input_buf.len()) as u64;
         let inputs_this_tick = self.input_buf.len() as u64;
         for &(core, axon) in &self.input_buf {
+            if let Some(f) = &mut self.faults {
+                if !f.allow_external(t, core.0, axon) {
+                    continue;
+                }
+            }
             self.net.core_mut(core).deliver(t + 1, axon);
         }
 
@@ -297,6 +363,13 @@ impl TrueNorthSim {
             let s = self.spike_buf[i];
             match s.dest {
                 Dest::Axon(tgt) => {
+                    // Same send-time filter as the Compass engines, so
+                    // faulted runs stay digest-equivalent across engines.
+                    if let Some(f) = &mut self.faults {
+                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                            continue;
+                        }
+                    }
                     let src_coord = self.net.coord_of(s.src.core);
                     let dst_coord = self.net.coord_of(tgt.core);
                     if self.mesh.route(src_coord, dst_coord).is_some() {
@@ -450,6 +523,11 @@ impl TrueNorthSim {
             host_wall_seconds: self.wall_seconds,
             dropped_inputs: self.dropped_inputs,
             worst_io_load: self.worst_io_load,
+            faults: self
+                .faults
+                .as_ref()
+                .map(|f| *f.counters())
+                .unwrap_or_default(),
         }
     }
 }
@@ -493,6 +571,14 @@ impl tn_compass::KernelSession for TrueNorthSim {
 
     fn energy_j(&self) -> Option<f64> {
         Some(self.energy_realtime.total_j())
+    }
+
+    fn attach_faults(&mut self, plan: &FaultPlan) {
+        TrueNorthSim::attach_faults(self, plan)
+    }
+
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(|f| *f.counters())
     }
 }
 

@@ -27,6 +27,7 @@ use crate::partition::{owner_of, weighted_split_points};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
+use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats};
 
 /// How threads hand spikes to each other.
@@ -57,6 +58,7 @@ pub struct ParallelSim {
     stats: RunStats,
     outputs: SpikeRecord,
     dropped_inputs: u64,
+    faults: Option<FaultState>,
 }
 
 impl ParallelSim {
@@ -76,7 +78,26 @@ impl ParallelSim {
             stats: RunStats::default(),
             outputs: SpikeRecord::new(),
             dropped_inputs: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a compiled fault plan (identical semantics to
+    /// [`crate::ReferenceSim::attach_faults`]): each worker thread runs a
+    /// counter-zeroed fork, spikes are filtered on the firing side so
+    /// every drop is counted exactly once, and structural faults are
+    /// applied by the thread owning the faulted core.
+    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::compile(
+            plan,
+            self.net.width(),
+            self.net.height(),
+        ));
+    }
+
+    /// The attached fault state (counters, schedule), if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     pub fn network(&self) -> &Network {
@@ -97,6 +118,9 @@ impl ParallelSim {
     pub fn restore(&mut self, snap: &tn_core::NetworkSnapshot) {
         snap.restore(&mut self.net);
         self.tick = snap.tick;
+        if let Some(f) = &mut self.faults {
+            f.reset_for_restore(&mut self.net, snap.tick);
+        }
     }
 
     pub fn threads(&self) -> usize {
@@ -134,6 +158,7 @@ impl ParallelSim {
         }
         let n = self.threads;
         let start_tick = self.tick;
+        let grid_w = self.net.width() as usize;
 
         // Load-balanced contiguous partition by per-core synaptic weight.
         let weights: Vec<u64> = self
@@ -178,8 +203,16 @@ impl ParallelSim {
         let dropped = AtomicU64::new(0);
         let total_cores = weights.len();
 
+        // Each worker runs a counter-zeroed fork of the fault state so no
+        // synchronization is needed on the fault path; drop counters are
+        // merged back at the end of the run.
+        let fault_proto: Option<FaultState> = self.faults.as_ref().map(|f| f.fork());
+        let fault_merged: Mutex<FaultCounters> = Mutex::new(FaultCounters::default());
+
         let mode = self.mode;
         let starts_ref = &starts;
+        let fault_proto_ref = &fault_proto;
+        let fault_merged_ref = &fault_merged;
         let mailboxes_ref = &mailboxes;
         let global_ref = &global_queue;
         let input_ref = &input_shared;
@@ -197,8 +230,27 @@ impl ParallelSim {
                     let mut local_out: Vec<OutputEvent> = Vec::new();
                     let mut spike_buf: Vec<OutSpike> = Vec::new();
                     let mut buckets: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
+                    let mut fk = fault_proto_ref.clone();
 
                     for t in start_tick..start_tick + ticks {
+                        // -- fault phase: every fork advances in lockstep;
+                        //    structural mutations land only on owned cores --
+                        if let Some(f) = fk.as_mut() {
+                            for i in f.advance(t) {
+                                let ev = f.events()[i];
+                                let idx = ev.coord.y as usize * grid_w + ev.coord.x as usize;
+                                if owner_of(starts_ref, idx) == k {
+                                    let core = &mut my_cores[idx - my_offset as usize];
+                                    FaultState::apply_to_core(&ev, core, f.seed());
+                                }
+                            }
+                            for &(core, axon) in f.stuck1() {
+                                if owner_of(starts_ref, core as usize) == k {
+                                    my_cores[core as usize - my_offset as usize].deliver(t, axon);
+                                }
+                            }
+                        }
+
                         // -- input phase (thread 0 polls the source) --
                         if k == 0 {
                             let mut inp = input_ref.lock().unwrap();
@@ -220,6 +272,11 @@ impl ParallelSim {
                             for &(core, axon) in inp.iter() {
                                 let owner = owner_of(starts_ref, core.index());
                                 if owner == k {
+                                    if let Some(f) = fk.as_mut() {
+                                        if !f.allow_external(t, core.0, axon) {
+                                            continue;
+                                        }
+                                    }
                                     my_cores[core.index() - my_offset as usize]
                                         .deliver(t + 1, axon);
                                 }
@@ -236,6 +293,14 @@ impl ParallelSim {
                         for s in spike_buf.drain(..) {
                             match s.dest {
                                 Dest::Axon(tgt) => {
+                                    // Fire-side filtering: the source owner
+                                    // decides, so every drop is counted
+                                    // exactly once across all forks.
+                                    if let Some(f) = fk.as_mut() {
+                                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                                            continue;
+                                        }
+                                    }
                                     let pkt = Packet {
                                         core: tgt.core.0,
                                         axon: tgt.axon,
@@ -295,6 +360,9 @@ impl ParallelSim {
                         barrier_ref.wait();
                     }
 
+                    if let Some(f) = fk {
+                        fault_merged_ref.lock().unwrap().merge(f.counters());
+                    }
                     let mut m = merged_ref.lock().unwrap();
                     m.0 += local_stats;
                     m.1.append(&mut local_out);
@@ -308,6 +376,13 @@ impl ParallelSim {
             (m.0, std::mem::take(&mut m.1))
         };
         self.dropped_inputs += dropped.into_inner();
+        if let Some(f) = &mut self.faults {
+            // Workers already applied the structural mutations to the
+            // master's cores (they own slices of them); catch the master's
+            // registries up and fold the forks' drop counters in.
+            f.fast_forward(start_tick + ticks - 1);
+            f.counters_mut().merge(&fault_merged.into_inner().unwrap());
+        }
         self.outputs.extend(outs);
         self.stats.ticks += ticks;
         self.stats.totals += tick_totals;

@@ -7,6 +7,7 @@
 use crate::output::SpikeRecord;
 use crate::trace::SpikeTrace;
 use std::time::Instant;
+use tn_core::fault::{FaultPlan, FaultState};
 use tn_core::{Dest, Network, NetworkSnapshot, OutSpike, RunStats, SpikeSource, TickStats};
 
 /// Single-threaded blueprint simulator.
@@ -19,6 +20,7 @@ pub struct ReferenceSim {
     input_buf: Vec<(tn_core::CoreId, u8)>,
     trace: Option<SpikeTrace>,
     dropped_inputs: u64,
+    faults: Option<FaultState>,
 }
 
 impl ReferenceSim {
@@ -32,7 +34,24 @@ impl ReferenceSim {
             input_buf: Vec::new(),
             trace: None,
             dropped_inputs: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a compiled fault plan. Scheduled faults take effect at the
+    /// start of their tick; faults already in the past fire on the next
+    /// step. Replaces any previously attached plan.
+    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::compile(
+            plan,
+            self.net.width(),
+            self.net.height(),
+        ));
+    }
+
+    /// The attached fault state (counters, schedule), if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Statically verify the network before running (see [`tn_core::lint`]).
@@ -66,6 +85,9 @@ impl ReferenceSim {
     pub fn restore(&mut self, snap: &NetworkSnapshot) {
         snap.restore(&mut self.net);
         self.tick = snap.tick;
+        if let Some(f) = &mut self.faults {
+            f.reset_for_restore(&mut self.net, snap.tick);
+        }
     }
 
     pub fn network(&self) -> &Network {
@@ -104,6 +126,18 @@ impl ReferenceSim {
     ///    buffers at `t + delay`.
     pub fn step(&mut self, src: &mut dyn SpikeSource) -> TickStats {
         let t = self.tick;
+        // Fault phase: apply scheduled faults due at the start of this
+        // tick, then force stuck-at-1 axons into the current slot.
+        if let Some(f) = &mut self.faults {
+            for i in f.advance(t) {
+                let ev = f.events()[i];
+                let id = self.net.id_of(ev.coord);
+                FaultState::apply_to_core(&ev, self.net.core_mut(id), f.seed());
+            }
+            for &(core, axon) in f.stuck1() {
+                self.net.cores_mut()[core as usize].deliver(t, axon);
+            }
+        }
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
         let num_cores = self.net.num_cores();
@@ -113,6 +147,11 @@ impl ReferenceSim {
             if core.index() >= num_cores {
                 self.dropped_inputs += 1;
                 continue;
+            }
+            if let Some(f) = &mut self.faults {
+                if !f.allow_external(t, core.0, axon) {
+                    continue;
+                }
             }
             self.net.core_mut(core).deliver(t + 1, axon);
         }
@@ -129,6 +168,11 @@ impl ReferenceSim {
         for s in self.spike_buf.drain(..) {
             match s.dest {
                 Dest::Axon(tgt) => {
+                    if let Some(f) = &mut self.faults {
+                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                            continue;
+                        }
+                    }
                     self.net
                         .core_mut(tgt.core)
                         .deliver(t + tgt.delay as u64, tgt.axon);

@@ -13,6 +13,7 @@
 use crate::output::SpikeRecord;
 use crate::parallel::ParallelSim;
 use crate::reference::ReferenceSim;
+use tn_core::fault::{FaultCounters, FaultPlan};
 use tn_core::{Network, NetworkSnapshot, RunStats, SpikeSource, TickStats};
 
 /// A running instance of one kernel expression, drivable one tick at a
@@ -54,6 +55,14 @@ pub trait KernelSession: Send {
     fn energy_j(&self) -> Option<f64> {
         None
     }
+
+    /// Attach a scheduled fault plan. The fault semantics are part of
+    /// the blueprint: every expression filters the same spikes on the
+    /// same ticks, so a faulted run stays bit-identical across engines.
+    fn attach_faults(&mut self, plan: &FaultPlan);
+
+    /// Per-class fault drop counters, `None` if no plan is attached.
+    fn fault_counters(&self) -> Option<FaultCounters>;
 }
 
 impl KernelSession for ReferenceSim {
@@ -91,6 +100,14 @@ impl KernelSession for ReferenceSim {
 
     fn restore(&mut self, snap: &NetworkSnapshot) {
         ReferenceSim::restore(self, snap)
+    }
+
+    fn attach_faults(&mut self, plan: &FaultPlan) {
+        ReferenceSim::attach_faults(self, plan)
+    }
+
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults().map(|f| *f.counters())
     }
 }
 
@@ -138,6 +155,14 @@ impl KernelSession for ParallelSim {
 
     fn restore(&mut self, snap: &NetworkSnapshot) {
         ParallelSim::restore(self, snap)
+    }
+
+    fn attach_faults(&mut self, plan: &FaultPlan) {
+        ParallelSim::attach_faults(self, plan)
+    }
+
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults().map(|f| *f.counters())
     }
 }
 

@@ -1,0 +1,912 @@
+//! Deterministic fault injection.
+//!
+//! The paper's §III-C resilience claim — "local core failures do not
+//! disrupt global usability" — is exercised here as a first-class,
+//! *reproducible* experiment: a [`FaultPlan`] is a declarative, seeded
+//! schedule of fine-grained hardware faults (dead cores, stuck-at
+//! axons, flipped crossbar bits, corrupted neuron parameters, severed
+//! or lossy mesh links, dropped sync windows) that compiles to a
+//! [`FaultState`] every kernel expression consults at the same points
+//! of its tick loop. Because all randomness derives from the plan seed
+//! through counter-based hashing (no hidden RNG state), the same plan
+//! on the same network yields a byte-identical spike trace on every
+//! engine and every run.
+//!
+//! Fault semantics, applied in this fixed order on every delivery:
+//!
+//! 1. **dead destination** — spikes to a disabled core are dropped at
+//!    send time (the mesh would never raise the core's axon lines);
+//! 2. **stuck-at-0 axon** — deliveries to that `(core, axon)` vanish;
+//!    stuck-at-1 is the dual: the axon fires every tick regardless;
+//! 3. **sync window** — a core that lost tick sync discards arrivals
+//!    until its window expires;
+//! 4. **severed links** — the dimension-order route (x-then-y) is
+//!    walked; if blocked, the detour (y-then-x, same Manhattan length)
+//!    is tried; both blocked drops the packet, a usable detour counts
+//!    as a reroute;
+//! 5. **lossy links** — each link on the chosen path drops the packet
+//!    with `permille/1000` probability, drawn by hashing
+//!    `(seed, tick, src, dst, axon, link)`.
+//!
+//! Structural faults (disabling a core, toggling a crossbar bit,
+//! XOR-corrupting neuron parameters) are **self-inverse** mutations, so
+//! snapshot restore can undo everything applied so far and replay
+//! exactly the events that precede the snapshot tick — see
+//! [`FaultState::reset_for_restore`].
+
+use crate::address::{CoreCoord, CoreId};
+use crate::lint::{Diagnostic, Location, Severity};
+use crate::network::Network;
+use crate::nscore::NeurosynapticCore;
+use std::collections::{HashMap, HashSet};
+
+/// One class of injectable hardware fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The core dies: computes nothing, receives nothing, forever.
+    DeadCore,
+    /// An input axon wedges at 0 (never fires) or 1 (fires every tick).
+    StuckAxon { axon: u8, value: bool },
+    /// One crossbar bit flips (SRAM soft error). Self-inverse.
+    FlipBit { axon: u8, neuron: u8 },
+    /// A neuron's parameters are XOR-perturbed with plan-seeded bits.
+    /// Self-inverse: re-applying with the same seed undoes the damage.
+    CorruptNeuron { neuron: u8 },
+    /// The mesh link between this core and an adjacent one is cut,
+    /// both directions.
+    SeverLink { to: CoreCoord },
+    /// The link drops packets with `drop_permille / 1000` probability.
+    LossyLink { to: CoreCoord, drop_permille: u16 },
+    /// The core drops all arrivals for `ticks` ticks (lost tick sync).
+    SyncDrop { ticks: u64 },
+}
+
+/// A fault scheduled at an absolute tick, anchored at a core coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The fault takes effect at the *start* of this tick.
+    pub tick: u64,
+    pub coord: CoreCoord,
+    pub kind: FaultKind,
+}
+
+/// A declarative, seeded fault schedule.
+///
+/// ## Text format
+///
+/// ```text
+/// tnfault 1
+/// seed 42
+/// horizon 1000
+/// at 10 core 3 2 dead
+/// at 10 core 1 1 axon 7 stuck1
+/// at 12 core 1 1 axon 9 stuck0
+/// at 20 core 0 0 flip 12 34
+/// at 30 core 2 2 corrupt 17
+/// at 40 core 1 0 sync 8
+/// at 50 link 1 1 2 1 sever
+/// at 60 link 0 0 0 1 lossy 250
+/// ```
+///
+/// `#` starts a comment; blank lines are ignored. `horizon` (optional)
+/// declares the intended run length, letting the linter flag faults
+/// that can never fire (TN012).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub horizon: Option<u64>,
+    pub events: Vec<FaultEvent>,
+}
+
+/// A malformed fault-plan line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+fn num<T: std::str::FromStr>(
+    tok: Option<&&str>,
+    what: &str,
+    line: usize,
+) -> Result<T, FaultParseError> {
+    tok.ok_or_else(|| FaultParseError {
+        line,
+        message: format!("missing {what}"),
+    })
+    .and_then(|t| {
+        t.parse().map_err(|_| FaultParseError {
+            line,
+            message: format!("bad {what}: {t}"),
+        })
+    })
+}
+
+impl FaultPlan {
+    /// Parse the text format. Every malformation is reported with its
+    /// line number; nothing panics on hostile input.
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultParseError> {
+        let mut plan = FaultPlan::default();
+        let mut saw_header = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = content.split_whitespace().collect();
+            if !saw_header {
+                if toks.as_slice() != ["tnfault", "1"] {
+                    return Err(FaultParseError {
+                        line,
+                        message: "expected header 'tnfault 1'".to_string(),
+                    });
+                }
+                saw_header = true;
+                continue;
+            }
+            match toks[0] {
+                "seed" => plan.seed = num(toks.get(1), "seed", line)?,
+                "horizon" => plan.horizon = Some(num(toks.get(1), "horizon", line)?),
+                "at" => plan.events.push(Self::parse_event(&toks, line)?),
+                other => {
+                    return Err(FaultParseError {
+                        line,
+                        message: format!("unknown directive '{other}'"),
+                    })
+                }
+            }
+        }
+        if !saw_header {
+            return Err(FaultParseError {
+                line: 1,
+                message: "empty plan: expected header 'tnfault 1'".to_string(),
+            });
+        }
+        Ok(plan)
+    }
+
+    fn parse_event(toks: &[&str], line: usize) -> Result<FaultEvent, FaultParseError> {
+        let err = |message: String| FaultParseError { line, message };
+        let tick: u64 = num(toks.get(1), "tick", line)?;
+        match toks.get(2).copied() {
+            Some("core") => {
+                let x: u16 = num(toks.get(3), "core x", line)?;
+                let y: u16 = num(toks.get(4), "core y", line)?;
+                let coord = CoreCoord { x, y };
+                let kind = match toks.get(5).copied() {
+                    Some("dead") => {
+                        if toks.len() != 6 {
+                            return Err(err("trailing tokens after 'dead'".to_string()));
+                        }
+                        FaultKind::DeadCore
+                    }
+                    Some("axon") => {
+                        let axon: u8 = num(toks.get(6), "axon index", line)?;
+                        let value = match toks.get(7).copied() {
+                            Some("stuck0") => false,
+                            Some("stuck1") => true,
+                            other => {
+                                return Err(err(format!("expected stuck0|stuck1, got {other:?}")))
+                            }
+                        };
+                        FaultKind::StuckAxon { axon, value }
+                    }
+                    Some("flip") => FaultKind::FlipBit {
+                        axon: num(toks.get(6), "flip axon", line)?,
+                        neuron: num(toks.get(7), "flip neuron", line)?,
+                    },
+                    Some("corrupt") => FaultKind::CorruptNeuron {
+                        neuron: num(toks.get(6), "neuron index", line)?,
+                    },
+                    Some("sync") => FaultKind::SyncDrop {
+                        ticks: num(toks.get(6), "sync ticks", line)?,
+                    },
+                    other => return Err(err(format!("unknown core fault {other:?}"))),
+                };
+                Ok(FaultEvent { tick, coord, kind })
+            }
+            Some("link") => {
+                let x1: u16 = num(toks.get(3), "link x1", line)?;
+                let y1: u16 = num(toks.get(4), "link y1", line)?;
+                let x2: u16 = num(toks.get(5), "link x2", line)?;
+                let y2: u16 = num(toks.get(6), "link y2", line)?;
+                let a = CoreCoord { x: x1, y: y1 };
+                let b = CoreCoord { x: x2, y: y2 };
+                if a.hops_to(b) != 1 {
+                    return Err(err(format!(
+                        "link endpoints ({x1},{y1})-({x2},{y2}) are not mesh neighbors"
+                    )));
+                }
+                let kind = match toks.get(7).copied() {
+                    Some("sever") => FaultKind::SeverLink { to: b },
+                    Some("lossy") => {
+                        let p: u16 = num(toks.get(8), "lossy permille", line)?;
+                        if p > 1000 {
+                            return Err(err(format!("lossy permille {p} exceeds 1000")));
+                        }
+                        FaultKind::LossyLink {
+                            to: b,
+                            drop_permille: p,
+                        }
+                    }
+                    other => return Err(err(format!("unknown link fault {other:?}"))),
+                };
+                Ok(FaultEvent {
+                    tick,
+                    coord: a,
+                    kind,
+                })
+            }
+            other => Err(err(format!("expected 'core' or 'link', got {other:?}"))),
+        }
+    }
+
+    /// Serialize back to the text format (parse∘to_text is identity for
+    /// canonical plans) — used to carry plans over the wire.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("tnfault 1\n");
+        s.push_str(&format!("seed {}\n", self.seed));
+        if let Some(h) = self.horizon {
+            s.push_str(&format!("horizon {h}\n"));
+        }
+        for ev in &self.events {
+            let (x, y) = (ev.coord.x, ev.coord.y);
+            let line = match ev.kind {
+                FaultKind::DeadCore => format!("at {} core {x} {y} dead", ev.tick),
+                FaultKind::StuckAxon { axon, value } => format!(
+                    "at {} core {x} {y} axon {axon} stuck{}",
+                    ev.tick,
+                    u8::from(value)
+                ),
+                FaultKind::FlipBit { axon, neuron } => {
+                    format!("at {} core {x} {y} flip {axon} {neuron}", ev.tick)
+                }
+                FaultKind::CorruptNeuron { neuron } => {
+                    format!("at {} core {x} {y} corrupt {neuron}", ev.tick)
+                }
+                FaultKind::SyncDrop { ticks } => {
+                    format!("at {} core {x} {y} sync {ticks}", ev.tick)
+                }
+                FaultKind::SeverLink { to } => {
+                    format!("at {} link {x} {y} {} {} sever", ev.tick, to.x, to.y)
+                }
+                FaultKind::LossyLink { to, drop_permille } => format!(
+                    "at {} link {x} {y} {} {} lossy {drop_permille}",
+                    ev.tick, to.x, to.y
+                ),
+            };
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Static verification of the plan against a `width × height` grid:
+    ///
+    /// | code  | severity | meaning |
+    /// |-------|----------|---------|
+    /// | TN011 | error    | fault references a core/link outside the grid |
+    /// | TN012 | warn     | fault scheduled at/past the declared horizon |
+    pub fn lint(&self, width: u16, height: u16) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let in_grid = |c: CoreCoord| c.x < width && c.y < height;
+        let id = |c: CoreCoord| CoreId(c.y as u32 * width as u32 + c.x as u32);
+        for ev in &self.events {
+            let mut endpoints = vec![ev.coord];
+            if let FaultKind::SeverLink { to } | FaultKind::LossyLink { to, .. } = ev.kind {
+                endpoints.push(to);
+            }
+            if let Some(&bad) = endpoints.iter().find(|&&c| !in_grid(c)) {
+                out.push(Diagnostic {
+                    code: "TN011",
+                    severity: Severity::Error,
+                    location: Location::Network,
+                    message: format!(
+                        "fault at tick {} references core ({}, {}) outside the {width}×{height} grid",
+                        ev.tick, bad.x, bad.y
+                    ),
+                    help: "fix the coordinates or enlarge the grid".to_string(),
+                });
+                continue;
+            }
+            if let Some(h) = self.horizon {
+                if ev.tick >= h {
+                    out.push(Diagnostic {
+                        code: "TN012",
+                        severity: Severity::Warn,
+                        location: Location::Core(id(ev.coord)),
+                        message: format!(
+                            "fault scheduled at tick {} but the declared horizon is {h}; it will never fire",
+                            ev.tick
+                        ),
+                        help: "raise the horizon or reschedule the fault".to_string(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-fault-class drop counters, accumulated while the plan runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Spikes dropped because the destination core is dead.
+    pub dead_dropped: u64,
+    /// Spikes dropped by stuck-at-0 axons.
+    pub stuck_dropped: u64,
+    /// Spikes dropped during a destination's lost-sync window.
+    pub sync_dropped: u64,
+    /// Spikes dropped because both dimension-order routes were severed.
+    pub severed_dropped: u64,
+    /// Spikes dropped by lossy links.
+    pub lossy_dropped: u64,
+    /// Spikes that detoured y-then-x around a severed primary route.
+    pub rerouted: u64,
+}
+
+impl FaultCounters {
+    /// All drops, across every fault class.
+    pub fn total_dropped(&self) -> u64 {
+        self.dead_dropped
+            + self.stuck_dropped
+            + self.sync_dropped
+            + self.severed_dropped
+            + self.lossy_dropped
+    }
+
+    /// Accumulate another counter set (parallel worker merge).
+    pub fn merge(&mut self, o: &FaultCounters) {
+        self.dead_dropped += o.dead_dropped;
+        self.stuck_dropped += o.stuck_dropped;
+        self.sync_dropped += o.sync_dropped;
+        self.severed_dropped += o.severed_dropped;
+        self.lossy_dropped += o.lossy_dropped;
+        self.rerouted += o.rerouted;
+    }
+}
+
+/// SplitMix64 finalizer — the counter-based hash behind every
+/// probabilistic fault decision. Stateless, so draws depend only on
+/// their inputs, never on evaluation order.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Undirected mesh-link key: the two endpoint core indices, ordered.
+fn edge_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// A [`FaultPlan`] compiled against a concrete grid, ready to be
+/// consulted from a tick loop. Cloning yields an independent replica
+/// (used by parallel workers via [`FaultState::fork`]).
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    width: u16,
+    height: u16,
+    seed: u64,
+    /// All in-grid events, sorted by tick (stable).
+    events: Vec<FaultEvent>,
+    /// Events `[..cursor]` have been applied.
+    cursor: usize,
+    dead: Vec<bool>,
+    stuck0: HashSet<(u32, u8)>,
+    /// Sorted; iterated every tick for forced deliveries.
+    stuck1: Vec<(u32, u8)>,
+    severed: HashSet<u64>,
+    lossy: HashMap<u64, u16>,
+    sync_until: HashMap<u32, u64>,
+    counters: FaultCounters,
+}
+
+impl FaultState {
+    /// Compile a plan against a grid. Out-of-grid events are skipped
+    /// (the linter reports them as TN011); compilation never fails, so
+    /// no fault configuration can panic an engine.
+    pub fn compile(plan: &FaultPlan, width: u16, height: u16) -> FaultState {
+        let in_grid = |c: CoreCoord| c.x < width && c.y < height;
+        let mut events: Vec<FaultEvent> = plan
+            .events
+            .iter()
+            .filter(|ev| {
+                in_grid(ev.coord)
+                    && match ev.kind {
+                        FaultKind::SeverLink { to } | FaultKind::LossyLink { to, .. } => {
+                            in_grid(to)
+                        }
+                        _ => true,
+                    }
+            })
+            .copied()
+            .collect();
+        events.sort_by_key(|ev| ev.tick);
+        FaultState {
+            width,
+            height,
+            seed: plan.seed,
+            events,
+            cursor: 0,
+            dead: vec![false; width as usize * height as usize],
+            stuck0: HashSet::new(),
+            stuck1: Vec::new(),
+            severed: HashSet::new(),
+            lossy: HashMap::new(),
+            sync_until: HashMap::new(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, c: CoreCoord) -> u32 {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        c.y as u32 * self.width as u32 + c.x as u32
+    }
+
+    /// The grid this state was compiled against.
+    pub fn dims(&self) -> (u16, u16) {
+        (self.width, self.height)
+    }
+
+    /// The compiled event schedule (sorted by tick).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// How many events have been applied so far.
+    pub fn applied(&self) -> usize {
+        self.cursor
+    }
+
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    pub fn counters_mut(&mut self) -> &mut FaultCounters {
+        &mut self.counters
+    }
+
+    /// True once any link fault is registered — engines use this to
+    /// skip the per-spike path walk on healthy meshes.
+    pub fn has_link_faults(&self) -> bool {
+        !self.severed.is_empty() || !self.lossy.is_empty()
+    }
+
+    /// Whether the core at `idx` has been killed by the plan.
+    pub fn is_dead(&self, idx: u32) -> bool {
+        self.dead.get(idx as usize).copied().unwrap_or(false)
+    }
+
+    /// Register the registry-level effects of every event due at or
+    /// before tick `t`, returning the range of newly-due event indices.
+    /// The caller applies the *structural* side of those events to the
+    /// cores it owns via [`FaultState::apply_to_core`].
+    pub fn advance(&mut self, t: u64) -> std::ops::Range<usize> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].tick <= t {
+            let ev = self.events[self.cursor];
+            self.register(&ev);
+            self.cursor += 1;
+        }
+        start..self.cursor
+    }
+
+    fn register(&mut self, ev: &FaultEvent) {
+        let idx = self.index(ev.coord);
+        match ev.kind {
+            FaultKind::DeadCore => self.dead[idx as usize] = true,
+            FaultKind::StuckAxon { axon, value } => {
+                // Last registration wins for a given (core, axon).
+                self.stuck0.remove(&(idx, axon));
+                self.stuck1.retain(|&e| e != (idx, axon));
+                if value {
+                    let pos = self.stuck1.partition_point(|&e| e < (idx, axon));
+                    self.stuck1.insert(pos, (idx, axon));
+                } else {
+                    self.stuck0.insert((idx, axon));
+                }
+            }
+            FaultKind::SeverLink { to } => {
+                self.severed.insert(edge_key(idx, self.index(to)));
+            }
+            FaultKind::LossyLink { to, drop_permille } => {
+                self.lossy
+                    .insert(edge_key(idx, self.index(to)), drop_permille);
+            }
+            FaultKind::SyncDrop { ticks } => {
+                let until = ev.tick.saturating_add(ticks);
+                let slot = self.sync_until.entry(idx).or_insert(0);
+                *slot = (*slot).max(until);
+            }
+            FaultKind::FlipBit { .. } | FaultKind::CorruptNeuron { .. } => {}
+        }
+    }
+
+    /// Apply the structural side of one event to its core. All
+    /// mutations are self-inverse (toggle/XOR), so applying twice is a
+    /// no-op — the restore path depends on that.
+    pub fn apply_to_core(ev: &FaultEvent, core: &mut NeurosynapticCore, seed: u64) {
+        match ev.kind {
+            FaultKind::DeadCore => core.set_disabled(true),
+            FaultKind::FlipBit { axon, neuron } => core.flip_crossbar(axon, neuron),
+            FaultKind::CorruptNeuron { neuron } => {
+                core.corrupt_neuron(neuron, Self::corruption_word(seed, ev, neuron));
+            }
+            _ => {}
+        }
+    }
+
+    fn corruption_word(seed: u64, ev: &FaultEvent, neuron: u8) -> u64 {
+        let place = ((ev.coord.x as u64) << 32) | ((ev.coord.y as u64) << 16) | neuron as u64;
+        mix(mix(seed ^ ev.tick) ^ place)
+    }
+
+    /// Axons forced to 1: the engine delivers these into the current
+    /// tick's slot during its begin-tick phase.
+    pub fn stuck1(&self) -> &[(u32, u8)] {
+        &self.stuck1
+    }
+
+    /// Filter for core-to-core spike delivery. `false` means the spike
+    /// is consumed by a fault (and counted); deliveries must not
+    /// happen. Deterministic: depends only on `(plan, t, src, dst,
+    /// axon)`.
+    pub fn allow_spike(&mut self, t: u64, src: u32, dst: u32, axon: u8) -> bool {
+        if !self.allow_arrival(t, dst, axon) {
+            return false;
+        }
+        if !self.has_link_faults() || src == dst {
+            return true;
+        }
+        // Dimension-order primary route, same-length detour fallback.
+        if self.path_severed(src, dst, true) {
+            if self.path_severed(src, dst, false) {
+                self.counters.severed_dropped += 1;
+                return false;
+            }
+            self.counters.rerouted += 1;
+            self.lossy_verdict(t, src, dst, axon, false)
+        } else {
+            self.lossy_verdict(t, src, dst, axon, true)
+        }
+    }
+
+    /// Filter for externally injected events (host input path — no mesh
+    /// traversal, but dead/stuck/sync still apply).
+    pub fn allow_external(&mut self, t: u64, dst: u32, axon: u8) -> bool {
+        self.allow_arrival(t, dst, axon)
+    }
+
+    fn allow_arrival(&mut self, t: u64, dst: u32, axon: u8) -> bool {
+        if self.is_dead(dst) {
+            self.counters.dead_dropped += 1;
+            return false;
+        }
+        if self.stuck0.contains(&(dst, axon)) {
+            self.counters.stuck_dropped += 1;
+            return false;
+        }
+        if let Some(&until) = self.sync_until.get(&dst) {
+            if t < until {
+                self.counters.sync_dropped += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Walk the dimension-order route from `src` to `dst` calling `f`
+    /// with each undirected link key; stops early when `f` returns
+    /// `false`. Returns whether the walk completed.
+    fn walk_path(&self, src: u32, dst: u32, x_first: bool, mut f: impl FnMut(u64) -> bool) -> bool {
+        let w = self.width as u32;
+        let (mut x, mut y) = (src % w, src / w);
+        let (dx, dy) = (dst % w, dst / w);
+        let mut step = |x: &mut u32, y: &mut u32, horizontal: bool| -> bool {
+            loop {
+                let cur = *y * w + *x;
+                if horizontal {
+                    if *x == dx {
+                        return true;
+                    }
+                    *x = if *x < dx { *x + 1 } else { *x - 1 };
+                } else {
+                    if *y == dy {
+                        return true;
+                    }
+                    *y = if *y < dy { *y + 1 } else { *y - 1 };
+                }
+                let next = *y * w + *x;
+                if !f(edge_key(cur, next)) {
+                    return false;
+                }
+            }
+        };
+        // First leg is horizontal iff x_first; the second is the other.
+        step(&mut x, &mut y, x_first) && step(&mut x, &mut y, !x_first)
+    }
+
+    fn path_severed(&self, src: u32, dst: u32, x_first: bool) -> bool {
+        if self.severed.is_empty() {
+            return false;
+        }
+        !self.walk_path(src, dst, x_first, |key| !self.severed.contains(&key))
+    }
+
+    /// Per-link loss draws along the chosen route. Counts and returns
+    /// `false` on a drop.
+    fn lossy_verdict(&mut self, t: u64, src: u32, dst: u32, axon: u8, x_first: bool) -> bool {
+        if self.lossy.is_empty() {
+            return true;
+        }
+        let (seed, lossy) = (self.seed, &self.lossy);
+        let delivered = self.walk_path(src, dst, x_first, |key| match lossy.get(&key) {
+            Some(&p) => {
+                let h = mix(mix(seed ^ t)
+                    ^ (((src as u64) << 32) | dst as u64)
+                    ^ ((axon as u64) << 52));
+                mix(h ^ key) % 1000 >= p as u64
+            }
+            None => true,
+        });
+        if !delivered {
+            self.counters.lossy_dropped += 1;
+        }
+        delivered
+    }
+
+    /// An independent replica for a parallel worker: same schedule and
+    /// registries, counters zeroed (the owner merges them back).
+    pub fn fork(&self) -> FaultState {
+        let mut f = self.clone();
+        f.counters = FaultCounters::default();
+        f
+    }
+
+    /// Re-align this state with a snapshot taken at `resume_tick`
+    /// (exclusive — events at `resume_tick` have *not* run yet there):
+    /// undoes every structural mutation applied so far (all are
+    /// self-inverse), clears the registries, and replays exactly the
+    /// events that precede the snapshot. Counters are session telemetry
+    /// and are deliberately not rewound, matching how accumulated
+    /// energy/timing telemetry survives a chip restore.
+    pub fn reset_for_restore(&mut self, net: &mut Network, resume_tick: u64) {
+        for i in 0..self.cursor {
+            let ev = self.events[i];
+            if matches!(
+                ev.kind,
+                FaultKind::FlipBit { .. } | FaultKind::CorruptNeuron { .. }
+            ) {
+                let id = net.id_of(ev.coord);
+                Self::apply_to_core(&ev, net.core_mut(id), self.seed);
+            }
+        }
+        self.cursor = 0;
+        self.dead.iter_mut().for_each(|d| *d = false);
+        self.stuck0.clear();
+        self.stuck1.clear();
+        self.severed.clear();
+        self.lossy.clear();
+        self.sync_until.clear();
+        if resume_tick > 0 {
+            let due = self.advance(resume_tick - 1);
+            for i in due {
+                let ev = self.events[i];
+                let id = net.id_of(ev.coord);
+                FaultState::apply_to_core(&ev, net.core_mut(id), self.seed);
+            }
+        }
+    }
+
+    /// Registry-only catch-up for a master state whose cores were
+    /// already mutated elsewhere (parallel workers own the structural
+    /// application).
+    pub fn fast_forward(&mut self, t: u64) {
+        let _ = self.advance(t);
+    }
+
+    /// The plan seed this state was compiled with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Validate an already-parsed plan against a grid, as the serving layer
+/// does before attaching it: TN011 findings are hard errors.
+pub fn check_plan(plan: &FaultPlan, width: u16, height: u16) -> Result<Vec<Diagnostic>, String> {
+    let diags = plan.lint(width, height);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        let first = diags
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .unwrap();
+        return Err(format!("[{}] {}", first.code, first.message));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN: &str = "\
+tnfault 1
+seed 7
+horizon 100
+at 0 core 1 1 dead
+at 2 core 0 0 axon 3 stuck0
+at 2 core 0 0 axon 5 stuck1
+at 4 core 0 1 flip 10 20
+at 4 core 0 1 corrupt 9
+at 6 core 1 0 sync 5
+at 8 link 0 0 1 0 sever
+at 8 link 0 1 1 1 lossy 500
+";
+
+    #[test]
+    fn parse_to_text_roundtrip() {
+        let plan = FaultPlan::parse(PLAN).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.horizon, Some(100));
+        assert_eq!(plan.events.len(), 8);
+        let again = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "nonsense",
+            "tnfault 2",
+            "tnfault 1\nat x core 0 0 dead",
+            "tnfault 1\nat 0 core 0 0 explode",
+            "tnfault 1\nat 0 core 0 0 axon 900 stuck1",
+            "tnfault 1\nat 0 core 0 0 dead trailing",
+            "tnfault 1\nat 0 link 0 0 5 5 sever",
+            "tnfault 1\nat 0 link 0 0 0 1 lossy 2000",
+            "tnfault 1\nfrobnicate 3",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let plan = FaultPlan::parse("# hi\n\ntnfault 1 # header\nseed 3\n# done\n").unwrap();
+        assert_eq!(plan.seed, 3);
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn lint_tn011_out_of_grid() {
+        let plan = FaultPlan::parse("tnfault 1\nat 0 core 9 9 dead\n").unwrap();
+        let diags = plan.lint(2, 2);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "TN011");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(check_plan(&plan, 2, 2).is_err());
+        assert!(check_plan(&plan, 16, 16).is_ok());
+    }
+
+    #[test]
+    fn lint_tn012_past_horizon() {
+        let plan = FaultPlan::parse("tnfault 1\nhorizon 10\nat 10 core 0 0 dead\n").unwrap();
+        let diags = plan.lint(2, 2);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "TN012");
+        assert_eq!(diags[0].severity, Severity::Warn);
+        // Warnings do not fail the serving-layer gate.
+        assert_eq!(check_plan(&plan, 2, 2).unwrap().len(), 1);
+    }
+
+    fn state(text: &str) -> FaultState {
+        FaultState::compile(&FaultPlan::parse(text).unwrap(), 4, 4)
+    }
+
+    #[test]
+    fn dead_core_drops_arrivals() {
+        let mut st = state("tnfault 1\nat 5 core 1 0 dead\n");
+        st.advance(4);
+        assert!(st.allow_spike(4, 0, 1, 0), "not dead yet");
+        st.advance(5);
+        assert!(!st.allow_spike(5, 0, 1, 0));
+        assert!(!st.allow_external(5, 1, 7));
+        assert_eq!(st.counters().dead_dropped, 2);
+    }
+
+    #[test]
+    fn stuck_registration_last_wins() {
+        let mut st = state("tnfault 1\nat 0 core 0 0 axon 3 stuck1\nat 1 core 0 0 axon 3 stuck0\n");
+        st.advance(0);
+        assert_eq!(st.stuck1(), &[(0, 3)]);
+        assert!(st.allow_spike(0, 1, 0, 3));
+        st.advance(1);
+        assert!(st.stuck1().is_empty());
+        assert!(!st.allow_spike(1, 1, 0, 3));
+        assert_eq!(st.counters().stuck_dropped, 1);
+    }
+
+    #[test]
+    fn sync_window_expires() {
+        let mut st = state("tnfault 1\nat 10 core 2 2 sync 5\n");
+        st.advance(10);
+        let dst = 2 * 4 + 2;
+        assert!(!st.allow_external(10, dst, 0));
+        assert!(!st.allow_external(14, dst, 0));
+        assert!(st.allow_external(15, dst, 0));
+        assert_eq!(st.counters().sync_dropped, 2);
+    }
+
+    #[test]
+    fn severed_primary_reroutes_via_detour() {
+        // Cut the x-leg out of (0,0); the y-then-x detour still works.
+        let mut st = state("tnfault 1\nat 0 link 0 0 1 0 sever\n");
+        st.advance(0);
+        let src = 0; // (0,0)
+        let dst = 4 + 1; // (1,1)
+        assert!(st.allow_spike(0, src, dst, 0));
+        assert_eq!(st.counters().rerouted, 1);
+        assert_eq!(st.counters().severed_dropped, 0);
+    }
+
+    #[test]
+    fn severed_both_routes_drops() {
+        let mut st = state("tnfault 1\nat 0 link 0 0 1 0 sever\nat 0 link 0 0 0 1 sever\n");
+        st.advance(0);
+        assert!(!st.allow_spike(0, 0, 4 + 1, 0));
+        assert_eq!(st.counters().severed_dropped, 1);
+    }
+
+    #[test]
+    fn lossy_draws_are_deterministic_and_roughly_calibrated() {
+        let mk = || {
+            let mut st = state("tnfault 1\nseed 9\nat 0 link 0 0 1 0 lossy 300\n");
+            st.advance(0);
+            st
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut dropped = 0;
+        for t in 0..2000 {
+            let va = a.allow_spike(t, 0, 1, 0);
+            let vb = b.allow_spike(t, 0, 1, 0);
+            assert_eq!(va, vb, "lossy draw must be deterministic");
+            if !va {
+                dropped += 1;
+            }
+        }
+        // 30% nominal; allow a wide tolerance band.
+        assert!((400..800).contains(&dropped), "dropped {dropped}/2000");
+    }
+
+    #[test]
+    fn out_of_grid_events_are_skipped_not_fatal() {
+        let st = state("tnfault 1\nat 0 core 40 40 dead\nat 0 link 3 3 3 4 sever\n");
+        assert!(st.events().is_empty());
+    }
+
+    #[test]
+    fn fork_zeroes_counters_but_keeps_registries() {
+        let mut st = state("tnfault 1\nat 0 core 1 1 dead\n");
+        st.advance(0);
+        assert!(!st.allow_spike(0, 0, 5, 0));
+        let f = st.fork();
+        assert_eq!(f.counters().total_dropped(), 0);
+        assert!(f.is_dead(5));
+    }
+}

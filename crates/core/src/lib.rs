@@ -37,6 +37,7 @@
 pub mod address;
 pub mod crossbar;
 pub mod delay;
+pub mod fault;
 pub mod lint;
 pub mod modelfile;
 pub mod network;
@@ -51,6 +52,7 @@ pub mod wire;
 pub use address::{CoreCoord, CoreId, Dest, NeuronId, OutSpike, SpikeTarget};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
+pub use fault::{FaultCounters, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultState};
 pub use lint::{Diagnostic, DiagnosticSink, LintConfig, Severity, VerifyError};
 pub use network::{InjectError, Network, NetworkBuilder, ScheduledSource, SpikeSource};
 pub use neuron::{NeuronConfig, ResetMode};

@@ -24,6 +24,8 @@
 //! | TN008 | warn  | worst-case spikes/tick on a mesh link exceeds one-tick delivery capacity |
 //! | TN009 | error | invalid axon type (≥ 4) |
 //! | TN010 | error | invalid neuron parameter (negative threshold or negative β) |
+//! | TN011 | error | fault plan references a core or link endpoint outside the grid (see [`crate::fault::FaultPlan::lint`]) |
+//! | TN012 | warn  | fault plan schedules events at or past the declared run horizon (see [`crate::fault::FaultPlan::lint`]) |
 //!
 //! Entry points: [`lint_network`] / [`Network::verify`] for built
 //! networks, [`crate::network::NetworkBuilder::verify`] and

@@ -155,6 +155,28 @@ impl NeurosynapticCore {
         self.delay.schedule(deliver_tick, axon);
     }
 
+    /// Toggle one crossbar bit (fault injection: SRAM soft error). The
+    /// column-major shadow is patched in step, so the tick loop sees the
+    /// flip immediately. Self-inverse: flipping twice restores the bit.
+    pub fn flip_crossbar(&mut self, axon: u8, neuron: u8) {
+        let (a, j) = (axon as usize, neuron as usize);
+        let now = !self.cfg.crossbar.get(a, j);
+        self.cfg.crossbar.set(a, j, now);
+        self.columns[j][a / 64] ^= 1 << (a % 64);
+    }
+
+    /// XOR-perturb one neuron's parameters with bits drawn from `r`
+    /// (fault injection: configuration-memory corruption). Only the low
+    /// bits of each field are touched, so a valid configuration stays
+    /// within blueprint ranges (weights 9-bit, thresholds non-negative).
+    /// Self-inverse: a second call with the same `r` undoes the damage.
+    pub fn corrupt_neuron(&mut self, neuron: u8, r: u64) {
+        let n = &mut self.cfg.neurons[neuron as usize];
+        n.weights[(r & 3) as usize] ^= ((r >> 8) & 0xF) as i16;
+        n.leak ^= ((r >> 16) & 0x7) as i16;
+        n.threshold ^= ((r >> 24) & 0xFF) as i32;
+    }
+
     /// Number of input events pending in the delay buffer.
     pub fn pending_events(&self) -> u32 {
         self.delay.pending()
@@ -394,6 +416,43 @@ mod tests {
             fires += out.len();
         }
         assert_eq!(fires, 300);
+    }
+
+    #[test]
+    fn flip_crossbar_is_self_inverse_and_visible_to_the_tick_loop() {
+        let mut core = relay_core();
+        // Disconnect axon 42 from neuron 42 (identity relay bit).
+        core.flip_crossbar(42, 42);
+        assert!(!core.config().crossbar.get(42, 42));
+        core.deliver(0, 42);
+        let (mut out, mut st) = (Vec::new(), TickStats::default());
+        core.tick(0, &mut out, &mut st);
+        assert!(out.is_empty(), "flipped-off synapse must not integrate");
+        // Flip back: the relay works again.
+        core.flip_crossbar(42, 42);
+        core.deliver(16, 42);
+        core.tick(16, &mut out, &mut st);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_neuron_is_self_inverse_and_stays_in_range() {
+        let mut core = relay_core();
+        let before = core.config().neurons[7].clone();
+        core.corrupt_neuron(7, 0xDEAD_BEEF_0123_4567);
+        let mid = &core.config().neurons[7];
+        assert!(
+            mid.weights != before.weights
+                || mid.leak != before.leak
+                || mid.threshold != before.threshold,
+            "corruption must perturb something for this r"
+        );
+        assert!(mid.threshold >= 0, "low-byte XOR keeps thresholds valid");
+        core.corrupt_neuron(7, 0xDEAD_BEEF_0123_4567);
+        let after = &core.config().neurons[7];
+        assert_eq!(after.weights, before.weights);
+        assert_eq!(after.leak, before.leak);
+        assert_eq!(after.threshold, before.threshold);
     }
 
     #[test]

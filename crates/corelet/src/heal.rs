@@ -1,0 +1,219 @@
+//! Self-healing relocation: logically remap corelets off failed cores.
+//!
+//! Yield management is a first-class concern in the paper (Section V):
+//! real dies ship with defective cores, and the toolchain's answer is
+//! *logical* remapping — the corelet keeps its function, its cores just
+//! land elsewhere on the grid. This module is that pass. Given the set
+//! of failed core coordinates, it relocates each failed core's
+//! configuration onto a nearby *spare* (an unprogrammed core), rewrites
+//! every spike target that pointed at a failed core, and re-emits the
+//! network. The failed physical locations end up unprogrammed, so no
+//! traffic terminates there and the caller can keep them disabled (or
+//! marked defective in the mesh) without losing function.
+//!
+//! Like [`crate::place`], relocation only permutes coordinates, so the
+//! healed network is functionally identical up to the per-core PRNG
+//! streams (which follow the dense core id) — compare aggregate
+//! behaviour, not state digests.
+
+use tn_core::{CoreConfig, CoreCoord, CoreId, Dest, Network, NetworkBuilder, SpikeTarget};
+
+/// Outcome of a healing pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealReport {
+    /// (failed coordinate, spare coordinate it was remapped to), in
+    /// ascending failed-id order.
+    pub remapped: Vec<(CoreCoord, CoreCoord)>,
+    /// Spare cores still available after healing.
+    pub spares_left: usize,
+}
+
+/// Healing failed: not enough spare cores on the grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealError {
+    pub failed_cores: usize,
+    pub spares: usize,
+}
+
+impl std::fmt::Display for HealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot heal: {} failed cores but only {} spare cores on the grid",
+            self.failed_cores, self.spares
+        )
+    }
+}
+
+impl std::error::Error for HealError {}
+
+/// A spare is a core that carries no program: no active synapses and no
+/// wired neuron outputs.
+fn is_spare(cfg: &CoreConfig) -> bool {
+    cfg.crossbar.active_synapses() == 0 && cfg.neurons.iter().all(|n| n.dest == Dest::None)
+}
+
+/// Relocate every failed core's program onto the nearest spare core and
+/// re-emit the network with all spike targets remapped. Deterministic:
+/// failed cores are healed in ascending id order, and ties between
+/// equally distant spares break towards the lower core id.
+pub fn heal_network(
+    net: &Network,
+    failed: &[CoreCoord],
+) -> Result<(Network, HealReport), HealError> {
+    let n = net.num_cores();
+    let failed_ids: Vec<CoreId> = {
+        let mut v: Vec<CoreId> = failed.iter().map(|&c| net.id_of(c)).collect();
+        v.sort_unstable_by_key(|id| id.0);
+        v.dedup();
+        v
+    };
+    let mut spare: Vec<bool> = (0..n)
+        .map(|i| is_spare(net.core(CoreId(i as u32)).config()))
+        .collect();
+    for id in &failed_ids {
+        spare[id.index()] = false; // a failed spare heals nothing
+    }
+    let spares_total = spare.iter().filter(|&&s| s).count();
+    if spares_total < failed_ids.len() {
+        return Err(HealError {
+            failed_cores: failed_ids.len(),
+            spares: spares_total,
+        });
+    }
+
+    // pos[slot] = coordinate the original slot's config will occupy.
+    let mut pos: Vec<CoreCoord> = (0..n).map(|i| net.coord_of(CoreId(i as u32))).collect();
+    let mut remapped = Vec::with_capacity(failed_ids.len());
+    for id in &failed_ids {
+        let from = net.coord_of(*id);
+        let (best, _) = (0..n)
+            .filter(|&s| spare[s])
+            .map(|s| (s, from.hops_to(net.coord_of(CoreId(s as u32)))))
+            .min_by_key(|&(s, d)| (d, s))
+            .expect("spare count checked above");
+        spare[best] = false;
+        pos.swap(id.index(), best);
+        remapped.push((from, net.coord_of(CoreId(best as u32))));
+    }
+
+    // Re-emit at the healed placement with remapped targets (the same
+    // re-emit idiom as the placement optimizer).
+    let mut b = NetworkBuilder::new(net.width(), net.height(), net.seed());
+    let new_id: Vec<CoreId> = pos.iter().map(|&c| b.id_of(c)).collect();
+    #[allow(clippy::needless_range_loop)]
+    for slot in 0..n {
+        let mut cfg: CoreConfig = net.core(CoreId(slot as u32)).config().clone();
+        for neuron in cfg.neurons.iter_mut() {
+            if let Dest::Axon(t) = neuron.dest {
+                neuron.dest = Dest::Axon(SpikeTarget::new(new_id[t.core.index()], t.axon, t.delay));
+            }
+        }
+        b.set_core(pos[slot], cfg);
+    }
+    Ok((
+        b.build(),
+        HealReport {
+            remapped,
+            spares_left: spares_total - failed_ids.len(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_compass::ReferenceSim;
+    use tn_core::network::NullSource;
+    use tn_core::NeuronConfig;
+
+    /// A 3-stage chain in the top row of a 4×2 grid; the bottom row is
+    /// spare capacity.
+    fn chain_with_spares() -> Network {
+        let mut b = NetworkBuilder::new(4, 2, 11);
+        let ids: Vec<CoreId> = (0..3)
+            .map(|x| b.set_core(CoreCoord::new(x, 0), CoreConfig::new()))
+            .collect();
+        for k in 0..3usize {
+            let cfg = b.core_config_mut(ids[k]);
+            for j in 0..256 {
+                cfg.crossbar.set(j, j, true);
+                cfg.neurons[j] = NeuronConfig::stochastic_source(40);
+                cfg.neurons[j].weights = [0; 4];
+                if k + 1 < 3 {
+                    cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(ids[k + 1], j as u8, 1));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn healed_network_keeps_function_and_clears_failed_site() {
+        let net = chain_with_spares();
+        let failed = CoreCoord::new(1, 0); // middle of the chain
+        let (healed, report) = heal_network(&net, &[failed]).unwrap();
+        assert_eq!(report.remapped.len(), 1);
+        assert_eq!(report.remapped[0].0, failed);
+        // Nearest spare to (1,0) is (1,1): one hop below.
+        assert_eq!(report.remapped[0].1, CoreCoord::new(1, 1));
+
+        // The failed site carries no program any more.
+        let at_failed = healed.core(healed.id_of(failed)).config();
+        assert!(super::is_spare(at_failed));
+
+        // Aggregate behaviour is preserved (PRNG streams moved with the
+        // dense ids, so compare rates, not digests).
+        let mut a = ReferenceSim::new(chain_with_spares());
+        a.run(300, &mut NullSource);
+        let mut b = ReferenceSim::new(healed);
+        b.run(300, &mut NullSource);
+        let (ra, rb) = (
+            a.stats().totals.spikes_out as f64,
+            b.stats().totals.spikes_out as f64,
+        );
+        assert!(
+            (ra - rb).abs() / ra < 0.05,
+            "healing must not change behaviour: {ra} vs {rb}"
+        );
+        assert_eq!(a.network().total_synapses(), b.network().total_synapses());
+    }
+
+    #[test]
+    fn healing_fails_cleanly_without_spares() {
+        // 3-core grid fully programmed: nothing spare.
+        let mut b = NetworkBuilder::new(3, 1, 1);
+        for _ in 0..3 {
+            let id = b.add_core(CoreConfig::new());
+            let cfg = b.core_config_mut(id);
+            cfg.crossbar.set(0, 0, true);
+        }
+        let net = b.build();
+        let err = match heal_network(&net, &[CoreCoord::new(0, 0)]) {
+            Err(e) => e,
+            Ok(_) => panic!("healing must fail without spares"),
+        };
+        assert_eq!(err.failed_cores, 1);
+        assert_eq!(err.spares, 0);
+        assert!(err.to_string().contains("cannot heal"));
+    }
+
+    #[test]
+    fn duplicate_and_multiple_failures_heal_deterministically() {
+        let net = chain_with_spares();
+        let fails = [
+            CoreCoord::new(0, 0),
+            CoreCoord::new(2, 0),
+            CoreCoord::new(0, 0), // duplicate is deduped
+        ];
+        let (healed, report) = heal_network(&net, &fails).unwrap();
+        assert_eq!(report.remapped.len(), 2);
+        assert_eq!(report.spares_left, 3);
+        for &(from, _) in &report.remapped {
+            assert!(super::is_spare(healed.core(healed.id_of(from)).config()));
+        }
+        // Deterministic: a second pass yields the identical mapping.
+        let (_, report2) = heal_network(&net, &fails).unwrap();
+        assert_eq!(report, report2);
+    }
+}

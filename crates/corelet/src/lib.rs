@@ -32,6 +32,7 @@ pub mod builder;
 pub mod classifier;
 pub mod delayline;
 pub mod filter;
+pub mod heal;
 pub mod histogram;
 pub mod place;
 pub mod pooling;
@@ -40,4 +41,5 @@ pub mod temporal;
 pub mod wta;
 
 pub use builder::{CoreletBuilder, InputPin, OutputRef};
+pub use heal::{heal_network, HealError, HealReport};
 pub use place::{optimize_placement, wiring_cost, PlacementReport};

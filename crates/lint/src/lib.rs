@@ -6,12 +6,14 @@
 //! the `tn-lint` command-line binary.
 //!
 //! The full diagnostic-code table lives in [`tn_core::lint`] (TN001 —
-//! dangling destinations — through TN010 — invalid neuron parameters).
-//! This crate adds one code of its own:
+//! dangling destinations — through TN012 — fault plans past the run
+//! horizon; the fault-plan codes TN011/TN012 are produced by
+//! [`tn_core::fault::FaultPlan::lint`] and surfaced here through
+//! [`lint_fault_plan_text`]). This crate adds one code of its own:
 //!
 //! | code  | severity | meaning |
 //! |-------|----------|---------|
-//! | TN000 | error    | the model file failed to parse at all |
+//! | TN000 | error    | the model or fault-plan file failed to parse at all |
 //!
 //! ## Library use
 //!
@@ -49,6 +51,23 @@ pub fn lint_model_text(text: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
             location: Location::Network,
             message: format!("model file does not parse: line {}: {}", e.line, e.message),
             help: "fix the record syntax; see tn_core::modelfile for the format".to_string(),
+        }],
+    }
+}
+
+/// Lint fault-plan text against a `width × height` grid. A plan that
+/// does not parse yields a single TN000 error diagnostic; a parsed plan
+/// yields TN011 (out-of-grid core/link references, errors) and TN012
+/// (events scheduled at or past the run horizon, warnings).
+pub fn lint_fault_plan_text(text: &str, width: u16, height: u16) -> Vec<Diagnostic> {
+    match tn_core::FaultPlan::parse(text) {
+        Ok(plan) => plan.lint(width, height),
+        Err(e) => vec![Diagnostic {
+            code: "TN000",
+            severity: Severity::Error,
+            location: Location::Network,
+            message: format!("fault plan does not parse: line {}: {}", e.line, e.message),
+            help: "fix the line; see tn_core::fault::FaultPlan for the format".to_string(),
         }],
     }
 }

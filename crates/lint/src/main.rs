@@ -4,7 +4,7 @@
 
 use std::process::ExitCode;
 
-use tn_lint::{lint_model_text, InputAssumption, LintConfig, Summary};
+use tn_lint::{lint_fault_plan_text, lint_model_text, InputAssumption, LintConfig, Summary};
 
 const USAGE: &str = "\
 usage: tn-lint [options] <model-file>...
@@ -18,18 +18,25 @@ options:
   --link-capacity <N>  spikes/tick a mesh link can carry (TN008 bound)
   --max-link-reports <N>
                        cap on individual TN008 reports before summarizing
+  --fault-plan <file>  also lint a tnfault plan against each model's
+                       grid (TN011 out-of-grid, TN012 past-horizon)
   -h, --help           print this help
 ";
 
-fn parse_args(args: &[String]) -> Result<(LintConfig, bool, Vec<String>), String> {
+fn parse_args(args: &[String]) -> Result<(LintConfig, bool, Option<String>, Vec<String>), String> {
     let mut cfg = LintConfig::default();
     let mut deny_warnings = false;
+    let mut fault_plan = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-input" => cfg.external_input = InputAssumption::NoExternalInput,
             "--deny-warnings" => deny_warnings = true,
+            "--fault-plan" => {
+                let v = it.next().ok_or("--fault-plan needs a file")?;
+                fault_plan = Some(v.to_string());
+            }
             "--link-capacity" => {
                 let v = it.next().ok_or("--link-capacity needs a value")?;
                 cfg.link_capacity = v
@@ -52,12 +59,12 @@ fn parse_args(args: &[String]) -> Result<(LintConfig, bool, Vec<String>), String
     if files.is_empty() {
         return Err("no model files given".to_string());
     }
-    Ok((cfg, deny_warnings, files))
+    Ok((cfg, deny_warnings, fault_plan, files))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, deny_warnings, files) = match parse_args(&args) {
+    let (cfg, deny_warnings, fault_plan, files) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             if msg.is_empty() {
@@ -72,6 +79,17 @@ fn main() -> ExitCode {
 
     let mut total = Summary::default();
     let mut io_error = false;
+    let plan_text = match &fault_plan {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("tn-lint: cannot read {path}: {e}");
+                io_error = true;
+                None
+            }
+        },
+        None => None,
+    };
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -81,7 +99,12 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let diagnostics = lint_model_text(&text, &cfg);
+        let mut diagnostics = lint_model_text(&text, &cfg);
+        // Lint the fault plan against this model's grid, so a plan and a
+        // model are validated together the way the server will run them.
+        if let (Some(plan), Ok(net)) = (&plan_text, tn_core::modelfile::load(&text)) {
+            diagnostics.extend(lint_fault_plan_text(plan, net.width(), net.height()));
+        }
         for d in &diagnostics {
             println!("{file}: {d}");
         }

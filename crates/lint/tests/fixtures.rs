@@ -179,6 +179,51 @@ fn tn010_negative_thresholds() {
     assert_eq!(severity_of(&diags, "TN010"), Severity::Error);
 }
 
+#[test]
+fn tn011_fault_plan_references_outside_the_grid() {
+    // Grid is 2×2; the plan names core (5,0) and a (mesh-adjacent) link
+    // whose endpoints (5,0)-(6,0) both fall outside it.
+    let plan = "\
+tnfault 1
+seed 3
+at 2 core 5 0 dead
+at 4 link 5 0 6 0 sever
+";
+    let diags = tn_lint::lint_fault_plan_text(plan, 2, 2);
+    assert_eq!(code_count(&diags, "TN011"), 2, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN011"), Severity::Error);
+    assert!(has_errors(&diags));
+    // The same plan is clean on a grid that contains its coordinates.
+    let diags = tn_lint::lint_fault_plan_text(plan, 8, 8);
+    assert_eq!(code_count(&diags, "TN011"), 0, "{diags:?}");
+}
+
+#[test]
+fn tn012_fault_plan_past_the_horizon() {
+    let plan = "\
+tnfault 1
+seed 3
+horizon 100
+at 99 core 0 0 dead
+at 100 core 1 0 axon 3 stuck0
+at 250 core 1 1 corrupt 9
+";
+    let diags = tn_lint::lint_fault_plan_text(plan, 2, 2);
+    // Events at tick 100 and 250 are at/past the declared 100-tick
+    // horizon; the tick-99 event is fine.
+    assert_eq!(code_count(&diags, "TN012"), 2, "{diags:?}");
+    assert_eq!(severity_of(&diags, "TN012"), Severity::Warn);
+    assert!(!has_errors(&diags), "warnings only");
+}
+
+#[test]
+fn tn000_fault_plan_that_does_not_parse() {
+    let diags = tn_lint::lint_fault_plan_text("tnfault 1\nat banana\n", 2, 2);
+    assert_eq!(code_count(&diags, "TN000"), 1, "{diags:?}");
+    assert!(has_errors(&diags));
+    assert!(diags[0].message.contains("line"), "{}", diags[0].message);
+}
+
 /// The strict build path rejects networks with error diagnostics and the
 /// error lists them.
 #[test]

@@ -53,6 +53,20 @@ pub struct Client {
     updates: VecDeque<TickUpdate>,
 }
 
+/// Clears the socket read timeout when dropped, so every exit path out
+/// of a timed read section — including early `?` returns — restores the
+/// client's default blocking behaviour. Holds a dup'd handle (the two
+/// handles share one socket, so options set through either apply to
+/// both), which sidesteps borrowing the stream across `&mut self` calls.
+struct ReadTimeoutGuard(TcpStream);
+
+impl Drop for ReadTimeoutGuard {
+    fn drop(&mut self) {
+        // Best effort: if the socket died, the timeout died with it.
+        let _ = self.0.set_read_timeout(None);
+    }
+}
+
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
@@ -86,26 +100,25 @@ impl Client {
             return Ok(Some(u));
         }
         let deadline = Instant::now() + timeout;
+        let _guard = ReadTimeoutGuard(self.stream.try_clone()?);
         self.stream
             .set_read_timeout(Some(Duration::from_millis(20)))?;
-        let result = loop {
+        loop {
             match self.try_read_response() {
-                Ok(Some(Response::TickUpdate(u))) => break Ok(Some(u)),
+                Ok(Some(Response::TickUpdate(u))) => return Ok(Some(u)),
                 Ok(Some(_)) => {
-                    break Err(ClientError::Protocol(ProtocolError::new(
+                    return Err(ClientError::Protocol(ProtocolError::new(
                         "unexpected non-update frame while waiting for updates",
                     )))
                 }
                 Ok(None) => {
                     if Instant::now() >= deadline {
-                        break Ok(None);
+                        return Ok(None);
                     }
                 }
-                Err(e) => break Err(e),
+                Err(e) => return Err(e),
             }
-        };
-        self.stream.set_read_timeout(None)?;
-        result
+        }
     }
 
     fn read_response(&mut self) -> Result<Response, ClientError> {
@@ -174,11 +187,26 @@ impl Client {
         pace: crate::protocol::Pace,
         source: crate::protocol::ModelSource,
     ) -> Result<Response, ClientError> {
+        self.create_session_with_faults(name, engine, pace, source, "")
+    }
+
+    /// Create a session with a `tnfault 1` plan attached; the server
+    /// lints the plan against the session's grid and rejects bad plans
+    /// with [`crate::protocol::ErrorCode::ModelRejected`].
+    pub fn create_session_with_faults(
+        &mut self,
+        name: &str,
+        engine: crate::protocol::Engine,
+        pace: crate::protocol::Pace,
+        source: crate::protocol::ModelSource,
+        fault_plan: &str,
+    ) -> Result<Response, ClientError> {
         self.request(&Request::CreateSession {
             name: name.to_string(),
             engine,
             pace,
             source,
+            fault_plan: fault_plan.to_string(),
         })
     }
 

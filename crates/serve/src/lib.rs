@@ -33,15 +33,17 @@
 
 pub mod client;
 pub mod protocol;
+pub mod resilient;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    Engine, ErrorCode, ModelSource, Pace, ProtocolError, Request, Response, SessionStats,
+    Engine, ErrorCode, Health, ModelSource, Pace, ProtocolError, Request, Response, SessionStats,
     TickUpdate, PROTOCOL_VERSION,
 };
+pub use resilient::{BackoffPolicy, ReconnectingClient, SessionSpec};
 pub use scheduler::TickScheduler;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{spawn_session, Cmd, Outbound, SessionConfig, SessionGone, SessionHandle};

@@ -136,6 +136,41 @@ impl Pace {
     }
 }
 
+/// Session health under an attached fault plan (always `Healthy` when no
+/// plan is attached and no defects were injected).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Health {
+    /// All cores alive, no fault-induced drops.
+    #[default]
+    Healthy,
+    /// Some cores disabled or some spikes dropped by faults — the
+    /// session keeps ticking with reduced function (paper Section III-C:
+    /// performance degrades proportionally, not catastrophically).
+    Degraded,
+    /// Every core is disabled; the session still answers the protocol
+    /// but cannot compute.
+    Failed,
+}
+
+impl Health {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Health::Healthy => 0,
+            Health::Degraded => 1,
+            Health::Failed => 2,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        match v {
+            0 => Ok(Health::Healthy),
+            1 => Ok(Health::Degraded),
+            2 => Ok(Health::Failed),
+            v => Err(ProtocolError::new(format!("unknown health state {v}"))),
+        }
+    }
+}
+
 /// Where a session's network comes from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelSource {
@@ -154,6 +189,9 @@ pub enum Request {
         engine: Engine,
         pace: Pace,
         source: ModelSource,
+        /// Fault-plan text (`tnfault 1` format), linted server-side
+        /// before the session starts; empty means no faults.
+        fault_plan: String,
     },
     InjectSpikes {
         session: String,
@@ -239,6 +277,10 @@ pub struct SessionStats {
     pub state_digest: u64,
     /// Modelled real-time energy so far (J); 0 for non-chip engines.
     pub energy_j: f64,
+    /// Degradation state under the session's fault plan.
+    pub health: Health,
+    /// Total spikes/inputs dropped by the fault layer so far.
+    pub fault_dropped: u64,
     pub engine: String,
 }
 
@@ -325,10 +367,12 @@ impl Request {
                 engine,
                 pace,
                 source,
+                fault_plan,
             } => {
                 wire::put_str(&mut p, name);
                 wire::put_u8(&mut p, engine.as_u8());
                 wire::put_u8(&mut p, pace.as_u8());
+                wire::put_bytes(&mut p, fault_plan.as_bytes());
                 match source {
                     ModelSource::Blank {
                         width,
@@ -398,6 +442,9 @@ impl Request {
                 }
                 let engine = Engine::from_u8(r.u8("engine")?)?;
                 let pace = Pace::from_u8(r.u8("pace")?)?;
+                let fault_plan = std::str::from_utf8(r.bytes("fault plan")?)
+                    .map_err(|_| ProtocolError::new("fault plan is not UTF-8"))?
+                    .to_string();
                 let source = match r.u8("model source tag")? {
                     0 => {
                         let width = r.u16("grid width")?;
@@ -427,6 +474,7 @@ impl Request {
                     engine,
                     pace,
                     source,
+                    fault_plan,
                 }
             }
             OP_INJECT_SPIKES => {
@@ -515,6 +563,8 @@ impl Response {
                 wire::put_u64(&mut p, s.missed_deadlines);
                 wire::put_u64(&mut p, s.state_digest);
                 wire::put_f64(&mut p, s.energy_j);
+                wire::put_u8(&mut p, s.health.as_u8());
+                wire::put_u64(&mut p, s.fault_dropped);
                 wire::put_str(&mut p, &s.engine);
                 OP_STATS_DATA
             }
@@ -569,6 +619,8 @@ impl Response {
                 missed_deadlines: r.u64("missed deadlines")?,
                 state_digest: r.u64("state digest")?,
                 energy_j: r.f64("energy")?,
+                health: Health::from_u8(r.u8("health")?)?,
+                fault_dropped: r.u64("fault dropped")?,
                 engine: r.str("engine")?.to_string(),
             }),
             OP_TICK_UPDATE => {
@@ -649,12 +701,14 @@ mod tests {
                 height: 4,
                 seed: 99,
             },
+            fault_plan: String::new(),
         });
         roundtrip_req(Request::CreateSession {
             name: "m".into(),
             engine: Engine::Parallel,
             pace: Pace::MaxSpeed,
             source: ModelSource::Model("tnmodel 1\nnet 2 2 9\n".into()),
+            fault_plan: "tnfault 1\nseed 7\nat 3 core 0 0 dead\n".into(),
         });
         roundtrip_req(Request::InjectSpikes {
             session: "s".into(),
@@ -716,6 +770,8 @@ mod tests {
             missed_deadlines: 1,
             state_digest: 0xDEAD_BEEF,
             energy_j: 6.5e-5,
+            health: Health::Degraded,
+            fault_dropped: 17,
             engine: "chip".into(),
         }));
         roundtrip_resp(Response::TickUpdate(TickUpdate {
@@ -767,6 +823,7 @@ mod tests {
         wire::put_str(&mut p, "");
         wire::put_u8(&mut p, 0);
         wire::put_u8(&mut p, 0);
+        wire::put_bytes(&mut p, b"");
         wire::put_u8(&mut p, 0);
         wire::put_u16(&mut p, 2);
         wire::put_u16(&mut p, 2);

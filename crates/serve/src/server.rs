@@ -317,7 +317,8 @@ impl Connection {
                 engine,
                 pace,
                 source,
-            } => self.create_session(name, engine, pace, source),
+                fault_plan,
+            } => self.create_session(name, engine, pace, source, fault_plan),
             Request::InjectSpikes { session, events } => {
                 let handle = match self.lookup(&session) {
                     Ok(h) => h,
@@ -395,6 +396,7 @@ impl Connection {
         engine: crate::protocol::Engine,
         pace: Pace,
         source: ModelSource,
+        fault_plan: String,
     ) -> Response {
         let net = match self.build_network(source) {
             Ok(net) => net,
@@ -405,13 +407,38 @@ impl Connection {
                 }
             }
         };
-        let sim: Box<dyn KernelSession> = match engine {
+        // Parse and lint the fault plan against this network's grid
+        // before the session exists — a bad plan is rejected, never run.
+        let plan = if fault_plan.is_empty() {
+            None
+        } else {
+            let plan = match tn_core::FaultPlan::parse(&fault_plan) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::ModelRejected,
+                        message: format!("fault plan rejected: {e}"),
+                    }
+                }
+            };
+            if let Err(msg) = tn_core::fault::check_plan(&plan, net.width(), net.height()) {
+                return Response::Error {
+                    code: ErrorCode::ModelRejected,
+                    message: format!("fault plan rejected: {msg}"),
+                };
+            }
+            Some(plan)
+        };
+        let mut sim: Box<dyn KernelSession> = match engine {
             crate::protocol::Engine::Chip => Box::new(tn_chip::TrueNorthSim::new(net)),
             crate::protocol::Engine::Reference => Box::new(ReferenceSim::new(net)),
             crate::protocol::Engine::Parallel => {
                 Box::new(ParallelSim::new(net, self.cfg.parallel_threads))
             }
         };
+        if let Some(plan) = &plan {
+            sim.attach_faults(plan);
+        }
         let session_cfg = SessionConfig {
             pace: if self.cfg.max_speed {
                 Pace::MaxSpeed

@@ -20,7 +20,7 @@
 //! injection overload is shed and counted upstream, and slow
 //! subscriber channels fail the send rather than stalling the tick.
 
-use crate::protocol::{ErrorCode, Pace, Response, SessionStats, TickUpdate};
+use crate::protocol::{ErrorCode, Health, Pace, Response, SessionStats, TickUpdate};
 use crate::scheduler::TickScheduler;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -179,6 +179,21 @@ struct Driver {
 }
 
 impl Driver {
+    /// Degradation state: `Failed` once every core is disabled,
+    /// `Degraded` while any core is disabled or the fault layer has
+    /// dropped traffic, `Healthy` otherwise.
+    fn health(&self, fault_dropped: u64) -> Health {
+        let cores = self.sim.network().cores();
+        let disabled = cores.iter().filter(|c| c.is_disabled()).count();
+        if disabled == cores.len() {
+            Health::Failed
+        } else if disabled > 0 || fault_dropped > 0 {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
     fn run(&mut self, cmd_rx: Receiver<Cmd>, idle_timeout: Duration) {
         loop {
             if self.run_queue.is_empty() {
@@ -276,6 +291,11 @@ impl Driver {
             }
             Cmd::Stats { reply } => {
                 let totals = self.sim.stats().totals;
+                let fault_dropped = self
+                    .sim
+                    .fault_counters()
+                    .map(|c| c.total_dropped())
+                    .unwrap_or(0);
                 let _ = reply.send(Response::StatsData(SessionStats {
                     tick: self.sim.current_tick(),
                     spikes_out: totals.spikes_out,
@@ -286,6 +306,8 @@ impl Driver {
                     missed_deadlines: self.scheduler.missed_deadlines(),
                     state_digest: self.sim.network().state_digest(),
                     energy_j: self.sim.energy_j().unwrap_or(0.0),
+                    health: self.health(fault_dropped),
+                    fault_dropped,
                     engine: self.sim.engine_name().to_string(),
                 }));
             }

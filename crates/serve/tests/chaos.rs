@@ -1,0 +1,296 @@
+//! Chaos tests: sessions under injected hardware faults, dropped
+//! connections, and outright server loss.
+//!
+//! The resilience claim extends the paper's §III-C fault tolerance
+//! across the serving layer: a session created with a fault plan
+//! reports its health over the wire; a client that loses its TCP
+//! connection (or its whole server) reconnects with backoff, resurrects
+//! the session from its last snapshot, and lands on the *same state
+//! digest* as an uninterrupted local run.
+
+use std::time::Duration;
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig,
+    ScheduledSource, NEURONS_PER_CORE,
+};
+use tn_serve::{
+    BackoffPolicy, Client, Engine, ErrorCode, Health, ModelSource, Pace, ReconnectingClient,
+    Response, Server, ServerConfig, ServerHandle, SessionSpec,
+};
+
+fn spawn() -> (ServerHandle, Client) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        ..Default::default()
+    };
+    let handle = Server::spawn(cfg).expect("bind loopback");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+/// A 1×1 identity network: injected axon `i` fires output port `i`.
+fn output_net() -> Network {
+    let mut b = NetworkBuilder::new(1, 1, 42);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    b.build()
+}
+
+fn trace(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    (0..ticks)
+        .map(|t| (t, CoreId(0), ((t * 7) % 256) as u16))
+        .collect()
+}
+
+fn stats_of(client: &mut Client, session: &str) -> tn_serve::SessionStats {
+    match client.stats(session).unwrap() {
+        Response::StatsData(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn faulted_sessions_report_health_over_the_wire() {
+    let (server, mut client) = spawn();
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+
+    // Healthy: no plan, nothing dropped.
+    client
+        .create_session("ok", Engine::Reference, Pace::MaxSpeed, model.clone())
+        .unwrap();
+    client.run_for("ok", 10).unwrap();
+    let s = stats_of(&mut client, "ok");
+    assert_eq!(s.health, Health::Healthy);
+    assert_eq!(s.fault_dropped, 0);
+
+    // Degraded: a stuck-at-0 axon eats injected spikes.
+    client
+        .create_session_with_faults(
+            "deg",
+            Engine::Chip,
+            Pace::MaxSpeed,
+            model.clone(),
+            "tnfault 1\nseed 1\nat 0 core 0 0 axon 7 stuck0\n",
+        )
+        .unwrap();
+    client
+        .inject("deg", &[(2, CoreId(0), 7), (3, CoreId(0), 7)])
+        .unwrap();
+    client.run_for("deg", 10).unwrap();
+    let s = stats_of(&mut client, "deg");
+    assert_eq!(s.health, Health::Degraded);
+    assert_eq!(s.fault_dropped, 2);
+
+    // Failed: the only core dies — the whole board is gone.
+    client
+        .create_session_with_faults(
+            "rip",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            model,
+            "tnfault 1\nseed 2\nat 5 core 0 0 dead\n",
+        )
+        .unwrap();
+    client.run_for("rip", 10).unwrap();
+    let s = stats_of(&mut client, "rip");
+    assert_eq!(s.health, Health::Failed);
+    server.shutdown();
+}
+
+#[test]
+fn hostile_fault_plans_are_rejected_at_create() {
+    let (server, mut client) = spawn();
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    // Unparseable plan.
+    match client
+        .create_session_with_faults(
+            "x",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            model.clone(),
+            "tnfault 1\nat banana\n",
+        )
+        .unwrap()
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::ModelRejected);
+            assert!(message.contains("fault plan"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Parseable but out of this model's 1×1 grid (TN011).
+    match client
+        .create_session_with_faults(
+            "y",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            model,
+            "tnfault 1\nseed 1\nat 1 core 5 5 dead\n",
+        )
+        .unwrap()
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::ModelRejected);
+            assert!(message.contains("TN011"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Neither rejection left a half-created session behind.
+    assert_eq!(server.session_count(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn reconnecting_client_survives_connection_loss() {
+    const TICKS: u64 = 40;
+    let (server, _probe) = spawn();
+    let model_text = modelfile::save(&output_net());
+    let events = trace(TICKS);
+
+    let spec = SessionSpec {
+        name: "lossy-wire".into(),
+        engine: Engine::Chip,
+        pace: Pace::MaxSpeed,
+        source: ModelSource::Model(model_text.clone()),
+        fault_plan: String::new(),
+    };
+    let policy = BackoffPolicy {
+        base: Duration::from_millis(1),
+        max: Duration::from_millis(20),
+        max_retries: 5,
+        seed: 7,
+    };
+    let mut rc = ReconnectingClient::create(server.addr().to_string(), spec, policy).unwrap();
+    rc.inject(&events).unwrap();
+    rc.run_to(20).unwrap();
+    rc.snapshot().unwrap();
+
+    // Sever the TCP connection (the server keeps the session). The next
+    // request must transparently reconnect and carry on.
+    rc.set_addr(server.addr().to_string());
+    let s = rc.run_to(TICKS).unwrap();
+    assert_eq!(s.tick, TICKS);
+    assert!(rc.reconnects() >= 1, "a reconnect must have happened");
+
+    // Spike-for-spike: the interrupted served run equals a local batch.
+    let mut sim = tn_chip::TrueNorthSim::new(output_net());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in &events {
+        src.push_checked(t, core, axon, 1).unwrap();
+    }
+    sim.run(TICKS, &mut src);
+    assert_eq!(s.state_digest, sim.network().state_digest());
+    rc.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn session_fails_over_to_a_replacement_server() {
+    const HALF: u64 = 20;
+    let model_text = modelfile::save(&output_net());
+    let events = trace(HALF);
+
+    let (first, _probe) = spawn();
+    let spec = SessionSpec {
+        name: "nomad".into(),
+        engine: Engine::Reference,
+        pace: Pace::MaxSpeed,
+        source: ModelSource::Model(model_text.clone()),
+        fault_plan: String::new(),
+    };
+    let policy = BackoffPolicy {
+        base: Duration::from_millis(1),
+        max: Duration::from_millis(20),
+        max_retries: 5,
+        seed: 3,
+    };
+    let mut rc = ReconnectingClient::create(first.addr().to_string(), spec, policy).unwrap();
+    rc.inject(&events).unwrap();
+    rc.run_to(HALF).unwrap();
+    rc.snapshot().unwrap();
+
+    // The first server dies for good; a replacement comes up elsewhere.
+    first.shutdown();
+    let (second, _probe2) = spawn();
+    rc.set_addr(second.addr().to_string());
+
+    // run_to resurrects the session on the new server from the last
+    // snapshot and replays the remainder.
+    let s = rc.run_to(2 * HALF).unwrap();
+    assert_eq!(s.tick, 2 * HALF);
+    assert_eq!(s.health, Health::Healthy);
+
+    // Continuity: identical to one uninterrupted local run (inputs all
+    // landed before the snapshot tick, so none were lost in the move).
+    let mut sim = tn_compass::ReferenceSim::new(output_net());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in &events {
+        src.push_checked(t, core, axon, 1).unwrap();
+    }
+    sim.run(2 * HALF, &mut src);
+    assert_eq!(s.state_digest, sim.network().state_digest());
+    rc.close().unwrap();
+    second.shutdown();
+}
+
+#[test]
+fn faulted_session_stays_deterministic_across_failover() {
+    // A session carrying a fault plan is killed mid-run and resurrected
+    // on a new server; the plan rides in the SessionSpec, so the damage
+    // replays identically and the digest matches an uninterrupted
+    // faulted batch run.
+    const HALF: u64 = 25;
+    let plan = "tnfault 1\nseed 5\nat 10 core 0 0 axon 7 stuck0\nat 15 core 0 0 flip 3 3\n";
+    let model_text = modelfile::save(&output_net());
+    let events = trace(2 * HALF);
+
+    let (first, _probe) = spawn();
+    let spec = SessionSpec {
+        name: "scarred".into(),
+        engine: Engine::Chip,
+        pace: Pace::MaxSpeed,
+        source: ModelSource::Model(model_text),
+        fault_plan: plan.into(),
+    };
+    let policy = BackoffPolicy {
+        base: Duration::from_millis(1),
+        max: Duration::from_millis(20),
+        max_retries: 5,
+        seed: 11,
+    };
+    let mut rc = ReconnectingClient::create(first.addr().to_string(), spec, policy).unwrap();
+    // Only inject what lands before the snapshot: queued future inputs
+    // do not survive a server loss (documented at `inject`).
+    rc.inject(&events[..HALF as usize]).unwrap();
+    rc.run_to(HALF).unwrap();
+    rc.snapshot().unwrap();
+
+    first.shutdown();
+    let (second, _probe2) = spawn();
+    rc.set_addr(second.addr().to_string());
+    // These hit the stuck-at-0 axon after the resurrect, so the reborn
+    // session's own counters see the drops.
+    let late: Vec<(u64, CoreId, u16)> = (30..34).map(|t| (t, CoreId(0), 7)).collect();
+    rc.inject(&late).unwrap();
+    let s = rc.run_to(2 * HALF).unwrap();
+    assert_eq!(s.tick, 2 * HALF);
+    assert_eq!(s.health, Health::Degraded, "the stuck axon dropped spikes");
+    assert_eq!(s.fault_dropped, late.len() as u64);
+
+    let mut sim = tn_chip::TrueNorthSim::new(output_net());
+    sim.attach_faults(&tn_core::FaultPlan::parse(plan).unwrap());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in events[..HALF as usize].iter().chain(&late) {
+        src.push_checked(t, core, axon, 1).unwrap();
+    }
+    sim.run(2 * HALF, &mut src);
+    assert_eq!(s.state_digest, sim.network().state_digest());
+    rc.close().unwrap();
+    second.shutdown();
+}

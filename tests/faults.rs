@@ -1,0 +1,213 @@
+//! Integration: deterministic fault injection (paper §III-C taken
+//! further) — the same seeded [`tn_core::FaultPlan`] must degrade every
+//! kernel expression identically, replay byte-for-byte, survive
+//! snapshot round-trips of the damaged board, and never panic no matter
+//! how hostile the plan.
+
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+use tn_core::network::NullSource;
+use tn_core::{CoreCoord, FaultCounters, FaultPlan, Network, NetworkSnapshot};
+
+fn net() -> Network {
+    build_recurrent(&RecurrentParams {
+        rate_hz: 100.0,
+        synapses: 32,
+        cores_x: 6,
+        cores_y: 6,
+        seed: 0xFA17,
+    })
+}
+
+/// One event of every fault class on a 6×6 board.
+const EVERY_KIND: &str = "\
+tnfault 1
+seed 77
+horizon 200
+at 5 core 2 2 dead
+at 10 core 1 0 axon 7 stuck0
+at 12 core 0 1 axon 3 stuck1
+at 20 core 3 3 flip 12 34
+at 25 core 4 1 corrupt 9
+at 30 link 2 3 3 3 sever
+at 35 link 0 0 1 0 lossy 400
+at 40 core 5 5 sync 6
+";
+
+#[test]
+fn same_seed_and_plan_replays_byte_identically() {
+    let plan = FaultPlan::parse(EVERY_KIND).unwrap();
+    let trace = |plan: &FaultPlan| -> (Vec<u64>, FaultCounters) {
+        let mut sim = ReferenceSim::new(net());
+        sim.attach_faults(plan);
+        let digests: Vec<u64> = (0..150)
+            .map(|_| {
+                sim.step(&mut NullSource);
+                sim.network().state_digest()
+            })
+            .collect();
+        (digests, *sim.faults().unwrap().counters())
+    };
+    let (a, ca) = trace(&plan);
+    let (b, cb) = trace(&plan);
+    assert_eq!(a, b, "identical seed + plan must replay tick-for-tick");
+    assert_eq!(ca, cb);
+    // The plan actually bit: dead-core and lossy-link drops occurred.
+    assert!(ca.dead_dropped > 0, "{ca:?}");
+    assert!(ca.lossy_dropped > 0, "{ca:?}");
+    assert!(ca.stuck_dropped > 0, "{ca:?}");
+}
+
+#[test]
+fn every_fault_kind_agrees_across_expressions() {
+    let plan = FaultPlan::parse(EVERY_KIND).unwrap();
+    let mut digests = Vec::new();
+    let mut counters = Vec::new();
+
+    let mut reference = ReferenceSim::new(net());
+    reference.attach_faults(&plan);
+    reference.run(150, &mut NullSource);
+    digests.push(reference.network().state_digest());
+    counters.push(*reference.faults().unwrap().counters());
+
+    for threads in [2usize, 5] {
+        let mut sim = ParallelSim::new(net(), threads);
+        sim.attach_faults(&plan);
+        sim.run(150, &mut NullSource);
+        digests.push(sim.network().state_digest());
+        counters.push(*sim.faults().unwrap().counters());
+    }
+
+    let mut chip = TrueNorthSim::new(net());
+    chip.attach_faults(&plan);
+    chip.run(150, &mut NullSource);
+    digests.push(chip.network().state_digest());
+    counters.push(*chip.faults().unwrap().counters());
+
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "expressions diverged under faults: {digests:?}"
+    );
+    assert!(
+        counters.windows(2).all(|w| w[0] == w[1]),
+        "fault accounting diverged: {counters:?}"
+    );
+    // The chip report surfaces the same accounting.
+    assert_eq!(chip.report().faults, counters[0]);
+}
+
+#[test]
+fn damaged_board_snapshot_survives_byte_roundtrip_and_engine_swap() {
+    let plan = FaultPlan::parse(EVERY_KIND).unwrap();
+    let mut origin = ReferenceSim::new(net());
+    origin.attach_faults(&plan);
+    origin.run(60, &mut NullSource);
+
+    // Checkpoint mid-damage, through the byte codec.
+    let bytes = origin.checkpoint().to_bytes();
+    let snap = NetworkSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.tick, 60);
+
+    // The dead core's disabled flag rides along.
+    let dead_id = origin.network().id_of(CoreCoord::new(2, 2));
+    assert!(origin.network().core(dead_id).is_disabled());
+
+    origin.run(60, &mut NullSource);
+    let want = origin.network().state_digest();
+
+    // Resume on every other expression; each must land on the same state.
+    let mut par = ParallelSim::new(net(), 3);
+    par.attach_faults(&plan);
+    par.restore(&snap);
+    assert!(
+        par.network().core(dead_id).is_disabled(),
+        "restore keeps damage"
+    );
+    par.run(60, &mut NullSource);
+    assert_eq!(par.network().state_digest(), want);
+
+    let mut chip = TrueNorthSim::new(net());
+    chip.attach_faults(&plan);
+    chip.restore(&snap);
+    chip.run(60, &mut NullSource);
+    assert_eq!(chip.network().state_digest(), want);
+}
+
+#[test]
+fn manually_injected_defects_roundtrip_through_snapshot_bytes() {
+    let mut chip = TrueNorthSim::new(net());
+    for c in [CoreCoord::new(1, 1), CoreCoord::new(4, 2)] {
+        chip.inject_defect(c);
+    }
+    chip.run(40, &mut NullSource);
+
+    let bytes = chip.checkpoint().to_bytes();
+    let snap = NetworkSnapshot::from_bytes(&bytes).unwrap();
+
+    let mut resumed = ReferenceSim::new(net());
+    resumed.restore(&snap);
+    for c in [CoreCoord::new(1, 1), CoreCoord::new(4, 2)] {
+        let id = resumed.network().id_of(c);
+        assert!(resumed.network().core(id).is_disabled(), "{c:?}");
+    }
+    // The damaged board keeps running after the engine swap.
+    let stats = resumed.run(40, &mut NullSource);
+    assert!(stats.totals.spikes_out > 0);
+}
+
+#[test]
+fn hostile_plans_never_panic_any_engine() {
+    // Out-of-grid coordinates, boundary indices, saturated probabilities,
+    // zero-length windows, duplicate and tick-0 events: all must be
+    // absorbed (out-of-grid events are skipped at compile; the rest are
+    // legal, if pointless) without panicking any engine.
+    let hostile = [
+        "tnfault 1\nseed 0\nat 0 core 0 0 dead\nat 0 core 0 0 dead\nat 0 core 5 5 sync 0\n",
+        "tnfault 1\nseed 1\nat 1 core 60 60 dead\nat 2 core 0 40 axon 255 stuck1\nat 3 link 60 0 61 0 sever\n",
+        "tnfault 1\nseed 2\nat 1 core 0 0 flip 255 255\nat 1 core 5 5 corrupt 255\nat 2 link 0 0 0 1 lossy 1000\n",
+        "tnfault 1\nseed 3\nhorizon 5\nat 1000000 core 1 1 dead\nat 18446744073709551615 core 2 2 sync 18446744073709551615\n",
+    ];
+    for text in hostile {
+        let plan = FaultPlan::parse(text).unwrap();
+        let mut reference = ReferenceSim::new(net());
+        reference.attach_faults(&plan);
+        reference.run(30, &mut NullSource);
+        let mut par = ParallelSim::new(net(), 4);
+        par.attach_faults(&plan);
+        par.run(30, &mut NullSource);
+        let mut chip = TrueNorthSim::new(net());
+        chip.attach_faults(&plan);
+        chip.run(30, &mut NullSource);
+        assert_eq!(
+            reference.network().state_digest(),
+            chip.network().state_digest(),
+            "{text}"
+        );
+        assert_eq!(
+            reference.network().state_digest(),
+            par.network().state_digest(),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn killing_every_core_silences_the_board_gracefully() {
+    let mut text = String::from("tnfault 1\nseed 9\n");
+    for y in 0..6u16 {
+        for x in 0..6u16 {
+            text.push_str(&format!("at 10 core {x} {y} dead\n"));
+        }
+    }
+    let plan = FaultPlan::parse(&text).unwrap();
+    let mut sim = ReferenceSim::new(net());
+    sim.attach_faults(&plan);
+    sim.run(50, &mut NullSource);
+    let after_kill: u64 = {
+        let before = sim.stats().totals.spikes_out;
+        sim.run(50, &mut NullSource);
+        sim.stats().totals.spikes_out - before
+    };
+    assert_eq!(after_kill, 0, "a fully dead board must fall silent");
+}
