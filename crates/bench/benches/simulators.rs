@@ -38,12 +38,40 @@ fn bench_parallel() {
     for &threads in &[1usize, 2, 4] {
         let mut sim = ParallelSim::new(build_recurrent(&params(100.0, 64)), threads);
         sim.run(16, &mut NullSource);
-        // Batch of 8 ticks amortizes the scoped-thread spawn.
         bench_with_target(
             &format!("parallel_compass/threads/{threads} (8 ticks)"),
             TARGET,
             &mut || {
                 sim.run(8, &mut NullSource);
+            },
+        );
+    }
+}
+
+/// A source that always has one event pending, defeating the parallel
+/// input-phase skip (quiet ticks broadcast an empty length and never
+/// touch the input lock).
+struct BusySource;
+
+impl tn_core::SpikeSource for BusySource {
+    fn fill(&mut self, tick: u64, out: &mut Vec<(tn_core::CoreId, u8)>) {
+        out.push((tn_core::CoreId((tick % 64) as u32), (tick % 256) as u8));
+    }
+}
+
+fn bench_parallel_input_skip() {
+    for (name, busy) in [("null_source", false), ("busy_source", true)] {
+        let mut sim = ParallelSim::new(build_recurrent(&params(100.0, 64)), 2);
+        sim.run(16, &mut NullSource);
+        bench_with_target(
+            &format!("parallel_input_phase/{name} (8 ticks)"),
+            TARGET,
+            &mut || {
+                if busy {
+                    sim.run(8, &mut BusySource);
+                } else {
+                    sim.run(8, &mut NullSource);
+                }
             },
         );
     }
@@ -62,5 +90,6 @@ fn bench_chip() {
 fn main() {
     bench_reference();
     bench_parallel();
+    bench_parallel_input_skip();
     bench_chip();
 }

@@ -1,4 +1,4 @@
-//! Ablations of the design choices the paper calls out (DESIGN.md §7):
+//! Ablations of the design choices the paper calls out (DESIGN.md §9):
 //!
 //! * `traffic`      — the neurosynaptic-core clustering argument of §III-A:
 //!   per-synapse event replication sends S/N ≈ fanout messages per spike;
@@ -13,16 +13,21 @@
 //!   concentration differs.
 //! * `placement`    — corelet placement optimization: wiring cost and
 //!   mesh-hop energy before/after the swap-based placer.
+//! * `fastpath`     — the event-driven kernel fast paths (quiescence
+//!   skip, type-grouped popcount + profile dedup) ablated one tier at a
+//!   time; all variants are bit-exact, only host speed changes.
+//! * `pool`         — the persistent worker pool vs spawning threads on
+//!   every `run()` call (the served-session single-tick access pattern).
 //!
-//! Usage: `ablation [traffic|eventdriven|aggregation|routing|placement|all]`
+//! Usage: `ablation [traffic|eventdriven|aggregation|routing|placement|fastpath|pool|all]`
 
 use std::time::Instant;
 use tn_apps::recurrent::{build_recurrent, RecurrentParams};
 use tn_bench::table::fmt_sig;
 use tn_bench::Table;
-use tn_compass::{AggregationMode, ParallelSim};
+use tn_compass::{AggregationMode, ParallelSim, PoolMode, ReferenceSim};
 use tn_core::network::NullSource;
-use tn_core::{Crossbar, NEURONS_PER_CORE};
+use tn_core::{Crossbar, FastPathConfig, NEURONS_PER_CORE};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -41,6 +46,111 @@ fn main() {
     if which == "placement" || which == "all" {
         placement();
     }
+    if which == "fastpath" || which == "all" {
+        fastpath();
+    }
+    if which == "pool" || which == "all" {
+        pool();
+    }
+}
+
+/// The kernel fast paths, one tier at a time, on the (20 Hz, 128 syn)
+/// characterization point. Every row ends in the identical state digest;
+/// the BENCH_kernel.json gate (`tn-bench --bin kernel`) enforces that.
+fn fastpath() {
+    println!("\n== ablation: event-driven kernel fast paths ==");
+    let p = RecurrentParams {
+        rate_hz: 20.0,
+        synapses: 128,
+        cores_x: 16,
+        cores_y: 16,
+        seed: 0xFA57,
+    };
+    let ticks = 60;
+    let mut t = Table::new(&["variant", "ms_per_tick", "x_vs_scalar", "state_digest"]);
+    let mut scalar_spt = 0.0;
+    for (name, cfg) in [
+        ("scalar (no fast paths)", FastPathConfig::scalar()),
+        (
+            "no quiescence skip",
+            FastPathConfig {
+                quiescence: false,
+                popcount: true,
+            },
+        ),
+        (
+            "no popcount kernel",
+            FastPathConfig {
+                quiescence: true,
+                popcount: false,
+            },
+        ),
+        ("full fast path", FastPathConfig::default()),
+    ] {
+        let mut sim = ReferenceSim::new(build_recurrent(&p));
+        sim.network_mut().set_fastpath(cfg);
+        sim.run(16, &mut NullSource);
+        let start = Instant::now();
+        sim.run(ticks, &mut NullSource);
+        let spt = start.elapsed().as_secs_f64() / ticks as f64;
+        if scalar_spt == 0.0 {
+            scalar_spt = spt;
+        }
+        t.row(vec![
+            name.into(),
+            fmt_sig(spt * 1e3),
+            fmt_sig(scalar_spt / spt),
+            format!("{:#x}", sim.network().state_digest()),
+        ]);
+    }
+    t.print();
+    println!("(identical digests: the fast paths are bit-exact, not approximations)");
+}
+
+/// Persistent pool vs per-run spawning, driven the way a served session
+/// drives the simulator: one run() call per tick.
+fn pool() {
+    println!("\n== ablation: persistent worker pool vs per-run spawn ==");
+    let p = RecurrentParams {
+        rate_hz: 20.0,
+        synapses: 64,
+        cores_x: 8,
+        cores_y: 8,
+        seed: 0xB001,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let ticks = 200u64;
+    let mut t = Table::new(&["pool", "threads", "us_per_single_tick_run", "x_slowdown"]);
+    let mut base = 0.0;
+    for (name, mode) in [
+        ("persistent", PoolMode::Persistent),
+        ("spawn per run", PoolMode::PerRun),
+    ] {
+        let mut sim = ParallelSim::with_options(
+            build_recurrent(&p),
+            threads,
+            AggregationMode::Pairwise,
+            mode,
+        );
+        sim.run(16, &mut NullSource);
+        let start = Instant::now();
+        for _ in 0..ticks {
+            sim.run(1, &mut NullSource);
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / ticks as f64;
+        if base == 0.0 {
+            base = us;
+        }
+        t.row(vec![
+            name.into(),
+            threads.to_string(),
+            fmt_sig(us),
+            fmt_sig(us / base),
+        ]);
+    }
+    t.print();
 }
 
 /// Placement optimization: how much NoC traffic does layout cost?

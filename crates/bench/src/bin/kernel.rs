@@ -1,0 +1,304 @@
+//! The kernel fast-path benchmark: the repo's perf trajectory record.
+//!
+//! Runs the paper's headline characterization point — a full 64×64-core
+//! chip of stochastic sources at (20 Hz, 128 synapses), Section VI — on
+//! all three engine expressions (reference, parallel, chip), once with
+//! the event-driven fast paths enabled and once forced down the scalar
+//! path, and emits a machine-readable `BENCH_kernel.json`.
+//!
+//! The benchmark doubles as a bit-exactness check: for every engine the
+//! fast-path and scalar runs must end in the identical `state_digest`,
+//! and the process exits nonzero if they diverge *or* if the fast path
+//! fails to beat the scalar path (a perf regression gate for CI).
+//!
+//! Usage: `kernel [--quick] [--ticks N] [--threads N] [--no-quiescence]
+//!                [--no-popcount] [--no-pool] [--out PATH]`
+//!
+//! * `--quick` — 16×16-core grid and fewer ticks (CI smoke mode).
+//! * `--no-quiescence` / `--no-popcount` — ablate one fast-path tier
+//!   (the "fastpath" rows then measure the remaining tiers).
+//! * `--no-pool` — spawn the parallel worker pool per run instead of
+//!   reusing it (the pool ablation).
+
+use std::time::Instant;
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_compass::{ParallelSim, PoolMode, ReferenceSim};
+use tn_core::network::NullSource;
+use tn_core::{FastPathConfig, Network};
+
+struct Args {
+    quick: bool,
+    ticks: u64,
+    threads: usize,
+    quiescence: bool,
+    popcount: bool,
+    pool: PoolMode,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        ticks: 0,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1),
+        quiescence: true,
+        popcount: true,
+        pool: PoolMode::Persistent,
+        out: "BENCH_kernel.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--ticks" => a.ticks = it.next().and_then(|v| v.parse().ok()).expect("--ticks N"),
+            "--threads" => a.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N"),
+            "--no-quiescence" => a.quiescence = false,
+            "--no-popcount" => a.popcount = false,
+            "--pool" => a.pool = PoolMode::Persistent,
+            "--no-pool" => a.pool = PoolMode::PerRun,
+            "--out" => a.out = it.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if a.ticks == 0 {
+        a.ticks = if a.quick { 10 } else { 40 };
+    }
+    a
+}
+
+/// One engine × fast-path-config measurement.
+struct Row {
+    engine: &'static str,
+    fastpath: bool,
+    ms_per_tick: f64,
+    ticks_per_s: f64,
+    sops_per_tick: f64,
+    sops_per_s: f64,
+    state_digest: u64,
+}
+
+fn measure(
+    engine: &'static str,
+    fast: bool,
+    net: Network,
+    cfg: FastPathConfig,
+    args: &Args,
+    warmup: u64,
+) -> Row {
+    let ticks = args.ticks;
+    let (wall, sops, digest) = match engine {
+        "reference" => {
+            let mut sim = ReferenceSim::new(net);
+            sim.network_mut().set_fastpath(cfg);
+            sim.run(warmup, &mut NullSource);
+            let sops0 = sim.stats().totals.sops;
+            let t0 = Instant::now();
+            sim.run(ticks, &mut NullSource);
+            let wall = t0.elapsed().as_secs_f64();
+            (
+                wall,
+                sim.stats().totals.sops - sops0,
+                sim.network().state_digest(),
+            )
+        }
+        "parallel" => {
+            let mut sim = ParallelSim::with_options(
+                net,
+                args.threads,
+                tn_compass::AggregationMode::Pairwise,
+                args.pool,
+            );
+            sim.network_mut().set_fastpath(cfg);
+            sim.run(warmup, &mut NullSource);
+            let sops0 = sim.stats().totals.sops;
+            let t0 = Instant::now();
+            sim.run(ticks, &mut NullSource);
+            let wall = t0.elapsed().as_secs_f64();
+            (
+                wall,
+                sim.stats().totals.sops - sops0,
+                sim.network().state_digest(),
+            )
+        }
+        "chip" => {
+            let mut sim = tn_chip::TrueNorthSim::new(net);
+            sim.network_mut().set_fastpath(cfg);
+            sim.run(warmup, &mut NullSource);
+            let sops0 = sim.stats().totals.sops;
+            let t0 = Instant::now();
+            sim.run(ticks, &mut NullSource);
+            let wall = t0.elapsed().as_secs_f64();
+            (
+                wall,
+                sim.stats().totals.sops - sops0,
+                sim.network().state_digest(),
+            )
+        }
+        _ => unreachable!(),
+    };
+    let sops_per_tick = sops as f64 / ticks as f64;
+    Row {
+        engine,
+        fastpath: fast,
+        ms_per_tick: wall * 1e3 / ticks as f64,
+        ticks_per_s: ticks as f64 / wall,
+        sops_per_tick,
+        sops_per_s: sops as f64 / wall,
+        state_digest: digest,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let params = if args.quick {
+        RecurrentParams {
+            rate_hz: 20.0,
+            synapses: 128,
+            cores_x: 16,
+            cores_y: 16,
+            seed: 0xBE2C,
+        }
+    } else {
+        RecurrentParams::full_chip(20.0, 128, 0xBE2C)
+    };
+    let warmup = if args.quick { 4 } else { 8 };
+    let fast_cfg = FastPathConfig {
+        quiescence: args.quiescence,
+        popcount: args.popcount,
+    };
+    let scalar_cfg = FastPathConfig::scalar();
+
+    eprintln!(
+        "kernel bench: {}x{} cores, (20 Hz, 128 syn), {} warmup + {} measured ticks, {} threads",
+        params.cores_x, params.cores_y, warmup, args.ticks, args.threads
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for engine in ["reference", "parallel", "chip"] {
+        for (fast, cfg) in [(true, fast_cfg), (false, scalar_cfg)] {
+            let row = measure(engine, fast, build_recurrent(&params), cfg, &args, warmup);
+            eprintln!(
+                "  {:<9} fastpath={:<5} {:>9.3} ms/tick  {:>8.2} ticks/s  {:.3e} SOPS/s",
+                row.engine, row.fastpath, row.ms_per_tick, row.ticks_per_s, row.sops_per_s
+            );
+            rows.push(row);
+        }
+    }
+
+    // Bit-exactness gate: per engine, fastpath and scalar runs must agree.
+    let mut exact = true;
+    for engine in ["reference", "parallel", "chip"] {
+        let d: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.engine == engine)
+            .map(|r| r.state_digest)
+            .collect();
+        if d[0] != d[1] {
+            eprintln!(
+                "DIGEST MISMATCH on {engine}: fastpath {:#x} != scalar {:#x}",
+                d[0], d[1]
+            );
+            exact = false;
+        }
+    }
+    // Cross-engine agreement too (reference vs parallel vs chip).
+    let ref_digest = rows[0].state_digest;
+    if rows.iter().any(|r| r.state_digest != ref_digest) {
+        eprintln!("DIGEST MISMATCH across engines");
+        exact = false;
+    }
+
+    // Perf gate: the fast path must not lose to the scalar path.
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    let mut fast_wins = true;
+    for engine in ["reference", "parallel", "chip"] {
+        let f = rows
+            .iter()
+            .find(|r| r.engine == engine && r.fastpath)
+            .unwrap();
+        let s = rows
+            .iter()
+            .find(|r| r.engine == engine && !r.fastpath)
+            .unwrap();
+        let x = f.ticks_per_s / s.ticks_per_s;
+        eprintln!("  {engine:<9} fastpath speedup: {x:.2}x");
+        if x < 1.0 {
+            fast_wins = false;
+        }
+        speedups.push((engine, x));
+    }
+
+    // Emit BENCH_kernel.json.
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"tn-bench/kernel/v1\",\n");
+    j.push_str("  \"bench\": \"kernel\",\n");
+    j.push_str(&format!(
+        "  \"network\": {{\"rate_hz\": 20.0, \"synapses\": 128, \"cores_x\": {}, \"cores_y\": {}, \"neurons\": {}}},\n",
+        params.cores_x,
+        params.cores_y,
+        params.cores_x as u64 * params.cores_y as u64 * 256
+    ));
+    j.push_str(&format!("  \"quick\": {},\n", args.quick));
+    j.push_str(&format!("  \"threads\": {},\n", args.threads));
+    j.push_str(&format!(
+        "  \"warmup_ticks\": {warmup},\n  \"measure_ticks\": {},\n",
+        args.ticks
+    ));
+    j.push_str(&format!(
+        "  \"fastpath_config\": {{\"quiescence\": {}, \"popcount\": {}, \"persistent_pool\": {}}},\n",
+        args.quiescence,
+        args.popcount,
+        args.pool == PoolMode::Persistent
+    ));
+    j.push_str("  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"fastpath\": {}, \"ms_per_tick\": {}, \"ticks_per_s\": {}, \"sops_per_tick\": {}, \"sops_per_s\": {}, \"state_digest\": \"{:#018x}\"}}{}\n",
+            r.engine,
+            r.fastpath,
+            json_f(r.ms_per_tick),
+            json_f(r.ticks_per_s),
+            json_f(r.sops_per_tick),
+            json_f(r.sops_per_s),
+            r.state_digest,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"speedup\": {");
+    for (i, (e, x)) in speedups.iter().enumerate() {
+        j.push_str(&format!(
+            "\"{e}\": {}{}",
+            json_f(*x),
+            if i + 1 < speedups.len() { ", " } else { "" }
+        ));
+    }
+    j.push_str("},\n");
+    j.push_str(&format!(
+        "  \"bit_exact\": {exact},\n  \"fastpath_wins\": {fast_wins}\n"
+    ));
+    j.push_str("}\n");
+    std::fs::write(&args.out, &j).expect("write BENCH json");
+    eprintln!("wrote {}", args.out);
+
+    if !exact {
+        std::process::exit(2);
+    }
+    if !fast_wins {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@
 //! | `apps_table`  | §IV-B application statistics + NeoVision precision/recall |
 //! | `scaleout`    | §VII board/backplane/rack projections |
 //! | `equivalence` | §VI-A 1:1 spike-for-spike regressions |
-//! | `ablation`    | DESIGN.md §7 design-choice ablations |
+//! | `ablation`    | DESIGN.md §9 design-choice ablations |
 //!
 //! This library holds the shared sweep/characterization machinery and
 //! plain-text table rendering (benchmarks print the same rows/series the

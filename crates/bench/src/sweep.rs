@@ -87,7 +87,7 @@ pub fn characterize_at_voltage(r: &NetResult, volts: f64) -> CharPoint {
         sops: per_tick(r.totals.sops) as u64,
         neuron_updates: per_tick(r.totals.neuron_updates) as u64,
         spikes_out: per_tick(r.totals.spikes_out) as u64,
-        prng_draws_end: 0,
+        prng_draws: 0,
     };
     let hops_per_tick = per_tick(r.total_hops) as u64;
     let bnd_per_tick = per_tick(r.boundary_crossings) as u64;
@@ -147,7 +147,7 @@ pub fn analytic_point(rate_hz: f64, syn: f64, volts: f64) -> CharPoint {
         sops: sops_per_tick as u64,
         neuron_updates: neurons as u64,
         spikes_out: spikes_per_tick as u64,
-        prng_draws_end: 0,
+        prng_draws: 0,
     };
     let hops = (spikes_per_tick * hops_per_spike) as u64;
     let e_rt = em.tick_energy(&stats, hops, 0, 1, TICK_SECONDS);

@@ -162,7 +162,7 @@ mod tests {
             sops,
             neuron_updates: neurons,
             spikes_out: spikes,
-            prng_draws_end: 0,
+            prng_draws: 0,
         };
         // Paper: targets average 21.66 hops away in each of x and y.
         let hops = (spikes as f64 * 43.3) as u64;

@@ -89,7 +89,7 @@ fn energy_monotonicity() {
             sops: rng.below(10_000_000),
             neuron_updates: 1 << 20,
             spikes_out: rng.below(500_000),
-            prng_draws_end: 0,
+            prng_draws: 0,
         };
         let hops = rng.below(10_000_000);
         let base = m.tick_energy(&stats, hops, 0, 1, 1e-3).total_j();

@@ -27,7 +27,7 @@ pub mod session;
 pub mod trace;
 
 pub use output::{OutputEvent, SpikeRecord};
-pub use parallel::{AggregationMode, ParallelSim};
+pub use parallel::{AggregationMode, ParallelSim, PoolMode};
 pub use partition::weighted_split_points;
 pub use reference::ReferenceSim;
 pub use session::KernelSession;

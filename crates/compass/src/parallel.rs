@@ -16,6 +16,26 @@
 //!   queue, one lock acquisition per spike) and exists purely as the
 //!   ablation baseline for the paper's aggregation claim.
 //!
+//! ## The persistent worker pool
+//!
+//! Threads are spawned **once**, on the first [`ParallelSim::run`] call,
+//! together with the weighted partition and the mailbox matrix; later
+//! runs only publish a job descriptor and wake the pool. This matters for
+//! served sessions, which step the simulator one tick per `run` call —
+//! per-run spawning would pay thread creation and partitioning on every
+//! tick. The calling thread participates as worker 0 (it is the only
+//! thread that polls the external [`SpikeSource`], so the source needs no
+//! locking), and [`PoolMode::PerRun`] restores the old spawn-per-run
+//! behaviour as an ablation baseline.
+//!
+//! The mailbox matrix is double-buffered by tick parity: spikes fired at
+//! tick `t` land in buffer `t & 1`, so the writes of tick `t+1` can never
+//! collide with a late drain of tick `t`, and the Pairwise tick needs
+//! only **two** barriers (input ready / mailboxes written) instead of the
+//! four a single-buffered exchange requires. On quiet ticks — no external
+//! input pending, broadcast through an atomic length — workers skip the
+//! input lock entirely.
+//!
 //! Determinism: spike delivery is an idempotent, commutative bit-set into
 //! per-tick delay-buffer slots, and each core's PRNG/potential updates are
 //! confined to its owner thread, so the final network state is identical
@@ -24,10 +44,11 @@
 
 use crate::output::{OutputEvent, SpikeRecord};
 use crate::partition::{owner_of, weighted_split_points};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
+use tn_core::nscore::NeurosynapticCore;
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats};
 
 /// How threads hand spikes to each other.
@@ -41,6 +62,18 @@ pub enum AggregationMode {
     GlobalQueue,
 }
 
+/// Worker-pool lifetime policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PoolMode {
+    /// Spawn the pool once and reuse it across [`ParallelSim::run`]
+    /// calls (the fast path).
+    #[default]
+    Persistent,
+    /// Spawn and join a fresh pool on every `run` call — the ablation
+    /// baseline measuring what the persistent pool saves.
+    PerRun,
+}
+
 /// A spike in flight between threads.
 #[derive(Clone, Copy, Debug)]
 struct Packet {
@@ -49,11 +82,340 @@ struct Packet {
     delay: u8,
 }
 
+/// Raw base pointer to the network's core array, valid only for the
+/// duration of one job. Workers slice disjoint `starts[k]..starts[k+1]`
+/// ranges out of it, so no two threads alias the same core.
+#[derive(Clone, Copy)]
+struct CoreBase(*mut NeurosynapticCore);
+// SAFETY: the pointee is owned by `ParallelSim`, which blocks in
+// `run_job` until every worker has passed the end-of-job barrier; each
+// worker touches only its own contiguous range.
+unsafe impl Send for CoreBase {}
+unsafe impl Sync for CoreBase {}
+
+/// One `run()` call's worth of work, published to the pool.
+#[derive(Clone)]
+struct JobDesc {
+    cores: CoreBase,
+    num_cores: usize,
+    start_tick: u64,
+    ticks: u64,
+    grid_w: usize,
+    mode: AggregationMode,
+    /// Counter-zeroed fault-state prototype; each worker clones its own
+    /// fork so the fault path needs no synchronization.
+    fault_proto: Option<FaultState>,
+}
+
+/// Dispatch slot: monotonically increasing generation + current job.
+struct JobSlot {
+    generation: u64,
+    shutdown: bool,
+    job: Option<JobDesc>,
+}
+
+/// State shared between the pool's threads for its whole lifetime.
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    wake: Condvar,
+    barrier: Barrier,
+    /// Partition start offsets, computed once from per-core synaptic
+    /// weight at pool creation.
+    starts: Vec<usize>,
+    /// `mailboxes[t & 1][src][dst]` — double-buffered by tick parity so
+    /// adjacent ticks never touch the same buffer.
+    mailboxes: [Vec<Vec<Mutex<Vec<Packet>>>>; 2],
+    global_queue: Mutex<Vec<Packet>>,
+    input: Mutex<Vec<(tn_core::CoreId, u8)>>,
+    /// Length of `input` this tick, broadcast so workers can skip the
+    /// lock when no external events are pending.
+    input_len: AtomicUsize,
+    merged: Mutex<(TickStats, Vec<OutputEvent>)>,
+    fault_merged: Mutex<FaultCounters>,
+    dropped: AtomicU64,
+}
+
+/// A spawned worker pool: `starts.len()` participants, of which
+/// `handles.len() == starts.len() - 1` are background threads and the
+/// remaining one is whichever thread calls [`ParallelSim::run`].
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(net: &Network, threads: usize) -> WorkerPool {
+        // Load-balanced contiguous partition by per-core synaptic weight.
+        let weights: Vec<u64> = net
+            .cores()
+            .iter()
+            .map(|c| 64 + c.config().crossbar.active_synapses() as u64)
+            .collect();
+        let starts = weighted_split_points(&weights, threads);
+        let n = starts.len(); // may have been clamped
+
+        let mailbox = || -> Vec<Vec<Mutex<Vec<Packet>>>> {
+            (0..n)
+                .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        };
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                generation: 0,
+                shutdown: false,
+                job: None,
+            }),
+            wake: Condvar::new(),
+            barrier: Barrier::new(n),
+            starts,
+            mailboxes: [mailbox(), mailbox()],
+            global_queue: Mutex::new(Vec::new()),
+            input: Mutex::new(Vec::new()),
+            input_len: AtomicUsize::new(0),
+            merged: Mutex::new((TickStats::default(), Vec::new())),
+            fault_merged: Mutex::new(FaultCounters::default()),
+            dropped: AtomicU64::new(0),
+        });
+
+        let handles = (1..n)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(k, &shared))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Publish a job, execute it as worker 0, and wait for the pool.
+    fn run_job(&self, job: JobDesc, src: &mut (dyn SpikeSource + Send)) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.generation += 1;
+            slot.job = Some(job.clone());
+        }
+        self.shared.wake.notify_all();
+        // The end-of-job barrier inside run_ticks doubles as the
+        // completion wait: when worker 0 returns, every worker has merged
+        // its results and stopped touching the job's core array.
+        run_ticks(0, &self.shared, &job, Some(src));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Background worker: sleep on the dispatch slot, run each published
+/// generation exactly once, exit on shutdown.
+fn worker_loop(k: usize, shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation > seen {
+                    seen = slot.generation;
+                    break slot.job.clone().expect("generation bumped without job");
+                }
+                slot = shared.wake.wait(slot).unwrap();
+            }
+        };
+        run_ticks(k, shared, &job, None);
+    }
+}
+
+/// The per-worker tick loop. Worker 0 (always the thread inside
+/// [`ParallelSim::run`]) additionally polls the spike source.
+fn run_ticks(
+    k: usize,
+    shared: &PoolShared,
+    job: &JobDesc,
+    mut src: Option<&mut (dyn SpikeSource + Send)>,
+) {
+    let n = shared.starts.len();
+    let starts = &shared.starts[..];
+    let my_lo = starts[k];
+    let my_hi = if k + 1 < n {
+        starts[k + 1]
+    } else {
+        job.num_cores
+    };
+    // SAFETY: ranges [starts[k], starts[k+1]) are disjoint across
+    // workers and the array outlives the job (see `CoreBase`).
+    let my_cores: &mut [NeurosynapticCore] =
+        unsafe { std::slice::from_raw_parts_mut(job.cores.0.add(my_lo), my_hi - my_lo) };
+    let my_offset = my_lo as u32;
+    let mode = job.mode;
+
+    let mut local_stats = TickStats::default();
+    let mut local_out: Vec<OutputEvent> = Vec::new();
+    let mut spike_buf: Vec<OutSpike> = Vec::new();
+    let mut buckets: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
+    let mut fk = job.fault_proto.clone();
+
+    for t in job.start_tick..job.start_tick + job.ticks {
+        // -- fault phase: every fork advances in lockstep; structural
+        //    mutations land only on owned cores --
+        if let Some(f) = fk.as_mut() {
+            for i in f.advance(t) {
+                let ev = f.events()[i];
+                let idx = ev.coord.y as usize * job.grid_w + ev.coord.x as usize;
+                if owner_of(starts, idx) == k {
+                    let core = &mut my_cores[idx - my_offset as usize];
+                    FaultState::apply_to_core(&ev, core, f.seed());
+                }
+            }
+            for &(core, axon) in f.stuck1() {
+                if owner_of(starts, core as usize) == k {
+                    my_cores[core as usize - my_offset as usize].deliver(t, axon);
+                }
+            }
+        }
+
+        // -- input phase (worker 0 polls the source) --
+        if k == 0 {
+            let mut inp = shared.input.lock().unwrap();
+            inp.clear();
+            if let Some(s) = src.as_deref_mut() {
+                s.fill(t, &mut inp);
+            }
+            // Bounds-check the injection here, once, so a misbehaving
+            // source is diagnosed instead of panicking a worker mid-tick.
+            let before = inp.len();
+            inp.retain(|(core, _)| core.index() < job.num_cores);
+            let bad = (before - inp.len()) as u64;
+            if bad > 0 {
+                shared.dropped.fetch_add(bad, Ordering::Relaxed);
+            }
+            shared.input_len.store(inp.len(), Ordering::Release);
+        }
+        shared.barrier.wait(); // (1) input ready; prior tick fully drained
+        if shared.input_len.load(Ordering::Acquire) > 0 {
+            let inp = shared.input.lock().unwrap();
+            for &(core, axon) in inp.iter() {
+                if owner_of(starts, core.index()) == k {
+                    if let Some(f) = fk.as_mut() {
+                        if !f.allow_external(t, core.0, axon) {
+                            continue;
+                        }
+                    }
+                    my_cores[core.index() - my_offset as usize].deliver(t + 1, axon);
+                }
+            }
+        }
+
+        // -- synapse + neuron phases on owned cores --
+        spike_buf.clear();
+        for core in my_cores.iter_mut() {
+            core.tick(t, &mut spike_buf, &mut local_stats);
+        }
+
+        // -- network phase, local half: bucket spikes --
+        let parity = (t & 1) as usize;
+        for s in spike_buf.drain(..) {
+            match s.dest {
+                Dest::Axon(tgt) => {
+                    // Fire-side filtering: the source owner decides, so
+                    // every drop is counted exactly once across forks.
+                    if let Some(f) = fk.as_mut() {
+                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                            continue;
+                        }
+                    }
+                    let pkt = Packet {
+                        core: tgt.core.0,
+                        axon: tgt.axon,
+                        delay: tgt.delay,
+                    };
+                    match mode {
+                        AggregationMode::Pairwise => {
+                            let dst = owner_of(starts, tgt.core.index());
+                            buckets[dst].push(pkt);
+                        }
+                        AggregationMode::GlobalQueue => {
+                            // Ablation: one lock per spike.
+                            shared.global_queue.lock().unwrap().push(pkt);
+                        }
+                    }
+                }
+                Dest::Output(port) => local_out.push(OutputEvent { tick: t, port }),
+                Dest::None => {}
+            }
+        }
+        if mode == AggregationMode::Pairwise {
+            for (dst, bucket) in buckets.iter_mut().enumerate() {
+                if !bucket.is_empty() {
+                    let mut mbox = shared.mailboxes[parity][k][dst].lock().unwrap();
+                    std::mem::swap(&mut *mbox, bucket);
+                }
+            }
+        }
+        shared.barrier.wait(); // (2) all mailboxes written
+
+        // -- network phase, remote half: drain and deliver. Runs
+        // unbarriered into the next tick: the next tick's spikes land in
+        // the other parity buffer, and barrier (1) orders this drain
+        // before the next input read. --
+        match mode {
+            AggregationMode::Pairwise => {
+                for row in shared.mailboxes[parity].iter() {
+                    let mut mbox = row[k].lock().unwrap();
+                    for pkt in mbox.drain(..) {
+                        let idx = pkt.core as usize - my_offset as usize;
+                        my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
+                    }
+                }
+            }
+            AggregationMode::GlobalQueue => {
+                {
+                    let q = shared.global_queue.lock().unwrap();
+                    for pkt in q.iter() {
+                        if owner_of(starts, pkt.core as usize) == k {
+                            let idx = pkt.core as usize - my_offset as usize;
+                            my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
+                        }
+                    }
+                }
+                shared.barrier.wait(); // (3) all drains done
+                if k == 0 {
+                    // Cleared before barrier (1) of the next tick, which
+                    // orders it ahead of the next tick's pushes.
+                    shared.global_queue.lock().unwrap().clear();
+                }
+            }
+        }
+    }
+
+    if let Some(f) = fk {
+        shared.fault_merged.lock().unwrap().merge(f.counters());
+    }
+    {
+        let mut m = shared.merged.lock().unwrap();
+        m.0 += local_stats;
+        m.1.append(&mut local_out);
+    }
+    shared.barrier.wait(); // end-of-job: results merged, core array released
+}
+
 /// Multithreaded software expression of the kernel.
 pub struct ParallelSim {
     net: Network,
     threads: usize,
     mode: AggregationMode,
+    pool_mode: PoolMode,
+    pool: Option<WorkerPool>,
     tick: u64,
     stats: RunStats,
     outputs: SpikeRecord,
@@ -69,11 +431,22 @@ impl ParallelSim {
     }
 
     pub fn with_mode(net: Network, threads: usize, mode: AggregationMode) -> Self {
+        Self::with_options(net, threads, mode, PoolMode::Persistent)
+    }
+
+    pub fn with_options(
+        net: Network,
+        threads: usize,
+        mode: AggregationMode,
+        pool_mode: PoolMode,
+    ) -> Self {
         let threads = threads.clamp(1, net.num_cores());
         ParallelSim {
             net,
             threads,
             mode,
+            pool_mode,
+            pool: None,
             tick: 0,
             stats: RunStats::default(),
             outputs: SpikeRecord::new(),
@@ -127,6 +500,10 @@ impl ParallelSim {
         self.threads
     }
 
+    pub fn pool_mode(&self) -> PoolMode {
+        self.pool_mode
+    }
+
     pub fn stats(&self) -> &RunStats {
         &self.stats
     }
@@ -149,239 +526,59 @@ impl ParallelSim {
         (self.net, self.outputs, self.stats)
     }
 
-    /// Run `ticks` steps on the worker pool. Workers are spawned per call;
-    /// for realistic tick counts the spawn cost is negligible relative to
-    /// simulation work.
+    /// Run `ticks` steps on the worker pool. In [`PoolMode::Persistent`]
+    /// the pool (threads, partition, mailboxes) is created on the first
+    /// call and reused afterwards; the calling thread joins in as worker
+    /// 0 and is the only thread that polls `src`.
     pub fn run(&mut self, ticks: u64, src: &mut (dyn SpikeSource + Send)) -> RunStats {
         if ticks == 0 {
             return self.stats;
         }
-        let n = self.threads;
         let start_tick = self.tick;
-        let grid_w = self.net.width() as usize;
-
-        // Load-balanced contiguous partition by per-core synaptic weight.
-        let weights: Vec<u64> = self
-            .net
-            .cores()
-            .iter()
-            .map(|c| 64 + c.config().crossbar.active_synapses() as u64)
-            .collect();
-        let starts = weighted_split_points(&weights, n);
-        let n = starts.len(); // may have been clamped
-
-        // Split the core array into owned slices.
-        let mut slices = Vec::with_capacity(n);
-        {
-            let mut rest = self.net.cores_mut();
-            let mut consumed = 0usize;
-            for k in 0..n {
-                let end = if k + 1 < n {
-                    starts[k + 1]
-                } else {
-                    rest.len() + consumed
-                };
-                let (head, tail) = rest.split_at_mut(end - consumed);
-                consumed = end;
-                slices.push(head);
-                rest = tail;
+        let per_run_pool;
+        let pool = match self.pool_mode {
+            PoolMode::Persistent => {
+                if self.pool.is_none() {
+                    self.pool = Some(WorkerPool::new(&self.net, self.threads));
+                }
+                self.pool.as_ref().unwrap()
             }
-        }
-
-        // Mailboxes: mailboxes[src][dst]; src writes its own row during
-        // the compute phase, dst drains its column during the exchange
-        // phase — the two-step communication scheme.
-        let mailboxes: Vec<Vec<Mutex<Vec<Packet>>>> = (0..n)
-            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
-            .collect();
-        let global_queue: Mutex<Vec<Packet>> = Mutex::new(Vec::new());
-        let input_shared: Mutex<Vec<(tn_core::CoreId, u8)>> = Mutex::new(Vec::new());
-        let src_shared: Mutex<&mut (dyn SpikeSource + Send)> = Mutex::new(src);
-        let barrier = Barrier::new(n);
-        let merged: Mutex<(TickStats, Vec<OutputEvent>)> =
-            Mutex::new((TickStats::default(), Vec::new()));
-        let dropped = AtomicU64::new(0);
-        let total_cores = weights.len();
-
-        // Each worker runs a counter-zeroed fork of the fault state so no
-        // synchronization is needed on the fault path; drop counters are
-        // merged back at the end of the run.
-        let fault_proto: Option<FaultState> = self.faults.as_ref().map(|f| f.fork());
-        let fault_merged: Mutex<FaultCounters> = Mutex::new(FaultCounters::default());
-
-        let mode = self.mode;
-        let starts_ref = &starts;
-        let fault_proto_ref = &fault_proto;
-        let fault_merged_ref = &fault_merged;
-        let mailboxes_ref = &mailboxes;
-        let global_ref = &global_queue;
-        let input_ref = &input_shared;
-        let src_ref = &src_shared;
-        let barrier_ref = &barrier;
-        let merged_ref = &merged;
-        let dropped_ref = &dropped;
+            PoolMode::PerRun => {
+                per_run_pool = WorkerPool::new(&self.net, self.threads);
+                &per_run_pool
+            }
+        };
+        let job = JobDesc {
+            cores: CoreBase(self.net.cores_mut().as_mut_ptr()),
+            num_cores: self.net.num_cores(),
+            start_tick,
+            ticks,
+            grid_w: self.net.width() as usize,
+            mode: self.mode,
+            // Each worker runs a counter-zeroed fork of the fault state
+            // so no synchronization is needed on the fault path; drop
+            // counters are merged back at the end of the run.
+            fault_proto: self.faults.as_ref().map(|f| f.fork()),
+        };
 
         let wall = Instant::now();
-        std::thread::scope(|scope| {
-            for (k, my_cores) in slices.into_iter().enumerate() {
-                let my_offset = starts_ref[k] as u32;
-                scope.spawn(move || {
-                    let mut local_stats = TickStats::default();
-                    let mut local_out: Vec<OutputEvent> = Vec::new();
-                    let mut spike_buf: Vec<OutSpike> = Vec::new();
-                    let mut buckets: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
-                    let mut fk = fault_proto_ref.clone();
-
-                    for t in start_tick..start_tick + ticks {
-                        // -- fault phase: every fork advances in lockstep;
-                        //    structural mutations land only on owned cores --
-                        if let Some(f) = fk.as_mut() {
-                            for i in f.advance(t) {
-                                let ev = f.events()[i];
-                                let idx = ev.coord.y as usize * grid_w + ev.coord.x as usize;
-                                if owner_of(starts_ref, idx) == k {
-                                    let core = &mut my_cores[idx - my_offset as usize];
-                                    FaultState::apply_to_core(&ev, core, f.seed());
-                                }
-                            }
-                            for &(core, axon) in f.stuck1() {
-                                if owner_of(starts_ref, core as usize) == k {
-                                    my_cores[core as usize - my_offset as usize].deliver(t, axon);
-                                }
-                            }
-                        }
-
-                        // -- input phase (thread 0 polls the source) --
-                        if k == 0 {
-                            let mut inp = input_ref.lock().unwrap();
-                            inp.clear();
-                            src_ref.lock().unwrap().fill(t, &mut inp);
-                            // Bounds-check the injection here, once, so a
-                            // misbehaving source is diagnosed instead of
-                            // panicking a worker mid-tick.
-                            let before = inp.len();
-                            inp.retain(|(core, _)| core.index() < total_cores);
-                            let bad = (before - inp.len()) as u64;
-                            if bad > 0 {
-                                dropped_ref.fetch_add(bad, Ordering::Relaxed);
-                            }
-                        }
-                        barrier_ref.wait();
-                        {
-                            let inp = input_ref.lock().unwrap();
-                            for &(core, axon) in inp.iter() {
-                                let owner = owner_of(starts_ref, core.index());
-                                if owner == k {
-                                    if let Some(f) = fk.as_mut() {
-                                        if !f.allow_external(t, core.0, axon) {
-                                            continue;
-                                        }
-                                    }
-                                    my_cores[core.index() - my_offset as usize]
-                                        .deliver(t + 1, axon);
-                                }
-                            }
-                        }
-
-                        // -- synapse + neuron phases on owned cores --
-                        spike_buf.clear();
-                        for core in my_cores.iter_mut() {
-                            core.tick(t, &mut spike_buf, &mut local_stats);
-                        }
-
-                        // -- network phase, local half: bucket spikes --
-                        for s in spike_buf.drain(..) {
-                            match s.dest {
-                                Dest::Axon(tgt) => {
-                                    // Fire-side filtering: the source owner
-                                    // decides, so every drop is counted
-                                    // exactly once across all forks.
-                                    if let Some(f) = fk.as_mut() {
-                                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
-                                            continue;
-                                        }
-                                    }
-                                    let pkt = Packet {
-                                        core: tgt.core.0,
-                                        axon: tgt.axon,
-                                        delay: tgt.delay,
-                                    };
-                                    match mode {
-                                        AggregationMode::Pairwise => {
-                                            let dst = owner_of(starts_ref, tgt.core.index());
-                                            buckets[dst].push(pkt);
-                                        }
-                                        AggregationMode::GlobalQueue => {
-                                            // Ablation: one lock per spike.
-                                            global_ref.lock().unwrap().push(pkt);
-                                        }
-                                    }
-                                }
-                                Dest::Output(port) => local_out.push(OutputEvent { tick: t, port }),
-                                Dest::None => {}
-                            }
-                        }
-                        if mode == AggregationMode::Pairwise {
-                            for (dst, bucket) in buckets.iter_mut().enumerate() {
-                                if !bucket.is_empty() {
-                                    let mut slot = mailboxes_ref[k][dst].lock().unwrap();
-                                    std::mem::swap(&mut *slot, bucket);
-                                }
-                            }
-                        }
-                        barrier_ref.wait();
-
-                        // -- network phase, remote half: drain and deliver --
-                        match mode {
-                            AggregationMode::Pairwise => {
-                                for row in mailboxes_ref.iter() {
-                                    let mut slot = row[k].lock().unwrap();
-                                    for pkt in slot.drain(..) {
-                                        let idx = pkt.core as usize - my_offset as usize;
-                                        my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
-                                    }
-                                }
-                            }
-                            AggregationMode::GlobalQueue => {
-                                let q = global_ref.lock().unwrap();
-                                for pkt in q.iter() {
-                                    let owner = owner_of(starts_ref, pkt.core as usize);
-                                    if owner == k {
-                                        let idx = pkt.core as usize - my_offset as usize;
-                                        my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
-                                    }
-                                }
-                            }
-                        }
-                        barrier_ref.wait();
-                        if mode == AggregationMode::GlobalQueue && k == 0 {
-                            global_ref.lock().unwrap().clear();
-                        }
-                        barrier_ref.wait();
-                    }
-
-                    if let Some(f) = fk {
-                        fault_merged_ref.lock().unwrap().merge(f.counters());
-                    }
-                    let mut m = merged_ref.lock().unwrap();
-                    m.0 += local_stats;
-                    m.1.append(&mut local_out);
-                });
-            }
-        });
+        pool.run_job(job, src);
         let elapsed = wall.elapsed().as_secs_f64();
 
         let (tick_totals, outs) = {
-            let mut m = merged.lock().unwrap();
-            (m.0, std::mem::take(&mut m.1))
+            let mut m = pool.shared.merged.lock().unwrap();
+            let totals = m.0;
+            m.0 = TickStats::default();
+            (totals, std::mem::take(&mut m.1))
         };
-        self.dropped_inputs += dropped.into_inner();
+        let fault_counters = std::mem::take(&mut *pool.shared.fault_merged.lock().unwrap());
+        self.dropped_inputs += pool.shared.dropped.swap(0, Ordering::Relaxed);
         if let Some(f) = &mut self.faults {
             // Workers already applied the structural mutations to the
-            // master's cores (they own slices of them); catch the master's
-            // registries up and fold the forks' drop counters in.
+            // master's cores (they own slices of them); catch the
+            // master's registries up and fold the forks' counters in.
             f.fast_forward(start_tick + ticks - 1);
-            f.counters_mut().merge(&fault_merged.into_inner().unwrap());
+            f.counters_mut().merge(&fault_counters);
         }
         self.outputs.extend(outs);
         self.stats.ticks += ticks;
@@ -454,6 +651,32 @@ mod tests {
             ParallelSim::with_mode(stochastic_net(3, 3, 5), 4, AggregationMode::GlobalQueue);
         sim.run(30, &mut tn_core::network::NullSource);
         assert_eq!(sim.network().state_digest(), ref_digest);
+    }
+
+    #[test]
+    fn per_run_pool_mode_matches_too() {
+        let (ref_digest, _) = digest_after(stochastic_net(3, 3, 5), 0, 30);
+        let mut sim = ParallelSim::with_options(
+            stochastic_net(3, 3, 5),
+            4,
+            AggregationMode::Pairwise,
+            PoolMode::PerRun,
+        );
+        sim.run(30, &mut tn_core::network::NullSource);
+        assert_eq!(sim.network().state_digest(), ref_digest);
+        assert_eq!(sim.pool_mode(), PoolMode::PerRun);
+    }
+
+    #[test]
+    fn many_single_tick_runs_reuse_the_pool() {
+        // The served-session access pattern: one run() call per tick.
+        let (ref_digest, _) = digest_after(stochastic_net(3, 3, 7), 0, 25);
+        let mut sim = ParallelSim::new(stochastic_net(3, 3, 7), 3);
+        for _ in 0..25 {
+            sim.run(1, &mut tn_core::network::NullSource);
+        }
+        assert_eq!(sim.network().state_digest(), ref_digest);
+        assert_eq!(sim.current_tick(), 25);
     }
 
     #[test]

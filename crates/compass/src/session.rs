@@ -125,7 +125,7 @@ impl KernelSession for ParallelSim {
             sops: after.sops - before.sops,
             neuron_updates: after.neuron_updates - before.neuron_updates,
             spikes_out: after.spikes_out - before.spikes_out,
-            prng_draws_end: after.prng_draws_end,
+            prng_draws: after.prng_draws - before.prng_draws,
         }
     }
 

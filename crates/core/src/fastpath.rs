@@ -1,0 +1,393 @@
+//! Event-driven fast paths for the core tick loop.
+//!
+//! The paper's premise is that the kernel is *event-driven*: computation,
+//! communication, and memory are spent only where spikes actually land.
+//! The scalar tick loop in [`crate::nscore`] is dense — it scans all 256
+//! neurons every tick and walks crossbar bits one at a time. This module
+//! holds the per-core caches that let the tick loop skip work **without
+//! changing a single observable bit**: potentials, PRNG draw counts,
+//! emitted spikes, `TickStats` totals, and `state_digest` are all
+//! byte-identical between the fast and scalar paths.
+//!
+//! Three layered optimizations, each individually ablatable:
+//!
+//! 1. **Quiescence skip** (`quiescence` flag): a core whose neurons are all
+//!    statically inert (leak 0, no stochastic leak/threshold, hence no PRNG
+//!    draws) and whose potentials are at a threshold fixed point performs a
+//!    tick with an empty delay-buffer slot as a pure no-op — so the neuron
+//!    loop is skipped entirely.
+//! 2. **Synapse kernel** (`popcount` flag): per-axon-type masks computed at
+//!    construction turn the synapse phase into
+//!    `v += Σ_ty w[ty] · popcount(col_ty ∩ active)` whenever a conservative
+//!    per-neuron saturation bound proves that no intermediate clamp can
+//!    fire and no stochastic-synapse draw is in play (weighted adds
+//!    commute exactly when saturation cannot trigger). When no neuron on
+//!    the core draws in the synapse phase at all, the kernel further
+//!    switches to an *event-major* scatter that reads only the few active
+//!    crossbar rows instead of streaming all 256 columns.
+//! 3. **Neuron-phase profile dedup** (also under `popcount`): generated
+//!    networks program most neurons of a core identically; deduplicating
+//!    the leak/threshold/reset parameters into a handful of profiles
+//!    replaces the 52-byte-per-neuron configuration stream with a 1-byte
+//!    index into an L1-resident table. The arithmetic is the *same*
+//!    `NeuronConfig` methods — only the load pattern changes.
+//!
+//! Fault injections (`corrupt_neuron`, `flip_crossbar`) rebuild the cache
+//! wholesale; stuck-at-1 axons defeat the quiescence skip naturally by
+//! filling the delay slot.
+
+use crate::crossbar::ROW_WORDS;
+use crate::neuron::NeuronConfig;
+use crate::nscore::CoreConfig;
+use crate::{Dest, AXONS_PER_CORE, NEURONS_PER_CORE, NUM_AXON_TYPES, POTENTIAL_MAX, POTENTIAL_MIN};
+
+/// Which fast paths are enabled. The default enables everything; the
+/// scalar reference behaviour is [`FastPathConfig::scalar`]. Toggling
+/// never changes results — only how they are computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FastPathConfig {
+    /// Skip the whole neuron loop on quiescent ticks of inert, settled
+    /// cores.
+    pub quiescence: bool,
+    /// Use the type-grouped popcount / event-major synapse kernel and the
+    /// deduplicated neuron-phase profiles where legal.
+    pub popcount: bool,
+}
+
+impl Default for FastPathConfig {
+    fn default() -> Self {
+        FastPathConfig {
+            quiescence: true,
+            popcount: true,
+        }
+    }
+}
+
+impl FastPathConfig {
+    /// Everything off: the ordered scalar loop runs for every neuron.
+    pub fn scalar() -> Self {
+        FastPathConfig {
+            quiescence: false,
+            popcount: false,
+        }
+    }
+}
+
+/// Above this many distinct neuron-phase profiles the index table stops
+/// paying for itself and the loop reads per-neuron configs directly.
+const MAX_PROFILES: usize = 32;
+
+/// Per-core derived caches consumed by the fast tick paths. Everything in
+/// here is a pure function of the core's static configuration except
+/// [`FastPath::settled`], which tracks the dynamic fixed-point state.
+#[derive(Clone, Debug)]
+pub struct FastPath {
+    /// Enabled optimizations (runtime-toggleable, see
+    /// [`crate::Network::set_fastpath`]).
+    pub cfg: FastPathConfig,
+    /// `type_masks[ty]` = 256-bit mask of axons programmed with type `ty`.
+    pub type_masks: [[u64; ROW_WORDS]; NUM_AXON_TYPES],
+    /// Popcount of each crossbar row (SOPS contributed per event on that
+    /// axon).
+    pub row_fanout: Box<[u16; AXONS_PER_CORE]>,
+    /// Type-major weight table: `weights_by_type[ty][j]` =
+    /// `neurons[j].weights[ty]` (gathered by the event-major scatter).
+    pub weights_by_type: Box<[[i16; NEURONS_PER_CORE]; NUM_AXON_TYPES]>,
+    /// Per-neuron clamp-free window: if `vlo[j] <= v <= vhi[j]` before the
+    /// synapse phase, no sequence of this neuron's synaptic adds can
+    /// saturate, so the adds commute and may be summed unordered.
+    pub vlo: Box<[i32; NEURONS_PER_CORE]>,
+    pub vhi: Box<[i32; NEURONS_PER_CORE]>,
+    /// Neuron draws from the PRNG during the synapse phase (a stochastic
+    /// synapse type with at least one connected axon): only the ordered
+    /// scalar loop preserves the draw stream.
+    pub scalar_only: Box<[bool; NEURONS_PER_CORE]>,
+    /// Any neuron is `scalar_only`: the synapse phase consumes draws, so
+    /// the split-phase (synapse-then-neuron) schedule would reorder the
+    /// stream — the fused per-neuron loop must run instead.
+    pub has_stoch_syn: bool,
+    /// Every weight of every neuron is zero: the synapse phase cannot move
+    /// any potential, only the SOPS counter.
+    pub all_weights_zero: bool,
+    /// Deduplicated neuron-phase parameter sets (weights/synapse/dest
+    /// normalized away). Valid for indexing iff `profiles_usable()`.
+    pub profiles: Vec<NeuronConfig>,
+    /// `profiles[profile_idx[j]]` has neuron `j`'s leak/threshold/reset
+    /// parameters.
+    pub profile_idx: Box<[u8; NEURONS_PER_CORE]>,
+    /// All neurons statically inert: zero leak, no stochastic leak, no
+    /// stochastic threshold — a tick consumes no draws and is a pure
+    /// function of (potentials, events).
+    pub all_inert: bool,
+    /// Dynamic: every potential is at a threshold fixed point
+    /// (`threshold_fire(v) == (v, false)`), so an event-free tick of an
+    /// all-inert core is a no-op. Re-established after every full tick,
+    /// cleared by anything that touches potentials or configuration.
+    pub settled: bool,
+    /// The configuration is outside blueprint ranges (an axon type ≥ 4,
+    /// normally rejected by the lint pass): no cache can be built for it,
+    /// so every tick takes the scalar path, which preserves the seed
+    /// behaviour for such cores exactly.
+    pub degraded: bool,
+    /// Scatter accumulator scratch for the event-major kernel.
+    pub scratch_dv: Box<[i32; NEURONS_PER_CORE]>,
+}
+
+/// The neuron-phase profile of a config: the same parameters with the
+/// synapse-phase and routing fields normalized away, so that configs that
+/// differ only in weights or destination dedupe to one profile.
+fn phase_profile(n: &NeuronConfig) -> NeuronConfig {
+    NeuronConfig {
+        weights: [0; NUM_AXON_TYPES],
+        stoch_synapse: [false; NUM_AXON_TYPES],
+        initial_potential: 0,
+        dest: Dest::None,
+        ..n.clone()
+    }
+}
+
+/// A neuron is statically inert when its per-tick phase consumes no PRNG
+/// draws and applies no leak: an event-free tick can only change its
+/// potential through the threshold/reset stage.
+fn is_inert(n: &NeuronConfig) -> bool {
+    n.leak == 0 && !n.stoch_leak && n.tm_mask == 0
+}
+
+impl FastPath {
+    /// Build (or rebuild, after a fault mutation) every cache from the
+    /// core's static configuration and its column-major crossbar shadow.
+    /// `settled` is conservatively reset; the first full tick
+    /// re-establishes it.
+    pub fn build(cfg: &FastPathConfig, core: &CoreConfig, columns: &[[u64; ROW_WORDS]]) -> Self {
+        debug_assert_eq!(columns.len(), NEURONS_PER_CORE);
+        let degraded = core
+            .axon_types
+            .iter()
+            .any(|&t| t as usize >= NUM_AXON_TYPES);
+        if degraded {
+            return FastPath::degraded(cfg);
+        }
+        let mut type_masks = [[0u64; ROW_WORDS]; NUM_AXON_TYPES];
+        for (a, &ty) in core.axon_types.iter().enumerate() {
+            type_masks[ty as usize][a / 64] |= 1 << (a % 64);
+        }
+        let mut row_fanout = Box::new([0u16; AXONS_PER_CORE]);
+        for (a, f) in row_fanout.iter_mut().enumerate() {
+            *f = core.crossbar.row_fanout(a) as u16;
+        }
+
+        let mut weights_by_type = Box::new([[0i16; NEURONS_PER_CORE]; NUM_AXON_TYPES]);
+        let mut vlo = Box::new([0i32; NEURONS_PER_CORE]);
+        let mut vhi = Box::new([0i32; NEURONS_PER_CORE]);
+        let mut scalar_only = Box::new([false; NEURONS_PER_CORE]);
+        let mut profiles: Vec<NeuronConfig> = Vec::new();
+        let mut profile_idx = Box::new([0u8; NEURONS_PER_CORE]);
+        let mut all_weights_zero = true;
+        let mut all_inert = true;
+
+        for (j, n) in core.neurons.iter().enumerate() {
+            let col = &columns[j];
+            let mut pos = 0i32;
+            let mut neg = 0i32;
+            for ty in 0..NUM_AXON_TYPES {
+                weights_by_type[ty][j] = n.weights[ty];
+                all_weights_zero &= n.weights[ty] == 0;
+                let fanin: u32 = (0..ROW_WORDS)
+                    .map(|w| (col[w] & type_masks[ty][w]).count_ones())
+                    .sum();
+                if fanin > 0 {
+                    scalar_only[j] |= n.stoch_synapse[ty];
+                    let w = n.weights[ty] as i32;
+                    pos += w.max(0) * fanin as i32;
+                    neg += (-w).max(0) * fanin as i32;
+                }
+            }
+            // Any prefix of this neuron's synaptic adds stays within
+            // [v - neg, v + pos]; requiring that window to fit inside the
+            // 20-bit range guarantees clamp-freedom for every event subset.
+            vlo[j] = POTENTIAL_MIN + neg;
+            vhi[j] = POTENTIAL_MAX - pos;
+            all_inert &= is_inert(n);
+
+            if profiles.len() <= MAX_PROFILES {
+                let p = phase_profile(n);
+                match profiles.iter().position(|q| *q == p) {
+                    Some(i) => profile_idx[j] = i as u8,
+                    None if profiles.len() < MAX_PROFILES => {
+                        profile_idx[j] = profiles.len() as u8;
+                        profiles.push(p);
+                    }
+                    None => {
+                        // Overflow: mark unusable by growing past the cap.
+                        profiles.push(p);
+                    }
+                }
+            }
+        }
+        let has_stoch_syn = scalar_only.iter().any(|&s| s);
+
+        FastPath {
+            cfg: *cfg,
+            type_masks,
+            row_fanout,
+            weights_by_type,
+            vlo,
+            vhi,
+            scalar_only,
+            has_stoch_syn,
+            all_weights_zero,
+            profiles,
+            profile_idx,
+            all_inert,
+            settled: false,
+            degraded: false,
+            scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+        }
+    }
+
+    /// Empty cache for out-of-range configurations: every flag steers the
+    /// tick dispatcher to the scalar loop.
+    fn degraded(cfg: &FastPathConfig) -> Self {
+        FastPath {
+            cfg: *cfg,
+            type_masks: [[0; ROW_WORDS]; NUM_AXON_TYPES],
+            row_fanout: Box::new([0; AXONS_PER_CORE]),
+            weights_by_type: Box::new([[0; NEURONS_PER_CORE]; NUM_AXON_TYPES]),
+            vlo: Box::new([0; NEURONS_PER_CORE]),
+            vhi: Box::new([0; NEURONS_PER_CORE]),
+            scalar_only: Box::new([true; NEURONS_PER_CORE]),
+            has_stoch_syn: true,
+            all_weights_zero: false,
+            profiles: Vec::new(),
+            profile_idx: Box::new([0; NEURONS_PER_CORE]),
+            all_inert: false,
+            settled: false,
+            degraded: true,
+            scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+        }
+    }
+
+    /// Whether the deduplicated profile table may be used for the neuron
+    /// phase.
+    #[inline(always)]
+    pub fn profiles_usable(&self) -> bool {
+        self.profiles.len() <= MAX_PROFILES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::Crossbar;
+
+    fn core_with(f: impl Fn(usize) -> NeuronConfig) -> (CoreConfig, Vec<[u64; ROW_WORDS]>) {
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j) % 3 == 0);
+        for j in 0..NEURONS_PER_CORE {
+            cfg.neurons[j] = f(j);
+        }
+        let mut cols = vec![[0u64; ROW_WORDS]; NEURONS_PER_CORE];
+        for i in 0..AXONS_PER_CORE {
+            for j in cfg.crossbar.iter_row(i) {
+                cols[j][i / 64] |= 1 << (i % 64);
+            }
+        }
+        (cfg, cols)
+    }
+
+    #[test]
+    fn uniform_core_dedupes_to_one_profile() {
+        let (cfg, cols) = core_with(|j| {
+            let mut n = NeuronConfig::stochastic_source(20);
+            n.dest = Dest::Output(j as u32); // dest varies; profile must not
+            n.weights = [j as i16 % 5, 0, 0, 0]; // weights vary too
+            n
+        });
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert_eq!(fp.profiles.len(), 1);
+        assert!(fp.profiles_usable());
+        assert!(!fp.all_inert, "stochastic leak is not inert");
+        assert!(!fp.all_weights_zero);
+    }
+
+    #[test]
+    fn inert_detection() {
+        let (cfg, cols) = core_with(|_| NeuronConfig::lif(1, 10));
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert!(fp.all_inert);
+        assert!(!fp.settled, "settled starts conservative");
+    }
+
+    #[test]
+    fn stochastic_synapse_forces_scalar_only() {
+        let (cfg, cols) = core_with(|j| {
+            let mut n = NeuronConfig::lif(3, 10);
+            n.stoch_synapse[0] = j == 7;
+            n
+        });
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert!(fp.scalar_only[7]);
+        assert!(!fp.scalar_only[8]);
+        assert!(fp.has_stoch_syn);
+    }
+
+    #[test]
+    fn disconnected_stochastic_type_does_not_force_scalar() {
+        let mut cfg = CoreConfig::new();
+        // Crossbar connects only axon 0 (type 0) to neuron 0.
+        cfg.crossbar.set(0, 0, true);
+        cfg.axon_types[5] = 2;
+        cfg.neurons[0].stoch_synapse[2] = true; // type 2 never connected
+        let cols = {
+            let mut c = vec![[0u64; ROW_WORDS]; NEURONS_PER_CORE];
+            c[0][0] = 1;
+            c
+        };
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert!(
+            !fp.scalar_only[0],
+            "stochastic flag without a connected axon of that type draws nothing"
+        );
+    }
+
+    #[test]
+    fn bounds_cover_worst_case_weights() {
+        let (cfg, cols) = core_with(|_| {
+            let mut n = NeuronConfig::lif(0, 10);
+            n.weights = [255, -256, 10, 0];
+            n
+        });
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        for (j, col) in cols.iter().enumerate().take(NEURONS_PER_CORE) {
+            let fanin: i32 = col.iter().map(|w| w.count_ones() as i32).sum();
+            // All axons are type 0 here, so only weights[0] contributes a
+            // positive bound and nothing contributes negative.
+            assert_eq!(fp.vhi[j], POTENTIAL_MAX - 255 * fanin);
+            assert_eq!(fp.vlo[j], POTENTIAL_MIN);
+        }
+    }
+
+    #[test]
+    fn row_fanout_matches_crossbar() {
+        let (cfg, cols) = core_with(|_| NeuronConfig::lif(1, 10));
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        for a in 0..AXONS_PER_CORE {
+            assert_eq!(fp.row_fanout[a] as u32, cfg.crossbar.row_fanout(a));
+        }
+    }
+
+    #[test]
+    fn many_distinct_profiles_disable_the_table() {
+        let (cfg, cols) = core_with(|j| NeuronConfig::lif(1, 1 + j as i32));
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert!(!fp.profiles_usable());
+    }
+
+    #[test]
+    fn scalar_config_toggles() {
+        let s = FastPathConfig::scalar();
+        assert!(!s.quiescence && !s.popcount);
+        let d = FastPathConfig::default();
+        assert!(d.quiescence && d.popcount);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod address;
 pub mod crossbar;
 pub mod delay;
+pub mod fastpath;
 pub mod fault;
 pub mod lint;
 pub mod modelfile;
@@ -52,6 +53,7 @@ pub mod wire;
 pub use address::{CoreCoord, CoreId, Dest, NeuronId, OutSpike, SpikeTarget};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
+pub use fastpath::FastPathConfig;
 pub use fault::{FaultCounters, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultState};
 pub use lint::{Diagnostic, DiagnosticSink, LintConfig, Severity, VerifyError};
 pub use network::{InjectError, Network, NetworkBuilder, ScheduledSource, SpikeSource};

@@ -201,6 +201,15 @@ impl Network {
         out
     }
 
+    /// Toggle the event-driven fast paths on every core (see
+    /// [`crate::fastpath`]). Bit-exact: results never change, only how
+    /// they are computed, so this is safe at any tick boundary.
+    pub fn set_fastpath(&mut self, cfg: crate::fastpath::FastPathConfig) {
+        for c in &mut self.cores {
+            c.set_fastpath(cfg);
+        }
+    }
+
     /// Total active synapses across all cores.
     pub fn total_synapses(&self) -> u64 {
         self.cores

@@ -17,7 +17,8 @@
 
 use crate::address::{CoreId, NeuronId, OutSpike};
 use crate::crossbar::{Crossbar, ROW_WORDS};
-use crate::delay::DelayBuffer;
+use crate::delay::{iter_active_axons, DelayBuffer};
+use crate::fastpath::{FastPath, FastPathConfig};
 use crate::neuron::NeuronConfig;
 use crate::prng::CorePrng;
 use crate::stats::TickStats;
@@ -87,6 +88,9 @@ pub struct NeurosynapticCore {
     /// mechanism ("if a core fails, we disable it and route spike events
     /// around it").
     disabled: bool,
+    /// Derived caches for the event-driven fast paths ([`crate::fastpath`]).
+    /// Rebuilt whenever the static configuration mutates (fault injection).
+    fast: FastPath,
 }
 
 /// Build the column-major shadow masks from a crossbar.
@@ -107,6 +111,7 @@ impl NeurosynapticCore {
     pub fn new(id: CoreId, cfg: CoreConfig, network_seed: u64) -> Self {
         let potentials = Box::new(std::array::from_fn(|j| cfg.neurons[j].initial_potential));
         let columns = transpose(&cfg.crossbar);
+        let fast = FastPath::build(&FastPathConfig::default(), &cfg, &columns[..]);
         NeurosynapticCore {
             id,
             cfg,
@@ -115,6 +120,7 @@ impl NeurosynapticCore {
             delay: Box::new(DelayBuffer::new()),
             prng: CorePrng::for_core(network_seed, id.0 as u64),
             disabled: false,
+            fast,
         }
     }
 
@@ -148,6 +154,29 @@ impl NeurosynapticCore {
         self.disabled = disabled;
     }
 
+    /// The fast-path flags currently in effect.
+    pub fn fastpath_config(&self) -> FastPathConfig {
+        self.fast.cfg
+    }
+
+    /// Toggle the fast paths at runtime. Results never change — only how
+    /// they are computed — so this is safe mid-run; the settled flag is
+    /// conservatively cleared and re-established by the next full tick.
+    pub fn set_fastpath(&mut self, cfg: FastPathConfig) {
+        self.fast.cfg = cfg;
+        self.fast.settled = false;
+    }
+
+    /// The derived fast-path caches (introspection for tests/benchmarks).
+    pub fn fastpath(&self) -> &FastPath {
+        &self.fast
+    }
+
+    /// Rebuild the fast-path caches after a static-configuration mutation.
+    fn rebuild_fastpath(&mut self) {
+        self.fast = FastPath::build(&self.fast.cfg, &self.cfg, &self.columns[..]);
+    }
+
     /// Deliver an input spike event to `axon`, to be consumed at absolute
     /// tick `deliver_tick` (already includes the axonal delay).
     #[inline]
@@ -163,6 +192,7 @@ impl NeurosynapticCore {
         let now = !self.cfg.crossbar.get(a, j);
         self.cfg.crossbar.set(a, j, now);
         self.columns[j][a / 64] ^= 1 << (a % 64);
+        self.rebuild_fastpath();
     }
 
     /// XOR-perturb one neuron's parameters with bits drawn from `r`
@@ -175,6 +205,7 @@ impl NeurosynapticCore {
         n.weights[(r & 3) as usize] ^= ((r >> 8) & 0xF) as i16;
         n.leak ^= ((r >> 16) & 0x7) as i16;
         n.threshold ^= ((r >> 24) & 0xFF) as i32;
+        self.rebuild_fastpath();
     }
 
     /// Number of input events pending in the delay buffer.
@@ -185,13 +216,54 @@ impl NeurosynapticCore {
     /// Execute one tick `t`: the Synapse, Neuron, and (local half of the)
     /// Network phases of the kernel in paper Listing 1. Emitted spikes are
     /// appended to `out`; the caller (a simulator expression) routes them.
+    ///
+    /// Dispatches to one of three bit-identical implementations depending
+    /// on the enabled [`FastPathConfig`] and this core's configuration
+    /// (see [`crate::fastpath`] for the legality arguments):
+    ///
+    /// * quiescence skip — event-free tick of an inert, settled core is a
+    ///   proven no-op;
+    /// * split-phase kernel — synapse phase consumes no draws, so it runs
+    ///   for all neurons (event-major or popcount) before the neuron
+    ///   phase;
+    /// * fused per-neuron loop — a stochastic synapse is in play somewhere
+    ///   on the core, so phases stay interleaved to preserve the draw
+    ///   stream, with the popcount kernel used per neuron where legal;
+    /// * ordered scalar loop — the reference behaviour, also the fallback
+    ///   whenever a saturation bound cannot prove commutativity.
     pub fn tick(&mut self, t: u64, out: &mut Vec<OutSpike>, stats: &mut TickStats) {
         let active: [u64; ROW_WORDS] = self.delay.take(t);
         if self.disabled {
             return;
         }
+        let quiet = active == [0u64; ROW_WORDS];
+        if quiet && self.fast.cfg.quiescence && self.fast.all_inert && self.fast.settled {
+            // No events, no draws, every potential at a threshold fixed
+            // point: the full loop would move nothing but this counter.
+            stats.neuron_updates += NEURONS_PER_CORE as u64;
+            return;
+        }
+        let draws_start = self.prng.draws();
         stats.axon_events += active.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        if self.fast.cfg.popcount && !self.fast.degraded && !self.fast.has_stoch_syn {
+            self.tick_split(&active, quiet, out, stats);
+        } else if self.fast.cfg.popcount && !self.fast.degraded {
+            self.tick_fused(&active, out, stats);
+        } else {
+            self.tick_scalar(&active, out, stats);
+        }
+        stats.prng_draws += self.prng.draws() - draws_start;
+    }
 
+    /// The reference loop: neurons ascending, active axons ascending
+    /// within each neuron, saturating accumulate per event.
+    fn tick_scalar(
+        &mut self,
+        active: &[u64; ROW_WORDS],
+        out: &mut Vec<OutSpike>,
+        stats: &mut TickStats,
+    ) {
+        let mut settled = true;
         for j in 0..NEURONS_PER_CORE {
             let cfg = &self.cfg.neurons[j];
             let mut v = self.potentials[j];
@@ -212,6 +284,7 @@ impl NeurosynapticCore {
             // Neuron phase: leak, threshold, fire, reset.
             v = cfg.apply_leak(v, &mut self.prng);
             let (nv, fired) = cfg.threshold_fire(v, &mut self.prng);
+            settled &= !fired && nv == v;
             self.potentials[j] = nv;
             stats.neuron_updates += 1;
             if fired {
@@ -225,7 +298,172 @@ impl NeurosynapticCore {
                 });
             }
         }
-        stats.prng_draws_end = self.prng.draws();
+        self.fast.settled = settled;
+    }
+
+    /// Fused per-neuron loop for cores where a stochastic synapse may
+    /// draw: phases stay interleaved (synapse draws of neuron `j` precede
+    /// its leak/threshold draws, which precede neuron `j+1`), but neurons
+    /// whose bound proves clamp-freedom and whose connected types are all
+    /// deterministic use the type-grouped popcount kernel.
+    fn tick_fused(
+        &mut self,
+        active: &[u64; ROW_WORDS],
+        out: &mut Vec<OutSpike>,
+        stats: &mut TickStats,
+    ) {
+        let mut settled = true;
+        for j in 0..NEURONS_PER_CORE {
+            let cfg = &self.cfg.neurons[j];
+            let mut v = self.potentials[j];
+            let col = &self.columns[j];
+            if self.fast.scalar_only[j] || v < self.fast.vlo[j] || v > self.fast.vhi[j] {
+                // Ordered walk: either draws are in play or saturation is
+                // possible, so per-event order is observable.
+                for w in 0..ROW_WORDS {
+                    let mut hits = col[w] & active[w];
+                    while hits != 0 {
+                        let a = w * 64 + hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let ty = self.cfg.axon_types[a] as usize;
+                        v = cfg.integrate(v, ty, &mut self.prng);
+                        stats.sops += 1;
+                    }
+                }
+            } else {
+                // Type-grouped popcount: no clamp can fire, no draw can
+                // occur, so the weighted adds commute.
+                let mut dv = 0i32;
+                let mut hits_total = 0u32;
+                for (ty, mask) in self.fast.type_masks.iter().enumerate() {
+                    let c: u32 = (0..ROW_WORDS)
+                        .map(|w| (col[w] & active[w] & mask[w]).count_ones())
+                        .sum();
+                    dv += cfg.weights[ty] as i32 * c as i32;
+                    hits_total += c;
+                }
+                v += dv;
+                stats.sops += hits_total as u64;
+            }
+            v = cfg.apply_leak(v, &mut self.prng);
+            let (nv, fired) = cfg.threshold_fire(v, &mut self.prng);
+            settled &= !fired && nv == v;
+            self.potentials[j] = nv;
+            stats.neuron_updates += 1;
+            if fired {
+                stats.spikes_out += 1;
+                out.push(OutSpike {
+                    src: NeuronId {
+                        core: self.id,
+                        neuron: j as u8,
+                    },
+                    dest: cfg.dest,
+                });
+            }
+        }
+        self.fast.settled = settled;
+    }
+
+    /// Split-phase kernel for cores whose synapse phase cannot draw:
+    /// event-major scatter over the few active crossbar rows (or a pure
+    /// SOPS tally when every weight is zero), then a neuron phase that
+    /// reads the deduplicated profile table instead of the full per-neuron
+    /// configuration stream.
+    fn tick_split(
+        &mut self,
+        active: &[u64; ROW_WORDS],
+        quiet: bool,
+        out: &mut Vec<OutSpike>,
+        stats: &mut TickStats,
+    ) {
+        let mut use_dv = false;
+        if !quiet {
+            let mut sops = 0u64;
+            if self.fast.all_weights_zero {
+                // Only the SOPS ledger moves: each event contributes one
+                // synaptic op per connected synapse on its row.
+                for a in iter_active_axons(active) {
+                    sops += self.fast.row_fanout[a as usize] as u64;
+                }
+            } else {
+                use_dv = true;
+                let FastPath {
+                    scratch_dv,
+                    weights_by_type,
+                    row_fanout,
+                    ..
+                } = &mut self.fast;
+                scratch_dv.fill(0);
+                for a in iter_active_axons(active) {
+                    let a = a as usize;
+                    let row = self.cfg.crossbar.row(a);
+                    let ty = self.cfg.axon_types[a] as usize;
+                    sops += row_fanout[a] as u64;
+                    let wt = &weights_by_type[ty];
+                    for (w, &word) in row.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let j = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            scratch_dv[j] += wt[j] as i32;
+                        }
+                    }
+                }
+            }
+            stats.sops += sops;
+        }
+
+        let use_profiles = self.fast.profiles_usable();
+        let mut settled = true;
+        let mut fired_count = 0u64;
+        for j in 0..NEURONS_PER_CORE {
+            let mut v = self.potentials[j];
+            if use_dv {
+                if v >= self.fast.vlo[j] && v <= self.fast.vhi[j] {
+                    // Clamp-free window: the unordered sum equals the
+                    // ordered saturating walk.
+                    v += self.fast.scratch_dv[j];
+                } else {
+                    // Saturation possible: redo this neuron's adds in
+                    // ascending axon order with per-event clamping (no
+                    // draws here — the split path requires none). SOPS
+                    // were already tallied from the row fanouts.
+                    let cfg = &self.cfg.neurons[j];
+                    let col = &self.columns[j];
+                    for w in 0..ROW_WORDS {
+                        let mut hits = col[w] & active[w];
+                        while hits != 0 {
+                            let a = w * 64 + hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let ty = self.cfg.axon_types[a] as usize;
+                            v = cfg.integrate(v, ty, &mut self.prng);
+                        }
+                    }
+                }
+            }
+            let p = if use_profiles {
+                &self.fast.profiles[self.fast.profile_idx[j] as usize]
+            } else {
+                &self.cfg.neurons[j]
+            };
+            let v2 = p.apply_leak(v, &mut self.prng);
+            let (nv, fired) = p.threshold_fire(v2, &mut self.prng);
+            settled &= !fired && nv == v2;
+            self.potentials[j] = nv;
+            if fired {
+                fired_count += 1;
+                out.push(OutSpike {
+                    src: NeuronId {
+                        core: self.id,
+                        neuron: j as u8,
+                    },
+                    dest: self.cfg.neurons[j].dest,
+                });
+            }
+        }
+        stats.neuron_updates += NEURONS_PER_CORE as u64;
+        stats.spikes_out += fired_count;
+        self.fast.settled = settled;
     }
 
     /// Structural summary used by the energy/timing models: the mean
@@ -267,6 +505,8 @@ impl NeurosynapticCore {
         self.prng = CorePrng::from_raw(snap.prng_state, snap.prng_draws);
         self.delay.set_slots(&snap.delay_slots);
         self.disabled = snap.disabled;
+        // Potentials changed out from under the fixed-point cache.
+        self.fast.settled = false;
     }
 
     /// Snapshot of the dynamic state, used by equivalence regressions.

@@ -21,8 +21,10 @@ pub struct TickStats {
     pub neuron_updates: u64,
     /// Spikes emitted by neurons this tick.
     pub spikes_out: u64,
-    /// PRNG draw counter after the tick (diagnostic; not additive).
-    pub prng_draws_end: u64,
+    /// PRNG draws consumed this tick (a delta, so it is additive: summed
+    /// across cores, ticks, and worker threads it equals the total draws
+    /// consumed by the run, independent of thread count).
+    pub prng_draws: u64,
 }
 
 impl AddAssign for TickStats {
@@ -31,7 +33,7 @@ impl AddAssign for TickStats {
         self.sops += rhs.sops;
         self.neuron_updates += rhs.neuron_updates;
         self.spikes_out += rhs.spikes_out;
-        self.prng_draws_end = self.prng_draws_end.max(rhs.prng_draws_end);
+        self.prng_draws += rhs.prng_draws;
     }
 }
 
@@ -109,20 +111,20 @@ mod tests {
             sops: 10,
             neuron_updates: 256,
             spikes_out: 2,
-            prng_draws_end: 5,
+            prng_draws: 5,
         };
         a += TickStats {
             axon_events: 3,
             sops: 30,
             neuron_updates: 256,
             spikes_out: 4,
-            prng_draws_end: 9,
+            prng_draws: 9,
         };
         assert_eq!(a.axon_events, 4);
         assert_eq!(a.sops, 40);
         assert_eq!(a.neuron_updates, 512);
         assert_eq!(a.spikes_out, 6);
-        assert_eq!(a.prng_draws_end, 9);
+        assert_eq!(a.prng_draws, 14, "draw deltas are additive");
     }
 
     #[test]

@@ -102,15 +102,25 @@ mod tests {
 
     #[test]
     fn real_time_holds_the_cadence() {
+        // A preempted sleep on a loaded host can legitimately blow a 2 ms
+        // deadline, so allow a few attempts before declaring the pacing
+        // logic itself broken.
         let period = Duration::from_millis(2);
-        let mut s = TickScheduler::new(Pace::RealTime, period);
-        let start = Instant::now();
+        let mut last_missed = 0;
         for _ in 0..5 {
-            s.pace();
+            let mut s = TickScheduler::new(Pace::RealTime, period);
+            let start = Instant::now();
+            for _ in 0..5 {
+                s.pace();
+            }
+            // First tick is immediate; four more are paced ≥ one period each.
+            assert!(start.elapsed() >= 4 * period, "{:?}", start.elapsed());
+            last_missed = s.missed_deadlines();
+            if last_missed == 0 {
+                return;
+            }
         }
-        // First tick is immediate; four more are paced ≥ one period each.
-        assert!(start.elapsed() >= 4 * period, "{:?}", start.elapsed());
-        assert_eq!(s.missed_deadlines(), 0);
+        assert_eq!(last_missed, 0, "missed deadlines on every attempt");
     }
 
     #[test]

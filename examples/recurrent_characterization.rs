@@ -2,17 +2,39 @@
 //! simulated on the chip model, with the Fig. 5 quantities printed.
 //!
 //! ```sh
-//! cargo run --release --example recurrent_characterization [rate_hz] [synapses]
+//! cargo run --release --example recurrent_characterization \
+//!     [rate_hz] [synapses] [--no-fastpath|--no-quiescence|--no-popcount]
 //! ```
+//!
+//! The `--no-*` flags ablate the kernel fast paths (tn_core::fastpath)
+//! so their host-speed contribution at this operating point can be read
+//! directly off the wall-clock line; the simulated chip quantities are
+//! bit-identical either way.
 
 use tn_apps::recurrent::{build_recurrent, RecurrentParams};
 use tn_chip::TrueNorthSim;
 use tn_core::network::NullSource;
+use tn_core::FastPathConfig;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let rate: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20.0);
-    let syn: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let mut rate: f64 = 20.0;
+    let mut syn: u32 = 128;
+    let mut positional = 0;
+    let mut fp = FastPathConfig::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-fastpath" => fp = FastPathConfig::scalar(),
+            "--no-quiescence" => fp.quiescence = false,
+            "--no-popcount" => fp.popcount = false,
+            v => {
+                match positional {
+                    0 => rate = v.parse().unwrap_or(rate),
+                    _ => syn = v.parse().unwrap_or(syn),
+                }
+                positional += 1;
+            }
+        }
+    }
 
     // A quarter-chip (32×32 cores) so the example runs fast; pass the
     // full-chip path through `tn-bench --bin fig5` instead.
@@ -30,11 +52,18 @@ fn main() {
     let net = build_recurrent(&p);
     let neurons = net.num_neurons() as u64;
     let mut sim = TrueNorthSim::new(net);
+    sim.network_mut().set_fastpath(fp);
     sim.run(16, &mut NullSource); // warm-up: fill the delay pipelines
+    let host = std::time::Instant::now();
     sim.run(64, &mut NullSource);
+    let ms_per_tick = host.elapsed().as_secs_f64() * 1e3 / 64.0;
 
     let report = sim.report();
     println!("\nmeasured over 80 ticks (16 warm-up):");
+    println!(
+        "  host speed       : {:>8.2} ms/tick (fastpath: quiescence={} popcount={})",
+        ms_per_tick, fp.quiescence, fp.popcount
+    );
     println!(
         "  mean rate        : {:>8.1} Hz (target {:.1})",
         report.mean_rate_hz,

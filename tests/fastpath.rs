@@ -1,0 +1,303 @@
+//! Integration: the event-driven fast paths are *bit-exact*.
+//!
+//! The kernel's quiescence skip, type-grouped popcount synapse kernel,
+//! and neuron-profile dedup (tn_core::fastpath) are pure optimizations:
+//! for any network — saturating weights, stochastic synapses/leak/
+//! threshold, fault plans mutating the crossbar mid-run — every engine
+//! must produce spike-for-spike identical outputs and a byte-identical
+//! `state_digest` with fast paths on and off, at every thread count.
+
+use tn_chip::TrueNorthSim;
+use tn_compass::{ParallelSim, ReferenceSim};
+use tn_core::{
+    CoreConfig, CoreId, Crossbar, Dest, FastPathConfig, FaultPlan, Network, NetworkBuilder,
+    NeuronConfig, ResetMode, ScheduledSource, SpikeTarget, SplitMix64, POTENTIAL_MAX,
+};
+
+const GRID_W: u16 = 4;
+const GRID_H: u16 = 3;
+const TICKS: u64 = 50;
+
+/// A deliberately nasty random neuron: extreme weights, stochastic
+/// features, every reset mode.
+fn random_neuron(rng: &mut SplitMix64, num_cores: usize) -> NeuronConfig {
+    let mut n = NeuronConfig {
+        weights: std::array::from_fn(|_| rng.range_inclusive_i64(-256, 255) as i16),
+        stoch_synapse: std::array::from_fn(|_| rng.bool_with(0.2)),
+        leak: rng.range_inclusive_i64(-40, 40) as i16,
+        stoch_leak: rng.bool_with(0.3),
+        leak_reversal: rng.bool_with(0.2),
+        threshold: rng.range_inclusive_i64(1, 4000) as i32,
+        tm_mask: [0u32, 0xF, 0xFF][rng.below_usize(3)],
+        neg_threshold: rng.range_inclusive_i64(0, 900) as i32,
+        neg_saturate: rng.bool_with(0.5),
+        reset_mode: [ResetMode::Absolute, ResetMode::Linear, ResetMode::None][rng.below_usize(3)],
+        reset: rng.range_inclusive_i64(-50, 50) as i32,
+        initial_potential: rng.range_inclusive_i64(-2000, 2000) as i32,
+        dest: Dest::None,
+    };
+    n.dest = random_dest(rng, num_cores);
+    n
+}
+
+fn random_dest(rng: &mut SplitMix64, num_cores: usize) -> Dest {
+    match rng.below(20) {
+        0 => Dest::None,
+        1 => Dest::Output(rng.below(4096) as u32),
+        _ => Dest::Axon(SpikeTarget::new(
+            CoreId(rng.below(num_cores as u64) as u32),
+            rng.below(256) as u8,
+            1 + rng.below(15) as u8,
+        )),
+    }
+}
+
+/// Five core archetypes, each stressing a different fast-path tier.
+fn random_core(rng: &mut SplitMix64, num_cores: usize, kind: u64) -> CoreConfig {
+    let mut cfg = CoreConfig::new();
+    for a in 0..256 {
+        cfg.axon_types[a] = rng.below(4) as u8;
+    }
+    match kind {
+        // Quiescent relay: inert neurons, identity crossbar — exercises
+        // the all-inert skip and the `settled` fixed-point detection.
+        0 => {
+            *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::lif(3, 7);
+                cfg.neurons[j].dest = random_dest(rng, num_cores);
+            }
+        }
+        // Uniform stochastic sources with zero weights: the profile-dedup
+        // + all-weights-zero tier (the characterization-net shape).
+        1 => {
+            let density = rng.below(50);
+            *cfg.crossbar =
+                Crossbar::from_fn(|i, j| (i as u64 * 31 + j as u64 * 17) % 100 < density);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(30);
+                cfg.neurons[j].weights = [0; 4];
+                cfg.neurons[j].dest = random_dest(rng, num_cores);
+            }
+        }
+        // Saturating: huge weights, potentials parked near the 20-bit
+        // rails, dense crossbar — the conservative bounds must force the
+        // ordered clamped walk whenever an intermediate clamp could bite.
+        2 => {
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i + j) % 2 == 0);
+            for j in 0..256 {
+                let mut n = random_neuron(rng, num_cores);
+                n.weights = [255, -256, 255, -256];
+                n.stoch_synapse = [false; 4];
+                n.initial_potential = POTENTIAL_MAX - rng.below(4000) as i32;
+                n.threshold = 500_000; // unreachably high: accumulate + clamp
+                n.tm_mask = 0;
+                cfg.neurons[j] = n;
+            }
+        }
+        // Many distinct profiles (> the dedup table cap) without
+        // stochastic synapses: split path with per-neuron configs.
+        3 => {
+            *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 7 + j * 13) % 5 == 0);
+            for j in 0..256 {
+                let mut n = random_neuron(rng, num_cores);
+                n.stoch_synapse = [false; 4];
+                n.leak = (j as i16 % 100) - 50; // unique-ish profiles
+                cfg.neurons[j] = n;
+            }
+        }
+        // Fully random: stochastic synapses in play — fused/scalar paths.
+        _ => {
+            let density = rng.below(30) + 3;
+            *cfg.crossbar =
+                Crossbar::from_fn(|i, j| (i as u64 * 131 + j as u64 * 37) % 100 < density);
+            for j in 0..256 {
+                cfg.neurons[j] = random_neuron(rng, num_cores);
+            }
+        }
+    }
+    cfg
+}
+
+fn random_net(seed: u64) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let num = (GRID_W * GRID_H) as usize;
+    let mut b = NetworkBuilder::new(GRID_W, GRID_H, seed);
+    for _ in 0..num {
+        let kind = rng.below(5);
+        let cfg = random_core(&mut rng, num, kind);
+        b.add_core(cfg);
+    }
+    b.build()
+}
+
+fn driving_source(seed: u64) -> ScheduledSource {
+    let mut rng = SplitMix64::new(seed ^ 0x5eed);
+    let mut s = ScheduledSource::new();
+    let num = (GRID_W * GRID_H) as u64;
+    for t in 0..TICKS {
+        for _ in 0..rng.below(40) {
+            s.push(t, CoreId(rng.below(num) as u32), rng.below(256) as u8);
+        }
+    }
+    s
+}
+
+/// Fault plan exercising the fast-path invalidation hooks: crossbar
+/// flips, neuron corruption, and stuck-at-1 axons mid-run.
+const MUTATING_PLAN: &str = "\
+tnfault 1
+seed 9
+horizon 100
+at 3 core 1 1 flip 10 20
+at 7 core 2 0 corrupt 5
+at 9 core 0 2 axon 17 stuck1
+at 12 core 3 1 flip 200 100
+at 15 core 1 2 corrupt 250
+at 20 core 2 2 flip 0 0
+";
+
+/// (state digest, output-spike digest, total PRNG draws) for one run.
+fn run_engine(
+    engine: &str,
+    seed: u64,
+    threads: usize,
+    cfg: FastPathConfig,
+    plan: Option<&FaultPlan>,
+) -> (u64, u64, u64) {
+    let net = random_net(seed);
+    let mut src = driving_source(seed);
+    match engine {
+        "reference" => {
+            let mut sim = ReferenceSim::new(net);
+            sim.network_mut().set_fastpath(cfg);
+            if let Some(p) = plan {
+                sim.attach_faults(p);
+            }
+            sim.run(TICKS, &mut src);
+            let draws = sim.stats().totals.prng_draws;
+            let out = sim.outputs().digest();
+            (sim.network().state_digest(), out, draws)
+        }
+        "parallel" => {
+            let mut sim = ParallelSim::new(net, threads);
+            sim.network_mut().set_fastpath(cfg);
+            if let Some(p) = plan {
+                sim.attach_faults(p);
+            }
+            sim.run(TICKS, &mut src);
+            let draws = sim.stats().totals.prng_draws;
+            let out = sim.outputs().digest();
+            (sim.network().state_digest(), out, draws)
+        }
+        "chip" => {
+            let mut sim = TrueNorthSim::new(net);
+            sim.network_mut().set_fastpath(cfg);
+            if let Some(p) = plan {
+                sim.attach_faults(p);
+            }
+            sim.run(TICKS, &mut src);
+            let draws = sim.stats().totals.prng_draws;
+            let out = sim.outputs().digest();
+            (sim.network().state_digest(), out, draws)
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn fastpath_is_bit_exact_on_every_engine() {
+    for seed in [11u64, 0xC0FFEE, 987_654_321] {
+        let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), None);
+        assert!(scalar.2 > 0, "network must consume PRNG draws");
+        for engine in ["reference", "parallel", "chip"] {
+            let fast = run_engine(engine, seed, 3, FastPathConfig::default(), None);
+            assert_eq!(
+                fast.0, scalar.0,
+                "{engine} fastpath state diverged from scalar (seed {seed:#x})"
+            );
+            assert_eq!(
+                fast.1, scalar.1,
+                "{engine} fastpath outputs diverged from scalar (seed {seed:#x})"
+            );
+            assert_eq!(
+                fast.2, scalar.2,
+                "{engine} fastpath PRNG draw count diverged (seed {seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fastpath_is_bit_exact_across_thread_counts() {
+    let seed = 0xFA57u64;
+    let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), None);
+    for threads in [1usize, 2, 3, 5, 8, 16] {
+        let fast = run_engine("parallel", seed, threads, FastPathConfig::default(), None);
+        assert_eq!(fast.0, scalar.0, "{threads} threads: state diverged");
+        assert_eq!(fast.1, scalar.1, "{threads} threads: outputs diverged");
+        assert_eq!(fast.2, scalar.2, "{threads} threads: draw count diverged");
+    }
+}
+
+#[test]
+fn partial_ablations_are_bit_exact_too() {
+    let seed = 0xAB1A7E5u64;
+    let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), None);
+    for (q, p) in [(true, false), (false, true)] {
+        let cfg = FastPathConfig {
+            quiescence: q,
+            popcount: p,
+        };
+        let got = run_engine("reference", seed, 0, cfg, None);
+        assert_eq!(got.0, scalar.0, "quiescence={q} popcount={p} diverged");
+        assert_eq!(got.1, scalar.1);
+        assert_eq!(got.2, scalar.2);
+    }
+}
+
+#[test]
+fn fault_mutations_invalidate_fastpath_caches() {
+    // Crossbar flips, neuron corruption, and stuck-at-1 axons rebuild the
+    // per-core fast-path caches; a stale cache would silently diverge.
+    let plan = FaultPlan::parse(MUTATING_PLAN).unwrap();
+    for seed in [5u64, 0xD00D] {
+        let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), Some(&plan));
+        for (engine, threads) in [
+            ("reference", 0),
+            ("parallel", 2),
+            ("parallel", 7),
+            ("chip", 0),
+        ] {
+            let fast = run_engine(
+                engine,
+                seed,
+                threads,
+                FastPathConfig::default(),
+                Some(&plan),
+            );
+            assert_eq!(
+                fast.0, scalar.0,
+                "{engine}/{threads} threads diverged under fault plan (seed {seed:#x})"
+            );
+            assert_eq!(fast.1, scalar.1);
+            assert_eq!(fast.2, scalar.2);
+        }
+    }
+}
+
+#[test]
+fn prng_draw_accounting_is_identical_across_thread_counts() {
+    // TickStats::prng_draws is a per-run delta summed over cores; the
+    // partition must not change it.
+    let seed = 0x17EA5u64;
+    let reference = run_engine("reference", seed, 0, FastPathConfig::default(), None);
+    assert!(reference.2 > 0);
+    for threads in [1usize, 2, 7] {
+        let par = run_engine("parallel", seed, threads, FastPathConfig::default(), None);
+        assert_eq!(
+            par.2, reference.2,
+            "prng_draws must be thread-count invariant ({threads} threads)"
+        );
+    }
+}
