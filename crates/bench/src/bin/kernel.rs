@@ -8,13 +8,17 @@
 //!
 //! The benchmark doubles as a bit-exactness check: for every engine the
 //! fast-path and scalar runs must end in the identical `state_digest`,
-//! and the process exits nonzero if they diverge *or* if the fast path
-//! fails to beat the scalar path (a perf regression gate for CI).
+//! and the process exits 2 if they diverge. Speedup is *advisory* by
+//! default — wall-clock ratios on shared/loaded CI hosts are too noisy
+//! to gate on — and becomes a hard gate (exit 1 when the fast path
+//! fails to win) only under `--strict`.
 //!
 //! Usage: `kernel [--quick] [--ticks N] [--threads N] [--no-quiescence]
-//!                [--no-popcount] [--no-pool] [--out PATH]`
+//!                [--no-popcount] [--no-pool] [--strict] [--out PATH]`
 //!
 //! * `--quick` — 16×16-core grid and fewer ticks (CI smoke mode).
+//! * `--strict` — also fail (exit 1) if the fast path does not beat the
+//!   scalar path; for dedicated perf hosts, not CI smoke.
 //! * `--no-quiescence` / `--no-popcount` — ablate one fast-path tier
 //!   (the "fastpath" rows then measure the remaining tiers).
 //! * `--no-pool` — spawn the parallel worker pool per run instead of
@@ -33,6 +37,7 @@ struct Args {
     quiescence: bool,
     popcount: bool,
     pool: PoolMode,
+    strict: bool,
     out: String,
 }
 
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         quiescence: true,
         popcount: true,
         pool: PoolMode::Persistent,
+        strict: false,
         out: "BENCH_kernel.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,6 +64,7 @@ fn parse_args() -> Args {
             "--no-popcount" => a.popcount = false,
             "--pool" => a.pool = PoolMode::Persistent,
             "--no-pool" => a.pool = PoolMode::PerRun,
+            "--strict" => a.strict = true,
             "--out" => a.out = it.next().expect("--out PATH"),
             other => {
                 eprintln!("unknown flag {other}");
@@ -299,6 +306,11 @@ fn main() {
         std::process::exit(2);
     }
     if !fast_wins {
-        std::process::exit(1);
+        // Advisory by default: wall-clock ratios on shared hosts are too
+        // noisy to fail CI on. `--strict` restores the hard gate.
+        eprintln!("warning: fast path did not beat the scalar path on this host");
+        if args.strict {
+            std::process::exit(1);
+        }
     }
 }

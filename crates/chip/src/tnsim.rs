@@ -12,10 +12,12 @@
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::mesh::{LinkAccounting, Mesh, NocTickLoads};
 use crate::timing::{CoreLoad, TimingModel};
+use std::sync::Arc;
 use std::time::Instant;
 use tn_compass::SpikeRecord;
 use tn_core::fault::{FaultCounters, FaultKind, FaultPlan, FaultState};
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats, TICK_SECONDS};
+use tn_obs::{Registry, TickObserver, TickPhase, TickSummary};
 
 /// Characterization report for a run, in the units of paper Fig. 5.
 #[derive(Clone, Copy, Debug, Default)]
@@ -150,6 +152,7 @@ pub struct TrueNorthSim {
     wall_seconds: f64,
     dropped_inputs: u64,
     faults: Option<FaultState>,
+    observer: Option<Arc<dyn TickObserver>>,
 }
 
 impl TrueNorthSim {
@@ -199,8 +202,14 @@ impl TrueNorthSim {
             wall_seconds: 0.0,
             dropped_inputs: 0,
             faults: None,
+            observer: None,
             net,
         }
+    }
+
+    /// Attach per-tick span hooks (see [`tn_obs::TickObserver`]).
+    pub fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Attach a scheduled fault plan. The kernel-level fault semantics
@@ -308,6 +317,10 @@ impl TrueNorthSim {
     pub fn step(&mut self, src: &mut dyn SpikeSource) -> (TickStats, NocTickLoads) {
         let t = self.tick;
         let wall = Instant::now();
+        if let Some(obs) = &self.observer {
+            obs.on_tick_start(t);
+            obs.on_phase(t, TickPhase::Faults);
+        }
 
         // Fault phase: schedule-driven structural mutations, plus mesh
         // defect marking so the NoC detours around freshly dead cores.
@@ -325,6 +338,9 @@ impl TrueNorthSim {
             }
         }
 
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Input);
+        }
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
         let num_cores = self.net.num_cores();
@@ -341,6 +357,9 @@ impl TrueNorthSim {
             self.net.core_mut(core).deliver(t + 1, axon);
         }
 
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Neurons);
+        }
         self.mesh.begin_tick();
         let mut tick_stats = TickStats::default();
         let mut max_core = CoreLoad::default();
@@ -359,6 +378,9 @@ impl TrueNorthSim {
         }
 
         // Network phase: route each spike through the mesh.
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Routing);
+        }
         for i in 0..self.spike_buf.len() {
             let s = self.spike_buf[i];
             match s.dest {
@@ -433,6 +455,19 @@ impl TrueNorthSim {
         self.stats.boundary_crossings += loads.boundary_crossings;
         self.tick += 1;
         self.wall_seconds += wall.elapsed().as_secs_f64();
+        // Keep the legacy RunStats wall clock live even for hosts that
+        // drive tick-by-tick through `step` and never call `run`.
+        self.stats.wall_seconds = self.wall_seconds;
+        if let Some(obs) = &self.observer {
+            obs.on_tick_end(&TickSummary {
+                tick: t,
+                axon_events: tick_stats.axon_events,
+                sops: tick_stats.sops,
+                neuron_updates: tick_stats.neuron_updates,
+                spikes_out: tick_stats.spikes_out,
+                prng_draws: tick_stats.prng_draws,
+            });
+        }
         (tick_stats, loads)
     }
 
@@ -440,7 +475,6 @@ impl TrueNorthSim {
         for _ in 0..ticks {
             self.step(src);
         }
-        self.stats.wall_seconds = self.wall_seconds;
         self.stats
     }
 
@@ -579,6 +613,38 @@ impl tn_compass::KernelSession for TrueNorthSim {
 
     fn fault_counters(&self) -> Option<FaultCounters> {
         self.faults.as_ref().map(|f| *f.counters())
+    }
+
+    fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        TrueNorthSim::set_observer(self, observer)
+    }
+
+    /// The shared kernel series plus the silicon-only telemetry: NoC
+    /// traffic totals, worst-case congestion/I-O water marks, and the
+    /// energy model under both operating regimes.
+    fn publish_metrics(&self, registry: &Registry) {
+        tn_compass::publish_common(self, registry);
+        registry
+            .counter("tn_chip_mesh_hops_total")
+            .set(self.stats.total_hops);
+        registry
+            .counter("tn_chip_boundary_crossings_total")
+            .set(self.stats.boundary_crossings);
+        registry
+            .gauge("tn_chip_worst_link_load")
+            .set(self.worst_link_load as f64);
+        registry
+            .gauge("tn_chip_worst_boundary_load")
+            .set(self.worst_boundary_load as f64);
+        registry
+            .gauge("tn_chip_worst_io_load")
+            .set(self.worst_io_load as f64);
+        registry
+            .gauge_with("tn_chip_energy_joules", &[("mode", "realtime")])
+            .set(self.energy_realtime.total_j());
+        registry
+            .gauge_with("tn_chip_energy_joules", &[("mode", "max_speed")])
+            .set(self.energy_max_speed.total_j());
     }
 }
 

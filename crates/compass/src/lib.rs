@@ -30,5 +30,5 @@ pub use output::{OutputEvent, SpikeRecord};
 pub use parallel::{AggregationMode, ParallelSim, PoolMode};
 pub use partition::weighted_split_points;
 pub use reference::ReferenceSim;
-pub use session::KernelSession;
+pub use session::{publish_common, KernelSession};
 pub use trace::SpikeTrace;

@@ -14,25 +14,87 @@ pub struct OutputEvent {
 }
 
 /// Accumulated, canonically ordered output transcript.
-#[derive(Clone, Default, Debug, PartialEq, Eq)]
+///
+/// By default the record grows without bound (batch use: the caller
+/// reads the whole transcript at the end). A streaming host whose
+/// client might stop polling sets a high-water mark with
+/// [`SpikeRecord::set_capacity`]; beyond it the *oldest* events are
+/// evicted and counted, so a session that is never drained stays at
+/// bounded memory instead of growing until OOM.
+#[derive(Clone, Debug)]
 pub struct SpikeRecord {
     events: Vec<OutputEvent>,
     sorted: bool,
+    capacity: usize,
+    evicted: u64,
 }
+
+impl Default for SpikeRecord {
+    fn default() -> Self {
+        SpikeRecord {
+            events: Vec::new(),
+            sorted: false,
+            capacity: usize::MAX,
+            evicted: 0,
+        }
+    }
+}
+
+/// Transcript equality is about the recorded events; the capacity
+/// configuration and eviction tally are host-side bookkeeping.
+impl PartialEq for SpikeRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for SpikeRecord {}
 
 impl SpikeRecord {
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Bound the record at `cap` events (clamped to ≥ 1). When the bound
+    /// is crossed, the record evicts down to ¾ of capacity in one batch
+    /// (amortized O(1) per push) and counts every evicted event.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.capacity = cap.max(1);
+        self.enforce_capacity();
+    }
+
+    /// The configured high-water mark (`usize::MAX` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted by the capacity bound since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    fn enforce_capacity(&mut self) {
+        if self.events.len() <= self.capacity {
+            return;
+        }
+        let target = (self.capacity - self.capacity / 4).max(1);
+        let k = self.events.len() - target;
+        // Oldest events sit at the front in insertion order (or lowest
+        // (tick, port) after a sort — also the oldest ticks).
+        self.events.drain(..k);
+        self.evicted += k as u64;
+    }
+
     pub fn push(&mut self, tick: u64, port: u32) {
         self.events.push(OutputEvent { tick, port });
         self.sorted = false;
+        self.enforce_capacity();
     }
 
     pub fn extend(&mut self, it: impl IntoIterator<Item = OutputEvent>) {
         self.events.extend(it);
         self.sorted = false;
+        self.enforce_capacity();
     }
 
     /// Canonically ordered events (by tick, then port).
@@ -149,5 +211,67 @@ mod tests {
         r.push(2, 8);
         assert_eq!(r.port_ticks(7), vec![1, 4]);
         assert_eq!(r.port_ticks(9), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn unbounded_by_default() {
+        let mut r = SpikeRecord::new();
+        for t in 0..100_000u64 {
+            r.push(t, 0);
+        }
+        assert_eq!(r.len(), 100_000);
+        assert_eq!(r.evicted(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let mut r = SpikeRecord::new();
+        r.set_capacity(100);
+        for t in 0..1000u64 {
+            r.push(t, 7);
+        }
+        assert!(r.len() <= 100, "len {} over high-water mark", r.len());
+        assert_eq!(r.evicted() + r.len() as u64, 1000, "every event accounted");
+        // The retained tail is the newest events, contiguous to the end.
+        let ev = r.events();
+        assert_eq!(ev.last().unwrap().tick, 999);
+        let first = ev.first().unwrap().tick;
+        assert_eq!(ev.len() as u64, 1000 - first);
+    }
+
+    #[test]
+    fn set_capacity_trims_existing_backlog() {
+        let mut r = SpikeRecord::new();
+        for t in 0..50u64 {
+            r.push(t, 1);
+        }
+        r.set_capacity(10);
+        assert!(r.len() <= 10);
+        assert_eq!(r.evicted() + r.len() as u64, 50);
+    }
+
+    #[test]
+    fn take_resets_nothing_but_events() {
+        let mut r = SpikeRecord::new();
+        r.set_capacity(4);
+        for t in 0..20u64 {
+            r.push(t, 0);
+        }
+        let evicted = r.evicted();
+        assert!(evicted > 0);
+        let drained = r.take();
+        assert!(r.is_empty());
+        assert_eq!(r.evicted(), evicted, "eviction tally survives draining");
+        assert_eq!(drained.len() as u64 + evicted, 20);
+    }
+
+    #[test]
+    fn equality_ignores_capacity_bookkeeping() {
+        let mut a = SpikeRecord::new();
+        let mut b = SpikeRecord::new();
+        b.set_capacity(1000);
+        a.push(1, 2);
+        b.push(1, 2);
+        assert_eq!(a, b);
     }
 }

@@ -50,6 +50,7 @@ use std::time::Instant;
 use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
 use tn_core::nscore::NeurosynapticCore;
 use tn_core::{Dest, Network, OutSpike, RunStats, SpikeSource, TickStats};
+use tn_obs::{Histogram, TickObserver, TickPhase, TickSummary};
 
 /// How threads hand spikes to each other.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -133,6 +134,12 @@ struct PoolShared {
     merged: Mutex<(TickStats, Vec<OutputEvent>)>,
     fault_merged: Mutex<FaultCounters>,
     dropped: AtomicU64,
+    /// Nanoseconds each worker spends parked at the per-tick barriers
+    /// (observability; shared with [`ParallelSim::pool_metrics`] so the
+    /// series survives pool teardown in [`PoolMode::PerRun`]).
+    barrier_wait_ns: Arc<Histogram>,
+    /// Packets drained from a worker's mailbox column per tick.
+    mailbox_packets: Arc<Histogram>,
 }
 
 /// A spawned worker pool: `starts.len()` participants, of which
@@ -143,8 +150,28 @@ struct WorkerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// Histogram handles owned by the simulator so the recorded series
+/// survives pool teardown/respawn ([`PoolMode::PerRun`]).
+#[derive(Clone)]
+pub(crate) struct PoolMetrics {
+    pub(crate) barrier_wait_ns: Arc<Histogram>,
+    pub(crate) mailbox_packets: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            // 1 µs .. ~16 ms edges: spans "barely parked" to "a whole
+            // paper tick lost waiting".
+            barrier_wait_ns: Arc::new(Histogram::exponential(1_000, 4, 8)),
+            // 1 .. 16384 packets per worker-tick drain.
+            mailbox_packets: Arc::new(Histogram::exponential(1, 4, 8)),
+        }
+    }
+}
+
 impl WorkerPool {
-    fn new(net: &Network, threads: usize) -> WorkerPool {
+    fn new(net: &Network, threads: usize, metrics: &PoolMetrics) -> WorkerPool {
         // Load-balanced contiguous partition by per-core synaptic weight.
         let weights: Vec<u64> = net
             .cores()
@@ -175,6 +202,8 @@ impl WorkerPool {
             merged: Mutex::new((TickStats::default(), Vec::new())),
             fault_merged: Mutex::new(FaultCounters::default()),
             dropped: AtomicU64::new(0),
+            barrier_wait_ns: Arc::clone(&metrics.barrier_wait_ns),
+            mailbox_packets: Arc::clone(&metrics.mailbox_packets),
         });
 
         let handles = (1..n)
@@ -264,6 +293,15 @@ fn run_ticks(
     let mut spike_buf: Vec<OutSpike> = Vec::new();
     let mut buckets: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
     let mut fk = job.fault_proto.clone();
+    // Time spent parked at a barrier = load imbalance made visible. The
+    // observation never influences simulation state, so determinism holds.
+    let timed_wait = || {
+        let t0 = Instant::now();
+        shared.barrier.wait();
+        shared
+            .barrier_wait_ns
+            .observe(t0.elapsed().as_nanos() as u64);
+    };
 
     for t in job.start_tick..job.start_tick + job.ticks {
         // -- fault phase: every fork advances in lockstep; structural
@@ -301,7 +339,7 @@ fn run_ticks(
             }
             shared.input_len.store(inp.len(), Ordering::Release);
         }
-        shared.barrier.wait(); // (1) input ready; prior tick fully drained
+        timed_wait(); // (1) input ready; prior tick fully drained
         if shared.input_len.load(Ordering::Acquire) > 0 {
             let inp = shared.input.lock().unwrap();
             for &(core, axon) in inp.iter() {
@@ -362,7 +400,7 @@ fn run_ticks(
                 }
             }
         }
-        shared.barrier.wait(); // (2) all mailboxes written
+        timed_wait(); // (2) all mailboxes written
 
         // -- network phase, remote half: drain and deliver. Runs
         // unbarriered into the next tick: the next tick's spikes land in
@@ -370,25 +408,31 @@ fn run_ticks(
         // before the next input read. --
         match mode {
             AggregationMode::Pairwise => {
+                let mut drained = 0u64;
                 for row in shared.mailboxes[parity].iter() {
                     let mut mbox = row[k].lock().unwrap();
+                    drained += mbox.len() as u64;
                     for pkt in mbox.drain(..) {
                         let idx = pkt.core as usize - my_offset as usize;
                         my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
                     }
                 }
+                shared.mailbox_packets.observe(drained);
             }
             AggregationMode::GlobalQueue => {
                 {
                     let q = shared.global_queue.lock().unwrap();
+                    let mut drained = 0u64;
                     for pkt in q.iter() {
                         if owner_of(starts, pkt.core as usize) == k {
                             let idx = pkt.core as usize - my_offset as usize;
                             my_cores[idx].deliver(t + pkt.delay as u64, pkt.axon);
+                            drained += 1;
                         }
                     }
+                    shared.mailbox_packets.observe(drained);
                 }
-                shared.barrier.wait(); // (3) all drains done
+                timed_wait(); // (3) all drains done
                 if k == 0 {
                     // Cleared before barrier (1) of the next tick, which
                     // orders it ahead of the next tick's pushes.
@@ -421,6 +465,8 @@ pub struct ParallelSim {
     outputs: SpikeRecord,
     dropped_inputs: u64,
     faults: Option<FaultState>,
+    pool_metrics: PoolMetrics,
+    observer: Option<Arc<dyn TickObserver>>,
 }
 
 impl ParallelSim {
@@ -452,7 +498,28 @@ impl ParallelSim {
             outputs: SpikeRecord::new(),
             dropped_inputs: 0,
             faults: None,
+            pool_metrics: PoolMetrics::new(),
+            observer: None,
         }
+    }
+
+    /// Attach per-tick span hooks (see [`tn_obs::TickObserver`]). Hooks
+    /// fire on the coordinating thread at tick granularity; with an
+    /// observer attached, multi-tick `run` calls execute tick by tick so
+    /// every tick is observed.
+    pub fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Worker-pool telemetry: time parked at barriers and mailbox
+    /// occupancy per worker-tick.
+    pub fn pool_barrier_wait_ns(&self) -> Arc<Histogram> {
+        Arc::clone(&self.pool_metrics.barrier_wait_ns)
+    }
+
+    /// See [`ParallelSim::pool_barrier_wait_ns`].
+    pub fn pool_mailbox_packets(&self) -> Arc<Histogram> {
+        Arc::clone(&self.pool_metrics.mailbox_packets)
     }
 
     /// Attach a compiled fault plan (identical semantics to
@@ -534,17 +601,29 @@ impl ParallelSim {
         if ticks == 0 {
             return self.stats;
         }
+        // With span hooks attached, a multi-tick run executes tick by
+        // tick so the observer sees every tick boundary (results are
+        // bit-identical; only job granularity changes).
+        if self.observer.is_some() && ticks > 1 {
+            for _ in 0..ticks {
+                self.run(1, src);
+            }
+            return self.stats;
+        }
+        if let Some(obs) = &self.observer {
+            obs.on_tick_start(self.tick);
+        }
         let start_tick = self.tick;
         let per_run_pool;
         let pool = match self.pool_mode {
             PoolMode::Persistent => {
                 if self.pool.is_none() {
-                    self.pool = Some(WorkerPool::new(&self.net, self.threads));
+                    self.pool = Some(WorkerPool::new(&self.net, self.threads, &self.pool_metrics));
                 }
                 self.pool.as_ref().unwrap()
             }
             PoolMode::PerRun => {
-                per_run_pool = WorkerPool::new(&self.net, self.threads);
+                per_run_pool = WorkerPool::new(&self.net, self.threads, &self.pool_metrics);
                 &per_run_pool
             }
         };
@@ -585,6 +664,19 @@ impl ParallelSim {
         self.stats.totals += tick_totals;
         self.stats.wall_seconds += elapsed;
         self.tick += ticks;
+        if let Some(obs) = &self.observer {
+            // Single-tick job (guaranteed by the observer pre-loop above
+            // when ticks > 1): the merged totals are this tick's deltas.
+            obs.on_phase(start_tick, TickPhase::Merge);
+            obs.on_tick_end(&TickSummary {
+                tick: start_tick,
+                axon_events: tick_totals.axon_events,
+                sops: tick_totals.sops,
+                neuron_updates: tick_totals.neuron_updates,
+                spikes_out: tick_totals.spikes_out,
+                prng_draws: tick_totals.prng_draws,
+            });
+        }
         self.stats
     }
 }

@@ -6,9 +6,11 @@
 
 use crate::output::SpikeRecord;
 use crate::trace::SpikeTrace;
+use std::sync::Arc;
 use std::time::Instant;
 use tn_core::fault::{FaultPlan, FaultState};
 use tn_core::{Dest, Network, NetworkSnapshot, OutSpike, RunStats, SpikeSource, TickStats};
+use tn_obs::{TickObserver, TickPhase, TickSummary};
 
 /// Single-threaded blueprint simulator.
 pub struct ReferenceSim {
@@ -21,6 +23,7 @@ pub struct ReferenceSim {
     trace: Option<SpikeTrace>,
     dropped_inputs: u64,
     faults: Option<FaultState>,
+    observer: Option<Arc<dyn TickObserver>>,
 }
 
 impl ReferenceSim {
@@ -35,7 +38,15 @@ impl ReferenceSim {
             trace: None,
             dropped_inputs: 0,
             faults: None,
+            observer: None,
         }
+    }
+
+    /// Attach per-tick span hooks (see [`tn_obs::TickObserver`]). The
+    /// observer is called synchronously from the tick loop; when unset
+    /// the hooks cost one branch per phase.
+    pub fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Attach a compiled fault plan. Scheduled faults take effect at the
@@ -126,6 +137,11 @@ impl ReferenceSim {
     ///    buffers at `t + delay`.
     pub fn step(&mut self, src: &mut dyn SpikeSource) -> TickStats {
         let t = self.tick;
+        let wall = Instant::now();
+        if let Some(obs) = &self.observer {
+            obs.on_tick_start(t);
+            obs.on_phase(t, TickPhase::Faults);
+        }
         // Fault phase: apply scheduled faults due at the start of this
         // tick, then force stuck-at-1 axons into the current slot.
         if let Some(f) = &mut self.faults {
@@ -137,6 +153,9 @@ impl ReferenceSim {
             for &(core, axon) in f.stuck1() {
                 self.net.cores_mut()[core as usize].deliver(t, axon);
             }
+        }
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Input);
         }
         self.input_buf.clear();
         src.fill(t, &mut self.input_buf);
@@ -156,6 +175,9 @@ impl ReferenceSim {
             self.net.core_mut(core).deliver(t + 1, axon);
         }
 
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Neurons);
+        }
         let mut tick_stats = TickStats::default();
         self.spike_buf.clear();
         for idx in 0..self.net.num_cores() {
@@ -165,6 +187,9 @@ impl ReferenceSim {
             trace.record_tick(t, &self.spike_buf);
         }
 
+        if let Some(obs) = &self.observer {
+            obs.on_phase(t, TickPhase::Routing);
+        }
         for s in self.spike_buf.drain(..) {
             match s.dest {
                 Dest::Axon(tgt) => {
@@ -185,16 +210,28 @@ impl ReferenceSim {
         self.stats.ticks += 1;
         self.stats.totals += tick_stats;
         self.tick += 1;
+        // Wall time accrues per step so a host driving `step()` directly
+        // (the serving layer) sees live `RunStats::wall_seconds`, not a
+        // value that only syncs inside `run()`.
+        self.stats.wall_seconds += wall.elapsed().as_secs_f64();
+        if let Some(obs) = &self.observer {
+            obs.on_tick_end(&TickSummary {
+                tick: t,
+                axon_events: tick_stats.axon_events,
+                sops: tick_stats.sops,
+                neuron_updates: tick_stats.neuron_updates,
+                spikes_out: tick_stats.spikes_out,
+                prng_draws: tick_stats.prng_draws,
+            });
+        }
         tick_stats
     }
 
-    /// Run `ticks` steps, measuring wall-clock time into the stats.
+    /// Run `ticks` steps; wall-clock time accrues per step.
     pub fn run(&mut self, ticks: u64, src: &mut dyn SpikeSource) -> RunStats {
-        let start = Instant::now();
         for _ in 0..ticks {
             self.step(src);
         }
-        self.stats.wall_seconds += start.elapsed().as_secs_f64();
         self.stats
     }
 }

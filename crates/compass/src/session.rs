@@ -13,8 +13,10 @@
 use crate::output::SpikeRecord;
 use crate::parallel::ParallelSim;
 use crate::reference::ReferenceSim;
+use std::sync::Arc;
 use tn_core::fault::{FaultCounters, FaultPlan};
 use tn_core::{Network, NetworkSnapshot, RunStats, SpikeSource, TickStats};
+use tn_obs::{Registry, TickObserver};
 
 /// A running instance of one kernel expression, drivable one tick at a
 /// time. All expressions of the blueprint are deterministic, so two
@@ -63,6 +65,69 @@ pub trait KernelSession: Send {
 
     /// Per-class fault drop counters, `None` if no plan is attached.
     fn fault_counters(&self) -> Option<FaultCounters>;
+
+    /// Attach per-tick span hooks (see [`tn_obs::TickObserver`]); called
+    /// synchronously from the tick loop, so keep implementations cheap.
+    fn set_observer(&mut self, _observer: Arc<dyn TickObserver>) {}
+
+    /// Synchronise this expression's counters into a metrics registry
+    /// (monotonic totals, tier tallies, fault drops, plus any
+    /// engine-specific series). Safe to call repeatedly — counters sync
+    /// via max, histograms are registered by handle.
+    fn publish_metrics(&self, registry: &Registry) {
+        publish_common(self, registry);
+    }
+}
+
+/// The registry series every expression shares: the legacy
+/// `RunStats`/`TickStats` totals, the fast-path tier tallies, injection
+/// drops, and per-class fault drops. Reconciliation of these series
+/// against the legacy counters is pinned by `tests/obs_reconcile.rs`.
+pub fn publish_common<S: KernelSession + ?Sized>(sim: &S, reg: &Registry) {
+    let stats = sim.stats();
+    reg.counter("tn_kernel_ticks_total").set(stats.ticks);
+    reg.counter("tn_kernel_axon_events_total")
+        .set(stats.totals.axon_events);
+    reg.counter("tn_kernel_sops_total").set(stats.totals.sops);
+    reg.counter("tn_kernel_neuron_updates_total")
+        .set(stats.totals.neuron_updates);
+    reg.counter("tn_kernel_spikes_out_total")
+        .set(stats.totals.spikes_out);
+    reg.counter("tn_kernel_prng_draws_total")
+        .set(stats.totals.prng_draws);
+    reg.counter("tn_kernel_dropped_inputs_total")
+        .set(sim.dropped_inputs());
+    reg.gauge("tn_kernel_wall_seconds").set(stats.wall_seconds);
+
+    let tiers = sim.network().tier_totals();
+    for (tier, v) in [
+        ("disabled", tiers.disabled),
+        ("quiescent", tiers.quiescent),
+        ("split", tiers.split),
+        ("fused", tiers.fused),
+        ("scalar", tiers.scalar),
+    ] {
+        reg.counter_with("tn_fastpath_tier_ticks_total", &[("tier", tier)])
+            .set(v);
+    }
+
+    if let Some(fc) = sim.fault_counters() {
+        for (kind, v) in [
+            ("dead", fc.dead_dropped),
+            ("stuck", fc.stuck_dropped),
+            ("sync", fc.sync_dropped),
+            ("severed", fc.severed_dropped),
+            ("lossy", fc.lossy_dropped),
+        ] {
+            reg.counter_with("tn_fault_drops_total", &[("kind", kind)])
+                .set(v);
+        }
+        reg.counter("tn_fault_rerouted_total").set(fc.rerouted);
+    }
+
+    if let Some(e) = sim.energy_j() {
+        reg.gauge("tn_energy_joules").set(e);
+    }
 }
 
 impl KernelSession for ReferenceSim {
@@ -108,6 +173,10 @@ impl KernelSession for ReferenceSim {
 
     fn fault_counters(&self) -> Option<FaultCounters> {
         self.faults().map(|f| *f.counters())
+    }
+
+    fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        ReferenceSim::set_observer(self, observer)
     }
 }
 
@@ -163,6 +232,16 @@ impl KernelSession for ParallelSim {
 
     fn fault_counters(&self) -> Option<FaultCounters> {
         self.faults().map(|f| *f.counters())
+    }
+
+    fn set_observer(&mut self, observer: Arc<dyn TickObserver>) {
+        ParallelSim::set_observer(self, observer)
+    }
+
+    fn publish_metrics(&self, registry: &Registry) {
+        publish_common(self, registry);
+        registry.register_histogram("tn_pool_barrier_wait_ns", &[], self.pool_barrier_wait_ns());
+        registry.register_histogram("tn_pool_mailbox_packets", &[], self.pool_mailbox_packets());
     }
 }
 

@@ -77,6 +77,46 @@ impl FastPathConfig {
 /// paying for itself and the loop reads per-neuron configs directly.
 const MAX_PROFILES: usize = 32;
 
+/// Per-core tally of which tick-dispatch tier handled each tick.
+///
+/// One tier is hit exactly once per core per tick, so across a network
+/// `total() == ticks × num_cores` — the invariant the observability
+/// layer's reconciliation tests pin. The counters are host-side
+/// telemetry, not blueprint state: they are excluded from
+/// `state_digest`, reset by snapshot restore, and deliberately *not*
+/// part of `TickStats` (fast-path and scalar runs must produce equal
+/// `TickStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Core disabled by a fault: tick skipped entirely.
+    pub disabled: u64,
+    /// Quiescence skip (no events, all-inert and settled).
+    pub quiescent: u64,
+    /// Split-phase popcount kernel (synapse scatter, then neuron loop).
+    pub split: u64,
+    /// Fused per-neuron popcount kernel (stochastic synapses present).
+    pub fused: u64,
+    /// Ordered scalar fallback.
+    pub scalar: u64,
+}
+
+impl TierCounters {
+    /// Ticks accounted across all tiers.
+    pub fn total(&self) -> u64 {
+        self.disabled + self.quiescent + self.split + self.fused + self.scalar
+    }
+}
+
+impl std::ops::AddAssign for TierCounters {
+    fn add_assign(&mut self, rhs: TierCounters) {
+        self.disabled += rhs.disabled;
+        self.quiescent += rhs.quiescent;
+        self.split += rhs.split;
+        self.fused += rhs.fused;
+        self.scalar += rhs.scalar;
+    }
+}
+
 /// Per-core derived caches consumed by the fast tick paths. Everything in
 /// here is a pure function of the core's static configuration except
 /// [`FastPath::settled`], which tracks the dynamic fixed-point state.
@@ -131,6 +171,9 @@ pub struct FastPath {
     pub degraded: bool,
     /// Scatter accumulator scratch for the event-major kernel.
     pub scratch_dv: Box<[i32; NEURONS_PER_CORE]>,
+    /// Which dispatch tier handled each of this core's ticks (telemetry;
+    /// preserved across fault-triggered cache rebuilds).
+    pub tiers: TierCounters,
 }
 
 /// The neuron-phase profile of a config: the same parameters with the
@@ -242,6 +285,7 @@ impl FastPath {
             settled: false,
             degraded: false,
             scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+            tiers: TierCounters::default(),
         }
     }
 
@@ -264,6 +308,7 @@ impl FastPath {
             settled: false,
             degraded: true,
             scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+            tiers: TierCounters::default(),
         }
     }
 

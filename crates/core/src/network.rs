@@ -210,6 +210,17 @@ impl Network {
         }
     }
 
+    /// Sum of every core's tick-dispatch tier tallies (observability).
+    /// Exactly one tier fires per core per tick, so
+    /// `tier_totals().total() == ticks × num_cores`.
+    pub fn tier_totals(&self) -> crate::fastpath::TierCounters {
+        let mut total = crate::fastpath::TierCounters::default();
+        for c in &self.cores {
+            total += c.tier_counters();
+        }
+        total
+    }
+
     /// Total active synapses across all cores.
     pub fn total_synapses(&self) -> u64 {
         self.cores

@@ -18,7 +18,7 @@
 use crate::address::{CoreId, NeuronId, OutSpike};
 use crate::crossbar::{Crossbar, ROW_WORDS};
 use crate::delay::{iter_active_axons, DelayBuffer};
-use crate::fastpath::{FastPath, FastPathConfig};
+use crate::fastpath::{FastPath, FastPathConfig, TierCounters};
 use crate::neuron::NeuronConfig;
 use crate::prng::CorePrng;
 use crate::stats::TickStats;
@@ -172,9 +172,19 @@ impl NeurosynapticCore {
         &self.fast
     }
 
+    /// Which dispatch tier handled each of this core's ticks so far
+    /// (observability; see [`crate::fastpath::TierCounters`]).
+    pub fn tier_counters(&self) -> TierCounters {
+        self.fast.tiers
+    }
+
     /// Rebuild the fast-path caches after a static-configuration mutation.
+    /// The tier tallies survive the rebuild: they count the core's whole
+    /// history, not the current cache generation.
     fn rebuild_fastpath(&mut self) {
+        let tiers = self.fast.tiers;
         self.fast = FastPath::build(&self.fast.cfg, &self.cfg, &self.columns[..]);
+        self.fast.tiers = tiers;
     }
 
     /// Deliver an input spike event to `axon`, to be consumed at absolute
@@ -234,22 +244,27 @@ impl NeurosynapticCore {
     pub fn tick(&mut self, t: u64, out: &mut Vec<OutSpike>, stats: &mut TickStats) {
         let active: [u64; ROW_WORDS] = self.delay.take(t);
         if self.disabled {
+            self.fast.tiers.disabled += 1;
             return;
         }
         let quiet = active == [0u64; ROW_WORDS];
         if quiet && self.fast.cfg.quiescence && self.fast.all_inert && self.fast.settled {
             // No events, no draws, every potential at a threshold fixed
             // point: the full loop would move nothing but this counter.
+            self.fast.tiers.quiescent += 1;
             stats.neuron_updates += NEURONS_PER_CORE as u64;
             return;
         }
         let draws_start = self.prng.draws();
         stats.axon_events += active.iter().map(|w| w.count_ones() as u64).sum::<u64>();
         if self.fast.cfg.popcount && !self.fast.degraded && !self.fast.has_stoch_syn {
+            self.fast.tiers.split += 1;
             self.tick_split(&active, quiet, out, stats);
         } else if self.fast.cfg.popcount && !self.fast.degraded {
+            self.fast.tiers.fused += 1;
             self.tick_fused(&active, out, stats);
         } else {
+            self.fast.tiers.scalar += 1;
             self.tick_scalar(&active, out, stats);
         }
         stats.prng_draws += self.prng.draws() - draws_start;
@@ -614,6 +629,42 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(st.sops, 0);
         assert_eq!(st.neuron_updates, 0);
+    }
+
+    #[test]
+    fn tier_counters_account_every_tick_once() {
+        let mut core = relay_core();
+        let (mut out, mut st) = (Vec::new(), TickStats::default());
+        core.deliver(0, 3);
+        for t in 0..5 {
+            core.tick(t, &mut out, &mut st);
+        }
+        let tiers = core.tier_counters();
+        assert_eq!(tiers.total(), 5, "one tier hit per tick: {tiers:?}");
+        assert_eq!(tiers.disabled, 0);
+        // The relay core has no stochastic synapses, so active ticks take
+        // the split kernel under the default config.
+        assert!(tiers.split > 0, "{tiers:?}");
+
+        core.set_disabled(true);
+        core.tick(5, &mut out, &mut st);
+        assert_eq!(core.tier_counters().disabled, 1);
+        assert_eq!(core.tier_counters().total(), 6);
+    }
+
+    #[test]
+    fn tier_counters_survive_fastpath_rebuild_and_select_scalar() {
+        let mut core = relay_core();
+        core.set_fastpath(FastPathConfig::scalar());
+        let (mut out, mut st) = (Vec::new(), TickStats::default());
+        core.tick(0, &mut out, &mut st);
+        assert_eq!(core.tier_counters().scalar, 1);
+        // A fault mutation rebuilds the caches; tallies must persist.
+        core.flip_crossbar(1, 1);
+        core.tick(1, &mut out, &mut st);
+        let tiers = core.tier_counters();
+        assert_eq!(tiers.scalar, 2, "{tiers:?}");
+        assert_eq!(tiers.total(), 2);
     }
 
     #[test]

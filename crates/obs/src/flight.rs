@@ -1,0 +1,189 @@
+//! The flight recorder: a bounded ring buffer of recent tick state.
+//!
+//! When a real-time session misses deadlines or sheds input, the
+//! interesting evidence is what the *last few milliseconds* looked like
+//! — after the fact. The recorder keeps the most recent N
+//! [`TickFrame`]s at O(1) per tick and renders them as `# flight ...`
+//! comment lines that ride along with the metrics exposition (comments
+//! are ignored by the schema checker), so one `GetMetrics` scrape is a
+//! complete post-mortem dump.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One tick's worth of spike/queue/deadline state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickFrame {
+    /// Tick index.
+    pub tick: u64,
+    /// Spikes emitted this tick.
+    pub spikes_out: u64,
+    /// Synaptic operations this tick.
+    pub sops: u64,
+    /// Axon events consumed this tick.
+    pub axon_events: u64,
+    /// Events still queued for future ticks after this tick ran.
+    pub pending_inputs: u64,
+    /// Cumulative dropped inputs (injection shed + out-of-grid) so far.
+    pub dropped_inputs: u64,
+    /// How late the tick started relative to its deadline (0 = on time).
+    pub lateness_ns: u64,
+    /// Deadlines newly missed at this tick (0 = on time).
+    pub missed: u64,
+}
+
+struct Inner {
+    frames: VecDeque<TickFrame>,
+    cap: usize,
+    recorded: u64,
+}
+
+/// A bounded ring buffer of [`TickFrame`]s.
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// Default ring depth: a quarter second of the paper's 1 ms ticks.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                frames: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Record one tick, evicting the oldest frame when full.
+    pub fn record(&self, frame: TickFrame) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.frames.len() == inner.cap {
+            inner.frames.pop_front();
+        }
+        inner.frames.push_back(frame);
+        inner.recorded += 1;
+    }
+
+    /// Snapshot of the retained frames, oldest first.
+    pub fn frames(&self) -> Vec<TickFrame> {
+        self.inner.lock().unwrap().frames.iter().copied().collect()
+    }
+
+    /// Frames currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().cap
+    }
+
+    /// Total frames ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().recorded
+    }
+
+    /// Render the retained frames as `# flight ...` comment lines,
+    /// oldest first, safe to append to a metrics exposition.
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# flight-recorder frames={} recorded={} capacity={}\n",
+            inner.frames.len(),
+            inner.recorded,
+            inner.cap
+        ));
+        for f in &inner.frames {
+            out.push_str(&format!(
+                "# flight tick={} spikes={} sops={} axons={} pending={} \
+                 dropped={} lateness_ns={} missed={}\n",
+                f.tick,
+                f.spikes_out,
+                f.sops,
+                f.axon_events,
+                f.pending_inputs,
+                f.dropped_inputs,
+                f.lateness_ns,
+                f.missed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tick: u64) -> TickFrame {
+        TickFrame {
+            tick,
+            spikes_out: tick * 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn retains_last_n_frames() {
+        let fr = FlightRecorder::new(4);
+        for t in 0..10 {
+            fr.record(frame(t));
+        }
+        let frames = fr.frames();
+        assert_eq!(frames.len(), 4);
+        assert_eq!(
+            frames.iter().map(|f| f.tick).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(fr.capacity(), 4);
+    }
+
+    #[test]
+    fn partial_fill_keeps_everything() {
+        let fr = FlightRecorder::new(8);
+        fr.record(frame(0));
+        fr.record(frame(1));
+        assert_eq!(fr.len(), 2);
+        assert!(!fr.is_empty());
+        assert_eq!(fr.frames()[0].tick, 0);
+    }
+
+    #[test]
+    fn render_is_all_comments() {
+        let fr = FlightRecorder::new(2);
+        fr.record(TickFrame {
+            tick: 5,
+            spikes_out: 3,
+            lateness_ns: 1200,
+            missed: 1,
+            ..Default::default()
+        });
+        let text = fr.render_text();
+        assert!(text.lines().all(|l| l.starts_with('#')));
+        assert!(text.contains("tick=5"));
+        assert!(text.contains("lateness_ns=1200"));
+        assert!(text.contains("missed=1"));
+        // Riding along with an exposition must not break the validator.
+        let combined = format!("# TYPE tn_a counter\ntn_a 1\n{text}");
+        crate::registry::validate_exposition(&combined).expect("comments ignored");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record(frame(1));
+        fr.record(frame(2));
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.frames()[0].tick, 2);
+    }
+}

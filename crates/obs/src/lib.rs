@@ -1,0 +1,34 @@
+//! tn-obs: observability for the neurosynaptic stack.
+//!
+//! The paper's entire evaluation (Figs. 5–9) depends on *measuring* the
+//! running kernel — active power vs. firing rate × synapses/neuron,
+//! deadline behaviour at the real-time 1 ms tick, Compass-vs-TrueNorth
+//! speedup — yet counters alone don't make a live system debuggable.
+//! Following the telemetry discipline of real-time neuromorphic serving
+//! work (SpiNNaker's cortical runs instrument deadline misses and queue
+//! occupancy first), this crate supplies three small, dependency-free
+//! primitives:
+//!
+//! - [`Registry`] — a named registry of monotonic [`Counter`]s, [`Gauge`]s
+//!   and fixed-bucket [`Histogram`]s, all plain `std::sync::atomic`
+//!   (lock-cheap: the registry map locks only on get-or-create, never on
+//!   the update path), rendered as Prometheus-style text exposition by
+//!   [`Registry::render_text`] and checked by [`validate_exposition`];
+//! - [`TickObserver`] — a structured tracing facade with per-tick span
+//!   hooks (`on_tick_start` / `on_phase` / `on_tick_end`) implemented by
+//!   the reference, parallel, and chip engines;
+//! - [`FlightRecorder`] — a bounded ring buffer capturing the last N
+//!   ticks of spike/queue/deadline state for post-mortem dumps.
+//!
+//! Consistent with the PR-1 zero-dependency rule, this crate uses only
+//! `std`.
+
+pub mod flight;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use flight::{FlightRecorder, TickFrame};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{validate_exposition, ExpositionSummary, Registry};
+pub use span::{NullObserver, TickObserver, TickPhase, TickSummary};

@@ -1,0 +1,198 @@
+//! Metric primitives: counter, gauge, fixed-bucket histogram.
+//!
+//! All three are plain-atomic and lock-free on the update path; handles
+//! are shared as `Arc`s so a hot loop caches its handle once and never
+//! touches the registry map again. Ordering is `Relaxed` throughout:
+//! metrics are statistical reads, not synchronization edges — the tick
+//! loops already carry their own barriers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter.
+///
+/// `inc`/`add` are the normal update path. [`Counter::set`] exists to
+/// *synchronise* the counter to an externally maintained monotonic total
+/// (the legacy `TickStats`/`ChipReport` accumulators): it stores the
+/// maximum of the current and given value so a stale publisher can never
+/// move a counter backwards.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Synchronise to an external monotonic total (never moves backwards).
+    pub fn set(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a last-write-wins `f64` stored as bits in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket bounds are inclusive upper edges (`le` in the exposition);
+/// an implicit `+Inf` bucket catches the tail. Buckets, count, and sum
+/// are independent relaxed atomics: a scrape racing an `observe` may see
+/// a sum without its bucket for one reading — acceptable for telemetry,
+/// and each individual value is still exact once the loop quiesces.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // len = bounds.len() + 1 (+Inf tail)
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing (checked).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Exponential bounds: `start, start*factor, ...` (`count` edges).
+    pub fn exponential(start: u64, factor: u64, count: usize) -> Self {
+        assert!(start > 0 && factor > 1, "need start > 0 and factor > 1");
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b = b.saturating_mul(factor);
+        }
+        bounds.dedup(); // saturation can repeat u64::MAX
+        Self::new(&bounds)
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts, `+Inf` tail last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_monotonic_sync() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(3); // stale publisher must not regress
+        assert_eq!(c.get(), 5);
+        c.set(12);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-1.25e-3);
+        assert_eq!(g.get(), -1.25e-3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_edge() {
+        let h = Histogram::new(&[1, 10, 100]);
+        for v in [0, 1, 2, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]); // le=1, le=10, le=100, +Inf
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1024);
+    }
+
+    #[test]
+    fn exponential_bounds() {
+        let h = Histogram::exponential(1_000, 4, 6);
+        assert_eq!(
+            h.bounds(),
+            &[1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[10, 5]);
+    }
+
+    #[test]
+    fn concurrent_updates_sum() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,667 @@
+//! The metrics registry and its text exposition format.
+//!
+//! A [`Registry`] maps metric names (plus optional labels) to shared
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handles. The map itself is behind
+//! a `Mutex`, but the mutex is touched only on get-or-create and on
+//! scrape — the update path goes through the returned `Arc` handles and
+//! is lock-free. Exposition is Prometheus-style text
+//! ([`Registry::render_text`]); [`validate_exposition`] is the matching
+//! schema checker used by CI's `obs-smoke` job and the integration
+//! tests.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: Kind,
+    /// Keyed by the rendered label set (`""` for an unlabelled series).
+    series: BTreeMap<String, Series>,
+}
+
+/// A named registry of metrics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set to its canonical key (sorted by label name).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        assert!(
+            valid_name(k) && !k.contains(':'),
+            "invalid label name: {k:?}"
+        );
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let key = label_key(labels);
+        let mut map = self.inner.lock().unwrap();
+        let fam = map.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric {name:?} already registered as {} (wanted {})",
+            fam.kind.as_str(),
+            kind.as_str()
+        );
+        fam.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, Kind::Counter, || {
+            Series::Counter(Arc::new(Counter::new()))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, Kind::Gauge, || {
+            Series::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create an unlabelled histogram with the given bucket bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Get or create a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let h = match self.get_or_insert(name, labels, Kind::Histogram, || {
+            Series::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        };
+        assert!(
+            h.bounds() == bounds,
+            "histogram {name:?} already registered with different bounds"
+        );
+        h
+    }
+
+    /// Register an externally owned histogram (e.g. one embedded in a
+    /// worker pool) under `name`. Re-registering the same name replaces
+    /// the handle, so republishing on every scrape is idempotent.
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], h: Arc<Histogram>) {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let key = label_key(labels);
+        let mut map = self.inner.lock().unwrap();
+        let fam = map.entry(name.to_string()).or_insert_with(|| Family {
+            kind: Kind::Histogram,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == Kind::Histogram,
+            "metric {name:?} already registered as {}",
+            fam.kind.as_str()
+        );
+        fam.series.insert(key, Series::Histogram(h));
+    }
+
+    /// Read a counter's value (`None` if absent). Test/audit helper.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let map = self.inner.lock().unwrap();
+        match map.get(name)?.series.get(&label_key(labels))? {
+            Series::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Read a gauge's value (`None` if absent). Test/audit helper.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let map = self.inner.lock().unwrap();
+        match map.get(name)?.series.get(&label_key(labels))? {
+            Series::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Render the whole registry as Prometheus-style text exposition.
+    ///
+    /// Histogram `_count` is derived from the bucket totals so one
+    /// rendering is always internally consistent even if an `observe`
+    /// races the scrape.
+    pub fn render_text(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in map.iter() {
+            out.push_str(&format!("# TYPE {name} {}\n", fam.kind.as_str()));
+            for (labels, series) in fam.series.iter() {
+                let suffixed = |suffix: &str, extra: Option<(&str, String)>| -> String {
+                    let mut l = labels.clone();
+                    if let Some((k, v)) = extra {
+                        if !l.is_empty() {
+                            l.push(',');
+                        }
+                        l.push_str(&format!("{k}=\"{v}\""));
+                    }
+                    if l.is_empty() {
+                        format!("{name}{suffix}")
+                    } else {
+                        format!("{name}{suffix}{{{l}}}")
+                    }
+                };
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{} {}\n", suffixed("", None), c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{} {}\n", suffixed("", None), g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, bound) in h.bounds().iter().enumerate() {
+                            cum += counts[i];
+                            out.push_str(&format!(
+                                "{} {cum}\n",
+                                suffixed("_bucket", Some(("le", bound.to_string())))
+                            ));
+                        }
+                        cum += counts[h.bounds().len()];
+                        out.push_str(&format!(
+                            "{} {cum}\n",
+                            suffixed("_bucket", Some(("le", "+Inf".into())))
+                        ));
+                        out.push_str(&format!("{} {}\n", suffixed("_sum", None), h.sum()));
+                        out.push_str(&format!("{} {cum}\n", suffixed("_count", None)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Summary returned by a successful [`validate_exposition`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// Number of `# TYPE` families declared.
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+}
+
+/// A parsed sample line: `(name, label_pairs, value)`.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parse one sample line into `(name, label_pairs, value)`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let err = |m: &str| format!("{m}: {line:?}");
+    let (name_end, has_labels) = match line.find(['{', ' ']) {
+        Some(i) => (i, line.as_bytes()[i] == b'{'),
+        None => return Err(err("sample missing value")),
+    };
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let rest = if has_labels {
+        let body_start = name_end + 1;
+        // Scan for the closing brace, honoring quoted/escaped values.
+        let bytes = line.as_bytes();
+        let mut i = body_start;
+        let mut in_quotes = false;
+        let mut escaped = false;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if escaped {
+                escaped = false;
+            } else if in_quotes && c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_quotes = !in_quotes;
+            } else if c == '}' && !in_quotes {
+                break;
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(err("unterminated label set"));
+        }
+        let body = &line[body_start..i];
+        if !body.is_empty() {
+            for pair in split_label_pairs(body).map_err(|m| err(&m))? {
+                let (k, v) = pair;
+                if !valid_name(&k) || k.contains(':') {
+                    return Err(err("invalid label name"));
+                }
+                labels.push((k, v));
+            }
+        }
+        &line[i + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value_str = rest.trim();
+    if value_str.is_empty() {
+        return Err(err("sample missing value"));
+    }
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| err("sample value is not a number"))?;
+    Ok((name.to_string(), labels, value))
+}
+
+/// Split `k1="v1",k2="v2"` into pairs, honoring escapes inside values.
+fn split_label_pairs(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label pair missing '='".to_string())?;
+        let key = rest[..eq].to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err("label value must be quoted".into());
+        }
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut val = String::new();
+        let mut closed = false;
+        while i < bytes.len() {
+            match bytes[i] as char {
+                '\\' => {
+                    if i + 1 >= bytes.len() {
+                        return Err("dangling escape in label value".into());
+                    }
+                    let c = bytes[i + 1] as char;
+                    val.push(match c {
+                        'n' => '\n',
+                        c => c,
+                    });
+                    i += 2;
+                }
+                '"' => {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                c => {
+                    val.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if !closed {
+            return Err("unterminated label value".into());
+        }
+        pairs.push((key, val));
+        rest = &after[i..];
+        if rest.is_empty() {
+            return Ok(pairs);
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| "expected ',' between label pairs".to_string())?;
+    }
+}
+
+/// Schema-check a text exposition produced by [`Registry::render_text`].
+///
+/// Rules enforced:
+/// - every sample belongs to a family declared by a preceding
+///   `# TYPE <name> <counter|gauge|histogram>` line (histogram samples
+///   match `<base>_bucket` / `<base>_sum` / `<base>_count`);
+/// - no family is declared twice;
+/// - counter samples are finite and non-negative;
+/// - each histogram series has strictly increasing `le` edges ending in
+///   `+Inf`, cumulative bucket counts are non-decreasing, the `+Inf`
+///   bucket equals `_count`, and `_sum`/`_count` are present.
+///
+/// Other `#` lines are comments (the flight-recorder dump rides along as
+/// `# flight ...` lines) and are ignored.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut kinds: BTreeMap<String, Kind> = BTreeMap::new();
+    // (base name, non-le labels) -> (le edges seen, cumulative counts,
+    // sum present, count value).
+    struct HistSeries {
+        buckets: Vec<(f64, f64)>, // (le, cumulative count)
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<(String, String), HistSeries> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |m: String| format!("line {}: {m}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| at("TYPE missing name".into()))?;
+            let kind = match it.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                other => return Err(at(format!("bad TYPE kind {other:?}"))),
+            };
+            if !valid_name(name) {
+                return Err(at(format!("invalid family name {name:?}")));
+            }
+            if kinds.insert(name.to_string(), kind).is_some() {
+                return Err(at(format!("duplicate TYPE for {name:?}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment (flight-recorder dump etc.)
+        }
+        let (name, labels, value) = parse_sample(line).map_err(&at)?;
+        samples += 1;
+        // Resolve the owning family.
+        if let Some(kind) = kinds.get(&name) {
+            match kind {
+                Kind::Counter => {
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(at(format!("counter {name} has bad value {value}")));
+                    }
+                }
+                Kind::Gauge => {}
+                Kind::Histogram => {
+                    return Err(at(format!(
+                        "histogram family {name} sampled without _bucket/_sum/_count"
+                    )));
+                }
+            }
+            continue;
+        }
+        let (base, part) = if let Some(b) = name.strip_suffix("_bucket") {
+            (b, "bucket")
+        } else if let Some(b) = name.strip_suffix("_sum") {
+            (b, "sum")
+        } else if let Some(b) = name.strip_suffix("_count") {
+            (b, "count")
+        } else {
+            return Err(at(format!("sample {name} has no preceding TYPE")));
+        };
+        if kinds.get(base) != Some(&Kind::Histogram) {
+            return Err(at(format!("sample {name} has no preceding TYPE")));
+        }
+        let mut le: Option<f64> = None;
+        let mut rest_labels: Vec<String> = Vec::new();
+        for (k, v) in &labels {
+            if k == "le" {
+                le = Some(if v == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    v.parse()
+                        .map_err(|_| at(format!("bad le value {v:?} on {name}")))?
+                });
+            } else {
+                rest_labels.push(format!("{k}={v}"));
+            }
+        }
+        let series_key = (base.to_string(), rest_labels.join(","));
+        let entry = hists.entry(series_key).or_insert(HistSeries {
+            buckets: Vec::new(),
+            sum: None,
+            count: None,
+        });
+        match part {
+            "bucket" => {
+                let le = le.ok_or_else(|| at(format!("{name} bucket missing le label")))?;
+                entry.buckets.push((le, value));
+            }
+            "sum" => entry.sum = Some(value),
+            "count" => entry.count = Some(value),
+            _ => unreachable!(),
+        }
+    }
+
+    for ((base, labels), h) in &hists {
+        let ctx = if labels.is_empty() {
+            base.clone()
+        } else {
+            format!("{base}{{{labels}}}")
+        };
+        if h.buckets.is_empty() {
+            return Err(format!("histogram {ctx} has no buckets"));
+        }
+        for w in h.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram {ctx} le edges not increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {ctx} cumulative counts decrease"));
+            }
+        }
+        let (last_le, last_cum) = *h.buckets.last().unwrap();
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {ctx} missing le=\"+Inf\" bucket"));
+        }
+        let count = h
+            .count
+            .ok_or_else(|| format!("histogram {ctx} missing _count"))?;
+        if h.sum.is_none() {
+            return Err(format!("histogram {ctx} missing _sum"));
+        }
+        if last_cum != count {
+            return Err(format!(
+                "histogram {ctx}: +Inf bucket {last_cum} != _count {count}"
+            ));
+        }
+    }
+
+    Ok(ExpositionSummary {
+        families: kinds.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("tn_ticks_total");
+        let b = reg.counter("tn_ticks_total");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        assert_eq!(reg.counter_value("tn_ticks_total", &[]), Some(3));
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let reg = Registry::new();
+        reg.counter_with("tn_tier_total", &[("tier", "split")])
+            .add(5);
+        reg.counter_with("tn_tier_total", &[("tier", "scalar")])
+            .inc();
+        assert_eq!(
+            reg.counter_value("tn_tier_total", &[("tier", "split")]),
+            Some(5)
+        );
+        assert_eq!(
+            reg.counter_value("tn_tier_total", &[("tier", "scalar")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("tn_x");
+        reg.gauge("tn_x");
+    }
+
+    #[test]
+    fn render_and_validate_round_trip() {
+        let reg = Registry::new();
+        reg.counter("tn_ticks_total").add(7);
+        reg.counter_with("tn_tier_total", &[("tier", "split")])
+            .add(4);
+        reg.gauge("tn_wall_seconds").set(1.5);
+        let h = reg.histogram("tn_jitter_ns", &[1_000, 1_000_000]);
+        h.observe(10);
+        h.observe(2_000_000);
+        let text = reg.render_text();
+        let summary = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(summary.families, 4);
+        assert!(text.contains("tn_ticks_total 7"));
+        assert!(text.contains("tn_tier_total{tier=\"split\"} 4"));
+        assert!(text.contains("tn_jitter_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tn_jitter_ns_count 2"));
+    }
+
+    #[test]
+    fn comments_are_ignored_by_validator() {
+        let text = "# TYPE tn_a counter\n# flight tick=3 missed=0\ntn_a 1\n";
+        assert!(validate_exposition(text).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_untyped_samples() {
+        let err = validate_exposition("tn_a 1\n").unwrap_err();
+        assert!(err.contains("no preceding TYPE"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_negative_counter() {
+        let err = validate_exposition("# TYPE tn_a counter\ntn_a -1\n").unwrap_err();
+        assert!(err.contains("bad value"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_histogram_without_inf() {
+        let text = "# TYPE tn_h histogram\n\
+                    tn_h_bucket{le=\"10\"} 1\ntn_h_sum 5\ntn_h_count 1\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_count_mismatch() {
+        let text = "# TYPE tn_h histogram\n\
+                    tn_h_bucket{le=\"10\"} 1\ntn_h_bucket{le=\"+Inf\"} 1\n\
+                    tn_h_sum 5\ntn_h_count 2\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "# TYPE tn_a widget\ntn_a 1\n",
+            "# TYPE tn_a counter\ntn_a\n",
+            "# TYPE tn_a counter\ntn_a{x=\"1\" 1\n",
+            "# TYPE tn_a counter\ntn_a{=\"1\"} 1\n",
+            "# TYPE tn_a counter\n# TYPE tn_a counter\n",
+            "# TYPE tn_a counter\ntn_a one\n",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_label_values_survive_round_trip() {
+        let reg = Registry::new();
+        reg.counter_with("tn_a", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.render_text();
+        validate_exposition(&text).expect("valid");
+    }
+}

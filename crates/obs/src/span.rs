@@ -1,0 +1,141 @@
+//! Structured tracing facade: per-tick span hooks.
+//!
+//! Every engine expression (reference, parallel, chip) drives the same
+//! blueprint tick loop; [`TickObserver`] lets a host watch that loop
+//! without perturbing it. Hooks are called synchronously from the tick
+//! thread, so implementations must be cheap and non-blocking — counter
+//! bumps, ring-buffer writes, channel try-sends. The engines hold the
+//! observer behind an `Option<Arc<..>>`: when unset, the hooks cost one
+//! branch per tick.
+
+use std::fmt;
+
+/// The phases of one blueprint tick, in execution order.
+///
+/// Not every engine visits every phase (the abstract reference engine
+/// has no routing mesh; the parallel engine's interior worker phases are
+/// merged into [`TickPhase::Merge`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TickPhase {
+    /// Fault-plan advance and structural mutation.
+    Faults,
+    /// External input delivery from the host/injection queue.
+    Input,
+    /// Neuron integrate/leak/threshold evaluation across cores.
+    Neurons,
+    /// Spike routing (crossbar fanout, mesh hops, merge/split I/O).
+    Routing,
+    /// Cross-worker merge/barrier (parallel engine only).
+    Merge,
+}
+
+impl fmt::Display for TickPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TickPhase::Faults => "faults",
+            TickPhase::Input => "input",
+            TickPhase::Neurons => "neurons",
+            TickPhase::Routing => "routing",
+            TickPhase::Merge => "merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one tick did, reported at `on_tick_end`.
+///
+/// The event fields are *deltas for this tick* (they sum to the legacy
+/// `RunStats::totals` accumulators), so observers can maintain their own
+/// monotonic counters without reaching into engine internals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// The tick that just completed.
+    pub tick: u64,
+    /// Axon events consumed this tick.
+    pub axon_events: u64,
+    /// Synaptic operations this tick.
+    pub sops: u64,
+    /// Neurons evaluated this tick.
+    pub neuron_updates: u64,
+    /// Spikes emitted this tick.
+    pub spikes_out: u64,
+    /// PRNG draws consumed this tick.
+    pub prng_draws: u64,
+}
+
+/// Per-tick span hooks. All methods have empty defaults so observers
+/// implement only what they need.
+pub trait TickObserver: Send + Sync {
+    /// The engine is about to simulate `tick`.
+    fn on_tick_start(&self, _tick: u64) {}
+    /// The engine entered `phase` of `tick`.
+    fn on_phase(&self, _tick: u64, _phase: TickPhase) {}
+    /// The engine finished a tick; `summary` holds this tick's deltas.
+    fn on_tick_end(&self, _summary: &TickSummary) {}
+}
+
+/// An observer that ignores everything (useful as a default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl TickObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct CountingObserver {
+        starts: AtomicU64,
+        phases: AtomicU64,
+        ends: AtomicU64,
+        spikes: AtomicU64,
+    }
+
+    impl TickObserver for CountingObserver {
+        fn on_tick_start(&self, _tick: u64) {
+            self.starts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_phase(&self, _tick: u64, _phase: TickPhase) {
+            self.phases.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_tick_end(&self, summary: &TickSummary) {
+            self.ends.fetch_add(1, Ordering::Relaxed);
+            self.spikes.fetch_add(summary.spikes_out, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_is_object_safe_and_accumulates() {
+        let obs = Arc::new(CountingObserver::default());
+        let dyn_obs: Arc<dyn TickObserver> = obs.clone();
+        dyn_obs.on_tick_start(0);
+        dyn_obs.on_phase(0, TickPhase::Input);
+        dyn_obs.on_phase(0, TickPhase::Neurons);
+        dyn_obs.on_tick_end(&TickSummary {
+            tick: 0,
+            spikes_out: 3,
+            ..Default::default()
+        });
+        assert_eq!(obs.starts.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.phases.load(Ordering::Relaxed), 2);
+        assert_eq!(obs.ends.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.spikes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let obs: Arc<dyn TickObserver> = Arc::new(NullObserver);
+        obs.on_tick_start(7);
+        obs.on_phase(7, TickPhase::Merge);
+        obs.on_tick_end(&TickSummary::default());
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(TickPhase::Faults.to_string(), "faults");
+        assert_eq!(TickPhase::Routing.to_string(), "routing");
+    }
+}

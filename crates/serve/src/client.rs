@@ -257,6 +257,14 @@ impl Client {
         })
     }
 
+    /// Scrape the session's metrics registry; the reply is
+    /// [`Response::MetricsData`] with Prometheus-style text exposition.
+    pub fn metrics(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::GetMetrics {
+            session: session.to_string(),
+        })
+    }
+
     pub fn close_session(&mut self, session: &str) -> Result<Response, ClientError> {
         self.request(&Request::CloseSession {
             session: session.to_string(),

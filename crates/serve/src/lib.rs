@@ -44,6 +44,6 @@ pub use protocol::{
     TickUpdate, PROTOCOL_VERSION,
 };
 pub use resilient::{BackoffPolicy, ReconnectingClient, SessionSpec};
-pub use scheduler::TickScheduler;
+pub use scheduler::{Clock, PaceOutcome, SystemClock, TickScheduler, VirtualClock};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{spawn_session, Cmd, Outbound, SessionConfig, SessionGone, SessionHandle};

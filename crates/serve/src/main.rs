@@ -25,6 +25,9 @@ options:
                          (default 120)
   --input-capacity <N>   per-session bound on queued injected events
                          (default 65536)
+  --output-capacity <N>  per-session high-water mark on undrained output
+                         spikes; oldest are evicted and counted beyond it
+                         (default 1048576)
   --max-sessions <N>     cap on concurrently live sessions (default 32)
   --parallel-threads <N> worker threads for parallel-engine sessions
                          (default 2)
@@ -57,6 +60,12 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.input_capacity = v
                     .parse()
                     .map_err(|_| format!("bad --input-capacity value: {v}"))?;
+            }
+            "--output-capacity" => {
+                let v = it.next().ok_or("--output-capacity needs a value")?;
+                cfg.output_capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --output-capacity value: {v}"))?;
             }
             "--max-sessions" => {
                 let v = it.next().ok_or("--max-sessions needs a value")?;

@@ -39,6 +39,7 @@ pub const OP_SNAPSHOT: u8 = 0x07;
 pub const OP_RESTORE: u8 = 0x08;
 pub const OP_STATS: u8 = 0x09;
 pub const OP_CLOSE_SESSION: u8 = 0x0A;
+pub const OP_GET_METRICS: u8 = 0x0B;
 
 // Response opcodes.
 pub const OP_PONG: u8 = 0x80;
@@ -50,6 +51,7 @@ pub const OP_OVERLOADED: u8 = 0x85;
 pub const OP_SNAPSHOT_DATA: u8 = 0x86;
 pub const OP_STATS_DATA: u8 = 0x87;
 pub const OP_TICK_UPDATE: u8 = 0x88;
+pub const OP_METRICS_DATA: u8 = 0x89;
 
 /// A malformed frame or payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,6 +218,11 @@ pub enum Request {
     Stats {
         session: String,
     },
+    /// Scrape the session's metrics registry as Prometheus-style text
+    /// exposition (plus the flight-recorder dump as `#` comment lines).
+    GetMetrics {
+        session: String,
+    },
     CloseSession {
         session: String,
     },
@@ -281,6 +288,9 @@ pub struct SessionStats {
     pub health: Health,
     /// Total spikes/inputs dropped by the fault layer so far.
     pub fault_dropped: u64,
+    /// Output spikes evicted by the transcript's high-water mark because
+    /// no subscriber drained them in time.
+    pub spikes_evicted: u64,
     pub engine: String,
 }
 
@@ -327,6 +337,10 @@ pub enum Response {
     StatsData(SessionStats),
     /// Streamed to subscribers; not a reply to any request.
     TickUpdate(TickUpdate),
+    /// Metrics text exposition (reply to [`Request::GetMetrics`]).
+    MetricsData {
+        text: String,
+    },
 }
 
 /// Assemble a full frame around a payload.
@@ -422,6 +436,10 @@ impl Request {
                 wire::put_str(&mut p, session);
                 OP_STATS
             }
+            Request::GetMetrics { session } => {
+                wire::put_str(&mut p, session);
+                OP_GET_METRICS
+            }
             Request::CloseSession { session } => {
                 wire::put_str(&mut p, session);
                 OP_CLOSE_SESSION
@@ -505,6 +523,9 @@ impl Request {
             OP_STATS => Request::Stats {
                 session: r.str("session name")?.to_string(),
             },
+            OP_GET_METRICS => Request::GetMetrics {
+                session: r.str("session name")?.to_string(),
+            },
             OP_CLOSE_SESSION => Request::CloseSession {
                 session: r.str("session name")?.to_string(),
             },
@@ -565,6 +586,7 @@ impl Response {
                 wire::put_f64(&mut p, s.energy_j);
                 wire::put_u8(&mut p, s.health.as_u8());
                 wire::put_u64(&mut p, s.fault_dropped);
+                wire::put_u64(&mut p, s.spikes_evicted);
                 wire::put_str(&mut p, &s.engine);
                 OP_STATS_DATA
             }
@@ -579,6 +601,10 @@ impl Response {
                     wire::put_u32(&mut p, port);
                 }
                 OP_TICK_UPDATE
+            }
+            Response::MetricsData { text } => {
+                wire::put_bytes(&mut p, text.as_bytes());
+                OP_METRICS_DATA
             }
         };
         frame(opcode, &p)
@@ -621,6 +647,7 @@ impl Response {
                 energy_j: r.f64("energy")?,
                 health: Health::from_u8(r.u8("health")?)?,
                 fault_dropped: r.u64("fault dropped")?,
+                spikes_evicted: r.u64("spikes evicted")?,
                 engine: r.str("engine")?.to_string(),
             }),
             OP_TICK_UPDATE => {
@@ -645,6 +672,13 @@ impl Response {
                     energy_j,
                     ports,
                 })
+            }
+            OP_METRICS_DATA => {
+                let raw = r.bytes("metrics text")?;
+                let text = std::str::from_utf8(raw)
+                    .map_err(|_| ProtocolError::new("metrics text is not UTF-8"))?
+                    .to_string();
+                Response::MetricsData { text }
             }
             op => {
                 return Err(ProtocolError::new(format!(
@@ -735,6 +769,9 @@ mod tests {
         roundtrip_req(Request::Stats {
             session: "s".into(),
         });
+        roundtrip_req(Request::GetMetrics {
+            session: "s".into(),
+        });
         roundtrip_req(Request::CloseSession {
             session: "s".into(),
         });
@@ -772,6 +809,7 @@ mod tests {
             energy_j: 6.5e-5,
             health: Health::Degraded,
             fault_dropped: 17,
+            spikes_evicted: 8,
             engine: "chip".into(),
         }));
         roundtrip_resp(Response::TickUpdate(TickUpdate {
@@ -782,6 +820,19 @@ mod tests {
             energy_j: 1e-7,
             ports: vec![5, 6, 7],
         }));
+        roundtrip_resp(Response::MetricsData {
+            text: "# TYPE tn_kernel_ticks_total counter\ntn_kernel_ticks_total 5\n".into(),
+        });
+    }
+
+    #[test]
+    fn metrics_text_must_be_utf8() {
+        let mut p = Vec::new();
+        wire::put_bytes(&mut p, &[0xFF, 0xFE, 0x00]);
+        assert!(Response::decode(OP_METRICS_DATA, &p)
+            .unwrap_err()
+            .message
+            .contains("UTF-8"));
     }
 
     #[test]

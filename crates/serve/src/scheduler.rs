@@ -9,9 +9,79 @@
 //! falls behind — without accumulating debt, exactly like a dropped
 //! sync edge — while [`Pace::MaxSpeed`] free-runs the simulator at host
 //! speed (the paper's "faster than real-time" operating regime).
+//!
+//! Deadlines live on a fixed grid anchored at the first paced tick:
+//! `anchor + k·period`. A late tick skips forward to the next *grid*
+//! edge, never to `now + period` — re-anchoring at `now` would silently
+//! forgive up to a period of drift on every miss, letting a host that is
+//! consistently a little slow book far fewer misses than sync edges it
+//! actually dropped.
 
 use crate::protocol::Pace;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Time source a [`TickScheduler`] paces against. Production uses
+/// [`SystemClock`]; tests use [`VirtualClock`] so cadence and miss
+/// accounting are asserted deterministically instead of racing the
+/// host's real scheduler.
+pub trait Clock: Send {
+    fn now(&self) -> Instant;
+    fn sleep(&self, d: Duration);
+}
+
+/// The host's monotonic clock and a real `thread::sleep`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A deterministic clock: `sleep` advances virtual time instantly and
+/// `advance` models work taking wall time. Clones share one timeline.
+#[derive(Clone)]
+pub struct VirtualClock(Arc<Mutex<Instant>>);
+
+impl VirtualClock {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        VirtualClock(Arc::new(Mutex::new(Instant::now())))
+    }
+
+    /// Advance the timeline, as if the caller spent `d` working.
+    pub fn advance(&self, d: Duration) {
+        *self.0.lock().unwrap() += d;
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Instant {
+        *self.0.lock().unwrap()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// What one [`TickScheduler::pace`] call did, for the caller's jitter
+/// and deadline-miss telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PaceOutcome {
+    /// Time slept waiting for the deadline (zero when late or free-running).
+    pub waited: Duration,
+    /// How far past the deadline the tick started (zero when on time).
+    pub lateness: Duration,
+    /// Sync edges dropped by this call (0 when the deadline was met).
+    pub missed_now: u64,
+}
 
 /// Paces a session's tick loop; create one per session driver.
 pub struct TickScheduler {
@@ -21,15 +91,22 @@ pub struct TickScheduler {
     /// (and after [`Self::reset`], so idle waits are not counted late).
     next: Option<Instant>,
     missed: u64,
+    clock: Box<dyn Clock>,
 }
 
 impl TickScheduler {
     pub fn new(pace: Pace, period: Duration) -> Self {
+        Self::with_clock(pace, period, Box::new(SystemClock))
+    }
+
+    /// Scheduler on an explicit time source (tests pass [`VirtualClock`]).
+    pub fn with_clock(pace: Pace, period: Duration, clock: Box<dyn Clock>) -> Self {
         TickScheduler {
             pace,
             period: period.max(Duration::from_micros(1)),
             next: None,
             missed: 0,
+            clock,
         }
     }
 
@@ -52,33 +129,43 @@ impl TickScheduler {
         self.next = None;
     }
 
-    /// Block until the next tick may run. Returns the time waited.
-    pub fn pace(&mut self) -> Duration {
+    /// Block until the next tick may run.
+    pub fn pace(&mut self) -> PaceOutcome {
         if self.pace == Pace::MaxSpeed {
-            return Duration::ZERO;
+            return PaceOutcome::default();
         }
-        let now = Instant::now();
+        let now = self.clock.now();
         match self.next {
             None => {
                 // First tick of a burst runs immediately and anchors the
-                // cadence.
+                // deadline grid.
                 self.next = Some(now + self.period);
-                Duration::ZERO
+                PaceOutcome::default()
             }
             Some(deadline) => {
-                if now < deadline {
+                if now <= deadline {
                     let wait = deadline - now;
-                    std::thread::sleep(wait);
+                    self.clock.sleep(wait);
                     self.next = Some(deadline + self.period);
-                    wait
+                    PaceOutcome {
+                        waited: wait,
+                        ..PaceOutcome::default()
+                    }
                 } else {
-                    // Late: count every whole period overrun as a missed
-                    // sync edge and re-anchor — the chip drops edges, it
-                    // does not replay them.
+                    // Late: every whole period overrun is a dropped sync
+                    // edge. Skip to the next edge *on the original grid*
+                    // — the chip drops edges, it neither replays them nor
+                    // lets the grid slip to wherever the host happens to
+                    // be (that would forgive sub-period drift forever).
                     let behind = now - deadline;
-                    self.missed += 1 + (behind.as_nanos() / self.period.as_nanos()) as u64;
-                    self.next = Some(now + self.period);
-                    Duration::ZERO
+                    let skipped = 1 + (behind.as_nanos() / self.period.as_nanos()) as u64;
+                    self.missed += skipped;
+                    self.next = Some(deadline + self.period * skipped as u32);
+                    PaceOutcome {
+                        waited: Duration::ZERO,
+                        lateness: behind,
+                        missed_now: skipped,
+                    }
                 }
             }
         }
@@ -89,62 +176,97 @@ impl TickScheduler {
 mod tests {
     use super::*;
 
+    fn virtual_scheduler(pace: Pace, period: Duration) -> (TickScheduler, VirtualClock) {
+        let clock = VirtualClock::new();
+        let s = TickScheduler::with_clock(pace, period, Box::new(clock.clone()));
+        (s, clock)
+    }
+
     #[test]
     fn max_speed_never_sleeps() {
-        let mut s = TickScheduler::new(Pace::MaxSpeed, Duration::from_millis(50));
-        let start = Instant::now();
+        let (mut s, clock) = virtual_scheduler(Pace::MaxSpeed, Duration::from_millis(50));
+        let start = clock.now();
         for _ in 0..100 {
-            s.pace();
+            assert_eq!(s.pace(), PaceOutcome::default());
         }
-        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(clock.now(), start, "max speed consumed no time");
         assert_eq!(s.missed_deadlines(), 0);
     }
 
     #[test]
     fn real_time_holds_the_cadence() {
-        // A preempted sleep on a loaded host can legitimately blow a 2 ms
-        // deadline, so allow a few attempts before declaring the pacing
-        // logic itself broken.
         let period = Duration::from_millis(2);
-        let mut last_missed = 0;
-        for _ in 0..5 {
-            let mut s = TickScheduler::new(Pace::RealTime, period);
-            let start = Instant::now();
-            for _ in 0..5 {
-                s.pace();
-            }
-            // First tick is immediate; four more are paced ≥ one period each.
-            assert!(start.elapsed() >= 4 * period, "{:?}", start.elapsed());
-            last_missed = s.missed_deadlines();
-            if last_missed == 0 {
-                return;
-            }
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        let start = clock.now();
+        assert_eq!(s.pace(), PaceOutcome::default(), "first tick is immediate");
+        for _ in 0..4 {
+            let out = s.pace();
+            assert_eq!(out.waited, period, "an idle host sleeps a full period");
+            assert_eq!(out.missed_now, 0);
         }
-        assert_eq!(last_missed, 0, "missed deadlines on every attempt");
+        assert_eq!(clock.now() - start, 4 * period);
+        assert_eq!(s.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn busy_ticks_sleep_only_the_remainder() {
+        let period = Duration::from_millis(2);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        s.pace(); // anchor
+        clock.advance(period / 2); // the tick's work took half a period
+        let out = s.pace();
+        assert_eq!(out.waited, period / 2);
+        assert_eq!(out.missed_now, 0);
+        assert_eq!(s.missed_deadlines(), 0);
     }
 
     #[test]
     fn falling_behind_counts_missed_deadlines_without_debt() {
         let period = Duration::from_millis(1);
-        let mut s = TickScheduler::new(Pace::RealTime, period);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        s.pace(); // anchor: deadlines at t0+p, t0+2p, ...
+        clock.advance(period * 5 + period / 2); // a slow tick: now = t0 + 5.5p
+        let out = s.pace();
+        assert_eq!(out.missed_now, 5, "4 whole overruns + the blown edge");
+        assert_eq!(out.lateness, period * 4 + period / 2);
+        assert_eq!(s.missed_deadlines(), 5);
+        // No catch-up burst: the next deadline is the next *grid* edge
+        // (t0 + 6p), so the following tick sleeps exactly the remainder —
+        // the grid did not slip to now + period.
+        let out = s.pace();
+        assert_eq!(out.waited, period / 2);
+        assert_eq!(out.missed_now, 0);
+        assert_eq!(s.missed_deadlines(), 5, "recovered ticks book no misses");
+    }
+
+    #[test]
+    fn sub_period_drift_is_not_silently_forgiven() {
+        // A host consistently 1.25 periods slow must keep booking misses;
+        // under the old `now + period` re-anchoring it booked only the
+        // first one and then drifted forever.
+        let period = Duration::from_millis(4);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
         s.pace(); // anchor
-        std::thread::sleep(5 * period); // simulate a slow tick
-        s.pace();
-        assert!(s.missed_deadlines() >= 3, "{}", s.missed_deadlines());
-        // The next tick is paced normally again (no catch-up burst).
-        let start = Instant::now();
-        s.pace();
-        assert!(start.elapsed() >= period / 2, "{:?}", start.elapsed());
+        for _ in 0..4 {
+            clock.advance(period * 5 / 4);
+            s.pace();
+        }
+        assert!(
+            s.missed_deadlines() >= 4,
+            "drift of 1.25 periods/tick booked only {} misses",
+            s.missed_deadlines()
+        );
     }
 
     #[test]
     fn reset_forgives_idle_gaps() {
         let period = Duration::from_millis(1);
-        let mut s = TickScheduler::new(Pace::RealTime, period);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
         s.pace();
-        std::thread::sleep(5 * period);
+        clock.advance(5 * period);
         s.reset(); // the gap was idleness, not lateness
-        s.pace();
+        let out = s.pace();
+        assert_eq!(out, PaceOutcome::default(), "re-anchor, no sleep, no miss");
         assert_eq!(s.missed_deadlines(), 0);
     }
 }

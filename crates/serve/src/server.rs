@@ -47,6 +47,9 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Per-session bound on queued injected events.
     pub input_capacity: usize,
+    /// Per-session high-water mark on undrained output spikes; beyond it
+    /// the oldest are evicted and counted.
+    pub output_capacity: usize,
     /// Hard cap on concurrently live sessions.
     pub max_sessions: usize,
     /// Worker threads for [`crate::protocol::Engine::Parallel`] sessions.
@@ -61,6 +64,7 @@ impl Default for ServerConfig {
             max_speed: false,
             idle_timeout: Duration::from_secs(120),
             input_capacity: 1 << 16,
+            output_capacity: 1 << 20,
             max_sessions: 32,
             parallel_threads: 2,
         }
@@ -353,6 +357,9 @@ impl Connection {
                 self.session_cmd(&session, |reply| Cmd::Restore { bytes, reply })
             }
             Request::Stats { session } => self.session_cmd(&session, |reply| Cmd::Stats { reply }),
+            Request::GetMetrics { session } => {
+                self.session_cmd(&session, |reply| Cmd::GetMetrics { reply })
+            }
             Request::CloseSession { session } => {
                 let resp = self.session_cmd(&session, |reply| Cmd::Close { reply });
                 self.registry.remove(&session);
@@ -448,6 +455,8 @@ impl Connection {
             tick_period: self.cfg.tick_period,
             idle_timeout: self.cfg.idle_timeout,
             input_capacity: self.cfg.input_capacity,
+            output_capacity: self.cfg.output_capacity,
+            ..SessionConfig::default()
         };
         let handle = spawn_session(name.clone(), sim, session_cfg);
         match self.registry.insert(handle.clone()) {

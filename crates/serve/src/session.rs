@@ -21,7 +21,7 @@
 //! subscriber channels fail the send rather than stalling the tick.
 
 use crate::protocol::{ErrorCode, Health, Pace, Response, SessionStats, TickUpdate};
-use crate::scheduler::TickScheduler;
+use crate::scheduler::{PaceOutcome, TickScheduler};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -30,6 +30,7 @@ use std::time::Duration;
 use tn_chip::stream::{stream_channel, Injector, StreamSource};
 use tn_compass::KernelSession;
 use tn_core::NetworkSnapshot;
+use tn_obs::{Counter, FlightRecorder, Histogram, Registry, TickFrame};
 
 /// Per-session tuning, inherited from the server configuration.
 #[derive(Clone, Debug)]
@@ -41,6 +42,12 @@ pub struct SessionConfig {
     pub idle_timeout: Duration,
     /// Bound on queued injected events (backpressure threshold).
     pub input_capacity: usize,
+    /// High-water mark on the undrained output transcript; beyond it the
+    /// oldest spikes are evicted and counted (`SessionStats::
+    /// spikes_evicted`) instead of growing without bound.
+    pub output_capacity: usize,
+    /// Flight-recorder depth: the last N ticks kept for post-mortems.
+    pub flight_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -50,6 +57,8 @@ impl Default for SessionConfig {
             tick_period: Duration::from_millis(1),
             idle_timeout: Duration::from_secs(120),
             input_capacity: 1 << 16,
+            output_capacity: 1 << 20,
+            flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
         }
     }
 }
@@ -78,6 +87,9 @@ pub enum Cmd {
         reply: Sender<Response>,
     },
     Stats {
+        reply: Sender<Response>,
+    },
+    GetMetrics {
         reply: Sender<Response>,
     },
     Subscribe {
@@ -136,7 +148,7 @@ impl SessionHandle {
 /// `SessionHandle` clone is dropped.
 pub fn spawn_session(
     name: String,
-    sim: Box<dyn KernelSession>,
+    mut sim: Box<dyn KernelSession>,
     cfg: SessionConfig,
 ) -> SessionHandle {
     let (cmd_tx, cmd_rx) = mpsc::channel();
@@ -148,6 +160,7 @@ pub fn spawn_session(
         injector: injector.clone(),
         closed: Arc::clone(&closed),
     };
+    sim.outputs().set_capacity(cfg.output_capacity);
     let mut driver = Driver {
         name,
         sim,
@@ -156,6 +169,7 @@ pub fn spawn_session(
         scheduler: TickScheduler::new(cfg.pace, cfg.tick_period),
         subscribers: Vec::new(),
         run_queue: VecDeque::new(),
+        obs: SessionObs::new(cfg.flight_capacity),
     };
     std::thread::Builder::new()
         .name(format!("tn-session-{}", driver.name))
@@ -167,6 +181,59 @@ pub fn spawn_session(
     handle
 }
 
+/// A session's observability state: its own metrics registry (sessions
+/// are separate scrape targets, so no session label is needed), a
+/// bounded flight recorder, and cached handles for the counters the
+/// tick loop touches every tick.
+///
+/// The `tn_session_*` counters are accumulated *per tick from
+/// `TickStats` deltas* — an independent accounting path from the
+/// engine-total sync in `KernelSession::publish_metrics` — so a scrape
+/// cross-checks the two: `tn_session_ticks_total` must equal
+/// `tn_kernel_ticks_total`, and likewise for every shared series.
+struct SessionObs {
+    registry: Registry,
+    flight: FlightRecorder,
+    ticks: Arc<Counter>,
+    axon_events: Arc<Counter>,
+    sops: Arc<Counter>,
+    neuron_updates: Arc<Counter>,
+    spikes_out: Arc<Counter>,
+    prng_draws: Arc<Counter>,
+    deadline_miss: Arc<Counter>,
+    /// Start-time offset from the deadline, observed on *every* paced
+    /// tick (0 for a tick that started on its edge) — the session's
+    /// jitter distribution.
+    jitter_ns: Arc<Histogram>,
+    /// Lateness observed only on ticks that missed their deadline.
+    lateness_ns: Arc<Histogram>,
+}
+
+/// 1 µs … ~16 ms in ×4 steps: spans sub-tick jitter up to many whole
+/// 1 ms periods of lateness.
+const LATENESS_BOUNDS: [u64; 8] = [
+    1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000,
+];
+
+impl SessionObs {
+    fn new(flight_capacity: usize) -> Self {
+        let registry = Registry::new();
+        SessionObs {
+            flight: FlightRecorder::new(flight_capacity),
+            ticks: registry.counter("tn_session_ticks_total"),
+            axon_events: registry.counter("tn_session_axon_events_total"),
+            sops: registry.counter("tn_session_sops_total"),
+            neuron_updates: registry.counter("tn_session_neuron_updates_total"),
+            spikes_out: registry.counter("tn_session_spikes_out_total"),
+            prng_draws: registry.counter("tn_session_prng_draws_total"),
+            deadline_miss: registry.counter("tn_session_deadline_miss_total"),
+            jitter_ns: registry.histogram("tn_session_tick_jitter_ns", &LATENESS_BOUNDS),
+            lateness_ns: registry.histogram("tn_session_deadline_lateness_ns", &LATENESS_BOUNDS),
+            registry,
+        }
+    }
+}
+
 struct Driver {
     name: String,
     sim: Box<dyn KernelSession>,
@@ -176,6 +243,7 @@ struct Driver {
     subscribers: Vec<Sender<Outbound>>,
     /// Outstanding `RunFor` work: `(ticks_left, reply)` in arrival order.
     run_queue: VecDeque<(u64, Sender<Response>)>,
+    obs: SessionObs,
 }
 
 impl Driver {
@@ -220,17 +288,45 @@ impl Driver {
                 if self.run_queue.is_empty() {
                     continue;
                 }
-                self.scheduler.pace();
-                self.tick();
+                let pace = self.scheduler.pace();
+                self.tick(pace);
             }
         }
     }
 
     /// Run exactly one tick and stream it to subscribers.
-    fn tick(&mut self) {
+    fn tick(&mut self, pace: PaceOutcome) {
         let tick = self.sim.current_tick();
         let energy_before = self.sim.energy_j().unwrap_or(0.0);
         let stats = self.sim.step(&mut self.source);
+
+        // Per-tick delta accounting (see `SessionObs`), plus the
+        // deadline telemetry from this tick's pacing outcome.
+        let lateness_ns = pace.lateness.as_nanos() as u64;
+        self.obs.ticks.inc();
+        self.obs.axon_events.add(stats.axon_events);
+        self.obs.sops.add(stats.sops);
+        self.obs.neuron_updates.add(stats.neuron_updates);
+        self.obs.spikes_out.add(stats.spikes_out);
+        self.obs.prng_draws.add(stats.prng_draws);
+        if self.scheduler.pace_mode() == Pace::RealTime {
+            self.obs.jitter_ns.observe(lateness_ns);
+            if pace.missed_now > 0 {
+                self.obs.deadline_miss.add(pace.missed_now);
+                self.obs.lateness_ns.observe(lateness_ns);
+            }
+        }
+        self.obs.flight.record(TickFrame {
+            tick,
+            spikes_out: stats.spikes_out,
+            sops: stats.sops,
+            axon_events: stats.axon_events,
+            pending_inputs: self.injector.pending() as u64,
+            dropped_inputs: self.sim.dropped_inputs() + self.injector.dropped(),
+            lateness_ns,
+            missed: pace.missed_now,
+        });
+
         let outputs = self.sim.outputs().take();
         if !self.subscribers.is_empty() {
             let update = Response::TickUpdate(TickUpdate {
@@ -296,20 +392,49 @@ impl Driver {
                     .fault_counters()
                     .map(|c| c.total_dropped())
                     .unwrap_or(0);
+                // The two drop tallies are disjoint by construction, so
+                // their sum never double-counts an event: `Injector::
+                // offer` validates targets against the grid and rejects
+                // whole batches up front (counting them itself), so every
+                // event it forwards has an in-grid core — the engine's
+                // own out-of-grid shedding can only fire for events that
+                // bypassed the injector. Pinned by the
+                // `overload_drops_are_counted_once` integration test.
+                let dropped_inputs = self.sim.dropped_inputs() + self.injector.dropped();
                 let _ = reply.send(Response::StatsData(SessionStats {
                     tick: self.sim.current_tick(),
                     spikes_out: totals.spikes_out,
                     sops: totals.sops,
                     neuron_updates: totals.neuron_updates,
-                    dropped_inputs: self.sim.dropped_inputs() + self.injector.dropped(),
+                    dropped_inputs,
                     pending_inputs: self.injector.pending() as u64,
                     missed_deadlines: self.scheduler.missed_deadlines(),
                     state_digest: self.sim.network().state_digest(),
                     energy_j: self.sim.energy_j().unwrap_or(0.0),
                     health: self.health(fault_dropped),
                     fault_dropped,
+                    spikes_evicted: self.sim.outputs().evicted(),
                     engine: self.sim.engine_name().to_string(),
                 }));
+            }
+            Cmd::GetMetrics { reply } => {
+                // Sync the engine's own totals (an independent path from
+                // the per-tick deltas above — a scrape can cross-check
+                // tn_kernel_* against tn_session_*), then the
+                // session-level point-in-time series.
+                self.sim.publish_metrics(&self.obs.registry);
+                let reg = &self.obs.registry;
+                reg.counter("tn_session_deadline_miss_total")
+                    .set(self.scheduler.missed_deadlines());
+                reg.counter("tn_session_dropped_inputs_total")
+                    .set(self.sim.dropped_inputs() + self.injector.dropped());
+                reg.counter("tn_session_spikes_evicted_total")
+                    .set(self.sim.outputs().evicted());
+                reg.gauge("tn_session_pending_inputs")
+                    .set(self.injector.pending() as f64);
+                let mut text = reg.render_text();
+                text.push_str(&self.obs.flight.render_text());
+                let _ = reply.send(Response::MetricsData { text });
             }
             Cmd::Subscribe { sink, reply } => {
                 self.subscribers.push(sink);
@@ -435,6 +560,29 @@ mod tests {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::SnapshotRejected),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_scrape_is_valid_and_reconciles_with_engine_totals() {
+        let h = blank_session(SessionConfig {
+            pace: Pace::MaxSpeed,
+            ..Default::default()
+        });
+        ask(&h, |r| Cmd::RunFor {
+            ticks: 12,
+            reply: r,
+        });
+        let text = match ask(&h, |r| Cmd::GetMetrics { reply: r }) {
+            Response::MetricsData { text } => text,
+            other => panic!("{other:?}"),
+        };
+        let summary = tn_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(summary.samples > 0);
+        // The per-tick delta path (tn_session_*) and the engine-total
+        // sync (tn_kernel_*) agree on the tick count.
+        assert!(text.contains("tn_session_ticks_total 12"), "{text}");
+        assert!(text.contains("tn_kernel_ticks_total 12"), "{text}");
+        assert!(text.contains("# flight-recorder"), "{text}");
     }
 
     #[test]

@@ -535,3 +535,136 @@ fn subscriber_streams_while_another_connection_drives() {
     assert_eq!(seen, 10, "watcher saw every tick another connection ran");
     server.shutdown();
 }
+
+#[test]
+fn metrics_scrape_over_the_wire() {
+    // A real-time chip session paced at a fast tick so the test stays
+    // quick; the scrape must be valid exposition carrying the session's
+    // jitter/deadline histograms, the kernel totals, and the chip-only
+    // series — with the per-tick delta path (tn_session_*) agreeing
+    // with the engine-total sync (tn_kernel_*).
+    let (server, mut client) = spawn(|c| c.tick_period = Duration::from_micros(200));
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    client
+        .create_session("obs", Engine::Chip, Pace::RealTime, model)
+        .unwrap();
+    client.inject("obs", &trace(20)).unwrap();
+    assert_eq!(client.run_for("obs", 25).unwrap(), Response::Ok);
+
+    let text = match client.metrics("obs").unwrap() {
+        Response::MetricsData { text } => text,
+        other => panic!("{other:?}"),
+    };
+    let summary = tn_obs::validate_exposition(&text).expect("valid exposition");
+    assert!(summary.families > 5, "expected many families: {summary:?}");
+    for needle in [
+        "# TYPE tn_session_tick_jitter_ns histogram",
+        "# TYPE tn_session_deadline_lateness_ns histogram",
+        "tn_session_deadline_miss_total",
+        "tn_session_ticks_total 25",
+        "tn_kernel_ticks_total 25",
+        "tn_chip_mesh_hops_total",
+        "tn_chip_energy_joules{mode=\"realtime\"}",
+        "tn_fastpath_tier_ticks_total{tier=\"scalar\"}",
+        "# flight-recorder",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // 25 real-time ticks → 25 jitter observations.
+    assert!(
+        text.contains("tn_session_tick_jitter_ns_count 25"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_drops_are_counted_once() {
+    // Satellite check on `SessionStats::dropped_inputs = engine drops +
+    // injector drops`: the injector validates targets against the grid
+    // before queueing, so every shed event is counted in exactly one of
+    // the two tallies. Flood a chip session's tiny queue with *valid*
+    // events: all drops are injector-side, the engine sheds nothing, and
+    // the wire-visible sum equals the injector tally exactly.
+    let (server, mut client) = spawn(|c| {
+        c.max_speed = true;
+        c.input_capacity = 8;
+    });
+    client
+        .create_session(
+            "flood",
+            Engine::Chip,
+            Pace::MaxSpeed,
+            ModelSource::Blank {
+                width: 1,
+                height: 1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+    let burst: Vec<_> = (0..200u64)
+        .map(|i| (5, CoreId(0), (i % 256) as u16))
+        .collect();
+    let (accepted, dropped) = match client.inject("flood", &burst).unwrap() {
+        Response::Overloaded {
+            accepted, dropped, ..
+        } => (accepted, dropped),
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(accepted + dropped, 200);
+    // Run past the events' tick so every accepted event is delivered:
+    // if engine-side drops were double-booked, the sum would now exceed
+    // the injector's tally.
+    assert_eq!(client.run_for("flood", 20).unwrap(), Response::Ok);
+    match client.stats("flood").unwrap() {
+        Response::StatsData(s) => {
+            assert_eq!(s.tick, 20);
+            assert_eq!(
+                s.dropped_inputs, dropped as u64,
+                "dropped_inputs must equal the injector tally exactly — \
+                 no event may be counted by both the queue and the engine"
+            );
+            assert_eq!(s.pending_inputs, 0, "accepted events were delivered");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn output_eviction_is_surfaced_in_stats_and_metrics() {
+    // A tiny output high-water mark: one tick's burst of output spikes
+    // overflows it, the oldest are evicted and counted, and the tally
+    // reaches the client through both Stats and GetMetrics.
+    let (server, mut client) = spawn(|c| {
+        c.max_speed = true;
+        c.output_capacity = 4;
+    });
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    client
+        .create_session("burst", Engine::Reference, Pace::MaxSpeed, model)
+        .unwrap();
+    let events: Vec<_> = (0..32u64).map(|i| (0, CoreId(0), i as u16)).collect();
+    client.inject("burst", &events).unwrap();
+    assert_eq!(client.run_for("burst", 5).unwrap(), Response::Ok);
+    let evicted = match client.stats("burst").unwrap() {
+        Response::StatsData(s) => {
+            assert_eq!(s.spikes_out, 32, "all injected axons fired");
+            assert!(
+                s.spikes_evicted > 0,
+                "a 32-spike tick must overflow a 4-spike transcript"
+            );
+            s.spikes_evicted
+        }
+        other => panic!("{other:?}"),
+    };
+    let text = match client.metrics("burst").unwrap() {
+        Response::MetricsData { text } => text,
+        other => panic!("{other:?}"),
+    };
+    assert!(
+        text.contains(&format!("tn_session_spikes_evicted_total {evicted}")),
+        "{text}"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,77 @@
+//! Metrics-scrape example: serve a recurrent network, drive it over the
+//! wire, and scrape the session's tn-obs registry as Prometheus-style
+//! text exposition — the tn-serve observability round trip.
+//!
+//! A session is its own scrape target: `GetMetrics` returns the kernel
+//! totals (reconciled against the engine's legacy counters), the
+//! fast-path tier tallies, the deadline-miss/jitter histograms from the
+//! tick scheduler, engine-specific series (NoC traffic and energy for
+//! chip sessions), and the flight recorder's last-N-ticks dump as
+//! comment lines. This example validates the exposition with the same
+//! schema checker CI uses and prints it.
+//!
+//! ```sh
+//! cargo run --release --example metrics_scrape
+//! ```
+
+use std::time::Duration;
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_core::modelfile;
+use tn_serve::{Client, Engine, ModelSource, Pace, Response, Server, ServerConfig};
+
+const TICKS: u64 = 50;
+
+fn main() {
+    let p = RecurrentParams::small(20.0, 32, 0x0B5);
+    let model_text = modelfile::save(&build_recurrent(&p));
+
+    // A real-time session at a fast tick, so the jitter and deadline
+    // histograms have real observations without the example taking long.
+    let server = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        tick_period: Duration::from_micros(500),
+        ..Default::default()
+    })
+    .expect("bind loopback server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client
+        .create_session(
+            "scraped",
+            Engine::Chip,
+            Pace::RealTime,
+            ModelSource::Model(model_text),
+        )
+        .expect("create session")
+    {
+        Response::Created { session } => println!("serving session '{session}'"),
+        other => panic!("create failed: {other:?}"),
+    }
+    client.run_for("scraped", TICKS).expect("run");
+
+    let text = match client.metrics("scraped").expect("scrape") {
+        Response::MetricsData { text } => text,
+        other => panic!("scrape failed: {other:?}"),
+    };
+    client.close_session("scraped").expect("close");
+    server.shutdown();
+
+    // Validate with the exposition schema checker, then assert the
+    // series the serving layer promises are actually present.
+    let summary = tn_obs::validate_exposition(&text).expect("exposition must validate");
+    for needle in [
+        "tn_session_ticks_total",
+        "tn_kernel_ticks_total",
+        "tn_session_deadline_miss_total",
+        "tn_session_tick_jitter_ns_bucket",
+        "tn_fastpath_tier_ticks_total",
+        "tn_chip_energy_joules",
+        "# flight-recorder",
+    ] {
+        assert!(text.contains(needle), "scrape is missing {needle}");
+    }
+    print!("{text}");
+    println!(
+        "\nscrape OK: {} families, {} samples, {} ticks",
+        summary.families, summary.samples, TICKS
+    );
+}

@@ -1,0 +1,284 @@
+//! Integration: the tn-obs registry reconciles with the legacy counters
+//! on every kernel expression.
+//!
+//! The observability layer is only trustworthy if its numbers are the
+//! *same* numbers the engines already report. This suite drives the same
+//! seeded recurrent network — with a fault plan attached, so the fault
+//! phase and the fast path are both exercised — through all three
+//! expressions tick by tick, accumulating per-tick `TickStats` deltas
+//! into a fresh registry (the serving layer's accounting path), then
+//! syncing engine totals via `KernelSession::publish_metrics` (the
+//! engine's own path), and asserts the two agree with each other and
+//! with `RunStats`, `FaultCounters`, and the fast-path tier tallies,
+//! field by field.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tn_apps::recurrent::{build_recurrent, RecurrentParams};
+use tn_chip::TrueNorthSim;
+use tn_compass::{KernelSession, ParallelSim, ReferenceSim};
+use tn_core::network::NullSource;
+use tn_core::{FaultPlan, Network};
+use tn_obs::{Registry, TickObserver, TickPhase, TickSummary};
+
+const TICKS: u64 = 120;
+
+fn net() -> Network {
+    build_recurrent(&RecurrentParams {
+        rate_hz: 120.0,
+        synapses: 48,
+        cores_x: 4,
+        cores_y: 4,
+        seed: 0x0B5E,
+    })
+}
+
+/// A couple of fault events so the fault counters are non-trivially
+/// nonzero (lossy link + a dead core mid-run).
+const PLAN: &str = "\
+tnfault 1
+seed 9
+horizon 200
+at 10 core 1 1 dead
+at 20 link 0 0 1 0 lossy 600
+at 30 core 2 2 sync 4
+";
+
+/// Counts every span hook: each tick must open, pass through phases, and
+/// close with a summary whose totals match the engine's.
+#[derive(Default)]
+struct SpanAudit {
+    starts: AtomicU64,
+    ends: AtomicU64,
+    phases: AtomicU64,
+    spikes: AtomicU64,
+    sops: AtomicU64,
+}
+
+impl TickObserver for SpanAudit {
+    fn on_tick_start(&self, _tick: u64) {
+        self.starts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_phase(&self, _tick: u64, _phase: TickPhase) {
+        self.phases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_tick_end(&self, summary: &TickSummary) {
+        self.ends.fetch_add(1, Ordering::Relaxed);
+        self.spikes.fetch_add(summary.spikes_out, Ordering::Relaxed);
+        self.sops.fetch_add(summary.sops, Ordering::Relaxed);
+    }
+}
+
+/// Drive one expression for [`TICKS`] ticks through the trait, with per
+/// -tick delta accounting into `reg` and a span audit attached; then
+/// publish the engine totals into the same registry and reconcile
+/// everything.
+fn drive_and_reconcile(mut sim: Box<dyn KernelSession>) -> (u64, tn_core::TierCounters) {
+    let reg = Registry::new();
+    let audit = Arc::new(SpanAudit::default());
+    sim.set_observer(audit.clone());
+    sim.attach_faults(&FaultPlan::parse(PLAN).unwrap());
+
+    let ticks = reg.counter("delta_ticks");
+    let axon = reg.counter("delta_axon_events");
+    let sops = reg.counter("delta_sops");
+    let updates = reg.counter("delta_neuron_updates");
+    let spikes = reg.counter("delta_spikes_out");
+    let prng = reg.counter("delta_prng_draws");
+    let mut src = NullSource;
+    for _ in 0..TICKS {
+        let t = sim.step(&mut src);
+        ticks.inc();
+        axon.add(t.axon_events);
+        sops.add(t.sops);
+        updates.add(t.neuron_updates);
+        spikes.add(t.spikes_out);
+        prng.add(t.prng_draws);
+    }
+
+    let name = sim.engine_name();
+    let stats = *sim.stats();
+    assert_eq!(stats.ticks, TICKS, "{name}");
+    assert!(stats.totals.spikes_out > 0, "{name}: the net must fire");
+
+    // Path 1: the per-tick delta accumulation equals the legacy totals.
+    for (counter, legacy, field) in [
+        (&ticks, stats.ticks, "ticks"),
+        (&axon, stats.totals.axon_events, "axon_events"),
+        (&sops, stats.totals.sops, "sops"),
+        (&updates, stats.totals.neuron_updates, "neuron_updates"),
+        (&spikes, stats.totals.spikes_out, "spikes_out"),
+        (&prng, stats.totals.prng_draws, "prng_draws"),
+    ] {
+        assert_eq!(
+            counter.get(),
+            legacy,
+            "{name}: delta path diverged on {field}"
+        );
+    }
+
+    // Path 2: publish_metrics syncs the engine totals to the same values.
+    sim.publish_metrics(&reg);
+    for (metric, legacy) in [
+        ("tn_kernel_ticks_total", stats.ticks),
+        ("tn_kernel_axon_events_total", stats.totals.axon_events),
+        ("tn_kernel_sops_total", stats.totals.sops),
+        (
+            "tn_kernel_neuron_updates_total",
+            stats.totals.neuron_updates,
+        ),
+        ("tn_kernel_spikes_out_total", stats.totals.spikes_out),
+        ("tn_kernel_prng_draws_total", stats.totals.prng_draws),
+        ("tn_kernel_dropped_inputs_total", sim.dropped_inputs()),
+    ] {
+        assert_eq!(
+            reg.counter_value(metric, &[]),
+            Some(legacy),
+            "{name}: {metric} diverged from the legacy counter"
+        );
+    }
+
+    // Fault counters, per class.
+    let fc = sim.fault_counters().expect("plan attached");
+    assert!(
+        fc.total_dropped() > 0,
+        "{name}: the plan must actually drop traffic"
+    );
+    for (kind, legacy) in [
+        ("dead", fc.dead_dropped),
+        ("stuck", fc.stuck_dropped),
+        ("sync", fc.sync_dropped),
+        ("severed", fc.severed_dropped),
+        ("lossy", fc.lossy_dropped),
+    ] {
+        assert_eq!(
+            reg.counter_value("tn_fault_drops_total", &[("kind", kind)]),
+            Some(legacy),
+            "{name}: fault kind {kind} diverged"
+        );
+    }
+    assert_eq!(
+        reg.counter_value("tn_fault_rerouted_total", &[]),
+        Some(fc.rerouted),
+        "{name}"
+    );
+
+    // Fast-path tier tallies: every (tick, core) lands in exactly one
+    // tier, and the registry mirrors the per-core counters.
+    let tiers = sim.network().tier_totals();
+    assert_eq!(
+        tiers.total(),
+        TICKS * sim.network().num_cores() as u64,
+        "{name}: tier counters must account every core-tick exactly once"
+    );
+    for (tier, v) in [
+        ("disabled", tiers.disabled),
+        ("quiescent", tiers.quiescent),
+        ("split", tiers.split),
+        ("fused", tiers.fused),
+        ("scalar", tiers.scalar),
+    ] {
+        assert_eq!(
+            reg.counter_value("tn_fastpath_tier_ticks_total", &[("tier", tier)]),
+            Some(v),
+            "{name}: tier {tier} diverged"
+        );
+    }
+
+    // The wall clock accrues on the step-driven path (it used to stay 0
+    // until `run()` was called — the accounting bug this PR fixes).
+    assert!(
+        stats.wall_seconds > 0.0,
+        "{name}: step-driven wall_seconds must accrue"
+    );
+    let wall = reg.gauge_value("tn_kernel_wall_seconds", &[]).unwrap();
+    assert!((wall - stats.wall_seconds).abs() < 1e-12, "{name}");
+
+    // Span hooks fired once per tick, phases in between, and the
+    // summaries add up to the same totals.
+    assert_eq!(audit.starts.load(Ordering::Relaxed), TICKS, "{name}");
+    assert_eq!(audit.ends.load(Ordering::Relaxed), TICKS, "{name}");
+    assert!(
+        audit.phases.load(Ordering::Relaxed) >= TICKS,
+        "{name}: phase hooks must fire"
+    );
+    assert_eq!(
+        audit.spikes.load(Ordering::Relaxed),
+        stats.totals.spikes_out,
+        "{name}: span summaries diverged on spikes"
+    );
+    assert_eq!(
+        audit.sops.load(Ordering::Relaxed),
+        stats.totals.sops,
+        "{name}: span summaries diverged on sops"
+    );
+
+    // The rendered exposition of everything above must validate.
+    tn_obs::validate_exposition(&reg.render_text()).expect("valid exposition");
+
+    (sim.network().state_digest(), tiers)
+}
+
+#[test]
+fn registry_reconciles_with_legacy_counters_on_all_engines() {
+    let (d_ref, t_ref) = drive_and_reconcile(Box::new(ReferenceSim::new(net())));
+    let (d_par, t_par) = drive_and_reconcile(Box::new(ParallelSim::new(net(), 3)));
+    let (d_chip, t_chip) = drive_and_reconcile(Box::new(TrueNorthSim::new(net())));
+
+    // The observability wiring must not perturb the blueprint: all three
+    // faulted, observed, metered runs stay bit-identical — and since the
+    // tier decision is part of the kernel semantics, the tier tallies
+    // agree too.
+    assert_eq!(d_ref, d_par, "reference vs parallel digests diverged");
+    assert_eq!(d_ref, d_chip, "reference vs chip digests diverged");
+    assert_eq!(t_ref, t_par, "reference vs parallel tier tallies diverged");
+    assert_eq!(t_ref, t_chip, "reference vs chip tier tallies diverged");
+}
+
+#[test]
+fn chip_extras_reconcile_with_the_report() {
+    let mut sim = TrueNorthSim::new(net());
+    let mut src = NullSource;
+    for _ in 0..60 {
+        KernelSession::step(&mut sim, &mut src);
+    }
+    let reg = Registry::new();
+    sim.publish_metrics(&reg);
+    let stats = *sim.stats();
+    assert!(stats.total_hops > 0);
+    assert_eq!(
+        reg.counter_value("tn_chip_mesh_hops_total", &[]),
+        Some(stats.total_hops)
+    );
+    assert_eq!(
+        reg.counter_value("tn_chip_boundary_crossings_total", &[]),
+        Some(stats.boundary_crossings)
+    );
+    assert_eq!(
+        reg.gauge_value("tn_chip_worst_io_load", &[]),
+        Some(sim.worst_io_load() as f64)
+    );
+    let (link, boundary) = sim.worst_noc_loads();
+    assert_eq!(
+        reg.gauge_value("tn_chip_worst_link_load", &[]),
+        Some(link as f64)
+    );
+    assert_eq!(
+        reg.gauge_value("tn_chip_worst_boundary_load", &[]),
+        Some(boundary as f64)
+    );
+    let e_rt = reg
+        .gauge_value("tn_chip_energy_joules", &[("mode", "realtime")])
+        .unwrap();
+    assert!((e_rt - sim.energy_realtime().total_j()).abs() < 1e-18);
+    let e_max = reg
+        .gauge_value("tn_chip_energy_joules", &[("mode", "max_speed")])
+        .unwrap();
+    assert!((e_max - sim.energy_max_speed().total_j()).abs() < 1e-18);
+    // The report and the registry tell one story.
+    let report = sim.report();
+    assert_eq!(report.ticks, 60);
+    assert!((report.host_wall_seconds - stats.wall_seconds).abs() < 1e-12);
+}
