@@ -1,0 +1,309 @@
+//! `tn-check`: in-tree deterministic concurrency model checking and a
+//! concurrency-smell lint pass for the TrueNorth reproduction.
+//!
+//! Two halves:
+//!
+//! - **Model checking** ([`model`], [`sync`], [`thread`]): loom-style
+//!   shim types with `std::sync` signatures. Under `--cfg tn_check`
+//!   the workspace's concurrency-critical crates alias their
+//!   primitives to these shims (see each crate's `src/sync.rs`), and
+//!   `#[cfg(all(test, tn_check))]` model tests explore thousands of
+//!   interleavings per protocol — seeded-random sampling plus a
+//!   bounded exhaustive DFS — with deadlock, lost-wakeup, and
+//!   invariant-violation detection. Failing schedules replay exactly
+//!   from the printed seed or trace. Production builds (without the
+//!   cfg) alias straight to `std` and are bit-identical in behavior.
+//!
+//! - **Linting** ([`lint`]): a source-level scan for concurrency
+//!   smells (codes TN020–TN025), run as `tn-check lint` and reusing
+//!   the `tn-lint` diagnostic types from `tn_core`.
+//!
+//! The model is sequentially consistent; weak-memory effects are out
+//! of scope here and covered dynamically by the `sanitizers` CI job.
+
+// tn-check: allow(TN020, TN021, TN022) — the unit tests below drive
+// the shims directly, including deliberately buggy protocols (missing
+// predicate loops, unannotated atomics) the checker must catch.
+
+pub mod lint;
+pub mod model;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::{check_dfs, check_random, replay, Config, Failure, FailureKind, Report, Schedule};
+
+#[cfg(test)]
+mod tests {
+    use super::model::{check_dfs, check_random, replay, Config, FailureKind, Schedule};
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Barrier, Condvar, Mutex};
+    use super::thread;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn mutex_exclusion_holds_exhaustively() {
+        let report = check_dfs(&cfg(), 200_000, || {
+            let counter = Arc::new(Mutex::new(0u64));
+            let c2 = Arc::clone(&counter);
+            let h = thread::spawn(move || {
+                for _ in 0..2 {
+                    *c2.lock().unwrap() += 1;
+                }
+            });
+            for _ in 0..2 {
+                *counter.lock().unwrap() += 1;
+            }
+            h.join().unwrap();
+            assert_eq!(*counter.lock().unwrap(), 4);
+        });
+        report.assert_ok();
+        assert!(report.exhausted, "schedule space should be exhausted");
+        assert!(report.schedules > 1);
+    }
+
+    #[test]
+    fn torn_read_modify_write_is_found() {
+        // Two threads do a non-atomic load-then-store increment; some
+        // interleaving loses an update, and the checker must find it.
+        let report = check_dfs(&cfg(), 200_000, || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = thread::spawn(move || {
+                let v = a2.load(Ordering::SeqCst);
+                a2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let failure = report.failure.expect("DFS must find the lost update");
+        assert_eq!(failure.kind, FailureKind::Panic);
+
+        // The recorded trace replays to the same failure.
+        let schedule = failure.schedule.clone().expect("schedule recorded");
+        let replayed = replay(&cfg(), &schedule, || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = thread::spawn(move || {
+                let v = a2.load(Ordering::SeqCst);
+                a2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let refail = replayed.failure.expect("replay reproduces the failure");
+        assert_eq!(refail.kind, FailureKind::Panic);
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_found_and_replayable() {
+        let run = || {
+            let locks = Arc::new((Mutex::new(()), Mutex::new(())));
+            let l2 = Arc::clone(&locks);
+            let h = thread::spawn(move || {
+                let _a = l2.0.lock().unwrap();
+                let _b = l2.1.lock().unwrap();
+            });
+            let _b = locks.1.lock().unwrap();
+            let _a = locks.0.lock().unwrap();
+            drop(_a);
+            drop(_b);
+            h.join().unwrap();
+        };
+        let report = check_dfs(&cfg(), 200_000, run);
+        let failure = report.failure.expect("DFS must find the AB-BA deadlock");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+        assert!(
+            failure.message.contains("mutex"),
+            "message: {}",
+            failure.message
+        );
+
+        let schedule = failure.schedule.clone().expect("schedule recorded");
+        let replayed = replay(&cfg(), &schedule, run);
+        assert_eq!(
+            replayed.failure.expect("replay reproduces").kind,
+            FailureKind::Deadlock
+        );
+    }
+
+    #[test]
+    fn condvar_handshake_with_predicate_loop_is_clean() {
+        let report = check_dfs(&cfg(), 200_000, || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            let (m, cv) = &*pair;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+            h.join().unwrap();
+        });
+        report.assert_ok();
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn missing_predicate_loop_is_caught_by_spurious_wakeup() {
+        // The waiter checks the flag once after a single wait — with
+        // spurious wakeups enabled the scheduler can wake it before
+        // the producer publishes, which the assertion then catches.
+        let report = check_dfs(&cfg(), 200_000, || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                if !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+                assert!(*ready, "woke without the flag set");
+            });
+            let (m, cv) = &*pair;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+            h.join().unwrap();
+        });
+        let failure = report.failure.expect("spurious wakeup must expose the bug");
+        assert_eq!(failure.kind, FailureKind::Panic);
+    }
+
+    #[test]
+    fn barrier_publishes_before_crossing() {
+        let report = check_dfs(&cfg(), 200_000, || {
+            let barrier = Arc::new(Barrier::new(2));
+            let data = Arc::new(AtomicU64::new(0));
+            let (b2, d2) = (Arc::clone(&barrier), Arc::clone(&data));
+            let h = thread::spawn(move || {
+                d2.store(7, Ordering::SeqCst);
+                b2.wait();
+            });
+            barrier.wait();
+            assert_eq!(data.load(Ordering::SeqCst), 7, "store must precede barrier");
+            h.join().unwrap();
+        });
+        report.assert_ok();
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let mut config = cfg();
+        config.max_steps = 500;
+        let report = check_random(&config, 1, 1, || {
+            let a = AtomicU64::new(0);
+            loop {
+                if a.load(Ordering::SeqCst) == u64::MAX {
+                    break;
+                }
+            }
+        });
+        let failure = report.failure.expect("spin loop must hit the step limit");
+        assert_eq!(failure.kind, FailureKind::StepLimit);
+    }
+
+    #[test]
+    fn seeded_random_failure_replays_from_seed() {
+        let run = || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = thread::spawn(move || {
+                let v = a2.load(Ordering::SeqCst);
+                a2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let report = check_random(&cfg(), 500, 0xBEEF, run);
+        let failure = report.failure.expect("sampling must find the lost update");
+        let Some(Schedule::Seed(seed)) = failure.schedule else {
+            panic!("random exploration reports a seed");
+        };
+        let replayed = replay(&cfg(), &Schedule::Seed(seed), run);
+        assert_eq!(
+            replayed.failure.expect("seed replays the failure").kind,
+            FailureKind::Panic
+        );
+    }
+
+    #[test]
+    fn join_passes_results_and_panics_fail_the_schedule() {
+        let report = check_dfs(&cfg(), 200_000, || {
+            let h = thread::spawn(|| 42u64);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+        report.assert_ok();
+        assert!(report.exhausted);
+
+        let report = check_random(&cfg(), 1, 7, || {
+            let h = thread::spawn(|| panic!("child exploded"));
+            let _ = h.join();
+        });
+        let failure = report.failure.expect("child panic recorded");
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(failure.message.contains("child exploded"));
+    }
+
+    #[test]
+    fn shims_pass_through_outside_executions() {
+        // No model execution active: the shims must behave like std.
+        let m = Arc::new(Mutex::new(0u64));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = thread::spawn(move || {
+            *m2.lock().unwrap() = 5;
+            cv2.notify_all();
+        });
+        {
+            let mut g = m.lock().unwrap();
+            while *g != 5 {
+                g = cv.wait(g).unwrap();
+            }
+        }
+        h.join().unwrap();
+
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || b2.wait().is_leader());
+        let mine = b.wait().is_leader();
+        let theirs = h.join().unwrap();
+        assert!(mine ^ theirs, "exactly one barrier leader");
+
+        let a = AtomicU64::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::Relaxed), 1);
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn preemption_bound_zero_still_runs_to_completion() {
+        let mut config = cfg();
+        config.preemption_bound = Some(0);
+        config.spurious_wakeups = 0;
+        let report = check_dfs(&config, 10_000, || {
+            let counter = Arc::new(Mutex::new(0u64));
+            let c2 = Arc::clone(&counter);
+            let h = thread::spawn(move || {
+                *c2.lock().unwrap() += 1;
+            });
+            *counter.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*counter.lock().unwrap(), 2);
+        });
+        report.assert_ok();
+        assert!(report.exhausted);
+    }
+}

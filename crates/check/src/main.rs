@@ -1,0 +1,80 @@
+//! `tn-check` CLI: the concurrency lint gauntlet.
+//!
+//! ```text
+//! tn-check lint [--root <dir>] [--deny-warnings]
+//! ```
+//!
+//! Scans every `.rs` file under the workspace root (default: the
+//! current directory, or the workspace inferred from
+//! `CARGO_MANIFEST_DIR` when run via `cargo run -p tn-check`) for the
+//! TN020–TN025 concurrency smells and prints structured diagnostics.
+//! Exit code 0 when clean, 1 with `--deny-warnings` when anything
+//! fires, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tn_check::lint::lint_workspace;
+use tn_core::Diagnostic;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tn-check lint [--root <dir>] [--deny-warnings]");
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // When invoked as `cargo run -p tn-check`, the process cwd is the
+    // workspace root already; fall back to the manifest's grandparent
+    // (crates/check -> workspace) if cwd has no crates/ dir.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        _ => return usage(),
+    }
+    let mut root = None;
+    let mut deny = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let summary = match lint_workspace(&root, &mut findings) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tn-check: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &findings {
+        println!("{d}");
+    }
+    println!(
+        "tn-check lint: {} finding(s) across {} file(s) under {}",
+        summary.findings,
+        summary.files_scanned,
+        root.display()
+    );
+    if deny && summary.findings > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

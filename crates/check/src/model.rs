@@ -1,0 +1,244 @@
+//! The model-checking API: run a closure under the controlled
+//! scheduler across many schedules and report the first failure.
+//!
+//! The closure becomes model thread 0; any `crate::thread::spawn` it
+//! performs creates further model threads. Every shim operation is a
+//! scheduling choice point, so a whole interleaving is determined by
+//! the choice sequence — replayable from a seed ([`check_random`]) or a
+//! recorded trace ([`check_dfs`], [`replay`]).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crate::sched::{self, ChoicePoint, Chooser, Execution, Limits, SplitMix64};
+
+/// Knobs for one exploration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Abort a schedule after this many scheduler steps (livelock and
+    /// runaway-loop guard).
+    pub max_steps: u64,
+    /// Cap on involuntary context switches per schedule (`None` =
+    /// unbounded). Small bounds shrink the schedule space drastically
+    /// while keeping most real bugs reachable.
+    pub preemption_bound: Option<u32>,
+    /// How many spurious condvar wakeups the scheduler may inject per
+    /// schedule. Non-zero catches waits missing a predicate loop.
+    pub spurious_wakeups: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps: 100_000,
+            preemption_bound: None,
+            spurious_wakeups: 1,
+        }
+    }
+}
+
+/// What went wrong in a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable threads and not all finished — includes lost
+    /// wakeups, which strand a waiter on a condvar.
+    Deadlock,
+    /// A model thread panicked (assertion/invariant violation).
+    Panic,
+    /// The per-schedule step limit was exceeded.
+    StepLimit,
+}
+
+/// How to reproduce a failing schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Re-run with this PRNG seed.
+    Seed(u64),
+    /// Replay this recorded choice trace.
+    Trace(Vec<u16>),
+}
+
+/// A failing schedule: what happened and how to replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Filled in by the exploration driver; `None` only internally.
+    pub schedule: Option<Schedule>,
+    /// The choices taken, for `Schedule::Trace` replay and debugging.
+    pub trace: Vec<u16>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Panic => "panic",
+            FailureKind::StepLimit => "step limit",
+        };
+        write!(
+            f,
+            "{kind} after {} choices: {}",
+            self.trace.len(),
+            self.message
+        )?;
+        match &self.schedule {
+            Some(Schedule::Seed(s)) => write!(f, " [replay: seed {s:#018x}]"),
+            Some(Schedule::Trace(t)) => write!(f, " [replay: trace of {} choices]", t.len()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: u64,
+    /// First failure found, if any.
+    pub failure: Option<Failure>,
+    /// DFS only: the whole schedule space was exhausted.
+    pub exhausted: bool,
+}
+
+impl Report {
+    /// Panic with a replayable description if any schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("tn-check: {f}");
+        }
+    }
+}
+
+/// Run one schedule under the given chooser. Returns the failure (if
+/// any, without its `schedule` filled in) and the full choice trace.
+fn run_one<F: Fn()>(cfg: &Config, chooser: Chooser, f: &F) -> (Option<Failure>, Vec<ChoicePoint>) {
+    let exec = Execution::new(
+        Limits {
+            max_steps: cfg.max_steps,
+            preemption_bound: cfg.preemption_bound,
+            spurious_wakeups: cfg.spurious_wakeups,
+        },
+        chooser,
+    );
+
+    // Clear the TLS slot even if something below panics unexpectedly.
+    struct TlsGuard;
+    impl Drop for TlsGuard {
+        fn drop(&mut self) {
+            sched::clear_current();
+        }
+    }
+
+    sched::set_current(Arc::clone(&exec), 0);
+    let _guard = TlsGuard;
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    let boxed: sched::ThreadResult = match result {
+        Ok(()) => Ok(Box::new(())),
+        Err(payload) => Err(payload),
+    };
+    exec.thread_finished(0, boxed);
+    exec.wait_all_finished();
+    exec.join_os_handles();
+    exec.take_outcome()
+}
+
+/// Explore `schedules` seeded-random interleavings of `f`, stopping at
+/// the first failure. Seeds are `base_seed + i`, so any failure is
+/// replayable with [`replay`] and the printed seed.
+pub fn check_random<F: Fn()>(cfg: &Config, schedules: u64, base_seed: u64, f: F) -> Report {
+    for i in 0..schedules {
+        let seed = base_seed.wrapping_add(i);
+        let (failure, _) = run_one(cfg, Chooser::Random(SplitMix64::new(seed)), &f);
+        if let Some(mut fail) = failure {
+            fail.schedule = Some(Schedule::Seed(seed));
+            return Report {
+                schedules: i + 1,
+                failure: Some(fail),
+                exhausted: false,
+            };
+        }
+    }
+    Report {
+        schedules,
+        failure: None,
+        exhausted: false,
+    }
+}
+
+/// Replay a single schedule from a seed or recorded trace.
+pub fn replay<F: Fn()>(cfg: &Config, schedule: &Schedule, f: F) -> Report {
+    let chooser = match schedule {
+        Schedule::Seed(s) => Chooser::Random(SplitMix64::new(*s)),
+        Schedule::Trace(t) => Chooser::Replay {
+            prefix: t.clone(),
+            pos: 0,
+        },
+    };
+    let (failure, _) = run_one(cfg, chooser, &f);
+    Report {
+        schedules: 1,
+        failure: failure.map(|mut fail| {
+            fail.schedule = Some(schedule.clone());
+            fail
+        }),
+        exhausted: false,
+    }
+}
+
+/// Bounded exhaustive DFS over the schedule space: enumerate choice
+/// traces by backtracking the deepest not-yet-exhausted choice point,
+/// up to `max_schedules` runs. `exhausted == true` in the returned
+/// report means every interleaving (under the config's bounds) was
+/// covered.
+pub fn check_dfs<F: Fn()>(cfg: &Config, max_schedules: u64, f: F) -> Report {
+    let mut prefix: Vec<u16> = Vec::new();
+    let mut runs = 0u64;
+    loop {
+        let (failure, trace) = run_one(
+            cfg,
+            Chooser::Replay {
+                prefix: prefix.clone(),
+                pos: 0,
+            },
+            &f,
+        );
+        runs += 1;
+        if let Some(mut fail) = failure {
+            fail.schedule = Some(Schedule::Trace(trace.iter().map(|c| c.chosen).collect()));
+            return Report {
+                schedules: runs,
+                failure: Some(fail),
+                exhausted: false,
+            };
+        }
+        if runs >= max_schedules {
+            return Report {
+                schedules: runs,
+                failure: None,
+                exhausted: false,
+            };
+        }
+        // Backtrack: find the deepest choice point with an untried
+        // option; if none, the space is exhausted.
+        let mut i = trace.len();
+        let found = loop {
+            if i == 0 {
+                break false;
+            }
+            i -= 1;
+            if trace[i].chosen + 1 < trace[i].options {
+                break true;
+            }
+        };
+        if !found {
+            return Report {
+                schedules: runs,
+                failure: None,
+                exhausted: true,
+            };
+        }
+        prefix = trace[..i].iter().map(|c| c.chosen).collect();
+        prefix.push(trace[i].chosen + 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! The controlled scheduler underneath the `tn-check` shims.
+//!
+//! A model execution runs each "model thread" on a real OS thread but
+//! lets only one of them make progress at a time: ownership of the
+//! single run token is handed from thread to thread at *yield points*,
+//! which the shim types in [`crate::sync`] insert before every lock
+//! acquisition, atomic operation, condvar wait/notify, and join. At
+//! each yield point the scheduler consults a choice source — a seeded
+//! PRNG for random sampling, or a replay prefix for bounded exhaustive
+//! DFS — so a whole interleaving is a pure function of the seed (or
+//! trace) and can be replayed exactly from a printed failure report.
+//!
+//! The scheduler model is sequentially consistent: shim atomics map
+//! every ordering to `SeqCst` on the underlying value and rely on the
+//! yield points for interleaving coverage. Weak-memory reorderings are
+//! *not* modeled; ThreadSanitizer (see the `sanitizers` CI job) covers
+//! that axis dynamically.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::model::{Failure, FailureKind};
+
+/// Panic payload used to unwind model threads once an execution has
+/// already recorded a failure (or is being torn down). It is never
+/// itself reported as a failure.
+pub(crate) struct ModelAbort;
+
+/// What a finished model thread hands back to `join`.
+pub(crate) type ThreadResult = Result<Box<dyn Any + Send>, Box<dyn Any + Send>>;
+
+/// SplitMix64: tiny, seedable, statistically fine for schedule sampling.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One recorded scheduling decision: how many options were available
+/// and which was taken. The DFS driver backtracks over these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ChoicePoint {
+    pub(crate) options: u16,
+    pub(crate) chosen: u16,
+}
+
+/// Where scheduling decisions come from.
+pub(crate) enum Chooser {
+    /// Seeded pseudo-random sampling.
+    Random(SplitMix64),
+    /// Replay `prefix` verbatim, then always take option 0 (the DFS
+    /// driver grows the prefix between runs; a plain replay passes the
+    /// full failing trace).
+    Replay { prefix: Vec<u16>, pos: usize },
+}
+
+/// Why a model thread is not runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockReason {
+    /// Waiting to acquire the mutex with this identity.
+    Mutex(usize),
+    /// Parked in a condvar wait on this condvar identity.
+    Condvar(usize),
+    /// Waiting for thread `id` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    result: Option<ThreadResult>,
+}
+
+/// Limits a single execution runs under.
+pub(crate) struct Limits {
+    pub(crate) max_steps: u64,
+    pub(crate) preemption_bound: Option<u32>,
+    pub(crate) spurious_wakeups: u32,
+}
+
+struct ExecState {
+    threads: Vec<ThreadState>,
+    /// Index of the thread holding the run token (`usize::MAX` once all
+    /// threads have finished).
+    active: usize,
+    steps: u64,
+    preemptions: u32,
+    spurious_left: u32,
+    chooser: Chooser,
+    trace: Vec<ChoicePoint>,
+    failure: Option<Failure>,
+    limits: Limits,
+    /// Stable small indices for shim-object addresses, so failure
+    /// messages are readable and replay-stable within a schedule.
+    objects: BTreeMap<usize, usize>,
+}
+
+/// One model execution: a set of model threads plus the scheduler state
+/// they hand the run token through.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution and model-thread id the calling OS thread belongs to,
+/// if any. Shims use this to decide between model and pass-through
+/// behavior.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(exec: Arc<Execution>, id: usize) {
+    CURRENT.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "nested tn-check executions are not supported"
+        );
+        *slot = Some((exec, id));
+    });
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| c.borrow_mut().take());
+}
+
+/// Scheduling options at a choice point.
+#[derive(Clone, Copy)]
+enum Opt {
+    Run(usize),
+    /// Spuriously wake the condvar waiter with this thread id.
+    Spurious(usize),
+}
+
+impl Execution {
+    pub(crate) fn new(limits: Limits, chooser: Chooser) -> Arc<Execution> {
+        install_quiet_abort_hook();
+        let spurious = limits.spurious_wakeups;
+        Arc::new(Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    result: None,
+                }],
+                active: 0,
+                steps: 0,
+                preemptions: 0,
+                spurious_left: spurious,
+                chooser,
+                trace: Vec::new(),
+                failure: None,
+                limits,
+                objects: BTreeMap::new(),
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        })
+    }
+
+    /// Lock the scheduler state, tolerating poison: a model thread that
+    /// panics while holding the state lock must not cascade into
+    /// `PoisonError` panics on every other thread.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn obj_label(st: &mut ExecState, addr: usize) -> usize {
+        let next = st.objects.len();
+        *st.objects.entry(addr).or_insert(next)
+    }
+
+    /// Register a new model thread (created by `thread::spawn`); it
+    /// starts Runnable but parked until the scheduler hands it the
+    /// token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            result: None,
+        });
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Join all OS threads backing finished model threads. Call only
+    /// after `wait_all_finished`.
+    pub(crate) fn join_os_handles(&self) {
+        let handles: Vec<_> = self
+            .os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Park a freshly spawned model thread until it is scheduled.
+    pub(crate) fn wait_until_scheduled(&self, me: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && matches!(st.threads[me].status, Status::Runnable) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain yield point: give the scheduler a chance to run someone
+    /// else before the caller's next shared-memory operation.
+    pub(crate) fn yield_now(&self, me: usize) {
+        self.reschedule(me, Status::Runnable);
+    }
+
+    /// The heart of the token pass: set the caller's status, pick the
+    /// next thread to run, then block the caller until it is scheduled
+    /// again (immediately, if the scheduler re-picked it).
+    fn reschedule(&self, me: usize, status: Status) {
+        let mut st = self.lock_state();
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.threads[me].status = status;
+        st.steps += 1;
+        if st.steps > st.limits.max_steps {
+            let max = st.limits.max_steps;
+            self.fail_locked(
+                &mut st,
+                FailureKind::StepLimit,
+                format!("execution exceeded {max} scheduler steps (livelock or runaway loop?)"),
+            );
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.schedule_next_locked(&mut st, Some(me));
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && matches!(st.threads[me].status, Status::Runnable) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pick the next thread to hold the token. `from` is the calling
+    /// thread when it is still a candidate (used for preemption
+    /// accounting); `None` when the caller just finished.
+    fn schedule_next_locked(&self, st: &mut ExecState, from: Option<usize>) {
+        let mut opts: Vec<Opt> = Vec::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            match t.status {
+                Status::Runnable => opts.push(Opt::Run(i)),
+                Status::Blocked(BlockReason::Condvar(_)) if st.spurious_left > 0 => {
+                    opts.push(Opt::Spurious(i))
+                }
+                _ => {}
+            }
+        }
+
+        // Under a preemption bound, once the budget is spent a runnable
+        // caller keeps running (other choices are pruned, including
+        // spurious wakeups, which count as preemptions too).
+        if let (Some(bound), Some(me)) = (st.limits.preemption_bound, from) {
+            if st.preemptions >= bound
+                && matches!(st.threads[me].status, Status::Runnable)
+                && opts.len() > 1
+            {
+                opts.retain(|o| matches!(*o, Opt::Run(i) if i == me));
+            }
+        }
+
+        if opts.is_empty() {
+            if st
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                st.active = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<(usize, BlockReason)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.status {
+                    Status::Blocked(r) => Some((i, r)),
+                    _ => None,
+                })
+                .collect();
+            let mut desc = String::new();
+            for (i, reason) in blocked {
+                let what = match reason {
+                    BlockReason::Mutex(a) => format!("mutex #{}", Self::obj_label(st, a)),
+                    BlockReason::Condvar(a) => {
+                        format!("condvar #{} (possible lost wakeup)", Self::obj_label(st, a))
+                    }
+                    BlockReason::Join(id) => format!("join of thread {id}"),
+                };
+                desc.push_str(&format!("; thread {i} blocked on {what}"));
+            }
+            self.fail_locked(
+                st,
+                FailureKind::Deadlock,
+                format!("no runnable threads{desc}"),
+            );
+            return;
+        }
+
+        let n = opts.len();
+        let c = Self::choose_locked(st, n);
+        match opts[c] {
+            Opt::Run(i) => {
+                if let Some(me) = from {
+                    if i != me && matches!(st.threads[me].status, Status::Runnable) {
+                        st.preemptions += 1;
+                    }
+                }
+                st.active = i;
+            }
+            Opt::Spurious(i) => {
+                st.spurious_left -= 1;
+                st.preemptions += 1;
+                // The waiter resumes from its condvar wait without a
+                // notify — exactly std's spurious-wakeup allowance.
+                st.threads[i].status = Status::Runnable;
+                st.active = i;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Draw and record one scheduling decision among `n` options.
+    fn choose_locked(st: &mut ExecState, n: usize) -> usize {
+        debug_assert!(n > 0 && n <= u16::MAX as usize);
+        let c = match &mut st.chooser {
+            Chooser::Random(rng) => (rng.next_u64() % n as u64) as usize,
+            Chooser::Replay { prefix, pos } => {
+                let c = if *pos < prefix.len() {
+                    (prefix[*pos] as usize).min(n - 1)
+                } else {
+                    0
+                };
+                *pos += 1;
+                c
+            }
+        };
+        st.trace.push(ChoicePoint {
+            options: n as u16,
+            chosen: c as u16,
+        });
+        c
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                message,
+                schedule: None,
+                trace: st.trace.iter().map(|c| c.chosen).collect(),
+            });
+        }
+        self.cv.notify_all();
+    }
+
+    /// Acquire a shim mutex: yield, then take the flag or block until
+    /// the holder releases it.
+    pub(crate) fn mutex_lock(&self, me: usize, addr: usize, held: &AtomicBool) {
+        loop {
+            self.yield_now(me);
+            if !held.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            self.reschedule(me, Status::Blocked(BlockReason::Mutex(addr)));
+        }
+    }
+
+    /// Release a shim mutex and make blocked acquirers schedulable
+    /// again. Not a yield point: the unlocking thread keeps the token,
+    /// which lets condvar wait release-and-park atomically.
+    pub(crate) fn mutex_unlock(&self, _me: usize, addr: usize, held: &AtomicBool) {
+        held.store(false, Ordering::SeqCst);
+        let mut st = self.lock_state();
+        for t in st.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(BlockReason::Mutex(a)) if a == addr) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Park on a condvar. The caller must have released the associated
+    /// mutex immediately before, with no intervening yield point, so
+    /// the release-and-wait is atomic and the model cannot itself lose
+    /// wakeups.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_addr: usize) {
+        self.reschedule(me, Status::Blocked(BlockReason::Condvar(cv_addr)));
+    }
+
+    /// Notify one (scheduler-chosen) or all waiters on a condvar.
+    pub(crate) fn condvar_notify(&self, me: usize, cv_addr: usize, all: bool) {
+        self.yield_now(me);
+        let mut st = self.lock_state();
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                matches!(t.status, Status::Blocked(BlockReason::Condvar(a)) if a == cv_addr)
+                    .then_some(i)
+            })
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for i in waiters {
+                st.threads[i].status = Status::Runnable;
+            }
+        } else {
+            let c = if waiters.len() == 1 {
+                0
+            } else {
+                Self::choose_locked(&mut st, waiters.len())
+            };
+            st.threads[waiters[c]].status = Status::Runnable;
+        }
+    }
+
+    /// Block until `target` finishes, then take its result.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) -> ThreadResult {
+        self.yield_now(me);
+        loop {
+            {
+                let mut st = self.lock_state();
+                if st.failure.is_some() {
+                    drop(st);
+                    std::panic::panic_any(ModelAbort);
+                }
+                if matches!(st.threads[target].status, Status::Finished) {
+                    return st.threads[target]
+                        .result
+                        .take()
+                        .expect("model thread joined twice");
+                }
+            }
+            self.reschedule(me, Status::Blocked(BlockReason::Join(target)));
+        }
+    }
+
+    /// Called by each model thread's wrapper exactly once, on its own
+    /// OS thread, when the closure returns or panics.
+    pub(crate) fn thread_finished(&self, me: usize, result: ThreadResult) {
+        let mut st = self.lock_state();
+        if let Err(payload) = &result {
+            if !payload.is::<ModelAbort>() {
+                let msg = payload_to_string(payload);
+                self.fail_locked(
+                    &mut st,
+                    FailureKind::Panic,
+                    format!("thread {me} panicked: {msg}"),
+                );
+            }
+        }
+        st.threads[me].result = Some(result);
+        st.threads[me].status = Status::Finished;
+        for t in st.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(BlockReason::Join(id)) if id == me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if st.failure.is_none() {
+            self.schedule_next_locked(&mut st, None);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block the (non-model) driver until every model thread finished.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.lock_state();
+        while !st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Steps taken and the recorded failure/trace, consumed at the end
+    /// of one schedule.
+    pub(crate) fn take_outcome(&self) -> (Option<Failure>, Vec<ChoicePoint>) {
+        let mut st = self.lock_state();
+        let failure = st.failure.take();
+        let trace = std::mem::take(&mut st.trace);
+        (failure, trace)
+    }
+}
+
+fn payload_to_string(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Install (once per process) a panic hook that suppresses the noisy
+/// default backtrace for `ModelAbort` unwinds — they are expected
+/// teardown traffic, not failures. All other payloads go to the
+/// previously installed hook.
+fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,479 @@
+//! Shim synchronization types with `std::sync`-compatible signatures.
+//!
+//! Inside a model execution (the calling OS thread belongs to an
+//! active [`crate::model`] run) every operation is routed through the
+//! controlled scheduler as a choice point. Outside one they pass
+//! through to plain `std` behavior, so crates compiled with
+//! `--cfg tn_check` still run their regular test suites correctly.
+//!
+//! `Arc` is re-exported from `std` unchanged: it is just refcounting,
+//! has no blocking behavior, and keeping the real type means shimmed
+//! crates stay ABI-compatible with unshimmed neighbors.
+//!
+//! Caveat: a single shim object must not be shared between model
+//! threads and unrelated non-model threads — the model path and the
+//! pass-through path use different underlying locks.
+//
+// tn-check: allow(TN021, TN022) — this module *implements* the
+// primitives those rules reason about; its internals are exercised by
+// the checker's own test suite rather than annotated contracts.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrdering};
+use std::sync::{Condvar as StdCondvar, LockResult, Mutex as StdMutex};
+
+pub use std::sync::Arc;
+
+use crate::sched;
+
+/// A `std::sync::Mutex`-shaped lock whose acquire/release are model
+/// choice points.
+pub struct Mutex<T> {
+    /// Model-mode ownership flag; also serves as the lock's stable
+    /// identity (its address) for block/wake matching.
+    held: StdAtomicBool,
+    /// Pass-through mode exclusion.
+    passthrough: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: exclusion is provided either by `held` under the controlled
+// scheduler (exactly one model thread runs at a time, and the flag is
+// checked at every acquire) or by `passthrough` outside executions, so
+// `&Mutex<T>` never hands out aliasing `&mut T`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `T: Send` suffices because only one thread at a
+// time can reach the data, mirroring std's `Sync for Mutex<T>`.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(data: T) -> Self {
+        Mutex {
+            held: StdAtomicBool::new(false),
+            passthrough: StdMutex::new(()),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.held as *const StdAtomicBool as usize
+    }
+
+    /// Acquire the lock. Never returns `Err`: the shim does not track
+    /// poisoning (a model-thread panic aborts the whole schedule), and
+    /// the `LockResult` wrapper only mirrors std's signature.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => {
+                let real = self.passthrough.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    real: Some(real),
+                })
+            }
+            Some((exec, me)) => {
+                exec.mutex_lock(me, self.key(), &self.held);
+                Ok(MutexGuard {
+                    lock: self,
+                    real: None,
+                })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases on drop through the scheduler (model
+/// mode) or the pass-through lock.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    real: Option<std::sync::MutexGuard<'a, ()>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Dismantle without running `Drop` (used by `Condvar::wait` to
+    /// release-and-park atomically).
+    fn into_parts(self) -> (&'a Mutex<T>, Option<std::sync::MutexGuard<'a, ()>>) {
+        let mut this = std::mem::ManuallyDrop::new(self);
+        let lock = this.lock;
+        let real = this.real.take();
+        (lock, real)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock (see
+        // the Sync impl), so dereferencing the cell is race-free.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref`; `&mut self` guarantees this guard is
+        // the only active reference.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.real.is_none() {
+            match sched::current() {
+                Some((exec, me)) => exec.mutex_unlock(me, self.lock.key(), &self.lock.held),
+                // A model-mode guard escaping its execution should be
+                // impossible; releasing the flag keeps drops sound.
+                None => self.lock.held.store(false, StdOrdering::SeqCst),
+            }
+        }
+    }
+}
+
+/// A `std::sync::Condvar`-shaped condition variable; waits and
+/// notifies are model choice points, and the scheduler may inject
+/// spurious wakeups (per the model config) to flush out waits missing
+/// a predicate loop.
+pub struct Condvar {
+    real: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            real: StdCondvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (lock, real) = guard.into_parts();
+        match real {
+            Some(real_guard) => {
+                // Pass-through: wait on the real condvar with the real
+                // pass-through guard.
+                let real_guard = self
+                    .real
+                    .wait(real_guard)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    real: Some(real_guard),
+                })
+            }
+            None => {
+                let (exec, me) = sched::current().expect("model guard outside execution");
+                // Release-and-park with no intervening yield point, so
+                // the model itself cannot lose a wakeup; then reacquire
+                // like std does before returning to the caller.
+                exec.mutex_unlock(me, lock.key(), &lock.held);
+                exec.condvar_wait(me, self.key());
+                lock.lock()
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match sched::current() {
+            None => self.real.notify_one(),
+            Some((exec, me)) => exec.condvar_notify(me, self.key(), false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match sched::current() {
+            None => self.real.notify_all(),
+            Some((exec, me)) => exec.condvar_notify(me, self.key(), true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// A `std::sync::Barrier` built on the shim [`Mutex`]/[`Condvar`], so
+/// barrier crossings are model-checked for free (including the
+/// generation-counter predicate loop that makes reuse sound).
+pub struct Barrier {
+    n: usize,
+    state: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+struct BarrierInner {
+    count: usize,
+    generation: u64,
+}
+
+pub struct BarrierWaitResult(bool);
+
+impl BarrierWaitResult {
+    pub fn is_leader(&self) -> bool {
+        self.0
+    }
+}
+
+impl Barrier {
+    pub const fn new(n: usize) -> Self {
+        Barrier {
+            n,
+            state: Mutex::new(BarrierInner {
+                count: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn wait(&self) -> BarrierWaitResult {
+        if self.n <= 1 {
+            return BarrierWaitResult(true);
+        }
+        let mut inner = self.state.lock().unwrap_or_else(|_| unreachable!());
+        let generation = inner.generation;
+        inner.count += 1;
+        if inner.count == self.n {
+            inner.count = 0;
+            inner.generation = inner.generation.wrapping_add(1);
+            drop(inner);
+            self.cv.notify_all();
+            BarrierWaitResult(true)
+        } else {
+            while inner.generation == generation {
+                inner = self.cv.wait(inner).unwrap_or_else(|_| unreachable!());
+            }
+            BarrierWaitResult(false)
+        }
+    }
+}
+
+impl fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Barrier").finish_non_exhaustive()
+    }
+}
+
+/// Shim atomics: every operation yields to the scheduler first, then
+/// executes `SeqCst` on an inner std atomic regardless of the caller's
+/// requested ordering. That makes the model sequentially consistent —
+/// interleaving bugs are explored via schedules, while sub-SeqCst
+/// ordering bugs are left to ThreadSanitizer.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    macro_rules! int_atomic {
+        ($Name:ident, $T:ty) => {
+            pub struct $Name(std::sync::atomic::$Name);
+
+            impl $Name {
+                pub const fn new(v: $T) -> Self {
+                    Self(std::sync::atomic::$Name::new(v))
+                }
+
+                pub fn load(&self, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.load(order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.load(Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn store(&self, v: $T, order: Ordering) {
+                    match sched::current() {
+                        None => self.0.store(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.store(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn swap(&self, v: $T, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.swap(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.swap(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn fetch_add(&self, v: $T, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.fetch_add(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.fetch_add(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn fetch_sub(&self, v: $T, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.fetch_sub(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.fetch_sub(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn fetch_max(&self, v: $T, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.fetch_max(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.fetch_max(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn fetch_min(&self, v: $T, order: Ordering) -> $T {
+                    match sched::current() {
+                        None => self.0.fetch_min(v, order),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.fetch_min(v, Ordering::SeqCst)
+                        }
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    match sched::current() {
+                        None => self.0.compare_exchange(current, new, success, failure),
+                        Some((exec, me)) => {
+                            exec.yield_now(me);
+                            self.0.compare_exchange(
+                                current,
+                                new,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                        }
+                    }
+                }
+
+                pub fn into_inner(self) -> $T {
+                    self.0.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $T {
+                    // No yield: `&mut self` proves exclusive access.
+                    self.0.get_mut()
+                }
+            }
+
+            impl Default for $Name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $Name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // No yield: Debug printing should not perturb the
+                    // schedule.
+                    self.0.fmt(f)
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicU32, u32);
+
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            match sched::current() {
+                None => self.0.load(order),
+                Some((exec, me)) => {
+                    exec.yield_now(me);
+                    self.0.load(Ordering::SeqCst)
+                }
+            }
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            match sched::current() {
+                None => self.0.store(v, order),
+                Some((exec, me)) => {
+                    exec.yield_now(me);
+                    self.0.store(v, Ordering::SeqCst)
+                }
+            }
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            match sched::current() {
+                None => self.0.swap(v, order),
+                Some((exec, me)) => {
+                    exec.yield_now(me);
+                    self.0.swap(v, Ordering::SeqCst)
+                }
+            }
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Thread shim: `spawn`/`JoinHandle` with `std::thread` signatures.
+//!
+//! Inside a model execution, `spawn` registers a new model thread
+//! whose backing OS thread parks until the controlled scheduler hands
+//! it the run token; `join` is a blocking choice point. Outside an
+//! execution it delegates to `std::thread` unchanged.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crate::sched::{self, Execution, ThreadResult};
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        id: usize,
+        _marker: PhantomData<fn() -> T>,
+    },
+}
+
+/// Handle to a spawned (model or OS) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T: 'static> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Os(h) => h.join(),
+            Inner::Model { exec, id, .. } => {
+                let (_, me) =
+                    sched::current().expect("model JoinHandle joined from outside its execution");
+                match exec.join_thread(me, id) {
+                    Ok(boxed) => Ok(*boxed
+                        .downcast::<T>()
+                        .expect("model thread result type mismatch")),
+                    Err(payload) => Err(payload),
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread. In model mode the closure runs as a new model
+/// thread under the controlled scheduler; otherwise this is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle(Inner::Os(std::thread::spawn(f))),
+        Some((exec, me)) => {
+            let id = exec.register_thread();
+            let child_exec = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("tn-check-{id}"))
+                .spawn(move || {
+                    sched::set_current(Arc::clone(&child_exec), id);
+                    // The park-for-token wait lives inside the
+                    // catch_unwind so ModelAbort teardown panics still
+                    // reach thread_finished.
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        child_exec.wait_until_scheduled(id);
+                        f()
+                    }));
+                    let boxed: ThreadResult = match result {
+                        Ok(v) => Ok(Box::new(v) as Box<dyn Any + Send>),
+                        Err(payload) => Err(payload),
+                    };
+                    child_exec.thread_finished(id, boxed);
+                })
+                .expect("spawn model thread");
+            exec.push_os_handle(os);
+            // Yield so the scheduler may run the child before the
+            // parent's next operation.
+            exec.yield_now(me);
+            JoinHandle(Inner::Model {
+                exec,
+                id,
+                _marker: PhantomData,
+            })
+        }
+    }
+}

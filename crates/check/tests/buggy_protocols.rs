@@ -1,0 +1,170 @@
+//! Known-buggy toy protocols the checker must catch — the negative
+//! controls for the model-testing discipline. If a refactor of the
+//! scheduler ever stops finding these, the clean reports on the real
+//! protocols mean nothing; CI pins both failures and their replays.
+//!
+//! Fixture 1 (lost wakeup): a consumer checks the flag, *drops the
+//! lock*, then re-locks and waits unconditionally. A notify landing in
+//! the gap finds no waiter and is lost; the consumer sleeps forever.
+//!
+//! Fixture 2 (torn counter): a generation counter split across two
+//! 32-bit halves, stored one after the other. A reader between the two
+//! stores observes a generation that never existed.
+
+// tn-check: allow(TN020, TN021, TN022) — deliberately buggy fixtures:
+// the missing predicate loop and unannotated atomics ARE the bugs.
+
+use tn_check::sync::atomic::{AtomicU32, Ordering};
+use tn_check::sync::{Arc, Condvar, Mutex};
+use tn_check::{check_dfs, check_random, replay, Config, FailureKind};
+
+/// The lost-wakeup protocol: racy check-then-wait with no predicate
+/// re-check inside the lock.
+fn lost_wakeup() {
+    let flag = Arc::new(Mutex::new(false));
+    let cv = Arc::new(Condvar::new());
+    let producer = {
+        let flag = Arc::clone(&flag);
+        let cv = Arc::clone(&cv);
+        tn_check::thread::spawn(move || {
+            *flag.lock().unwrap() = true;
+            cv.notify_one();
+        })
+    };
+    // BUG: the flag check and the wait are two separate critical
+    // sections — the notify can land in between and be lost.
+    if !*flag.lock().unwrap() {
+        let guard = flag.lock().unwrap();
+        let _guard = cv.wait(guard).unwrap();
+    }
+    producer.join().unwrap();
+}
+
+/// The torn-counter protocol: a 64-bit generation published as two
+/// 32-bit halves with no ordering between them.
+fn torn_generation() {
+    let lo = Arc::new(AtomicU32::new(0));
+    let hi = Arc::new(AtomicU32::new(0));
+    let writer = {
+        let lo = Arc::clone(&lo);
+        let hi = Arc::clone(&hi);
+        tn_check::thread::spawn(move || {
+            for g in 1..=2u32 {
+                // BUG: the two halves update non-atomically.
+                lo.store(g, Ordering::SeqCst);
+                hi.store(g, Ordering::SeqCst);
+            }
+        })
+    };
+    let seen_lo = lo.load(Ordering::SeqCst);
+    let seen_hi = hi.load(Ordering::SeqCst);
+    writer.join().unwrap();
+    assert_eq!(
+        seen_lo, seen_hi,
+        "torn generation observed: lo={seen_lo} hi={seen_hi}"
+    );
+}
+
+#[test]
+fn lost_wakeup_is_found_and_replays_from_seed() {
+    // Spurious-wakeup injection off: an injected wake would paper over
+    // exactly the hang this fixture exists to expose.
+    let cfg = Config {
+        spurious_wakeups: 0,
+        ..Config::default()
+    };
+    let report = check_random(&cfg, 2_000, 0x0001_0CA1, lost_wakeup);
+    let failure = report
+        .failure
+        .expect("the checker must find the lost wakeup within 2000 schedules");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(
+        failure.message.contains("lost wakeup"),
+        "deadlock on a condvar should be diagnosed as a possible lost wakeup: {failure}"
+    );
+    let schedule = failure
+        .schedule
+        .clone()
+        .expect("random failures carry a seed");
+    let replayed = replay(&cfg, &schedule, lost_wakeup)
+        .failure
+        .expect("replaying the failing seed must reproduce the failure");
+    assert_eq!(
+        replayed.kind,
+        FailureKind::Deadlock,
+        "replay diverged: {replayed}"
+    );
+}
+
+#[test]
+fn torn_generation_is_found_and_replays_from_trace() {
+    let cfg = Config::default();
+    let report = check_dfs(&cfg, 100_000, torn_generation);
+    let failure = report
+        .failure
+        .expect("exhaustive search must find the torn read");
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure}");
+    assert!(
+        failure.message.contains("torn generation"),
+        "the panic should be the torn-read assert: {failure}"
+    );
+    let schedule = failure
+        .schedule
+        .clone()
+        .expect("DFS failures carry a trace");
+    let replayed = replay(&cfg, &schedule, torn_generation)
+        .failure
+        .expect("replaying the failing trace must reproduce the failure");
+    assert_eq!(
+        replayed.kind,
+        FailureKind::Panic,
+        "replay diverged: {replayed}"
+    );
+}
+
+#[test]
+fn fixed_protocols_pass_the_same_checks() {
+    // The repaired versions of both fixtures run clean — the checker
+    // separates the bug from the shape of the code.
+    let cfg = Config::default();
+    let report = check_random(&cfg, 500, 0x600D, || {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let producer = {
+            let flag = Arc::clone(&flag);
+            let cv = Arc::clone(&cv);
+            tn_check::thread::spawn(move || {
+                *flag.lock().unwrap() = true;
+                cv.notify_one();
+            })
+        };
+        let mut guard = flag.lock().unwrap();
+        while !*guard {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        producer.join().unwrap();
+    });
+    report.assert_ok();
+
+    let report = check_dfs(&cfg, 100_000, || {
+        // One atomic word instead of two halves.
+        let gen = Arc::new(tn_check::sync::atomic::AtomicU64::new(0));
+        let writer = {
+            let gen = Arc::clone(&gen);
+            tn_check::thread::spawn(move || {
+                for g in 1..=2u64 {
+                    gen.store((g << 32) | g, Ordering::SeqCst);
+                }
+            })
+        };
+        let seen = gen.load(Ordering::SeqCst);
+        writer.join().unwrap();
+        assert_eq!(seen >> 32, seen & 0xFFFF_FFFF, "single word cannot tear");
+    });
+    report.assert_ok();
+    assert!(
+        report.exhausted,
+        "the fixed torn-counter config is small enough to exhaust"
+    );
+}

@@ -1,0 +1,31 @@
+//! The workspace must stay clean under `tn-check lint`: every Relaxed
+//! ordering, atomic construction, condvar wait, unsafe block, and
+//! detached spawn carries its contract comment (or a deliberate,
+//! justified pragma). New concurrency code that skips the discipline
+//! fails this test before it fails in CI.
+
+use std::path::Path;
+use tn_check::lint::lint_workspace;
+use tn_core::Diagnostic;
+
+#[test]
+fn workspace_has_no_concurrency_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels under the workspace root");
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let summary = lint_workspace(root, &mut findings).expect("workspace scan");
+    assert!(
+        summary.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        summary.files_scanned
+    );
+    let rendered: Vec<String> = findings.iter().map(|d| d.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "tn-check lint found {} finding(s):\n{}",
+        findings.len(),
+        rendered.join("\n")
+    );
+}

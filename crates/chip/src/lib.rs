@@ -32,6 +32,7 @@ pub mod energy;
 pub mod mesh;
 pub mod router;
 pub mod stream;
+pub(crate) mod sync;
 pub mod timing;
 pub mod tnsim;
 pub mod voltage;

@@ -11,9 +11,9 @@
 //! silently stalling the tick loop, mirroring how the real periphery
 //! sheds load rather than missing its synchronization deadline.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use tn_core::{CoreId, InjectError, SpikeSource, AXONS_PER_CORE};
 
 /// Outcome of one [`Injector::offer`] batch.
@@ -36,6 +36,10 @@ struct QueueInner {
 struct Shared {
     queue: Mutex<QueueInner>,
     /// The next tick the consumer will fill — events below it are stale.
+    // sync: store(Release) in fill pairs with load(Acquire) in offer;
+    // a racing offer that reads the pre-bump sweep enqueues a stale
+    // event, which the next fill's sweep loop sheds and counts, so
+    // accounting stays conservative either way (model-checked).
     sweep: AtomicU64,
     capacity: usize,
     num_cores: usize,
@@ -57,6 +61,8 @@ pub struct Injector {
 pub fn stream_channel(num_cores: usize, capacity: usize) -> (StreamSource, Injector) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueInner::default()),
+        // sync: see Shared.sweep — Release store in fill, Acquire load
+        // in offer, stale races shed-and-counted.
         sweep: AtomicU64::new(0),
         capacity: capacity.max(1),
         num_cores,
@@ -244,5 +250,96 @@ mod tests {
         }
         assert_eq!(delivered + inj.dropped(), 200, "every event accounted");
         assert_eq!(inj.pending(), 0);
+    }
+}
+
+/// Model-checked protocol tests (run with `RUSTFLAGS="--cfg tn_check"`):
+/// concurrent offers racing the consumer's sweep across interleavings,
+/// with conservation (delivered + dropped + pending == offered) asserted
+/// in every schedule, plus a small exhaustive DFS configuration.
+#[cfg(all(test, tn_check))]
+mod model_tests {
+    use super::*;
+
+    fn schedules(default: u64) -> u64 {
+        std::env::var("TN_CHECK_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Two producers, a tiny capacity, and a consumer sweeping past the
+    /// producers' target ticks — every admit/shed path is reachable.
+    fn race_once() {
+        let (mut src, inj) = stream_channel(4, 2);
+        let handles: Vec<_> = (0..2u32)
+            .map(|p| {
+                let inj = inj.clone();
+                tn_check::thread::spawn(move || {
+                    let mut offered = 0u64;
+                    for i in 0..2u64 {
+                        let o = inj.offer(&[(i, CoreId(p), i as u16)]).unwrap();
+                        offered += (o.accepted + o.dropped) as u64;
+                    }
+                    offered
+                })
+            })
+            .collect();
+        let mut delivered = 0u64;
+        let mut out = Vec::new();
+        for t in 0..2 {
+            out.clear();
+            src.fill(t, &mut out);
+            delivered += out.len() as u64;
+        }
+        let offered: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(offered, 4, "offer outcomes must cover the whole batch");
+        // Anything not delivered was either shed (stale/overflow) or is
+        // still pending a future tick — never silently lost.
+        assert_eq!(
+            delivered + inj.dropped() + inj.pending() as u64,
+            4,
+            "event accounting must be conserved"
+        );
+    }
+
+    #[test]
+    fn model_stream_accounting_is_conserved() {
+        let n = schedules(400);
+        let report = tn_check::check_random(&tn_check::Config::default(), n, 0x57_2EA1, race_once);
+        report.assert_ok();
+        assert_eq!(report.schedules, n);
+        println!(
+            "model_stream_accounting: {} clean schedules",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn model_stream_smallest_config_dfs() {
+        // One producer, one event, capacity 1: small enough to sweep
+        // the whole schedule space exhaustively.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let (mut src, inj) = stream_channel(1, 1);
+            let inj2 = inj.clone();
+            let h = tn_check::thread::spawn(move || {
+                let o = inj2.offer(&[(0, CoreId(0), 3)]).unwrap();
+                (o.accepted + o.dropped) as u64
+            });
+            let mut out = Vec::new();
+            src.fill(0, &mut out);
+            let offered = h.join().unwrap();
+            assert_eq!(offered, 1);
+            assert_eq!(
+                out.len() as u64 + inj.dropped() + inj.pending() as u64,
+                1,
+                "event accounting must be conserved"
+            );
+        });
+        report.assert_ok();
+        println!(
+            "model_stream_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
     }
 }

@@ -24,6 +24,7 @@ pub mod parallel;
 pub mod partition;
 pub mod reference;
 pub mod session;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use output::{OutputEvent, SpikeRecord};

@@ -44,8 +44,8 @@
 
 use crate::output::{OutputEvent, SpikeRecord};
 use crate::partition::{owner_of, weighted_split_points};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
 use tn_core::nscore::NeurosynapticCore;
@@ -92,6 +92,11 @@ struct CoreBase(*mut NeurosynapticCore);
 // `run_job` until every worker has passed the end-of-job barrier; each
 // worker touches only its own contiguous range.
 unsafe impl Send for CoreBase {}
+// SAFETY: shared `CoreBase` references only copy the raw pointer; every
+// dereference happens through a worker's disjoint starts[k]..starts[k+1]
+// slice, and the end-of-job barrier in `run_ticks` orders all slice
+// accesses before `run_job` returns the array to `ParallelSim`. Under
+// `cfg(tn_check)` this contract is asserted via `active_slices`.
 unsafe impl Sync for CoreBase {}
 
 /// One `run()` call's worth of work, published to the pool.
@@ -140,6 +145,14 @@ struct PoolShared {
     barrier_wait_ns: Arc<Histogram>,
     /// Packets drained from a worker's mailbox column per tick.
     mailbox_packets: Arc<Histogram>,
+    /// Model-checking only: how many workers currently hold a
+    /// raw-pointer-derived slice of the job's core array. The checker
+    /// asserts it returns to zero before `run_job` hands the array
+    /// back — the happens-before contract behind `CoreBase`'s
+    /// `unsafe impl Sync`.
+    // sync: checker-only instrumentation counter; SeqCst in the model.
+    #[cfg(tn_check)]
+    active_slices: AtomicUsize,
 }
 
 /// A spawned worker pool: `starts.len()` participants, of which
@@ -147,7 +160,7 @@ struct PoolShared {
 /// remaining one is whichever thread calls [`ParallelSim::run`].
 struct WorkerPool {
     shared: Arc<PoolShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 /// Histogram handles owned by the simulator so the recorded series
@@ -198,18 +211,32 @@ impl WorkerPool {
             mailboxes: [mailbox(), mailbox()],
             global_queue: Mutex::new(Vec::new()),
             input: Mutex::new(Vec::new()),
+            // sync: store(Release) by worker 0 pairs with load(Acquire)
+            // in every worker after barrier (1); the barrier itself
+            // already orders the write, the Release/Acquire pair makes
+            // the quiet-tick fast path self-contained.
             input_len: AtomicUsize::new(0),
             merged: Mutex::new((TickStats::default(), Vec::new())),
             fault_merged: Mutex::new(FaultCounters::default()),
+            // sync: monotone drop counter; written by worker 0 only,
+            // read/reset by the coordinator after the end-of-job
+            // barrier, so Relaxed suffices.
             dropped: AtomicU64::new(0),
             barrier_wait_ns: Arc::clone(&metrics.barrier_wait_ns),
             mailbox_packets: Arc::clone(&metrics.mailbox_packets),
+            // sync: model-only audit of the CoreBase Sync contract —
+            // incremented when a worker forms its slice, decremented
+            // before the end-of-job barrier, asserted zero in run_job.
+            #[cfg(tn_check)]
+            active_slices: AtomicUsize::new(0),
         });
 
         let handles = (1..n)
             .map(|k| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(k, &shared))
+                // sync: joined in WorkerPool::drop after the shutdown
+                // generation is published.
+                thread::spawn(move || worker_loop(k, &shared))
             })
             .collect();
         WorkerPool { shared, handles }
@@ -227,6 +254,15 @@ impl WorkerPool {
         // completion wait: when worker 0 returns, every worker has merged
         // its results and stopped touching the job's core array.
         run_ticks(0, &self.shared, &job, Some(src));
+        // Model-checked form of the CoreBase Sync contract: by the time
+        // run_job returns, no worker may still hold a slice of the core
+        // array.
+        #[cfg(tn_check)]
+        assert_eq!(
+            self.shared.active_slices.load(Ordering::SeqCst),
+            0,
+            "worker still holds a core slice after the end-of-job barrier"
+        );
     }
 }
 
@@ -255,6 +291,15 @@ fn worker_loop(k: usize, shared: &PoolShared) {
                     return;
                 }
                 if slot.generation > seen {
+                    // Workers must observe every published generation:
+                    // the end-of-job barrier keeps the pool in lockstep,
+                    // so a skipped generation means a handshake bug.
+                    #[cfg(tn_check)]
+                    assert_eq!(
+                        slot.generation,
+                        seen + 1,
+                        "worker {k} skipped a pool generation"
+                    );
                     seen = slot.generation;
                     break slot.job.clone().expect("generation bumped without job");
                 }
@@ -285,6 +330,8 @@ fn run_ticks(
     // workers and the array outlives the job (see `CoreBase`).
     let my_cores: &mut [NeurosynapticCore] =
         unsafe { std::slice::from_raw_parts_mut(job.cores.0.add(my_lo), my_hi - my_lo) };
+    #[cfg(tn_check)]
+    shared.active_slices.fetch_add(1, Ordering::SeqCst);
     let my_offset = my_lo as u32;
     let mode = job.mode;
 
@@ -335,6 +382,8 @@ fn run_ticks(
             inp.retain(|(core, _)| core.index() < job.num_cores);
             let bad = (before - inp.len()) as u64;
             if bad > 0 {
+                // sync: see PoolShared.dropped — single writer, read
+                // after the end-of-job barrier.
                 shared.dropped.fetch_add(bad, Ordering::Relaxed);
             }
             shared.input_len.store(inp.len(), Ordering::Release);
@@ -450,6 +499,10 @@ fn run_ticks(
         m.0 += local_stats;
         m.1.append(&mut local_out);
     }
+    // The slice is dead from here on; the release must precede the
+    // end-of-job barrier so `run_job`'s zero-check observes it.
+    #[cfg(tn_check)]
+    shared.active_slices.fetch_sub(1, Ordering::SeqCst);
     shared.barrier.wait(); // end-of-job: results merged, core array released
 }
 
@@ -651,6 +704,8 @@ impl ParallelSim {
             (totals, std::mem::take(&mut m.1))
         };
         let fault_counters = std::mem::take(&mut *pool.shared.fault_merged.lock().unwrap());
+        // sync: the end-of-job barrier inside run_job already ordered
+        // worker 0's writes before this read-and-reset.
         self.dropped_inputs += pool.shared.dropped.swap(0, Ordering::Relaxed);
         if let Some(f) = &mut self.faults {
             // Workers already applied the structural mutations to the
@@ -841,5 +896,85 @@ mod tests {
     fn threads_clamped_to_core_count() {
         let sim = ParallelSim::new(stochastic_net(2, 1, 0), 64);
         assert_eq!(sim.threads(), 2);
+    }
+}
+
+/// Model-checked protocol tests (run with `RUSTFLAGS="--cfg tn_check"`):
+/// the pool's generation/condvar handshake, per-tick barriers, mailbox
+/// exchange, and shutdown are explored across thousands of thread
+/// interleavings, with the `CoreBase` happens-before contract and the
+/// no-skipped-generation invariant asserted inside the model.
+#[cfg(all(test, tn_check))]
+mod model_tests {
+    use super::*;
+    use crate::reference::ReferenceSim;
+    use tn_core::network::NullSource;
+    use tn_core::{CoreConfig, CoreId, NetworkBuilder, NeuronConfig, SpikeTarget};
+
+    /// Schedules per protocol; CI raises this via the environment.
+    fn schedules(default: u64) -> u64 {
+        std::env::var("TN_CHECK_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Two cores, a handful of stochastic neurons each, cross-core
+    /// targets — small enough to model-check, busy enough to exercise
+    /// the mailbox exchange every tick.
+    fn tiny_net() -> Network {
+        let mut b = NetworkBuilder::new(2, 1, 7);
+        for c in 0..2u32 {
+            let mut cfg = CoreConfig::new();
+            for j in 0..8usize {
+                cfg.neurons[j] = NeuronConfig::stochastic_source(64);
+                cfg.neurons[j].weights = [0; 4];
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(1 - c),
+                    ((j * 11 + c as usize) % 256) as u8,
+                    1 + (j % 3) as u8,
+                ));
+            }
+            b.add_core(cfg);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn model_pool_handshake_reaches_reference_digest() {
+        let expected = {
+            let mut sim = ReferenceSim::new(tiny_net());
+            sim.run(2, &mut NullSource);
+            sim.network().state_digest()
+        };
+        let n = schedules(400);
+        let report = tn_check::check_random(&tn_check::Config::default(), n, 0xC0FFEE, || {
+            let mut sim = ParallelSim::new(tiny_net(), 2);
+            // Two runs on one pool: generation 1 then 2, exercising
+            // handshake reuse; dropping the sim model-checks shutdown.
+            sim.run(1, &mut NullSource);
+            sim.run(1, &mut NullSource);
+            assert_eq!(sim.network().state_digest(), expected, "digest diverged");
+        });
+        report.assert_ok();
+        assert_eq!(report.schedules, n);
+        println!("model_pool_handshake: {} clean schedules", report.schedules);
+    }
+
+    #[test]
+    fn model_global_queue_mode_holds_too() {
+        let expected = {
+            let mut sim = ReferenceSim::new(tiny_net());
+            sim.run(2, &mut NullSource);
+            sim.network().state_digest()
+        };
+        let n = schedules(400) / 4;
+        let report = tn_check::check_random(&tn_check::Config::default(), n, 0x5EED, || {
+            let mut sim = ParallelSim::with_mode(tiny_net(), 2, AggregationMode::GlobalQueue);
+            sim.run(2, &mut NullSource);
+            assert_eq!(sim.network().state_digest(), expected, "digest diverged");
+        });
+        report.assert_ok();
+        println!("model_global_queue: {} clean schedules", report.schedules);
     }
 }

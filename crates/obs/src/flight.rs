@@ -8,8 +8,8 @@
 //! are ignored by the schema checker), so one `GetMetrics` scrape is a
 //! complete post-mortem dump.
 
+use crate::sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// One tick's worth of spike/queue/deadline state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

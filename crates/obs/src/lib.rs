@@ -21,12 +21,15 @@
 //!   ticks of spike/queue/deadline state for post-mortem dumps.
 //!
 //! Consistent with the PR-1 zero-dependency rule, this crate uses only
-//! `std`.
+//! `std` (plus the in-workspace `tn-check` shims under `--cfg
+//! tn_check`, where the counter synchronisation protocol is
+//! model-checked).
 
 pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub(crate) mod sync;
 
 pub use flight::{FlightRecorder, TickFrame};
 pub use metrics::{Counter, Gauge, Histogram};

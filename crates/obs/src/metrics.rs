@@ -6,7 +6,7 @@
 //! metrics are statistical reads, not synchronization edges — the tick
 //! loops already carry their own barriers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonic counter.
 ///
@@ -20,6 +20,8 @@ pub struct Counter(AtomicU64);
 
 impl Counter {
     pub fn new() -> Self {
+        // sync: a counter is a statistical total, never a
+        // synchronization edge — every access below is Relaxed.
         Self(AtomicU64::new(0))
     }
 
@@ -28,15 +30,23 @@ impl Counter {
     }
 
     pub fn add(&self, n: u64) {
+        // sync: Relaxed — per-atomic modification order still totals
+        // concurrent adds exactly; no other memory is published.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Synchronise to an external monotonic total (never moves backwards).
     pub fn set(&self, total: u64) {
+        // sync: Relaxed fetch_max — monotonicity comes from the RMW
+        // itself, not from ordering: a stale publisher's max can only
+        // lose (model-checked in model_tests below).
         self.0.fetch_max(total, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
+        // sync: Relaxed — a scrape may lag concurrent updates, but the
+        // single-atomic modification order keeps repeated reads from
+        // one thread monotonic.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -47,14 +57,18 @@ pub struct Gauge(AtomicU64);
 
 impl Gauge {
     pub fn new() -> Self {
+        // sync: last-write-wins telemetry value; all access Relaxed.
         Self(AtomicU64::new(0f64.to_bits()))
     }
 
     pub fn set(&self, v: f64) {
+        // sync: Relaxed store — last writer wins; racing setters are a
+        // data-quality question, not a memory-safety one.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     pub fn get(&self) -> f64 {
+        // sync: Relaxed — see set(); reads never order other memory.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -83,6 +97,9 @@ impl Histogram {
         );
         Self {
             bounds: bounds.to_vec(),
+            // sync: independent Relaxed atomics; a scrape racing
+            // observe() may see a sum without its bucket for one
+            // reading (documented above), never a torn value.
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
@@ -104,16 +121,21 @@ impl Histogram {
 
     pub fn observe(&self, v: u64) {
         let idx = self.bounds.partition_point(|&b| b < v);
+        // sync: three Relaxed RMWs with no cross-field ordering — each
+        // total is exact once writers quiesce; mid-flight scrapes may
+        // catch one field ahead of another.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
+        // sync: Relaxed telemetry read; see observe().
         self.count.load(Ordering::Relaxed)
     }
 
     pub fn sum(&self) -> u64 {
+        // sync: Relaxed telemetry read; see observe().
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -123,6 +145,7 @@ impl Histogram {
 
     /// Per-bucket (non-cumulative) counts, `+Inf` tail last.
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // sync: Relaxed telemetry reads; see observe().
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -194,5 +217,93 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 4000);
+    }
+}
+
+/// Model-checked protocol tests (run with `RUSTFLAGS="--cfg tn_check"`):
+/// the counter monotonic-set protocol — `set` (fetch_max sync from an
+/// external total) racing `add` and readers — explored across
+/// interleavings, including an exhaustive DFS of the small config.
+#[cfg(all(test, tn_check))]
+mod model_tests {
+    use super::*;
+    use crate::sync::Arc;
+
+    fn schedules(default: u64) -> u64 {
+        std::env::var("TN_CHECK_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// One publisher syncing to total 10, one publisher syncing to a
+    /// stale total 7 then adding 5 of its own, and a reader checking
+    /// monotonicity. The max-based set admits exactly two final values:
+    /// 15 (both maxes land before the add) or 12 (the add lands between
+    /// the stale max and the fresh one, so max(12, 10) keeps 12).
+    fn monotonic_set_race() {
+        let c = Arc::new(Counter::new());
+        let fresh = {
+            let c = Arc::clone(&c);
+            tn_check::thread::spawn(move || c.set(10))
+        };
+        let stale = {
+            let c = Arc::clone(&c);
+            tn_check::thread::spawn(move || {
+                c.set(7);
+                c.add(5);
+            })
+        };
+        let reader = {
+            let c = Arc::clone(&c);
+            tn_check::thread::spawn(move || {
+                let r1 = c.get();
+                let r2 = c.get();
+                assert!(r2 >= r1, "counter regressed between reads: {r1} -> {r2}");
+            })
+        };
+        fresh.join().unwrap();
+        stale.join().unwrap();
+        reader.join().unwrap();
+        let v = c.get();
+        assert!(v == 12 || v == 15, "unexpected final counter value {v}");
+    }
+
+    #[test]
+    fn model_counter_monotonic_set() {
+        let n = schedules(400);
+        let report = tn_check::check_random(
+            &tn_check::Config::default(),
+            n,
+            0x00B5_C0DE,
+            monotonic_set_race,
+        );
+        report.assert_ok();
+        assert_eq!(report.schedules, n);
+        println!(
+            "model_counter_monotonic_set: {} clean schedules",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn model_counter_monotonic_set_dfs() {
+        // Publishers only (no reader thread): small enough to sweep
+        // the whole schedule space exhaustively.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let c = Arc::new(Counter::new());
+            let c2 = Arc::clone(&c);
+            let fresh = tn_check::thread::spawn(move || c2.set(10));
+            c.set(7);
+            c.add(5);
+            fresh.join().unwrap();
+            let v = c.get();
+            assert!(v == 12 || v == 15, "unexpected final counter value {v}");
+        });
+        report.assert_ok();
+        println!(
+            "model_counter_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
     }
 }

@@ -9,8 +9,8 @@
 //! schema checker used by CI's `obs-smoke` job and the integration
 //! tests.
 
+use crate::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
 
 use crate::metrics::{Counter, Gauge, Histogram};
 

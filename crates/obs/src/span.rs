@@ -83,9 +83,10 @@ impl TickObserver for NullObserver {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::Arc;
 
+    // sync: test-only call tallies; Relaxed suffices for counting.
     #[derive(Default)]
     struct CountingObserver {
         starts: AtomicU64,
@@ -96,12 +97,15 @@ mod tests {
 
     impl TickObserver for CountingObserver {
         fn on_tick_start(&self, _tick: u64) {
+            // sync: Relaxed test tally.
             self.starts.fetch_add(1, Ordering::Relaxed);
         }
         fn on_phase(&self, _tick: u64, _phase: TickPhase) {
+            // sync: Relaxed test tally.
             self.phases.fetch_add(1, Ordering::Relaxed);
         }
         fn on_tick_end(&self, summary: &TickSummary) {
+            // sync: Relaxed test tallies.
             self.ends.fetch_add(1, Ordering::Relaxed);
             self.spikes.fetch_add(summary.spikes_out, Ordering::Relaxed);
         }
@@ -119,6 +123,7 @@ mod tests {
             spikes_out: 3,
             ..Default::default()
         });
+        // sync: Relaxed test-tally reads; no concurrency in this test.
         assert_eq!(obs.starts.load(Ordering::Relaxed), 1);
         assert_eq!(obs.phases.load(Ordering::Relaxed), 2);
         assert_eq!(obs.ends.load(Ordering::Relaxed), 1);

@@ -1,0 +1,20 @@
+//! Alias module for the observability layer's concurrency primitives.
+//!
+//! Production builds alias straight to `std`; under `--cfg tn_check`
+//! they route through the `tn-check` shims so the counter/gauge
+//! monotonic-set protocol can be model-checked. `tn-check lint`
+//! (TN025) flags any bypass back to `std::sync`.
+
+#[cfg(not(tn_check))]
+pub(crate) use std::sync::{Arc, Mutex};
+#[cfg(tn_check)]
+pub(crate) use tn_check::sync::{Arc, Mutex};
+
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::Ordering;
+
+    #[cfg(not(tn_check))]
+    pub(crate) use std::sync::atomic::AtomicU64;
+    #[cfg(tn_check)]
+    pub(crate) use tn_check::sync::atomic::AtomicU64;
+}

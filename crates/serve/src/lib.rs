@@ -37,6 +37,7 @@ pub mod resilient;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub(crate) mod sync;
 
 pub use client::{Client, ClientError};
 pub use protocol::{

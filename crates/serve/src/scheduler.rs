@@ -18,7 +18,7 @@
 //! actually dropped.
 
 use crate::protocol::Pace;
-use std::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Time source a [`TickScheduler`] paces against. Production uses

@@ -22,12 +22,12 @@ use crate::protocol::{
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::session::{spawn_session, Cmd, Outbound, SessionConfig, SessionHandle};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tn_compass::{KernelSession, ParallelSim, ReferenceSim};
 use tn_core::{modelfile, LintConfig, Network, NetworkBuilder};
@@ -149,6 +149,9 @@ impl Server {
         Ok(Server {
             listener,
             registry: Arc::new(Registry::new(cfg.max_sessions)),
+            // sync: store(Release) in shutdown()/Drop pairs with
+            // load(Acquire) in the acceptor loop and every FrameReader,
+            // ordering all pre-shutdown writes before the readers exit.
             shutdown: Arc::new(AtomicBool::new(false)),
             cfg,
         })
@@ -191,6 +194,10 @@ impl Server {
                         registry: Arc::clone(&self.registry),
                         shutdown: Arc::clone(&self.shutdown),
                     };
+                    // sync: deliberately detached — a connection thread
+                    // exits when its peer hangs up or the shutdown flag
+                    // flips (FrameReader checks it between reads), and
+                    // it joins its own writer before returning.
                     let _ = std::thread::Builder::new()
                         .name("tn-serve-conn".to_string())
                         .spawn(move || conn.serve(stream));
@@ -566,4 +573,104 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outbound>) {
         }
     }
     let _ = stream.flush();
+}
+
+/// Model-checked protocol tests (run with `RUSTFLAGS="--cfg tn_check"`):
+/// the session-registry eviction protocol — a driver's exit
+/// (`closed.store(true, Release)`) racing registry readers — explored
+/// across interleavings, plus a small exhaustive DFS configuration for
+/// the handle-close vs. command-send race.
+#[cfg(all(test, tn_check))]
+mod model_tests {
+    use super::*;
+    use crate::session::model_handle;
+
+    fn schedules(default: u64) -> u64 {
+        std::env::var("TN_CHECK_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A budget-1 registry holding one session whose "driver" exits
+    /// concurrently with a lookup. Whatever the interleaving, once the
+    /// close is complete the registry must reap the entry and admit a
+    /// same-name replacement — the lazy-eviction contract `Connection::
+    /// create_session` depends on.
+    fn eviction_race() {
+        let reg = Arc::new(Registry::new(1));
+        let (h1, closed1, _rx1) = model_handle("a");
+        reg.insert(h1).expect("first insert fits the budget");
+        let closer = tn_check::thread::spawn(move || {
+            // The driver's exit protocol: flip closed, last.
+            closed1.store(true, Ordering::Release);
+        });
+        let reader = {
+            let reg = Arc::clone(&reg);
+            tn_check::thread::spawn(move || {
+                // A racing lookup sees the session either live or
+                // already reaped — both fine; it must never deadlock
+                // or observe a half-closed handle that panics.
+                if let Some(h) = reg.get("a") {
+                    let _ = h.is_closed();
+                }
+            })
+        };
+        closer.join().unwrap();
+        reader.join().unwrap();
+        assert!(
+            reg.get("a").is_none(),
+            "a closed session must be reaped on the next lookup"
+        );
+        let (h2, _c2, _rx2) = model_handle("a");
+        reg.insert(h2)
+            .expect("eviction must free the budget for a replacement");
+    }
+
+    #[test]
+    fn model_registry_eviction_races_close() {
+        let n = schedules(400);
+        let report =
+            tn_check::check_random(&tn_check::Config::default(), n, 0x5E55_10E5, eviction_race);
+        report.assert_ok();
+        assert_eq!(report.schedules, n);
+        println!(
+            "model_registry_eviction: {} clean schedules",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn model_handle_close_vs_send_dfs() {
+        // Smallest config, explored exhaustively: a command send racing
+        // the driver's exit (receiver drop, then closed flip). The send
+        // may win or lose, but after the close is complete every send
+        // must fail cleanly with SessionGone — never panic or hang.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let (h, closed, rx) = model_handle("s");
+            let sender = {
+                let h = h.clone();
+                tn_check::thread::spawn(move || {
+                    let (reply, _keep) = mpsc::channel();
+                    let _ = h.send(Cmd::Stats { reply });
+                })
+            };
+            let closer = tn_check::thread::spawn(move || {
+                drop(rx); // driver gone
+                closed.store(true, Ordering::Release);
+            });
+            sender.join().unwrap();
+            closer.join().unwrap();
+            let (reply, _keep) = mpsc::channel();
+            assert!(
+                h.send(Cmd::Stats { reply }).is_err(),
+                "sends after a completed close must report SessionGone"
+            );
+        });
+        report.assert_ok();
+        println!(
+            "model_close_vs_send_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
+    }
 }

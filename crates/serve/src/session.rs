@@ -22,10 +22,10 @@
 
 use crate::protocol::{ErrorCode, Health, Pace, Response, SessionStats, TickUpdate};
 use crate::scheduler::{PaceOutcome, TickScheduler};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
 use std::time::Duration;
 use tn_chip::stream::{stream_channel, Injector, StreamSource};
 use tn_compass::KernelSession;
@@ -153,6 +153,11 @@ pub fn spawn_session(
 ) -> SessionHandle {
     let (cmd_tx, cmd_rx) = mpsc::channel();
     let (source, injector) = stream_channel(sim.network().num_cores(), cfg.input_capacity);
+    // sync: the driver's store(true, Release) on exit pairs with
+    // load(Acquire) in is_closed(), ordering the driver's final state
+    // before any caller that observes the handle as closed — so a
+    // handle seen closed is safe for the registry to reap and replace
+    // (model-checked in server::model_tests).
     let closed = Arc::new(AtomicBool::new(false));
     let handle = SessionHandle {
         name: name.clone(),
@@ -171,6 +176,9 @@ pub fn spawn_session(
         run_queue: VecDeque::new(),
         obs: SessionObs::new(cfg.flight_capacity),
     };
+    // sync: deliberately detached — the driver self-terminates on
+    // Close, idle timeout, or all handles dropping, and its last act
+    // is the closed.store(true, Release) the registry reaps on.
     std::thread::Builder::new()
         .name(format!("tn-session-{}", driver.name))
         .spawn(move || {
@@ -179,6 +187,25 @@ pub fn spawn_session(
         })
         .expect("spawn session driver");
     handle
+}
+
+/// Model-checking constructor: a handle with no driver thread. The
+/// test plays the driver — it gets the `closed` flag to flip (the
+/// driver's exit protocol) and the command receiver so `send` works.
+#[cfg(all(tn_check, test))]
+pub(crate) fn model_handle(name: &str) -> (SessionHandle, Arc<AtomicBool>, Receiver<Cmd>) {
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let (_source, injector) = stream_channel(1, 4);
+    // sync: see spawn_session — the model test flips this flag in the
+    // driver's stead.
+    let closed = Arc::new(AtomicBool::new(false));
+    let handle = SessionHandle {
+        name: name.to_string(),
+        cmd: cmd_tx,
+        injector,
+        closed: Arc::clone(&closed),
+    };
+    (handle, closed, cmd_rx)
 }
 
 /// A session's observability state: its own metrics registry (sessions

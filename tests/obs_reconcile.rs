@@ -12,6 +12,9 @@
 //! with `RunStats`, `FaultCounters`, and the fast-path tier tallies,
 //! field by field.
 
+// tn-check: allow(TN020) — test-only audit tallies, read after the
+// single-threaded run has completed.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tn_apps::recurrent::{build_recurrent, RecurrentParams};
