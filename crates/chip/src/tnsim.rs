@@ -595,7 +595,7 @@ impl tn_compass::KernelSession for TrueNorthSim {
         TrueNorthSim::dropped_inputs(self)
     }
 
-    fn checkpoint(&self) -> tn_core::NetworkSnapshot {
+    fn checkpoint(&mut self) -> tn_core::NetworkSnapshot {
         TrueNorthSim::checkpoint(self)
     }
 

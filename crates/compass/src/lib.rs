@@ -29,7 +29,7 @@ pub mod trace;
 
 pub use output::{OutputEvent, SpikeRecord};
 pub use parallel::{AggregationMode, ParallelSim, PoolMode};
-pub use partition::weighted_split_points;
+pub use partition::{owner_of, weighted_split_points};
 pub use reference::ReferenceSim;
 pub use session::{publish_common, KernelSession};
 pub use trace::SpikeTrace;

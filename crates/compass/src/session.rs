@@ -45,8 +45,10 @@ pub trait KernelSession: Send {
     /// targets), excluding drops upstream in any injection queue.
     fn dropped_inputs(&self) -> u64;
 
-    /// Capture dynamic state at the current tick boundary.
-    fn checkpoint(&self) -> NetworkSnapshot;
+    /// Capture dynamic state at the current tick boundary. Takes `&mut
+    /// self` because a distributed expression must first flush in-flight
+    /// boundary traffic so the snapshot equals the single-process state.
+    fn checkpoint(&mut self) -> NetworkSnapshot;
 
     /// Restore dynamic state; the tick counter resumes from the
     /// snapshot's tick. The snapshot must match the network shape.
@@ -56,6 +58,24 @@ pub trait KernelSession: Send {
     /// this expression carries an energy model.
     fn energy_j(&self) -> Option<f64> {
         None
+    }
+
+    /// Digest of all dynamic state at the current tick boundary (see
+    /// [`Network::state_digest`]). Takes `&mut self` for the same reason
+    /// as [`KernelSession::checkpoint`]: a distributed expression flushes
+    /// boundary traffic before observing its state.
+    fn state_digest(&mut self) -> u64 {
+        self.network().state_digest()
+    }
+
+    /// Cores currently disabled (dead-core faults); drives session
+    /// health reporting without the host scanning the network itself.
+    fn disabled_cores(&self) -> usize {
+        self.network()
+            .cores()
+            .iter()
+            .filter(|c| c.is_disabled())
+            .count()
     }
 
     /// Attach a scheduled fault plan. The fault semantics are part of
@@ -159,7 +179,7 @@ impl KernelSession for ReferenceSim {
         ReferenceSim::dropped_inputs(self)
     }
 
-    fn checkpoint(&self) -> NetworkSnapshot {
+    fn checkpoint(&mut self) -> NetworkSnapshot {
         ReferenceSim::checkpoint(self)
     }
 
@@ -218,7 +238,7 @@ impl KernelSession for ParallelSim {
         ParallelSim::dropped_inputs(self)
     }
 
-    fn checkpoint(&self) -> NetworkSnapshot {
+    fn checkpoint(&mut self) -> NetworkSnapshot {
         ParallelSim::checkpoint(self)
     }
 

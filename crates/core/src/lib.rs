@@ -56,7 +56,9 @@ pub use delay::DelayBuffer;
 pub use fastpath::{FastPathConfig, TierCounters};
 pub use fault::{FaultCounters, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultState};
 pub use lint::{Diagnostic, DiagnosticSink, LintConfig, Severity, VerifyError};
-pub use network::{InjectError, Network, NetworkBuilder, ScheduledSource, SpikeSource};
+pub use network::{
+    fold_state_digest, InjectError, Network, NetworkBuilder, ScheduledSource, SpikeSource,
+};
 pub use neuron::{NeuronConfig, ResetMode};
 pub use nscore::{CoreConfig, NeurosynapticCore};
 pub use prng::CorePrng;

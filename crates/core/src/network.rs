@@ -233,13 +233,21 @@ impl Network {
     /// events) — equality of digests across expressions is the
     /// spike-for-spike regression criterion.
     pub fn state_digest(&self) -> u64 {
-        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
-        for c in &self.cores {
-            h ^= c.state_digest();
-            h = h.rotate_left(13).wrapping_mul(0x1000_0000_01b3);
-        }
-        h
+        fold_state_digest(self.cores.iter().map(|c| c.state_digest()))
     }
+}
+
+/// Fold per-core state digests (in ascending core order) into the
+/// network-level digest — the same fold [`Network::state_digest`] uses,
+/// exposed so a distributed coordinator can combine digests gathered
+/// from shard workers without materializing the whole network locally.
+pub fn fold_state_digest(core_digests: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for d in core_digests {
+        h ^= d;
+        h = h.rotate_left(13).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 /// Builder for [`Network`].

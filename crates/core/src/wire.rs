@@ -198,6 +198,196 @@ pub fn read_input_events(r: &mut ByteReader<'_>) -> Result<Vec<InputEvent>, Wire
     Ok(out)
 }
 
+/// Length-prefixed, CRC-guarded frame codec — the one framing path shared
+/// by the `tn-serve` client/server protocol and the `tn-shard`
+/// boundary-spike exchange (one codec, two callers).
+///
+/// Frame layout on the wire:
+///
+/// ```text
+/// | len: u32 LE | version: u8 | opcode: u8 | payload (len bytes) | crc32: u32 LE |
+/// ```
+///
+/// `len` covers the payload only; the CRC-32 (IEEE, the zlib/PNG
+/// polynomial) covers `version ++ opcode ++ payload` — everything the
+/// length prefix does not already guard. Version and opcode semantics
+/// belong to the caller; this module only moves and checks bytes.
+pub mod framed {
+    use super::WireError;
+    use std::io::{self, Read, Write};
+
+    /// Bytes in the fixed frame header (`len | version | opcode`).
+    pub const HEADER_BYTES: usize = 6;
+    /// Bytes in the CRC trailer after the payload.
+    pub const TRAILER_BYTES: usize = 4;
+
+    const CRC_TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+
+    fn crc_update(mut crc: u32, bytes: &[u8]) -> u32 {
+        for &b in bytes {
+            crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        crc
+    }
+
+    /// CRC-32/IEEE of `bytes` (init and xorout `0xFFFF_FFFF`, reflected).
+    pub fn crc32(bytes: &[u8]) -> u32 {
+        crc_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+    }
+
+    fn frame_crc(version: u8, opcode: u8, payload: &[u8]) -> u32 {
+        crc_update(crc_update(0xFFFF_FFFF, &[version, opcode]), payload) ^ 0xFFFF_FFFF
+    }
+
+    /// The decoded fixed header of one frame.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct FrameHeader {
+        pub version: u8,
+        pub opcode: u8,
+        /// Payload length in bytes (excludes header and CRC trailer).
+        pub len: u32,
+    }
+
+    /// Decode the fixed header. Infallible: any 6 bytes parse; validation
+    /// of version and length caps is the caller's policy.
+    pub fn read_header(hdr: &[u8; HEADER_BYTES]) -> FrameHeader {
+        FrameHeader {
+            len: u32::from_le_bytes(hdr[0..4].try_into().unwrap()),
+            version: hdr[4],
+            opcode: hdr[5],
+        }
+    }
+
+    /// Encode one whole frame (header + payload + CRC trailer).
+    pub fn encode_frame(version: u8, opcode: u8, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len() + TRAILER_BYTES);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.push(version);
+        buf.push(opcode);
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&frame_crc(version, opcode, payload).to_le_bytes());
+        buf
+    }
+
+    /// Check the CRC trailer of a frame body (the `len + TRAILER_BYTES`
+    /// bytes that follow the header) and return the payload slice.
+    pub fn verify_body<'a>(h: &FrameHeader, body: &'a [u8]) -> Result<&'a [u8], WireError> {
+        if body.len() != h.len as usize + TRAILER_BYTES {
+            return Err(WireError {
+                offset: body.len(),
+                what: "frame body length disagrees with header",
+            });
+        }
+        let (payload, trailer) = body.split_at(h.len as usize);
+        let got = u32::from_le_bytes(trailer.try_into().unwrap());
+        if got != frame_crc(h.version, h.opcode, payload) {
+            return Err(WireError {
+                offset: h.len as usize,
+                what: "frame CRC mismatch",
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Split one complete in-memory frame into `(header, payload)`,
+    /// verifying the CRC trailer.
+    pub fn split_frame(buf: &[u8]) -> Result<(FrameHeader, &[u8]), WireError> {
+        if buf.len() < HEADER_BYTES + TRAILER_BYTES {
+            return Err(WireError {
+                offset: buf.len(),
+                what: "frame shorter than header and trailer",
+            });
+        }
+        let hdr: &[u8; HEADER_BYTES] = buf[..HEADER_BYTES].try_into().unwrap();
+        let h = read_header(hdr);
+        let payload = verify_body(&h, &buf[HEADER_BYTES..])?;
+        Ok((h, payload))
+    }
+
+    /// Streaming frame writer over any [`Write`] — the same
+    /// length-prefix/CRC path as [`encode_frame`] without building the
+    /// whole frame in memory first.
+    pub struct FrameWriter<W: Write> {
+        inner: W,
+    }
+
+    impl<W: Write> FrameWriter<W> {
+        pub fn new(inner: W) -> Self {
+            FrameWriter { inner }
+        }
+
+        /// Write and flush one frame.
+        pub fn write_frame(&mut self, version: u8, opcode: u8, payload: &[u8]) -> io::Result<()> {
+            let mut hdr = [0u8; HEADER_BYTES];
+            hdr[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+            hdr[4] = version;
+            hdr[5] = opcode;
+            self.inner.write_all(&hdr)?;
+            self.inner.write_all(payload)?;
+            self.inner
+                .write_all(&frame_crc(version, opcode, payload).to_le_bytes())?;
+            self.inner.flush()
+        }
+
+        pub fn get_mut(&mut self) -> &mut W {
+            &mut self.inner
+        }
+
+        pub fn into_inner(self) -> W {
+            self.inner
+        }
+    }
+
+    /// Blocking read of one frame from `r`: returns `(opcode, payload)`.
+    /// Frames longer than `max_len`, version mismatches, and CRC failures
+    /// all surface as `InvalidData` I/O errors.
+    pub fn read_frame<R: Read>(r: &mut R, version: u8, max_len: u32) -> io::Result<(u8, Vec<u8>)> {
+        let mut hdr = [0u8; HEADER_BYTES];
+        r.read_exact(&mut hdr)?;
+        let h = read_header(&hdr);
+        if h.len > max_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {} exceeds the {max_len}-byte cap", h.len),
+            ));
+        }
+        if h.version != version {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "unsupported frame version {} (expected {version})",
+                    h.version
+                ),
+            ));
+        }
+        let mut body = vec![0u8; h.len as usize + TRAILER_BYTES];
+        r.read_exact(&mut body)?;
+        let payload_len = verify_body(&h, &body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .len();
+        body.truncate(payload_len);
+        Ok((h.opcode, body))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +470,86 @@ mod tests {
         let mut r = ByteReader::new(&buf);
         let e = read_input_events(&mut r).unwrap_err();
         assert!(e.to_string().contains("exceeds payload"), "{e}");
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 check value for "123456789".
+        assert_eq!(framed::crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(framed::crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_header_fields() {
+        let f = framed::encode_frame(2, 0x41, b"payload bytes");
+        let (h, payload) = framed::split_frame(&f).unwrap();
+        assert_eq!(h.version, 2);
+        assert_eq!(h.opcode, 0x41);
+        assert_eq!(h.len, 13);
+        assert_eq!(payload, b"payload bytes");
+        // Empty payload frames are legal.
+        let f = framed::encode_frame(1, 0x01, &[]);
+        assert_eq!(f.len(), framed::HEADER_BYTES + framed::TRAILER_BYTES);
+        assert_eq!(framed::split_frame(&f).unwrap().1, &[] as &[u8]);
+    }
+
+    #[test]
+    fn corruption_anywhere_in_the_frame_is_caught() {
+        let clean = framed::encode_frame(2, 0x07, b"spikes");
+        // The length prefix is guarded by the body-length check; every
+        // other byte (version, opcode, payload, trailer) by the CRC.
+        for i in 4..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x20;
+            let err = framed::split_frame(&bad).unwrap_err();
+            assert!(err.to_string().contains("CRC"), "byte {i}: {err}");
+        }
+        for i in 0..4 {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x20;
+            assert!(framed::split_frame(&bad).is_err(), "byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let f = framed::encode_frame(2, 0x07, b"spikes");
+        for n in 0..f.len() {
+            assert!(framed::split_frame(&f[..n]).is_err(), "len {n} accepted");
+        }
+    }
+
+    #[test]
+    fn streaming_writer_matches_encode_frame() {
+        let mut w = framed::FrameWriter::new(Vec::new());
+        w.write_frame(2, 0x33, b"abcdef").unwrap();
+        w.write_frame(2, 0x34, &[]).unwrap();
+        let stream = w.into_inner();
+        let mut expect = framed::encode_frame(2, 0x33, b"abcdef");
+        expect.extend_from_slice(&framed::encode_frame(2, 0x34, &[]));
+        assert_eq!(stream, expect);
+
+        let mut r = std::io::Cursor::new(stream);
+        let (op, payload) = framed::read_frame(&mut r, 2, 1024).unwrap();
+        assert_eq!((op, payload.as_slice()), (0x33, b"abcdef".as_slice()));
+        let (op, payload) = framed::read_frame(&mut r, 2, 1024).unwrap();
+        assert_eq!((op, payload.len()), (0x34, 0));
+    }
+
+    #[test]
+    fn read_frame_rejects_bad_version_cap_and_crc() {
+        let f = framed::encode_frame(3, 0x01, b"x");
+        let e = framed::read_frame(&mut std::io::Cursor::new(&f), 2, 1024).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+
+        let f = framed::encode_frame(2, 0x01, &[0u8; 64]);
+        let e = framed::read_frame(&mut std::io::Cursor::new(&f), 2, 16).unwrap_err();
+        assert!(e.to_string().contains("cap"), "{e}");
+
+        let mut f = framed::encode_frame(2, 0x01, b"x");
+        let last = f.len() - 1;
+        f[last] ^= 1;
+        let e = framed::read_frame(&mut std::io::Cursor::new(&f), 2, 1024).unwrap_err();
+        assert!(e.to_string().contains("CRC"), "{e}");
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::protocol::{
     parse_header, ProtocolError, Request, Response, TickUpdate, FRAME_HEADER_BYTES,
+    FRAME_TRAILER_BYTES,
 };
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -125,9 +126,11 @@ impl Client {
         let mut hdr = [0u8; FRAME_HEADER_BYTES];
         self.stream.read_exact(&mut hdr)?;
         let (opcode, len) = parse_header(&hdr)?;
-        let mut payload = vec![0u8; len as usize];
-        self.stream.read_exact(&mut payload)?;
-        Ok(Response::decode(opcode, &payload)?)
+        let mut body = vec![0u8; len as usize + FRAME_TRAILER_BYTES];
+        self.stream.read_exact(&mut body)?;
+        let h = tn_core::wire::framed::read_header(&hdr);
+        let payload = tn_core::wire::framed::verify_body(&h, &body).map_err(ProtocolError::from)?;
+        Ok(Response::decode(opcode, payload)?)
     }
 
     /// Like [`Self::read_response`] but `Ok(None)` on a read timeout
@@ -156,10 +159,10 @@ impl Client {
             }
         }
         let (opcode, len) = parse_header(&hdr)?;
-        let mut payload = vec![0u8; len as usize];
+        let mut body = vec![0u8; len as usize + FRAME_TRAILER_BYTES];
         let mut at = 0;
-        while at < payload.len() {
-            match self.stream.read(&mut payload[at..]) {
+        while at < body.len() {
+            match self.stream.read(&mut body[at..]) {
                 Ok(0) => return Err(ClientError::Io(std::io::ErrorKind::UnexpectedEof.into())),
                 Ok(n) => at += n,
                 Err(e)
@@ -171,7 +174,9 @@ impl Client {
                 Err(e) => return Err(ClientError::Io(e)),
             }
         }
-        Ok(Some(Response::decode(opcode, &payload)?))
+        let h = tn_core::wire::framed::read_header(&hdr);
+        let payload = tn_core::wire::framed::verify_body(&h, &body).map_err(ProtocolError::from)?;
+        Ok(Some(Response::decode(opcode, payload)?))
     }
 
     // Convenience wrappers — thin sugar over `request`.
@@ -207,6 +212,26 @@ impl Client {
             pace,
             source,
             fault_plan: fault_plan.to_string(),
+        })
+    }
+
+    /// Create a session partitioned across `shards` worker processes by
+    /// the server's `tn-shard` gateway; `shards == 0` means the server's
+    /// configured default.
+    pub fn create_sharded_session(
+        &mut self,
+        name: &str,
+        pace: crate::protocol::Pace,
+        source: crate::protocol::ModelSource,
+        fault_plan: &str,
+        shards: u16,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::CreateShardedSession {
+            name: name.to_string(),
+            pace,
+            source,
+            fault_plan: fault_plan.to_string(),
+            shards,
         })
     }
 

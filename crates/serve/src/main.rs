@@ -31,6 +31,12 @@ options:
   --max-sessions <N>     cap on concurrently live sessions (default 32)
   --parallel-threads <N> worker threads for parallel-engine sessions
                          (default 2)
+  --shards <N>           default shard count for sharded sessions whose
+                         create request asks for the server default
+                         (default 2)
+  --shard-worker-bin <P> path to the tn-shard-worker binary; when set,
+                         each shard of a sharded session runs in its own
+                         OS process (default: in-process shard workers)
   -h, --help             print this help
 ";
 
@@ -78,6 +84,18 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.parallel_threads = v
                     .parse()
                     .map_err(|_| format!("bad --parallel-threads value: {v}"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                cfg.shards = n;
+            }
+            "--shard-worker-bin" => {
+                let v = it.next().ok_or("--shard-worker-bin needs a path")?;
+                cfg.shard_worker_bin = Some(v.into());
             }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),

@@ -1,6 +1,8 @@
 //! The tn-serve wire protocol: length-prefixed binary frames.
 //!
-//! Every message — request, reply, or streamed update — is one frame:
+//! Every message — request, reply, or streamed update — is one frame in
+//! the shared [`tn_core::wire::framed`] codec (the same framing the
+//! `tn-shard` boundary-spike exchange uses — one codec, two callers):
 //!
 //! ```text
 //! offset  size  field
@@ -8,6 +10,7 @@
 //! 4       1     protocol version (PROTOCOL_VERSION)
 //! 5       1     opcode
 //! 6       N     payload (opcode-specific, see `tn_core::wire`)
+//! 6+N     4     CRC-32 over version ++ opcode ++ payload (u32 LE)
 //! ```
 //!
 //! Requests and replies are strictly paired per connection (the server
@@ -18,12 +21,15 @@
 //! reply — the connection survives every malformation whose frame
 //! boundary is still known.
 
-use tn_core::wire::{self, ByteReader, InputEvent, WireError};
+use tn_core::wire::{self, framed, ByteReader, InputEvent, WireError};
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added the
+/// CRC-32 frame trailer and the sharded-session request.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Frame header size: length + version + opcode.
-pub const FRAME_HEADER_BYTES: usize = 6;
+pub const FRAME_HEADER_BYTES: usize = framed::HEADER_BYTES;
+/// CRC trailer size after the payload.
+pub const FRAME_TRAILER_BYTES: usize = framed::TRAILER_BYTES;
 /// Hard cap on payload size (model files and whole-board snapshots are
 /// megabytes; anything beyond this is a corrupt or hostile length).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -40,6 +46,7 @@ pub const OP_RESTORE: u8 = 0x08;
 pub const OP_STATS: u8 = 0x09;
 pub const OP_CLOSE_SESSION: u8 = 0x0A;
 pub const OP_GET_METRICS: u8 = 0x0B;
+pub const OP_CREATE_SHARDED_SESSION: u8 = 0x0C;
 
 // Response opcodes.
 pub const OP_PONG: u8 = 0x80;
@@ -199,6 +206,18 @@ pub enum Request {
         session: String,
         events: Vec<InputEvent>,
     },
+    /// Create a session partitioned across shard worker processes by the
+    /// `tn-shard` layer. The gateway spawns and places the workers; the
+    /// session then speaks the ordinary session protocol.
+    CreateShardedSession {
+        name: String,
+        pace: Pace,
+        source: ModelSource,
+        /// Fault-plan text, as in [`Request::CreateSession`].
+        fault_plan: String,
+        /// Worker count; 0 means the server's configured default.
+        shards: u16,
+    },
     Subscribe {
         session: String,
     },
@@ -247,6 +266,9 @@ pub enum ErrorCode {
     TooManySessions = 7,
     /// The server is shutting down.
     Shutdown = 8,
+    /// The server failed internally while provisioning the session
+    /// (e.g. shard worker processes could not be spawned).
+    Internal = 9,
 }
 
 impl ErrorCode {
@@ -260,6 +282,7 @@ impl ErrorCode {
             6 => ErrorCode::SnapshotRejected,
             7 => ErrorCode::TooManySessions,
             8 => ErrorCode::Shutdown,
+            9 => ErrorCode::Internal,
             v => return Err(ProtocolError::new(format!("unknown error code {v}"))),
         })
     }
@@ -343,31 +366,54 @@ pub enum Response {
     },
 }
 
-/// Assemble a full frame around a payload.
+/// Assemble a full frame (CRC trailer included) around a payload.
 pub fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    wire::put_u32(&mut buf, payload.len() as u32);
-    wire::put_u8(&mut buf, PROTOCOL_VERSION);
-    wire::put_u8(&mut buf, opcode);
-    buf.extend_from_slice(payload);
-    buf
+    framed::encode_frame(PROTOCOL_VERSION, opcode, payload)
 }
 
 /// Parse a frame header: returns `(opcode, payload_len)`.
 pub fn parse_header(hdr: &[u8; FRAME_HEADER_BYTES]) -> Result<(u8, u32), ProtocolError> {
-    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
-    if len > MAX_FRAME_BYTES {
+    let h = framed::read_header(hdr);
+    if h.len > MAX_FRAME_BYTES {
         return Err(ProtocolError::new(format!(
-            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            "frame length {} exceeds the {MAX_FRAME_BYTES}-byte cap",
+            h.len
         )));
     }
-    if hdr[4] != PROTOCOL_VERSION {
+    if h.version != PROTOCOL_VERSION {
         return Err(ProtocolError::new(format!(
             "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
-            hdr[4]
+            h.version
         )));
     }
-    Ok((hdr[5], len))
+    Ok((h.opcode, h.len))
+}
+
+fn read_model_source(r: &mut ByteReader<'_>) -> Result<ModelSource, ProtocolError> {
+    match r.u8("model source tag")? {
+        0 => {
+            let width = r.u16("grid width")?;
+            let height = r.u16("grid height")?;
+            let seed = r.u64("seed")?;
+            if width == 0 || height == 0 {
+                return Err(ProtocolError::new(format!(
+                    "degenerate grid {width}×{height}"
+                )));
+            }
+            Ok(ModelSource::Blank {
+                width,
+                height,
+                seed,
+            })
+        }
+        1 => {
+            let raw = r.bytes("model text")?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| ProtocolError::new("model text is not UTF-8"))?;
+            Ok(ModelSource::Model(text.to_string()))
+        }
+        t => Err(ProtocolError::new(format!("unknown model source tag {t}"))),
+    }
 }
 
 impl Request {
@@ -404,6 +450,35 @@ impl Request {
                     }
                 }
                 OP_CREATE_SESSION
+            }
+            Request::CreateShardedSession {
+                name,
+                pace,
+                source,
+                fault_plan,
+                shards,
+            } => {
+                wire::put_str(&mut p, name);
+                wire::put_u8(&mut p, pace.as_u8());
+                wire::put_u16(&mut p, *shards);
+                wire::put_bytes(&mut p, fault_plan.as_bytes());
+                match source {
+                    ModelSource::Blank {
+                        width,
+                        height,
+                        seed,
+                    } => {
+                        wire::put_u8(&mut p, 0);
+                        wire::put_u16(&mut p, *width);
+                        wire::put_u16(&mut p, *height);
+                        wire::put_u64(&mut p, *seed);
+                    }
+                    ModelSource::Model(text) => {
+                        wire::put_u8(&mut p, 1);
+                        wire::put_bytes(&mut p, text.as_bytes());
+                    }
+                }
+                OP_CREATE_SHARDED_SESSION
             }
             Request::InjectSpikes { session, events } => {
                 wire::put_str(&mut p, session);
@@ -463,36 +538,32 @@ impl Request {
                 let fault_plan = std::str::from_utf8(r.bytes("fault plan")?)
                     .map_err(|_| ProtocolError::new("fault plan is not UTF-8"))?
                     .to_string();
-                let source = match r.u8("model source tag")? {
-                    0 => {
-                        let width = r.u16("grid width")?;
-                        let height = r.u16("grid height")?;
-                        let seed = r.u64("seed")?;
-                        if width == 0 || height == 0 {
-                            return Err(ProtocolError::new(format!(
-                                "degenerate grid {width}×{height}"
-                            )));
-                        }
-                        ModelSource::Blank {
-                            width,
-                            height,
-                            seed,
-                        }
-                    }
-                    1 => {
-                        let raw = r.bytes("model text")?;
-                        let text = std::str::from_utf8(raw)
-                            .map_err(|_| ProtocolError::new("model text is not UTF-8"))?;
-                        ModelSource::Model(text.to_string())
-                    }
-                    t => return Err(ProtocolError::new(format!("unknown model source tag {t}"))),
-                };
+                let source = read_model_source(&mut r)?;
                 Request::CreateSession {
                     name,
                     engine,
                     pace,
                     source,
                     fault_plan,
+                }
+            }
+            OP_CREATE_SHARDED_SESSION => {
+                let name = r.str("session name")?.to_string();
+                if name.is_empty() {
+                    return Err(ProtocolError::new("empty session name"));
+                }
+                let pace = Pace::from_u8(r.u8("pace")?)?;
+                let shards = r.u16("shard count")?;
+                let fault_plan = std::str::from_utf8(r.bytes("fault plan")?)
+                    .map_err(|_| ProtocolError::new("fault plan is not UTF-8"))?
+                    .to_string();
+                let source = read_model_source(&mut r)?;
+                Request::CreateShardedSession {
+                    name,
+                    pace,
+                    source,
+                    fault_plan,
+                    shards,
                 }
             }
             OP_INJECT_SPIKES => {
@@ -691,18 +762,16 @@ impl Response {
     }
 }
 
-/// Split a full frame back into `(opcode, payload)` — test/client helper
-/// for decoding frames already read off the wire.
+/// Split a full frame back into `(opcode, payload)`, verifying the CRC
+/// trailer — test/client helper for decoding frames already read off the
+/// wire.
 pub fn split_frame(buf: &[u8]) -> Result<(u8, &[u8]), ProtocolError> {
     if buf.len() < FRAME_HEADER_BYTES {
         return Err(ProtocolError::new("frame shorter than its header"));
     }
     let hdr: &[u8; FRAME_HEADER_BYTES] = buf[..FRAME_HEADER_BYTES].try_into().unwrap();
-    let (opcode, len) = parse_header(hdr)?;
-    let payload = &buf[FRAME_HEADER_BYTES..];
-    if payload.len() != len as usize {
-        return Err(ProtocolError::new("frame length disagrees with payload"));
-    }
+    let (opcode, _) = parse_header(hdr)?;
+    let (_, payload) = framed::split_frame(buf)?;
     Ok((opcode, payload))
 }
 
@@ -743,6 +812,24 @@ mod tests {
             pace: Pace::MaxSpeed,
             source: ModelSource::Model("tnmodel 1\nnet 2 2 9\n".into()),
             fault_plan: "tnfault 1\nseed 7\nat 3 core 0 0 dead\n".into(),
+        });
+        roundtrip_req(Request::CreateShardedSession {
+            name: "board-0".into(),
+            pace: Pace::MaxSpeed,
+            source: ModelSource::Model("tnmodel 1\nnet 4 4 3\n".into()),
+            fault_plan: "tnfault 1\nseed 7\nat 3 core 0 0 dead\n".into(),
+            shards: 4,
+        });
+        roundtrip_req(Request::CreateShardedSession {
+            name: "board-1".into(),
+            pace: Pace::RealTime,
+            source: ModelSource::Blank {
+                width: 8,
+                height: 8,
+                seed: 1,
+            },
+            fault_plan: String::new(),
+            shards: 0, // server default
         });
         roundtrip_req(Request::InjectSpikes {
             session: "s".into(),
@@ -857,6 +944,19 @@ mod tests {
         f[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         let hdr: [u8; FRAME_HEADER_BYTES] = f[..FRAME_HEADER_BYTES].try_into().unwrap();
         assert!(parse_header(&hdr).unwrap_err().message.contains("cap"));
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_crc_check() {
+        let mut f = Request::Stats {
+            session: "s".into(),
+        }
+        .encode();
+        // Flip one payload bit: the header still parses, the CRC fails.
+        f[FRAME_HEADER_BYTES] ^= 0x01;
+        let hdr: [u8; FRAME_HEADER_BYTES] = f[..FRAME_HEADER_BYTES].try_into().unwrap();
+        assert!(parse_header(&hdr).is_ok());
+        assert!(split_frame(&f).unwrap_err().message.contains("CRC"));
     }
 
     #[test]

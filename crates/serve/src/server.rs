@@ -18,8 +18,8 @@
 //! stream queue and report shed load as [`Response::Overloaded`].
 
 use crate::protocol::{
-    parse_header, ErrorCode, ModelSource, Pace, ProtocolError, Request, Response,
-    FRAME_HEADER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    ErrorCode, ModelSource, Pace, ProtocolError, Request, Response, FRAME_HEADER_BYTES,
+    FRAME_TRAILER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::session::{spawn_session, Cmd, Outbound, SessionConfig, SessionHandle};
 use crate::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +54,13 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Worker threads for [`crate::protocol::Engine::Parallel`] sessions.
     pub parallel_threads: usize,
+    /// Default shard count for [`Request::CreateShardedSession`] requests
+    /// that ask for the server default (`shards == 0`).
+    pub shards: usize,
+    /// Path to the `tn-shard-worker` binary; when set, sharded sessions
+    /// place each shard in its own OS process, otherwise shards run as
+    /// in-process workers (still exchanging spikes over loopback TCP).
+    pub shard_worker_bin: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +74,8 @@ impl Default for ServerConfig {
             output_capacity: 1 << 20,
             max_sessions: 32,
             parallel_threads: 2,
+            shards: 2,
+            shard_worker_bin: None,
         }
     }
 }
@@ -330,6 +339,13 @@ impl Connection {
                 source,
                 fault_plan,
             } => self.create_session(name, engine, pace, source, fault_plan),
+            Request::CreateShardedSession {
+                name,
+                pace,
+                source,
+                fault_plan,
+                shards,
+            } => self.create_sharded_session(name, pace, source, fault_plan, shards),
             Request::InjectSpikes { session, events } => {
                 let handle = match self.lookup(&session) {
                     Ok(h) => h,
@@ -421,27 +437,9 @@ impl Connection {
                 }
             }
         };
-        // Parse and lint the fault plan against this network's grid
-        // before the session exists — a bad plan is rejected, never run.
-        let plan = if fault_plan.is_empty() {
-            None
-        } else {
-            let plan = match tn_core::FaultPlan::parse(&fault_plan) {
-                Ok(p) => p,
-                Err(e) => {
-                    return Response::Error {
-                        code: ErrorCode::ModelRejected,
-                        message: format!("fault plan rejected: {e}"),
-                    }
-                }
-            };
-            if let Err(msg) = tn_core::fault::check_plan(&plan, net.width(), net.height()) {
-                return Response::Error {
-                    code: ErrorCode::ModelRejected,
-                    message: format!("fault plan rejected: {msg}"),
-                };
-            }
-            Some(plan)
+        let plan = match Self::parse_fault_plan(&fault_plan, &net) {
+            Ok(p) => p,
+            Err(resp) => return resp,
         };
         let mut sim: Box<dyn KernelSession> = match engine {
             crate::protocol::Engine::Chip => Box::new(tn_chip::TrueNorthSim::new(net)),
@@ -453,6 +451,92 @@ impl Connection {
         if let Some(plan) = &plan {
             sim.attach_faults(plan);
         }
+        self.register_session(name, pace, sim)
+    }
+
+    /// Create a session partitioned across `tn-shard` workers — the
+    /// gateway half of the distributed sharding layer: it places the
+    /// worker processes and then serves the session like any other.
+    fn create_sharded_session(
+        &self,
+        name: String,
+        pace: Pace,
+        source: ModelSource,
+        fault_plan: String,
+        shards: u16,
+    ) -> Response {
+        let net = match self.build_network(source) {
+            Ok(net) => net,
+            Err(message) => {
+                return Response::Error {
+                    code: ErrorCode::ModelRejected,
+                    message,
+                }
+            }
+        };
+        let plan = match Self::parse_fault_plan(&fault_plan, &net) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let shards = if shards == 0 {
+            self.cfg.shards
+        } else {
+            shards as usize
+        };
+        let spec = tn_shard::ShardSpec {
+            shards,
+            spawn: match &self.cfg.shard_worker_bin {
+                Some(bin) => tn_shard::SpawnMode::Process {
+                    worker_bin: bin.clone(),
+                },
+                None => tn_shard::SpawnMode::InProcess,
+            },
+            ..tn_shard::ShardSpec::default()
+        };
+        let mut sim: Box<dyn KernelSession> = match tn_shard::ShardedSession::launch(net, &spec) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("failed to place shard workers: {e}"),
+                }
+            }
+        };
+        if let Some(plan) = &plan {
+            sim.attach_faults(plan);
+        }
+        self.register_session(name, pace, sim)
+    }
+
+    /// Parse and lint a fault plan against this network's grid before
+    /// the session exists — a bad plan is rejected, never run.
+    fn parse_fault_plan(
+        fault_plan: &str,
+        net: &Network,
+    ) -> Result<Option<tn_core::FaultPlan>, Response> {
+        if fault_plan.is_empty() {
+            return Ok(None);
+        }
+        let plan = match tn_core::FaultPlan::parse(fault_plan) {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(Response::Error {
+                    code: ErrorCode::ModelRejected,
+                    message: format!("fault plan rejected: {e}"),
+                })
+            }
+        };
+        if let Err(msg) = tn_core::fault::check_plan(&plan, net.width(), net.height()) {
+            return Err(Response::Error {
+                code: ErrorCode::ModelRejected,
+                message: format!("fault plan rejected: {msg}"),
+            });
+        }
+        Ok(Some(plan))
+    }
+
+    /// Wrap a configured expression in a session driver and register it.
+    fn register_session(&self, name: String, pace: Pace, sim: Box<dyn KernelSession>) -> Response {
         let session_cfg = SessionConfig {
             pace: if self.cfg.max_speed {
                 Pace::MaxSpeed
@@ -537,26 +621,28 @@ impl FrameReader {
             return ReadOutcome::Hangup;
         }
         // Decode the length first: as long as it is sane, the frame
-        // boundary is known and any other malformation is recoverable.
-        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
-        if len > MAX_FRAME_BYTES {
+        // boundary (payload + CRC trailer) is known and any other
+        // malformation is recoverable.
+        let h = tn_core::wire::framed::read_header(&hdr);
+        if h.len > MAX_FRAME_BYTES {
             return ReadOutcome::Fatal(ProtocolError::new(format!(
-                "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                "frame length {} exceeds the {MAX_FRAME_BYTES}-byte cap",
+                h.len
             )));
         }
-        let mut payload = vec![0u8; len as usize];
-        if !self.read_full(&mut payload) {
+        let mut body = vec![0u8; h.len as usize + FRAME_TRAILER_BYTES];
+        if !self.read_full(&mut body) {
             return ReadOutcome::Hangup;
         }
-        if hdr[4] != PROTOCOL_VERSION {
+        if h.version != PROTOCOL_VERSION {
             return ReadOutcome::Recoverable(ProtocolError::new(format!(
                 "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
-                hdr[4]
+                h.version
             )));
         }
-        match parse_header(&hdr) {
-            Ok((opcode, _)) => ReadOutcome::Frame(opcode, payload),
-            Err(e) => ReadOutcome::Recoverable(e),
+        match tn_core::wire::framed::verify_body(&h, &body) {
+            Ok(payload) => ReadOutcome::Frame(h.opcode, payload.to_vec()),
+            Err(e) => ReadOutcome::Recoverable(e.into()),
         }
     }
 }

@@ -278,9 +278,8 @@ impl Driver {
     /// `Degraded` while any core is disabled or the fault layer has
     /// dropped traffic, `Healthy` otherwise.
     fn health(&self, fault_dropped: u64) -> Health {
-        let cores = self.sim.network().cores();
-        let disabled = cores.iter().filter(|c| c.is_disabled()).count();
-        if disabled == cores.len() {
+        let disabled = self.sim.disabled_cores();
+        if disabled == self.sim.network().num_cores() {
             Health::Failed
         } else if disabled > 0 || fault_dropped > 0 {
             Health::Degraded
@@ -436,7 +435,7 @@ impl Driver {
                     dropped_inputs,
                     pending_inputs: self.injector.pending() as u64,
                     missed_deadlines: self.scheduler.missed_deadlines(),
-                    state_digest: self.sim.network().state_digest(),
+                    state_digest: self.sim.state_digest(),
                     energy_j: self.sim.energy_j().unwrap_or(0.0),
                     health: self.health(fault_dropped),
                     fault_dropped,

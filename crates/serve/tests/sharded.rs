@@ -1,0 +1,164 @@
+//! Gateway tests for `Request::CreateShardedSession`: the server places
+//! shard workers behind an ordinary session, and the served run is
+//! digest-identical to a local single-process `ReferenceSim`.
+
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig,
+    ScheduledSource, SpikeTarget,
+};
+use tn_serve::{
+    Client, ErrorCode, Health, ModelSource, Pace, Response, Server, ServerConfig, ServerHandle,
+};
+
+fn spawn(shards: usize) -> (ServerHandle, Client) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        shards,
+        ..Default::default()
+    };
+    let handle = Server::spawn(cfg).expect("bind loopback");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+/// A 3×2 stochastic recurrent network whose fanout crosses any
+/// contiguous partition, with some neurons routed to output ports.
+fn mesh_net() -> Network {
+    let mut b = NetworkBuilder::new(3, 2, 77);
+    let num = 6usize;
+    for c in 0..num {
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17 + c) % 13 == 0);
+        for j in 0..256 {
+            cfg.neurons[j] = NeuronConfig::stochastic_source(20);
+            cfg.neurons[j].weights = [0; 4];
+            if (j + c) % 16 == 0 {
+                cfg.neurons[j].dest = Dest::Output((c * 256 + j) as u32);
+            } else {
+                let tgt = ((c * 7 + j * 3) % num) as u32;
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(tgt),
+                    ((j * 11 + c) % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+        }
+        b.add_core(cfg);
+    }
+    b.build()
+}
+
+fn events(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    (0..ticks)
+        .map(|t| (t, CoreId((t % 6) as u32), ((t * 29) % 256) as u16))
+        .collect()
+}
+
+fn stats_of(client: &mut Client, session: &str) -> tn_serve::SessionStats {
+    match client.stats(session).unwrap() {
+        Response::StatsData(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+fn local_digest(ticks: u64, fault_plan: &str, events: &[(u64, CoreId, u16)]) -> (u64, u64) {
+    use tn_compass::KernelSession;
+    let mut sim = tn_compass::ReferenceSim::new(mesh_net());
+    if !fault_plan.is_empty() {
+        sim.attach_faults(&tn_core::FaultPlan::parse(fault_plan).unwrap());
+    }
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in events {
+        src.push_checked(t, core, axon, 6).unwrap();
+    }
+    sim.run(ticks, &mut src);
+    let dropped = sim.fault_counters().map(|c| c.total_dropped()).unwrap_or(0);
+    (sim.network().state_digest(), dropped)
+}
+
+#[test]
+fn sharded_session_over_the_wire_matches_local_run() {
+    const TICKS: u64 = 40;
+    let (server, mut client) = spawn(2);
+    let model = ModelSource::Model(modelfile::save(&mesh_net()));
+    let ev = events(TICKS);
+
+    // shards == 0 → the server's configured default (2 here).
+    client
+        .create_sharded_session("board", Pace::MaxSpeed, model, "", 0)
+        .unwrap();
+    client.inject("board", &ev).unwrap();
+    client.run_for("board", TICKS).unwrap();
+    let s = stats_of(&mut client, "board");
+    assert_eq!(s.tick, TICKS);
+    assert_eq!(s.health, Health::Healthy);
+
+    let (digest, _) = local_digest(TICKS, "", &ev);
+    assert_eq!(s.state_digest, digest, "served shards ≠ local run");
+
+    // The gateway session publishes the shard-layer metrics.
+    match client.metrics("board").unwrap() {
+        Response::MetricsData { text } => {
+            assert!(
+                text.contains("tn_shard_boundary_spikes_total"),
+                "shard metrics missing from exposition:\n{text}"
+            );
+            assert!(text.contains("tn_shard_barrier_wait_ns"), "{text}");
+        }
+        other => panic!("{other:?}"),
+    }
+    client.close_session("board").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn faulted_sharded_session_reports_degraded_health() {
+    const TICKS: u64 = 30;
+    // The stuck axon eats injected spikes from tick 3 on.
+    let plan = "tnfault 1\nseed 9\nat 3 core 0 0 axon 7 stuck0\n";
+    let (server, mut client) = spawn(2);
+    let model = ModelSource::Model(modelfile::save(&mesh_net()));
+    let mut ev = events(TICKS);
+    ev.extend((5..9).map(|t| (t, CoreId(0), 7u16)));
+    ev.sort();
+
+    // Explicit shard count overrides the server default.
+    client
+        .create_sharded_session("scarred", Pace::MaxSpeed, model, plan, 3)
+        .unwrap();
+    client.inject("scarred", &ev).unwrap();
+    client.run_for("scarred", TICKS).unwrap();
+    let s = stats_of(&mut client, "scarred");
+    assert_eq!(s.tick, TICKS);
+    assert_eq!(s.health, Health::Degraded, "the stuck axon dropped spikes");
+
+    let (digest, dropped) = local_digest(TICKS, plan, &ev);
+    assert_eq!(s.state_digest, digest, "faulted served shards ≠ local run");
+    assert!(dropped > 0);
+    assert_eq!(s.fault_dropped, dropped, "drop accounting diverged");
+    client.close_session("scarred").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn sharded_create_rejects_bad_fault_plans() {
+    let (server, mut client) = spawn(2);
+    let model = ModelSource::Model(modelfile::save(&mesh_net()));
+    // Parseable but out of this model's 3×2 grid.
+    match client
+        .create_sharded_session(
+            "x",
+            Pace::MaxSpeed,
+            model,
+            "tnfault 1\nseed 1\nat 1 core 9 9 dead\n",
+            2,
+        )
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::ModelRejected),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.session_count(), 0, "rejection left a session behind");
+    server.shutdown();
+}

@@ -1,0 +1,32 @@
+//! `tn-shard-worker` — one shard of a distributed board.
+//!
+//! Spawned by the coordinator (the `ShardedSession` inside `tn-serve` or
+//! a test harness), never run by hand: it dials back to the coordinator,
+//! receives its `Configure` frame, and serves ticks until shutdown.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => addr = args.next(),
+            _ => {
+                eprintln!("usage: tn-shard-worker --connect <host:port>");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: tn-shard-worker --connect <host:port>");
+        return ExitCode::from(2);
+    };
+    match tn_shard::worker::connect_and_serve(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tn-shard-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! The sharded session: a board partitioned across worker processes,
+//! presented to the host as one more [`KernelSession`] expression.
+//!
+//! The coordinator is the only place distribution is visible. Per tick it
+//! broadcasts `TickGo` frames — carrying owner-routed external inputs and
+//! the boundary spikes every shard fired last tick — then blocks on the
+//! [`Mailbox`] barrier until all shards report `Done`. Because a spike
+//! fired at tick `t` always has delay ≥ 1, redistributing it inside
+//! `TickGo(t + 1)` still lands it before its delivery slot is consumed;
+//! the barrier is therefore the *only* synchronisation the contract
+//! needs, and the sharded run stays digest-identical to `ReferenceSim`.
+//!
+//! **Observation flushes.** Digests, checkpoints, and heal snapshots are
+//! only meaningful at a tick boundary with *no in-flight boundary
+//! traffic*, so every observation first drains `pending` into reply-less
+//! `Flush` frames (stream ordering guarantees they land before the next
+//! request's reply). The one deliberate exception: the periodic heal
+//! snapshot does **not** flush — its pending spikes ride the first
+//! recorded `TickGo` of the replay log instead, which keeps the snapshot
+//! pure and the replay self-contained.
+//!
+//! **Shard loss.** Every `snapshot_every` ticks the coordinator assembles
+//! a full-board snapshot and truncates its per-shard replay logs. When a
+//! worker dies (its reader thread marks it down and the barrier wait
+//! returns [`MailboxError::ShardDown`]), the coordinator respawns it,
+//! restores the snapshot, and resends the recorded `TickGo`/`Flush`
+//! frames; the resurrected worker re-runs the missing ticks, its stale
+//! `Done` echoes are dropped by the mailbox, and the current tick's
+//! barrier completes as if nothing happened — spike for spike, counter
+//! for counter (`tests/chaos.rs`).
+//!
+//! Mid-run `attach_faults` combined with a later heal is unsupported:
+//! the replacement worker is configured with the *current* plan and
+//! replays earlier ticks under it. The serving layer attaches plans only
+//! at session creation, before any snapshot exists.
+
+use crate::mailbox::{Mailbox, MailboxError};
+use crate::plan::ShardPlan;
+use crate::proto::{self, FromWorker, RemoteSpike, ToWorker};
+use crate::sync::Arc;
+use crate::worker;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tn_compass::{publish_common, KernelSession, SpikeRecord};
+use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
+use tn_core::wire::framed::FrameWriter;
+use tn_core::{
+    fold_state_digest, modelfile, CoreId, Network, NetworkSnapshot, RunStats, SpikeSource,
+    TickStats,
+};
+use tn_obs::{Histogram, Registry};
+
+/// How shard workers are placed.
+#[derive(Clone, Debug)]
+pub enum SpawnMode {
+    /// Each shard runs on a thread inside this process, still speaking
+    /// the full TCP protocol over loopback — distribution semantics
+    /// without process-management variance. The default.
+    InProcess,
+    /// Each shard is an OS process running `worker_bin --connect <addr>`
+    /// (the `tn-shard-worker` binary).
+    Process { worker_bin: PathBuf },
+}
+
+/// Placement request for [`ShardedSession::launch`].
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Requested shard count; clamped so every shard owns ≥ 1 core.
+    pub shards: usize,
+    pub spawn: SpawnMode,
+    /// Take a heal snapshot every N ticks (0 disables; shard loss then
+    /// replays from tick 0).
+    pub snapshot_every: u64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            shards: 2,
+            spawn: SpawnMode::InProcess,
+            snapshot_every: 32,
+        }
+    }
+}
+
+/// One live shard connection.
+struct Link {
+    writer: FrameWriter<TcpStream>,
+    child: Option<Child>,
+    reader: Option<JoinHandle<()>>,
+    worker_thread: Option<JoinHandle<()>>,
+}
+
+/// A freshly placed worker, configured but with no reader thread yet.
+struct RawLink {
+    writer: FrameWriter<TcpStream>,
+    reader_stream: TcpStream,
+    child: Option<Child>,
+    worker_thread: Option<JoinHandle<()>>,
+}
+
+/// A network partitioned across shard workers, drivable like any other
+/// kernel expression.
+pub struct ShardedSession {
+    /// Structural mirror: never ticked, but it keeps the fault plan's
+    /// structural effects (dead cores) observable through
+    /// [`KernelSession::network`] without a round trip.
+    mirror: Network,
+    mirror_faults: Option<FaultState>,
+    plan: ShardPlan,
+    model_text: String,
+    fault_text: String,
+    spawn: SpawnMode,
+    tick: u64,
+    stats: RunStats,
+    outputs: SpikeRecord,
+    dropped_inputs: u64,
+    listener: TcpListener,
+    links: Vec<Link>,
+    mailbox: Arc<Mailbox>,
+    /// Boundary spikes awaiting redistribution, bucketed by owner.
+    pending: Vec<Vec<RemoteSpike>>,
+    /// Per-shard `TickGo`/`Flush` frames since the last heal snapshot.
+    replay: Vec<Vec<ToWorker>>,
+    /// Latest heal snapshot: (tick, serialized full-board state).
+    heal_snap: Option<(u64, Vec<u8>)>,
+    snapshot_every: u64,
+    /// Counters folded in from worker incarnations that died or were
+    /// superseded; `fault_counters` = base + Σ last.
+    counter_base: FaultCounters,
+    /// Each shard's counters as of the last heal snapshot.
+    snap_counters: Vec<FaultCounters>,
+    /// Each shard's latest reported cumulative counters.
+    last_counters: Vec<FaultCounters>,
+    boundary_spikes: u64,
+    heals: u64,
+    barrier_wait_ns: Arc<Histogram>,
+    input_buf: Vec<(CoreId, u8)>,
+}
+
+fn reader_loop(k: usize, mut stream: TcpStream, mailbox: Arc<Mailbox>) {
+    loop {
+        match proto::read_from_worker(&mut stream) {
+            Ok(FromWorker::Done(d)) => mailbox.deposit_done(k, d),
+            Ok(msg) => mailbox.deposit_reply(k, msg),
+            Err(_) => {
+                mailbox.mark_down(k);
+                return;
+            }
+        }
+    }
+}
+
+fn protocol_err(what: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+impl ShardedSession {
+    /// Partition `net`, place one worker per shard, and configure them.
+    /// The returned session is at tick 0 with no faults attached.
+    pub fn launch(net: Network, spec: &ShardSpec) -> io::Result<ShardedSession> {
+        let plan = ShardPlan::compute(&net, spec.shards);
+        let shards = plan.shards();
+        let model_text = modelfile::save(&net);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let mut session = ShardedSession {
+            mirror: net,
+            mirror_faults: None,
+            plan,
+            model_text,
+            fault_text: String::new(),
+            spawn: spec.spawn.clone(),
+            tick: 0,
+            stats: RunStats::default(),
+            outputs: SpikeRecord::new(),
+            dropped_inputs: 0,
+            listener,
+            links: Vec::with_capacity(shards),
+            mailbox: Arc::new(Mailbox::new(shards)),
+            pending: vec![Vec::new(); shards],
+            replay: vec![Vec::new(); shards],
+            heal_snap: None,
+            snapshot_every: spec.snapshot_every,
+            counter_base: FaultCounters::default(),
+            snap_counters: vec![FaultCounters::default(); shards],
+            last_counters: vec![FaultCounters::default(); shards],
+            boundary_spikes: 0,
+            heals: 0,
+            barrier_wait_ns: Arc::new(Histogram::exponential(1_000, 4, 8)),
+            input_buf: Vec::new(),
+        };
+        for k in 0..shards {
+            let raw = session.place_worker(k)?;
+            let link = session.arm_reader(k, raw);
+            session.links.push(link);
+        }
+        Ok(session)
+    }
+
+    /// Actual shard count after clamping.
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// Total boundary spikes exchanged so far.
+    pub fn boundary_spikes(&self) -> u64 {
+        self.boundary_spikes
+    }
+
+    /// Shard workers healed after connection loss.
+    pub fn heals(&self) -> u64 {
+        self.heals
+    }
+
+    /// The partition driving this session.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Test hook: kill shard `k`'s worker mid-run (child process killed,
+    /// or the in-process worker's socket severed). The next barrier wait
+    /// notices and heals.
+    pub fn kill_worker(&mut self, k: usize) {
+        let link = &mut self.links[k];
+        if let Some(c) = &mut link.child {
+            let _ = c.kill();
+        }
+        let _ = link.writer.get_mut().shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Spawn one worker, accept its connection, and run the synchronous
+    /// `Configure` handshake with the current fault text. The reader
+    /// thread is armed separately so heals can interleave a `Restore`.
+    fn place_worker(&self, k: usize) -> io::Result<RawLink> {
+        let addr = self.listener.local_addr()?;
+        let (child, worker_thread) = match &self.spawn {
+            SpawnMode::Process { worker_bin } => {
+                let child = Command::new(worker_bin)
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()?;
+                (Some(child), None)
+            }
+            SpawnMode::InProcess => {
+                let h = std::thread::spawn(move || {
+                    let _ = worker::connect_and_serve(&addr.to_string());
+                });
+                (None, Some(h))
+            }
+        };
+        let (stream, _) = self.listener.accept()?;
+        stream.set_nodelay(true)?;
+        let mut reader_stream = stream.try_clone()?;
+        let mut writer = FrameWriter::new(stream);
+        proto::write_to_worker(
+            &mut writer,
+            &ToWorker::Configure {
+                shard: k as u16,
+                starts: self.plan.starts.iter().map(|&s| s as u32).collect(),
+                model: self.model_text.clone(),
+                faults: self.fault_text.clone(),
+            },
+        )?;
+        match proto::read_from_worker(&mut reader_stream)? {
+            FromWorker::Ok => {}
+            FromWorker::Err(e) => return Err(protocol_err(format!("shard {k} rejected: {e}"))),
+            other => return Err(protocol_err(format!("shard {k}: unexpected {other:?}"))),
+        }
+        Ok(RawLink {
+            writer,
+            reader_stream,
+            child,
+            worker_thread,
+        })
+    }
+
+    fn arm_reader(&self, k: usize, raw: RawLink) -> Link {
+        let mailbox = self.mailbox.clone();
+        let stream = raw.reader_stream;
+        Link {
+            writer: raw.writer,
+            child: raw.child,
+            reader: Some(std::thread::spawn(move || reader_loop(k, stream, mailbox))),
+            worker_thread: raw.worker_thread,
+        }
+    }
+
+    /// Tear down a dead shard, respawn it, restore the latest heal
+    /// snapshot, and replay everything since. The mailbox keeps the
+    /// other shards' barrier deposits, so after this returns the caller
+    /// simply re-enters its wait.
+    fn heal(&mut self, k: usize) -> io::Result<()> {
+        self.heals += 1;
+        // Reap the corpse: close our side, join the reader, kill any
+        // child so it cannot linger half-connected.
+        {
+            let link = &mut self.links[k];
+            let _ = link.writer.get_mut().shutdown(std::net::Shutdown::Both);
+            if let Some(r) = link.reader.take() {
+                let _ = r.join();
+            }
+            if let Some(mut c) = link.child.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            if let Some(t) = link.worker_thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.mailbox.begin_heal(k);
+
+        let mut raw = self.place_worker(k)?;
+        if let Some((_, bytes)) = &self.heal_snap {
+            proto::write_to_worker(
+                &mut raw.writer,
+                &ToWorker::Restore {
+                    bytes: bytes.clone(),
+                },
+            )?;
+            match proto::read_from_worker(&mut raw.reader_stream)? {
+                FromWorker::Ok => {}
+                other => {
+                    return Err(protocol_err(format!(
+                        "shard {k} failed snapshot restore: {other:?}"
+                    )))
+                }
+            }
+        }
+        // The dead incarnation's post-snapshot counts died with it; fold
+        // its snapshot-time counts into the base. The replacement
+        // recounts the replayed ticks from zero, restoring the exact
+        // global sum.
+        self.counter_base.merge(&self.snap_counters[k]);
+        self.snap_counters[k] = FaultCounters::default();
+        self.last_counters[k] = FaultCounters::default();
+
+        let mut link = self.arm_reader(k, raw);
+        // Replay the recorded frames. Stale Done echoes fall below the
+        // barrier slots' ticks and are dropped by the mailbox.
+        for frame in &self.replay[k] {
+            proto::write_to_worker(&mut link.writer, frame)?;
+        }
+        self.links[k] = link;
+        self.mailbox.revive(k);
+        Ok(())
+    }
+
+    /// Send `msg` to shard `k` and wait for its reply, healing any shard
+    /// that dies along the way (including `k` itself, in which case the
+    /// request is re-sent — requests are never written to replay logs).
+    fn rpc(&mut self, k: usize, msg: &ToWorker) -> io::Result<FromWorker> {
+        loop {
+            if let Err(e) = proto::write_to_worker(&mut self.links[k].writer, msg) {
+                drop(e);
+                self.heal(k)?;
+                continue;
+            }
+            match self.mailbox.wait_reply(k) {
+                Ok(FromWorker::Err(e)) => {
+                    return Err(protocol_err(format!("shard {k}: {e}")));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(MailboxError::Shutdown) => {
+                    return Err(protocol_err("session shut down".into()))
+                }
+                Err(MailboxError::ShardDown(j)) => {
+                    self.heal(j)?;
+                    // If the replying shard itself died, re-send.
+                    if j == k {
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain pending boundary spikes into reply-less `Flush` frames so
+    /// worker state at this tick boundary equals the single-process
+    /// state. Recorded in replay logs — a healed worker needs the same
+    /// deliveries, since later `TickGo` frames no longer carry them.
+    fn flush_boundary(&mut self) -> io::Result<()> {
+        for k in 0..self.shards() {
+            if self.pending[k].is_empty() {
+                continue;
+            }
+            let msg = ToWorker::Flush {
+                remote: std::mem::take(&mut self.pending[k]),
+            };
+            if proto::write_to_worker(&mut self.links[k].writer, &msg).is_err() {
+                // The recorded frame reaches the replacement via replay.
+                self.replay[k].push(msg);
+                self.heal(k)?;
+                continue;
+            }
+            self.replay[k].push(msg);
+        }
+        Ok(())
+    }
+
+    /// Assemble a full-board snapshot at the current tick boundary from
+    /// per-worker snapshots, splicing each worker's owned range.
+    fn assemble_snapshot(&mut self) -> io::Result<NetworkSnapshot> {
+        let mut full: Option<NetworkSnapshot> = None;
+        for k in 0..self.shards() {
+            let reply = self.rpc(k, &ToWorker::Snapshot)?;
+            let FromWorker::SnapData(bytes) = reply else {
+                return Err(protocol_err(format!("shard {k}: expected snapshot data")));
+            };
+            let snap = NetworkSnapshot::from_bytes(&bytes)
+                .map_err(|e| protocol_err(format!("shard {k} snapshot: {e}")))?;
+            match &mut full {
+                None => full = Some(snap),
+                Some(f) => {
+                    let r = self.plan.range(k);
+                    f.cores[r.clone()].clone_from_slice(&snap.cores[r]);
+                }
+            }
+        }
+        let mut snap = full.expect("at least one shard");
+        snap.tick = self.tick;
+        Ok(snap)
+    }
+
+    /// Periodic heal snapshot: capture the board *without* flushing
+    /// (pending spikes ride the first recorded `TickGo`), then truncate
+    /// the replay logs and re-anchor counter bookkeeping.
+    fn take_heal_snapshot(&mut self) -> io::Result<()> {
+        let snap = self.assemble_snapshot()?;
+        self.heal_snap = Some((self.tick, snap.to_bytes()));
+        for k in 0..self.shards() {
+            self.replay[k].clear();
+            self.snap_counters[k] = self.last_counters[k];
+        }
+        Ok(())
+    }
+
+    fn step_inner(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats {
+        let t = self.tick;
+        let wall = Instant::now();
+
+        // Keep the structural mirror honest (dead cores for health and
+        // tier reporting); drop counting happens on the workers.
+        if let Some(f) = &mut self.mirror_faults {
+            for i in f.advance(t) {
+                let ev = f.events()[i];
+                let id = self.mirror.id_of(ev.coord);
+                FaultState::apply_to_core(&ev, self.mirror.core_mut(id), f.seed());
+            }
+        }
+
+        // Owner-route external inputs; out-of-grid targets are diagnosed
+        // here, exactly once, like every expression does.
+        self.input_buf.clear();
+        src.fill(t, &mut self.input_buf);
+        let shards = self.shards();
+        let mut inputs: Vec<Vec<(u32, u8)>> = vec![Vec::new(); shards];
+        for &(core, axon) in &self.input_buf {
+            if core.index() >= self.plan.num_cores {
+                self.dropped_inputs += 1;
+                continue;
+            }
+            inputs[self.plan.owner(core.index())].push((core.0, axon));
+        }
+
+        // Broadcast TickGo: inputs plus last tick's boundary spikes.
+        // Record before sending — a write failure heals off the log.
+        for (k, shard_inputs) in inputs.into_iter().enumerate() {
+            let msg = ToWorker::TickGo {
+                tick: t,
+                inputs: shard_inputs,
+                remote: std::mem::take(&mut self.pending[k]),
+            };
+            self.replay[k].push(msg);
+            let msg = self.replay[k].last().expect("just pushed");
+            if proto::write_to_worker(&mut self.links[k].writer, msg).is_err() {
+                // Reader will flag it; the barrier wait below heals.
+            }
+        }
+
+        // Barrier: all shards report Done(t), healing casualties.
+        let wait_start = Instant::now();
+        let dones = loop {
+            match self.mailbox.wait_done(t, shards) {
+                Ok(d) => break d,
+                Err(MailboxError::ShardDown(k)) => {
+                    self.heal(k).expect("shard heal failed");
+                }
+                Err(MailboxError::Shutdown) => unreachable!("shutdown only in Drop"),
+            }
+        };
+        self.barrier_wait_ns
+            .observe(wait_start.elapsed().as_nanos() as u64);
+
+        // Fold the barrier replies in shard order — which is core-scan
+        // order, so concatenated outputs match the reference transcript.
+        let mut tick_stats = TickStats::default();
+        let mut crossings = 0u64;
+        for (k, d) in dones.into_iter().enumerate() {
+            debug_assert_eq!(d.tick, t);
+            tick_stats += d.stats;
+            for port in d.outputs {
+                self.outputs.push(t, port);
+            }
+            for (dst, batch) in d.boundary.into_iter().enumerate() {
+                crossings += batch.len() as u64;
+                self.pending[dst].extend(batch);
+            }
+            self.last_counters[k] = d.counters;
+        }
+        self.boundary_spikes += crossings;
+        self.stats.boundary_crossings += crossings;
+        self.stats.ticks += 1;
+        self.stats.totals += tick_stats;
+        self.tick = t + 1;
+        self.stats.wall_seconds += wall.elapsed().as_secs_f64();
+
+        if self.snapshot_every != 0 && self.tick.is_multiple_of(self.snapshot_every) {
+            self.take_heal_snapshot().expect("heal snapshot failed");
+        }
+        tick_stats
+    }
+
+    fn digest_inner(&mut self) -> io::Result<u64> {
+        self.flush_boundary()?;
+        let mut digests = vec![0u64; self.plan.num_cores];
+        for k in 0..self.shards() {
+            let reply = self.rpc(k, &ToWorker::QueryDigests)?;
+            let FromWorker::Digests(ds) = reply else {
+                return Err(protocol_err(format!("shard {k}: expected digests")));
+            };
+            let r = self.plan.range(k);
+            if ds.len() != r.len() {
+                return Err(protocol_err(format!(
+                    "shard {k} returned {} digests for {} cores",
+                    ds.len(),
+                    r.len()
+                )));
+            }
+            digests[r].copy_from_slice(&ds);
+        }
+        Ok(fold_state_digest(digests))
+    }
+}
+
+impl KernelSession for ShardedSession {
+    fn engine_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn step(&mut self, src: &mut (dyn SpikeSource + Send)) -> TickStats {
+        self.step_inner(src)
+    }
+
+    fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    fn network(&self) -> &Network {
+        &self.mirror
+    }
+
+    fn outputs(&mut self) -> &mut SpikeRecord {
+        &mut self.outputs
+    }
+
+    fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    fn dropped_inputs(&self) -> u64 {
+        self.dropped_inputs
+    }
+
+    fn checkpoint(&mut self) -> NetworkSnapshot {
+        self.flush_boundary().expect("boundary flush failed");
+        self.assemble_snapshot().expect("checkpoint failed")
+    }
+
+    fn restore(&mut self, snap: &NetworkSnapshot) {
+        let bytes = snap.to_bytes();
+        for k in 0..self.shards() {
+            match self
+                .rpc(
+                    k,
+                    &ToWorker::Restore {
+                        bytes: bytes.clone(),
+                    },
+                )
+                .expect("restore rpc failed")
+            {
+                FromWorker::Ok => {}
+                other => panic!("shard {k} failed restore: {other:?}"),
+            }
+        }
+        snap.restore(&mut self.mirror);
+        if let Some(f) = &mut self.mirror_faults {
+            f.reset_for_restore(&mut self.mirror, snap.tick);
+        }
+        self.tick = snap.tick;
+        for k in 0..self.shards() {
+            self.pending[k].clear();
+            self.replay[k].clear();
+            // Worker counters survive a restore (telemetry is never
+            // rewound), so the restore point becomes the new heal anchor.
+            self.snap_counters[k] = self.last_counters[k];
+        }
+        self.mailbox.reset_ticks(self.tick);
+        self.heal_snap = Some((snap.tick, bytes));
+    }
+
+    fn state_digest(&mut self) -> u64 {
+        self.digest_inner().expect("digest query failed")
+    }
+
+    fn attach_faults(&mut self, plan: &FaultPlan) {
+        self.fault_text = plan.to_text();
+        self.mirror_faults = Some(FaultState::compile(
+            plan,
+            self.mirror.width(),
+            self.mirror.height(),
+        ));
+        for k in 0..self.shards() {
+            match self
+                .rpc(
+                    k,
+                    &ToWorker::AttachFaults {
+                        text: self.fault_text.clone(),
+                    },
+                )
+                .expect("attach_faults rpc failed")
+            {
+                FromWorker::Ok => {}
+                other => panic!("shard {k} rejected fault plan: {other:?}"),
+            }
+        }
+    }
+
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        if self.fault_text.is_empty() {
+            return None;
+        }
+        let mut total = self.counter_base;
+        for c in &self.last_counters {
+            total.merge(c);
+        }
+        Some(total)
+    }
+
+    fn publish_metrics(&self, registry: &Registry) {
+        publish_common(self, registry);
+        registry
+            .counter("tn_shard_boundary_spikes_total")
+            .set(self.boundary_spikes);
+        registry.counter("tn_shard_heals_total").set(self.heals);
+        registry.register_histogram(
+            "tn_shard_barrier_wait_ns",
+            &[],
+            self.barrier_wait_ns.clone(),
+        );
+    }
+}
+
+impl Drop for ShardedSession {
+    fn drop(&mut self) {
+        // Best-effort graceful shutdown, then make sure nothing lingers.
+        for link in &mut self.links {
+            let _ = proto::write_to_worker(&mut link.writer, &ToWorker::Shutdown);
+        }
+        self.mailbox.shutdown();
+        for link in &mut self.links {
+            let _ = link.writer.get_mut().shutdown(std::net::Shutdown::Both);
+            if let Some(r) = link.reader.take() {
+                let _ = r.join();
+            }
+            if let Some(mut c) = link.child.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            if let Some(t) = link.worker_thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}

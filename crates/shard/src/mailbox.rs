@@ -1,0 +1,288 @@
+//! The tick-barrier mailbox: where per-shard reader threads meet the
+//! coordinator.
+//!
+//! One reader thread per shard deposits decoded [`FromWorker`] frames;
+//! the coordinator blocks in [`Mailbox::wait_done`] until every live
+//! shard has reported tick T. Two properties shape the design:
+//!
+//! * **Parity double-buffering.** A fast shard may finish tick T and —
+//!   after the coordinator drains the barrier and broadcasts
+//!   `TickGo(T+1)` — report tick T+1 while a slow reader thread is still
+//!   parked. Two slots indexed by tick parity (the same discipline as
+//!   `tn_compass::parallel`'s pairwise mailboxes) make that legal
+//!   without ever letting a shard run two ticks ahead.
+//! * **Stale deposits are silent.** Healing a shard replays recorded
+//!   `TickGo` frames from its snapshot tick; the resurrected worker
+//!   re-emits `Done` for ticks the barrier already closed. Those land
+//!   below the slot's tick and are dropped. Anything *above* the slot
+//!   tick means the coordinator lost sync — that's a panic, not a drop.
+//!
+//! All primitives come from [`crate::sync`], so under `--cfg tn_check`
+//! the whole handshake runs on the model-checked scheduler
+//! (`tests/model_barrier.rs` exhausts the 2-shard configuration).
+
+use crate::proto::{DoneMsg, FromWorker};
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a wait on the mailbox gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MailboxError {
+    /// The session is shutting down.
+    Shutdown,
+    /// Shard `k`'s connection died; the coordinator should heal it and
+    /// retry.
+    ShardDown(usize),
+}
+
+struct Slot {
+    /// The tick this slot is currently collecting.
+    tick: u64,
+    arrived: Vec<Option<DoneMsg>>,
+}
+
+struct State {
+    /// Barrier slots indexed by tick parity.
+    slots: [Slot; 2],
+    /// Out-of-band replies (Ok/Digests/SnapData/Err), one queue per shard.
+    replies: Vec<VecDeque<FromWorker>>,
+    down: Vec<bool>,
+    shutdown: bool,
+}
+
+/// Rendezvous between shard reader threads and the coordinator.
+pub struct Mailbox {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    pub fn new(shards: usize) -> Mailbox {
+        Mailbox {
+            state: Mutex::new(State {
+                slots: [
+                    Slot {
+                        tick: 0,
+                        arrived: vec![None; shards],
+                    },
+                    Slot {
+                        tick: 1,
+                        arrived: vec![None; shards],
+                    },
+                ],
+                replies: (0..shards).map(|_| VecDeque::new()).collect(),
+                down: vec![false; shards],
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Reader thread: shard `k` reported `done` for `done.tick`.
+    ///
+    /// Stale ticks (below the parity slot's current tick) are replay
+    /// echoes from a heal and are dropped silently. A tick above the
+    /// slot's is a protocol violation — the barrier never advances past
+    /// a tick before draining it, so no live worker can legally get
+    /// there.
+    pub fn deposit_done(&self, k: usize, done: DoneMsg) {
+        let mut st = self.state.lock().unwrap();
+        let slot = &mut st.slots[(done.tick % 2) as usize];
+        if done.tick < slot.tick {
+            return; // replay echo from a healed shard
+        }
+        assert!(
+            done.tick == slot.tick,
+            "barrier overrun: shard {k} reported tick {} while slot awaits {}",
+            done.tick,
+            slot.tick
+        );
+        assert!(
+            slot.arrived[k].is_none(),
+            "duplicate Done from shard {k} for tick {}",
+            done.tick
+        );
+        slot.arrived[k] = Some(done);
+        self.cond.notify_all();
+    }
+
+    /// Coordinator: block until every live shard has reported `tick`,
+    /// then drain and advance the slot by two ticks.
+    ///
+    /// Returns `Err(ShardDown(k))` the moment shard `k` is marked down —
+    /// deposits already collected stay in the slot, so after a heal the
+    /// coordinator re-enters this wait and only the healed shard's
+    /// deposit is still missing.
+    pub fn wait_done(&self, tick: u64, shards: usize) -> Result<Vec<DoneMsg>, MailboxError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return Err(MailboxError::Shutdown);
+            }
+            if let Some(k) = st.down.iter().position(|&d| d) {
+                return Err(MailboxError::ShardDown(k));
+            }
+            let slot = &mut st.slots[(tick % 2) as usize];
+            debug_assert_eq!(slot.tick, tick, "coordinator waited out of order");
+            if slot.arrived.iter().take(shards).all(|a| a.is_some()) {
+                let drained = slot.arrived.iter_mut().map(|a| a.take().unwrap()).collect();
+                slot.tick += 2;
+                return Ok(drained);
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Reader thread: shard `k` sent a non-barrier reply.
+    pub fn deposit_reply(&self, k: usize, msg: FromWorker) {
+        let mut st = self.state.lock().unwrap();
+        st.replies[k].push_back(msg);
+        self.cond.notify_all();
+    }
+
+    /// Coordinator: block until shard `k` has a reply queued.
+    pub fn wait_reply(&self, k: usize) -> Result<FromWorker, MailboxError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return Err(MailboxError::Shutdown);
+            }
+            if st.down[k] {
+                return Err(MailboxError::ShardDown(k));
+            }
+            if let Some(msg) = st.replies[k].pop_front() {
+                return Ok(msg);
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Reader thread: shard `k`'s connection died.
+    pub fn mark_down(&self, k: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.down[k] = true;
+        self.cond.notify_all();
+    }
+
+    /// Coordinator, at the start of a heal: forget everything the dead
+    /// shard had in flight — barrier deposits in both slots and queued
+    /// replies. Its `down` flag stays up until [`Mailbox::revive`].
+    pub fn begin_heal(&self, k: usize) {
+        let mut st = self.state.lock().unwrap();
+        for slot in &mut st.slots {
+            slot.arrived[k] = None;
+        }
+        st.replies[k].clear();
+    }
+
+    /// Coordinator: the healed shard is connected again.
+    pub fn revive(&self, k: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.down[k] = false;
+        self.cond.notify_all();
+    }
+
+    /// Coordinator, after a session-level restore: rewind both barrier
+    /// slots so the next waits are for `tick` and `tick + 1`.
+    pub fn reset_ticks(&self, tick: u64) {
+        let mut st = self.state.lock().unwrap();
+        for slot in &mut st.slots {
+            slot.arrived.iter_mut().for_each(|a| *a = None);
+        }
+        st.slots[(tick % 2) as usize].tick = tick;
+        st.slots[((tick + 1) % 2) as usize].tick = tick + 1;
+    }
+
+    /// Wake every waiter with [`MailboxError::Shutdown`].
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(all(test, not(tn_check)))]
+mod tests {
+    use super::*;
+
+    fn done(tick: u64) -> DoneMsg {
+        DoneMsg {
+            tick,
+            ..DoneMsg::default()
+        }
+    }
+
+    #[test]
+    fn barrier_collects_both_shards_and_advances() {
+        let mb = Mailbox::new(2);
+        mb.deposit_done(0, done(0));
+        mb.deposit_done(1, done(0));
+        let drained = mb.wait_done(0, 2).unwrap();
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|d| d.tick == 0));
+        // Slot 0 now awaits tick 2; a tick-0 echo is silently dropped.
+        mb.deposit_done(0, done(0));
+        mb.deposit_done(0, done(2));
+        mb.deposit_done(1, done(2));
+        // Parity lets tick 1 proceed independently.
+        mb.deposit_done(0, done(1));
+        mb.deposit_done(1, done(1));
+        assert_eq!(mb.wait_done(1, 2).unwrap().len(), 2);
+        assert_eq!(mb.wait_done(2, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier overrun")]
+    fn a_shard_two_ticks_ahead_panics() {
+        let mb = Mailbox::new(2);
+        mb.deposit_done(0, done(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate Done")]
+    fn duplicate_deposit_panics() {
+        let mb = Mailbox::new(2);
+        mb.deposit_done(0, done(0));
+        mb.deposit_done(0, done(0));
+    }
+
+    #[test]
+    fn down_shard_fails_the_wait_until_revived() {
+        let mb = Mailbox::new(2);
+        mb.deposit_done(0, done(0));
+        mb.mark_down(1);
+        assert_eq!(mb.wait_done(0, 2), Err(MailboxError::ShardDown(1)));
+        mb.begin_heal(1);
+        mb.revive(1);
+        // Shard 0's deposit survived the heal; only shard 1 re-reports.
+        mb.deposit_done(1, done(0));
+        assert_eq!(mb.wait_done(0, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replies_are_per_shard_queues() {
+        let mb = Mailbox::new(2);
+        mb.deposit_reply(1, FromWorker::Ok);
+        mb.deposit_reply(1, FromWorker::Digests(vec![7]));
+        assert_eq!(mb.wait_reply(1).unwrap(), FromWorker::Ok);
+        assert_eq!(mb.wait_reply(1).unwrap(), FromWorker::Digests(vec![7]));
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters() {
+        let mb = Mailbox::new(1);
+        mb.shutdown();
+        assert_eq!(mb.wait_done(0, 1), Err(MailboxError::Shutdown));
+        assert_eq!(mb.wait_reply(0), Err(MailboxError::Shutdown));
+    }
+
+    #[test]
+    fn reset_ticks_rewinds_the_barrier() {
+        let mb = Mailbox::new(1);
+        mb.deposit_done(0, done(0));
+        assert_eq!(mb.wait_done(0, 1).unwrap().len(), 1);
+        mb.reset_ticks(0);
+        mb.deposit_done(0, done(0));
+        assert_eq!(mb.wait_done(0, 1).unwrap().len(), 1);
+    }
+}

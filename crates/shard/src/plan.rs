@@ -1,0 +1,135 @@
+//! Deterministic partitioning of one network into shard core ranges,
+//! plus compiled boundary routing tables.
+//!
+//! The partitioner reuses `tn_compass::weighted_split_points` — the same
+//! load-balancing Compass applies to threads (paper Section III-B),
+//! lifted to processes: cores are weighted by synaptic traffic and split
+//! into contiguous ranges of near-equal weight. Contiguity keeps shard
+//! outputs in core-scan order, which is what lets the coordinator
+//! concatenate per-shard output streams and match the single-process
+//! transcript exactly.
+//!
+//! The compiled [`BoundaryRoute`] table is the merge–split semantics
+//! from `tn-chip` made explicit: every (local neuron → remote axon) edge
+//! that leaves a shard, with its owning destination shard resolved ahead
+//! of time so the per-spike routing path is a table lookup, not a
+//! binary search.
+
+use tn_compass::{owner_of, weighted_split_points};
+use tn_core::{Dest, Network};
+
+/// Contiguous core-range assignment of one network to `shards` workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Start core index of each shard's range; shard `k` owns
+    /// `[starts[k], starts[k+1])` with an implicit final end of
+    /// `num_cores`. Always non-empty ranges.
+    pub starts: Vec<usize>,
+    pub num_cores: usize,
+}
+
+impl ShardPlan {
+    /// Partition `net` into at most `shards` ranges (clamped down so
+    /// every shard owns at least one core), weighting each core the way
+    /// `ParallelSim` weights its thread ranges: a fixed per-core cost
+    /// plus its active synapse count.
+    pub fn compute(net: &Network, shards: usize) -> ShardPlan {
+        let weights: Vec<u64> = net
+            .cores()
+            .iter()
+            .map(|c| 64 + c.config().crossbar.active_synapses() as u64)
+            .collect();
+        ShardPlan {
+            starts: weighted_split_points(&weights, shards),
+            num_cores: weights.len(),
+        }
+    }
+
+    /// Actual shard count after clamping.
+    pub fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Which shard owns `core`.
+    pub fn owner(&self, core: usize) -> usize {
+        owner_of(&self.starts, core)
+    }
+
+    /// The core range shard `k` owns.
+    pub fn range(&self, k: usize) -> std::ops::Range<usize> {
+        let end = self.starts.get(k + 1).copied().unwrap_or(self.num_cores);
+        self.starts[k]..end
+    }
+}
+
+/// One crossbar fanout edge that leaves its shard: a local neuron whose
+/// destination axon lives on a core owned by another shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundaryRoute {
+    pub src_core: u32,
+    pub src_neuron: u16,
+    pub dst_shard: u16,
+    pub dst_core: u32,
+    pub dst_axon: u8,
+    pub delay: u8,
+}
+
+/// Compile the boundary routing table for shard `k` of `plan`: every
+/// (src neuron → remote axon) route leaving the shard, in ascending
+/// (core, neuron) order. Bijectivity with the single-process crossbar
+/// fanout is pinned by `tests/routes.rs`.
+pub fn boundary_routes(net: &Network, plan: &ShardPlan, k: usize) -> Vec<BoundaryRoute> {
+    let mut out = Vec::new();
+    for core in plan.range(k) {
+        let cfg = net.cores()[core].config();
+        for (j, n) in cfg.neurons.iter().enumerate() {
+            if let Dest::Axon(tgt) = n.dest {
+                let dst_core = tgt.core.index();
+                if dst_core < plan.num_cores && plan.owner(dst_core) != k {
+                    out.push(BoundaryRoute {
+                        src_core: core as u32,
+                        src_neuron: j as u16,
+                        dst_shard: plan.owner(dst_core) as u16,
+                        dst_core: dst_core as u32,
+                        dst_axon: tgt.axon,
+                        delay: tgt.delay,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::NetworkBuilder;
+
+    #[test]
+    fn plan_covers_all_cores_with_nonempty_ranges() {
+        let net = NetworkBuilder::new(3, 2, 1).build();
+        for shards in [1, 2, 4, 7] {
+            let plan = ShardPlan::compute(&net, shards);
+            assert!(plan.shards() <= 6);
+            assert!(plan.shards() >= shards.min(6));
+            let mut covered = 0;
+            for k in 0..plan.shards() {
+                let r = plan.range(k);
+                assert!(!r.is_empty(), "shard {k} owns no cores");
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                for c in r.clone() {
+                    assert_eq!(plan.owner(c), k);
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, 6);
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let net = NetworkBuilder::new(4, 4, 9).build();
+        assert_eq!(ShardPlan::compute(&net, 3), ShardPlan::compute(&net, 3));
+    }
+}

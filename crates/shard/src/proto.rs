@@ -1,0 +1,563 @@
+//! The coordinator ⇄ worker wire protocol: `tn_core::wire::framed`
+//! frames (length prefix + CRC trailer — the same codec the `tn-serve`
+//! protocol uses) carrying tick barriers and boundary-spike batches.
+//!
+//! One TCP connection per shard, strictly ordered: the coordinator
+//! sends a request, the worker processes it and (except for `Flush`)
+//! answers with exactly one reply. Boundary batches are tagged with
+//! `(tick, src_shard)` by construction — each batch rides either the
+//! `TickGo` barrier frame for its tick or a `Flush`, and the stream it
+//! arrives on identifies the peer.
+
+use std::io::{self, Read, Write};
+use tn_core::wire::{self, framed, ByteReader, WireError};
+use tn_core::{FaultCounters, TickStats};
+
+/// Version byte of the shard exchange (independent of the serve
+/// protocol's version).
+pub const SHARD_WIRE_VERSION: u8 = 1;
+/// Cap on frame payloads (whole-board snapshots are megabytes).
+pub const MAX_SHARD_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+// Coordinator → worker opcodes.
+pub const OP_CONFIGURE: u8 = 0x01;
+pub const OP_TICK_GO: u8 = 0x02;
+pub const OP_FLUSH: u8 = 0x03;
+pub const OP_QUERY_DIGESTS: u8 = 0x04;
+pub const OP_SNAPSHOT: u8 = 0x05;
+pub const OP_RESTORE: u8 = 0x06;
+pub const OP_ATTACH_FAULTS: u8 = 0x07;
+pub const OP_SHUTDOWN: u8 = 0x08;
+
+// Worker → coordinator opcodes.
+pub const OP_DONE: u8 = 0x81;
+pub const OP_OK: u8 = 0x82;
+pub const OP_DIGESTS: u8 = 0x83;
+pub const OP_SNAP_DATA: u8 = 0x84;
+pub const OP_ERR: u8 = 0x85;
+
+/// One boundary spike: deliver onto `axon` of `core` at absolute tick
+/// `deliver_tick` (the firing shard already resolved the axonal delay
+/// and applied fire-side fault filtering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteSpike {
+    pub core: u32,
+    pub axon: u8,
+    pub deliver_tick: u64,
+}
+
+/// Coordinator → worker messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToWorker {
+    /// First message on a (re)connection: which shard this worker is,
+    /// the full partition, the model, and the current fault plan text
+    /// (empty = none).
+    Configure {
+        shard: u16,
+        starts: Vec<u32>,
+        model: String,
+        faults: String,
+    },
+    /// Run tick `tick`: apply `remote` boundary deliveries (from other
+    /// shards' tick `tick - 1`), inject `inputs` (already owner-filtered
+    /// `(core, axon)` pairs for this tick), evaluate owned cores, reply
+    /// [`FromWorker::Done`].
+    TickGo {
+        tick: u64,
+        inputs: Vec<(u32, u8)>,
+        remote: Vec<RemoteSpike>,
+    },
+    /// Apply pending boundary deliveries outside a tick (before a
+    /// digest/snapshot observation). No reply; ordering on the stream
+    /// guarantees it lands before the next request executes.
+    Flush { remote: Vec<RemoteSpike> },
+    /// Reply with per-core state digests for the owned range.
+    QueryDigests,
+    /// Reply with a serialized `NetworkSnapshot` at the current tick.
+    Snapshot,
+    /// Restore from serialized snapshot bytes and resume from its tick.
+    Restore { bytes: Vec<u8> },
+    /// Attach (or replace) the fault plan from `tnfault 1` text.
+    AttachFaults { text: String },
+    /// Acknowledge and exit.
+    Shutdown,
+}
+
+/// The per-tick barrier reply: everything the coordinator must see
+/// before any shard may run the next tick.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DoneMsg {
+    pub tick: u64,
+    pub stats: TickStats,
+    /// Output ports fired this tick by owned cores, in core-scan order.
+    pub outputs: Vec<u32>,
+    /// Boundary spikes fired this tick, bucketed by destination shard
+    /// (index = shard id; the own-shard bucket stays empty).
+    pub boundary: Vec<Vec<RemoteSpike>>,
+    /// Cumulative fault counters since this worker (re)started.
+    pub counters: FaultCounters,
+}
+
+/// Worker → coordinator messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromWorker {
+    Done(DoneMsg),
+    Ok,
+    Digests(Vec<u64>),
+    SnapData(Vec<u8>),
+    Err(String),
+}
+
+fn put_remote_spikes(p: &mut Vec<u8>, spikes: &[RemoteSpike]) {
+    wire::put_u32(p, spikes.len() as u32);
+    for s in spikes {
+        wire::put_u32(p, s.core);
+        wire::put_u8(p, s.axon);
+        wire::put_u64(p, s.deliver_tick);
+    }
+}
+
+fn read_remote_spikes(r: &mut ByteReader<'_>) -> Result<Vec<RemoteSpike>, WireError> {
+    const SPIKE_BYTES: usize = 4 + 1 + 8;
+    let n = r.u32("remote spike count")? as usize;
+    if r.remaining() < n * SPIKE_BYTES {
+        return Err(WireError {
+            offset: r.pos(),
+            what: "remote spike count exceeds payload",
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(RemoteSpike {
+            core: r.u32("remote spike core")?,
+            axon: r.u8("remote spike axon")?,
+            deliver_tick: r.u64("remote spike tick")?,
+        });
+    }
+    Ok(out)
+}
+
+fn put_counters(p: &mut Vec<u8>, c: &FaultCounters) {
+    wire::put_u64(p, c.dead_dropped);
+    wire::put_u64(p, c.stuck_dropped);
+    wire::put_u64(p, c.sync_dropped);
+    wire::put_u64(p, c.severed_dropped);
+    wire::put_u64(p, c.lossy_dropped);
+    wire::put_u64(p, c.rerouted);
+}
+
+fn read_counters(r: &mut ByteReader<'_>) -> Result<FaultCounters, WireError> {
+    Ok(FaultCounters {
+        dead_dropped: r.u64("dead_dropped")?,
+        stuck_dropped: r.u64("stuck_dropped")?,
+        sync_dropped: r.u64("sync_dropped")?,
+        severed_dropped: r.u64("severed_dropped")?,
+        lossy_dropped: r.u64("lossy_dropped")?,
+        rerouted: r.u64("rerouted")?,
+    })
+}
+
+impl ToWorker {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            ToWorker::Configure {
+                shard,
+                starts,
+                model,
+                faults,
+            } => {
+                wire::put_u16(&mut p, *shard);
+                wire::put_u32(&mut p, starts.len() as u32);
+                for &s in starts {
+                    wire::put_u32(&mut p, s);
+                }
+                wire::put_bytes(&mut p, model.as_bytes());
+                wire::put_bytes(&mut p, faults.as_bytes());
+                OP_CONFIGURE
+            }
+            ToWorker::TickGo {
+                tick,
+                inputs,
+                remote,
+            } => {
+                wire::put_u64(&mut p, *tick);
+                wire::put_u32(&mut p, inputs.len() as u32);
+                for &(core, axon) in inputs {
+                    wire::put_u32(&mut p, core);
+                    wire::put_u8(&mut p, axon);
+                }
+                put_remote_spikes(&mut p, remote);
+                OP_TICK_GO
+            }
+            ToWorker::Flush { remote } => {
+                put_remote_spikes(&mut p, remote);
+                OP_FLUSH
+            }
+            ToWorker::QueryDigests => OP_QUERY_DIGESTS,
+            ToWorker::Snapshot => OP_SNAPSHOT,
+            ToWorker::Restore { bytes } => {
+                wire::put_bytes(&mut p, bytes);
+                OP_RESTORE
+            }
+            ToWorker::AttachFaults { text } => {
+                wire::put_bytes(&mut p, text.as_bytes());
+                OP_ATTACH_FAULTS
+            }
+            ToWorker::Shutdown => OP_SHUTDOWN,
+        };
+        framed::encode_frame(SHARD_WIRE_VERSION, opcode, &p)
+    }
+
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<ToWorker, WireError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match opcode {
+            OP_CONFIGURE => {
+                let shard = r.u16("shard id")?;
+                let n = r.u32("start count")? as usize;
+                if r.remaining() < n * 4 {
+                    return Err(WireError {
+                        offset: r.pos(),
+                        what: "start count exceeds payload",
+                    });
+                }
+                let mut starts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    starts.push(r.u32("range start")?);
+                }
+                let model = utf8(r.bytes("model text")?, "model text")?;
+                let faults = utf8(r.bytes("fault text")?, "fault text")?;
+                ToWorker::Configure {
+                    shard,
+                    starts,
+                    model,
+                    faults,
+                }
+            }
+            OP_TICK_GO => {
+                let tick = r.u64("tick")?;
+                let n = r.u32("input count")? as usize;
+                if r.remaining() < n * 5 {
+                    return Err(WireError {
+                        offset: r.pos(),
+                        what: "input count exceeds payload",
+                    });
+                }
+                let mut inputs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    inputs.push((r.u32("input core")?, r.u8("input axon")?));
+                }
+                let remote = read_remote_spikes(&mut r)?;
+                ToWorker::TickGo {
+                    tick,
+                    inputs,
+                    remote,
+                }
+            }
+            OP_FLUSH => ToWorker::Flush {
+                remote: read_remote_spikes(&mut r)?,
+            },
+            OP_QUERY_DIGESTS => ToWorker::QueryDigests,
+            OP_SNAPSHOT => ToWorker::Snapshot,
+            OP_RESTORE => ToWorker::Restore {
+                bytes: r.bytes("snapshot bytes")?.to_vec(),
+            },
+            OP_ATTACH_FAULTS => ToWorker::AttachFaults {
+                text: utf8(r.bytes("fault text")?, "fault text")?,
+            },
+            OP_SHUTDOWN => ToWorker::Shutdown,
+            _ => {
+                return Err(WireError {
+                    offset: 0,
+                    what: "unknown coordinator opcode",
+                })
+            }
+        };
+        r.finish("trailing bytes after shard request")?;
+        Ok(msg)
+    }
+}
+
+impl FromWorker {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            FromWorker::Done(d) => {
+                wire::put_u64(&mut p, d.tick);
+                wire::put_u64(&mut p, d.stats.axon_events);
+                wire::put_u64(&mut p, d.stats.sops);
+                wire::put_u64(&mut p, d.stats.neuron_updates);
+                wire::put_u64(&mut p, d.stats.spikes_out);
+                wire::put_u64(&mut p, d.stats.prng_draws);
+                wire::put_u32(&mut p, d.outputs.len() as u32);
+                for &port in &d.outputs {
+                    wire::put_u32(&mut p, port);
+                }
+                wire::put_u16(&mut p, d.boundary.len() as u16);
+                for batch in &d.boundary {
+                    put_remote_spikes(&mut p, batch);
+                }
+                put_counters(&mut p, &d.counters);
+                OP_DONE
+            }
+            FromWorker::Ok => OP_OK,
+            FromWorker::Digests(ds) => {
+                wire::put_u32(&mut p, ds.len() as u32);
+                for &d in ds {
+                    wire::put_u64(&mut p, d);
+                }
+                OP_DIGESTS
+            }
+            FromWorker::SnapData(bytes) => {
+                wire::put_bytes(&mut p, bytes);
+                OP_SNAP_DATA
+            }
+            FromWorker::Err(msg) => {
+                wire::put_str(&mut p, msg);
+                OP_ERR
+            }
+        };
+        framed::encode_frame(SHARD_WIRE_VERSION, opcode, &p)
+    }
+
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<FromWorker, WireError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match opcode {
+            OP_DONE => {
+                let tick = r.u64("done tick")?;
+                let stats = TickStats {
+                    axon_events: r.u64("axon events")?,
+                    sops: r.u64("sops")?,
+                    neuron_updates: r.u64("neuron updates")?,
+                    spikes_out: r.u64("spikes out")?,
+                    prng_draws: r.u64("prng draws")?,
+                };
+                let n = r.u32("output count")? as usize;
+                if r.remaining() < n * 4 {
+                    return Err(WireError {
+                        offset: r.pos(),
+                        what: "output count exceeds payload",
+                    });
+                }
+                let mut outputs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outputs.push(r.u32("output port")?);
+                }
+                let shards = r.u16("boundary shard count")? as usize;
+                let mut boundary = Vec::with_capacity(shards.min(1024));
+                for _ in 0..shards {
+                    boundary.push(read_remote_spikes(&mut r)?);
+                }
+                let counters = read_counters(&mut r)?;
+                FromWorker::Done(DoneMsg {
+                    tick,
+                    stats,
+                    outputs,
+                    boundary,
+                    counters,
+                })
+            }
+            OP_OK => FromWorker::Ok,
+            OP_DIGESTS => {
+                let n = r.u32("digest count")? as usize;
+                if r.remaining() < n * 8 {
+                    return Err(WireError {
+                        offset: r.pos(),
+                        what: "digest count exceeds payload",
+                    });
+                }
+                let mut ds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ds.push(r.u64("digest")?);
+                }
+                FromWorker::Digests(ds)
+            }
+            OP_SNAP_DATA => FromWorker::SnapData(r.bytes("snapshot bytes")?.to_vec()),
+            OP_ERR => FromWorker::Err(r.str("error message")?.to_string()),
+            _ => {
+                return Err(WireError {
+                    offset: 0,
+                    what: "unknown worker opcode",
+                })
+            }
+        };
+        r.finish("trailing bytes after shard reply")?;
+        Ok(msg)
+    }
+}
+
+fn utf8(raw: &[u8], what: &'static str) -> Result<String, WireError> {
+    std::str::from_utf8(raw)
+        .map(|s| s.to_string())
+        .map_err(|_| WireError { offset: 0, what })
+}
+
+/// Write one coordinator→worker frame through a streaming writer.
+pub fn write_to_worker<W: Write>(w: &mut framed::FrameWriter<W>, msg: &ToWorker) -> io::Result<()> {
+    // The message encoder already produces a complete frame; split it so
+    // the streaming writer (one syscall path, shared with replies) stays
+    // the single place bytes hit the socket.
+    let frame = msg.encode();
+    let (h, payload) = framed::split_frame(&frame).expect("self-encoded frame");
+    w.write_frame(h.version, h.opcode, payload)
+}
+
+/// Write one worker→coordinator frame through a streaming writer.
+pub fn write_from_worker<W: Write>(
+    w: &mut framed::FrameWriter<W>,
+    msg: &FromWorker,
+) -> io::Result<()> {
+    let frame = msg.encode();
+    let (h, payload) = framed::split_frame(&frame).expect("self-encoded frame");
+    w.write_frame(h.version, h.opcode, payload)
+}
+
+/// Blocking read of one coordinator→worker message.
+pub fn read_to_worker<R: Read>(r: &mut R) -> io::Result<ToWorker> {
+    let (opcode, payload) = framed::read_frame(r, SHARD_WIRE_VERSION, MAX_SHARD_FRAME_BYTES)?;
+    ToWorker::decode(opcode, &payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Blocking read of one worker→coordinator message.
+pub fn read_from_worker<R: Read>(r: &mut R) -> io::Result<FromWorker> {
+    let (opcode, payload) = framed::read_frame(r, SHARD_WIRE_VERSION, MAX_SHARD_FRAME_BYTES)?;
+    FromWorker::decode(opcode, &payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_to(msg: ToWorker) {
+        let f = msg.encode();
+        let (h, payload) = framed::split_frame(&f).unwrap();
+        assert_eq!(h.version, SHARD_WIRE_VERSION);
+        assert_eq!(ToWorker::decode(h.opcode, payload).unwrap(), msg);
+    }
+
+    fn roundtrip_from(msg: FromWorker) {
+        let f = msg.encode();
+        let (h, payload) = framed::split_frame(&f).unwrap();
+        assert_eq!(FromWorker::decode(h.opcode, payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn coordinator_messages_roundtrip() {
+        roundtrip_to(ToWorker::Configure {
+            shard: 3,
+            starts: vec![0, 4, 9, 13],
+            model: "tnmodel 1\nnet 4 4 7\n".into(),
+            faults: "tnfault 1\nseed 5\n".into(),
+        });
+        roundtrip_to(ToWorker::TickGo {
+            tick: 42,
+            inputs: vec![(0, 7), (13, 255)],
+            remote: vec![
+                RemoteSpike {
+                    core: 5,
+                    axon: 9,
+                    deliver_tick: 43,
+                },
+                RemoteSpike {
+                    core: 6,
+                    axon: 0,
+                    deliver_tick: 57,
+                },
+            ],
+        });
+        roundtrip_to(ToWorker::Flush {
+            remote: vec![RemoteSpike {
+                core: 1,
+                axon: 2,
+                deliver_tick: 3,
+            }],
+        });
+        roundtrip_to(ToWorker::QueryDigests);
+        roundtrip_to(ToWorker::Snapshot);
+        roundtrip_to(ToWorker::Restore {
+            bytes: vec![1, 2, 3, 4],
+        });
+        roundtrip_to(ToWorker::AttachFaults {
+            text: "tnfault 1\nseed 1\nat 2 core 0 0 dead\n".into(),
+        });
+        roundtrip_to(ToWorker::Shutdown);
+    }
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        roundtrip_from(FromWorker::Done(DoneMsg {
+            tick: 9,
+            stats: TickStats {
+                axon_events: 1,
+                sops: 2,
+                neuron_updates: 3,
+                spikes_out: 4,
+                prng_draws: 5,
+            },
+            outputs: vec![7, 8, 9],
+            boundary: vec![
+                vec![],
+                vec![RemoteSpike {
+                    core: 3,
+                    axon: 200,
+                    deliver_tick: 10,
+                }],
+            ],
+            counters: FaultCounters {
+                dead_dropped: 1,
+                stuck_dropped: 2,
+                sync_dropped: 3,
+                severed_dropped: 4,
+                lossy_dropped: 5,
+                rerouted: 6,
+            },
+        }));
+        roundtrip_from(FromWorker::Ok);
+        roundtrip_from(FromWorker::Digests(vec![0xDEAD, 0xBEEF]));
+        roundtrip_from(FromWorker::SnapData(vec![0; 128]));
+        roundtrip_from(FromWorker::Err("model rejected".into()));
+    }
+
+    #[test]
+    fn lying_counts_are_rejected_before_allocation() {
+        let mut p = Vec::new();
+        wire::put_u64(&mut p, 0);
+        wire::put_u32(&mut p, 0);
+        wire::put_u32(&mut p, u32::MAX); // remote spike count lie
+        assert!(ToWorker::decode(OP_TICK_GO, &p).is_err());
+
+        let mut p = Vec::new();
+        wire::put_u32(&mut p, u32::MAX); // digest count lie
+        assert!(FromWorker::decode(OP_DIGESTS, &p).is_err());
+    }
+
+    #[test]
+    fn streams_roundtrip_through_io() {
+        let mut w = framed::FrameWriter::new(Vec::new());
+        write_to_worker(&mut w, &ToWorker::QueryDigests).unwrap();
+        write_to_worker(
+            &mut w,
+            &ToWorker::TickGo {
+                tick: 1,
+                inputs: vec![],
+                remote: vec![],
+            },
+        )
+        .unwrap();
+        let bytes = w.into_inner();
+        let mut r = std::io::Cursor::new(bytes);
+        assert_eq!(read_to_worker(&mut r).unwrap(), ToWorker::QueryDigests);
+        match read_to_worker(&mut r).unwrap() {
+            ToWorker::TickGo { tick: 1, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let mut w = framed::FrameWriter::new(Vec::new());
+        write_from_worker(&mut w, &FromWorker::Ok).unwrap();
+        let bytes = w.into_inner();
+        let mut r = std::io::Cursor::new(bytes);
+        assert_eq!(read_from_worker(&mut r).unwrap(), FromWorker::Ok);
+    }
+}

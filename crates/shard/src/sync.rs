@@ -1,0 +1,12 @@
+//! Alias module for the shard layer's concurrency primitives.
+//!
+//! Production builds alias straight to `std`; under `--cfg tn_check`
+//! everything routes through the `tn-check` shims so the tick-barrier
+//! mailbox handshake can be model-checked. Funnelling all imports
+//! through this module also lets `tn-check lint` (TN025) catch
+//! accidental bypasses back to `std::sync`.
+
+#[cfg(not(tn_check))]
+pub(crate) use std::sync::{Arc, Condvar, Mutex};
+#[cfg(tn_check)]
+pub(crate) use tn_check::sync::{Arc, Condvar, Mutex};

@@ -1,0 +1,385 @@
+//! The shard worker: one process (or in-process thread) owning a
+//! contiguous core range, driven entirely by coordinator frames.
+//!
+//! The worker's tick is `ReferenceSim::step` with two substitutions that
+//! the blueprint's delivery semantics make state-equivalent:
+//!
+//! * Remote boundary spikes arrive **inside the `TickGo` frame** for the
+//!   tick after they fired, instead of during the firing tick's routing
+//!   phase. Delivery into a delay ring is a commutative, idempotent
+//!   OR-set and a spike fired at `t` with delay `d ≥ 1` lands at
+//!   `t + d ≥ t + 1`, so applying it at the start of tick `t + 1` —
+//!   after the fault phase, which never clears rings — reads back
+//!   identically.
+//! * Only **owned** cores run the Synapse/Neuron phases. Fault events
+//!   and stuck-at-1 deliveries still apply to every core (every worker
+//!   advances the same fault schedule, keeping `FaultState` bit-identical
+//!   across shards so fire-side spike filtering agrees everywhere), but
+//!   non-owned core state is dead weight, never ticked and never
+//!   digested.
+//!
+//! Fault-drop accounting is partitioned so shard sums equal the
+//! single-process counters exactly: spike drops count on the **firing**
+//! shard (each spike is filtered exactly once, at its source), external
+//! input drops count on the **destination owner** (the coordinator
+//! routes inputs by owner before they get here).
+
+use crate::plan::ShardPlan;
+use crate::proto::{read_to_worker, write_from_worker, DoneMsg, FromWorker, RemoteSpike, ToWorker};
+use std::io::{self, Read};
+use std::net::TcpStream;
+use tn_core::fault::{FaultPlan, FaultState};
+use tn_core::wire::framed::FrameWriter;
+use tn_core::{modelfile, Dest, Network, NetworkSnapshot, OutSpike, TickStats};
+
+/// One configured shard: the full network mirror, the partition, and the
+/// compiled owner table used on the per-spike routing path.
+pub struct ShardWorker {
+    net: Network,
+    plan: ShardPlan,
+    shard: usize,
+    /// Dense core → owning shard table compiled from the plan: the
+    /// boundary routing decision is one indexed load per spike, not a
+    /// binary search over range starts.
+    owners: Vec<u16>,
+    faults: Option<FaultState>,
+    tick: u64,
+    spike_buf: Vec<OutSpike>,
+}
+
+impl ShardWorker {
+    /// Build a worker from a `Configure` frame's fields.
+    pub fn configure(
+        shard: usize,
+        starts: &[u32],
+        model: &str,
+        fault_text: &str,
+    ) -> Result<ShardWorker, String> {
+        let net = modelfile::load(model).map_err(|e| format!("model rejected: {e}"))?;
+        let plan = ShardPlan {
+            starts: starts.iter().map(|&s| s as usize).collect(),
+            num_cores: net.num_cores(),
+        };
+        if shard >= plan.shards() {
+            return Err(format!(
+                "shard index {shard} out of range for {} ranges",
+                plan.shards()
+            ));
+        }
+        let owners = (0..plan.num_cores).map(|c| plan.owner(c) as u16).collect();
+        let faults = if fault_text.is_empty() {
+            None
+        } else {
+            let plan = FaultPlan::parse(fault_text).map_err(|e| format!("fault plan: {e}"))?;
+            Some(FaultState::compile(&plan, net.width(), net.height()))
+        };
+        Ok(ShardWorker {
+            net,
+            plan,
+            shard,
+            owners,
+            faults,
+            tick: 0,
+            spike_buf: Vec::new(),
+        })
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Apply boundary deliveries outside a tick (a `Flush`).
+    pub fn apply_remote(&mut self, remote: &[RemoteSpike]) {
+        for rs in remote {
+            self.net.cores_mut()[rs.core as usize].deliver(rs.deliver_tick, rs.axon);
+        }
+    }
+
+    /// Run one tick; `inputs` are already owner-filtered external events
+    /// for this tick, `remote` the boundary spikes other shards fired
+    /// last tick.
+    pub fn run_tick(&mut self, inputs: &[(u32, u8)], remote: &[RemoteSpike]) -> DoneMsg {
+        let t = self.tick;
+
+        // Fault phase — identical on every shard, so fire-side filtering
+        // below sees the same fault state the destination shard would.
+        if let Some(f) = &mut self.faults {
+            for i in f.advance(t) {
+                let ev = f.events()[i];
+                let id = self.net.id_of(ev.coord);
+                FaultState::apply_to_core(&ev, self.net.core_mut(id), f.seed());
+            }
+            for &(core, axon) in f.stuck1() {
+                self.net.cores_mut()[core as usize].deliver(t, axon);
+            }
+        }
+
+        // Remote boundary deliveries (fired at t-1, filtered fire-side).
+        self.apply_remote(remote);
+
+        // External inputs: out-of-grid targets were diagnosed coordinator
+        // side; the per-tick stuck/sync gate applies here, on the owner,
+        // so each drop is counted exactly once across the board.
+        for &(core, axon) in inputs {
+            if let Some(f) = &mut self.faults {
+                if !f.allow_external(t, core, axon) {
+                    continue;
+                }
+            }
+            self.net.cores_mut()[core as usize].deliver(t + 1, axon);
+        }
+
+        // Synapse + Neuron phases, owned cores only, ascending id.
+        let mut stats = TickStats::default();
+        self.spike_buf.clear();
+        for idx in self.plan.range(self.shard) {
+            self.net.cores_mut()[idx].tick(t, &mut self.spike_buf, &mut stats);
+        }
+
+        // Network phase: local targets deliver now; boundary targets are
+        // bucketed per destination shard and ride the barrier reply.
+        let shards = self.plan.shards();
+        let mut outputs = Vec::new();
+        let mut boundary = vec![Vec::new(); shards];
+        for s in self.spike_buf.drain(..) {
+            match s.dest {
+                Dest::Axon(tgt) => {
+                    if let Some(f) = &mut self.faults {
+                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                            continue;
+                        }
+                    }
+                    let deliver_tick = t + tgt.delay as u64;
+                    let owner = self.owners[tgt.core.index()] as usize;
+                    if owner == self.shard {
+                        self.net.core_mut(tgt.core).deliver(deliver_tick, tgt.axon);
+                    } else {
+                        boundary[owner].push(RemoteSpike {
+                            core: tgt.core.0,
+                            axon: tgt.axon,
+                            deliver_tick,
+                        });
+                    }
+                }
+                Dest::Output(port) => outputs.push(port),
+                Dest::None => {}
+            }
+        }
+
+        self.tick = t + 1;
+        DoneMsg {
+            tick: t,
+            stats,
+            outputs,
+            boundary,
+            counters: self
+                .faults
+                .as_ref()
+                .map(|f| *f.counters())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Per-core state digests for the owned range, ascending core id.
+    pub fn digests(&self) -> Vec<u64> {
+        let r = self.plan.range(self.shard);
+        self.net.cores()[r]
+            .iter()
+            .map(|c| c.state_digest())
+            .collect()
+    }
+
+    pub fn snapshot(&self) -> Vec<u8> {
+        NetworkSnapshot::capture(&self.net, self.tick).to_bytes()
+    }
+
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let snap = NetworkSnapshot::from_bytes(bytes).map_err(|e| format!("snapshot: {e}"))?;
+        snap.restore(&mut self.net);
+        self.tick = snap.tick;
+        if let Some(f) = &mut self.faults {
+            f.reset_for_restore(&mut self.net, self.tick);
+        }
+        Ok(())
+    }
+
+    pub fn attach_faults(&mut self, text: &str) -> Result<(), String> {
+        if text.is_empty() {
+            self.faults = None;
+            return Ok(());
+        }
+        let plan = FaultPlan::parse(text).map_err(|e| format!("fault plan: {e}"))?;
+        self.faults = Some(FaultState::compile(
+            &plan,
+            self.net.width(),
+            self.net.height(),
+        ));
+        Ok(())
+    }
+}
+
+/// Serve one coordinator connection until `Shutdown` or EOF. This is the
+/// whole worker: both the `tn-shard-worker` binary and the in-process
+/// spawn mode call straight into it.
+pub fn serve(stream: TcpStream) -> io::Result<()> {
+    let reader = stream.try_clone()?;
+    let mut writer = FrameWriter::new(stream);
+    serve_io(reader, &mut writer)
+}
+
+fn serve_io<R: Read, W: io::Write>(mut reader: R, writer: &mut FrameWriter<W>) -> io::Result<()> {
+    let mut worker: Option<ShardWorker> = None;
+    loop {
+        let msg = match read_to_worker(&mut reader) {
+            Ok(m) => m,
+            // Coordinator hung up (or was killed): a clean exit, the
+            // coordinator side is responsible for healing.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = match (&msg, &mut worker) {
+            (ToWorker::Shutdown, _) => {
+                write_from_worker(writer, &FromWorker::Ok)?;
+                return Ok(());
+            }
+            (
+                ToWorker::Configure {
+                    shard,
+                    starts,
+                    model,
+                    faults,
+                },
+                slot,
+            ) => match ShardWorker::configure(*shard as usize, starts, model, faults) {
+                Ok(w) => {
+                    *slot = Some(w);
+                    Some(FromWorker::Ok)
+                }
+                Err(e) => Some(FromWorker::Err(e)),
+            },
+            (_, None) => Some(FromWorker::Err("not configured".into())),
+            (
+                ToWorker::TickGo {
+                    tick,
+                    inputs,
+                    remote,
+                },
+                Some(w),
+            ) => {
+                if *tick != w.tick() {
+                    Some(FromWorker::Err(format!(
+                        "tick skew: coordinator at {tick}, worker at {}",
+                        w.tick()
+                    )))
+                } else {
+                    Some(FromWorker::Done(w.run_tick(inputs, remote)))
+                }
+            }
+            (ToWorker::Flush { remote }, Some(w)) => {
+                w.apply_remote(remote);
+                None // fire-and-forget: stream order covers the flush
+            }
+            (ToWorker::QueryDigests, Some(w)) => Some(FromWorker::Digests(w.digests())),
+            (ToWorker::Snapshot, Some(w)) => Some(FromWorker::SnapData(w.snapshot())),
+            (ToWorker::Restore { bytes }, Some(w)) => Some(match w.restore(bytes) {
+                Ok(()) => FromWorker::Ok,
+                Err(e) => FromWorker::Err(e),
+            }),
+            (ToWorker::AttachFaults { text }, Some(w)) => Some(match w.attach_faults(text) {
+                Ok(()) => FromWorker::Ok,
+                Err(e) => FromWorker::Err(e),
+            }),
+        };
+        if let Some(reply) = reply {
+            write_from_worker(writer, &reply)?;
+        }
+    }
+}
+
+/// Entry point for the `tn-shard-worker` binary.
+pub fn connect_and_serve(addr: &str) -> io::Result<()> {
+    serve(TcpStream::connect(addr)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto;
+    use tn_core::{CoreConfig, CoreId, Crossbar, NetworkBuilder, NeuronConfig, SpikeTarget};
+
+    /// Core 0 neuron j → core 1 axon j, so shard 0 emits boundary spikes
+    /// under a 2-way split; core 1 routes back to core 0.
+    fn two_core_model() -> String {
+        let mut b = NetworkBuilder::new(2, 1, 3);
+        for target in [1u32, 0] {
+            let mut cfg = CoreConfig::new();
+            *cfg.crossbar = Crossbar::from_fn(|i, j| i == j);
+            for j in 0..256 {
+                cfg.neurons[j] = NeuronConfig::lif(1, 1);
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(CoreId(target), j as u8, 1));
+            }
+            b.add_core(cfg);
+        }
+        modelfile::save(&b.build())
+    }
+
+    #[test]
+    fn configure_rejects_garbage() {
+        assert!(ShardWorker::configure(0, &[0], "not a model", "").is_err());
+        let model = two_core_model();
+        assert!(ShardWorker::configure(5, &[0, 1], &model, "").is_err());
+        assert!(ShardWorker::configure(0, &[0, 1], &model, "not a plan").is_err());
+    }
+
+    #[test]
+    fn serve_loop_handshakes_over_buffers() {
+        let model = two_core_model();
+        let mut req = FrameWriter::new(Vec::new());
+        for msg in [
+            ToWorker::Configure {
+                shard: 0,
+                starts: vec![0, 1],
+                model,
+                faults: String::new(),
+            },
+            ToWorker::TickGo {
+                tick: 0,
+                inputs: vec![(0, 0)],
+                remote: vec![],
+            },
+            ToWorker::QueryDigests,
+            ToWorker::Shutdown,
+        ] {
+            proto::write_to_worker(&mut req, &msg).unwrap();
+        }
+        let mut replies = FrameWriter::new(Vec::new());
+        serve_io(std::io::Cursor::new(req.into_inner()), &mut replies).unwrap();
+        let mut r = std::io::Cursor::new(replies.into_inner().to_vec());
+        assert_eq!(proto::read_from_worker(&mut r).unwrap(), FromWorker::Ok);
+        match proto::read_from_worker(&mut r).unwrap() {
+            FromWorker::Done(d) => {
+                assert_eq!(d.tick, 0);
+                assert_eq!(d.boundary.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match proto::read_from_worker(&mut r).unwrap() {
+            FromWorker::Digests(ds) => assert_eq!(ds.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(proto::read_from_worker(&mut r).unwrap(), FromWorker::Ok);
+    }
+
+    #[test]
+    fn unconfigured_requests_error() {
+        let mut req = FrameWriter::new(Vec::new());
+        proto::write_to_worker(&mut req, &ToWorker::QueryDigests).unwrap();
+        let mut replies = FrameWriter::new(Vec::new());
+        serve_io(std::io::Cursor::new(req.into_inner()), &mut replies).unwrap();
+        let mut r = std::io::Cursor::new(replies.into_inner().to_vec());
+        match proto::read_from_worker(&mut r).unwrap() {
+            FromWorker::Err(e) => assert!(e.contains("not configured")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Shard-loss robustness: kill a worker mid-run and prove the healed
+//! session preserves spike-for-spike continuity with an undisturbed
+//! single-process run — state digests, output transcript, and fault
+//! counters all byte-identical.
+
+mod common;
+
+use tn_compass::{KernelSession, ReferenceSim};
+use tn_core::fault::FaultPlan;
+use tn_shard::{ShardSpec, ShardedSession, SpawnMode};
+
+fn reference_run(ticks: u64) -> (Vec<u64>, Vec<(u64, u32)>, tn_core::FaultCounters) {
+    let mut sim = ReferenceSim::new(common::stochastic_net(4, 2, 51));
+    sim.attach_faults(&FaultPlan::parse(common::fault_plan_text()).unwrap());
+    let num = sim.network().num_cores();
+    let mut src = common::inputs_for(num, ticks);
+    let mut digests = Vec::new();
+    for _ in 0..ticks {
+        KernelSession::step(&mut sim, &mut src);
+        digests.push(KernelSession::state_digest(&mut sim));
+    }
+    let outputs = sim
+        .outputs()
+        .events()
+        .iter()
+        .map(|e| (e.tick, e.port))
+        .collect();
+    (digests, outputs, sim.fault_counters().unwrap())
+}
+
+/// Kill shard workers at the given ticks and compare the full transcript
+/// against the continuous reference run.
+fn chaos_run(spec: &ShardSpec, ticks: u64, kills: &[(u64, usize)]) {
+    let (ref_digests, ref_outputs, ref_counters) = reference_run(ticks);
+    let net = common::stochastic_net(4, 2, 51);
+    let num = net.num_cores();
+    let mut sim = ShardedSession::launch(net, spec).expect("launch");
+    sim.attach_faults(&FaultPlan::parse(common::fault_plan_text()).unwrap());
+    let mut src = common::inputs_for(num, ticks);
+    let mut digests = Vec::new();
+    for t in 0..ticks {
+        if let Some(&(_, k)) = kills.iter().find(|&&(kt, _)| kt == t) {
+            sim.kill_worker(k);
+        }
+        sim.step(&mut src);
+        digests.push(sim.state_digest());
+    }
+    assert!(
+        sim.heals() >= kills.len() as u64,
+        "every kill must be healed (heals = {})",
+        sim.heals()
+    );
+    assert_eq!(ref_digests, digests, "per-tick digests diverged");
+    let outputs: Vec<_> = sim
+        .outputs()
+        .events()
+        .iter()
+        .map(|e| (e.tick, e.port))
+        .collect();
+    assert_eq!(ref_outputs, outputs, "output transcript diverged");
+    assert_eq!(
+        ref_counters,
+        sim.fault_counters().unwrap(),
+        "fault counters diverged"
+    );
+}
+
+/// In-process shards: kill one worker after the first heal snapshot and
+/// another before any snapshot covers it, so both the restore path and
+/// the replay-from-zero path run.
+#[test]
+fn killed_in_process_shard_preserves_continuity() {
+    let spec = ShardSpec {
+        shards: 2,
+        snapshot_every: 8,
+        spawn: SpawnMode::InProcess,
+    };
+    chaos_run(&spec, 40, &[(5, 1), (19, 0)]);
+}
+
+/// The same chaos against real OS worker processes.
+#[test]
+fn killed_process_shard_preserves_continuity() {
+    let spec = ShardSpec {
+        shards: 2,
+        snapshot_every: 8,
+        spawn: SpawnMode::Process {
+            worker_bin: env!("CARGO_BIN_EXE_tn-shard-worker").into(),
+        },
+    };
+    chaos_run(&spec, 32, &[(11, 0)]);
+}
+
+/// Back-to-back kills of the same shard, plus a kill immediately after
+/// a digest observation (replay logs then contain Flush frames).
+#[test]
+fn repeated_kills_of_one_shard_heal_cleanly() {
+    let spec = ShardSpec {
+        shards: 2,
+        snapshot_every: 8,
+        spawn: SpawnMode::InProcess,
+    };
+    chaos_run(&spec, 40, &[(9, 1), (10, 1), (25, 1)]);
+}

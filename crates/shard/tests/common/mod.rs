@@ -1,0 +1,72 @@
+//! Shared fixtures for the sharding tests: seeded stochastic topologies
+//! with output ports, scheduled input streams, and a fault plan that
+//! exercises every fault class.
+
+// Each test binary includes this module but uses a different subset.
+#![allow(dead_code)]
+
+use tn_core::{
+    CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig, ScheduledSource,
+    SpikeTarget,
+};
+
+/// Random-ish stochastic recurrent network over `w×h` cores (the
+/// `tn-compass` equivalence fixture), with every 16th neuron routed to
+/// an output port so spike transcripts get exercised too.
+pub fn stochastic_net(w: u16, h: u16, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new(w, h, seed);
+    let num = (w as u32 * h as u32) as usize;
+    for c in 0..num {
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17 + c) % 13 == 0);
+        for j in 0..256 {
+            cfg.neurons[j] = NeuronConfig::stochastic_source(20);
+            // Zero-weight recurrence keeps rates stationary while still
+            // exercising routing.
+            cfg.neurons[j].weights = [0; 4];
+            if (j + c) % 16 == 0 {
+                cfg.neurons[j].dest = Dest::Output((c * 256 + j) as u32);
+            } else {
+                let tgt = ((c * 7 + j * 3) % num) as u32;
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(tgt),
+                    ((j * 11 + c) % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+        }
+        b.add_core(cfg);
+    }
+    b.build()
+}
+
+/// A deterministic input schedule touching every shard's cores, plus one
+/// out-of-grid event to pin drop accounting.
+pub fn inputs_for(num_cores: usize, ticks: u64) -> ScheduledSource {
+    let mut src = ScheduledSource::new();
+    for t in 0..ticks {
+        for i in 0..4u64 {
+            let core = ((t * 13 + i * 5) % num_cores as u64) as u32;
+            let axon = ((t * 29 + i * 101) % 256) as u8;
+            src.push(t, CoreId(core), axon);
+        }
+    }
+    src.push(1, CoreId(num_cores as u32 + 7), 0); // out of grid: dropped
+    src
+}
+
+/// A fault plan for a grid at least 3×2: a dead core, stuck axons both
+/// ways, a bit flip, a neuron corruption, a sync window, a severed link,
+/// and a lossy link.
+pub fn fault_plan_text() -> &'static str {
+    "tnfault 1\n\
+     seed 99\n\
+     at 3 core 0 0 dead\n\
+     at 4 core 1 0 axon 7 stuck0\n\
+     at 4 core 1 0 axon 9 stuck1\n\
+     at 6 core 2 0 flip 3 5\n\
+     at 7 core 0 1 corrupt 11\n\
+     at 8 core 1 1 sync 6\n\
+     at 5 link 0 0 1 0 sever\n\
+     at 5 link 1 0 2 0 lossy 350\n"
+}

@@ -1,0 +1,238 @@
+//! Model-checked tick-barrier protocol (run with
+//! `RUSTFLAGS="--cfg tn_check"`): the coordinator/reader-thread
+//! handshake over [`tn_shard::Mailbox`] is explored across thread
+//! interleavings — parity double-buffering under one-tick-late deposits,
+//! stale replay echoes, shard-loss + heal mid-wait, and shutdown — plus
+//! a deliberately broken barrier as the negative control proving the
+//! checker would catch a lost wakeup in this shape of code.
+//!
+//! The buggy fixture lives here, in a test file, precisely so its lint
+//! allowance cannot leak onto the production mailbox in `src/`.
+
+// tn-check: allow(TN020, TN022) — the `BuggyBarrier` fixture below
+// re-checks its predicate outside the lock and waits unconditionally;
+// that missing happens-before IS the bug the negative control pins.
+
+#![cfg(tn_check)]
+
+use tn_check::sync::{Arc, Condvar, Mutex};
+use tn_check::{check_dfs, check_random, replay, Config, FailureKind};
+use tn_shard::proto::DoneMsg;
+use tn_shard::{Mailbox, MailboxError};
+
+fn schedules(default: u64) -> u64 {
+    std::env::var("TN_CHECK_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn done(tick: u64) -> DoneMsg {
+    DoneMsg {
+        tick,
+        ..DoneMsg::default()
+    }
+}
+
+/// Two reader threads race the coordinator across two ticks, each
+/// legally running one tick ahead of the barrier drain (the parity
+/// double-buffer case). DFS-exhausted: every interleaving of the
+/// 2-shard configuration drains both barriers in order.
+fn two_shard_barrier() {
+    let mb = Arc::new(Mailbox::new(2));
+    let readers: Vec<_> = (0..2usize)
+        .map(|k| {
+            let mb = Arc::clone(&mb);
+            tn_check::thread::spawn(move || {
+                // A fast shard may deposit tick 1 while the coordinator
+                // is still collecting tick 0 from the slow one.
+                mb.deposit_done(k, done(0));
+                mb.deposit_done(k, done(1));
+            })
+        })
+        .collect();
+    for t in 0..2u64 {
+        let drained = mb.wait_done(t, 2).expect("no shutdown in this model");
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|d| d.tick == t), "tick mixing in slot");
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn model_barrier_two_shards_dfs_exhausts_clean() {
+    // Preemption-bounded DFS: the unbounded two-tick space is astronomic,
+    // but ≤3 involuntary switches reaches every barrier-relevant
+    // interleaving class (loss, reorder, one-tick-ahead overlap).
+    let cfg = Config {
+        preemption_bound: Some(3),
+        ..Config::default()
+    };
+    let report = check_dfs(&cfg, 300_000, two_shard_barrier);
+    report.assert_ok();
+    assert!(
+        report.exhausted,
+        "DFS must exhaust the 2-shard barrier space, ran {} schedules",
+        report.schedules
+    );
+    println!(
+        "model_barrier_two_shards: exhausted in {} schedules",
+        report.schedules
+    );
+}
+
+/// A healed shard's replay echoes (deposits for ticks the barrier
+/// already closed) race a live tick; the stale ones must vanish
+/// silently, never panic, never corrupt the live slot.
+fn stale_echo_race() {
+    let mb = Arc::new(Mailbox::new(1));
+    mb.deposit_done(0, done(0));
+    assert_eq!(mb.wait_done(0, 1).unwrap().len(), 1);
+    let echo = {
+        let mb = Arc::clone(&mb);
+        // Replay echo from a resurrected worker: tick 0 again, racing
+        // the live deposit for tick 2 below.
+        tn_check::thread::spawn(move || mb.deposit_done(0, done(0)))
+    };
+    mb.deposit_done(0, done(2));
+    let drained = mb.wait_done(2, 1).unwrap();
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].tick, 2, "stale echo displaced a live deposit");
+    echo.join().unwrap();
+}
+
+#[test]
+fn model_stale_replay_echoes_are_dropped() {
+    let cfg = Config::default();
+    let report = check_dfs(&cfg, 300_000, stale_echo_race);
+    report.assert_ok();
+    assert!(report.exhausted, "stale-echo space must be exhaustible");
+}
+
+/// Shard loss mid-wait: a reader marks its shard down while the
+/// coordinator waits; the coordinator heals (begin_heal + revive) and
+/// re-enters the wait, which completes off the surviving deposit plus
+/// the replacement's.
+fn shard_down_heal_resume() {
+    let mb = Arc::new(Mailbox::new(2));
+    let healthy = {
+        let mb = Arc::clone(&mb);
+        tn_check::thread::spawn(move || mb.deposit_done(0, done(0)))
+    };
+    let dying = {
+        let mb = Arc::clone(&mb);
+        tn_check::thread::spawn(move || mb.mark_down(1))
+    };
+    // The wait either sees the down flag immediately or blocks until
+    // the dying reader raises it — both must surface ShardDown(1).
+    match mb.wait_done(0, 2) {
+        Err(MailboxError::ShardDown(1)) => {}
+        other => panic!("expected ShardDown(1), got {other:?}"),
+    }
+    // Coordinator heals: forget shard 1's state, reconnect, replay.
+    mb.begin_heal(1);
+    mb.revive(1);
+    mb.deposit_done(1, done(0));
+    let drained = mb.wait_done(0, 2).expect("healed barrier completes");
+    assert_eq!(drained.len(), 2);
+    assert!(drained.iter().all(|d| d.tick == 0));
+    healthy.join().unwrap();
+    dying.join().unwrap();
+}
+
+#[test]
+fn model_shard_loss_heals_mid_wait() {
+    let cfg = Config::default();
+    let n = schedules(1_000);
+    let report = check_random(&cfg, n, 0x5AD_D011, shard_down_heal_resume);
+    report.assert_ok();
+    println!("model_shard_loss: {} clean schedules", report.schedules);
+}
+
+/// Shutdown wakes a parked coordinator instead of stranding it.
+fn shutdown_wakes_waiter() {
+    let mb = Arc::new(Mailbox::new(1));
+    let closer = {
+        let mb = Arc::clone(&mb);
+        tn_check::thread::spawn(move || mb.shutdown())
+    };
+    match mb.wait_done(0, 1) {
+        Err(MailboxError::Shutdown) => {}
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+    closer.join().unwrap();
+}
+
+#[test]
+fn model_shutdown_never_strands_the_coordinator() {
+    let report = check_dfs(&Config::default(), 100_000, shutdown_wakes_waiter);
+    report.assert_ok();
+    assert!(report.exhausted);
+}
+
+// ---------------------------------------------------------------------
+// Negative control
+// ---------------------------------------------------------------------
+
+/// A broken barrier in the mailbox's shape: `buggy_wait` checks the
+/// arrival flag, DROPS the lock, then re-locks and waits with no
+/// predicate re-check. A deposit landing in the gap notifies nobody and
+/// the wakeup is lost forever — exactly the bug TN022 and the predicate
+/// loop in the real `Mailbox::wait_done` exist to prevent.
+struct BuggyBarrier {
+    arrived: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl BuggyBarrier {
+    fn deposit(&self) {
+        *self.arrived.lock().unwrap() = true;
+        self.cond.notify_all();
+    }
+
+    fn buggy_wait(&self) {
+        // BUG: flag check and wait are separate critical sections.
+        if !*self.arrived.lock().unwrap() {
+            let guard = self.arrived.lock().unwrap();
+            let _guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+fn lost_barrier_wakeup() {
+    let bb = Arc::new(BuggyBarrier {
+        arrived: Mutex::new(false),
+        cond: Condvar::new(),
+    });
+    let depositor = {
+        let bb = Arc::clone(&bb);
+        tn_check::thread::spawn(move || bb.deposit())
+    };
+    bb.buggy_wait();
+    depositor.join().unwrap();
+}
+
+#[test]
+fn model_buggy_barrier_without_predicate_loop_deadlocks() {
+    // Spurious-wakeup injection off: an injected wake would paper over
+    // exactly the hang this fixture exists to expose.
+    let cfg = Config {
+        spurious_wakeups: 0,
+        ..Config::default()
+    };
+    let report = check_random(&cfg, 2_000, 0xBADBA44, lost_barrier_wakeup);
+    let failure = report
+        .failure
+        .expect("the checker must find the lost wakeup");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    let schedule = failure
+        .schedule
+        .clone()
+        .expect("random failures carry a seed");
+    let replayed = replay(&cfg, &schedule, lost_barrier_wakeup)
+        .failure
+        .expect("replaying the failing seed must reproduce the deadlock");
+    assert_eq!(replayed.kind, FailureKind::Deadlock, "replay diverged");
+}

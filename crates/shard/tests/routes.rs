@@ -1,0 +1,75 @@
+//! Seeded property test: the compiled per-shard boundary routing tables
+//! are a bijection with the single-process crossbar fanout — every
+//! (src neuron → remote axon) edge appears in exactly one shard's table,
+//! exactly once, with the same target and delay; and no local edge ever
+//! leaks into a table.
+
+mod common;
+
+use std::collections::BTreeSet;
+use tn_core::{Dest, Network};
+use tn_shard::{boundary_routes, ShardPlan};
+
+type Edge = (u32, u16, u32, u8, u8); // (src_core, src_neuron, dst_core, dst_axon, delay)
+
+/// All cross-shard crossbar edges of `net` under `plan`, read straight
+/// from the network config — the ground truth the tables must equal.
+fn crossbar_boundary_edges(net: &Network, plan: &ShardPlan) -> BTreeSet<Edge> {
+    let mut edges = BTreeSet::new();
+    for (c, core) in net.cores().iter().enumerate() {
+        for (j, n) in core.config().neurons.iter().enumerate() {
+            if let Dest::Axon(tgt) = n.dest {
+                let dst = tgt.core.index();
+                if dst < plan.num_cores && plan.owner(dst) != plan.owner(c) {
+                    let inserted =
+                        edges.insert((c as u32, j as u16, tgt.core.0, tgt.axon, tgt.delay));
+                    assert!(inserted, "crossbar fanout has no duplicate edges");
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[test]
+fn routing_tables_are_bijective_with_crossbar_fanout() {
+    for (w, h, seed) in [(4u16, 2u16, 11u64), (3, 3, 23), (5, 2, 37)] {
+        let net = common::stochastic_net(w, h, seed);
+        for shards in [1usize, 2, 4, 7] {
+            let plan = ShardPlan::compute(&net, shards);
+            let truth = crossbar_boundary_edges(&net, &plan);
+
+            let mut seen: BTreeSet<Edge> = BTreeSet::new();
+            for k in 0..plan.shards() {
+                for r in boundary_routes(&net, &plan, k) {
+                    // Table-internal consistency.
+                    assert_eq!(
+                        plan.owner(r.src_core as usize),
+                        k,
+                        "route listed in the wrong shard's table"
+                    );
+                    assert_eq!(
+                        plan.owner(r.dst_core as usize) as u16,
+                        r.dst_shard,
+                        "dst_shard disagrees with the partition"
+                    );
+                    assert_ne!(r.dst_shard as usize, k, "local edge leaked into table");
+                    // Injectivity across all shards' tables.
+                    let edge = (r.src_core, r.src_neuron, r.dst_core, r.dst_axon, r.delay);
+                    assert!(
+                        seen.insert(edge),
+                        "edge {edge:?} appears in two tables (or twice in one)"
+                    );
+                }
+            }
+            // Surjectivity: nothing in the crossbar fanout is missing.
+            assert_eq!(
+                truth, seen,
+                "{w}x{h} seed {seed}, {shards} shards: tables ≠ fanout"
+            );
+            if plan.shards() == 1 {
+                assert!(seen.is_empty(), "single shard has no boundary");
+            }
+        }
+    }
+}
