@@ -198,6 +198,43 @@ impl Condvar {
         }
     }
 
+    /// Wait with a timeout. Pass-through mode defers to the real
+    /// condvar. In model mode time is not modelled: the wait behaves
+    /// exactly like [`Condvar::wait`] and *never* reports expiry — a
+    /// protocol whose liveness depends on the timeout firing must be
+    /// checked through the wakeup it times out *towards* (the model
+    /// explores the notify path; the timeout is a production-only
+    /// escape hatch for lost peers).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (lock, real) = guard.into_parts();
+        match real {
+            Some(real_guard) => {
+                let (real_guard, timed_out) = self
+                    .real
+                    .wait_timeout(real_guard, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok((
+                    MutexGuard {
+                        lock,
+                        real: Some(real_guard),
+                    },
+                    WaitTimeoutResult(timed_out.timed_out()),
+                ))
+            }
+            None => {
+                let (exec, me) = sched::current().expect("model guard outside execution");
+                exec.mutex_unlock(me, lock.key(), &lock.held);
+                exec.condvar_wait(me, self.key());
+                let reacquired = lock.lock().unwrap_or_else(|e| e.into_inner());
+                Ok((reacquired, WaitTimeoutResult(false)))
+            }
+        }
+    }
+
     pub fn notify_one(&self) {
         match sched::current() {
             None => self.real.notify_one(),
@@ -210,6 +247,17 @@ impl Condvar {
             None => self.real.notify_all(),
             Some((exec, me)) => exec.condvar_notify(me, self.key(), true),
         }
+    }
+}
+
+/// Shim-local mirror of `std::sync::WaitTimeoutResult` (std's has no
+/// public constructor). Call sites written against the shim duck-type
+/// onto std's identical `timed_out()` method in production builds.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

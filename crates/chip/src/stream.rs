@@ -127,6 +127,22 @@ impl Injector {
         self.shared.queue.lock().unwrap().pending
     }
 
+    /// Snapshot of every queued event as `(tick, core, axon)` triples in
+    /// tick order — the live-migration transfer path: a quiesced
+    /// session copies its undelivered inputs into the migration ticket
+    /// without disturbing the queue (an aborted migration must leave
+    /// the source untouched).
+    pub fn pending_events(&self) -> Vec<(u64, CoreId, u16)> {
+        let q = self.shared.queue.lock().unwrap();
+        let mut out = Vec::with_capacity(q.pending);
+        for (&tick, batch) in &q.by_tick {
+            for &(core, axon) in batch {
+                out.push((tick, core, axon as u16));
+            }
+        }
+        out
+    }
+
     /// The earliest tick a new event may target.
     pub fn sweep(&self) -> u64 {
         self.shared.sweep.load(Ordering::Acquire)
@@ -207,6 +223,22 @@ mod tests {
         assert_eq!(o.dropped, 7);
         assert_eq!(inj.dropped(), 7);
         assert_eq!(inj.pending(), 3);
+    }
+
+    #[test]
+    fn pending_events_copies_without_draining() {
+        let (mut src, inj) = stream_channel(4, 100);
+        inj.offer(&[(5, CoreId(0), 9), (2, CoreId(1), 7), (2, CoreId(3), 1)])
+            .unwrap();
+        // Tick order, insertion order within a tick; the queue survives.
+        assert_eq!(
+            inj.pending_events(),
+            vec![(2, CoreId(1), 7), (2, CoreId(3), 1), (5, CoreId(0), 9)]
+        );
+        assert_eq!(inj.pending(), 3);
+        let mut out = Vec::new();
+        src.fill(2, &mut out);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

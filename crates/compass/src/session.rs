@@ -45,6 +45,14 @@ pub trait KernelSession: Send {
     /// targets), excluding drops upstream in any injection queue.
     fn dropped_inputs(&self) -> u64;
 
+    /// Settle the expression at the current tick boundary so its state
+    /// is fully observable — the live-migration handoff hook. The
+    /// default is a no-op (single-process expressions are always
+    /// settled between ticks); a distributed expression flushes
+    /// in-flight boundary traffic here so the [`KernelSession::
+    /// checkpoint`] that follows equals the single-process state.
+    fn quiesce(&mut self) {}
+
     /// Capture dynamic state at the current tick boundary. Takes `&mut
     /// self` because a distributed expression must first flush in-flight
     /// boundary traffic so the snapshot equals the single-process state.

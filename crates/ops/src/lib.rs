@@ -1,0 +1,400 @@
+//! tn-ops: the fleet-level control plane over `tn-serve`.
+//!
+//! The paper's platform is operated, not just run: boards hosting live
+//! cortical sessions get upgraded, rebalanced, and retired while the
+//! 1 ms tick keeps beating. This crate packages the operator's side of
+//! that story on top of the tn-serve control-plane protocol:
+//!
+//! - **probing** — [`probe`] snapshots one server (drain state, session
+//!   roster with full per-session counters) over a bounded-time
+//!   connection, and [`probe_fleet`] sweeps an address list, keeping
+//!   whatever answered;
+//! - **migration** — [`migrate`] moves one live session between servers
+//!   (the servers do the spike-for-spike handoff; the reply carries the
+//!   session's new home);
+//! - **drain** — [`drain`] empties a server for zero-downtime
+//!   maintenance: no new sessions, every live session migrated out,
+//!   clean exit;
+//! - **rebalancing** — [`Rebalancer`] watches per-session
+//!   `missed_deadlines` deltas across probe rounds and plans migrations
+//!   of deadline-missing sessions onto the least-loaded server. The
+//!   planner is pure (observation in, [`Move`] list out), so policy is
+//!   unit-testable without sockets; [`apply`] executes a plan.
+//!
+//! The `tn-ops` binary wraps all four as subcommands.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use tn_serve::{Client, ClientError, ErrorCode, Response, SessionEntry};
+
+/// Control-plane failures: transport, a server-reported error, or a
+/// reply that does not fit the request.
+#[derive(Debug)]
+pub enum OpsError {
+    Client(ClientError),
+    /// The server answered with a protocol-level error.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+    /// The server answered something other than the expected reply.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for OpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpsError::Client(e) => write!(f, "{e}"),
+            OpsError::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+            OpsError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OpsError {}
+
+impl From<ClientError> for OpsError {
+    fn from(e: ClientError) -> Self {
+        OpsError::Client(e)
+    }
+}
+
+fn fail(resp: Response) -> OpsError {
+    match resp {
+        Response::Error { code, message } => OpsError::Server { code, message },
+        other => OpsError::Unexpected(format!("{other:?}")),
+    }
+}
+
+/// One probed server: identity, drain state, and its session roster.
+#[derive(Debug, Clone)]
+pub struct ServerView {
+    /// The address the probe reached it at (what [`Move`]s refer to).
+    pub addr: String,
+    pub draining: bool,
+    pub max_sessions: u32,
+    pub sessions: Vec<SessionEntry>,
+}
+
+impl ServerView {
+    /// Load as a fraction of capacity (1.0 = full).
+    pub fn load(&self) -> f64 {
+        if self.max_sessions == 0 {
+            return 1.0;
+        }
+        self.sessions.len() as f64 / self.max_sessions as f64
+    }
+}
+
+/// Open a bounded-time control connection: both the TCP connect and
+/// every request on the resulting client observe `timeout`, so a wedged
+/// server costs the operator a bounded wait, never a hang.
+fn connect(addr: &str, timeout: Duration) -> Result<Client, OpsError> {
+    let mut c = Client::connect_with_timeout(addr, timeout)?;
+    c.set_io_timeout(Some(timeout))?;
+    Ok(c)
+}
+
+/// Snapshot one server's status and session roster.
+pub fn probe(addr: &str, timeout: Duration) -> Result<ServerView, OpsError> {
+    let mut c = connect(addr, timeout)?;
+    let (draining, max_sessions) = match c.server_status()? {
+        Response::ServerStatusData {
+            draining,
+            max_sessions,
+            ..
+        } => (draining, max_sessions),
+        other => return Err(fail(other)),
+    };
+    let sessions = match c.list_sessions()? {
+        Response::SessionList { entries } => entries,
+        other => return Err(fail(other)),
+    };
+    Ok(ServerView {
+        addr: addr.to_string(),
+        draining,
+        max_sessions,
+        sessions,
+    })
+}
+
+/// Probe every address, returning the views that answered and the
+/// errors from those that did not — a partially-down fleet is still
+/// operable.
+pub fn probe_fleet(
+    addrs: &[String],
+    timeout: Duration,
+) -> (Vec<ServerView>, Vec<(String, OpsError)>) {
+    let mut views = Vec::new();
+    let mut errors = Vec::new();
+    for addr in addrs {
+        match probe(addr, timeout) {
+            Ok(v) => views.push(v),
+            Err(e) => errors.push((addr.clone(), e)),
+        }
+    }
+    (views, errors)
+}
+
+/// Ask `source` to live-migrate `session` to `target`. Returns the
+/// session's new address (from the server's redirect reply). The
+/// spike-for-spike handoff — quiesce, snapshot, transfer, resume — is
+/// entirely between the two servers; this call only triggers and
+/// observes it.
+pub fn migrate(
+    source: &str,
+    session: &str,
+    target: &str,
+    timeout: Duration,
+) -> Result<String, OpsError> {
+    let mut c = connect(source, timeout)?;
+    match c.migrate(session, target)? {
+        Response::Redirect { addr, .. } => Ok(addr),
+        other => Err(fail(other)),
+    }
+}
+
+/// Drain `source`: stop admitting sessions, migrate every live session
+/// to `target`, then let the server exit cleanly.
+pub fn drain(source: &str, target: &str, timeout: Duration) -> Result<(), OpsError> {
+    let mut c = connect(source, timeout)?;
+    match c.drain(target)? {
+        Response::Ok => Ok(()),
+        other => Err(fail(other)),
+    }
+}
+
+/// When to move sessions, and how aggressively.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// A session is "hot" when it booked at least this many *new*
+    /// real-time deadline misses since the previous observation round.
+    pub miss_threshold: u64,
+    /// Upper bound on planned moves per round — rebalancing is damped
+    /// on purpose; each move costs a quiesce on a live session.
+    pub max_moves: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            miss_threshold: 10,
+            max_moves: 1,
+        }
+    }
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    pub session: String,
+    pub from: String,
+    pub to: String,
+    /// New deadline misses in the observation window that triggered it.
+    pub new_misses: u64,
+}
+
+/// Plans migrations from successive fleet observations.
+///
+/// Deadline misses are cumulative counters that survive migration (the
+/// baseline travels with the session), so the *delta between rounds* is
+/// the live pressure signal: a session missing deadlines *now* is on a
+/// server that cannot keep the paper's tick, and moving it to the
+/// least-loaded server is the remediation. The first sighting of a
+/// session only records its baseline — a long-suffering counter alone
+/// never triggers a move.
+pub struct Rebalancer {
+    policy: RebalancePolicy,
+    /// Session name → `missed_deadlines` at the previous round.
+    last: HashMap<String, u64>,
+}
+
+impl Rebalancer {
+    pub fn new(policy: RebalancePolicy) -> Self {
+        Rebalancer {
+            policy,
+            last: HashMap::new(),
+        }
+    }
+
+    /// Feed one fleet observation; returns the moves the policy wants,
+    /// hottest session first. Pure: no sockets, no clocks — callers
+    /// execute the plan with [`apply`] (or don't; the next round
+    /// re-derives pressure from scratch).
+    pub fn observe(&mut self, fleet: &[ServerView]) -> Vec<Move> {
+        // Current cumulative misses per session, plus where each lives.
+        let mut now: HashMap<String, (u64, &ServerView)> = HashMap::new();
+        for view in fleet {
+            for s in &view.sessions {
+                now.insert(s.name.clone(), (s.stats.missed_deadlines, view));
+            }
+        }
+
+        let mut hot: Vec<Move> = Vec::new();
+        for (name, &(misses, view)) in &now {
+            let Some(&prev) = self.last.get(name) else {
+                continue; // first sighting: baseline only
+            };
+            let delta = misses.saturating_sub(prev);
+            if delta < self.policy.miss_threshold {
+                continue;
+            }
+            // Destination: the least-loaded *other* server that is
+            // accepting sessions and has room.
+            let target = fleet
+                .iter()
+                .filter(|t| t.addr != view.addr && !t.draining)
+                .filter(|t| (t.sessions.len() as u32) < t.max_sessions)
+                .min_by(|a, b| a.load().total_cmp(&b.load()));
+            if let Some(t) = target {
+                // Only move toward genuinely lighter ground; shuffling
+                // between equally-loaded servers churns for nothing.
+                if t.load() < view.load() {
+                    hot.push(Move {
+                        session: name.clone(),
+                        from: view.addr.clone(),
+                        to: t.addr.clone(),
+                        new_misses: delta,
+                    });
+                }
+            }
+        }
+        hot.sort_by(|a, b| {
+            b.new_misses
+                .cmp(&a.new_misses)
+                .then(a.session.cmp(&b.session))
+        });
+        hot.truncate(self.policy.max_moves);
+
+        // Re-baseline on the full observation (dropping departed
+        // sessions) so the next delta covers exactly one round.
+        self.last = now.into_iter().map(|(k, (m, _))| (k, m)).collect();
+        hot
+    }
+}
+
+/// Execute one planned move. Returns the session's new address.
+pub fn apply(mv: &Move, timeout: Duration) -> Result<String, OpsError> {
+    migrate(&mv.from, &mv.session, &mv.to, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_serve::SessionStats;
+
+    fn view(addr: &str, max: u32, sessions: &[(&str, u64)]) -> ServerView {
+        ServerView {
+            addr: addr.to_string(),
+            draining: false,
+            max_sessions: max,
+            sessions: sessions
+                .iter()
+                .map(|&(name, misses)| SessionEntry {
+                    name: name.to_string(),
+                    stats: SessionStats {
+                        missed_deadlines: misses,
+                        ..SessionStats::default()
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn first_round_is_baseline_only() {
+        let mut r = Rebalancer::new(RebalancePolicy::default());
+        let fleet = [view("a:1", 4, &[("s", 1_000_000)]), view("b:1", 4, &[])];
+        assert!(r.observe(&fleet).is_empty(), "history alone must not move");
+    }
+
+    #[test]
+    fn fresh_misses_move_the_hot_session_to_the_lighter_server() {
+        let mut r = Rebalancer::new(RebalancePolicy {
+            miss_threshold: 10,
+            max_moves: 2,
+        });
+        let round1 = [
+            view("a:1", 4, &[("hot", 100), ("cool", 5)]),
+            view("b:1", 4, &[]),
+        ];
+        assert!(r.observe(&round1).is_empty());
+        let round2 = [
+            view("a:1", 4, &[("hot", 150), ("cool", 6)]),
+            view("b:1", 4, &[]),
+        ];
+        let moves = r.observe(&round2);
+        assert_eq!(
+            moves,
+            vec![Move {
+                session: "hot".into(),
+                from: "a:1".into(),
+                to: "b:1".into(),
+                new_misses: 50,
+            }]
+        );
+    }
+
+    #[test]
+    fn moves_are_capped_and_ordered_by_pressure() {
+        let mut r = Rebalancer::new(RebalancePolicy {
+            miss_threshold: 10,
+            max_moves: 1,
+        });
+        let round1 = [
+            view("a:1", 8, &[("x", 0), ("y", 0), ("z", 0)]),
+            view("b:1", 8, &[]),
+        ];
+        r.observe(&round1);
+        let round2 = [
+            view("a:1", 8, &[("x", 20), ("y", 90), ("z", 40)]),
+            view("b:1", 8, &[]),
+        ];
+        let moves = r.observe(&round2);
+        assert_eq!(moves.len(), 1, "max_moves caps the plan");
+        assert_eq!(moves[0].session, "y", "hottest session moves first");
+    }
+
+    #[test]
+    fn draining_and_full_servers_are_never_targets() {
+        let mut r = Rebalancer::new(RebalancePolicy {
+            miss_threshold: 1,
+            max_moves: 4,
+        });
+        let mut drainer = view("b:1", 4, &[]);
+        drainer.draining = true;
+        let full = view("c:1", 1, &[("occupant", 0)]);
+        let round1 = [view("a:1", 4, &[("s", 0)]), drainer.clone(), full.clone()];
+        r.observe(&round1);
+        let round2 = [view("a:1", 4, &[("s", 50)]), drainer, full];
+        assert!(
+            r.observe(&round2).is_empty(),
+            "no eligible target: draining and full servers are excluded"
+        );
+    }
+
+    #[test]
+    fn no_churn_between_equally_loaded_servers() {
+        let mut r = Rebalancer::new(RebalancePolicy {
+            miss_threshold: 1,
+            max_moves: 4,
+        });
+        let round1 = [view("a:1", 4, &[("s", 0)]), view("b:1", 4, &[("t", 0)])];
+        r.observe(&round1);
+        let round2 = [view("a:1", 4, &[("s", 50)]), view("b:1", 4, &[("t", 0)])];
+        assert!(
+            r.observe(&round2).is_empty(),
+            "equal load: a move would not lighten anything"
+        );
+    }
+
+    #[test]
+    fn departed_sessions_fall_out_of_the_baseline() {
+        let mut r = Rebalancer::new(RebalancePolicy::default());
+        let round1 = [view("a:1", 4, &[("s", 100)]), view("b:1", 4, &[])];
+        r.observe(&round1);
+        let round2 = [view("a:1", 4, &[]), view("b:1", 4, &[])];
+        r.observe(&round2);
+        assert!(r.last.is_empty(), "baseline tracks the live roster");
+    }
+}

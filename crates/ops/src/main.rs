@@ -1,0 +1,216 @@
+//! `tn-ops` — operate a fleet of tn-serve servers.
+//!
+//! Exit codes: 0 success, 1 operation failed, 2 usage error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tn_ops::{apply, drain, migrate, probe, probe_fleet, RebalancePolicy, Rebalancer};
+
+const USAGE: &str = "\
+usage: tn-ops <command> [options]
+
+Fleet control plane for tn-serve: inspect servers, move live sessions
+between them without losing a spike, drain a server for maintenance,
+and auto-rebalance deadline-missing sessions.
+
+commands:
+  list <addr>                     session roster with per-session counters
+  status <addr>...                one status line per server
+  migrate <addr> <session> <target>
+                                  live-migrate a session; prints its new home
+  drain <addr> <target>           migrate everything off <addr>, then let it
+                                  exit; refuses nothing already running
+  rebalance <addr>... [--threshold N] [--interval-ms M] [--rounds K]
+                                  watch deadline-miss deltas each round and
+                                  migrate the hottest session to the least
+                                  loaded server (threshold: new misses per
+                                  round, default 10; interval default 1000 ms;
+                                  rounds default 0 = forever)
+
+options:
+  --timeout-ms <N>   per-request control-plane timeout (default 10000)
+  -h, --help         print this help
+";
+
+struct Cli {
+    timeout: Duration,
+    /// Positional arguments, flags stripped.
+    pos: Vec<String>,
+    threshold: u64,
+    interval: Duration,
+    rounds: u64,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        timeout: Duration::from_millis(10_000),
+        pos: Vec::new(),
+        threshold: 10,
+        interval: Duration::from_millis(1_000),
+        rounds: 0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --timeout-ms value: {v}"))?;
+                cli.timeout = Duration::from_millis(ms.max(1));
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                cli.threshold = v.parse().map_err(|_| format!("bad --threshold: {v}"))?;
+            }
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --interval-ms: {v}"))?;
+                cli.interval = Duration::from_millis(ms.max(1));
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                cli.rounds = v.parse().map_err(|_| format!("bad --rounds: {v}"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
+            other => cli.pos.push(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let cmd = cli.pos.first().map(String::as_str).unwrap_or("");
+    let rest = &cli.pos[1.min(cli.pos.len())..];
+    match cmd {
+        "list" => {
+            let [addr] = rest else {
+                return Err("list needs exactly one <addr>".into());
+            };
+            let view = probe(addr, cli.timeout).map_err(|e| e.to_string())?;
+            println!(
+                "{} — {} session(s), draining={}",
+                view.addr,
+                view.sessions.len(),
+                view.draining
+            );
+            for s in &view.sessions {
+                println!(
+                    "  {:<24} tick={:<10} engine={:<10} missed={} dropped={} digest={:#018x}",
+                    s.name,
+                    s.stats.tick,
+                    s.stats.engine,
+                    s.stats.missed_deadlines,
+                    s.stats.dropped_inputs,
+                    s.stats.state_digest,
+                );
+            }
+            Ok(())
+        }
+        "status" => {
+            if rest.is_empty() {
+                return Err("status needs at least one <addr>".into());
+            }
+            let (views, errors) = probe_fleet(rest, cli.timeout);
+            for v in &views {
+                println!(
+                    "{:<24} sessions={}/{} load={:.0}% draining={}",
+                    v.addr,
+                    v.sessions.len(),
+                    v.max_sessions,
+                    v.load() * 100.0,
+                    v.draining
+                );
+            }
+            for (addr, e) in &errors {
+                println!("{addr:<24} UNREACHABLE: {e}");
+            }
+            if views.is_empty() {
+                return Err("no server answered".into());
+            }
+            Ok(())
+        }
+        "migrate" => {
+            let [addr, session, target] = rest else {
+                return Err("migrate needs <addr> <session> <target>".into());
+            };
+            let new_home =
+                migrate(addr, session, target, cli.timeout).map_err(|e| e.to_string())?;
+            println!("{session}: {addr} -> {new_home}");
+            Ok(())
+        }
+        "drain" => {
+            let [addr, target] = rest else {
+                return Err("drain needs <addr> <target>".into());
+            };
+            drain(addr, target, cli.timeout).map_err(|e| e.to_string())?;
+            println!("{addr}: drained to {target}");
+            Ok(())
+        }
+        "rebalance" => {
+            if rest.len() < 2 {
+                return Err("rebalance needs at least two <addr>".into());
+            }
+            let policy = RebalancePolicy {
+                miss_threshold: cli.threshold,
+                max_moves: 1,
+            };
+            let mut rb = Rebalancer::new(policy);
+            let mut round = 0u64;
+            loop {
+                let (views, errors) = probe_fleet(rest, cli.timeout);
+                for (addr, e) in &errors {
+                    eprintln!("tn-ops: probe {addr}: {e}");
+                }
+                for mv in rb.observe(&views) {
+                    match apply(&mv, cli.timeout) {
+                        Ok(new_home) => println!(
+                            "moved {} ({} new misses): {} -> {}",
+                            mv.session, mv.new_misses, mv.from, new_home
+                        ),
+                        Err(e) => eprintln!(
+                            "tn-ops: migrate {} to {}: {e} (will replan next round)",
+                            mv.session, mv.to
+                        ),
+                    }
+                }
+                round += 1;
+                if cli.rounds != 0 && round >= cli.rounds {
+                    return Ok(());
+                }
+                std::thread::sleep(cli.interval);
+            }
+        }
+        "" => Err(String::new()),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tn-ops: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tn-ops: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Fleet-level acceptance tests for the `tn-ops` control plane: probe a
+//! running fleet, migrate through the ops surface, and — the headline —
+//! drain a loaded server with every session resumed elsewhere and every
+//! subscribed client redirected without manual reconnection.
+
+use std::time::Duration;
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig,
+    ScheduledSource, NEURONS_PER_CORE,
+};
+use tn_ops::{drain, migrate, probe, probe_fleet, RebalancePolicy, Rebalancer};
+use tn_serve::{
+    Client, Engine, ModelSource, Pace, Response, Server, ServerConfig, ServerHandle, SessionEvent,
+};
+
+const T: Duration = Duration::from_secs(10);
+
+fn spawn() -> (ServerHandle, String) {
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// A 1×1 identity network: injected axon `i` fires output port `i`.
+fn output_net() -> Network {
+    let mut b = NetworkBuilder::new(1, 1, 42);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    b.build()
+}
+
+fn trace(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    (0..ticks)
+        .map(|t| (t, CoreId(0), ((t * 7) % 256) as u16))
+        .collect()
+}
+
+fn model() -> ModelSource {
+    ModelSource::Model(modelfile::save(&output_net()))
+}
+
+fn reference_digest(ticks: u64, events: &[(u64, CoreId, u16)]) -> u64 {
+    let mut sim = tn_chip::TrueNorthSim::new(output_net());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in events {
+        src.push_checked(t, core, axon, 1).unwrap();
+    }
+    sim.run(ticks, &mut src);
+    sim.network().state_digest()
+}
+
+fn stats_of(client: &mut Client, session: &str) -> tn_serve::SessionStats {
+    match client.stats(session).unwrap() {
+        Response::StatsData(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn probe_reports_roster_and_tolerates_dead_servers() {
+    let (a, a_addr) = spawn();
+    let (b, b_addr) = spawn();
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut ctl = Client::connect(a.addr()).unwrap();
+    ctl.create_session("one", Engine::Chip, Pace::MaxSpeed, model())
+        .unwrap();
+    ctl.create_session("two", Engine::Reference, Pace::MaxSpeed, model())
+        .unwrap();
+
+    let view = probe(&a_addr, T).unwrap();
+    assert_eq!(view.addr, a_addr);
+    assert!(!view.draining);
+    let mut names: Vec<&str> = view.sessions.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(names, ["one", "two"]);
+    assert!(view.max_sessions > 0);
+    assert!(view.load() > 0.0);
+
+    // A partial fleet is a degraded answer, not an error.
+    let (views, errors) = probe_fleet(&[a_addr.clone(), b_addr, dead.clone()], T);
+    assert_eq!(views.len(), 2);
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].0, dead);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn ops_migrate_moves_a_session_between_servers() {
+    const TICKS: u64 = 30;
+    const HALF: u64 = 15;
+    let (a, a_addr) = spawn();
+    let (b, b_addr) = spawn();
+    let events = trace(TICKS);
+    let mut ctl = Client::connect(a.addr()).unwrap();
+    ctl.create_session("wanderer", Engine::Chip, Pace::MaxSpeed, model())
+        .unwrap();
+    ctl.inject("wanderer", &events).unwrap();
+    ctl.run_for("wanderer", HALF).unwrap();
+
+    let new_home = migrate(&a_addr, "wanderer", &b_addr, T).unwrap();
+    assert_eq!(new_home, b_addr);
+    assert!(probe(&a_addr, T).unwrap().sessions.is_empty());
+    let on_b = probe(&b_addr, T).unwrap();
+    assert_eq!(on_b.sessions.len(), 1);
+    assert_eq!(on_b.sessions[0].name, "wanderer");
+    assert_eq!(on_b.sessions[0].stats.tick, HALF);
+
+    // Finish the run where it landed; continuity is bit-exact.
+    let mut ctl_b = Client::connect(b.addr()).unwrap();
+    ctl_b.run_for("wanderer", TICKS - HALF).unwrap();
+    let s = stats_of(&mut ctl_b, "wanderer");
+    assert_eq!(s.tick, TICKS);
+    assert_eq!(s.state_digest, reference_digest(TICKS, &events));
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn drain_empties_the_server_and_redirects_every_client() {
+    const TICKS: u64 = 30;
+    const HALF: u64 = 15;
+    let (a, a_addr) = spawn();
+    let (b, b_addr) = spawn();
+    let events = trace(TICKS);
+    let names = ["red", "green", "blue"];
+
+    // Three live sessions on A, each with its own subscribed client.
+    let mut ctl = Client::connect(a.addr()).unwrap();
+    let mut subs = Vec::new();
+    for name in names {
+        ctl.create_session(name, Engine::Chip, Pace::MaxSpeed, model())
+            .unwrap();
+        ctl.inject(name, &events).unwrap();
+        let mut sub = Client::connect(a.addr()).unwrap();
+        sub.subscribe(name).unwrap();
+        subs.push(sub);
+        ctl.run_for(name, HALF).unwrap();
+    }
+    assert_eq!(a.session_count(), 3);
+
+    // Drain A into B. The call returns only once every session has been
+    // adopted by B and A has committed to exit.
+    drain(&a_addr, &b_addr, T).unwrap();
+
+    // A empties and actually goes away — process exit, not a zombie.
+    let gone = (0..200).any(|_| {
+        if a.is_finished() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        false
+    });
+    assert!(gone, "drained server never exited");
+    assert_eq!(a.session_count(), 0);
+
+    // Every subscriber was told the new home on its own stream — no
+    // polling, no manual reconnect.
+    for (sub, name) in subs.iter_mut().zip(names) {
+        loop {
+            match sub.wait_event(Duration::from_secs(10)).unwrap() {
+                Some(SessionEvent::Tick(u)) => assert!(u.tick < HALF),
+                Some(SessionEvent::Redirect { session, addr }) => {
+                    assert_eq!(session, name);
+                    assert_eq!(addr, b_addr);
+                    break;
+                }
+                None => panic!("{name}: stream closed without a redirect"),
+            }
+        }
+    }
+
+    // All three resumed on B, then run out bit-exact.
+    let view = probe(&b_addr, T).unwrap();
+    assert_eq!(view.sessions.len(), 3);
+    let mut ctl_b = Client::connect(b.addr()).unwrap();
+    let want = reference_digest(TICKS, &events);
+    for name in names {
+        ctl_b.run_for(name, TICKS - HALF).unwrap();
+        let s = stats_of(&mut ctl_b, name);
+        assert_eq!(s.tick, TICKS, "{name} lost ticks in the drain");
+        assert_eq!(s.state_digest, want, "{name} diverged across the drain");
+    }
+
+    // The fleet view reflects reality: A unreachable, B carrying three.
+    let (views, errors) = probe_fleet(&[a_addr.clone(), b_addr], T);
+    assert_eq!(views.len(), 1);
+    assert_eq!(views[0].sessions.len(), 3);
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].0, a_addr);
+    b.shutdown();
+}
+
+#[test]
+fn rebalancer_plans_no_moves_on_a_quiet_fleet() {
+    let (a, a_addr) = spawn();
+    let (b, b_addr) = spawn();
+    let mut ctl = Client::connect(a.addr()).unwrap();
+    ctl.create_session("calm", Engine::Reference, Pace::MaxSpeed, model())
+        .unwrap();
+    ctl.run_for("calm", 5).unwrap();
+
+    let fleet = [a_addr, b_addr];
+    let mut rb = Rebalancer::new(RebalancePolicy::default());
+    // Round one is baseline-only by contract; round two sees no new
+    // deadline misses under MaxSpeed pacing, so nothing moves.
+    let (views, errors) = probe_fleet(&fleet, T);
+    assert!(errors.is_empty());
+    assert!(rb.observe(&views).is_empty());
+    ctl.run_for("calm", 5).unwrap();
+    let (views, errors) = probe_fleet(&fleet, T);
+    assert!(errors.is_empty());
+    assert!(rb.observe(&views).is_empty());
+    a.shutdown();
+    b.shutdown();
+}

@@ -47,35 +47,93 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// An unsolicited frame from a subscribed session: either the next tick
+/// of output, or notice that the session has moved to another server and
+/// this stream is over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// One tick of subscribed output.
+    Tick(TickUpdate),
+    /// The session was migrated: reconnect to `addr` and resubscribe.
+    /// No further frames for this session follow on this connection.
+    Redirect { session: String, addr: String },
+}
+
 /// One connection to a tn-serve server.
 pub struct Client {
     stream: TcpStream,
     /// Tick updates that arrived while waiting for a reply.
     updates: VecDeque<TickUpdate>,
+    /// Redirect notices captured from the subscription stream. Kept in
+    /// a separate queue from ticks: a redirect is terminal for its
+    /// session, so every buffered tick precedes every buffered redirect.
+    redirects: VecDeque<(String, String)>,
+    /// Steady-state read timeout restored after timed read sections.
+    io_timeout: Option<Duration>,
 }
 
-/// Clears the socket read timeout when dropped, so every exit path out
-/// of a timed read section — including early `?` returns — restores the
-/// client's default blocking behaviour. Holds a dup'd handle (the two
-/// handles share one socket, so options set through either apply to
-/// both), which sidesteps borrowing the stream across `&mut self` calls.
-struct ReadTimeoutGuard(TcpStream);
+/// Restores the configured socket read timeout when dropped, so every
+/// exit path out of a timed read section — including early `?` returns —
+/// reinstates the client's steady-state behaviour. Holds a dup'd handle
+/// (the two handles share one socket, so options set through either
+/// apply to both), which sidesteps borrowing the stream across
+/// `&mut self` calls.
+struct ReadTimeoutGuard(TcpStream, Option<Duration>);
 
 impl Drop for ReadTimeoutGuard {
     fn drop(&mut self) {
         // Best effort: if the socket died, the timeout died with it.
-        let _ = self.0.set_read_timeout(None);
+        let _ = self.0.set_read_timeout(self.1);
     }
 }
 
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Like [`Self::connect`] but bound by `timeout` per resolved
+    /// address, so a black-holed target cannot hang the caller for the
+    /// OS connect default (minutes). Used by the server's own migration
+    /// path, where every phase has an explicit budget.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ClientError> {
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
             updates: VecDeque::new(),
+            redirects: VecDeque::new(),
+            io_timeout: None,
         })
+    }
+
+    /// Bound every socket read and write by `timeout` (`None` restores
+    /// fully blocking I/O). With a timeout set, a hung peer surfaces as
+    /// [`ClientError::Io`] instead of wedging the caller forever.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
     }
 
     /// Send a request and return its reply (never a tick update; updates
@@ -96,20 +154,51 @@ impl Client {
     }
 
     /// Block until the next tick update arrives or `timeout` elapses.
+    /// Redirect frames encountered on the stream are buffered for
+    /// [`Self::wait_event`] / [`Self::poll_redirect`], not errors — a
+    /// migrating session ends its stream with one.
     pub fn wait_update(&mut self, timeout: Duration) -> Result<Option<TickUpdate>, ClientError> {
+        match self.wait_event(timeout)? {
+            Some(SessionEvent::Tick(u)) => Ok(Some(u)),
+            Some(SessionEvent::Redirect { session, addr }) => {
+                // Terminal for the session: requeue for the caller who
+                // asks, and report "no more ticks".
+                self.redirects.push_back((session, addr));
+                Ok(None)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The next buffered redirect notice, if any (no I/O).
+    pub fn poll_redirect(&mut self) -> Option<(String, String)> {
+        self.redirects.pop_front()
+    }
+
+    /// Block until the next subscription event — a tick or a redirect —
+    /// arrives, or `timeout` elapses. Buffered ticks drain before
+    /// buffered redirects: a redirect is terminal for its session, so
+    /// every tick received logically precedes it.
+    pub fn wait_event(&mut self, timeout: Duration) -> Result<Option<SessionEvent>, ClientError> {
         if let Some(u) = self.updates.pop_front() {
-            return Ok(Some(u));
+            return Ok(Some(SessionEvent::Tick(u)));
+        }
+        if let Some((session, addr)) = self.redirects.pop_front() {
+            return Ok(Some(SessionEvent::Redirect { session, addr }));
         }
         let deadline = Instant::now() + timeout;
-        let _guard = ReadTimeoutGuard(self.stream.try_clone()?);
+        let _guard = ReadTimeoutGuard(self.stream.try_clone()?, self.io_timeout);
         self.stream
             .set_read_timeout(Some(Duration::from_millis(20)))?;
         loop {
             match self.try_read_response() {
-                Ok(Some(Response::TickUpdate(u))) => return Ok(Some(u)),
+                Ok(Some(Response::TickUpdate(u))) => return Ok(Some(SessionEvent::Tick(u))),
+                Ok(Some(Response::Redirect { session, addr })) => {
+                    return Ok(Some(SessionEvent::Redirect { session, addr }))
+                }
                 Ok(Some(_)) => {
                     return Err(ClientError::Protocol(ProtocolError::new(
-                        "unexpected non-update frame while waiting for updates",
+                        "unexpected non-stream frame while waiting for updates",
                     )))
                 }
                 Ok(None) => {
@@ -294,6 +383,35 @@ impl Client {
         self.request(&Request::CloseSession {
             session: session.to_string(),
         })
+    }
+
+    // Control-plane wrappers.
+
+    /// Enumerate the server's live sessions ([`Response::SessionList`]).
+    pub fn list_sessions(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::ListSessions)
+    }
+
+    /// Move `session` to the server at `target`; the reply is
+    /// [`Response::Redirect`] on success.
+    pub fn migrate(&mut self, session: &str, target: &str) -> Result<Response, ClientError> {
+        self.request(&Request::MigrateSession {
+            session: session.to_string(),
+            target: target.to_string(),
+        })
+    }
+
+    /// Drain the server: stop admitting sessions, migrate every live
+    /// session to `target`, then shut down.
+    pub fn drain(&mut self, target: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Drain {
+            target: target.to_string(),
+        })
+    }
+
+    /// Server-level status ([`Response::ServerStatusData`]).
+    pub fn server_status(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::ServerStatus)
     }
 
     /// Write raw bytes on the wire — test hook for malformed-frame

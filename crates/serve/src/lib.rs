@@ -39,12 +39,15 @@ pub mod server;
 pub mod session;
 pub(crate) mod sync;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, SessionEvent};
 pub use protocol::{
-    Engine, ErrorCode, Health, ModelSource, Pace, ProtocolError, Request, Response, SessionStats,
-    TickUpdate, PROTOCOL_VERSION,
+    Engine, ErrorCode, Health, ModelSource, Pace, ProtocolError, Request, Response, SessionEntry,
+    SessionStats, TickUpdate, PROTOCOL_VERSION,
 };
 pub use resilient::{BackoffPolicy, ReconnectingClient, SessionSpec};
 pub use scheduler::{Clock, PaceOutcome, SystemClock, TickScheduler, VirtualClock};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use session::{spawn_session, Cmd, Outbound, SessionConfig, SessionGone, SessionHandle};
+pub use session::{
+    spawn_session, spawn_session_resumed, Cmd, MigrationTicket, Outbound, SessionConfig,
+    SessionGone, SessionHandle,
+};

@@ -37,6 +37,9 @@ options:
   --shard-worker-bin <P> path to the tn-shard-worker binary; when set,
                          each shard of a sharded session runs in its own
                          OS process (default: in-process shard workers)
+  --migration-timeout-ms <N>
+                         per-phase budget when live-migrating a session
+                         to another server (default 10000)
   -h, --help             print this help
 ";
 
@@ -96,6 +99,13 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--shard-worker-bin" => {
                 let v = it.next().ok_or("--shard-worker-bin needs a path")?;
                 cfg.shard_worker_bin = Some(v.into());
+            }
+            "--migration-timeout-ms" => {
+                let v = it.next().ok_or("--migration-timeout-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --migration-timeout-ms value: {v}"))?;
+                cfg.migration_timeout = Duration::from_millis(ms.max(1));
             }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),

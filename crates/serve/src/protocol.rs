@@ -24,8 +24,10 @@
 use tn_core::wire::{self, framed, ByteReader, InputEvent, WireError};
 
 /// Protocol version carried in every frame header. Version 2 added the
-/// CRC-32 frame trailer and the sharded-session request.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// CRC-32 frame trailer and the sharded-session request; version 3 added
+/// the control plane (list/migrate/drain/status/adopt and the
+/// `Redirect` stream frame).
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Frame header size: length + version + opcode.
 pub const FRAME_HEADER_BYTES: usize = framed::HEADER_BYTES;
 /// CRC trailer size after the payload.
@@ -47,6 +49,12 @@ pub const OP_STATS: u8 = 0x09;
 pub const OP_CLOSE_SESSION: u8 = 0x0A;
 pub const OP_GET_METRICS: u8 = 0x0B;
 pub const OP_CREATE_SHARDED_SESSION: u8 = 0x0C;
+// Control-plane requests (version 3).
+pub const OP_LIST_SESSIONS: u8 = 0x0D;
+pub const OP_MIGRATE_SESSION: u8 = 0x0E;
+pub const OP_DRAIN: u8 = 0x0F;
+pub const OP_SERVER_STATUS: u8 = 0x10;
+pub const OP_ADOPT_SESSION: u8 = 0x11;
 
 // Response opcodes.
 pub const OP_PONG: u8 = 0x80;
@@ -59,6 +67,10 @@ pub const OP_SNAPSHOT_DATA: u8 = 0x86;
 pub const OP_STATS_DATA: u8 = 0x87;
 pub const OP_TICK_UPDATE: u8 = 0x88;
 pub const OP_METRICS_DATA: u8 = 0x89;
+// Control-plane responses (version 3).
+pub const OP_SESSION_LIST: u8 = 0x8A;
+pub const OP_REDIRECT: u8 = 0x8B;
+pub const OP_SERVER_STATUS_DATA: u8 = 0x8C;
 
 /// A malformed frame or payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -190,7 +202,10 @@ pub enum ModelSource {
 }
 
 /// Client → server messages.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Eq` is deliberately absent: [`Request::AdoptSession`] carries a
+/// [`SessionStats`] baseline, whose `energy_j` is an `f64`.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     Ping,
     CreateSession {
@@ -245,6 +260,35 @@ pub enum Request {
     CloseSession {
         session: String,
     },
+    /// Control plane: enumerate live sessions with their current stats.
+    ListSessions,
+    /// Control plane: live-migrate `session` to the server at `target`
+    /// (a `host:port` address). Replies [`Response::Redirect`] on
+    /// success; on any phase failure the session keeps running here and
+    /// the reply is an [`ErrorCode::MigrationFailed`] error.
+    MigrateSession {
+        session: String,
+        target: String,
+    },
+    /// Control plane: stop accepting new sessions, migrate every live
+    /// session to `target`, and (when started from the CLI) exit 0 once
+    /// empty. Replies `Ok` when the last session has moved.
+    Drain {
+        target: String,
+    },
+    /// Control plane: server-wide status (drain state, occupancy).
+    ServerStatus,
+    /// Server → server: adopt a migrating session in one frame. Carries
+    /// the *original* create request (so the target rebuilds the same
+    /// engine/pace/fault plan), the quiesced snapshot, the source's
+    /// cumulative stat baselines (counters that do not live in the
+    /// snapshot), and input events still queued for future ticks.
+    AdoptSession {
+        create: Box<Request>,
+        snapshot: Vec<u8>,
+        baseline: SessionStats,
+        pending: Vec<InputEvent>,
+    },
 }
 
 /// Machine-readable failure classes.
@@ -269,6 +313,12 @@ pub enum ErrorCode {
     /// The server failed internally while provisioning the session
     /// (e.g. shard worker processes could not be spawned).
     Internal = 9,
+    /// The server is draining: it refuses new sessions but keeps
+    /// serving (and migrating out) the ones it has.
+    Draining = 10,
+    /// A live migration failed; the session is untouched and still
+    /// running on the server that reported this.
+    MigrationFailed = 11,
 }
 
 impl ErrorCode {
@@ -283,6 +333,8 @@ impl ErrorCode {
             7 => ErrorCode::TooManySessions,
             8 => ErrorCode::Shutdown,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::Draining,
+            11 => ErrorCode::MigrationFailed,
             v => return Err(ProtocolError::new(format!("unknown error code {v}"))),
         })
     }
@@ -315,6 +367,47 @@ pub struct SessionStats {
     /// no subscriber drained them in time.
     pub spikes_evicted: u64,
     pub engine: String,
+}
+
+/// One row of a [`Response::SessionList`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionEntry {
+    pub name: String,
+    pub stats: SessionStats,
+}
+
+fn put_stats(p: &mut Vec<u8>, s: &SessionStats) {
+    wire::put_u64(p, s.tick);
+    wire::put_u64(p, s.spikes_out);
+    wire::put_u64(p, s.sops);
+    wire::put_u64(p, s.neuron_updates);
+    wire::put_u64(p, s.dropped_inputs);
+    wire::put_u64(p, s.pending_inputs);
+    wire::put_u64(p, s.missed_deadlines);
+    wire::put_u64(p, s.state_digest);
+    wire::put_f64(p, s.energy_j);
+    wire::put_u8(p, s.health.as_u8());
+    wire::put_u64(p, s.fault_dropped);
+    wire::put_u64(p, s.spikes_evicted);
+    wire::put_str(p, &s.engine);
+}
+
+fn read_stats(r: &mut ByteReader<'_>) -> Result<SessionStats, ProtocolError> {
+    Ok(SessionStats {
+        tick: r.u64("tick")?,
+        spikes_out: r.u64("spikes")?,
+        sops: r.u64("sops")?,
+        neuron_updates: r.u64("neuron updates")?,
+        dropped_inputs: r.u64("dropped inputs")?,
+        pending_inputs: r.u64("pending inputs")?,
+        missed_deadlines: r.u64("missed deadlines")?,
+        state_digest: r.u64("state digest")?,
+        energy_j: r.f64("energy")?,
+        health: Health::from_u8(r.u8("health")?)?,
+        fault_dropped: r.u64("fault dropped")?,
+        spikes_evicted: r.u64("spikes evicted")?,
+        engine: r.str("engine")?.to_string(),
+    })
 }
 
 /// One tick of a subscribed session.
@@ -363,6 +456,28 @@ pub enum Response {
     /// Metrics text exposition (reply to [`Request::GetMetrics`]).
     MetricsData {
         text: String,
+    },
+    /// Control plane: the live sessions with their stats (reply to
+    /// [`Request::ListSessions`]).
+    SessionList {
+        entries: Vec<SessionEntry>,
+    },
+    /// The session now lives at `addr`. Sent as the success reply to
+    /// [`Request::MigrateSession`], streamed to subscribers when their
+    /// session moves (interleaved like [`Response::TickUpdate`]), and
+    /// returned to any later request naming a session this server has
+    /// migrated away.
+    Redirect {
+        session: String,
+        addr: String,
+    },
+    /// Control plane: server-wide status (reply to
+    /// [`Request::ServerStatus`]).
+    ServerStatusData {
+        addr: String,
+        draining: bool,
+        sessions: u32,
+        max_sessions: u32,
     },
 }
 
@@ -519,6 +634,29 @@ impl Request {
                 wire::put_str(&mut p, session);
                 OP_CLOSE_SESSION
             }
+            Request::ListSessions => OP_LIST_SESSIONS,
+            Request::MigrateSession { session, target } => {
+                wire::put_str(&mut p, session);
+                wire::put_str(&mut p, target);
+                OP_MIGRATE_SESSION
+            }
+            Request::Drain { target } => {
+                wire::put_str(&mut p, target);
+                OP_DRAIN
+            }
+            Request::ServerStatus => OP_SERVER_STATUS,
+            Request::AdoptSession {
+                create,
+                snapshot,
+                baseline,
+                pending,
+            } => {
+                wire::put_bytes(&mut p, &create.encode());
+                wire::put_bytes(&mut p, snapshot);
+                put_stats(&mut p, baseline);
+                wire::put_input_events(&mut p, pending);
+                OP_ADOPT_SESSION
+            }
         };
         frame(opcode, &p)
     }
@@ -600,6 +738,47 @@ impl Request {
             OP_CLOSE_SESSION => Request::CloseSession {
                 session: r.str("session name")?.to_string(),
             },
+            OP_LIST_SESSIONS => Request::ListSessions,
+            OP_MIGRATE_SESSION => {
+                let session = r.str("session name")?.to_string();
+                let target = r.str("target address")?.to_string();
+                if session.is_empty() || target.is_empty() {
+                    return Err(ProtocolError::new("empty migrate session or target"));
+                }
+                Request::MigrateSession { session, target }
+            }
+            OP_DRAIN => {
+                let target = r.str("target address")?.to_string();
+                if target.is_empty() {
+                    return Err(ProtocolError::new("empty drain target"));
+                }
+                Request::Drain { target }
+            }
+            OP_SERVER_STATUS => Request::ServerStatus,
+            OP_ADOPT_SESSION => {
+                let inner = r.bytes("nested create frame")?.to_vec();
+                let (op, payload) = split_frame(&inner)?;
+                let create = Request::decode(op, payload)?;
+                // Only the two create shapes may ride inside an adopt —
+                // this also bounds the nesting to one level.
+                match create {
+                    Request::CreateSession { .. } | Request::CreateShardedSession { .. } => {}
+                    _ => {
+                        return Err(ProtocolError::new(
+                            "adopt payload must nest a create request",
+                        ))
+                    }
+                }
+                let snapshot = r.bytes("snapshot bytes")?.to_vec();
+                let baseline = read_stats(&mut r)?;
+                let pending = wire::read_input_events(&mut r)?;
+                Request::AdoptSession {
+                    create: Box::new(create),
+                    snapshot,
+                    baseline,
+                    pending,
+                }
+            }
             op => {
                 return Err(ProtocolError::new(format!(
                     "unknown request opcode {op:#x}"
@@ -646,19 +825,7 @@ impl Response {
                 OP_SNAPSHOT_DATA
             }
             Response::StatsData(s) => {
-                wire::put_u64(&mut p, s.tick);
-                wire::put_u64(&mut p, s.spikes_out);
-                wire::put_u64(&mut p, s.sops);
-                wire::put_u64(&mut p, s.neuron_updates);
-                wire::put_u64(&mut p, s.dropped_inputs);
-                wire::put_u64(&mut p, s.pending_inputs);
-                wire::put_u64(&mut p, s.missed_deadlines);
-                wire::put_u64(&mut p, s.state_digest);
-                wire::put_f64(&mut p, s.energy_j);
-                wire::put_u8(&mut p, s.health.as_u8());
-                wire::put_u64(&mut p, s.fault_dropped);
-                wire::put_u64(&mut p, s.spikes_evicted);
-                wire::put_str(&mut p, &s.engine);
+                put_stats(&mut p, s);
                 OP_STATS_DATA
             }
             Response::TickUpdate(u) => {
@@ -676,6 +843,31 @@ impl Response {
             Response::MetricsData { text } => {
                 wire::put_bytes(&mut p, text.as_bytes());
                 OP_METRICS_DATA
+            }
+            Response::SessionList { entries } => {
+                wire::put_u32(&mut p, entries.len() as u32);
+                for e in entries {
+                    wire::put_str(&mut p, &e.name);
+                    put_stats(&mut p, &e.stats);
+                }
+                OP_SESSION_LIST
+            }
+            Response::Redirect { session, addr } => {
+                wire::put_str(&mut p, session);
+                wire::put_str(&mut p, addr);
+                OP_REDIRECT
+            }
+            Response::ServerStatusData {
+                addr,
+                draining,
+                sessions,
+                max_sessions,
+            } => {
+                wire::put_str(&mut p, addr);
+                wire::put_u8(&mut p, u8::from(*draining));
+                wire::put_u32(&mut p, *sessions);
+                wire::put_u32(&mut p, *max_sessions);
+                OP_SERVER_STATUS_DATA
             }
         };
         frame(opcode, &p)
@@ -706,21 +898,7 @@ impl Response {
             OP_SNAPSHOT_DATA => Response::SnapshotData {
                 bytes: r.bytes("snapshot bytes")?.to_vec(),
             },
-            OP_STATS_DATA => Response::StatsData(SessionStats {
-                tick: r.u64("tick")?,
-                spikes_out: r.u64("spikes")?,
-                sops: r.u64("sops")?,
-                neuron_updates: r.u64("neuron updates")?,
-                dropped_inputs: r.u64("dropped inputs")?,
-                pending_inputs: r.u64("pending inputs")?,
-                missed_deadlines: r.u64("missed deadlines")?,
-                state_digest: r.u64("state digest")?,
-                energy_j: r.f64("energy")?,
-                health: Health::from_u8(r.u8("health")?)?,
-                fault_dropped: r.u64("fault dropped")?,
-                spikes_evicted: r.u64("spikes evicted")?,
-                engine: r.str("engine")?.to_string(),
-            }),
+            OP_STATS_DATA => Response::StatsData(read_stats(&mut r)?),
             OP_TICK_UPDATE => {
                 let session = r.str("session name")?.to_string();
                 let tick = r.u64("tick")?;
@@ -751,6 +929,31 @@ impl Response {
                     .to_string();
                 Response::MetricsData { text }
             }
+            OP_SESSION_LIST => {
+                let n = r.u32("session count")? as usize;
+                // Each entry is at least a name length + the fixed-width
+                // stats block; a lying count cannot force allocation.
+                if r.remaining() < n * 4 {
+                    return Err(ProtocolError::new("session count exceeds payload"));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str("session name")?.to_string();
+                    let stats = read_stats(&mut r)?;
+                    entries.push(SessionEntry { name, stats });
+                }
+                Response::SessionList { entries }
+            }
+            OP_REDIRECT => Response::Redirect {
+                session: r.str("session name")?.to_string(),
+                addr: r.str("redirect address")?.to_string(),
+            },
+            OP_SERVER_STATUS_DATA => Response::ServerStatusData {
+                addr: r.str("server address")?.to_string(),
+                draining: r.u8("draining flag")? != 0,
+                sessions: r.u32("session count")?,
+                max_sessions: r.u32("session budget")?,
+            },
             op => {
                 return Err(ProtocolError::new(format!(
                     "unknown response opcode {op:#x}"
@@ -862,6 +1065,85 @@ mod tests {
         roundtrip_req(Request::CloseSession {
             session: "s".into(),
         });
+        roundtrip_req(Request::ListSessions);
+        roundtrip_req(Request::MigrateSession {
+            session: "hot".into(),
+            target: "10.0.0.2:4160".into(),
+        });
+        roundtrip_req(Request::Drain {
+            target: "10.0.0.2:4160".into(),
+        });
+        roundtrip_req(Request::ServerStatus);
+        roundtrip_req(Request::AdoptSession {
+            create: Box::new(Request::CreateSession {
+                name: "hot".into(),
+                engine: Engine::Chip,
+                pace: Pace::RealTime,
+                source: ModelSource::Model("tnmodel 1\nnet 2 2 9\n".into()),
+                fault_plan: "tnfault 1\nseed 7\nat 3 core 0 0 dead\n".into(),
+            }),
+            snapshot: vec![4, 5, 6, 7],
+            baseline: SessionStats {
+                tick: 17,
+                missed_deadlines: 3,
+                fault_dropped: 2,
+                engine: "chip".into(),
+                ..Default::default()
+            },
+            pending: vec![(18, CoreId(0), 7), (19, CoreId(1), 250)],
+        });
+        roundtrip_req(Request::AdoptSession {
+            create: Box::new(Request::CreateShardedSession {
+                name: "board".into(),
+                pace: Pace::MaxSpeed,
+                source: ModelSource::Model("tnmodel 1\nnet 4 4 3\n".into()),
+                fault_plan: String::new(),
+                shards: 4,
+            }),
+            snapshot: vec![0; 64],
+            baseline: SessionStats::default(),
+            pending: vec![],
+        });
+    }
+
+    #[test]
+    fn adopt_rejects_non_create_nesting() {
+        // Hand-encode an adopt whose nested frame is a Ping.
+        let mut p = Vec::new();
+        wire::put_bytes(&mut p, &Request::Ping.encode());
+        wire::put_bytes(&mut p, b"");
+        put_stats(&mut p, &SessionStats::default());
+        wire::put_input_events(&mut p, &[]);
+        assert!(Request::decode(OP_ADOPT_SESSION, &p)
+            .unwrap_err()
+            .message
+            .contains("nest a create"));
+        // A nested adopt (depth 2) is rejected the same way.
+        let inner = Request::AdoptSession {
+            create: Box::new(Request::CreateSession {
+                name: "x".into(),
+                engine: Engine::Reference,
+                pace: Pace::MaxSpeed,
+                source: ModelSource::Blank {
+                    width: 1,
+                    height: 1,
+                    seed: 0,
+                },
+                fault_plan: String::new(),
+            }),
+            snapshot: vec![],
+            baseline: SessionStats::default(),
+            pending: vec![],
+        };
+        let mut p = Vec::new();
+        wire::put_bytes(&mut p, &inner.encode());
+        wire::put_bytes(&mut p, b"");
+        put_stats(&mut p, &SessionStats::default());
+        wire::put_input_events(&mut p, &[]);
+        assert!(Request::decode(OP_ADOPT_SESSION, &p)
+            .unwrap_err()
+            .message
+            .contains("nest a create"));
     }
 
     #[test]
@@ -910,6 +1192,44 @@ mod tests {
         roundtrip_resp(Response::MetricsData {
             text: "# TYPE tn_kernel_ticks_total counter\ntn_kernel_ticks_total 5\n".into(),
         });
+        roundtrip_resp(Response::SessionList {
+            entries: vec![
+                SessionEntry {
+                    name: "a".into(),
+                    stats: SessionStats {
+                        tick: 4,
+                        missed_deadlines: 1,
+                        engine: "reference".into(),
+                        ..Default::default()
+                    },
+                },
+                SessionEntry {
+                    name: "b".into(),
+                    stats: SessionStats::default(),
+                },
+            ],
+        });
+        roundtrip_resp(Response::SessionList { entries: vec![] });
+        roundtrip_resp(Response::Redirect {
+            session: "hot".into(),
+            addr: "10.0.0.2:4160".into(),
+        });
+        roundtrip_resp(Response::ServerStatusData {
+            addr: "127.0.0.1:4160".into(),
+            draining: true,
+            sessions: 3,
+            max_sessions: 32,
+        });
+    }
+
+    #[test]
+    fn session_list_count_lie_is_rejected() {
+        let mut p = Vec::new();
+        wire::put_u32(&mut p, u32::MAX);
+        assert!(Response::decode(OP_SESSION_LIST, &p)
+            .unwrap_err()
+            .message
+            .contains("exceeds payload"));
     }
 
     #[test]

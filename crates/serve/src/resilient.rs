@@ -23,7 +23,16 @@
 
 use crate::client::{Client, ClientError};
 use crate::protocol::{Engine, ErrorCode, ModelSource, Pace, Request, Response, SessionStats};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Redirect chains longer than this abort the request — two servers
+/// pointing at each other would otherwise bounce a client forever.
+const MAX_REDIRECT_FOLLOWS: u32 = 8;
+
+/// Resurrection attempts per request before giving up — a server that
+/// keeps forgetting the session faster than we can recreate it is not
+/// going to converge.
+const MAX_RESURRECTIONS: u32 = 3;
 
 /// Everything needed to recreate a session from scratch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +59,13 @@ pub struct BackoffPolicy {
     pub max: Duration,
     /// Give up after this many consecutive failed attempts.
     pub max_retries: u32,
+    /// Wall-clock budget for one whole retry sequence: once this much
+    /// time has elapsed since the first attempt, no further retry is
+    /// scheduled even with attempts left in `max_retries`. `None`
+    /// bounds by attempt count alone. Lets callers with a hard deadline
+    /// (a draining server, a paced experiment) cap worst-case stall at
+    /// a duration instead of a delay sum.
+    pub total_deadline: Option<Duration>,
     /// Jitter seed.
     pub seed: u64,
 }
@@ -60,6 +76,7 @@ impl Default for BackoffPolicy {
             base: Duration::from_millis(50),
             max: Duration::from_secs(2),
             max_retries: 8,
+            total_deadline: None,
             seed: 0,
         }
     }
@@ -80,6 +97,13 @@ impl BackoffPolicy {
         // 0–25% deterministic jitter.
         let jitter_num = mix(self.seed ^ (attempt as u64)) % 256;
         capped + capped.mul_f64(jitter_num as f64 / 1024.0)
+    }
+
+    /// Whether waiting `next_delay` more would overrun the total
+    /// deadline for a sequence that started at `start`.
+    pub fn out_of_time(&self, start: Instant, next_delay: Duration) -> bool {
+        self.total_deadline
+            .is_some_and(|budget| start.elapsed() + next_delay >= budget)
     }
 }
 
@@ -179,10 +203,15 @@ impl ReconnectingClient {
 
     fn connect(&mut self) -> Result<&mut Client, ClientError> {
         if self.conn.is_none() {
+            let start = Instant::now();
             let mut last: Option<ClientError> = None;
             for attempt in 0..=self.policy.max_retries {
                 if attempt > 0 {
-                    std::thread::sleep(self.policy.delay(attempt - 1));
+                    let delay = self.policy.delay(attempt - 1);
+                    if self.policy.out_of_time(start, delay) {
+                        break;
+                    }
+                    std::thread::sleep(delay);
                 }
                 match Client::connect(&self.addr) {
                     Ok(c) => {
@@ -206,7 +235,12 @@ impl ReconnectingClient {
     /// Run `op` against a live connection, transparently reconnecting on
     /// transport errors (protocol-level errors are returned, not
     /// retried). If the server answers `UnknownSession`, the session is
-    /// recreated and restored from the last snapshot, then `op` retries.
+    /// recreated and restored from the last snapshot, then `op` retries
+    /// (at most [`MAX_RESURRECTIONS`] times per request). If it answers
+    /// [`Response::Redirect`] — the session was live-migrated — the
+    /// client follows: it repoints at the new address and retries there,
+    /// no resurrection and no state loss, bounded by
+    /// [`MAX_REDIRECT_FOLLOWS`].
     fn with_retry<T>(
         &mut self,
         mut op: impl FnMut(&mut Client, &SessionSpec) -> Result<T, ClientError>,
@@ -214,13 +248,36 @@ impl ReconnectingClient {
     where
         T: ReplyLike,
     {
+        let start = Instant::now();
         let mut transport_failures = 0u32;
+        let mut resurrections = 0u32;
+        let mut redirects = 0u32;
         loop {
             let spec = self.spec.clone();
             let c = self.connect()?;
             match op(c, &spec) {
                 Ok(reply) => {
+                    if let Some(addr) = reply.redirect_addr() {
+                        redirects += 1;
+                        if redirects > MAX_REDIRECT_FOLLOWS {
+                            return Err(ClientError::Protocol(
+                                crate::protocol::ProtocolError::new(format!(
+                                    "redirect chain exceeded {MAX_REDIRECT_FOLLOWS} hops"
+                                )),
+                            ));
+                        }
+                        self.set_addr(addr);
+                        continue;
+                    }
                     if reply.is_unknown_session() {
+                        resurrections += 1;
+                        if resurrections > MAX_RESURRECTIONS {
+                            return Err(ClientError::Protocol(
+                                crate::protocol::ProtocolError::new(format!(
+                                    "session vanished {MAX_RESURRECTIONS} times in one request"
+                                )),
+                            ));
+                        }
                         self.resurrect()?;
                         continue;
                     }
@@ -229,7 +286,9 @@ impl ReconnectingClient {
                 Err(ClientError::Io(e)) => {
                     self.conn = None; // stale socket; reconnect
                     transport_failures += 1;
-                    if transport_failures > self.policy.max_retries {
+                    if transport_failures > self.policy.max_retries
+                        || self.policy.out_of_time(start, Duration::ZERO)
+                    {
                         return Err(ClientError::Io(e));
                     }
                 }
@@ -355,9 +414,11 @@ impl ReconnectingClient {
 }
 
 /// Lets [`ReconnectingClient::with_retry`] spot "the server forgot my
-/// session" replies generically.
+/// session" and "the session moved" replies generically.
 trait ReplyLike {
     fn is_unknown_session(&self) -> bool;
+    /// `Some(addr)` when the reply says the session now lives at `addr`.
+    fn redirect_addr(&self) -> Option<String>;
 }
 
 impl ReplyLike for Response {
@@ -369,6 +430,13 @@ impl ReplyLike for Response {
                 ..
             }
         )
+    }
+
+    fn redirect_addr(&self) -> Option<String> {
+        match self {
+            Response::Redirect { addr, .. } => Some(addr.clone()),
+            _ => None,
+        }
     }
 }
 
@@ -421,7 +489,50 @@ mod tests {
             max: Duration::from_millis(2),
             max_retries: 2,
             seed: 0,
+            ..BackoffPolicy::default()
         };
         assert!(ReconnectingClient::create(addr, spec, policy).is_err());
+    }
+
+    #[test]
+    fn total_deadline_cuts_retry_sequences_short() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            max_retries: 100,
+            total_deadline: Some(Duration::from_millis(10)),
+            seed: 0,
+        };
+        // The budget is already smaller than the first delay: any sleep
+        // would overrun it.
+        let start = Instant::now();
+        assert!(p.out_of_time(start, p.delay(0)));
+        // No deadline → never out of time.
+        let unbounded = BackoffPolicy::default();
+        assert!(!unbounded.out_of_time(start, Duration::from_secs(3600)));
+
+        // End to end: a dead address with a generous retry count but a
+        // tiny wall-clock budget fails in far fewer than 100 delays.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let spec = SessionSpec {
+            name: "late".into(),
+            engine: Engine::Reference,
+            pace: Pace::MaxSpeed,
+            source: ModelSource::Blank {
+                width: 2,
+                height: 2,
+                seed: 1,
+            },
+            fault_plan: String::new(),
+        };
+        let started = Instant::now();
+        assert!(ReconnectingClient::create(addr, spec, p).is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must beat the 100-retry delay sum"
+        );
     }
 }

@@ -17,20 +17,25 @@
 //! twice — connection readers push straight into the session's bounded
 //! stream queue and report shed load as [`Response::Overloaded`].
 
+use crate::client::Client;
 use crate::protocol::{
-    ErrorCode, ModelSource, Pace, ProtocolError, Request, Response, FRAME_HEADER_BYTES,
-    FRAME_TRAILER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    ErrorCode, ModelSource, Pace, ProtocolError, Request, Response, SessionEntry, SessionStats,
+    FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-use crate::session::{spawn_session, Cmd, Outbound, SessionConfig, SessionHandle};
+use crate::resilient::BackoffPolicy;
+use crate::session::{
+    spawn_session_resumed, Cmd, MigrationTicket, Outbound, SessionConfig, SessionHandle,
+};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{self, Sender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tn_compass::{KernelSession, ParallelSim, ReferenceSim};
-use tn_core::{modelfile, LintConfig, Network, NetworkBuilder};
+use tn_core::wire::InputEvent;
+use tn_core::{modelfile, LintConfig, Network, NetworkBuilder, NetworkSnapshot};
 
 /// Server-wide configuration.
 #[derive(Clone, Debug)]
@@ -61,6 +66,16 @@ pub struct ServerConfig {
     /// place each shard in its own OS process, otherwise shards run as
     /// in-process workers (still exchanging spikes over loopback TCP).
     pub shard_worker_bin: Option<std::path::PathBuf>,
+    /// Per-phase budget for live migrations: the quiesce reply, each
+    /// connect attempt to the target, the adopt transfer, and the retire
+    /// handshake are all individually bounded by this, so a wedged
+    /// target can only stall the control plane — never the session.
+    pub migration_timeout: Duration,
+    /// How long a quiesced session stays frozen waiting for its
+    /// migration to commit or abort before it thaws itself. Must exceed
+    /// the worst-case connect + transfer time; a crashed migrator costs
+    /// at most this much ticking time.
+    pub migration_hold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -76,61 +91,217 @@ impl Default for ServerConfig {
             parallel_threads: 2,
             shards: 2,
             shard_worker_bin: None,
+            migration_timeout: Duration::from_secs(10),
+            migration_hold: Duration::from_secs(60),
         }
     }
+}
+
+/// One registered session: its live handle plus the encoded create
+/// request it was built from — the spec a migration nests inside
+/// [`Request::AdoptSession`] so the target can rebuild the same
+/// engine/pace/fault plan before restoring the snapshot.
+struct Entry {
+    handle: SessionHandle,
+    spec: Arc<Vec<u8>>,
+}
+
+/// Forwarding entries kept after migrations commit, so later requests
+/// naming a moved session get a [`Response::Redirect`] instead of
+/// `UnknownSession`. FIFO-bounded: old entries age out.
+const MOVED_CAP: usize = 64;
+
+struct RegistryState {
+    sessions: HashMap<String, Entry>,
+    /// Set by [`Request::Drain`]: creates are rejected from then on.
+    /// Lives under the same mutex as the session map so drain-vs-create
+    /// is a total order (model-checked below): an insert either
+    /// completed before the drain (and gets migrated out with the rest)
+    /// or observes the flag and is rejected — never half-admitted.
+    draining: bool,
+    moved: VecDeque<(String, String)>,
 }
 
 /// Named live sessions. Closed/evicted entries are reaped lazily on
 /// every lookup and create.
 struct Registry {
-    sessions: Mutex<HashMap<String, SessionHandle>>,
+    state: Mutex<RegistryState>,
     max_sessions: usize,
 }
 
 impl Registry {
     fn new(max_sessions: usize) -> Self {
         Registry {
-            sessions: Mutex::new(HashMap::new()),
+            state: Mutex::new(RegistryState {
+                sessions: HashMap::new(),
+                draining: false,
+                moved: VecDeque::new(),
+            }),
             max_sessions: max_sessions.max(1),
         }
     }
 
     fn get(&self, name: &str) -> Option<SessionHandle> {
-        let mut map = self.sessions.lock().unwrap();
-        map.retain(|_, h| !h.is_closed());
-        map.get(name).cloned()
+        let mut st = self.state.lock().unwrap();
+        st.sessions.retain(|_, e| !e.handle.is_closed());
+        st.sessions.get(name).map(|e| e.handle.clone())
     }
 
-    fn insert(&self, handle: SessionHandle) -> Result<(), Response> {
-        let mut map = self.sessions.lock().unwrap();
-        map.retain(|_, h| !h.is_closed());
-        if map.contains_key(&handle.name) {
+    /// Handle plus creation spec — what a migration needs.
+    fn get_entry(&self, name: &str) -> Option<(SessionHandle, Arc<Vec<u8>>)> {
+        let mut st = self.state.lock().unwrap();
+        st.sessions.retain(|_, e| !e.handle.is_closed());
+        st.sessions
+            .get(name)
+            .map(|e| (e.handle.clone(), Arc::clone(&e.spec)))
+    }
+
+    /// Where a committed migration sent this session, if we remember.
+    fn moved_to(&self, name: &str) -> Option<String> {
+        let st = self.state.lock().unwrap();
+        st.moved
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, addr)| addr.clone())
+    }
+
+    fn insert(&self, handle: SessionHandle, spec: Arc<Vec<u8>>) -> Result<(), Response> {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Err(Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining; create sessions elsewhere".to_string(),
+            });
+        }
+        st.sessions.retain(|_, e| !e.handle.is_closed());
+        if st.sessions.contains_key(&handle.name) {
             return Err(Response::Error {
                 code: ErrorCode::SessionExists,
                 message: format!("session '{}' already exists", handle.name),
             });
         }
-        if map.len() >= self.max_sessions {
+        if st.sessions.len() >= self.max_sessions {
             return Err(Response::Error {
                 code: ErrorCode::TooManySessions,
                 message: format!("session budget ({}) exhausted", self.max_sessions),
             });
         }
-        map.insert(handle.name.clone(), handle);
+        // A fresh session with this name supersedes any stale
+        // forwarding entry (e.g. the session migrated back here).
+        let name = handle.name.clone();
+        st.moved.retain(|(n, _)| n != &name);
+        st.sessions.insert(name, Entry { handle, spec });
         Ok(())
     }
 
     fn remove(&self, name: &str) -> Option<SessionHandle> {
-        self.sessions.lock().unwrap().remove(name)
-    }
-
-    fn drain(&self) -> Vec<SessionHandle> {
-        self.sessions
+        self.state
             .lock()
             .unwrap()
+            .sessions
+            .remove(name)
+            .map(|e| e.handle)
+    }
+
+    /// Commit bookkeeping for a migration: drop the local entry and
+    /// remember the forwarding address.
+    fn record_moved(&self, name: &str, addr: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.sessions.remove(name);
+        st.moved.retain(|(n, _)| n != name);
+        st.moved.push_back((name.to_string(), addr.to_string()));
+        while st.moved.len() > MOVED_CAP {
+            st.moved.pop_front();
+        }
+    }
+
+    /// Live sessions, reaped and sorted by name (stable control-plane
+    /// output).
+    fn list(&self) -> Vec<(String, SessionHandle)> {
+        let mut st = self.state.lock().unwrap();
+        st.sessions.retain(|_, e| !e.handle.is_closed());
+        let mut out: Vec<_> = st
+            .sessions
+            .iter()
+            .map(|(n, e)| (n.clone(), e.handle.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Flip the drain flag; returns whether this call flipped it.
+    fn set_draining(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let first = !st.draining;
+        st.draining = true;
+        first
+    }
+
+    fn is_draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    fn count(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.sessions.retain(|_, e| !e.handle.is_closed());
+        st.sessions.len()
+    }
+
+    fn take_all(&self) -> Vec<SessionHandle> {
+        self.state
+            .lock()
+            .unwrap()
+            .sessions
             .drain()
-            .map(|(_, h)| h)
+            .map(|(_, e)| e.handle)
             .collect()
+    }
+}
+
+/// Control-plane telemetry: migrations, drains, and per-phase timings,
+/// rendered into every metrics scrape alongside the session's own
+/// registry. One instance per server.
+struct OpsMetrics {
+    registry: tn_obs::Registry,
+}
+
+/// 1 µs … ~16 s in ×16 steps — spans a loopback quiesce up to a
+/// cross-network transfer brushing its timeout.
+const PHASE_BOUNDS: [u64; 6] = [1_000, 16_000, 256_000, 4_096_000, 65_536_000, 1_048_576_000];
+
+impl OpsMetrics {
+    fn new() -> Self {
+        let registry = tn_obs::Registry::new();
+        // Pre-register the unlabelled series so a scrape shows them at
+        // zero before the first migration/drain ever happens.
+        registry.counter("tn_ops_migrations_total");
+        registry.counter("tn_ops_drains_total");
+        OpsMetrics { registry }
+    }
+
+    fn migration_committed(&self) {
+        self.registry.counter("tn_ops_migrations_total").inc();
+    }
+
+    fn migration_failed(&self, phase: &str) {
+        self.registry
+            .counter_with("tn_ops_migration_failures_total", &[("phase", phase)])
+            .inc();
+    }
+
+    fn drain_started(&self) {
+        self.registry.counter("tn_ops_drains_total").inc();
+    }
+
+    fn observe_phase(&self, phase: &str, since: Instant) {
+        self.registry
+            .histogram_with(
+                "tn_ops_migration_phase_ns",
+                &[("phase", phase)],
+                &PHASE_BOUNDS,
+            )
+            .observe(since.elapsed().as_nanos() as u64);
     }
 }
 
@@ -140,6 +311,10 @@ pub struct Server {
     cfg: ServerConfig,
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
+    ops: Arc<OpsMetrics>,
+    /// This server's reachable address (post-bind, so a `:0` listen
+    /// port is resolved) — what redirects and status replies advertise.
+    advertised: String,
 }
 
 /// Controls a server started with [`Server::spawn`].
@@ -155,6 +330,7 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let advertised = listener.local_addr()?.to_string();
         Ok(Server {
             listener,
             registry: Arc::new(Registry::new(cfg.max_sessions)),
@@ -162,6 +338,8 @@ impl Server {
             // load(Acquire) in the acceptor loop and every FrameReader,
             // ordering all pre-shutdown writes before the readers exit.
             shutdown: Arc::new(AtomicBool::new(false)),
+            ops: Arc::new(OpsMetrics::new()),
+            advertised,
             cfg,
         })
     }
@@ -202,6 +380,8 @@ impl Server {
                         cfg: self.cfg.clone(),
                         registry: Arc::clone(&self.registry),
                         shutdown: Arc::clone(&self.shutdown),
+                        ops: Arc::clone(&self.ops),
+                        advertised: self.advertised.clone(),
                     };
                     // sync: deliberately detached — a connection thread
                     // exits when its peer hangs up or the shutdown flag
@@ -217,8 +397,9 @@ impl Server {
                 Err(_) => std::thread::sleep(Duration::from_millis(25)),
             }
         }
-        // Close every session so driver threads exit promptly.
-        for handle in self.registry.drain() {
+        // Close every session so driver threads exit promptly. After a
+        // completed drain this is empty and the loop is a no-op.
+        for handle in self.registry.take_all() {
             let (tx, rx) = mpsc::channel();
             if handle.send(Cmd::Close { reply: tx }).is_ok() {
                 let _ = rx.recv_timeout(Duration::from_secs(1));
@@ -243,9 +424,13 @@ impl ServerHandle {
 
     /// Live session count (for tests and the CLI status line).
     pub fn session_count(&self) -> usize {
-        let mut map = self.registry.sessions.lock().unwrap();
-        map.retain(|_, h| !h.is_closed());
-        map.len()
+        self.registry.count()
+    }
+
+    /// Whether the acceptor has exited on its own — true once a drain
+    /// has emptied the server (the CLI then exits 0).
+    pub fn is_finished(&self) -> bool {
+        self.acceptor.as_ref().is_none_or(|a| a.is_finished())
     }
 }
 
@@ -274,6 +459,8 @@ struct Connection {
     cfg: ServerConfig,
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
+    ops: Arc<OpsMetrics>,
+    advertised: String,
 }
 
 impl Connection {
@@ -332,20 +519,9 @@ impl Connection {
     fn dispatch(&self, req: Request, out_tx: &Sender<Outbound>) -> Response {
         match req {
             Request::Ping => Response::Pong,
-            Request::CreateSession {
-                name,
-                engine,
-                pace,
-                source,
-                fault_plan,
-            } => self.create_session(name, engine, pace, source, fault_plan),
-            Request::CreateShardedSession {
-                name,
-                pace,
-                source,
-                fault_plan,
-                shards,
-            } => self.create_sharded_session(name, pace, source, fault_plan, shards),
+            create @ (Request::CreateSession { .. } | Request::CreateShardedSession { .. }) => {
+                self.create_from(create)
+            }
             Request::InjectSpikes { session, events } => {
                 let handle = match self.lookup(&session) {
                     Ok(h) => h,
@@ -381,18 +557,53 @@ impl Connection {
             }
             Request::Stats { session } => self.session_cmd(&session, |reply| Cmd::Stats { reply }),
             Request::GetMetrics { session } => {
-                self.session_cmd(&session, |reply| Cmd::GetMetrics { reply })
+                // The session's own scrape plus the server's control-
+                // plane series (migrations, drains, phase timings).
+                match self.session_cmd(&session, |reply| Cmd::GetMetrics { reply }) {
+                    Response::MetricsData { mut text } => {
+                        text.push_str(&self.ops.registry.render_text());
+                        Response::MetricsData { text }
+                    }
+                    other => other,
+                }
             }
             Request::CloseSession { session } => {
                 let resp = self.session_cmd(&session, |reply| Cmd::Close { reply });
                 self.registry.remove(&session);
                 resp
             }
+            Request::ListSessions => self.list_sessions(),
+            Request::ServerStatus => Response::ServerStatusData {
+                addr: self.advertised.clone(),
+                draining: self.registry.is_draining(),
+                sessions: self.registry.count() as u32,
+                max_sessions: self.registry.max_sessions as u32,
+            },
+            Request::MigrateSession { session, target } => self.migrate(&session, &target),
+            Request::Drain { target } => self.drain_to(&target),
+            Request::AdoptSession {
+                create,
+                snapshot,
+                baseline,
+                pending,
+            } => self.adopt_session(*create, snapshot, baseline, pending),
         }
     }
 
+    /// Resolve a session name to its live handle. A name this server
+    /// migrated away answers with the forwarding address instead of
+    /// `UnknownSession`, so clients re-home without operator help.
     fn lookup(&self, session: &str) -> Result<SessionHandle, Response> {
-        self.registry.get(session).ok_or_else(|| Response::Error {
+        if let Some(h) = self.registry.get(session) {
+            return Ok(h);
+        }
+        if let Some(addr) = self.registry.moved_to(session) {
+            return Err(Response::Redirect {
+                session: session.to_string(),
+                addr,
+            });
+        }
+        Err(Response::Error {
             code: ErrorCode::UnknownSession,
             message: format!("no session named '{session}'"),
         })
@@ -420,27 +631,52 @@ impl Connection {
         }
     }
 
-    fn create_session(
+    /// Create a session from either create request, keeping its encoded
+    /// form as the migration spec.
+    fn create_from(&self, create: Request) -> Response {
+        let spec = Arc::new(create.encode());
+        match create {
+            Request::CreateSession {
+                name,
+                engine,
+                pace,
+                source,
+                fault_plan,
+            } => match self.build_plain(engine, source, &fault_plan) {
+                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[]),
+                Err(resp) => resp,
+            },
+            Request::CreateShardedSession {
+                name,
+                pace,
+                source,
+                fault_plan,
+                shards,
+            } => match self.build_sharded(source, &fault_plan, shards) {
+                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[]),
+                Err(resp) => resp,
+            },
+            _ => unreachable!("create_from called with a non-create request"),
+        }
+    }
+
+    /// Build a configured single-process expression (no registration).
+    fn build_plain(
         &self,
-        name: String,
         engine: crate::protocol::Engine,
-        pace: Pace,
         source: ModelSource,
-        fault_plan: String,
-    ) -> Response {
+        fault_plan: &str,
+    ) -> Result<Box<dyn KernelSession>, Response> {
         let net = match self.build_network(source) {
             Ok(net) => net,
             Err(message) => {
-                return Response::Error {
+                return Err(Response::Error {
                     code: ErrorCode::ModelRejected,
                     message,
-                }
+                })
             }
         };
-        let plan = match Self::parse_fault_plan(&fault_plan, &net) {
-            Ok(p) => p,
-            Err(resp) => return resp,
-        };
+        let plan = Self::parse_fault_plan(fault_plan, &net)?;
         let mut sim: Box<dyn KernelSession> = match engine {
             crate::protocol::Engine::Chip => Box::new(tn_chip::TrueNorthSim::new(net)),
             crate::protocol::Engine::Reference => Box::new(ReferenceSim::new(net)),
@@ -451,33 +687,28 @@ impl Connection {
         if let Some(plan) = &plan {
             sim.attach_faults(plan);
         }
-        self.register_session(name, pace, sim)
+        Ok(sim)
     }
 
-    /// Create a session partitioned across `tn-shard` workers — the
+    /// Build a session partitioned across `tn-shard` workers — the
     /// gateway half of the distributed sharding layer: it places the
-    /// worker processes and then serves the session like any other.
-    fn create_sharded_session(
+    /// worker processes; the caller serves the session like any other.
+    fn build_sharded(
         &self,
-        name: String,
-        pace: Pace,
         source: ModelSource,
-        fault_plan: String,
+        fault_plan: &str,
         shards: u16,
-    ) -> Response {
+    ) -> Result<Box<dyn KernelSession>, Response> {
         let net = match self.build_network(source) {
             Ok(net) => net,
             Err(message) => {
-                return Response::Error {
+                return Err(Response::Error {
                     code: ErrorCode::ModelRejected,
                     message,
-                }
+                })
             }
         };
-        let plan = match Self::parse_fault_plan(&fault_plan, &net) {
-            Ok(p) => p,
-            Err(resp) => return resp,
-        };
+        let plan = Self::parse_fault_plan(fault_plan, &net)?;
         let shards = if shards == 0 {
             self.cfg.shards
         } else {
@@ -496,16 +727,300 @@ impl Connection {
         let mut sim: Box<dyn KernelSession> = match tn_shard::ShardedSession::launch(net, &spec) {
             Ok(s) => Box::new(s),
             Err(e) => {
-                return Response::Error {
+                return Err(Response::Error {
                     code: ErrorCode::Internal,
                     message: format!("failed to place shard workers: {e}"),
-                }
+                })
             }
         };
         if let Some(plan) = &plan {
             sim.attach_faults(plan);
         }
-        self.register_session(name, pace, sim)
+        Ok(sim)
+    }
+
+    /// Control plane: every live session's name and point-in-time stats.
+    /// Each driver round-trip is deadline-bounded; a wedged session is
+    /// skipped rather than hanging the whole listing.
+    fn list_sessions(&self) -> Response {
+        let mut entries = Vec::new();
+        for (name, handle) in self.registry.list() {
+            let (tx, rx) = mpsc::channel();
+            if handle.send(Cmd::Stats { reply: tx }).is_err() {
+                continue;
+            }
+            if let Ok(Response::StatsData(stats)) = rx.recv_timeout(self.cfg.migration_timeout) {
+                entries.push(SessionEntry { name, stats });
+            }
+        }
+        Response::SessionList { entries }
+    }
+
+    /// Live-migrate `name` to the server at `target`.
+    ///
+    /// Phases (each bounded by `migration_timeout`): **pin** (excludes
+    /// idle eviction and concurrent migrations), **quiesce** (freeze at
+    /// a tick boundary and take the ticket), **connect** (dial the
+    /// target with backoff), **transfer** (one `AdoptSession` frame),
+    /// **commit** (retire the source driver, redirect its clients, wait
+    /// for it to exit). Any failure before the target replies `Created`
+    /// aborts back to an untouched, still-ticking source; after that
+    /// point the target owns the session and the source always retires.
+    fn migrate(&self, name: &str, target: &str) -> Response {
+        let (handle, spec) = match self.registry.get_entry(name) {
+            Some(e) => e,
+            None => {
+                return match self.lookup(name) {
+                    Err(resp) => resp,
+                    Ok(_) => Response::Error {
+                        code: ErrorCode::MigrationFailed,
+                        message: format!("session '{name}' closed mid-request"),
+                    },
+                }
+            }
+        };
+        if target == self.advertised {
+            return Response::Error {
+                code: ErrorCode::MigrationFailed,
+                message: "migration target is this server".to_string(),
+            };
+        }
+        let pin = handle.migration();
+        if !pin.pin() {
+            return Response::Error {
+                code: ErrorCode::MigrationFailed,
+                message: format!("session '{name}' is already migrating or closing"),
+            };
+        }
+        match self.try_migrate(&handle, &spec, target) {
+            Ok(()) => {
+                self.ops.migration_committed();
+                self.registry.record_moved(name, target);
+                Response::Redirect {
+                    session: name.to_string(),
+                    addr: target.to_string(),
+                }
+            }
+            Err((phase, message)) => {
+                // Abort to source: thaw the driver and release the pin.
+                // The session never stopped being servable — at worst it
+                // sat quiesced for one phase timeout.
+                let _ = handle.send(Cmd::Resume);
+                pin.unpin();
+                self.ops.migration_failed(phase);
+                Response::Error {
+                    code: ErrorCode::MigrationFailed,
+                    message: format!("{phase}: {message}"),
+                }
+            }
+        }
+    }
+
+    /// The fallible phases of [`Connection::migrate`], returning the
+    /// failing phase name for telemetry. The caller owns the pin.
+    fn try_migrate(
+        &self,
+        handle: &SessionHandle,
+        spec: &[u8],
+        target: &str,
+    ) -> Result<(), (&'static str, String)> {
+        // Quiesce: freeze at the next tick boundary, take the ticket.
+        let started = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        handle
+            .send(Cmd::Quiesce {
+                hold: self.cfg.migration_hold,
+                reply: tx,
+            })
+            .map_err(|e| ("quiesce", e.to_string()))?;
+        let ticket: MigrationTicket = rx
+            .recv_timeout(self.cfg.migration_timeout)
+            .map_err(|e| ("quiesce", e.to_string()))?;
+        self.ops.observe_phase("quiesce", started);
+
+        // Connect: dial the target with per-attempt timeout + backoff.
+        let started = Instant::now();
+        let mut client = self.connect_target(target).map_err(|e| ("connect", e))?;
+        self.ops.observe_phase("connect", started);
+
+        // Transfer: the whole session in one AdoptSession frame.
+        let started = Instant::now();
+        let create = {
+            let (op, payload) =
+                crate::protocol::split_frame(spec).map_err(|e| ("transfer", e.message))?;
+            Request::decode(op, payload).map_err(|e| ("transfer", e.message))?
+        };
+        let adopt = Request::AdoptSession {
+            create: Box::new(create),
+            snapshot: ticket.snapshot,
+            baseline: ticket.baseline,
+            pending: ticket.pending,
+        };
+        match client.request(&adopt) {
+            Ok(Response::Created { .. }) => {}
+            Ok(Response::Error { code, message }) => {
+                return Err(("transfer", format!("target rejected ({code:?}): {message}")))
+            }
+            Ok(other) => return Err(("transfer", format!("unexpected adopt reply: {other:?}"))),
+            Err(e) => return Err(("transfer", e.to_string())),
+        }
+        self.ops.observe_phase("transfer", started);
+
+        // Commit: the target owns the session now — the one state this
+        // protocol must never reach is the session ticking in two
+        // places, so from here the source always retires; a sluggish
+        // driver only degrades the handshake to best-effort.
+        let started = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        if handle
+            .send(Cmd::Retire {
+                addr: target.to_string(),
+                reply: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv_timeout(self.cfg.migration_timeout);
+        }
+        handle.migration().wait_closed(self.cfg.migration_timeout);
+        self.ops.observe_phase("commit", started);
+        Ok(())
+    }
+
+    /// Dial the migration target, retrying with seeded-jitter backoff.
+    /// Every attempt is individually bounded by `migration_timeout`.
+    fn connect_target(&self, target: &str) -> Result<Client, String> {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(20),
+            max: Duration::from_millis(250),
+            max_retries: 3,
+            seed: 0x7A12,
+            ..BackoffPolicy::default()
+        };
+        let mut last = String::new();
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match Client::connect_with_timeout(target, self.cfg.migration_timeout) {
+                Ok(mut c) => {
+                    // The transfer reply must also be bounded: a target
+                    // that accepts the socket then wedges would
+                    // otherwise hold the source quiesced forever.
+                    if let Err(e) = c.set_io_timeout(Some(self.cfg.migration_timeout)) {
+                        last = e.to_string();
+                        continue;
+                    }
+                    return Ok(c);
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(format!(
+            "target {target} unreachable after {} attempts: {last}",
+            policy.max_retries + 1
+        ))
+    }
+
+    /// Control plane: stop admitting sessions, migrate every live one to
+    /// `target`, and — once empty — signal the acceptor so a CLI server
+    /// exits 0. Draining is sticky: a partial drain (some sessions
+    /// failed to move) leaves the server refusing creates, still
+    /// serving what remains, and the operator retries.
+    fn drain_to(&self, target: &str) -> Response {
+        if target == self.advertised {
+            return Response::Error {
+                code: ErrorCode::MigrationFailed,
+                message: "drain target is this server".to_string(),
+            };
+        }
+        if self.registry.set_draining() {
+            self.ops.drain_started();
+        }
+        let mut failures = Vec::new();
+        for (name, _) in self.registry.list() {
+            match self.migrate(&name, target) {
+                Response::Redirect { .. } => {}
+                Response::Error { message, .. } => failures.push(format!("{name}: {message}")),
+                other => failures.push(format!("{name}: unexpected reply {other:?}")),
+            }
+        }
+        if failures.is_empty() {
+            // sync: Release pairs with the acceptor loop's Acquire; the
+            // reply frame is already queued to this connection's writer,
+            // which drains before the reader's hangup closes it.
+            self.shutdown.store(true, Ordering::Release);
+            Response::Ok
+        } else {
+            Response::Error {
+                code: ErrorCode::MigrationFailed,
+                message: format!("drain incomplete: {}", failures.join("; ")),
+            }
+        }
+    }
+
+    /// Server → server: adopt a migrating session — rebuild the
+    /// expression from its original create request, restore the quiesced
+    /// snapshot, and resume the driver with the source's counter
+    /// baselines and still-queued inputs.
+    fn adopt_session(
+        &self,
+        create: Request,
+        snapshot: Vec<u8>,
+        baseline: SessionStats,
+        pending: Vec<InputEvent>,
+    ) -> Response {
+        let spec = Arc::new(create.encode());
+        let (name, pace, mut sim) = match create {
+            Request::CreateSession {
+                name,
+                engine,
+                pace,
+                source,
+                fault_plan,
+            } => match self.build_plain(engine, source, &fault_plan) {
+                Ok(sim) => (name, pace, sim),
+                Err(resp) => return resp,
+            },
+            Request::CreateShardedSession {
+                name,
+                pace,
+                source,
+                fault_plan,
+                shards,
+            } => match self.build_sharded(source, &fault_plan, shards) {
+                Ok(sim) => (name, pace, sim),
+                Err(resp) => return resp,
+            },
+            // Request::decode already rejects other nestings; keep the
+            // invariant locally checkable.
+            _ => {
+                return Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "adopt payload must nest a create request".to_string(),
+                }
+            }
+        };
+        let snap = match NetworkSnapshot::from_bytes(&snapshot) {
+            Ok(s) if s.cores.len() == sim.network().num_cores() => s,
+            Ok(s) => {
+                return Response::Error {
+                    code: ErrorCode::SnapshotRejected,
+                    message: format!(
+                        "adopted snapshot has {} cores, model builds {}",
+                        s.cores.len(),
+                        sim.network().num_cores()
+                    ),
+                }
+            }
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::SnapshotRejected,
+                    message: e.to_string(),
+                }
+            }
+        };
+        sim.restore(&snap);
+        self.register(name, pace, sim, spec, baseline, &pending)
     }
 
     /// Parse and lint a fault plan against this network's grid before
@@ -536,7 +1051,17 @@ impl Connection {
     }
 
     /// Wrap a configured expression in a session driver and register it.
-    fn register_session(&self, name: String, pace: Pace, sim: Box<dyn KernelSession>) -> Response {
+    /// `base`/`pending` are zero/empty for fresh sessions and carry the
+    /// source server's state for adopted ones.
+    fn register(
+        &self,
+        name: String,
+        pace: Pace,
+        sim: Box<dyn KernelSession>,
+        spec: Arc<Vec<u8>>,
+        base: SessionStats,
+        pending: &[InputEvent],
+    ) -> Response {
         let session_cfg = SessionConfig {
             pace: if self.cfg.max_speed {
                 Pace::MaxSpeed
@@ -549,11 +1074,12 @@ impl Connection {
             output_capacity: self.cfg.output_capacity,
             ..SessionConfig::default()
         };
-        let handle = spawn_session(name.clone(), sim, session_cfg);
-        match self.registry.insert(handle.clone()) {
+        let handle = spawn_session_resumed(name.clone(), sim, session_cfg, base, pending);
+        match self.registry.insert(handle.clone(), spec) {
             Ok(()) => Response::Created { session: name },
             Err(resp) => {
-                // Lost the race (or over budget): tear the driver down.
+                // Lost the race (or over budget, or draining): tear the
+                // driver down.
                 let (tx, _rx) = mpsc::channel();
                 let _ = handle.send(Cmd::Close { reply: tx });
                 resp
@@ -678,15 +1204,20 @@ mod model_tests {
             .unwrap_or(default)
     }
 
+    fn blank_spec() -> Arc<Vec<u8>> {
+        Arc::new(Vec::new())
+    }
+
     /// A budget-1 registry holding one session whose "driver" exits
     /// concurrently with a lookup. Whatever the interleaving, once the
     /// close is complete the registry must reap the entry and admit a
     /// same-name replacement — the lazy-eviction contract `Connection::
-    /// create_session` depends on.
+    /// create_from` depends on.
     fn eviction_race() {
         let reg = Arc::new(Registry::new(1));
-        let (h1, closed1, _rx1) = model_handle("a");
-        reg.insert(h1).expect("first insert fits the budget");
+        let (h1, closed1, _rx1, _pin1) = model_handle("a");
+        reg.insert(h1, blank_spec())
+            .expect("first insert fits the budget");
         let closer = tn_check::thread::spawn(move || {
             // The driver's exit protocol: flip closed, last.
             closed1.store(true, Ordering::Release);
@@ -708,8 +1239,8 @@ mod model_tests {
             reg.get("a").is_none(),
             "a closed session must be reaped on the next lookup"
         );
-        let (h2, _c2, _rx2) = model_handle("a");
-        reg.insert(h2)
+        let (h2, _c2, _rx2, _p2) = model_handle("a");
+        reg.insert(h2, blank_spec())
             .expect("eviction must free the budget for a replacement");
     }
 
@@ -733,7 +1264,7 @@ mod model_tests {
         // may win or lose, but after the close is complete every send
         // must fail cleanly with SessionGone — never panic or hang.
         let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
-            let (h, closed, rx) = model_handle("s");
+            let (h, closed, rx, _pin) = model_handle("s");
             let sender = {
                 let h = h.clone();
                 tn_check::thread::spawn(move || {
@@ -756,6 +1287,137 @@ mod model_tests {
         report.assert_ok();
         println!(
             "model_close_vs_send_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
+    }
+
+    #[test]
+    fn model_migration_pin_vs_eviction_dfs() {
+        // The pin-by-state contract: a migrator pinning the session
+        // races the driver's idle-eviction decision (check the pin,
+        // then close). All transitions go through one mutex, so the
+        // outcomes are exactly two — the pin lands first and the driver
+        // observes it (stays alive; here: skips closing), or the close
+        // lands first and the pin fails. Never both, never neither.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let (h, closed, _rx, pin) = model_handle("m");
+            let driver = {
+                let pin = Arc::clone(&pin);
+                tn_check::thread::spawn(move || {
+                    // Idle-timeout path: evict only if not pinned.
+                    if !pin.is_migrating() {
+                        pin.close();
+                        closed.store(true, Ordering::Release);
+                        return true; // evicted
+                    }
+                    false
+                })
+            };
+            let migrator = {
+                let pin = Arc::clone(&pin);
+                tn_check::thread::spawn(move || pin.pin())
+            };
+            let evicted = driver.join().unwrap();
+            let pinned = migrator.join().unwrap();
+            if pinned && evicted {
+                // The one legal overlap: the pin landed *between* the
+                // driver's check and its close. The migrator holds the
+                // pin but the driver is gone — it must be able to see
+                // that and abort: the handle reports closed (close
+                // precedes the closed flip in the driver's protocol).
+                assert!(
+                    h.is_closed(),
+                    "evicted session must be observable as closed by a pin holder"
+                );
+            }
+            if !evicted {
+                assert!(pinned, "driver only spares the session for a pin");
+            }
+        });
+        report.assert_ok();
+        println!(
+            "model_pin_vs_eviction_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
+    }
+
+    #[test]
+    fn model_migration_abort_vs_driver_exit_dfs() {
+        // The abort path (unpin) racing the driver's exit (close). The
+        // pin cell must end CLOSED whatever the order — unpin is a
+        // strict MIGRATING→RUNNING edge and can never resurrect a
+        // closed cell — and a later migration attempt must fail.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let (_h, _closed, _rx, pin) = model_handle("m");
+            assert!(pin.pin(), "fresh session must accept the pin");
+            let aborter = {
+                let pin = Arc::clone(&pin);
+                tn_check::thread::spawn(move || pin.unpin())
+            };
+            let exiter = {
+                let pin = Arc::clone(&pin);
+                tn_check::thread::spawn(move || pin.close())
+            };
+            aborter.join().unwrap();
+            exiter.join().unwrap();
+            assert!(
+                !pin.pin(),
+                "a closed session must never accept a new migration pin"
+            );
+            assert!(!pin.is_migrating(), "closed cell cannot read as migrating");
+        });
+        report.assert_ok();
+        println!(
+            "model_abort_vs_exit_dfs: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
+    }
+
+    #[test]
+    fn model_registry_drain_vs_create_dfs() {
+        // Drain racing a create. Because the draining flag lives inside
+        // the session-map mutex, the create either fully lands before
+        // the flag flips (drain then migrates it out with the rest) or
+        // is rejected with Draining — there is no interleaving where a
+        // session is admitted to a drained server unnoticed.
+        let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
+            let reg = Arc::new(Registry::new(4));
+            let creator = {
+                let reg = Arc::clone(&reg);
+                tn_check::thread::spawn(move || {
+                    let (h, _c, _rx, _p) = model_handle("late");
+                    reg.insert(h, Arc::new(Vec::new())).is_ok()
+                })
+            };
+            let drainer = {
+                let reg = Arc::clone(&reg);
+                tn_check::thread::spawn(move || {
+                    reg.set_draining();
+                    // What drain migrates out: the sessions present
+                    // once the flag is up.
+                    reg.list().len()
+                })
+            };
+            let admitted = creator.join().unwrap();
+            let seen = drainer.join().unwrap();
+            if admitted {
+                // An admitted session is visible to the drain sweep or
+                // to any retry (draining rejects nothing already in).
+                assert_eq!(reg.count(), 1);
+            } else {
+                assert_eq!(seen, 0, "rejected create must leave nothing behind");
+                assert_eq!(reg.count(), 0);
+            }
+            // Post-drain creates always bounce with Draining.
+            let (h2, _c2, _rx2, _p2) = model_handle("after");
+            match reg.insert(h2, Arc::new(Vec::new())) {
+                Err(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+                other => panic!("drained registry admitted a create: {other:?}"),
+            }
+        });
+        report.assert_ok();
+        println!(
+            "model_drain_vs_create_dfs: {} schedules, exhausted={}",
             report.schedules, report.exhausted
         );
     }

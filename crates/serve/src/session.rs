@@ -23,12 +23,13 @@
 use crate::protocol::{ErrorCode, Health, Pace, Response, SessionStats, TickUpdate};
 use crate::scheduler::{PaceOutcome, TickScheduler};
 use crate::sync::atomic::{AtomicBool, Ordering};
-use crate::sync::Arc;
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tn_chip::stream::{stream_channel, Injector, StreamSource};
 use tn_compass::KernelSession;
+use tn_core::wire::InputEvent;
 use tn_core::NetworkSnapshot;
 use tn_obs::{Counter, FlightRecorder, Histogram, Registry, TickFrame};
 
@@ -99,6 +100,116 @@ pub enum Cmd {
     Close {
         reply: Sender<Response>,
     },
+    /// Control plane: freeze the session at its next tick boundary and
+    /// hand back everything a target server needs to adopt it. The
+    /// driver stops ticking until [`Cmd::Resume`] or [`Cmd::Retire`]
+    /// arrives — or `hold` elapses, after which it resumes by itself so
+    /// a crashed migrator can never wedge the session.
+    Quiesce {
+        hold: Duration,
+        reply: Sender<MigrationTicket>,
+    },
+    /// Control plane: the migration was aborted — thaw and keep ticking
+    /// here as if nothing happened.
+    Resume,
+    /// Control plane: the target has adopted the session. Answer every
+    /// queued `RunFor` waiter and every subscriber with a
+    /// [`Response::Redirect`] to `addr`, then exit.
+    Retire {
+        addr: String,
+        reply: Sender<Response>,
+    },
+}
+
+/// Everything the migration transfer phase ships to the target: the
+/// quiesced snapshot, the cumulative counters that do *not* live in the
+/// snapshot (so stats stay continuous across the move), and the input
+/// events still queued for future ticks.
+#[derive(Clone, Debug)]
+pub struct MigrationTicket {
+    pub snapshot: Vec<u8>,
+    pub baseline: SessionStats,
+    pub pending: Vec<InputEvent>,
+}
+
+/// The migration pin: a three-state mutex/condvar cell shared between a
+/// session's handle and its driver. It serializes the two decisions
+/// that race during a live migration — the driver deciding to idle-evict
+/// and the control plane deciding to migrate — and gives the commit
+/// phase a handshake to wait on.
+///
+/// States: `RUNNING` (normal), `MIGRATING` (pinned — the driver must
+/// not idle-evict), `CLOSED` (the driver has exited). All transitions
+/// happen under the mutex, so pin-vs-evict is a total order: whoever
+/// locks first wins, and the loser observes it (model-checked in
+/// `server::model_tests`).
+pub(crate) struct MigrationPin {
+    state: Mutex<u8>,
+    cond: Condvar,
+}
+
+pub(crate) const PIN_RUNNING: u8 = 0;
+pub(crate) const PIN_MIGRATING: u8 = 1;
+pub(crate) const PIN_CLOSED: u8 = 2;
+
+impl MigrationPin {
+    pub(crate) fn new() -> Self {
+        MigrationPin {
+            state: Mutex::new(PIN_RUNNING),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// `RUNNING → MIGRATING`. Fails if the driver already exited (the
+    /// eviction won the race) or another migration holds the pin.
+    pub(crate) fn pin(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if *st != PIN_RUNNING {
+            return false;
+        }
+        *st = PIN_MIGRATING;
+        true
+    }
+
+    /// `MIGRATING → RUNNING` (abort path). A no-op once closed.
+    pub(crate) fn unpin(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if *st == PIN_MIGRATING {
+            *st = PIN_RUNNING;
+        }
+        self.cond.notify_all();
+    }
+
+    /// The driver's exit protocol: `* → CLOSED`, waking any commit-phase
+    /// waiter.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *st = PIN_CLOSED;
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn is_migrating(&self) -> bool {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) == PIN_MIGRATING
+    }
+
+    /// Commit-phase handshake: block until the retiring driver reaches
+    /// `CLOSED`, bounded by `timeout`. Returns whether it did.
+    pub(crate) fn wait_closed(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *st != PIN_CLOSED {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) = self
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        true
+    }
 }
 
 /// The session's driver is gone (evicted, closed, or crashed).
@@ -120,6 +231,7 @@ pub struct SessionHandle {
     cmd: Sender<Cmd>,
     injector: Injector,
     closed: Arc<AtomicBool>,
+    migration: Arc<MigrationPin>,
 }
 
 impl SessionHandle {
@@ -141,6 +253,11 @@ impl SessionHandle {
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
     }
+
+    /// The session's migration pin (see [`MigrationPin`]).
+    pub(crate) fn migration(&self) -> &Arc<MigrationPin> {
+        &self.migration
+    }
 }
 
 /// Spawn a session driver around a simulator instance. The thread is
@@ -148,8 +265,22 @@ impl SessionHandle {
 /// `SessionHandle` clone is dropped.
 pub fn spawn_session(
     name: String,
+    sim: Box<dyn KernelSession>,
+    cfg: SessionConfig,
+) -> SessionHandle {
+    spawn_session_resumed(name, sim, cfg, SessionStats::default(), &[])
+}
+
+/// [`spawn_session`] for an *adopted* (migrated-in) session: `base`
+/// carries the source server's cumulative counters so stats stay
+/// continuous, and `pending` re-queues the input events that had not
+/// yet reached their tick when the session was quiesced.
+pub fn spawn_session_resumed(
+    name: String,
     mut sim: Box<dyn KernelSession>,
     cfg: SessionConfig,
+    base: SessionStats,
+    pending: &[InputEvent],
 ) -> SessionHandle {
     let (cmd_tx, cmd_rx) = mpsc::channel();
     let (source, injector) = stream_channel(sim.network().num_cores(), cfg.input_capacity);
@@ -159,12 +290,22 @@ pub fn spawn_session(
     // handle seen closed is safe for the registry to reap and replace
     // (model-checked in server::model_tests).
     let closed = Arc::new(AtomicBool::new(false));
+    let migration = Arc::new(MigrationPin::new());
     let handle = SessionHandle {
         name: name.clone(),
         cmd: cmd_tx,
         injector: injector.clone(),
         closed: Arc::clone(&closed),
+        migration: Arc::clone(&migration),
     };
+    if !pending.is_empty() {
+        // The driver has no queued work yet, so re-offering the carried
+        // events here races nothing; capacity matches the source's
+        // config, so a ticket's worth always fits.
+        injector
+            .offer(pending)
+            .expect("migrated pending events were validated on first ingest");
+    }
     sim.outputs().set_capacity(cfg.output_capacity);
     let mut driver = Driver {
         name,
@@ -175,6 +316,9 @@ pub fn spawn_session(
         subscribers: Vec::new(),
         run_queue: VecDeque::new(),
         obs: SessionObs::new(cfg.flight_capacity),
+        base,
+        quiesced_until: None,
+        pin: migration,
     };
     // sync: deliberately detached — the driver self-terminates on
     // Close, idle timeout, or all handles dropping, and its last act
@@ -183,6 +327,9 @@ pub fn spawn_session(
         .name(format!("tn-session-{}", driver.name))
         .spawn(move || {
             driver.run(cmd_rx, cfg.idle_timeout);
+            // The pin reaches CLOSED before the closed flag flips, so a
+            // migrator that loses the pin race also sees is_closed().
+            driver.pin.close();
             closed.store(true, Ordering::Release);
         })
         .expect("spawn session driver");
@@ -193,19 +340,28 @@ pub fn spawn_session(
 /// test plays the driver — it gets the `closed` flag to flip (the
 /// driver's exit protocol) and the command receiver so `send` works.
 #[cfg(all(tn_check, test))]
-pub(crate) fn model_handle(name: &str) -> (SessionHandle, Arc<AtomicBool>, Receiver<Cmd>) {
+pub(crate) fn model_handle(
+    name: &str,
+) -> (
+    SessionHandle,
+    Arc<AtomicBool>,
+    Receiver<Cmd>,
+    Arc<MigrationPin>,
+) {
     let (cmd_tx, cmd_rx) = mpsc::channel();
     let (_source, injector) = stream_channel(1, 4);
     // sync: see spawn_session — the model test flips this flag in the
     // driver's stead.
     let closed = Arc::new(AtomicBool::new(false));
+    let migration = Arc::new(MigrationPin::new());
     let handle = SessionHandle {
         name: name.to_string(),
         cmd: cmd_tx,
         injector,
         closed: Arc::clone(&closed),
+        migration: Arc::clone(&migration),
     };
-    (handle, closed, cmd_rx)
+    (handle, closed, cmd_rx, migration)
 }
 
 /// A session's observability state: its own metrics registry (sessions
@@ -271,6 +427,13 @@ struct Driver {
     /// Outstanding `RunFor` work: `(ticks_left, reply)` in arrival order.
     run_queue: VecDeque<(u64, Sender<Response>)>,
     obs: SessionObs,
+    /// Cumulative counters inherited from this session's pre-migration
+    /// life on another server (all zero for a fresh session).
+    base: SessionStats,
+    /// While `Some`, the session is quiesced for migration: no ticks
+    /// run until `Resume`/`Retire` arrives or the deadline passes.
+    quiesced_until: Option<Instant>,
+    pin: Arc<MigrationPin>,
 }
 
 impl Driver {
@@ -290,7 +453,26 @@ impl Driver {
 
     fn run(&mut self, cmd_rx: Receiver<Cmd>, idle_timeout: Duration) {
         loop {
-            if self.run_queue.is_empty() {
+            if let Some(until) = self.quiesced_until {
+                // Quiesced for migration: frozen at the tick boundary.
+                // Serve commands, but run nothing until Resume/Retire —
+                // or the hold deadline, after which the driver thaws
+                // itself (a crashed migrator must not stop the ticking).
+                let now = Instant::now();
+                if now >= until {
+                    self.thaw();
+                    continue;
+                }
+                match cmd_rx.recv_timeout(until - now) {
+                    Ok(cmd) => {
+                        if self.handle_cmd(cmd) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => self.thaw(),
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            } else if self.run_queue.is_empty() {
                 // Idle: block for the next command, up to eviction.
                 self.scheduler.reset();
                 match cmd_rx.recv_timeout(idle_timeout) {
@@ -299,8 +481,18 @@ impl Driver {
                             return;
                         }
                     }
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                        return; // evicted / abandoned
+                    Err(RecvTimeoutError::Timeout) => {
+                        // A migration in flight pins the session against
+                        // idle eviction; the pin also restarts the idle
+                        // clock, so a pinned session cannot be reaped
+                        // out from under its migrator.
+                        if self.pin.is_migrating() {
+                            continue;
+                        }
+                        return; // evicted
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return; // abandoned
                     }
                 }
             } else {
@@ -317,6 +509,50 @@ impl Driver {
                 let pace = self.scheduler.pace();
                 self.tick(pace);
             }
+        }
+    }
+
+    /// Leave the quiesced state and re-anchor the real-time cadence so
+    /// the frozen interval does not book phantom deadline misses.
+    fn thaw(&mut self) {
+        self.quiesced_until = None;
+        self.scheduler.reset();
+    }
+
+    /// Point-in-time stats, with the migration baselines folded in so a
+    /// session reports the same cumulative counters wherever it runs.
+    fn stats(&mut self) -> SessionStats {
+        let totals = self.sim.stats().totals;
+        let fault_dropped = self
+            .sim
+            .fault_counters()
+            .map(|c| c.total_dropped())
+            .unwrap_or(0)
+            + self.base.fault_dropped;
+        // The two drop tallies are disjoint by construction, so
+        // their sum never double-counts an event: `Injector::
+        // offer` validates targets against the grid and rejects
+        // whole batches up front (counting them itself), so every
+        // event it forwards has an in-grid core — the engine's
+        // own out-of-grid shedding can only fire for events that
+        // bypassed the injector. Pinned by the
+        // `overload_drops_are_counted_once` integration test.
+        let dropped_inputs =
+            self.sim.dropped_inputs() + self.injector.dropped() + self.base.dropped_inputs;
+        SessionStats {
+            tick: self.sim.current_tick(),
+            spikes_out: totals.spikes_out + self.base.spikes_out,
+            sops: totals.sops + self.base.sops,
+            neuron_updates: totals.neuron_updates + self.base.neuron_updates,
+            dropped_inputs,
+            pending_inputs: self.injector.pending() as u64,
+            missed_deadlines: self.scheduler.missed_deadlines() + self.base.missed_deadlines,
+            state_digest: self.sim.state_digest(),
+            energy_j: self.sim.energy_j().unwrap_or(0.0) + self.base.energy_j,
+            health: self.health(fault_dropped),
+            fault_dropped,
+            spikes_evicted: self.sim.outputs().evicted() + self.base.spikes_evicted,
+            engine: self.sim.engine_name().to_string(),
         }
     }
 
@@ -412,36 +648,7 @@ impl Driver {
                 let _ = reply.send(resp);
             }
             Cmd::Stats { reply } => {
-                let totals = self.sim.stats().totals;
-                let fault_dropped = self
-                    .sim
-                    .fault_counters()
-                    .map(|c| c.total_dropped())
-                    .unwrap_or(0);
-                // The two drop tallies are disjoint by construction, so
-                // their sum never double-counts an event: `Injector::
-                // offer` validates targets against the grid and rejects
-                // whole batches up front (counting them itself), so every
-                // event it forwards has an in-grid core — the engine's
-                // own out-of-grid shedding can only fire for events that
-                // bypassed the injector. Pinned by the
-                // `overload_drops_are_counted_once` integration test.
-                let dropped_inputs = self.sim.dropped_inputs() + self.injector.dropped();
-                let _ = reply.send(Response::StatsData(SessionStats {
-                    tick: self.sim.current_tick(),
-                    spikes_out: totals.spikes_out,
-                    sops: totals.sops,
-                    neuron_updates: totals.neuron_updates,
-                    dropped_inputs,
-                    pending_inputs: self.injector.pending() as u64,
-                    missed_deadlines: self.scheduler.missed_deadlines(),
-                    state_digest: self.sim.state_digest(),
-                    energy_j: self.sim.energy_j().unwrap_or(0.0),
-                    health: self.health(fault_dropped),
-                    fault_dropped,
-                    spikes_evicted: self.sim.outputs().evicted(),
-                    engine: self.sim.engine_name().to_string(),
-                }));
+                let _ = reply.send(Response::StatsData(self.stats()));
             }
             Cmd::GetMetrics { reply } => {
                 // Sync the engine's own totals (an independent path from
@@ -473,6 +680,47 @@ impl Driver {
                         code: ErrorCode::Shutdown,
                         message: "session closed".to_string(),
                     });
+                }
+                let _ = reply.send(Response::Ok);
+                return true;
+            }
+            Cmd::Quiesce { hold, reply } => {
+                // Settle the engine at the tick boundary (sharded
+                // sessions flush in-flight boundary batches), then build
+                // the ticket. Pending inputs are *copied*, not drained:
+                // an aborted migration must leave the source exactly as
+                // it was, and on commit the source queue dies with the
+                // retiring driver anyway.
+                self.sim.quiesce();
+                let snapshot = self.sim.checkpoint().to_bytes();
+                let baseline = self.stats();
+                let pending = self.injector.pending_events();
+                self.quiesced_until = Some(Instant::now() + hold);
+                let _ = reply.send(MigrationTicket {
+                    snapshot,
+                    baseline,
+                    pending,
+                });
+            }
+            Cmd::Resume => {
+                if self.quiesced_until.is_some() {
+                    self.thaw();
+                }
+            }
+            Cmd::Retire { addr, reply } => {
+                // The target owns the session now: answer everyone who
+                // is (or will be, via the registry's moved map) waiting
+                // on this copy with the forwarding address.
+                let redirect = Response::Redirect {
+                    session: self.name.clone(),
+                    addr,
+                };
+                for (_, waiting) in self.run_queue.drain(..) {
+                    let _ = waiting.send(redirect.clone());
+                }
+                let frame = redirect.encode();
+                for sink in self.subscribers.drain(..) {
+                    let _ = sink.send(Outbound::Frame(frame.clone()));
                 }
                 let _ = reply.send(Response::Ok);
                 return true;

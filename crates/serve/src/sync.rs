@@ -6,9 +6,9 @@
 //! flags any bypass back to `std::sync`.
 
 #[cfg(not(tn_check))]
-pub(crate) use std::sync::{Arc, Mutex};
+pub(crate) use std::sync::{Arc, Condvar, Mutex};
 #[cfg(tn_check)]
-pub(crate) use tn_check::sync::{Arc, Mutex};
+pub(crate) use tn_check::sync::{Arc, Condvar, Mutex};
 
 pub(crate) mod atomic {
     pub(crate) use std::sync::atomic::Ordering;

@@ -165,6 +165,7 @@ fn reconnecting_client_survives_connection_loss() {
         max: Duration::from_millis(20),
         max_retries: 5,
         seed: 7,
+        ..BackoffPolicy::default()
     };
     let mut rc = ReconnectingClient::create(server.addr().to_string(), spec, policy).unwrap();
     rc.inject(&events).unwrap();
@@ -209,6 +210,7 @@ fn session_fails_over_to_a_replacement_server() {
         max: Duration::from_millis(20),
         max_retries: 5,
         seed: 3,
+        ..BackoffPolicy::default()
     };
     let mut rc = ReconnectingClient::create(first.addr().to_string(), spec, policy).unwrap();
     rc.inject(&events).unwrap();
@@ -263,6 +265,7 @@ fn faulted_session_stays_deterministic_across_failover() {
         max: Duration::from_millis(20),
         max_retries: 5,
         seed: 11,
+        ..BackoffPolicy::default()
     };
     let mut rc = ReconnectingClient::create(first.addr().to_string(), spec, policy).unwrap();
     // Only inject what lands before the snapshot: queued future inputs

@@ -1,0 +1,467 @@
+//! Live-migration chaos tests: sessions moved between running servers
+//! mid-stream, with every failure mode injected and every continuity
+//! claim checked spike-for-spike.
+//!
+//! The control-plane contract under test:
+//!
+//! - a committed migration preserves the full transcript — per-tick
+//!   output spikes, state digests, and cumulative counters equal an
+//!   uninterrupted run, with queued-but-unplayed inputs carried over;
+//! - subscribers are told where the session went (a `Redirect` stream
+//!   frame), and requests naming a moved session are forwarded, so
+//!   clients re-home with zero operator help;
+//! - every injected failure — unreachable target, black-hole target,
+//!   target dying mid-transfer — aborts back to an *untouched* source
+//!   that keeps ticking to the same digest as if nothing happened;
+//! - migration telemetry (`tn_ops_*`) shows up in the ordinary metrics
+//!   scrape.
+
+use std::time::Duration;
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, Network, NetworkBuilder, NeuronConfig,
+    ScheduledSource, SpikeTarget, NEURONS_PER_CORE,
+};
+use tn_serve::{
+    BackoffPolicy, Client, Engine, ErrorCode, ModelSource, Pace, ReconnectingClient, Response,
+    Server, ServerConfig, ServerHandle, SessionEvent, SessionSpec,
+};
+
+fn spawn_with(cfg: ServerConfig) -> (ServerHandle, Client) {
+    let handle = Server::spawn(cfg).expect("bind loopback");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+fn spawn() -> (ServerHandle, Client) {
+    spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        ..Default::default()
+    })
+}
+
+/// A 1×1 identity network: injected axon `i` fires output port `i`.
+fn output_net() -> Network {
+    let mut b = NetworkBuilder::new(1, 1, 42);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    b.build()
+}
+
+fn trace(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    (0..ticks)
+        .map(|t| (t, CoreId(0), ((t * 7) % 256) as u16))
+        .collect()
+}
+
+fn stats_of(client: &mut Client, session: &str) -> tn_serve::SessionStats {
+    match client.stats(session).unwrap() {
+        Response::StatsData(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Reference transcript for an uninterrupted chip-engine run:
+/// `(digest, [(tick, port)])`.
+fn reference_run(ticks: u64, events: &[(u64, CoreId, u16)]) -> (u64, Vec<(u64, u32)>) {
+    let mut sim = tn_chip::TrueNorthSim::new(output_net());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in events {
+        src.push_checked(t, core, axon, 1).unwrap();
+    }
+    sim.run(ticks, &mut src);
+    let out = sim
+        .outputs()
+        .events()
+        .iter()
+        .map(|e| (e.tick, e.port))
+        .collect();
+    (sim.network().state_digest(), out)
+}
+
+/// Drain a subscription stream until its Redirect arrives, collecting
+/// `(tick, port)` pairs on the way; returns the forwarding address.
+fn collect_until_redirect(sub: &mut Client, seen: &mut Vec<(u64, u32)>) -> String {
+    loop {
+        match sub
+            .wait_event(Duration::from_secs(10))
+            .expect("subscription stream")
+        {
+            Some(SessionEvent::Tick(u)) => seen.extend(u.ports.iter().map(|&p| (u.tick, p))),
+            Some(SessionEvent::Redirect { addr, .. }) => return addr,
+            None => panic!("stream went quiet without a redirect"),
+        }
+    }
+}
+
+#[test]
+fn migrated_session_preserves_spike_for_spike_continuity() {
+    const TICKS: u64 = 40;
+    const HALF: u64 = 20;
+    let (a, mut ctl) = spawn();
+    let (b, mut ctl_b) = spawn();
+    let b_addr = b.addr().to_string();
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    let events = trace(TICKS);
+
+    ctl.create_session("mig", Engine::Chip, Pace::MaxSpeed, model)
+        .unwrap();
+    let mut sub_a = Client::connect(a.addr()).unwrap();
+    sub_a.subscribe("mig").unwrap();
+    // Inject the WHOLE trace up front: events for ticks ≥ HALF are still
+    // queued at migration time and must ride the ticket to the target.
+    ctl.inject("mig", &events).unwrap();
+    ctl.run_for("mig", HALF).unwrap();
+
+    match ctl.migrate("mig", &b_addr).unwrap() {
+        Response::Redirect { session, addr } => {
+            assert_eq!(session, "mig");
+            assert_eq!(addr, b_addr);
+        }
+        other => panic!("migrate reply: {other:?}"),
+    }
+
+    // The subscriber's stream ends with a redirect to the new home,
+    // after every tick it was owed.
+    let mut seen = Vec::new();
+    assert_eq!(collect_until_redirect(&mut sub_a, &mut seen), b_addr);
+    assert!(
+        seen.iter().all(|&(t, _)| t < HALF),
+        "source streamed ticks it never ran"
+    );
+
+    // The source forgot the session but forwards by name.
+    assert_eq!(a.session_count(), 0);
+    match ctl.stats("mig").unwrap() {
+        Response::Redirect { addr, .. } => assert_eq!(addr, b_addr),
+        other => panic!("moved session should redirect, got {other:?}"),
+    }
+
+    // Resume on the target: the carried inputs play out and the combined
+    // transcript equals one uninterrupted run.
+    let mut sub_b = Client::connect(b.addr()).unwrap();
+    sub_b.subscribe("mig").unwrap();
+    ctl_b.run_for("mig", TICKS - HALF).unwrap();
+    let s = stats_of(&mut ctl_b, "mig");
+    assert_eq!(s.tick, TICKS);
+    while let Some(u) = sub_b.wait_update(Duration::from_secs(5)).unwrap() {
+        assert!(u.tick >= HALF, "target replayed a tick the source ran");
+        seen.extend(u.ports.iter().map(|&p| (u.tick, p)));
+        if u.tick == TICKS - 1 {
+            break;
+        }
+    }
+
+    let (ref_digest, ref_events) = reference_run(TICKS, &events);
+    assert_eq!(
+        s.state_digest, ref_digest,
+        "digest diverged across the move"
+    );
+    assert_eq!(seen, ref_events, "output spikes were lost or duplicated");
+
+    // The move is visible in the ordinary metrics scrape on the source.
+    ctl.create_session(
+        "aux",
+        Engine::Reference,
+        Pace::MaxSpeed,
+        ModelSource::Model(modelfile::save(&output_net())),
+    )
+    .unwrap();
+    match ctl.metrics("aux").unwrap() {
+        Response::MetricsData { text } => {
+            assert!(text.contains("tn_ops_migrations_total 1"), "{text}");
+            assert!(
+                text.contains("tn_ops_migration_phase_ns"),
+                "phase histograms missing:\n{text}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+/// A 3×2 stochastic recurrent network whose fanout crosses any
+/// contiguous partition, with some neurons routed to output ports.
+fn mesh_net() -> Network {
+    let mut b = NetworkBuilder::new(3, 2, 77);
+    let num = 6usize;
+    for c in 0..num {
+        let mut cfg = CoreConfig::new();
+        *cfg.crossbar = Crossbar::from_fn(|i, j| (i * 31 + j * 17 + c) % 13 == 0);
+        for j in 0..256 {
+            cfg.neurons[j] = NeuronConfig::stochastic_source(20);
+            cfg.neurons[j].weights = [0; 4];
+            if (j + c) % 16 == 0 {
+                cfg.neurons[j].dest = Dest::Output((c * 256 + j) as u32);
+            } else {
+                let tgt = ((c * 7 + j * 3) % num) as u32;
+                cfg.neurons[j].dest = Dest::Axon(SpikeTarget::new(
+                    CoreId(tgt),
+                    ((j * 11 + c) % 256) as u8,
+                    1 + ((j + c) % 15) as u8,
+                ));
+            }
+        }
+        b.add_core(cfg);
+    }
+    b.build()
+}
+
+fn mesh_events(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    (0..ticks)
+        .map(|t| (t, CoreId((t % 6) as u32), ((t * 29) % 256) as u16))
+        .collect()
+}
+
+#[test]
+fn sharded_session_migrates_mid_fault_plan() {
+    const TICKS: u64 = 40;
+    const HALF: u64 = 20;
+    // Fault events on BOTH sides of the migration point: the stuck axon
+    // arms before the move, the second one after it — the plan rides the
+    // nested create request and must keep firing on the new server.
+    let plan = "tnfault 1\nseed 9\nat 3 core 0 0 axon 7 stuck0\nat 25 core 1 0 axon 9 stuck0\n";
+    let (a, mut ctl) = spawn();
+    let (b, mut ctl_b) = spawn();
+    let b_addr = b.addr().to_string();
+    let model = ModelSource::Model(modelfile::save(&mesh_net()));
+    let mut ev = mesh_events(TICKS);
+    // Spikes into the faulted axons, again on both sides of the move.
+    ev.extend((5..9).map(|t| (t, CoreId(0), 7u16)));
+    ev.extend((26..30).map(|t| (t, CoreId(1), 9u16)));
+    ev.sort();
+
+    ctl.create_sharded_session("board", Pace::MaxSpeed, model, plan, 4)
+        .unwrap();
+    ctl.inject("board", &ev).unwrap();
+    ctl.run_for("board", HALF).unwrap();
+
+    match ctl.migrate("board", &b_addr).unwrap() {
+        Response::Redirect { .. } => {}
+        other => panic!("sharded migrate reply: {other:?}"),
+    }
+    assert_eq!(a.session_count(), 0);
+
+    ctl_b.run_for("board", TICKS - HALF).unwrap();
+    let s = stats_of(&mut ctl_b, "board");
+    assert_eq!(s.tick, TICKS);
+
+    // Stay-put reference: one uninterrupted single-process faulted run.
+    use tn_compass::KernelSession;
+    let mut sim = tn_compass::ReferenceSim::new(mesh_net());
+    sim.attach_faults(&tn_core::FaultPlan::parse(plan).unwrap());
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in &ev {
+        src.push_checked(t, core, axon, 6).unwrap();
+    }
+    sim.run(TICKS, &mut src);
+    assert_eq!(
+        s.state_digest,
+        sim.network().state_digest(),
+        "4-shard migrated run ≠ stay-put run"
+    );
+    let ref_dropped = sim.fault_counters().map(|c| c.total_dropped()).unwrap_or(0);
+    assert!(ref_dropped > 0, "the plan must actually bite");
+    assert_eq!(
+        s.fault_dropped, ref_dropped,
+        "fault counters diverged across the move"
+    );
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn failed_migrations_abort_to_an_untouched_source() {
+    const TICKS: u64 = 30;
+    const HALF: u64 = 10;
+    // Short per-phase budget so the injected hangs fail in test time.
+    let (a, mut ctl) = spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        migration_timeout: Duration::from_millis(300),
+        ..Default::default()
+    });
+    let model = ModelSource::Model(modelfile::save(&output_net()));
+    let events = trace(TICKS);
+    ctl.create_session("tough", Engine::Chip, Pace::MaxSpeed, model)
+        .unwrap();
+    ctl.inject("tough", &events).unwrap();
+    ctl.run_for("tough", HALF).unwrap();
+
+    let expect_failure = |ctl: &mut Client, target: &str, phase: &str| {
+        match ctl.migrate("tough", target).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::MigrationFailed);
+                assert!(
+                    message.starts_with(phase),
+                    "expected a {phase}-phase failure, got: {message}"
+                );
+            }
+            other => panic!("doomed migrate succeeded: {other:?}"),
+        }
+        // Abort-to-source: still here, still at the quiesce tick, still
+        // servable.
+        let s = stats_of(ctl, "tough");
+        assert_eq!(s.tick, HALF, "aborted migration moved the session");
+    };
+
+    // Failure 1: nobody listens at the target (source dies → connect).
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    expect_failure(&mut ctl, &dead_addr, "connect");
+
+    // Failure 2: a black hole — the socket opens (OS backlog) but no
+    // one ever reads, so the transfer times out mid-handshake.
+    let black_hole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let bh_addr = black_hole.local_addr().unwrap().to_string();
+    expect_failure(&mut ctl, &bh_addr, "transfer");
+    drop(black_hole);
+
+    // Failure 3: the target dies mid-transfer — it accepts, reads a few
+    // bytes of the adopt frame, and drops the connection before ever
+    // resuming the session.
+    let killer = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let killer_addr = killer.local_addr().unwrap().to_string();
+    let t = std::thread::spawn(move || {
+        if let Ok((mut s, _)) = killer.accept() {
+            use std::io::Read;
+            let mut buf = [0u8; 8];
+            let _ = s.read_exact(&mut buf);
+            // Drop: RST/EOF lands mid-frame on the source.
+        }
+    });
+    expect_failure(&mut ctl, &killer_addr, "transfer");
+    t.join().unwrap();
+
+    // Three aborts later the source is bit-for-bit unharmed: it runs
+    // out the rest of the trace to the same digest and transcript as a
+    // server that never heard the word "migrate".
+    let mut sub = Client::connect(a.addr()).unwrap();
+    sub.subscribe("tough").unwrap();
+    ctl.run_for("tough", TICKS - HALF).unwrap();
+    let s = stats_of(&mut ctl, "tough");
+    assert_eq!(s.tick, TICKS);
+    let (ref_digest, ref_events) = reference_run(TICKS, &events);
+    assert_eq!(s.state_digest, ref_digest);
+    let spikes_after: u64 = ref_events.iter().filter(|&&(t, _)| t >= HALF).count() as u64;
+    let mut streamed = 0u64;
+    while let Some(u) = sub.wait_update(Duration::from_secs(5)).unwrap() {
+        streamed += u.ports.len() as u64;
+        if u.tick == TICKS - 1 {
+            break;
+        }
+    }
+    assert_eq!(streamed, spikes_after, "output spikes lost after aborts");
+
+    // The pin was released every time: a migration to a live target
+    // still goes through, and the failures are all on the books.
+    let (b, _ctl_b) = spawn();
+    match ctl.migrate("tough", &b.addr().to_string()).unwrap() {
+        Response::Redirect { .. } => {}
+        other => panic!("post-abort migrate failed: {other:?}"),
+    }
+    ctl.create_session(
+        "aux",
+        Engine::Reference,
+        Pace::MaxSpeed,
+        ModelSource::Model(modelfile::save(&output_net())),
+    )
+    .unwrap();
+    match ctl.metrics("aux").unwrap() {
+        Response::MetricsData { text } => {
+            assert!(
+                text.contains("tn_ops_migration_failures_total{phase=\"connect\"} 1"),
+                "{text}"
+            );
+            assert!(
+                text.contains("tn_ops_migration_failures_total{phase=\"transfer\"} 2"),
+                "{text}"
+            );
+            assert!(text.contains("tn_ops_migrations_total 1"), "{text}");
+        }
+        other => panic!("{other:?}"),
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn reconnecting_client_follows_migration_redirects() {
+    const TICKS: u64 = 40;
+    const HALF: u64 = 20;
+    let (a, mut ctl) = spawn();
+    let (b, _ctl_b) = spawn();
+    let events = trace(TICKS);
+
+    let spec = SessionSpec {
+        name: "walker".into(),
+        engine: Engine::Chip,
+        pace: Pace::MaxSpeed,
+        source: ModelSource::Model(modelfile::save(&output_net())),
+        fault_plan: String::new(),
+    };
+    let policy = BackoffPolicy {
+        base: Duration::from_millis(1),
+        max: Duration::from_millis(20),
+        max_retries: 5,
+        seed: 13,
+        ..BackoffPolicy::default()
+    };
+    let mut rc = ReconnectingClient::create(a.addr().to_string(), spec, policy).unwrap();
+    rc.inject(&events).unwrap();
+    rc.run_to(HALF).unwrap();
+
+    // An operator moves the session out from under the client.
+    match ctl.migrate("walker", &b.addr().to_string()).unwrap() {
+        Response::Redirect { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    // The client's next request hits the source, gets the forwarding
+    // address, and transparently re-homes — no set_addr, no operator.
+    let s = rc.run_to(TICKS).unwrap();
+    assert_eq!(s.tick, TICKS);
+    let (ref_digest, _) = reference_run(TICKS, &events);
+    assert_eq!(
+        s.state_digest, ref_digest,
+        "redirected client lost continuity"
+    );
+    rc.close().unwrap();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn migration_rejects_bad_targets_and_names() {
+    let (a, mut ctl) = spawn();
+    let a_addr = a.addr().to_string();
+    ctl.create_session(
+        "home",
+        Engine::Reference,
+        Pace::MaxSpeed,
+        ModelSource::Model(modelfile::save(&output_net())),
+    )
+    .unwrap();
+
+    // Self-migration is a refused no-op, not a deadlock.
+    match ctl.migrate("home", &a_addr).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::MigrationFailed),
+        other => panic!("{other:?}"),
+    }
+    // Unknown sessions are unknown, not redirected.
+    match ctl.migrate("ghost", "127.0.0.1:1").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("{other:?}"),
+    }
+    // The session survived both rejections.
+    assert_eq!(stats_of(&mut ctl, "home").tick, 0);
+    a.shutdown();
+}

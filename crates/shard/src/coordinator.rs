@@ -44,7 +44,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tn_compass::{publish_common, KernelSession, SpikeRecord};
 use tn_core::fault::{FaultCounters, FaultPlan, FaultState};
 use tn_core::wire::framed::FrameWriter;
@@ -75,6 +75,13 @@ pub struct ShardSpec {
     /// Take a heal snapshot every N ticks (0 disables; shard loss then
     /// replays from tick 0).
     pub snapshot_every: u64,
+    /// How long the coordinator waits on a worker — barrier deposits,
+    /// RPC replies, and socket writes — before declaring it *wedged*
+    /// and healing it like a death. A hung worker (live socket, no
+    /// progress) is otherwise indistinguishable from a slow one, so
+    /// this must comfortably exceed the slowest legitimate tick.
+    /// `None` waits forever (the pre-timeout behaviour).
+    pub reply_timeout: Option<Duration>,
 }
 
 impl Default for ShardSpec {
@@ -83,6 +90,7 @@ impl Default for ShardSpec {
             shards: 2,
             spawn: SpawnMode::InProcess,
             snapshot_every: 32,
+            reply_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -138,6 +146,7 @@ pub struct ShardedSession {
     last_counters: Vec<FaultCounters>,
     boundary_spikes: u64,
     heals: u64,
+    reply_timeout: Option<Duration>,
     barrier_wait_ns: Arc<Histogram>,
     input_buf: Vec<(CoreId, u8)>,
 }
@@ -190,6 +199,7 @@ impl ShardedSession {
             last_counters: vec![FaultCounters::default(); shards],
             boundary_spikes: 0,
             heals: 0,
+            reply_timeout: spec.reply_timeout,
             barrier_wait_ns: Arc::new(Histogram::exponential(1_000, 4, 8)),
             input_buf: Vec::new(),
         };
@@ -219,6 +229,20 @@ impl ShardedSession {
     /// The partition driving this session.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Test hook: wedge shard `k`'s OS-process worker with `SIGSTOP`.
+    /// Its socket stays open and nothing errors — the worker simply
+    /// stops making progress, which only the mailbox stall deadline can
+    /// detect. The eventual heal's `SIGKILL` reaps it (kill is delivered
+    /// even to stopped processes). In-process workers cannot be wedged
+    /// this way; the call is a no-op for them.
+    pub fn wedge_worker(&mut self, k: usize) {
+        if let Some(c) = &self.links[k].child {
+            let _ = Command::new("kill")
+                .args(["-STOP", &c.id().to_string()])
+                .status();
+        }
     }
 
     /// Test hook: kill shard `k`'s worker mid-run (child process killed,
@@ -255,7 +279,20 @@ impl ShardedSession {
         };
         let (stream, _) = self.listener.accept()?;
         stream.set_nodelay(true)?;
+        // A wedged worker that stops reading eventually fills the socket
+        // buffer; without this, `write_to_worker` blocks the coordinator
+        // forever. A timed-out write surfaces as an io error and heals
+        // through the same path as a death. Reads stay unbounded — the
+        // reader thread legitimately idles between frames; stall
+        // detection for *replies* lives in the mailbox deadline instead.
+        stream.set_write_timeout(self.reply_timeout)?;
         let mut reader_stream = stream.try_clone()?;
+        // The Configure (and heal-time Restore) replies are read
+        // synchronously on this stream before the reader thread is
+        // armed; bound them too, or a worker that wedges during its
+        // handshake blocks placement forever. `arm_reader` clears this
+        // before handing the stream to the reader loop.
+        reader_stream.set_read_timeout(self.reply_timeout)?;
         let mut writer = FrameWriter::new(stream);
         proto::write_to_worker(
             &mut writer,
@@ -282,6 +319,10 @@ impl ShardedSession {
     fn arm_reader(&self, k: usize, raw: RawLink) -> Link {
         let mailbox = self.mailbox.clone();
         let stream = raw.reader_stream;
+        // Idle blocking reads are normal for the reader loop (a worker
+        // may legitimately sit silent between ticks); only the mailbox
+        // deadlines decide a shard has stalled.
+        let _ = stream.set_read_timeout(None);
         Link {
             writer: raw.writer,
             child: raw.child,
@@ -360,7 +401,7 @@ impl ShardedSession {
                 self.heal(k)?;
                 continue;
             }
-            match self.mailbox.wait_reply(k) {
+            match self.mailbox.wait_reply_for(k, self.reply_timeout) {
                 Ok(FromWorker::Err(e)) => {
                     return Err(protocol_err(format!("shard {k}: {e}")));
                 }
@@ -368,7 +409,9 @@ impl ShardedSession {
                 Err(MailboxError::Shutdown) => {
                     return Err(protocol_err("session shut down".into()))
                 }
-                Err(MailboxError::ShardDown(j)) => {
+                // A wedged shard heals exactly like a dead one: the
+                // socket shutdown in `heal` unblocks its reader thread.
+                Err(MailboxError::ShardDown(j) | MailboxError::Stalled(j)) => {
                     self.heal(j)?;
                     // If the replying shard itself died, re-send.
                     if j == k {
@@ -485,9 +528,9 @@ impl ShardedSession {
         // Barrier: all shards report Done(t), healing casualties.
         let wait_start = Instant::now();
         let dones = loop {
-            match self.mailbox.wait_done(t, shards) {
+            match self.mailbox.wait_done_for(t, shards, self.reply_timeout) {
                 Ok(d) => break d,
-                Err(MailboxError::ShardDown(k)) => {
+                Err(MailboxError::ShardDown(k) | MailboxError::Stalled(k)) => {
                     self.heal(k).expect("shard heal failed");
                 }
                 Err(MailboxError::Shutdown) => unreachable!("shutdown only in Drop"),
@@ -574,6 +617,13 @@ impl KernelSession for ShardedSession {
 
     fn dropped_inputs(&self) -> u64 {
         self.dropped_inputs
+    }
+
+    fn quiesce(&mut self) {
+        // Settle boundary traffic so a migration snapshot taken next
+        // equals the single-process state. `checkpoint` flushes again,
+        // but by then `pending` is empty and the flush is a no-op.
+        self.flush_boundary().expect("boundary flush failed");
     }
 
     fn checkpoint(&mut self) -> NetworkSnapshot {

@@ -24,6 +24,7 @@
 use crate::proto::{DoneMsg, FromWorker};
 use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Why a wait on the mailbox gave up.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +34,11 @@ pub enum MailboxError {
     /// Shard `k`'s connection died; the coordinator should heal it and
     /// retry.
     ShardDown(usize),
+    /// Shard `k` is still connected but produced nothing within the
+    /// reply deadline — a wedged (not dead) worker. The coordinator
+    /// heals it exactly like a death: tearing down the socket unblocks
+    /// the reader thread, and snapshot + replay restores the state.
+    Stalled(usize),
 }
 
 struct Slot {
@@ -114,6 +120,26 @@ impl Mailbox {
     /// coordinator re-enters this wait and only the healed shard's
     /// deposit is still missing.
     pub fn wait_done(&self, tick: u64, shards: usize) -> Result<Vec<DoneMsg>, MailboxError> {
+        self.wait_done_for(tick, shards, None)
+    }
+
+    /// [`Mailbox::wait_done`] with an optional stall deadline. When
+    /// `timeout` elapses with the barrier still open, returns
+    /// `Err(Stalled(k))` naming the first shard whose deposit is
+    /// missing — its connection is up but the worker stopped making
+    /// progress. `None` waits forever.
+    ///
+    /// Under `--cfg tn_check` the condvar shim never reports expiry (the
+    /// model explores the notify path), so model runs exercise the
+    /// protocol exactly as before; the deadline is a production-only
+    /// escape hatch.
+    pub fn wait_done_for(
+        &self,
+        tick: u64,
+        shards: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<DoneMsg>, MailboxError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock().unwrap();
         loop {
             if st.shutdown {
@@ -129,7 +155,23 @@ impl Mailbox {
                 slot.tick += 2;
                 return Ok(drained);
             }
-            st = self.cond.wait(st).unwrap();
+            match deadline {
+                None => st = self.cond.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let k = slot
+                            .arrived
+                            .iter()
+                            .take(shards)
+                            .position(|a| a.is_none())
+                            .expect("deadline hit with barrier complete");
+                        return Err(MailboxError::Stalled(k));
+                    }
+                    let (guard, _) = self.cond.wait_timeout(st, d - now).unwrap();
+                    st = guard;
+                }
+            }
         }
     }
 
@@ -142,6 +184,18 @@ impl Mailbox {
 
     /// Coordinator: block until shard `k` has a reply queued.
     pub fn wait_reply(&self, k: usize) -> Result<FromWorker, MailboxError> {
+        self.wait_reply_for(k, None)
+    }
+
+    /// [`Mailbox::wait_reply`] with an optional stall deadline; expiry
+    /// returns `Err(Stalled(k))`. See [`Mailbox::wait_done_for`] for the
+    /// `tn_check` caveat.
+    pub fn wait_reply_for(
+        &self,
+        k: usize,
+        timeout: Option<Duration>,
+    ) -> Result<FromWorker, MailboxError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock().unwrap();
         loop {
             if st.shutdown {
@@ -153,7 +207,17 @@ impl Mailbox {
             if let Some(msg) = st.replies[k].pop_front() {
                 return Ok(msg);
             }
-            st = self.cond.wait(st).unwrap();
+            match deadline {
+                None => st = self.cond.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(MailboxError::Stalled(k));
+                    }
+                    let (guard, _) = self.cond.wait_timeout(st, d - now).unwrap();
+                    st = guard;
+                }
+            }
         }
     }
 
@@ -274,6 +338,32 @@ mod tests {
         mb.shutdown();
         assert_eq!(mb.wait_done(0, 1), Err(MailboxError::Shutdown));
         assert_eq!(mb.wait_reply(0), Err(MailboxError::Shutdown));
+    }
+
+    #[test]
+    fn stalled_barrier_names_the_first_missing_shard() {
+        let mb = Mailbox::new(3);
+        mb.deposit_done(0, done(0));
+        // Shards 1 and 2 never report; the deadline names shard 1.
+        assert_eq!(
+            mb.wait_done_for(0, 3, Some(Duration::from_millis(10))),
+            Err(MailboxError::Stalled(1))
+        );
+        // The collected deposit survives the stall, like a heal.
+        mb.deposit_done(1, done(0));
+        mb.deposit_done(2, done(0));
+        assert_eq!(mb.wait_done_for(0, 3, None).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn stalled_reply_names_the_shard() {
+        let mb = Mailbox::new(2);
+        assert_eq!(
+            mb.wait_reply_for(1, Some(Duration::from_millis(10))),
+            Err(MailboxError::Stalled(1))
+        );
+        mb.deposit_reply(1, FromWorker::Ok);
+        assert_eq!(mb.wait_reply_for(1, None).unwrap(), FromWorker::Ok);
     }
 
     #[test]

@@ -31,6 +31,16 @@ fn reference_run(ticks: u64) -> (Vec<u64>, Vec<(u64, u32)>, tn_core::FaultCounte
 /// Kill shard workers at the given ticks and compare the full transcript
 /// against the continuous reference run.
 fn chaos_run(spec: &ShardSpec, ticks: u64, kills: &[(u64, usize)]) {
+    chaos_run_with(spec, ticks, kills, ShardedSession::kill_worker);
+}
+
+/// [`chaos_run`] with a pluggable failure action (kill vs. wedge).
+fn chaos_run_with(
+    spec: &ShardSpec,
+    ticks: u64,
+    kills: &[(u64, usize)],
+    inject: fn(&mut ShardedSession, usize),
+) {
     let (ref_digests, ref_outputs, ref_counters) = reference_run(ticks);
     let net = common::stochastic_net(4, 2, 51);
     let num = net.num_cores();
@@ -40,7 +50,7 @@ fn chaos_run(spec: &ShardSpec, ticks: u64, kills: &[(u64, usize)]) {
     let mut digests = Vec::new();
     for t in 0..ticks {
         if let Some(&(_, k)) = kills.iter().find(|&&(kt, _)| kt == t) {
-            sim.kill_worker(k);
+            inject(&mut sim, k);
         }
         sim.step(&mut src);
         digests.push(sim.state_digest());
@@ -74,6 +84,7 @@ fn killed_in_process_shard_preserves_continuity() {
         shards: 2,
         snapshot_every: 8,
         spawn: SpawnMode::InProcess,
+        ..ShardSpec::default()
     };
     chaos_run(&spec, 40, &[(5, 1), (19, 0)]);
 }
@@ -87,8 +98,27 @@ fn killed_process_shard_preserves_continuity() {
         spawn: SpawnMode::Process {
             worker_bin: env!("CARGO_BIN_EXE_tn-shard-worker").into(),
         },
+        ..ShardSpec::default()
     };
     chaos_run(&spec, 32, &[(11, 0)]);
+}
+
+/// A *wedged* worker — SIGSTOPped, socket alive, zero progress — is the
+/// failure a kill test cannot catch: nothing errors, the coordinator
+/// just never hears back. The mailbox stall deadline must declare it
+/// down and heal it through the same snapshot + replay path, with the
+/// transcript still spike-for-spike identical to the reference.
+#[test]
+fn wedged_process_shard_is_detected_and_healed() {
+    let spec = ShardSpec {
+        shards: 2,
+        snapshot_every: 8,
+        spawn: SpawnMode::Process {
+            worker_bin: env!("CARGO_BIN_EXE_tn-shard-worker").into(),
+        },
+        reply_timeout: Some(std::time::Duration::from_millis(500)),
+    };
+    chaos_run_with(&spec, 32, &[(13, 1)], ShardedSession::wedge_worker);
 }
 
 /// Back-to-back kills of the same shard, plus a kill immediately after
@@ -99,6 +129,7 @@ fn repeated_kills_of_one_shard_heal_cleanly() {
         shards: 2,
         snapshot_every: 8,
         spawn: SpawnMode::InProcess,
+        ..ShardSpec::default()
     };
     chaos_run(&spec, 40, &[(9, 1), (10, 1), (25, 1)]);
 }
