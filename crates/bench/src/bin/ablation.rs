@@ -14,8 +14,9 @@
 //! * `placement`    — corelet placement optimization: wiring cost and
 //!   mesh-hop energy before/after the swap-based placer.
 //! * `fastpath`     — the event-driven kernel fast paths (quiescence
-//!   skip, type-grouped popcount + profile dedup) ablated one tier at a
-//!   time; all variants are bit-exact, only host speed changes.
+//!   skip, type-grouped popcount + profile dedup, SoA branch-free
+//!   neuron sweep) ablated one tier at a time; all variants are
+//!   bit-exact, only host speed changes.
 //! * `pool`         — the persistent worker pool vs spawning threads on
 //!   every `run()` call (the served-session single-tick access pattern).
 //!
@@ -76,6 +77,7 @@ fn fastpath() {
             FastPathConfig {
                 quiescence: false,
                 popcount: true,
+                soa: true,
             },
         ),
         (
@@ -83,6 +85,15 @@ fn fastpath() {
             FastPathConfig {
                 quiescence: true,
                 popcount: false,
+                soa: true,
+            },
+        ),
+        (
+            "no soa sweep",
+            FastPathConfig {
+                quiescence: true,
+                popcount: true,
+                soa: false,
             },
         ),
         ("full fast path", FastPathConfig::default()),

@@ -4,7 +4,10 @@
 //! chip of stochastic sources at (20 Hz, 128 synapses), Section VI — on
 //! all three engine expressions (reference, parallel, chip), once with
 //! the event-driven fast paths enabled and once forced down the scalar
-//! path, and emits a machine-readable `BENCH_kernel.json`.
+//! path, and emits a machine-readable `BENCH_kernel.json`
+//! (`tn-bench/kernel/v2`: thread counts live on each engine row, since
+//! only the parallel engine is thread-dependent, and `--threads` takes a
+//! comma-separated sweep producing one row pair per count).
 //!
 //! The benchmark doubles as a bit-exactness check: for every engine the
 //! fast-path and scalar runs must end in the identical `state_digest`,
@@ -13,14 +16,18 @@
 //! to gate on — and becomes a hard gate (exit 1 when the fast path
 //! fails to win) only under `--strict`.
 //!
-//! Usage: `kernel [--quick] [--ticks N] [--threads N] [--no-quiescence]
-//!                [--no-popcount] [--no-pool] [--strict] [--out PATH]`
+//! Usage: `kernel [--quick] [--ticks N] [--threads N[,N...]]
+//!                [--no-quiescence] [--no-popcount] [--no-soa]
+//!                [--no-pool] [--strict] [--out PATH]`
 //!
 //! * `--quick` — 16×16-core grid and fewer ticks (CI smoke mode).
 //! * `--strict` — also fail (exit 1) if the fast path does not beat the
 //!   scalar path; for dedicated perf hosts, not CI smoke.
-//! * `--no-quiescence` / `--no-popcount` — ablate one fast-path tier
-//!   (the "fastpath" rows then measure the remaining tiers).
+//! * `--no-quiescence` / `--no-popcount` / `--no-soa` — ablate one
+//!   fast-path tier (the "fastpath" rows then measure the remaining
+//!   tiers).
+//! * `--threads 1,2,8` — sweep the parallel engine over these thread
+//!   counts (reference and chip are single-threaded and measured once).
 //! * `--no-pool` — spawn the parallel worker pool per run instead of
 //!   reusing it (the pool ablation).
 
@@ -33,9 +40,10 @@ use tn_core::{FastPathConfig, Network};
 struct Args {
     quick: bool,
     ticks: u64,
-    threads: usize,
+    threads: Vec<usize>,
     quiescence: bool,
     popcount: bool,
+    soa: bool,
     pool: PoolMode,
     strict: bool,
     out: String,
@@ -45,11 +53,12 @@ fn parse_args() -> Args {
     let mut a = Args {
         quick: false,
         ticks: 0,
-        threads: std::thread::available_parallelism()
+        threads: vec![std::thread::available_parallelism()
             .map(|n| n.get().min(8))
-            .unwrap_or(1),
+            .unwrap_or(1)],
         quiescence: true,
         popcount: true,
+        soa: true,
         pool: PoolMode::Persistent,
         strict: false,
         out: "BENCH_kernel.json".into(),
@@ -59,9 +68,20 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => a.quick = true,
             "--ticks" => a.ticks = it.next().and_then(|v| v.parse().ok()).expect("--ticks N"),
-            "--threads" => a.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N"),
+            "--threads" => {
+                let spec = it.next().expect("--threads N[,N...]");
+                a.threads = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads N[,N...]"))
+                    .collect();
+                assert!(
+                    !a.threads.is_empty() && a.threads.iter().all(|&t| t > 0),
+                    "--threads needs positive counts"
+                );
+            }
             "--no-quiescence" => a.quiescence = false,
             "--no-popcount" => a.popcount = false,
+            "--no-soa" => a.soa = false,
             "--pool" => a.pool = PoolMode::Persistent,
             "--no-pool" => a.pool = PoolMode::PerRun,
             "--strict" => a.strict = true,
@@ -78,9 +98,10 @@ fn parse_args() -> Args {
     a
 }
 
-/// One engine × fast-path-config measurement.
+/// One engine × thread-count × fast-path-config measurement.
 struct Row {
     engine: &'static str,
+    threads: usize,
     fastpath: bool,
     ms_per_tick: f64,
     ticks_per_s: f64,
@@ -91,6 +112,7 @@ struct Row {
 
 fn measure(
     engine: &'static str,
+    threads: usize,
     fast: bool,
     net: Network,
     cfg: FastPathConfig,
@@ -116,7 +138,7 @@ fn measure(
         "parallel" => {
             let mut sim = ParallelSim::with_options(
                 net,
-                args.threads,
+                threads,
                 tn_compass::AggregationMode::Pairwise,
                 args.pool,
             );
@@ -151,6 +173,7 @@ fn measure(
     let sops_per_tick = sops as f64 / ticks as f64;
     Row {
         engine,
+        threads,
         fastpath: fast,
         ms_per_tick: wall * 1e3 / ticks as f64,
         ticks_per_s: ticks as f64 / wall,
@@ -185,73 +208,82 @@ fn main() {
     let fast_cfg = FastPathConfig {
         quiescence: args.quiescence,
         popcount: args.popcount,
+        soa: args.soa,
     };
     let scalar_cfg = FastPathConfig::scalar();
 
     eprintln!(
-        "kernel bench: {}x{} cores, (20 Hz, 128 syn), {} warmup + {} measured ticks, {} threads",
+        "kernel bench: {}x{} cores, (20 Hz, 128 syn), {} warmup + {} measured ticks, threads {:?}",
         params.cores_x, params.cores_y, warmup, args.ticks, args.threads
     );
 
+    // Reference and chip are single-threaded engines; the parallel engine
+    // is measured once per thread count in the sweep.
+    let mut plan: Vec<(&'static str, usize)> = vec![("reference", 1)];
+    for &t in &args.threads {
+        plan.push(("parallel", t));
+    }
+    plan.push(("chip", 1));
+
     let mut rows: Vec<Row> = Vec::new();
-    for engine in ["reference", "parallel", "chip"] {
+    for &(engine, threads) in &plan {
         for (fast, cfg) in [(true, fast_cfg), (false, scalar_cfg)] {
-            let row = measure(engine, fast, build_recurrent(&params), cfg, &args, warmup);
+            let row = measure(
+                engine,
+                threads,
+                fast,
+                build_recurrent(&params),
+                cfg,
+                &args,
+                warmup,
+            );
             eprintln!(
-                "  {:<9} fastpath={:<5} {:>9.3} ms/tick  {:>8.2} ticks/s  {:.3e} SOPS/s",
-                row.engine, row.fastpath, row.ms_per_tick, row.ticks_per_s, row.sops_per_s
+                "  {:<9} threads={:<2} fastpath={:<5} {:>9.3} ms/tick  {:>8.2} ticks/s  {:.3e} SOPS/s",
+                row.engine, row.threads, row.fastpath, row.ms_per_tick, row.ticks_per_s, row.sops_per_s
             );
             rows.push(row);
         }
     }
 
-    // Bit-exactness gate: per engine, fastpath and scalar runs must agree.
+    // Bit-exactness gate: every run — any engine, any thread count, fast
+    // or scalar — must end in the same state digest.
     let mut exact = true;
-    for engine in ["reference", "parallel", "chip"] {
-        let d: Vec<u64> = rows
-            .iter()
-            .filter(|r| r.engine == engine)
-            .map(|r| r.state_digest)
-            .collect();
-        if d[0] != d[1] {
+    let ref_digest = rows[0].state_digest;
+    for r in &rows {
+        if r.state_digest != ref_digest {
             eprintln!(
-                "DIGEST MISMATCH on {engine}: fastpath {:#x} != scalar {:#x}",
-                d[0], d[1]
+                "DIGEST MISMATCH: {} threads={} fastpath={} {:#x} != {:#x}",
+                r.engine, r.threads, r.fastpath, r.state_digest, ref_digest
             );
             exact = false;
         }
     }
-    // Cross-engine agreement too (reference vs parallel vs chip).
-    let ref_digest = rows[0].state_digest;
-    if rows.iter().any(|r| r.state_digest != ref_digest) {
-        eprintln!("DIGEST MISMATCH across engines");
-        exact = false;
-    }
 
-    // Perf gate: the fast path must not lose to the scalar path.
-    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    // Perf gate: the fast path must not lose to the scalar path at the
+    // same (engine, threads) point.
+    let mut speedups: Vec<(&str, usize, f64)> = Vec::new();
     let mut fast_wins = true;
-    for engine in ["reference", "parallel", "chip"] {
+    for &(engine, threads) in &plan {
         let f = rows
             .iter()
-            .find(|r| r.engine == engine && r.fastpath)
+            .find(|r| r.engine == engine && r.threads == threads && r.fastpath)
             .unwrap();
         let s = rows
             .iter()
-            .find(|r| r.engine == engine && !r.fastpath)
+            .find(|r| r.engine == engine && r.threads == threads && !r.fastpath)
             .unwrap();
         let x = f.ticks_per_s / s.ticks_per_s;
-        eprintln!("  {engine:<9} fastpath speedup: {x:.2}x");
+        eprintln!("  {engine:<9} threads={threads:<2} fastpath speedup: {x:.2}x");
         if x < 1.0 {
             fast_wins = false;
         }
-        speedups.push((engine, x));
+        speedups.push((engine, threads, x));
     }
 
-    // Emit BENCH_kernel.json.
+    // Emit BENCH_kernel.json (schema v2: per-row threads, speedup list).
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"tn-bench/kernel/v1\",\n");
+    j.push_str("  \"schema\": \"tn-bench/kernel/v2\",\n");
     j.push_str("  \"bench\": \"kernel\",\n");
     j.push_str(&format!(
         "  \"network\": {{\"rate_hz\": 20.0, \"synapses\": 128, \"cores_x\": {}, \"cores_y\": {}, \"neurons\": {}}},\n",
@@ -260,22 +292,23 @@ fn main() {
         params.cores_x as u64 * params.cores_y as u64 * 256
     ));
     j.push_str(&format!("  \"quick\": {},\n", args.quick));
-    j.push_str(&format!("  \"threads\": {},\n", args.threads));
     j.push_str(&format!(
         "  \"warmup_ticks\": {warmup},\n  \"measure_ticks\": {},\n",
         args.ticks
     ));
     j.push_str(&format!(
-        "  \"fastpath_config\": {{\"quiescence\": {}, \"popcount\": {}, \"persistent_pool\": {}}},\n",
+        "  \"fastpath_config\": {{\"quiescence\": {}, \"popcount\": {}, \"soa\": {}, \"persistent_pool\": {}}},\n",
         args.quiescence,
         args.popcount,
+        args.soa,
         args.pool == PoolMode::Persistent
     ));
     j.push_str("  \"engines\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"fastpath\": {}, \"ms_per_tick\": {}, \"ticks_per_s\": {}, \"sops_per_tick\": {}, \"sops_per_s\": {}, \"state_digest\": \"{:#018x}\"}}{}\n",
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"fastpath\": {}, \"ms_per_tick\": {}, \"ticks_per_s\": {}, \"sops_per_tick\": {}, \"sops_per_s\": {}, \"state_digest\": \"{:#018x}\"}}{}\n",
             r.engine,
+            r.threads,
             r.fastpath,
             json_f(r.ms_per_tick),
             json_f(r.ticks_per_s),
@@ -286,15 +319,15 @@ fn main() {
         ));
     }
     j.push_str("  ],\n");
-    j.push_str("  \"speedup\": {");
-    for (i, (e, x)) in speedups.iter().enumerate() {
+    j.push_str("  \"speedups\": [\n");
+    for (i, (e, t, x)) in speedups.iter().enumerate() {
         j.push_str(&format!(
-            "\"{e}\": {}{}",
+            "    {{\"engine\": \"{e}\", \"threads\": {t}, \"speedup\": {}}}{}\n",
             json_f(*x),
-            if i + 1 < speedups.len() { ", " } else { "" }
+            if i + 1 < speedups.len() { "," } else { "" }
         ));
     }
-    j.push_str("},\n");
+    j.push_str("  ],\n");
     j.push_str(&format!(
         "  \"bit_exact\": {exact},\n  \"fastpath_wins\": {fast_wins}\n"
     ));

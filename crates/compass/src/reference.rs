@@ -20,6 +20,9 @@ pub struct ReferenceSim {
     outputs: SpikeRecord,
     spike_buf: Vec<OutSpike>,
     input_buf: Vec<(tn_core::CoreId, u8)>,
+    route_buf: Vec<(u32, u8, u8)>,
+    route_sorted: Vec<(u32, u8, u8)>,
+    route_counts: Vec<u32>,
     trace: Option<SpikeTrace>,
     dropped_inputs: u64,
     faults: Option<FaultState>,
@@ -35,6 +38,9 @@ impl ReferenceSim {
             outputs: SpikeRecord::new(),
             spike_buf: Vec::new(),
             input_buf: Vec::new(),
+            route_buf: Vec::new(),
+            route_sorted: Vec::new(),
+            route_counts: Vec::new(),
             trace: None,
             dropped_inputs: 0,
             faults: None,
@@ -190,20 +196,61 @@ impl ReferenceSim {
         if let Some(obs) = &self.observer {
             obs.on_phase(t, TickPhase::Routing);
         }
-        for s in self.spike_buf.drain(..) {
-            match s.dest {
-                Dest::Axon(tgt) => {
-                    if let Some(f) = &mut self.faults {
-                        if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
-                            continue;
-                        }
+        if self.faults.is_none() && self.spike_buf.len() >= 64 {
+            // Group deliveries by target core before touching the delay
+            // buffers (counting sort on the core index): each target
+            // core's cache lines are then written once per tick instead
+            // of once per arriving spike. Bit-exact: deliveries are
+            // commutative ORs into delay slots and consume no entropy,
+            // so their order is unobservable. Fault hooks, by contrast,
+            // are consulted per spike in emission order, so any attached
+            // plan takes the ordered path below.
+            self.route_buf.clear();
+            for s in self.spike_buf.drain(..) {
+                match s.dest {
+                    Dest::Axon(tgt) => {
+                        self.route_buf
+                            .push((tgt.core.index() as u32, tgt.axon, tgt.delay));
                     }
-                    self.net
-                        .core_mut(tgt.core)
-                        .deliver(t + tgt.delay as u64, tgt.axon);
+                    Dest::Output(port) => self.outputs.push(t, port),
+                    Dest::None => {}
                 }
-                Dest::Output(port) => self.outputs.push(t, port),
-                Dest::None => {}
+            }
+            self.route_counts.clear();
+            self.route_counts.resize(num_cores + 1, 0);
+            for &(c, _, _) in &self.route_buf {
+                self.route_counts[c as usize + 1] += 1;
+            }
+            for i in 1..=num_cores {
+                self.route_counts[i] += self.route_counts[i - 1];
+            }
+            self.route_sorted.clear();
+            self.route_sorted.resize(self.route_buf.len(), (0, 0, 0));
+            for &(c, a, d) in &self.route_buf {
+                let at = self.route_counts[c as usize] as usize;
+                self.route_counts[c as usize] += 1;
+                self.route_sorted[at] = (c, a, d);
+            }
+            let cores = self.net.cores_mut();
+            for &(c, a, d) in &self.route_sorted {
+                cores[c as usize].deliver(t + d as u64, a);
+            }
+        } else {
+            for s in self.spike_buf.drain(..) {
+                match s.dest {
+                    Dest::Axon(tgt) => {
+                        if let Some(f) = &mut self.faults {
+                            if !f.allow_spike(t, s.src.core.0, tgt.core.0, tgt.axon) {
+                                continue;
+                            }
+                        }
+                        self.net
+                            .core_mut(tgt.core)
+                            .deliver(t + tgt.delay as u64, tgt.axon);
+                    }
+                    Dest::Output(port) => self.outputs.push(t, port),
+                    Dest::None => {}
+                }
             }
         }
 

@@ -131,6 +131,7 @@ pub fn publish_common<S: KernelSession + ?Sized>(sim: &S, reg: &Registry) {
     for (tier, v) in [
         ("disabled", tiers.disabled),
         ("quiescent", tiers.quiescent),
+        ("soa", tiers.soa),
         ("split", tiers.split),
         ("fused", tiers.fused),
         ("scalar", tiers.scalar),

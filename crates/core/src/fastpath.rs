@@ -9,7 +9,7 @@
 //! emitted spikes, `TickStats` totals, and `state_digest` are all
 //! byte-identical between the fast and scalar paths.
 //!
-//! Three layered optimizations, each individually ablatable:
+//! Four layered optimizations, each individually ablatable:
 //!
 //! 1. **Quiescence skip** (`quiescence` flag): a core whose neurons are all
 //!    statically inert (leak 0, no stochastic leak/threshold, hence no PRNG
@@ -31,6 +31,13 @@
 //!    replaces the 52-byte-per-neuron configuration stream with a 1-byte
 //!    index into an L1-resident table. The arithmetic is the *same*
 //!    `NeuronConfig` methods — only the load pattern changes.
+//! 4. **SoA bitplane sweep** (`soa` flag, [`crate::soa`]): for cores with
+//!    no connected stochastic synapse, the neuron phase runs as a
+//!    branch-free structure-of-arrays sweep over contiguous per-field
+//!    planes — a scalar PRNG pre-pass materializes the tick's draws in
+//!    scan order, then leak/threshold/reset become straight-line lane
+//!    arithmetic (autovectorized, or AVX2 under the `simd` feature).
+//!    This is the top compute tier, dispatched above the split kernel.
 //!
 //! Fault injections (`corrupt_neuron`, `flip_crossbar`) rebuild the cache
 //! wholesale; stuck-at-1 axons defeat the quiescence skip naturally by
@@ -39,6 +46,7 @@
 use crate::crossbar::ROW_WORDS;
 use crate::neuron::NeuronConfig;
 use crate::nscore::CoreConfig;
+use crate::soa::SoaPlanes;
 use crate::{Dest, AXONS_PER_CORE, NEURONS_PER_CORE, NUM_AXON_TYPES, POTENTIAL_MAX, POTENTIAL_MIN};
 
 /// Which fast paths are enabled. The default enables everything; the
@@ -52,6 +60,9 @@ pub struct FastPathConfig {
     /// Use the type-grouped popcount / event-major synapse kernel and the
     /// deduplicated neuron-phase profiles where legal.
     pub popcount: bool,
+    /// Use the structure-of-arrays bitplane sweep ([`crate::soa`]) for
+    /// the neuron phase where legal (no connected stochastic synapse).
+    pub soa: bool,
 }
 
 impl Default for FastPathConfig {
@@ -59,6 +70,7 @@ impl Default for FastPathConfig {
         FastPathConfig {
             quiescence: true,
             popcount: true,
+            soa: true,
         }
     }
 }
@@ -69,6 +81,7 @@ impl FastPathConfig {
         FastPathConfig {
             quiescence: false,
             popcount: false,
+            soa: false,
         }
     }
 }
@@ -92,6 +105,9 @@ pub struct TierCounters {
     pub disabled: u64,
     /// Quiescence skip (no events, all-inert and settled).
     pub quiescent: u64,
+    /// Structure-of-arrays bitplane sweep (draw pre-pass + branch-free
+    /// lane arithmetic).
+    pub soa: u64,
     /// Split-phase popcount kernel (synapse scatter, then neuron loop).
     pub split: u64,
     /// Fused per-neuron popcount kernel (stochastic synapses present).
@@ -103,7 +119,7 @@ pub struct TierCounters {
 impl TierCounters {
     /// Ticks accounted across all tiers.
     pub fn total(&self) -> u64 {
-        self.disabled + self.quiescent + self.split + self.fused + self.scalar
+        self.disabled + self.quiescent + self.soa + self.split + self.fused + self.scalar
     }
 }
 
@@ -111,6 +127,7 @@ impl std::ops::AddAssign for TierCounters {
     fn add_assign(&mut self, rhs: TierCounters) {
         self.disabled += rhs.disabled;
         self.quiescent += rhs.quiescent;
+        self.soa += rhs.soa;
         self.split += rhs.split;
         self.fused += rhs.fused;
         self.scalar += rhs.scalar;
@@ -171,6 +188,10 @@ pub struct FastPath {
     pub degraded: bool,
     /// Scatter accumulator scratch for the event-major kernel.
     pub scratch_dv: Box<[i32; NEURONS_PER_CORE]>,
+    /// Structure-of-arrays planes for the bitplane sweep; built whenever
+    /// the configuration is eligible (regardless of the `soa` flag, so
+    /// runtime toggling needs no rebuild), `None` otherwise.
+    pub soa: Option<Box<SoaPlanes>>,
     /// Which dispatch tier handled each of this core's ticks (telemetry;
     /// preserved across fault-triggered cache rebuilds).
     pub tiers: TierCounters,
@@ -268,6 +289,11 @@ impl FastPath {
             }
         }
         let has_stoch_syn = scalar_only.iter().any(|&s| s);
+        let soa = if SoaPlanes::eligible(core, has_stoch_syn) {
+            Some(SoaPlanes::build(core))
+        } else {
+            None
+        };
 
         FastPath {
             cfg: *cfg,
@@ -285,6 +311,7 @@ impl FastPath {
             settled: false,
             degraded: false,
             scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+            soa,
             tiers: TierCounters::default(),
         }
     }
@@ -308,6 +335,7 @@ impl FastPath {
             settled: false,
             degraded: true,
             scratch_dv: Box::new([0i32; NEURONS_PER_CORE]),
+            soa: None,
             tiers: TierCounters::default(),
         }
     }
@@ -431,8 +459,25 @@ mod tests {
     #[test]
     fn scalar_config_toggles() {
         let s = FastPathConfig::scalar();
-        assert!(!s.quiescence && !s.popcount);
+        assert!(!s.quiescence && !s.popcount && !s.soa);
         let d = FastPathConfig::default();
-        assert!(d.quiescence && d.popcount);
+        assert!(d.quiescence && d.popcount && d.soa);
+    }
+
+    #[test]
+    fn soa_planes_follow_eligibility() {
+        // Deterministic core: eligible, planes built.
+        let (cfg, cols) = core_with(|_| NeuronConfig::lif(1, 10));
+        let fp = FastPath::build(&FastPathConfig::default(), &cfg, &cols);
+        assert!(fp.soa.is_some());
+        assert!(fp.soa.as_ref().unwrap().roundtrip_matches(&cfg));
+        // A connected stochastic synapse disqualifies the whole core.
+        let (cfg2, cols2) = core_with(|j| {
+            let mut n = NeuronConfig::lif(3, 10);
+            n.stoch_synapse[0] = j == 7;
+            n
+        });
+        let fp2 = FastPath::build(&FastPathConfig::default(), &cfg2, &cols2);
+        assert!(fp2.soa.is_none());
     }
 }

@@ -47,6 +47,7 @@ pub mod nscore;
 pub mod prng;
 pub mod rng;
 pub mod snapshot;
+pub mod soa;
 pub mod stats;
 pub mod wire;
 
@@ -64,6 +65,7 @@ pub use nscore::{CoreConfig, NeurosynapticCore};
 pub use prng::CorePrng;
 pub use rng::SplitMix64;
 pub use snapshot::{NetworkSnapshot, SnapshotDecodeError};
+pub use soa::SoaPlanes;
 pub use stats::{RunStats, TickStats};
 pub use wire::WireError;
 

@@ -132,10 +132,15 @@ impl NeurosynapticCore {
         &self.cfg
     }
 
+    /// One neuron's membrane potential (a copy of the single `i32`).
     pub fn potential(&self, neuron: usize) -> i32 {
         self.potentials[neuron]
     }
 
+    /// The whole membrane-potential plane, by reference. This is the
+    /// same contiguous array every dispatch tier (including the SoA
+    /// sweep) updates in place — observers borrow it; nothing in the
+    /// accessor family copies the plane.
     pub fn potentials(&self) -> &[i32; NEURONS_PER_CORE] {
         &self.potentials
     }
@@ -165,6 +170,9 @@ impl NeurosynapticCore {
     pub fn set_fastpath(&mut self, cfg: FastPathConfig) {
         self.fast.cfg = cfg;
         self.fast.settled = false;
+        if let Some(planes) = self.fast.soa.as_mut() {
+            planes.wake_all();
+        }
     }
 
     /// The derived fast-path caches (introspection for tests/benchmarks).
@@ -232,7 +240,11 @@ impl NeurosynapticCore {
     /// (see [`crate::fastpath`] for the legality arguments):
     ///
     /// * quiescence skip — event-free tick of an inert, settled core is a
-    ///   proven no-op;
+    ///   proven no-op (checked first: a proven no-op beats any sweep);
+    /// * SoA bitplane sweep — the top *compute* tier: synapse phase
+    ///   consumes no draws, so a scalar draw pre-pass materializes the
+    ///   tick's PRNG outcomes and the whole neuron phase runs as a
+    ///   branch-free structure-of-arrays sweep ([`crate::soa`]);
     /// * split-phase kernel — synapse phase consumes no draws, so it runs
     ///   for all neurons (event-major or popcount) before the neuron
     ///   phase;
@@ -257,15 +269,26 @@ impl NeurosynapticCore {
         }
         let draws_start = self.prng.draws();
         stats.axon_events += active.iter().map(|w| w.count_ones() as u64).sum::<u64>();
-        if self.fast.cfg.popcount && !self.fast.degraded && !self.fast.has_stoch_syn {
-            self.fast.tiers.split += 1;
-            self.tick_split(&active, quiet, out, stats);
-        } else if self.fast.cfg.popcount && !self.fast.degraded {
-            self.fast.tiers.fused += 1;
-            self.tick_fused(&active, out, stats);
+        if self.fast.cfg.soa && self.fast.soa.is_some() {
+            self.fast.tiers.soa += 1;
+            self.tick_soa(&active, quiet, out, stats);
         } else {
-            self.fast.tiers.scalar += 1;
-            self.tick_scalar(&active, out, stats);
+            // Any other tier moves potentials behind the SoA dormancy
+            // ledger's back; restart it so a later runtime re-enable of
+            // the SoA tier re-evaluates every lane.
+            if let Some(planes) = self.fast.soa.as_mut() {
+                planes.wake_all();
+            }
+            if self.fast.cfg.popcount && !self.fast.degraded && !self.fast.has_stoch_syn {
+                self.fast.tiers.split += 1;
+                self.tick_split(&active, quiet, out, stats);
+            } else if self.fast.cfg.popcount && !self.fast.degraded {
+                self.fast.tiers.fused += 1;
+                self.tick_fused(&active, out, stats);
+            } else {
+                self.fast.tiers.scalar += 1;
+                self.tick_scalar(&active, out, stats);
+            }
         }
         stats.prng_draws += self.prng.draws() - draws_start;
     }
@@ -481,6 +504,122 @@ impl NeurosynapticCore {
         self.fast.settled = settled;
     }
 
+    /// Structure-of-arrays tick: the synapse phase is the split kernel's
+    /// event-major scatter (legal for the same reason — SoA eligibility
+    /// implies no synapse-phase draw), the per-tick PRNG outcomes are
+    /// materialized by a scalar pre-pass in exact scan order, and the
+    /// whole leak/threshold/reset phase runs as one branch-free sweep
+    /// over the contiguous planes ([`crate::soa`] has the bit-exactness
+    /// argument).
+    fn tick_soa(
+        &mut self,
+        active: &[u64; ROW_WORDS],
+        quiet: bool,
+        out: &mut Vec<OutSpike>,
+        stats: &mut TickStats,
+    ) {
+        let mut use_dv = false;
+        if !quiet {
+            let mut sops = 0u64;
+            if self.fast.all_weights_zero {
+                // Only the SOPS ledger moves: one synaptic op per
+                // connected synapse on each active row.
+                for a in iter_active_axons(active) {
+                    sops += self.fast.row_fanout[a as usize] as u64;
+                }
+            } else {
+                use_dv = true;
+                let FastPath {
+                    scratch_dv,
+                    weights_by_type,
+                    row_fanout,
+                    ..
+                } = &mut self.fast;
+                scratch_dv.fill(0);
+                for a in iter_active_axons(active) {
+                    let a = a as usize;
+                    let row = self.cfg.crossbar.row(a);
+                    let ty = self.cfg.axon_types[a] as usize;
+                    sops += row_fanout[a] as u64;
+                    let wt = &weights_by_type[ty];
+                    for (w, &word) in row.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let j = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            scratch_dv[j] += wt[j] as i32;
+                        }
+                    }
+                }
+            }
+            stats.sops += sops;
+        }
+
+        if use_dv {
+            // Lanes outside their clamp-free window redo their adds in
+            // ascending axon order with per-event saturation (consuming
+            // no draws — SoA eligibility), landing the result in the
+            // potential plane now; their accumulator lanes are zeroed so
+            // the sweep's unconditional `+ dv` is a no-op there.
+            for j in 0..NEURONS_PER_CORE {
+                let mut v = self.potentials[j];
+                if v < self.fast.vlo[j] || v > self.fast.vhi[j] {
+                    let cfg = &self.cfg.neurons[j];
+                    let col = &self.columns[j];
+                    for w in 0..ROW_WORDS {
+                        let mut hits = col[w] & active[w];
+                        while hits != 0 {
+                            let a = w * 64 + hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let ty = self.cfg.axon_types[a] as usize;
+                            v = cfg.integrate(v, ty, &mut self.prng);
+                        }
+                    }
+                    self.potentials[j] = v;
+                    self.fast.scratch_dv[j] = 0;
+                }
+            }
+        }
+
+        let FastPath {
+            soa, scratch_dv, ..
+        } = &mut self.fast;
+        let planes = soa.as_mut().expect("soa tier dispatched without planes");
+        planes.draw_pass(&mut self.prng);
+        let (fired, settled) = if use_dv {
+            planes.sweep::<true>(&mut self.potentials, scratch_dv)
+        } else {
+            // No accumulator to add: the masked sweep evaluates only the
+            // lanes that can change or fire (leak hits, eta redraws,
+            // deterministic leaks, lanes unsettled since their last
+            // evaluation) — the rest are proven fixed points.
+            planes.sweep_active(&mut self.potentials)
+        };
+        stats.neuron_updates += NEURONS_PER_CORE as u64;
+
+        let mut fired_count = 0u64;
+        for (w, &word) in fired.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                fired_count += 1;
+                out.push(OutSpike {
+                    src: NeuronId {
+                        core: self.id,
+                        neuron: j as u8,
+                    },
+                    // The compact destination plane, not the full
+                    // `NeuronConfig` record — one cache line covers
+                    // eight fired lanes instead of one.
+                    dest: planes.dests[j],
+                });
+            }
+        }
+        self.fast.settled = settled;
+        stats.spikes_out += fired_count;
+    }
+
     /// Structural summary used by the energy/timing models: the mean
     /// fanout over connected rows, and the number of connected rows.
     pub fn fanout_profile(&self) -> (f64, u32) {
@@ -520,8 +659,11 @@ impl NeurosynapticCore {
         self.prng = CorePrng::from_raw(snap.prng_state, snap.prng_draws);
         self.delay.set_slots(&snap.delay_slots);
         self.disabled = snap.disabled;
-        // Potentials changed out from under the fixed-point cache.
+        // Potentials changed out from under the fixed-point caches.
         self.fast.settled = false;
+        if let Some(planes) = self.fast.soa.as_mut() {
+            planes.wake_all();
+        }
     }
 
     /// Snapshot of the dynamic state, used by equivalence regressions.
@@ -643,8 +785,8 @@ mod tests {
         assert_eq!(tiers.total(), 5, "one tier hit per tick: {tiers:?}");
         assert_eq!(tiers.disabled, 0);
         // The relay core has no stochastic synapses, so active ticks take
-        // the split kernel under the default config.
-        assert!(tiers.split > 0, "{tiers:?}");
+        // the SoA sweep under the default config.
+        assert!(tiers.soa > 0, "{tiers:?}");
 
         core.set_disabled(true);
         core.tick(5, &mut out, &mut st);

@@ -16,6 +16,189 @@
 /// Tap mask of a maximal-length 32-bit Galois LFSR (x^32+x^22+x^2+x^1+1).
 const GALOIS_TAPS: u32 = 0x8020_0003;
 
+/// One Galois-LFSR transition as a pure function of the state — the exact
+/// step [`CorePrng::next_u32`] applies, expressed branchlessly
+/// (`lsb.wrapping_neg()` is an all-ones mask iff the tapped bit is set).
+/// Exposed so batch draw loops (the SoA kernel's draw pre-pass) can run
+/// the generator in a register and [`CorePrng::reseat`] once, without any
+/// possibility of changing the stream.
+#[inline(always)]
+pub const fn step_lfsr(state: u32) -> u32 {
+    (state >> 1) ^ ((state & 1).wrapping_neg() & GALOIS_TAPS)
+}
+
+/// Eight-step jump table: `JUMP8_TABLE[b]` is the state reached by
+/// applying [`step_lfsr`] eight times to the state `b` (`b < 256`).
+///
+/// The Galois step is linear over GF(2), and a state whose low byte is
+/// zero just shifts right for eight consecutive steps (the tap branch
+/// keys off bit `k` of the original state on step `k`). Splitting
+/// `s = h ^ b` with `b = s & 0xFF` therefore gives
+/// `step⁸(s) = (s >> 8) ^ JUMP8_TABLE[s & 0xFF]` — see [`jump8_lfsr`].
+const JUMP8_TABLE: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut s = b as u32;
+        let mut k = 0;
+        while k < 8 {
+            s = step_lfsr(s);
+            k += 1;
+        }
+        t[b] = s;
+        b += 1;
+    }
+    t
+};
+
+/// Advance the LFSR eight steps at once via [`JUMP8_TABLE`]. Identical
+/// to eight [`step_lfsr`] applications; used by batch draw loops to run
+/// several interleaved sub-streams whose jumps are independent, breaking
+/// the one-step-at-a-time dependency chain of the serial generator.
+#[inline(always)]
+pub fn jump8_lfsr(state: u32) -> u32 {
+    (state >> 8) ^ JUMP8_TABLE[(state & 0xFF) as usize]
+}
+
+/// The raw jump table behind [`jump8_lfsr`], for batch draw loops that
+/// perform the table lookup with a vector gather instead of eight
+/// scalar loads.
+#[inline(always)]
+pub fn jump8_table() -> &'static [u32; 256] {
+    &JUMP8_TABLE
+}
+
+/// Sixteen-step jump, split over the two low bytes by GF(2) linearity:
+/// `step¹⁶(s) = (s >> 16) ^ JUMP16_MID[(s >> 8) & 0xFF] ^ JUMP16_LO[s & 0xFF]`.
+///
+/// The decomposition mirrors [`JUMP8_TABLE`]: a state whose low 16 bits
+/// are zero just shifts right for sixteen consecutive steps, and
+/// `s = (s >> 16 << 16) ^ (((s >> 8) & 0xFF) << 8) ^ (s & 0xFF)`, so the
+/// sixteen-step image is the XOR of the three parts' images. Two 1 KiB
+/// tables instead of one 256 KiB table keep the lookups in L1, and the
+/// two gathers of a vectorized jump are mutually independent.
+const JUMP16_LO: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut s = b as u32;
+        let mut k = 0;
+        while k < 16 {
+            s = step_lfsr(s);
+            k += 1;
+        }
+        t[b] = s;
+        b += 1;
+    }
+    t
+};
+
+/// See [`JUMP16_LO`]: images of `m << 8` under sixteen steps.
+const JUMP16_MID: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut s = (m as u32) << 8;
+        let mut k = 0;
+        while k < 16 {
+            s = step_lfsr(s);
+            k += 1;
+        }
+        t[m] = s;
+        m += 1;
+    }
+    t
+};
+
+/// Advance the LFSR sixteen steps at once. Identical to sixteen
+/// [`step_lfsr`] applications; used by batch draw loops running sixteen
+/// interleaved sub-streams.
+#[inline(always)]
+pub fn jump16_lfsr(state: u32) -> u32 {
+    (state >> 16) ^ JUMP16_MID[((state >> 8) & 0xFF) as usize] ^ JUMP16_LO[(state & 0xFF) as usize]
+}
+
+/// Raw tables behind [`jump16_lfsr`] (`(lo, mid)`), for vector-gather
+/// jump implementations.
+#[inline(always)]
+pub fn jump16_tables() -> (&'static [u32; 256], &'static [u32; 256]) {
+    (&JUMP16_LO, &JUMP16_MID)
+}
+
+/// Thirty-two-step jump, split over all four bytes by GF(2) linearity:
+/// `step³²(s) = T₀[s & 0xFF] ^ T₁[(s >> 8) & 0xFF] ^ T₂[(s >> 16) & 0xFF]
+/// ^ T₃[s >> 24]` — the shifted-out high part vanishes entirely, so the
+/// jump is four independent table loads and three XORs with no shifts
+/// on the critical path.
+const JUMP32_T: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut byte = 0usize;
+    while byte < 4 {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut s = (b as u32) << (8 * byte);
+            let mut k = 0;
+            while k < 32 {
+                s = step_lfsr(s);
+                k += 1;
+            }
+            t[byte][b] = s;
+            b += 1;
+        }
+        byte += 1;
+    }
+    t
+};
+
+/// Advance the LFSR thirty-two steps at once. Identical to thirty-two
+/// [`step_lfsr`] applications; used to advance the base states of the
+/// windowed batch draw.
+#[inline(always)]
+pub fn jump32_lfsr(state: u32) -> u32 {
+    JUMP32_T[0][(state & 0xFF) as usize]
+        ^ JUMP32_T[1][((state >> 8) & 0xFF) as usize]
+        ^ JUMP32_T[2][((state >> 16) & 0xFF) as usize]
+        ^ JUMP32_T[3][(state >> 24) as usize]
+}
+
+/// Windowed draw-byte corrections: byte `j − 1` of `DRAW8_WINDOW[b]` is
+/// `(step^j(b) >> 13) & 0xFF` for `j = 1..=8`.
+///
+/// For any state `s` with low byte `b`, the 8-bit draw of the `j`-th
+/// successor state factors by linearity as
+///
+/// ```text
+/// draw8(step^j(s)) = ((s >> (13 + j)) & 0xFF) ^ (byte j−1 of DRAW8_WINDOW[b])
+/// ```
+///
+/// because `step^j(s & !0xFF) = (s & !0xFF) >> j` (the low `j ≤ 8` bits
+/// are zero, so no tap ever fires) and bits `13+j .. 20+j` of `s` never
+/// overlap the masked-off low byte. One table load therefore yields the
+/// draws of eight consecutive states without materializing them.
+const DRAW8_WINDOW: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut s = b as u32;
+        let mut w = 0u64;
+        let mut j = 1;
+        while j <= 8 {
+            s = step_lfsr(s);
+            w |= (((s >> 13) & 0xFF) as u64) << ((j - 1) * 8);
+            j += 1;
+        }
+        t[b] = w;
+        b += 1;
+    }
+    t
+};
+
+/// The raw window table behind the batch draw (see [`DRAW8_WINDOW`]).
+#[inline(always)]
+pub fn draw8_window_table() -> &'static [u64; 256] {
+    &DRAW8_WINDOW
+}
+
 /// Per-core deterministic PRNG.
 ///
 /// Cloning a `CorePrng` clones its state, so snapshots of simulations can
@@ -49,11 +232,7 @@ impl CorePrng {
     /// Advance the LFSR one step and return the full 32-bit state.
     #[inline(always)]
     pub fn next_u32(&mut self) -> u32 {
-        let lsb = self.state & 1;
-        self.state >>= 1;
-        if lsb != 0 {
-            self.state ^= GALOIS_TAPS;
-        }
+        self.state = step_lfsr(self.state);
         self.draws += 1;
         self.state
     }
@@ -101,6 +280,16 @@ impl CorePrng {
     pub fn from_raw(state: u32, draws: u64) -> Self {
         assert_ne!(state, 0, "zero is the LFSR fixed point");
         CorePrng { state, draws }
+    }
+
+    /// Adopt a state a caller advanced locally with [`step_lfsr`],
+    /// booking the `additional_draws` transitions it ran. Equivalent to
+    /// calling [`Self::next_u32`] that many times.
+    #[inline(always)]
+    pub fn reseat(&mut self, state: u32, additional_draws: u64) {
+        debug_assert_ne!(state, 0, "zero is the LFSR fixed point");
+        self.state = state;
+        self.draws += additional_draws;
     }
 }
 
@@ -180,6 +369,126 @@ mod tests {
         // p = 128/256 should be near one half.
         let hits = (0..10_000).filter(|_| p.bernoulli_256(128)).count();
         assert!((4_500..5_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn step_lfsr_matches_next_u32_everywhere() {
+        let mut p = CorePrng::from_seed(0xFEED);
+        for _ in 0..10_000 {
+            let predicted = step_lfsr(p.state());
+            assert_eq!(p.next_u32(), predicted);
+        }
+    }
+
+    #[test]
+    fn jump8_matches_eight_serial_steps() {
+        let mut s = CorePrng::from_seed(0xA5A5).state();
+        for _ in 0..10_000 {
+            let mut serial = s;
+            for _ in 0..8 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump8_lfsr(s), serial);
+            s = step_lfsr(s);
+        }
+        // Boundary states: low byte all-ones / zero, sign bit set.
+        for s in [0xFFu32, 0x100, 0x8000_0000, 0xFFFF_FFFF, 1] {
+            let mut serial = s;
+            for _ in 0..8 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump8_lfsr(s), serial);
+        }
+    }
+
+    #[test]
+    fn jump16_matches_sixteen_serial_steps() {
+        let mut s = CorePrng::from_seed(0x5A5A).state();
+        for _ in 0..10_000 {
+            let mut serial = s;
+            for _ in 0..16 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump16_lfsr(s), serial);
+            s = step_lfsr(s);
+        }
+        // Boundary states exercising each byte decomposition term.
+        for s in [
+            0xFFu32,
+            0xFF00,
+            0xFFFF,
+            0x1_0000,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            1,
+        ] {
+            let mut serial = s;
+            for _ in 0..16 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump16_lfsr(s), serial);
+        }
+    }
+
+    #[test]
+    fn jump32_matches_thirty_two_serial_steps() {
+        let mut s = CorePrng::from_seed(0xC3C3).state();
+        for _ in 0..10_000 {
+            let mut serial = s;
+            for _ in 0..32 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump32_lfsr(s), serial);
+            s = step_lfsr(s);
+        }
+        for s in [
+            0xFFu32,
+            0xFF00,
+            0xFF_0000,
+            0xFF00_0000,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            1,
+        ] {
+            let mut serial = s;
+            for _ in 0..32 {
+                serial = step_lfsr(serial);
+            }
+            assert_eq!(jump32_lfsr(s), serial);
+        }
+    }
+
+    #[test]
+    fn draw8_window_matches_serial_draws() {
+        // The windowed decomposition must reproduce draw8 of each of
+        // the eight successor states of an arbitrary base state.
+        let mut s = CorePrng::from_seed(0x1D1D).state();
+        for _ in 0..10_000 {
+            let w = draw8_window_table()[(s & 0xFF) as usize];
+            let mut serial = s;
+            for j in 1..=8u32 {
+                serial = step_lfsr(serial);
+                let want = ((serial >> 13) & 0xFF) as u8;
+                let got = (((s >> (13 + j)) & 0xFF) as u8) ^ ((w >> ((j - 1) * 8)) as u8);
+                assert_eq!(got, want, "j={j} s={s:#x}");
+            }
+            s = step_lfsr(s);
+        }
+    }
+
+    #[test]
+    fn reseat_is_equivalent_to_repeated_draws() {
+        let mut a = CorePrng::from_seed(77);
+        let mut b = a.clone();
+        let mut s = b.state();
+        for _ in 0..256 {
+            s = step_lfsr(s);
+        }
+        b.reseat(s, 256);
+        for _ in 0..256 {
+            a.next_u32();
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release --example recurrent_characterization \
-//!     [rate_hz] [synapses] [--no-fastpath|--no-quiescence|--no-popcount]
+//!     [rate_hz] [synapses] [--no-fastpath|--no-quiescence|--no-popcount|--no-soa]
 //! ```
 //!
 //! The `--no-*` flags ablate the kernel fast paths (tn_core::fastpath)
@@ -26,6 +26,7 @@ fn main() {
             "--no-fastpath" => fp = FastPathConfig::scalar(),
             "--no-quiescence" => fp.quiescence = false,
             "--no-popcount" => fp.popcount = false,
+            "--no-soa" => fp.soa = false,
             v => {
                 match positional {
                     0 => rate = v.parse().unwrap_or(rate),
@@ -61,8 +62,8 @@ fn main() {
     let report = sim.report();
     println!("\nmeasured over 80 ticks (16 warm-up):");
     println!(
-        "  host speed       : {:>8.2} ms/tick (fastpath: quiescence={} popcount={})",
-        ms_per_tick, fp.quiescence, fp.popcount
+        "  host speed       : {:>8.2} ms/tick (fastpath: quiescence={} popcount={} soa={})",
+        ms_per_tick, fp.quiescence, fp.popcount, fp.soa
     );
     println!(
         "  mean rate        : {:>8.1} Hz (target {:.1})",

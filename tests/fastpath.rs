@@ -1,11 +1,14 @@
 //! Integration: the event-driven fast paths are *bit-exact*.
 //!
 //! The kernel's quiescence skip, type-grouped popcount synapse kernel,
-//! and neuron-profile dedup (tn_core::fastpath) are pure optimizations:
-//! for any network — saturating weights, stochastic synapses/leak/
-//! threshold, fault plans mutating the crossbar mid-run — every engine
-//! must produce spike-for-spike identical outputs and a byte-identical
-//! `state_digest` with fast paths on and off, at every thread count.
+//! neuron-profile dedup, and structure-of-arrays bitplane sweep
+//! (tn_core::fastpath, tn_core::soa) are pure optimizations: for any
+//! network — saturating weights, stochastic synapses/leak/threshold,
+//! fault plans mutating the crossbar mid-run — every engine must produce
+//! spike-for-spike identical outputs and a byte-identical `state_digest`
+//! with fast paths on and off, at every thread count. Under
+//! `--features simd` the same suite exercises the AVX2 expression of the
+//! SoA sweep (runtime-detected), which must also be bit-identical.
 
 use tn_chip::TrueNorthSim;
 use tn_compass::{ParallelSim, ReferenceSim};
@@ -244,15 +247,48 @@ fn fastpath_is_bit_exact_across_thread_counts() {
 fn partial_ablations_are_bit_exact_too() {
     let seed = 0xAB1A7E5u64;
     let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), None);
-    for (q, p) in [(true, false), (false, true)] {
+    for (q, p, s) in [
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, false),
+        (false, true, true),
+        (true, false, true),
+    ] {
         let cfg = FastPathConfig {
             quiescence: q,
             popcount: p,
+            soa: s,
         };
         let got = run_engine("reference", seed, 0, cfg, None);
-        assert_eq!(got.0, scalar.0, "quiescence={q} popcount={p} diverged");
+        assert_eq!(
+            got.0, scalar.0,
+            "quiescence={q} popcount={p} soa={s} diverged"
+        );
         assert_eq!(got.1, scalar.1);
         assert_eq!(got.2, scalar.2);
+    }
+}
+
+/// SoA tier alone (no popcount, no quiescence) vs the scalar loop: the
+/// draw *order* — not just the count — must match on the stochastic
+/// archetypes, because the SoA draw pre-pass reorders nothing and the
+/// tier must cleanly decline cores whose synapse phase draws. Equal
+/// state digests pin the order (the LFSR state is part of the digest);
+/// equal totals pin the count.
+#[test]
+fn soa_tier_preserves_prng_draw_order_vs_scalar() {
+    for seed in [0x50A0u64, 0xBEE5, 3] {
+        let scalar = run_engine("reference", seed, 0, FastPathConfig::scalar(), None);
+        let soa_only = FastPathConfig {
+            quiescence: false,
+            popcount: false,
+            soa: true,
+        };
+        let got = run_engine("reference", seed, 0, soa_only, None);
+        assert_eq!(got.0, scalar.0, "soa-only state diverged (seed {seed:#x})");
+        assert_eq!(got.1, scalar.1, "soa-only outputs diverged");
+        assert_eq!(got.2, scalar.2, "soa-only draw count diverged");
     }
 }
 
@@ -284,6 +320,93 @@ fn fault_mutations_invalidate_fastpath_caches() {
             assert_eq!(fast.2, scalar.2);
         }
     }
+}
+
+/// After every fault-mutation cache rebuild, each core's SoA planes (if
+/// eligible) must structurally match planes rebuilt fresh from the
+/// mutated per-neuron configuration — the plane↔struct round-trip
+/// invariant. A stale plane (e.g. a threshold plane surviving a
+/// `corrupt` event) would silently diverge only on specific inputs;
+/// this checks the representation itself, not just the outputs.
+#[test]
+fn soa_planes_roundtrip_after_every_fault_rebuild() {
+    let plan = FaultPlan::parse(MUTATING_PLAN).unwrap();
+    for seed in [5u64, 0xD00D] {
+        let net = random_net(seed);
+        let mut src = driving_source(seed);
+        let mut sim = ReferenceSim::new(net);
+        sim.attach_faults(&plan);
+        let mut eligible_seen = 0usize;
+        for _ in 0..TICKS {
+            sim.step(&mut src);
+            for core in sim.network().cores() {
+                if let Some(planes) = &core.fastpath().soa {
+                    eligible_seen += 1;
+                    assert!(
+                        planes.roundtrip_matches(core.config()),
+                        "core {:?}: SoA planes stale after fault mutations",
+                        core.id()
+                    );
+                }
+            }
+        }
+        assert!(eligible_seen > 0, "no SoA-eligible core ever checked");
+    }
+}
+
+/// Snapshot/restore mid-run with the SoA tier active: the snapshot bytes
+/// must be identical to a scalar run's at the same tick (SoA keeps no
+/// hidden dynamic state outside the blueprint's), and resuming from the
+/// restore must land on the same final digest as the uninterrupted run.
+#[test]
+fn soa_snapshot_restore_is_byte_identical_and_resumable() {
+    let seed = 0x5AFE_5EEDu64;
+    let half = TICKS / 2;
+
+    // Uninterrupted SoA run for the final reference digest.
+    let uninterrupted = run_engine("reference", seed, 0, FastPathConfig::default(), None);
+
+    // SoA run paused at the midpoint.
+    let mut src = driving_source(seed);
+    let mut sim = ReferenceSim::new(random_net(seed));
+    sim.network_mut().set_fastpath(FastPathConfig::default());
+    sim.run(half, &mut src);
+    let snap = sim.checkpoint();
+
+    // Scalar run paused at the same midpoint: identical snapshot bytes.
+    let mut src_s = driving_source(seed);
+    let mut sim_s = ReferenceSim::new(random_net(seed));
+    sim_s.network_mut().set_fastpath(FastPathConfig::scalar());
+    sim_s.run(half, &mut src_s);
+    assert_eq!(
+        snap.to_bytes(),
+        sim_s.checkpoint().to_bytes(),
+        "SoA-active snapshot bytes differ from scalar at tick {half}"
+    );
+
+    // Restore into a fresh simulator and finish the run under SoA. The
+    // source is keyed by absolute tick and the restore resumes the tick
+    // counter, so a fresh schedule is only queried for ticks ≥ half.
+    let mut resumed = ReferenceSim::new(random_net(seed));
+    resumed
+        .network_mut()
+        .set_fastpath(FastPathConfig::default());
+    resumed.restore(&snap);
+    resumed.run(TICKS - half, &mut driving_source(seed));
+    assert_eq!(
+        resumed.network().state_digest(),
+        uninterrupted.0,
+        "restored SoA run diverged from uninterrupted run"
+    );
+
+    // And finish the same restore under the scalar path: same digest.
+    let mut resumed_s = ReferenceSim::new(random_net(seed));
+    resumed_s
+        .network_mut()
+        .set_fastpath(FastPathConfig::scalar());
+    resumed_s.restore(&snap);
+    resumed_s.run(TICKS - half, &mut driving_source(seed));
+    assert_eq!(resumed_s.network().state_digest(), uninterrupted.0);
 }
 
 #[test]

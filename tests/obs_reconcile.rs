@@ -179,6 +179,7 @@ fn drive_and_reconcile(mut sim: Box<dyn KernelSession>) -> (u64, tn_core::TierCo
     for (tier, v) in [
         ("disabled", tiers.disabled),
         ("quiescent", tiers.quiescent),
+        ("soa", tiers.soa),
         ("split", tiers.split),
         ("fused", tiers.fused),
         ("scalar", tiers.scalar),
