@@ -1,0 +1,482 @@
+//! The serving-scale benchmark: thousands of concurrent sessions on the
+//! sharded session executor, plus a wire-level digest gate.
+//!
+//! Two phases, emitted together as `BENCH_serve.json`
+//! (`tn-bench/serve/v1`):
+//!
+//! 1. **Wire digest** — a real loopback server, one session driven over
+//!    TCP with a deterministic injection trace, compared bit-exactly
+//!    against a local batch run of the same model and trace. Correctness
+//!    is a *hard* gate: a digest mismatch exits 2, mirroring the kernel
+//!    bench.
+//! 2. **Executor load** — N real-time sessions (default 2,000) admitted
+//!    to one [`ShardExecutor`] pool, all running concurrently on the
+//!    shared deadline wheel. The bench reports sustained throughput,
+//!    the deadline-miss rate, and the p99 tick jitter read back from
+//!    the executor's own per-shard histograms. All sessions run the
+//!    same blank board for the same tick count, so their final state
+//!    digests must be identical — a determinism-under-multiplexing
+//!    gate, also hard. Throughput and jitter are *advisory* by default
+//!    (shared CI hosts are too noisy to gate on) and become a hard gate
+//!    (exit 1 when the miss rate exceeds 5%) only under `--strict`.
+//!
+//! Usage: `serve [--quick] [--sessions N] [--ticks N] [--tick-us N]
+//!               [--exec-shards N] [--wire-ticks N] [--strict]
+//!               [--out PATH]`
+//!
+//! * `--quick` — 64 sessions and a shorter run (CI smoke mode).
+//! * `--sessions N` — concurrent real-time sessions in the load phase.
+//! * `--ticks N` — ticks each session runs.
+//! * `--tick-us N` — real-time tick period for the load phase.
+//! * `--exec-shards N` — driver shards (0 = `min(cores, 8)`).
+//! * `--strict` — fail (exit 1) if the deadline-miss rate exceeds 5%.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use tn_compass::ReferenceSim;
+use tn_core::{
+    modelfile, CoreConfig, CoreId, Crossbar, Dest, LintConfig, Network, NetworkBuilder,
+    NeuronConfig, ScheduledSource, NEURONS_PER_CORE,
+};
+use tn_serve::{
+    default_shards, Client, Cmd, Engine, ExecutorConfig, ModelSource, Pace, Response, Server,
+    ServerConfig, SessionConfig, ShardExecutor,
+};
+
+struct Args {
+    quick: bool,
+    sessions: usize,
+    ticks: u64,
+    tick_us: u64,
+    exec_shards: usize,
+    wire_ticks: u64,
+    strict: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        sessions: 0,
+        ticks: 0,
+        tick_us: 0,
+        exec_shards: 0,
+        wire_ticks: 64,
+        strict: false,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--sessions" => {
+                a.sessions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sessions N")
+            }
+            "--ticks" => a.ticks = it.next().and_then(|v| v.parse().ok()).expect("--ticks N"),
+            "--tick-us" => a.tick_us = it.next().and_then(|v| v.parse().ok()).expect("--tick-us N"),
+            "--exec-shards" => {
+                a.exec_shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exec-shards N")
+            }
+            "--wire-ticks" => {
+                a.wire_ticks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--wire-ticks N")
+            }
+            "--strict" => a.strict = true,
+            "--out" => a.out = it.next().expect("--out PATH"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if a.sessions == 0 {
+        a.sessions = if a.quick { 64 } else { 2000 };
+    }
+    if a.ticks == 0 {
+        a.ticks = if a.quick { 50 } else { 200 };
+    }
+    if a.tick_us == 0 {
+        a.tick_us = if a.quick { 2000 } else { 5000 };
+    }
+    a
+}
+
+/// A 1×1 network whose LIF neurons integrate their identity axon and
+/// emit on output ports — injected spikes become observable outputs.
+fn output_net() -> Network {
+    let mut b = NetworkBuilder::new(1, 1, 42);
+    let mut c = CoreConfig::new();
+    *c.crossbar = Crossbar::from_fn(|i, j| i == j);
+    for j in 0..NEURONS_PER_CORE {
+        c.neurons[j] = NeuronConfig::lif(1, 1);
+        c.neurons[j].dest = Dest::Output(j as u32);
+    }
+    b.add_core(c);
+    b.build()
+}
+
+/// A deterministic injection trace over `ticks` ticks.
+fn trace(ticks: u64) -> Vec<(u64, CoreId, u16)> {
+    let mut events = Vec::new();
+    for t in 0..ticks {
+        events.push((t, CoreId(0), ((t * 7) % 256) as u16));
+        if t % 3 == 0 {
+            events.push((t, CoreId(0), ((t * 13 + 5) % 256) as u16));
+        }
+    }
+    events
+}
+
+/// Phase 1: one session over real TCP vs the same model and trace run
+/// locally — the serving layer must be bit-exact. Returns
+/// `(digest, matched)`.
+fn wire_digest(args: &Args) -> (u64, bool) {
+    let net = output_net();
+    let model_text = modelfile::save(&net);
+    let events = trace(args.wire_ticks);
+
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        exec_shards: args.exec_shards,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    match client
+        .create_session(
+            "bench-wire",
+            Engine::Reference,
+            Pace::MaxSpeed,
+            ModelSource::Model(model_text.clone()),
+        )
+        .expect("create")
+    {
+        Response::Created { .. } => {}
+        other => panic!("create rejected: {other:?}"),
+    }
+    match client.inject("bench-wire", &events).expect("inject") {
+        Response::InjectAck { accepted } => assert_eq!(accepted as usize, events.len()),
+        other => panic!("inject rejected: {other:?}"),
+    }
+    assert_eq!(
+        client.run_for("bench-wire", args.wire_ticks).expect("run"),
+        Response::Ok
+    );
+    let served = match client.stats("bench-wire").expect("stats") {
+        Response::StatsData(s) => s,
+        other => panic!("stats rejected: {other:?}"),
+    };
+    handle.shutdown();
+
+    let (batch_net, _) = modelfile::load_verified(&model_text, &LintConfig::default()).unwrap();
+    let mut sim = ReferenceSim::new(batch_net);
+    let mut src = ScheduledSource::new();
+    for &(t, core, axon) in &events {
+        src.push_checked(t, core, axon, sim.network().num_cores())
+            .unwrap();
+    }
+    sim.run(args.wire_ticks, &mut src);
+    let local = sim.network().state_digest();
+    (served.state_digest, served.state_digest == local)
+}
+
+/// One shard's share of the load-phase accounting.
+struct ShardRow {
+    shard: usize,
+    ticks: u64,
+    deadline_miss: u64,
+}
+
+struct LoadResult {
+    wall_s: f64,
+    ticks_total: u64,
+    deadline_miss_total: u64,
+    sessions_completed: usize,
+    digests_identical: bool,
+    p99_jitter_ns: f64,
+    jitter_buckets: Vec<(String, u64)>,
+    per_shard: Vec<ShardRow>,
+}
+
+/// Phase 2: N concurrent real-time sessions on one executor pool.
+fn executor_load(args: &Args, shards: usize) -> LoadResult {
+    let exec = ShardExecutor::new(ExecutorConfig {
+        shards: args.exec_shards,
+        transient: false,
+    });
+    let cfg = SessionConfig {
+        pace: Pace::RealTime,
+        tick_period: Duration::from_micros(args.tick_us),
+        idle_timeout: Duration::from_secs(600),
+        ..Default::default()
+    };
+    let handles: Vec<_> = (0..args.sessions)
+        .map(|i| {
+            let sim = Box::new(ReferenceSim::new(NetworkBuilder::new(1, 2, 1).build()));
+            exec.admit(
+                format!("load-{i}"),
+                sim,
+                cfg.clone(),
+                Default::default(),
+                &[],
+                None,
+            )
+            .expect("admit")
+        })
+        .collect();
+
+    // Kick every session at once: sends are non-blocking, so all N run
+    // concurrently on the shared deadline wheel.
+    let t0 = Instant::now();
+    let replies: Vec<_> = handles
+        .iter()
+        .map(|h| {
+            let (tx, rx) = mpsc::channel();
+            h.send(Cmd::RunFor {
+                ticks: args.ticks,
+                reply: tx,
+            })
+            .expect("session alive");
+            rx
+        })
+        .collect();
+    let budget = Duration::from_micros(args.tick_us)
+        .saturating_mul(args.ticks as u32)
+        .saturating_mul(4)
+        + Duration::from_secs(60);
+    let mut completed = 0usize;
+    for rx in replies {
+        if rx.recv_timeout(budget) == Ok(Response::Ok) {
+            completed += 1;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Identical boards, identical tick counts, zero input: every final
+    // digest must agree — determinism under multiplexing.
+    let mut digests: Vec<u64> = Vec::new();
+    for h in &handles {
+        let (tx, rx) = mpsc::channel();
+        if h.send(Cmd::Stats { reply: tx }).is_ok() {
+            if let Ok(Response::StatsData(s)) = rx.recv_timeout(Duration::from_secs(30)) {
+                digests.push(s.state_digest);
+            }
+        }
+    }
+    let digests_identical =
+        digests.len() == handles.len() && digests.windows(2).all(|w| w[0] == w[1]);
+
+    let per_shard: Vec<ShardRow> = (0..shards)
+        .map(|k| {
+            let ks = k.to_string();
+            let labels: [(&str, &str); 1] = [("shard", ks.as_str())];
+            ShardRow {
+                shard: k,
+                ticks: exec
+                    .registry()
+                    .counter_value("tn_shard_exec_ticks_total", &labels)
+                    .unwrap_or(0),
+                deadline_miss: exec
+                    .registry()
+                    .counter_value("tn_shard_exec_deadline_miss_total", &labels)
+                    .unwrap_or(0),
+            }
+        })
+        .collect();
+    let (p99_jitter_ns, jitter_buckets) = jitter_p99(&exec.registry().render_text());
+    exec.shutdown();
+
+    LoadResult {
+        wall_s,
+        ticks_total: per_shard.iter().map(|r| r.ticks).sum(),
+        deadline_miss_total: per_shard.iter().map(|r| r.deadline_miss).sum(),
+        sessions_completed: completed,
+        digests_identical,
+        p99_jitter_ns,
+        jitter_buckets,
+        per_shard,
+    }
+}
+
+/// Pool the per-shard cumulative jitter buckets from the exposition
+/// text and locate the p99 upper bound (ns). `+Inf` reports as NaN,
+/// serialized as `null`.
+fn jitter_p99(text: &str) -> (f64, Vec<(String, u64)>) {
+    let mut by_le: Vec<(String, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("tn_shard_exec_tick_jitter_ns_bucket{") else {
+            continue;
+        };
+        let Some((labels, value)) = rest.rsplit_once("} ") else {
+            continue;
+        };
+        let Some(le) = labels
+            .split(',')
+            .find_map(|kv| kv.strip_prefix("le=\""))
+            .and_then(|v| v.strip_suffix('"'))
+        else {
+            continue;
+        };
+        let Ok(count) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        match by_le.iter_mut().find(|(l, _)| l == le) {
+            Some((_, c)) => *c += count,
+            None => by_le.push((le.to_string(), count)),
+        }
+    }
+    // Buckets render in ascending bound order with `+Inf` last; pooling
+    // across shards preserves that order.
+    let total = by_le.last().map(|&(_, c)| c).unwrap_or(0);
+    if total == 0 {
+        return (f64::NAN, by_le);
+    }
+    let need = (total as f64 * 0.99).ceil() as u64;
+    for (le, cum) in &by_le {
+        if *cum >= need {
+            let bound = if le == "+Inf" {
+                f64::NAN
+            } else {
+                le.parse().unwrap_or(f64::NAN)
+            };
+            return (bound, by_le);
+        }
+    }
+    (f64::NAN, by_le)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let shards = default_shards(args.exec_shards);
+    eprintln!(
+        "serve bench: wire digest over TCP ({} ticks), then {} sessions x {} ticks at {} us on {} shards",
+        args.wire_ticks, args.sessions, args.ticks, args.tick_us, shards
+    );
+
+    let (digest, digest_match) = wire_digest(&args);
+    eprintln!(
+        "  wire digest {:#018x} ({})",
+        digest,
+        if digest_match {
+            "matches batch run"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let load = executor_load(&args, shards);
+    let expected = args.sessions as u64 * args.ticks;
+    let miss_rate = if load.ticks_total > 0 {
+        load.deadline_miss_total as f64 / load.ticks_total as f64
+    } else {
+        f64::NAN
+    };
+    eprintln!(
+        "  {} / {} sessions completed, {} ticks in {:.3} s ({:.0} ticks/s)",
+        load.sessions_completed,
+        args.sessions,
+        load.ticks_total,
+        load.wall_s,
+        load.ticks_total as f64 / load.wall_s
+    );
+    eprintln!(
+        "  deadline-miss rate {:.4} ({} missed), p99 tick jitter {} ns",
+        miss_rate, load.deadline_miss_total, load.p99_jitter_ns
+    );
+
+    let sustained = load.sessions_completed == args.sessions && load.ticks_total >= expected;
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"tn-bench/serve/v1\",\n");
+    j.push_str("  \"bench\": \"serve\",\n");
+    j.push_str(&format!("  \"quick\": {},\n", args.quick));
+    j.push_str(&format!(
+        "  \"wire\": {{\"ticks\": {}, \"state_digest\": \"{:#018x}\", \"digest_match\": {}}},\n",
+        args.wire_ticks, digest, digest_match
+    ));
+    j.push_str("  \"load\": {\n");
+    j.push_str(&format!(
+        "    \"sessions\": {}, \"exec_shards\": {}, \"ticks_per_session\": {}, \"tick_period_us\": {},\n",
+        args.sessions, shards, args.ticks, args.tick_us
+    ));
+    j.push_str(&format!(
+        "    \"sessions_completed\": {}, \"wall_s\": {}, \"ticks_total\": {}, \"ticks_per_s\": {},\n",
+        load.sessions_completed,
+        json_f(load.wall_s),
+        load.ticks_total,
+        json_f(load.ticks_total as f64 / load.wall_s)
+    ));
+    j.push_str(&format!(
+        "    \"deadline_miss_total\": {}, \"deadline_miss_rate\": {}, \"p99_tick_jitter_ns\": {},\n",
+        load.deadline_miss_total,
+        json_f(miss_rate),
+        json_f(load.p99_jitter_ns)
+    ));
+    j.push_str(&format!(
+        "    \"digests_identical\": {},\n",
+        load.digests_identical
+    ));
+    j.push_str("    \"jitter_buckets\": [\n");
+    for (i, (le, cum)) in load.jitter_buckets.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"le\": \"{le}\", \"cumulative\": {cum}}}{}\n",
+            if i + 1 < load.jitter_buckets.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    j.push_str("    ],\n");
+    j.push_str("    \"per_shard\": [\n");
+    for (i, r) in load.per_shard.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"shard\": {}, \"ticks\": {}, \"deadline_miss\": {}}}{}\n",
+            r.shard,
+            r.ticks,
+            r.deadline_miss,
+            if i + 1 < load.per_shard.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    j.push_str("    ]\n");
+    j.push_str("  },\n");
+    j.push_str(&format!("  \"sustained\": {sustained}\n"));
+    j.push_str("}\n");
+    std::fs::write(&args.out, &j).expect("write BENCH json");
+    eprintln!("wrote {}", args.out);
+
+    // Correctness gates are hard: wire digest, per-session completion,
+    // and cross-session digest identity.
+    if !digest_match || !sustained || !load.digests_identical {
+        std::process::exit(2);
+    }
+    // Perf gate is advisory by default, strict on dedicated hosts.
+    if miss_rate > 0.05 {
+        eprintln!("warning: deadline-miss rate {miss_rate:.4} exceeds 5%");
+        if args.strict {
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,8 +10,9 @@
 //! [`tn_compass::ParallelSim`]) behind one versioned binary protocol:
 //!
 //! - **sessions** are named, created from a lint-verified model file or
-//!   a blank board, and driven by a per-session thread honoring the
-//!   paper's 1 ms tick ([`Pace::RealTime`]) or free-running
+//!   a blank board, and multiplexed onto a small fixed pool of driver
+//!   shards ([`ShardExecutor`]) honoring the paper's 1 ms tick
+//!   ([`Pace::RealTime`]) on a shared deadline wheel or free-running
 //!   ([`Pace::MaxSpeed`]);
 //! - **injection** goes through a bounded queue with explicit
 //!   backpressure — overload is shed and *counted*, never allowed to
@@ -32,6 +33,7 @@
 //! binary (standalone), and [`Client`] (blocking connection).
 
 pub mod client;
+pub mod executor;
 pub mod protocol;
 pub mod resilient;
 pub mod scheduler;
@@ -40,11 +42,12 @@ pub mod session;
 pub(crate) mod sync;
 
 pub use client::{Client, ClientError, SessionEvent};
+pub use executor::{default_shards, ExecutorConfig, ShardExecutor};
 pub use protocol::{
     Engine, ErrorCode, Health, ModelSource, Pace, ProtocolError, Request, Response, SessionEntry,
     SessionStats, TickUpdate, PROTOCOL_VERSION,
 };
-pub use resilient::{BackoffPolicy, ReconnectingClient, SessionSpec};
+pub use resilient::{BackoffPolicy, ReconnectingClient, RetrySequence, SessionSpec};
 pub use scheduler::{Clock, PaceOutcome, SystemClock, TickScheduler, VirtualClock};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{

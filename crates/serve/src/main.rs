@@ -31,6 +31,9 @@ options:
   --max-sessions <N>     cap on concurrently live sessions (default 32)
   --parallel-threads <N> worker threads for parallel-engine sessions
                          (default 2)
+  --exec-shards <N>      driver shards in the session executor; each
+                         shard multiplexes many sessions on one thread
+                         (default 0 = min(cores, 8))
   --shards <N>           default shard count for sharded sessions whose
                          create request asks for the server default
                          (default 2)
@@ -87,6 +90,12 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.parallel_threads = v
                     .parse()
                     .map_err(|_| format!("bad --parallel-threads value: {v}"))?;
+            }
+            "--exec-shards" => {
+                let v = it.next().ok_or("--exec-shards needs a value")?;
+                cfg.exec_shards = v
+                    .parse()
+                    .map_err(|_| format!("bad --exec-shards value: {v}"))?;
             }
             "--shards" => {
                 let v = it.next().ok_or("--shards needs a value")?;

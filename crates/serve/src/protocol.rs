@@ -26,8 +26,10 @@ use tn_core::wire::{self, framed, ByteReader, InputEvent, WireError};
 /// Protocol version carried in every frame header. Version 2 added the
 /// CRC-32 frame trailer and the sharded-session request; version 3 added
 /// the control plane (list/migrate/drain/status/adopt and the
-/// `Redirect` stream frame).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// `Redirect` stream frame); version 4 added the real-time grid phase to
+/// `AdoptSession` so a migrated session resumes its deadline grid
+/// instead of re-anchoring (and double-booking the in-flight slot).
+pub const PROTOCOL_VERSION: u8 = 4;
 /// Frame header size: length + version + opcode.
 pub const FRAME_HEADER_BYTES: usize = framed::HEADER_BYTES;
 /// CRC trailer size after the payload.
@@ -282,12 +284,16 @@ pub enum Request {
     /// the *original* create request (so the target rebuilds the same
     /// engine/pace/fault plan), the quiesced snapshot, the source's
     /// cumulative stat baselines (counters that do not live in the
-    /// snapshot), and input events still queued for future ticks.
+    /// snapshot), input events still queued for future ticks, and the
+    /// source's real-time grid phase — the offset to its next *unbooked*
+    /// deadline edge (`None` for max-speed sessions), so exactly one
+    /// side books the slot that was in flight at quiesce time.
     AdoptSession {
         create: Box<Request>,
         snapshot: Vec<u8>,
         baseline: SessionStats,
         pending: Vec<InputEvent>,
+        grid_phase: Option<std::time::Duration>,
     },
 }
 
@@ -650,11 +656,19 @@ impl Request {
                 snapshot,
                 baseline,
                 pending,
+                grid_phase,
             } => {
                 wire::put_bytes(&mut p, &create.encode());
                 wire::put_bytes(&mut p, snapshot);
                 put_stats(&mut p, baseline);
                 wire::put_input_events(&mut p, pending);
+                match grid_phase {
+                    Some(phase) => {
+                        wire::put_u8(&mut p, 1);
+                        wire::put_u64(&mut p, phase.as_nanos() as u64);
+                    }
+                    None => wire::put_u8(&mut p, 0),
+                }
                 OP_ADOPT_SESSION
             }
         };
@@ -772,11 +786,19 @@ impl Request {
                 let snapshot = r.bytes("snapshot bytes")?.to_vec();
                 let baseline = read_stats(&mut r)?;
                 let pending = wire::read_input_events(&mut r)?;
+                let grid_phase = match r.u8("grid phase flag")? {
+                    0 => None,
+                    1 => Some(std::time::Duration::from_nanos(r.u64("grid phase ns")?)),
+                    other => {
+                        return Err(ProtocolError::new(format!("bad grid phase flag {other}")))
+                    }
+                };
                 Request::AdoptSession {
                     create: Box::new(create),
                     snapshot,
                     baseline,
                     pending,
+                    grid_phase,
                 }
             }
             op => {
@@ -1091,6 +1113,7 @@ mod tests {
                 ..Default::default()
             },
             pending: vec![(18, CoreId(0), 7), (19, CoreId(1), 250)],
+            grid_phase: Some(std::time::Duration::from_micros(412)),
         });
         roundtrip_req(Request::AdoptSession {
             create: Box::new(Request::CreateShardedSession {
@@ -1103,6 +1126,7 @@ mod tests {
             snapshot: vec![0; 64],
             baseline: SessionStats::default(),
             pending: vec![],
+            grid_phase: None,
         });
     }
 
@@ -1134,6 +1158,7 @@ mod tests {
             snapshot: vec![],
             baseline: SessionStats::default(),
             pending: vec![],
+            grid_phase: None,
         };
         let mut p = Vec::new();
         wire::put_bytes(&mut p, &inner.encode());

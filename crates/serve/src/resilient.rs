@@ -105,6 +105,70 @@ impl BackoffPolicy {
         self.total_deadline
             .is_some_and(|budget| start.elapsed() + next_delay >= budget)
     }
+
+    /// Wall-clock budget left at `now` for a sequence started at
+    /// `start`: `None` = unbounded, `Some(ZERO)` = exhausted. Saturates
+    /// at zero — the remaining budget is never negative, so no caller
+    /// can turn an overrun into an extra full-length delay.
+    pub fn remaining(&self, start: Instant, now: Instant) -> Option<Duration> {
+        self.total_deadline
+            .map(|budget| budget.saturating_sub(now.saturating_duration_since(start)))
+    }
+}
+
+/// The budget arithmetic of one retry sequence, factored out of the
+/// socket loop so it is driven by explicit `Instant`s — tests pin it
+/// with [`crate::scheduler::VirtualClock`] instead of racing real time.
+///
+/// This is where the retry-budget underflow was fixed. The old loop
+/// tracked the deadline per *connect burst* while the request tracked
+/// it per *request*, so a reconnect inside a half-spent request started
+/// from a fresh budget: the request's true remaining time could be
+/// negative while the dial loop happily slept another full backoff
+/// delay. A sequence now begins at the request's own start instant,
+/// every sleep is clamped to the (saturating, never negative) remaining
+/// budget, and an exhausted budget refuses even the free first dial.
+#[derive(Debug)]
+pub struct RetrySequence<'p> {
+    policy: &'p BackoffPolicy,
+    start: Instant,
+    attempts: u32,
+}
+
+impl<'p> RetrySequence<'p> {
+    /// Begin a sequence whose budget runs from `start` — which may
+    /// predate this call: a reconnect inside a half-spent request
+    /// threads the request's start so only the leftover budget is
+    /// spendable here.
+    pub fn begin_at(policy: &'p BackoffPolicy, start: Instant) -> Self {
+        RetrySequence {
+            policy,
+            start,
+            attempts: 0,
+        }
+    }
+
+    /// The sleep to take before the next dial, or `None` when the
+    /// sequence is out of attempts or out of wall-clock budget. The
+    /// first attempt dials immediately (zero sleep) but is still
+    /// refused on a spent budget; later sleeps are the policy's backoff
+    /// delay clamped to the remaining budget.
+    pub fn next_sleep(&mut self, now: Instant) -> Option<Duration> {
+        if self.attempts > self.policy.max_retries {
+            return None;
+        }
+        let nominal = if self.attempts == 0 {
+            Duration::ZERO
+        } else {
+            self.policy.delay(self.attempts - 1)
+        };
+        self.attempts += 1;
+        match self.policy.remaining(self.start, now) {
+            None => Some(nominal),
+            Some(rem) if rem.is_zero() => None,
+            Some(rem) => Some(nominal.min(rem)),
+        }
+    }
 }
 
 /// Transport failed `max_retries + 1` times in a row.
@@ -201,17 +265,17 @@ impl ReconnectingClient {
         self.last_snapshot.as_deref()
     }
 
-    fn connect(&mut self) -> Result<&mut Client, ClientError> {
+    /// Dial with backoff. `seq_start` anchors the total-deadline budget
+    /// and is the *request's* start, not this call's: a reconnect inside
+    /// a half-spent request may spend only what the request has left.
+    fn connect(&mut self, seq_start: Instant) -> Result<&mut Client, ClientError> {
         if self.conn.is_none() {
-            let start = Instant::now();
+            let policy = self.policy.clone();
+            let mut seq = RetrySequence::begin_at(&policy, seq_start);
             let mut last: Option<ClientError> = None;
-            for attempt in 0..=self.policy.max_retries {
-                if attempt > 0 {
-                    let delay = self.policy.delay(attempt - 1);
-                    if self.policy.out_of_time(start, delay) {
-                        break;
-                    }
-                    std::thread::sleep(delay);
+            while let Some(sleep) = seq.next_sleep(Instant::now()) {
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
                 }
                 match Client::connect(&self.addr) {
                     Ok(c) => {
@@ -226,7 +290,12 @@ impl ReconnectingClient {
                 }
             }
             if self.conn.is_none() {
-                return Err(last.unwrap());
+                return Err(last.unwrap_or_else(|| {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "retry budget exhausted before any connect attempt",
+                    ))
+                }));
             }
         }
         Ok(self.conn.as_mut().unwrap())
@@ -254,7 +323,7 @@ impl ReconnectingClient {
         let mut redirects = 0u32;
         loop {
             let spec = self.spec.clone();
-            let c = self.connect()?;
+            let c = self.connect(start)?;
             match op(c, &spec) {
                 Ok(reply) => {
                     if let Some(addr) = reply.redirect_addr() {
@@ -278,7 +347,7 @@ impl ReconnectingClient {
                                 )),
                             ));
                         }
-                        self.resurrect()?;
+                        self.resurrect(start)?;
                         continue;
                     }
                     return Ok(reply);
@@ -300,10 +369,10 @@ impl ReconnectingClient {
     /// Recreate the session from its spec and restore the last snapshot
     /// (if one was ever taken). Called when the server reports
     /// `UnknownSession` — the server restarted or evicted us.
-    fn resurrect(&mut self) -> Result<(), ClientError> {
+    fn resurrect(&mut self, seq_start: Instant) -> Result<(), ClientError> {
         let spec = self.spec.clone();
         let snap = self.last_snapshot.clone();
-        let c = self.connect()?;
+        let c = self.connect(seq_start)?;
         let resp = c.request(&Request::CreateSession {
             name: spec.name.clone(),
             engine: spec.engine,
@@ -443,6 +512,85 @@ impl ReplyLike for Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::{Clock, VirtualClock};
+
+    #[test]
+    fn retry_budget_clamps_to_the_deadline_and_never_goes_negative() {
+        // VirtualClock drives the whole sequence: every assertion below
+        // is exact, no real sleeping, no racing the host scheduler.
+        let clock = VirtualClock::new();
+        let p = BackoffPolicy {
+            base: Duration::from_millis(100),
+            max: Duration::from_secs(2),
+            max_retries: 10,
+            total_deadline: Some(Duration::from_millis(250)),
+            seed: 7,
+        };
+        let start = clock.now();
+        let mut seq = RetrySequence::begin_at(&p, start);
+
+        // Attempt 0 dials immediately.
+        assert_eq!(seq.next_sleep(clock.now()), Some(Duration::ZERO));
+        clock.advance(Duration::from_millis(20)); // the dial itself
+
+        // Attempt 1's nominal delay fits the budget: taken in full.
+        let s1 = seq.next_sleep(clock.now()).expect("budget left");
+        assert_eq!(s1, p.delay(0));
+        clock.sleep(s1);
+
+        // Attempt 2's nominal delay (~200 ms + jitter) overruns what is
+        // left. The old loop would have slept it whole — the remaining
+        // budget went negative and the overrun surfaced as one extra
+        // full-length delay. Now the sleep clamps to exactly the
+        // remainder.
+        let rem = p.remaining(start, clock.now()).expect("bounded policy");
+        assert!(!rem.is_zero() && rem < p.delay(1), "mid-budget: {rem:?}");
+        let s2 = seq.next_sleep(clock.now()).expect("clamped attempt");
+        assert_eq!(s2, rem, "sleep is the leftover budget, not the delay");
+        clock.sleep(s2);
+
+        // The budget is now exactly zero — saturated, not negative —
+        // and the sequence refuses further attempts.
+        assert_eq!(p.remaining(start, clock.now()), Some(Duration::ZERO));
+        assert_eq!(seq.next_sleep(clock.now()), None);
+    }
+
+    #[test]
+    fn reconnect_mid_request_sees_only_the_leftover_budget() {
+        let clock = VirtualClock::new();
+        let p = BackoffPolicy {
+            total_deadline: Some(Duration::from_millis(100)),
+            ..BackoffPolicy::default()
+        };
+        // The request has already burnt its whole budget by the time
+        // the transport dies; the reconnect sequence threads the
+        // request's start, so even the free first dial is refused.
+        let start = clock.now();
+        clock.advance(Duration::from_millis(100));
+        let mut seq = RetrySequence::begin_at(&p, start);
+        assert_eq!(seq.next_sleep(clock.now()), None, "attempt 0 pre-check");
+
+        // Unbounded policies never clamp and never refuse on time.
+        let unbounded = BackoffPolicy::default();
+        let mut seq = RetrySequence::begin_at(&unbounded, start);
+        assert_eq!(seq.next_sleep(clock.now()), Some(Duration::ZERO));
+        assert_eq!(seq.next_sleep(clock.now()), Some(unbounded.delay(0)));
+    }
+
+    #[test]
+    fn retry_sequence_honors_the_attempt_cap() {
+        let clock = VirtualClock::new();
+        let p = BackoffPolicy {
+            max_retries: 2,
+            ..BackoffPolicy::default()
+        };
+        let mut seq = RetrySequence::begin_at(&p, clock.now());
+        // max_retries = 2 → one initial dial + two retries, then done.
+        for _ in 0..3 {
+            assert!(seq.next_sleep(clock.now()).is_some());
+        }
+        assert_eq!(seq.next_sleep(clock.now()), None);
+    }
 
     #[test]
     fn backoff_grows_caps_and_jitters_deterministically() {

@@ -90,6 +90,12 @@ pub struct TickScheduler {
     /// Deadline of the next tick; `None` until the first paced tick
     /// (and after [`Self::reset`], so idle waits are not counted late).
     next: Option<Instant>,
+    /// Deadline handed out by [`Self::next_ready_at`] that a deadline
+    /// wheel is sleeping toward. A wake at-or-after an armed deadline is
+    /// an on-time tick (its start offset is wakeup jitter, not a blown
+    /// slot) — mirroring how the blocking [`Self::pace`] path absorbs
+    /// `sleep` overshoot into the *next* slot instead of booking it.
+    armed: Option<Instant>,
     missed: u64,
     clock: Box<dyn Clock>,
 }
@@ -105,6 +111,7 @@ impl TickScheduler {
             pace,
             period: period.max(Duration::from_micros(1)),
             next: None,
+            armed: None,
             missed: 0,
             clock,
         }
@@ -127,6 +134,114 @@ impl TickScheduler {
     /// requested) so the pause is not booked as missed deadlines.
     pub fn reset(&mut self) {
         self.next = None;
+        self.armed = None;
+    }
+
+    /// Non-blocking half of the executor pacing protocol: when may the
+    /// next tick start? Returns `now` when it may run immediately (max
+    /// speed, an unanchored grid, or a deadline already behind us) and
+    /// the grid edge otherwise, *arming* that edge so the wake-up's
+    /// start offset is classified as wheel jitter rather than an
+    /// overrun (see [`Self::begin_tick`]).
+    pub fn next_ready_at(&mut self, now: Instant) -> Instant {
+        if self.pace == Pace::MaxSpeed {
+            return now;
+        }
+        match self.next {
+            None => now,
+            Some(deadline) if deadline <= now => now,
+            Some(deadline) => {
+                self.armed = Some(deadline);
+                deadline
+            }
+        }
+    }
+
+    /// Non-blocking half of the executor pacing protocol: book the tick
+    /// that is about to run at `now`. The miss accounting is the same
+    /// fixed-grid arithmetic as [`Self::pace`]: whole-period overruns
+    /// are dropped sync edges, and the grid never slips to `now`. The
+    /// one refinement is the armed-wake case — a deadline wheel that
+    /// slept toward the edge and woke `ε` late starts the tick with
+    /// `lateness = ε` but books a miss only for *whole periods* of
+    /// oversleep, exactly as the blocking path absorbs `sleep`
+    /// overshoot into the next slot.
+    pub fn begin_tick(&mut self, now: Instant) -> PaceOutcome {
+        if self.pace == Pace::MaxSpeed {
+            return PaceOutcome::default();
+        }
+        match self.next {
+            None => {
+                // First tick of a burst runs immediately and anchors
+                // the deadline grid.
+                self.next = Some(now + self.period);
+                PaceOutcome::default()
+            }
+            Some(deadline) => {
+                let armed_here = self.armed == Some(deadline);
+                self.armed = None;
+                if now <= deadline {
+                    // Woken at (or slightly before, via a coalesced
+                    // wheel slot) the edge: on time.
+                    self.next = Some(deadline + self.period);
+                    PaceOutcome::default()
+                } else {
+                    let behind = now - deadline;
+                    // Either way the grid skips to its first edge
+                    // strictly after `now` — never to `now + period`.
+                    let whole = (behind.as_nanos() / self.period.as_nanos()) as u64;
+                    // Armed wake: this edge's tick *is running now*,
+                    // just late — only fully elapsed periods beyond it
+                    // are dropped edges. Unarmed (back-to-back work
+                    // overran the slot): the edge itself was blown,
+                    // matching `pace`.
+                    let skipped = if armed_here { whole } else { whole + 1 };
+                    self.missed += skipped;
+                    self.next = Some(deadline + self.period * (whole + 1) as u32);
+                    PaceOutcome {
+                        waited: Duration::ZERO,
+                        lateness: behind,
+                        missed_now: skipped,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Migration hand-off, source side: freeze the cadence and return
+    /// the phase offset to the next *unbooked* grid edge. Any in-flight
+    /// overrun is booked here, once — the target resumes the grid via
+    /// [`Self::import_phase`] without re-anchoring, so the in-flight
+    /// slot is never booked a second time (and a later abort-resume on
+    /// the source, which `reset`s, cannot book it again either).
+    /// `None` for max-speed or a never-anchored grid.
+    pub fn export_phase(&mut self, now: Instant) -> Option<Duration> {
+        if self.pace == Pace::MaxSpeed {
+            return None;
+        }
+        let deadline = self.next?;
+        self.armed = None;
+        if now <= deadline {
+            Some(deadline - now)
+        } else {
+            let behind = now - deadline;
+            let skipped = 1 + (behind.as_nanos() / self.period.as_nanos()) as u64;
+            self.missed += skipped;
+            let next = deadline + self.period * skipped as u32;
+            self.next = Some(next);
+            Some(next - now)
+        }
+    }
+
+    /// Migration hand-off, target side: resume the source's grid at
+    /// `now + phase` instead of re-anchoring at the first tick. See
+    /// [`Self::export_phase`].
+    pub fn import_phase(&mut self, now: Instant, phase: Duration) {
+        if self.pace == Pace::MaxSpeed {
+            return;
+        }
+        self.next = Some(now + phase.min(self.period));
+        self.armed = None;
     }
 
     /// Block until the next tick may run.
@@ -256,6 +371,127 @@ mod tests {
             "drift of 1.25 periods/tick booked only {} misses",
             s.missed_deadlines()
         );
+    }
+
+    #[test]
+    fn wheel_pacing_matches_the_blocking_path() {
+        // The executor protocol: next_ready_at → (wheel sleeps) →
+        // begin_tick. On a punctual host it books exactly what pace()
+        // books: zero misses, a full-period cadence.
+        let period = Duration::from_millis(2);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        let t0 = clock.now();
+        assert_eq!(s.next_ready_at(clock.now()), t0, "first tick immediate");
+        assert_eq!(s.begin_tick(clock.now()), PaceOutcome::default());
+        for k in 1..=4u32 {
+            let due = s.next_ready_at(clock.now());
+            assert_eq!(due, t0 + period * k, "grid edge {k}");
+            clock.sleep(due - clock.now()); // the wheel's recv_timeout
+            let out = s.begin_tick(clock.now());
+            assert_eq!(out.missed_now, 0);
+            assert_eq!(out.lateness, Duration::ZERO);
+        }
+        assert_eq!(s.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn armed_wakeup_jitter_is_not_a_miss_but_whole_periods_are() {
+        let period = Duration::from_millis(1);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        s.begin_tick(clock.now()); // anchor
+        let due = s.next_ready_at(clock.now());
+        // The wheel oversleeps by a quarter period: jitter, not a miss
+        // (the blocking path likewise absorbs sleep overshoot).
+        clock.sleep(due - clock.now() + period / 4);
+        let out = s.begin_tick(clock.now());
+        assert_eq!(out.lateness, period / 4);
+        assert_eq!(out.missed_now, 0);
+        // A shard stalled past whole grid edges *does* book them.
+        let due = s.next_ready_at(clock.now());
+        clock.sleep(due - clock.now() + period * 2 + period / 2);
+        let out = s.begin_tick(clock.now());
+        assert_eq!(out.missed_now, 2, "two whole edges dropped");
+        assert_eq!(s.missed_deadlines(), 2);
+        // The grid did not slip: the next edge is on the original grid.
+        let due = s.next_ready_at(clock.now());
+        clock.sleep(due - clock.now());
+        assert_eq!(s.begin_tick(clock.now()).missed_now, 0);
+        assert_eq!(s.missed_deadlines(), 2);
+    }
+
+    #[test]
+    fn unarmed_overrun_still_books_the_blown_edge() {
+        // Back-to-back ticks whose work overran the slot: no arming
+        // happened, so the edge itself was blown — same math as pace().
+        let period = Duration::from_millis(1);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, period);
+        s.begin_tick(clock.now()); // anchor
+        clock.advance(period * 5 + period / 2); // slow tick, no arm
+        assert_eq!(s.next_ready_at(clock.now()), clock.now(), "already due");
+        let out = s.begin_tick(clock.now());
+        assert_eq!(out.missed_now, 5, "4 whole overruns + the blown edge");
+        assert_eq!(s.missed_deadlines(), 5);
+    }
+
+    #[test]
+    fn migration_phase_is_booked_exactly_once_on_commit() {
+        // Source runs on-cadence, quiesces mid-slot, target imports the
+        // phase: the in-flight slot is booked by exactly one side (here:
+        // neither, because nothing overran), and the target's first tick
+        // lands on the source's grid edge — not an immediate re-anchor.
+        let period = Duration::from_millis(2);
+        let (mut src, clock) = virtual_scheduler(Pace::RealTime, period);
+        src.begin_tick(clock.now()); // anchor; next edge = t0 + p
+        clock.advance(period / 4); // quiesce mid-slot
+        let phase = src.export_phase(clock.now()).expect("anchored grid");
+        assert_eq!(phase, period * 3 / 4);
+        assert_eq!(src.missed_deadlines(), 0, "no overrun: source books none");
+
+        let mut dst = TickScheduler::with_clock(Pace::RealTime, period, Box::new(clock.clone()));
+        dst.import_phase(clock.now(), phase);
+        let due = dst.next_ready_at(clock.now());
+        assert_eq!(due - clock.now(), phase, "target resumes the grid");
+        clock.sleep(phase);
+        let out = dst.begin_tick(clock.now());
+        assert_eq!(out.missed_now, 0, "in-flight slot not re-booked on target");
+        assert_eq!(dst.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn overrun_at_quiesce_is_booked_on_the_source_only() {
+        // The session was already behind when the migrator quiesced it
+        // mid-slot. The overrun books once, on the source, at export
+        // time; the exported phase points at the next *unbooked* edge,
+        // so the target books nothing for it — and an abort-resume
+        // (thaw → reset) cannot book it a second time either.
+        let period = Duration::from_millis(1);
+        let (mut src, clock) = virtual_scheduler(Pace::RealTime, period);
+        src.begin_tick(clock.now()); // anchor; next edge = t0 + p
+        clock.advance(period * 2 + period / 2); // 1.5 edges overrun
+        let phase = src.export_phase(clock.now()).expect("anchored grid");
+        assert_eq!(src.missed_deadlines(), 2, "in-flight overrun books once");
+        assert_eq!(phase, period / 2, "phase points at the next unbooked edge");
+
+        // Commit path: the target resumes at that edge, books nothing.
+        let mut dst = TickScheduler::with_clock(Pace::RealTime, period, Box::new(clock.clone()));
+        dst.import_phase(clock.now(), phase);
+        clock.sleep(phase);
+        assert_eq!(dst.begin_tick(clock.now()).missed_now, 0);
+
+        // Abort path: the source thaws (reset) and re-anchors — the
+        // frozen interval is forgiven, the booked misses stay booked
+        // exactly once.
+        src.reset();
+        assert_eq!(src.begin_tick(clock.now()), PaceOutcome::default());
+        assert_eq!(src.missed_deadlines(), 2, "no double booking after abort");
+    }
+
+    #[test]
+    fn export_phase_is_none_for_max_speed_and_unanchored_grids() {
+        let (mut s, clock) = virtual_scheduler(Pace::MaxSpeed, Duration::from_millis(1));
+        assert_eq!(s.export_phase(clock.now()), None);
+        let (mut s, clock) = virtual_scheduler(Pace::RealTime, Duration::from_millis(1));
+        assert_eq!(s.export_phase(clock.now()), None, "never ticked: no grid");
     }
 
     #[test]

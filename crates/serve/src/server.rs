@@ -1,37 +1,45 @@
-//! The TCP server: acceptor, session registry, and connection threads.
+//! The TCP server: acceptor, poll-based connection I/O, session
+//! registry, and the sharded session executor.
 //!
-//! Thread model (all `std::thread`, no external runtime):
+//! Thread model (all `std::thread`, no external runtime) — O(shards),
+//! never O(sessions) or O(connections):
 //!
-//! - one **acceptor** thread polls a nonblocking listener and spawns a
-//!   pair of threads per connection;
-//! - each connection gets a **reader** thread (parses frames, dispatches
-//!   requests, answers in order) and a **writer** thread (drains a
-//!   channel of outbound frames, so subscribed tick updates never block
-//!   the reader or the session driver);
-//! - each session runs its own **driver** thread (see
-//!   [`crate::session`]).
+//! - one **acceptor/io** thread owns the nonblocking listener and every
+//!   connection socket. Each pass it accepts, reads whatever bytes are
+//!   available, parses at most one in-flight request per connection,
+//!   drains each connection's outbound queue (replies and subscribed
+//!   tick updates), and writes without blocking. A connection that
+//!   hangs up is dropped on the spot — its outbound queue dies with it,
+//!   so nothing is ever left blocked on a dead peer (the old
+//!   per-connection writer-thread leak is gone by construction);
+//! - a fixed pool of **executor shards** drives every session at tick
+//!   granularity on a shared deadline wheel (see [`crate::executor`]);
+//! - **control operations** (create/adopt/migrate/drain/list), which
+//!   may build networks or dial other servers, run on short-lived
+//!   offload threads that answer into the connection's pending-reply
+//!   slot, keeping the io thread responsive.
 //!
-//! Shutdown is cooperative: a shared flag flips, the acceptor stops, the
-//! readers notice on their next read timeout and hang up, and every
-//! session is sent `Close`. Injection never crosses a thread boundary
-//! twice — connection readers push straight into the session's bounded
-//! stream queue and report shed load as [`Response::Overloaded`].
+//! Shutdown is cooperative: a shared flag flips, the io loop flushes
+//! queued replies for up to a second (so the `Ok` answering a `Drain`
+//! still reaches its client), then the executor closes every session.
+//! Injection never crosses a thread boundary twice — the io thread
+//! pushes straight into the session's bounded stream queue and reports
+//! shed load as [`Response::Overloaded`].
 
 use crate::client::Client;
+use crate::executor::{ExecutorConfig, ShardExecutor};
 use crate::protocol::{
     ErrorCode, ModelSource, Pace, ProtocolError, Request, Response, SessionEntry, SessionStats,
     FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::resilient::BackoffPolicy;
-use crate::session::{
-    spawn_session_resumed, Cmd, MigrationTicket, Outbound, SessionConfig, SessionHandle,
-};
+use crate::session::{Cmd, MigrationTicket, Outbound, SessionConfig, SessionHandle};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 use tn_compass::{KernelSession, ParallelSim, ReferenceSim};
 use tn_core::wire::InputEvent;
@@ -55,13 +63,16 @@ pub struct ServerConfig {
     /// Per-session high-water mark on undrained output spikes; beyond it
     /// the oldest are evicted and counted.
     pub output_capacity: usize,
-    /// Hard cap on concurrently live sessions.
+    /// Hard cap on concurrently live sessions (admission control; the
+    /// executor multiplexes everything admitted onto its fixed shards).
     pub max_sessions: usize,
     /// Worker threads for [`crate::protocol::Engine::Parallel`] sessions.
     pub parallel_threads: usize,
     /// Default shard count for [`Request::CreateShardedSession`] requests
     /// that ask for the server default (`shards == 0`).
     pub shards: usize,
+    /// Session-executor driver shards. 0 means auto: `min(cores, 8)`.
+    pub exec_shards: usize,
     /// Path to the `tn-shard-worker` binary; when set, sharded sessions
     /// place each shard in its own OS process, otherwise shards run as
     /// in-process workers (still exchanging spikes over loopback TCP).
@@ -90,6 +101,7 @@ impl Default for ServerConfig {
             max_sessions: 32,
             parallel_threads: 2,
             shards: 2,
+            exec_shards: 0,
             shard_worker_bin: None,
             migration_timeout: Duration::from_secs(10),
             migration_hold: Duration::from_secs(60),
@@ -124,13 +136,13 @@ struct RegistryState {
 
 /// Named live sessions. Closed/evicted entries are reaped lazily on
 /// every lookup and create.
-struct Registry {
+pub(crate) struct Registry {
     state: Mutex<RegistryState>,
     max_sessions: usize,
 }
 
 impl Registry {
-    fn new(max_sessions: usize) -> Self {
+    pub(crate) fn new(max_sessions: usize) -> Self {
         Registry {
             state: Mutex::new(RegistryState {
                 sessions: HashMap::new(),
@@ -141,7 +153,7 @@ impl Registry {
         }
     }
 
-    fn get(&self, name: &str) -> Option<SessionHandle> {
+    pub(crate) fn get(&self, name: &str) -> Option<SessionHandle> {
         let mut st = self.state.lock().unwrap();
         st.sessions.retain(|_, e| !e.handle.is_closed());
         st.sessions.get(name).map(|e| e.handle.clone())
@@ -166,7 +178,7 @@ impl Registry {
             .map(|(_, addr)| addr.clone())
     }
 
-    fn insert(&self, handle: SessionHandle, spec: Arc<Vec<u8>>) -> Result<(), Response> {
+    pub(crate) fn insert(&self, handle: SessionHandle, spec: Arc<Vec<u8>>) -> Result<(), Response> {
         let mut st = self.state.lock().unwrap();
         if st.draining {
             return Err(Response::Error {
@@ -218,7 +230,7 @@ impl Registry {
 
     /// Live sessions, reaped and sorted by name (stable control-plane
     /// output).
-    fn list(&self) -> Vec<(String, SessionHandle)> {
+    pub(crate) fn list(&self) -> Vec<(String, SessionHandle)> {
         let mut st = self.state.lock().unwrap();
         st.sessions.retain(|_, e| !e.handle.is_closed());
         let mut out: Vec<_> = st
@@ -231,7 +243,7 @@ impl Registry {
     }
 
     /// Flip the drain flag; returns whether this call flipped it.
-    fn set_draining(&self) -> bool {
+    pub(crate) fn set_draining(&self) -> bool {
         let mut st = self.state.lock().unwrap();
         let first = !st.draining;
         st.draining = true;
@@ -242,7 +254,7 @@ impl Registry {
         self.state.lock().unwrap().draining
     }
 
-    fn count(&self) -> usize {
+    pub(crate) fn count(&self) -> usize {
         let mut st = self.state.lock().unwrap();
         st.sessions.retain(|_, e| !e.handle.is_closed());
         st.sessions.len()
@@ -308,13 +320,9 @@ impl OpsMetrics {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    cfg: ServerConfig,
-    registry: Arc<Registry>,
+    ctx: Arc<ServerCtx>,
     shutdown: Arc<AtomicBool>,
-    ops: Arc<OpsMetrics>,
-    /// This server's reachable address (post-bind, so a `:0` listen
-    /// port is resolved) — what redirects and status replies advertise.
-    advertised: String,
+    registry: Arc<Registry>,
 }
 
 /// Controls a server started with [`Server::spawn`].
@@ -331,16 +339,28 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let advertised = listener.local_addr()?.to_string();
+        let registry = Arc::new(Registry::new(cfg.max_sessions));
+        // sync: store(Release) in shutdown()/Drop pairs with
+        // load(Acquire) in the io loop, ordering all pre-shutdown
+        // writes before teardown.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let executor = Arc::new(ShardExecutor::new(ExecutorConfig {
+            shards: cfg.exec_shards,
+            transient: false,
+        }));
+        let ctx = Arc::new(ServerCtx {
+            cfg,
+            registry: Arc::clone(&registry),
+            shutdown: Arc::clone(&shutdown),
+            ops: OpsMetrics::new(),
+            executor,
+            advertised,
+        });
         Ok(Server {
             listener,
-            registry: Arc::new(Registry::new(cfg.max_sessions)),
-            // sync: store(Release) in shutdown()/Drop pairs with
-            // load(Acquire) in the acceptor loop and every FrameReader,
-            // ordering all pre-shutdown writes before the readers exit.
-            shutdown: Arc::new(AtomicBool::new(false)),
-            ops: Arc::new(OpsMetrics::new()),
-            advertised,
-            cfg,
+            ctx,
+            shutdown,
+            registry,
         })
     }
 
@@ -348,7 +368,7 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Bind and run the accept loop on a background thread; returns a
+    /// Bind and run the io loop on a background thread; returns a
     /// handle for shutdown. This is the embedding/test entry point.
     pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         let server = Server::bind(cfg)?;
@@ -367,44 +387,59 @@ impl Server {
         })
     }
 
-    /// Accept connections until shutdown. Blocks the calling thread;
-    /// this is the CLI entry point.
+    /// Accept and serve connections until shutdown. Blocks the calling
+    /// thread; this is the CLI entry point. One thread multiplexes the
+    /// listener and every connection socket.
     pub fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let conn = Connection {
-                        cfg: self.cfg.clone(),
-                        registry: Arc::clone(&self.registry),
-                        shutdown: Arc::clone(&self.shutdown),
-                        ops: Arc::clone(&self.ops),
-                        advertised: self.advertised.clone(),
-                    };
-                    // sync: deliberately detached — a connection thread
-                    // exits when its peer hangs up or the shutdown flag
-                    // flips (FrameReader checks it between reads), and
-                    // it joins its own writer before returning.
-                    let _ = std::thread::Builder::new()
-                        .name("tn-serve-conn".to_string())
-                        .spawn(move || conn.serve(stream));
+            let mut progress = false;
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Ok(conn) = Conn::new(stream) {
+                            conns.push(conn);
+                            progress = true;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+            for conn in conns.iter_mut() {
+                progress |= conn.pass(&self.ctx);
+            }
+            conns.retain(|c| !c.dead);
+            if !progress {
+                // Nothing moved: idle briefly instead of spinning.
+                std::thread::sleep(Duration::from_micros(200));
             }
         }
-        // Close every session so driver threads exit promptly. After a
-        // completed drain this is empty and the loop is a no-op.
-        for handle in self.registry.take_all() {
-            let (tx, rx) = mpsc::channel();
-            if handle.send(Cmd::Close { reply: tx }).is_ok() {
-                let _ = rx.recv_timeout(Duration::from_secs(1));
+        // Grace: flush queued replies — in particular the final Ok to
+        // the client whose Drain initiated this shutdown.
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while Instant::now() < deadline {
+            let mut outstanding = false;
+            for conn in conns.iter_mut() {
+                conn.resolve_pending(&self.ctx);
+                conn.drain_outbound();
+                conn.flush();
+                outstanding |= !conn.dead && (conn.pending.is_some() || !conn.write_idle());
             }
+            conns.retain(|c| !c.dead);
+            if !outstanding {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
+        drop(conns);
+        // Close every session: abandons waiters and joins the shards.
+        // After a completed drain this is a no-op on an empty table.
+        self.ctx.executor.shutdown();
+        let _ = self.registry.take_all();
     }
 }
 
@@ -413,7 +448,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signal shutdown and wait for the acceptor (and thus session
+    /// Signal shutdown and wait for the io loop (and thus session
     /// teardown) to finish.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
@@ -427,7 +462,7 @@ impl ServerHandle {
         self.registry.count()
     }
 
-    /// Whether the acceptor has exited on its own — true once a drain
+    /// Whether the io loop has exited on its own — true once a drain
     /// has emptied the server (the CLI then exits 0).
     pub fn is_finished(&self) -> bool {
         self.acceptor.as_ref().is_none_or(|a| a.is_finished())
@@ -443,91 +478,61 @@ impl Drop for ServerHandle {
     }
 }
 
-/// How one read attempt ended.
-enum ReadOutcome {
-    Frame(u8, Vec<u8>),
-    /// A malformed header whose frame boundary is still known: the
-    /// payload was skipped, answer and carry on.
-    Recoverable(ProtocolError),
-    /// Peer hung up or the stream broke or shutdown was signalled.
-    Hangup,
-    /// Malformed beyond resynchronization: answer and close.
-    Fatal(ProtocolError),
-}
-
-struct Connection {
+/// Everything a request needs to be served: shared by the io loop and
+/// the control-plane offload threads.
+struct ServerCtx {
     cfg: ServerConfig,
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
-    ops: Arc<OpsMetrics>,
+    ops: OpsMetrics,
+    executor: Arc<ShardExecutor>,
+    /// This server's reachable address (post-bind, so a `:0` listen
+    /// port is resolved) — what redirects and status replies advertise.
     advertised: String,
 }
 
-impl Connection {
-    fn serve(&self, stream: TcpStream) {
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-        let write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        let (out_tx, out_rx) = mpsc::channel::<Outbound>();
-        let writer = std::thread::Builder::new()
-            .name("tn-serve-writer".to_string())
-            .spawn(move || writer_loop(write_half, out_rx))
-            .expect("spawn writer");
+/// How a dispatched request answers: immediately, or later through a
+/// pending-reply slot the io loop polls.
+enum Dispatch {
+    Now(Response),
+    Wait(Pending),
+}
 
-        let mut reader = FrameReader::new(stream, Arc::clone(&self.shutdown));
-        loop {
-            match reader.next_frame() {
-                ReadOutcome::Frame(opcode, payload) => {
-                    let resp = match Request::decode(opcode, &payload) {
-                        Ok(req) => self.dispatch(req, &out_tx),
-                        Err(e) => Response::Error {
-                            code: ErrorCode::Protocol,
-                            message: e.message,
-                        },
-                    };
-                    if out_tx.send(Outbound::Frame(resp.encode())).is_err() {
-                        break;
-                    }
-                }
-                ReadOutcome::Recoverable(e) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: e.message,
-                    };
-                    if out_tx.send(Outbound::Frame(resp.encode())).is_err() {
-                        break;
-                    }
-                }
-                ReadOutcome::Fatal(e) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: e.message,
-                    };
-                    let _ = out_tx.send(Outbound::Frame(resp.encode()));
-                    break;
-                }
-                ReadOutcome::Hangup => break,
-            }
-        }
-        let _ = out_tx.send(Outbound::Close);
-        let _ = writer.join();
-    }
+/// What to do with a pending reply when it lands.
+enum PendingKind {
+    Plain,
+    /// Append the server's control-plane and executor metrics to the
+    /// session's scrape.
+    Metrics,
+    /// Remove the named session from the registry (CloseSession).
+    Close(String),
+}
 
-    fn dispatch(&self, req: Request, out_tx: &Sender<Outbound>) -> Response {
+/// One outstanding request on a connection. At most one per connection:
+/// the io loop parses no further frames until it resolves, preserving
+/// request/reply ordering.
+struct Pending {
+    rx: Receiver<Response>,
+    kind: PendingKind,
+    /// Context for the hangup error if the replier disappears.
+    ctx: String,
+}
+
+impl ServerCtx {
+    /// Route one decoded request. Cheap requests answer inline; session
+    /// commands and control operations answer through a pending slot.
+    fn dispatch(self: &Arc<Self>, req: Request, out_tx: &Sender<Outbound>) -> Dispatch {
         match req {
-            Request::Ping => Response::Pong,
+            Request::Ping => Dispatch::Now(Response::Pong),
             create @ (Request::CreateSession { .. } | Request::CreateShardedSession { .. }) => {
-                self.create_from(create)
+                self.offload("create", move |ctx| ctx.create_from(create))
             }
             Request::InjectSpikes { session, events } => {
                 let handle = match self.lookup(&session) {
                     Ok(h) => h,
-                    Err(resp) => return resp,
+                    Err(resp) => return Dispatch::Now(resp),
                 };
-                match handle.injector().offer(&events) {
+                Dispatch::Now(match handle.injector().offer(&events) {
                     Ok(outcome) if outcome.dropped > 0 => Response::Overloaded {
                         accepted: outcome.accepted,
                         dropped: outcome.dropped,
@@ -540,54 +545,101 @@ impl Connection {
                         code: ErrorCode::InvalidInjection,
                         message: e.to_string(),
                     },
-                }
+                })
             }
-            Request::Subscribe { session } => self.session_cmd(&session, |reply| Cmd::Subscribe {
-                sink: out_tx.clone(),
-                reply,
-            }),
+            Request::Subscribe { session } => {
+                let sink = out_tx.clone();
+                self.session_cmd(&session, PendingKind::Plain, move |reply| Cmd::Subscribe {
+                    sink,
+                    reply,
+                })
+            }
             Request::RunFor { session, ticks } => {
-                self.session_cmd(&session, |reply| Cmd::RunFor { ticks, reply })
+                self.session_cmd(&session, PendingKind::Plain, move |reply| Cmd::RunFor {
+                    ticks,
+                    reply,
+                })
             }
             Request::Snapshot { session } => {
-                self.session_cmd(&session, |reply| Cmd::Snapshot { reply })
+                self.session_cmd(&session, PendingKind::Plain, |reply| Cmd::Snapshot {
+                    reply,
+                })
             }
             Request::Restore { session, bytes } => {
-                self.session_cmd(&session, |reply| Cmd::Restore { bytes, reply })
+                self.session_cmd(&session, PendingKind::Plain, move |reply| Cmd::Restore {
+                    bytes,
+                    reply,
+                })
             }
-            Request::Stats { session } => self.session_cmd(&session, |reply| Cmd::Stats { reply }),
+            Request::Stats { session } => {
+                self.session_cmd(&session, PendingKind::Plain, |reply| Cmd::Stats { reply })
+            }
             Request::GetMetrics { session } => {
-                // The session's own scrape plus the server's control-
-                // plane series (migrations, drains, phase timings).
-                match self.session_cmd(&session, |reply| Cmd::GetMetrics { reply }) {
-                    Response::MetricsData { mut text } => {
-                        text.push_str(&self.ops.registry.render_text());
-                        Response::MetricsData { text }
-                    }
-                    other => other,
-                }
+                // The session's own scrape; the io loop appends the
+                // server's control-plane and shard-executor series when
+                // the reply lands (PendingKind::Metrics).
+                self.session_cmd(&session, PendingKind::Metrics, |reply| Cmd::GetMetrics {
+                    reply,
+                })
             }
             Request::CloseSession { session } => {
-                let resp = self.session_cmd(&session, |reply| Cmd::Close { reply });
-                self.registry.remove(&session);
-                resp
+                let kind = PendingKind::Close(session.clone());
+                match self.session_cmd(&session, kind, |reply| Cmd::Close { reply }) {
+                    now @ Dispatch::Now(_) => {
+                        // Lookup failed or the driver is already gone —
+                        // mirror the eager removal the reply path does.
+                        self.registry.remove(&session);
+                        now
+                    }
+                    wait => wait,
+                }
             }
-            Request::ListSessions => self.list_sessions(),
-            Request::ServerStatus => Response::ServerStatusData {
+            Request::ListSessions => self.offload("list", |ctx| ctx.list_sessions()),
+            Request::ServerStatus => Dispatch::Now(Response::ServerStatusData {
                 addr: self.advertised.clone(),
                 draining: self.registry.is_draining(),
                 sessions: self.registry.count() as u32,
                 max_sessions: self.registry.max_sessions as u32,
-            },
-            Request::MigrateSession { session, target } => self.migrate(&session, &target),
-            Request::Drain { target } => self.drain_to(&target),
+            }),
+            Request::MigrateSession { session, target } => {
+                self.offload("migrate", move |ctx| ctx.migrate(&session, &target))
+            }
+            Request::Drain { target } => self.offload("drain", move |ctx| ctx.drain_to(&target)),
             Request::AdoptSession {
                 create,
                 snapshot,
                 baseline,
                 pending,
-            } => self.adopt_session(*create, snapshot, baseline, pending),
+                grid_phase,
+            } => self.offload("adopt", move |ctx| {
+                ctx.adopt_session(*create, snapshot, baseline, pending, grid_phase)
+            }),
         }
+    }
+
+    /// Run a control operation on a short-lived thread, answering into
+    /// a pending slot so the io loop stays responsive while networks
+    /// build or remote servers are dialed.
+    fn offload(
+        self: &Arc<Self>,
+        what: &str,
+        f: impl FnOnce(&ServerCtx) -> Response + Send + 'static,
+    ) -> Dispatch {
+        let (tx, rx) = mpsc::channel();
+        let ctx = Arc::clone(self);
+        // sync: deliberately detached — the operation is bounded by the
+        // migration/build timeouts and reports through `tx`; if it dies,
+        // the io loop sees the disconnect and answers Shutdown.
+        let _ = std::thread::Builder::new()
+            .name("tn-serve-ctl".to_string())
+            .spawn(move || {
+                let _ = tx.send(f(&ctx));
+            });
+        Dispatch::Wait(Pending {
+            rx,
+            kind: PendingKind::Plain,
+            ctx: what.to_string(),
+        })
     }
 
     /// Resolve a session name to its live handle. A name this server
@@ -609,26 +661,30 @@ impl Connection {
         })
     }
 
-    /// Round-trip a command to a session driver and relay its reply.
-    fn session_cmd(&self, session: &str, mk: impl FnOnce(Sender<Response>) -> Cmd) -> Response {
+    /// Queue a command for a session's shard; the reply arrives through
+    /// the connection's pending slot.
+    fn session_cmd(
+        &self,
+        session: &str,
+        kind: PendingKind,
+        mk: impl FnOnce(Sender<Response>) -> Cmd,
+    ) -> Dispatch {
         let handle = match self.lookup(session) {
             Ok(h) => h,
-            Err(resp) => return resp,
+            Err(resp) => return Dispatch::Now(resp),
         };
         let (tx, rx) = mpsc::channel();
         if handle.send(mk(tx)).is_err() {
-            return Response::Error {
+            return Dispatch::Now(Response::Error {
                 code: ErrorCode::UnknownSession,
                 message: format!("session '{session}' closed"),
-            };
+            });
         }
-        match rx.recv() {
-            Ok(resp) => resp,
-            Err(_) => Response::Error {
-                code: ErrorCode::Shutdown,
-                message: format!("session '{session}' went away mid-request"),
-            },
-        }
+        Dispatch::Wait(Pending {
+            rx,
+            kind,
+            ctx: session.to_string(),
+        })
     }
 
     /// Create a session from either create request, keeping its encoded
@@ -643,7 +699,7 @@ impl Connection {
                 source,
                 fault_plan,
             } => match self.build_plain(engine, source, &fault_plan) {
-                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[]),
+                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[], None),
                 Err(resp) => resp,
             },
             Request::CreateShardedSession {
@@ -653,7 +709,7 @@ impl Connection {
                 fault_plan,
                 shards,
             } => match self.build_sharded(source, &fault_plan, shards) {
-                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[]),
+                Ok(sim) => self.register(name, pace, sim, spec, SessionStats::default(), &[], None),
                 Err(resp) => resp,
             },
             _ => unreachable!("create_from called with a non-create request"),
@@ -740,7 +796,7 @@ impl Connection {
     }
 
     /// Control plane: every live session's name and point-in-time stats.
-    /// Each driver round-trip is deadline-bounded; a wedged session is
+    /// Each shard round-trip is deadline-bounded; a wedged session is
     /// skipped rather than hanging the whole listing.
     fn list_sessions(&self) -> Response {
         let mut entries = Vec::new();
@@ -762,8 +818,8 @@ impl Connection {
     /// idle eviction and concurrent migrations), **quiesce** (freeze at
     /// a tick boundary and take the ticket), **connect** (dial the
     /// target with backoff), **transfer** (one `AdoptSession` frame),
-    /// **commit** (retire the source driver, redirect its clients, wait
-    /// for it to exit). Any failure before the target replies `Created`
+    /// **commit** (retire the source task, redirect its clients, wait
+    /// for it to close). Any failure before the target replies `Created`
     /// aborts back to an untouched, still-ticking source; after that
     /// point the target owns the session and the source always retires.
     fn migrate(&self, name: &str, target: &str) -> Response {
@@ -802,7 +858,7 @@ impl Connection {
                 }
             }
             Err((phase, message)) => {
-                // Abort to source: thaw the driver and release the pin.
+                // Abort to source: thaw the task and release the pin.
                 // The session never stopped being servable — at worst it
                 // sat quiesced for one phase timeout.
                 let _ = handle.send(Cmd::Resume);
@@ -816,7 +872,7 @@ impl Connection {
         }
     }
 
-    /// The fallible phases of [`Connection::migrate`], returning the
+    /// The fallible phases of [`ServerCtx::migrate`], returning the
     /// failing phase name for telemetry. The caller owns the pin.
     fn try_migrate(
         &self,
@@ -825,6 +881,9 @@ impl Connection {
         target: &str,
     ) -> Result<(), (&'static str, String)> {
         // Quiesce: freeze at the next tick boundary, take the ticket.
+        // The source books any in-flight grid overrun here, once; the
+        // ticket's grid phase tells the target where the next unbooked
+        // deadline edge lies.
         let started = Instant::now();
         let (tx, rx) = mpsc::channel();
         handle
@@ -855,6 +914,7 @@ impl Connection {
             snapshot: ticket.snapshot,
             baseline: ticket.baseline,
             pending: ticket.pending,
+            grid_phase: ticket.grid_phase,
         };
         match client.request(&adopt) {
             Ok(Response::Created { .. }) => {}
@@ -869,7 +929,7 @@ impl Connection {
         // Commit: the target owns the session now — the one state this
         // protocol must never reach is the session ticking in two
         // places, so from here the source always retires; a sluggish
-        // driver only degrades the handshake to best-effort.
+        // shard only degrades the handshake to best-effort.
         let started = Instant::now();
         let (tx, rx) = mpsc::channel();
         if handle
@@ -922,7 +982,7 @@ impl Connection {
     }
 
     /// Control plane: stop admitting sessions, migrate every live one to
-    /// `target`, and — once empty — signal the acceptor so a CLI server
+    /// `target`, and — once empty — signal the io loop so a CLI server
     /// exits 0. Draining is sticky: a partial drain (some sessions
     /// failed to move) leaves the server refusing creates, still
     /// serving what remains, and the operator retries.
@@ -945,9 +1005,8 @@ impl Connection {
             }
         }
         if failures.is_empty() {
-            // sync: Release pairs with the acceptor loop's Acquire; the
-            // reply frame is already queued to this connection's writer,
-            // which drains before the reader's hangup closes it.
+            // sync: Release pairs with the io loop's Acquire; the loop's
+            // shutdown grace pass flushes this reply before teardown.
             self.shutdown.store(true, Ordering::Release);
             Response::Ok
         } else {
@@ -960,14 +1019,15 @@ impl Connection {
 
     /// Server → server: adopt a migrating session — rebuild the
     /// expression from its original create request, restore the quiesced
-    /// snapshot, and resume the driver with the source's counter
-    /// baselines and still-queued inputs.
+    /// snapshot, and resume the session with the source's counter
+    /// baselines, still-queued inputs, and real-time grid phase.
     fn adopt_session(
         &self,
         create: Request,
         snapshot: Vec<u8>,
         baseline: SessionStats,
         pending: Vec<InputEvent>,
+        grid_phase: Option<Duration>,
     ) -> Response {
         let spec = Arc::new(create.encode());
         let (name, pace, mut sim) = match create {
@@ -1020,7 +1080,7 @@ impl Connection {
             }
         };
         sim.restore(&snap);
-        self.register(name, pace, sim, spec, baseline, &pending)
+        self.register(name, pace, sim, spec, baseline, &pending, grid_phase)
     }
 
     /// Parse and lint a fault plan against this network's grid before
@@ -1050,9 +1110,10 @@ impl Connection {
         Ok(Some(plan))
     }
 
-    /// Wrap a configured expression in a session driver and register it.
-    /// `base`/`pending` are zero/empty for fresh sessions and carry the
-    /// source server's state for adopted ones.
+    /// Admit a configured expression to the shard executor and register
+    /// it. `base`/`pending`/`grid_phase` are zero/empty/None for fresh
+    /// sessions and carry the source server's state for adopted ones.
+    #[allow(clippy::too_many_arguments)]
     fn register(
         &self,
         name: String,
@@ -1061,6 +1122,7 @@ impl Connection {
         spec: Arc<Vec<u8>>,
         base: SessionStats,
         pending: &[InputEvent],
+        grid_phase: Option<Duration>,
     ) -> Response {
         let session_cfg = SessionConfig {
             pace: if self.cfg.max_speed {
@@ -1074,12 +1136,24 @@ impl Connection {
             output_capacity: self.cfg.output_capacity,
             ..SessionConfig::default()
         };
-        let handle = spawn_session_resumed(name.clone(), sim, session_cfg, base, pending);
+        let handle =
+            match self
+                .executor
+                .admit(name.clone(), sim, session_cfg, base, pending, grid_phase)
+            {
+                Ok(h) => h,
+                Err(_) => {
+                    return Response::Error {
+                        code: ErrorCode::Shutdown,
+                        message: "executor is shut down".to_string(),
+                    }
+                }
+            };
         match self.registry.insert(handle.clone(), spec) {
             Ok(()) => Response::Created { session: name },
             Err(resp) => {
                 // Lost the race (or over budget, or draining): tear the
-                // driver down.
+                // session down.
                 let (tx, _rx) = mpsc::channel();
                 let _ = handle.send(Cmd::Close { reply: tx });
                 resp
@@ -1105,90 +1179,293 @@ impl Connection {
     }
 }
 
-/// Incremental frame reader over a blocking socket with a short read
-/// timeout, so shutdown is noticed between partial reads.
-struct FrameReader {
+/// One step of incremental frame extraction from a connection's read
+/// buffer. Mirrors the old blocking reader's recovery semantics: any
+/// malformation whose frame boundary is still known is recoverable.
+enum FrameStep {
+    /// Not enough buffered bytes yet.
+    Need,
+    Frame(u8, Vec<u8>),
+    Recoverable(ProtocolError),
+    /// Malformed beyond resynchronization: answer and close.
+    Fatal(ProtocolError),
+}
+
+fn take_frame(rbuf: &mut Vec<u8>) -> FrameStep {
+    if rbuf.len() < FRAME_HEADER_BYTES {
+        return FrameStep::Need;
+    }
+    let hdr: [u8; FRAME_HEADER_BYTES] = rbuf[..FRAME_HEADER_BYTES].try_into().unwrap();
+    let h = tn_core::wire::framed::read_header(&hdr);
+    // Decode the length first: as long as it is sane, the frame
+    // boundary (payload + CRC trailer) is known and any other
+    // malformation is recoverable.
+    if h.len > MAX_FRAME_BYTES {
+        return FrameStep::Fatal(ProtocolError::new(format!(
+            "frame length {} exceeds the {MAX_FRAME_BYTES}-byte cap",
+            h.len
+        )));
+    }
+    let total = FRAME_HEADER_BYTES + h.len as usize + FRAME_TRAILER_BYTES;
+    if rbuf.len() < total {
+        return FrameStep::Need;
+    }
+    let body = rbuf[FRAME_HEADER_BYTES..total].to_vec();
+    rbuf.drain(..total);
+    if h.version != PROTOCOL_VERSION {
+        return FrameStep::Recoverable(ProtocolError::new(format!(
+            "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
+            h.version
+        )));
+    }
+    match tn_core::wire::framed::verify_body(&h, &body) {
+        Ok(payload) => FrameStep::Frame(h.opcode, payload.to_vec()),
+        Err(e) => FrameStep::Recoverable(e.into()),
+    }
+}
+
+/// One client connection, owned entirely by the io loop: a nonblocking
+/// socket, an incremental read buffer, a write buffer, the outbound
+/// queue subscribers stream into, and at most one pending request.
+struct Conn {
     stream: TcpStream,
-    shutdown: Arc<AtomicBool>,
+    rbuf: Vec<u8>,
+    /// Kept so subscriber sinks cloned from it stay connected even
+    /// while no subscription exists.
+    out_tx: Sender<Outbound>,
+    out_rx: Receiver<Outbound>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    pending: Option<Pending>,
+    /// Flush the write buffer, then drop the connection.
+    closing: bool,
+    dead: bool,
 }
 
-impl FrameReader {
-    fn new(stream: TcpStream, shutdown: Arc<AtomicBool>) -> Self {
-        FrameReader { stream, shutdown }
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let (out_tx, out_rx) = mpsc::channel();
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            out_tx,
+            out_rx,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: None,
+            closing: false,
+            dead: false,
+        })
     }
 
-    /// Read exactly `buf.len()` bytes, tolerating read timeouts.
-    /// Returns `false` on EOF/error/shutdown.
-    fn read_full(&mut self, buf: &mut [u8]) -> bool {
-        let mut at = 0;
-        while at < buf.len() {
-            if self.shutdown.load(Ordering::Acquire) {
-                return false;
-            }
-            match self.stream.read(&mut buf[at..]) {
-                Ok(0) => return false,
-                Ok(n) => at += n,
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock
-                        || e.kind() == ErrorKind::TimedOut
-                        || e.kind() == ErrorKind::Interrupted =>
-                {
-                    continue;
+    /// One full service pass; returns whether anything moved.
+    fn pass(&mut self, ctx: &Arc<ServerCtx>) -> bool {
+        let mut progress = false;
+        progress |= self.fill_rbuf();
+        progress |= self.parse_frames(ctx);
+        progress |= self.resolve_pending(ctx);
+        progress |= self.drain_outbound();
+        progress |= self.flush();
+        progress
+    }
+
+    fn push_frame(&mut self, frame: &[u8]) {
+        self.wbuf.extend_from_slice(frame);
+    }
+
+    fn write_idle(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    /// Nonblocking read into the frame buffer. EOF switches to closing
+    /// (flush what is queued, then drop) — the old reader also finished
+    /// its in-flight reply before hanging up.
+    fn fill_rbuf(&mut self) -> bool {
+        if self.closing || self.dead {
+            return false;
+        }
+        let mut progress = false;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.closing = true;
+                    break;
                 }
-                Err(_) => return false,
-            }
-        }
-        true
-    }
-
-    fn next_frame(&mut self) -> ReadOutcome {
-        let mut hdr = [0u8; FRAME_HEADER_BYTES];
-        if !self.read_full(&mut hdr) {
-            return ReadOutcome::Hangup;
-        }
-        // Decode the length first: as long as it is sane, the frame
-        // boundary (payload + CRC trailer) is known and any other
-        // malformation is recoverable.
-        let h = tn_core::wire::framed::read_header(&hdr);
-        if h.len > MAX_FRAME_BYTES {
-            return ReadOutcome::Fatal(ProtocolError::new(format!(
-                "frame length {} exceeds the {MAX_FRAME_BYTES}-byte cap",
-                h.len
-            )));
-        }
-        let mut body = vec![0u8; h.len as usize + FRAME_TRAILER_BYTES];
-        if !self.read_full(&mut body) {
-            return ReadOutcome::Hangup;
-        }
-        if h.version != PROTOCOL_VERSION {
-            return ReadOutcome::Recoverable(ProtocolError::new(format!(
-                "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
-                h.version
-            )));
-        }
-        match tn_core::wire::framed::verify_body(&h, &body) {
-            Ok(payload) => ReadOutcome::Frame(h.opcode, payload.to_vec()),
-            Err(e) => ReadOutcome::Recoverable(e.into()),
-        }
-    }
-}
-
-fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outbound>) {
-    while let Ok(out) = rx.recv() {
-        match out {
-            Outbound::Frame(frame) => {
-                if stream.write_all(&frame).is_err() {
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&buf[..n]);
+                    progress = true;
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
                     break;
                 }
             }
-            Outbound::Close => break,
         }
+        progress
     }
-    let _ = stream.flush();
+
+    /// Parse and dispatch buffered frames — at most one outstanding
+    /// request at a time, so replies keep request order.
+    fn parse_frames(&mut self, ctx: &Arc<ServerCtx>) -> bool {
+        let mut progress = false;
+        while self.pending.is_none() && !self.closing && !self.dead {
+            match take_frame(&mut self.rbuf) {
+                FrameStep::Need => break,
+                FrameStep::Frame(opcode, payload) => {
+                    progress = true;
+                    match Request::decode(opcode, &payload) {
+                        Ok(req) => match ctx.dispatch(req, &self.out_tx) {
+                            Dispatch::Now(resp) => self.push_frame(&resp.encode()),
+                            Dispatch::Wait(p) => self.pending = Some(p),
+                        },
+                        Err(e) => self.push_frame(
+                            &Response::Error {
+                                code: ErrorCode::Protocol,
+                                message: e.message,
+                            }
+                            .encode(),
+                        ),
+                    }
+                }
+                FrameStep::Recoverable(e) => {
+                    progress = true;
+                    self.push_frame(
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.message,
+                        }
+                        .encode(),
+                    );
+                }
+                FrameStep::Fatal(e) => {
+                    progress = true;
+                    self.push_frame(
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.message,
+                        }
+                        .encode(),
+                    );
+                    self.closing = true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Poll the pending request's reply channel.
+    fn resolve_pending(&mut self, ctx: &Arc<ServerCtx>) -> bool {
+        let Some(p) = &self.pending else {
+            return false;
+        };
+        let resp = match p.rx.try_recv() {
+            Ok(resp) => resp,
+            Err(TryRecvError::Empty) => return false,
+            Err(TryRecvError::Disconnected) => Response::Error {
+                code: ErrorCode::Shutdown,
+                message: format!("session '{}' went away mid-request", p.ctx),
+            },
+        };
+        let p = self.pending.take().unwrap();
+        // Stream-before-reply ordering: the shard thread pushes every
+        // subscribed tick update *before* it sends the reply, so once
+        // the reply is visible here, those updates are already queued.
+        // Drain them into the write buffer first — clients buffer
+        // updates that precede a reply and must see all ticks a RunFor
+        // produced before its Ok.
+        self.drain_outbound();
+        let resp = match p.kind {
+            PendingKind::Plain => resp,
+            PendingKind::Metrics => match resp {
+                Response::MetricsData { mut text } => {
+                    // Append the server's control-plane series and the
+                    // shard executor's per-shard series to the scrape.
+                    text.push_str(&ctx.ops.registry.render_text());
+                    text.push_str(&ctx.executor.registry().render_text());
+                    Response::MetricsData { text }
+                }
+                other => other,
+            },
+            PendingKind::Close(name) => {
+                ctx.registry.remove(&name);
+                resp
+            }
+        };
+        self.push_frame(&resp.encode());
+        true
+    }
+
+    /// Move queued outbound frames (subscribed tick updates, redirects)
+    /// into the write buffer.
+    fn drain_outbound(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.out_rx.try_recv() {
+                Ok(Outbound::Frame(frame)) => {
+                    self.wbuf.extend_from_slice(&frame);
+                    progress = true;
+                }
+                Ok(Outbound::Close) => {
+                    self.closing = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// Nonblocking write of whatever the buffer holds.
+    fn flush(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progress = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return progress;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return progress;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if self.closing {
+                let _ = self.stream.flush();
+                self.dead = true;
+            }
+        } else if self.wpos > 64 * 1024 {
+            // Reclaim flushed prefix so a long-lived subscriber stream
+            // doesn't grow the buffer without bound.
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        progress
+    }
 }
 
 /// Model-checked protocol tests (run with `RUSTFLAGS="--cfg tn_check"`):
-/// the session-registry eviction protocol — a driver's exit
+/// the session-registry eviction protocol — a session's exit
 /// (`closed.store(true, Release)`) racing registry readers — explored
 /// across interleavings, plus a small exhaustive DFS configuration for
 /// the handle-close vs. command-send race.
@@ -1208,10 +1485,10 @@ mod model_tests {
         Arc::new(Vec::new())
     }
 
-    /// A budget-1 registry holding one session whose "driver" exits
+    /// A budget-1 registry holding one session whose shard exits
     /// concurrently with a lookup. Whatever the interleaving, once the
     /// close is complete the registry must reap the entry and admit a
-    /// same-name replacement — the lazy-eviction contract `Connection::
+    /// same-name replacement — the lazy-eviction contract `ServerCtx::
     /// create_from` depends on.
     fn eviction_race() {
         let reg = Arc::new(Registry::new(1));
@@ -1219,7 +1496,7 @@ mod model_tests {
         reg.insert(h1, blank_spec())
             .expect("first insert fits the budget");
         let closer = tn_check::thread::spawn(move || {
-            // The driver's exit protocol: flip closed, last.
+            // The session's exit protocol: flip closed, last.
             closed1.store(true, Ordering::Release);
         });
         let reader = {
@@ -1260,7 +1537,7 @@ mod model_tests {
     #[test]
     fn model_handle_close_vs_send_dfs() {
         // Smallest config, explored exhaustively: a command send racing
-        // the driver's exit (receiver drop, then closed flip). The send
+        // the shard's exit (receiver drop, then closed flip). The send
         // may win or lose, but after the close is complete every send
         // must fail cleanly with SessionGone — never panic or hang.
         let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
@@ -1273,7 +1550,7 @@ mod model_tests {
                 })
             };
             let closer = tn_check::thread::spawn(move || {
-                drop(rx); // driver gone
+                drop(rx); // shard gone
                 closed.store(true, Ordering::Release);
             });
             sender.join().unwrap();
@@ -1294,9 +1571,9 @@ mod model_tests {
     #[test]
     fn model_migration_pin_vs_eviction_dfs() {
         // The pin-by-state contract: a migrator pinning the session
-        // races the driver's idle-eviction decision (check the pin,
+        // races the shard's idle-eviction decision (check the pin,
         // then close). All transitions go through one mutex, so the
-        // outcomes are exactly two — the pin lands first and the driver
+        // outcomes are exactly two — the pin lands first and the shard
         // observes it (stays alive; here: skips closing), or the close
         // lands first and the pin fails. Never both, never neither.
         let report = tn_check::check_dfs(&tn_check::Config::default(), 150_000, || {
@@ -1321,17 +1598,17 @@ mod model_tests {
             let pinned = migrator.join().unwrap();
             if pinned && evicted {
                 // The one legal overlap: the pin landed *between* the
-                // driver's check and its close. The migrator holds the
-                // pin but the driver is gone — it must be able to see
+                // shard's check and its close. The migrator holds the
+                // pin but the session is gone — it must be able to see
                 // that and abort: the handle reports closed (close
-                // precedes the closed flip in the driver's protocol).
+                // precedes the closed flip in the exit protocol).
                 assert!(
                     h.is_closed(),
                     "evicted session must be observable as closed by a pin holder"
                 );
             }
             if !evicted {
-                assert!(pinned, "driver only spares the session for a pin");
+                assert!(pinned, "shard only spares the session for a pin");
             }
         });
         report.assert_ok();
@@ -1343,7 +1620,7 @@ mod model_tests {
 
     #[test]
     fn model_migration_abort_vs_driver_exit_dfs() {
-        // The abort path (unpin) racing the driver's exit (close). The
+        // The abort path (unpin) racing the session's exit (close). The
         // pin cell must end CLOSED whatever the order — unpin is a
         // strict MIGRATING→RUNNING edge and can never resurrect a
         // closed cell — and a later migration attempt must fail.

@@ -1,12 +1,15 @@
-//! A session: one live simulator instance behind a driver thread.
+//! A session: one live simulator instance multiplexed on a driver shard.
 //!
 //! Each session owns a boxed [`KernelSession`] (any kernel expression)
-//! and is advanced exclusively by its driver thread, which multiplexes
-//! three duties at tick granularity:
+//! and is advanced exclusively by the shard of the
+//! [`crate::executor::ShardExecutor`] it was admitted to. A shard
+//! multiplexes many sessions at tick granularity, with three duties per
+//! session:
 //!
 //! 1. **Ticking** — running queued `RunFor` work at the session's pace
-//!    (real-time 1 ms cadence or max speed), pulling injected spikes
-//!    from the bounded [`tn_chip::stream`] queue;
+//!    (real-time 1 ms cadence via the shard's deadline wheel, or max
+//!    speed in round-robin batches), pulling injected spikes from the
+//!    bounded [`tn_chip::stream`] queue;
 //! 2. **Command service** — snapshots, restores, and stats are handled
 //!    *between* ticks, so they always observe a tick boundary (the only
 //!    place the blueprint's state is well-defined);
@@ -15,17 +18,19 @@
 //!    dropped, never waited on.
 //!
 //! A session with no work and no commands for the configured idle
-//! timeout evicts itself: the driver exits, marks the handle closed,
-//! and the registry reaps it. Backpressure never blocks the driver —
-//! injection overload is shed and counted upstream, and slow
-//! subscriber channels fail the send rather than stalling the tick.
+//! timeout is evicted by its shard's sweep: the task is dropped, the
+//! handle marked closed, and the registry reaps it. Backpressure never
+//! blocks a shard — injection overload is shed and counted upstream,
+//! and slow subscriber channels fail the send rather than stalling the
+//! tick.
 
+use crate::executor::{ExecutorConfig, ShardExecutor, ShardMsg};
 use crate::protocol::{ErrorCode, Health, Pace, Response, SessionStats, TickUpdate};
 use crate::scheduler::{PaceOutcome, TickScheduler};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 use tn_chip::stream::{stream_channel, Injector, StreamSource};
 use tn_compass::KernelSession;
@@ -64,17 +69,17 @@ impl Default for SessionConfig {
     }
 }
 
-/// A frame on its way out to one connection's writer thread.
+/// A frame on its way out to one connection's outbound queue.
 pub enum Outbound {
     /// An encoded frame to write.
     Frame(Vec<u8>),
-    /// Close the connection's writer.
+    /// Close the connection.
     Close,
 }
 
-/// Commands a connection thread sends to a session driver. Replies
-/// arrive on the per-command channel; `RunFor` replies only after all
-/// requested ticks have run.
+/// Commands a connection sends to a session's shard. Replies arrive on
+/// the per-command channel; `RunFor` replies only after all requested
+/// ticks have run.
 pub enum Cmd {
     RunFor {
         ticks: u64,
@@ -102,7 +107,7 @@ pub enum Cmd {
     },
     /// Control plane: freeze the session at its next tick boundary and
     /// hand back everything a target server needs to adopt it. The
-    /// driver stops ticking until [`Cmd::Resume`] or [`Cmd::Retire`]
+    /// session stops ticking until [`Cmd::Resume`] or [`Cmd::Retire`]
     /// arrives — or `hold` elapses, after which it resumes by itself so
     /// a crashed migrator can never wedge the session.
     Quiesce {
@@ -123,26 +128,31 @@ pub enum Cmd {
 
 /// Everything the migration transfer phase ships to the target: the
 /// quiesced snapshot, the cumulative counters that do *not* live in the
-/// snapshot (so stats stay continuous across the move), and the input
-/// events still queued for future ticks.
+/// snapshot (so stats stay continuous across the move), the input
+/// events still queued for future ticks, and the real-time grid phase —
+/// the offset to the next unbooked deadline edge, so exactly one side
+/// books the in-flight slot (the source books any overrun at quiesce;
+/// the target resumes the grid instead of re-anchoring).
 #[derive(Clone, Debug)]
 pub struct MigrationTicket {
     pub snapshot: Vec<u8>,
     pub baseline: SessionStats,
     pub pending: Vec<InputEvent>,
+    /// `None` for max-speed sessions and never-anchored grids.
+    pub grid_phase: Option<Duration>,
 }
 
 /// The migration pin: a three-state mutex/condvar cell shared between a
-/// session's handle and its driver. It serializes the two decisions
-/// that race during a live migration — the driver deciding to idle-evict
-/// and the control plane deciding to migrate — and gives the commit
-/// phase a handshake to wait on.
+/// session's handle and its driver shard. It serializes the two
+/// decisions that race during a live migration — the shard deciding to
+/// idle-evict and the control plane deciding to migrate — and gives the
+/// commit phase a handshake to wait on.
 ///
-/// States: `RUNNING` (normal), `MIGRATING` (pinned — the driver must
-/// not idle-evict), `CLOSED` (the driver has exited). All transitions
+/// States: `RUNNING` (normal), `MIGRATING` (pinned — the shard must
+/// not idle-evict), `CLOSED` (the session is gone). All transitions
 /// happen under the mutex, so pin-vs-evict is a total order: whoever
 /// locks first wins, and the loser observes it (model-checked in
-/// `server::model_tests`).
+/// `server::model_tests` and `executor::model_tests`).
 pub(crate) struct MigrationPin {
     state: Mutex<u8>,
     cond: Condvar,
@@ -160,7 +170,7 @@ impl MigrationPin {
         }
     }
 
-    /// `RUNNING → MIGRATING`. Fails if the driver already exited (the
+    /// `RUNNING → MIGRATING`. Fails if the session already closed (the
     /// eviction won the race) or another migration holds the pin.
     pub(crate) fn pin(&self) -> bool {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -180,19 +190,39 @@ impl MigrationPin {
         self.cond.notify_all();
     }
 
-    /// The driver's exit protocol: `* → CLOSED`, waking any commit-phase
-    /// waiter.
+    /// The shard's idle-eviction decision, made atomic with `pin()` by
+    /// sharing its mutex: `RUNNING → CLOSED` succeeds, `MIGRATING` is
+    /// spared (the control plane owns the session's fate until it
+    /// unpins). Unlike the unconditional [`MigrationPin::close`] used
+    /// by explicit `Close`/`Retire`, eviction never steals a session
+    /// out from under a pin holder.
+    pub(crate) fn begin_evict(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *st {
+            PIN_MIGRATING => false,
+            _ => {
+                *st = PIN_CLOSED;
+                self.cond.notify_all();
+                true
+            }
+        }
+    }
+
+    /// The session's exit protocol: `* → CLOSED`, waking any
+    /// commit-phase waiter.
     pub(crate) fn close(&self) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         *st = PIN_CLOSED;
         self.cond.notify_all();
     }
 
+    /// Used by the `tn_check` migration model tests.
+    #[cfg_attr(not(tn_check), allow(dead_code))]
     pub(crate) fn is_migrating(&self) -> bool {
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) == PIN_MIGRATING
     }
 
-    /// Commit-phase handshake: block until the retiring driver reaches
+    /// Commit-phase handshake: block until the retiring session reaches
     /// `CLOSED`, bounded by `timeout`. Returns whether it did.
     pub(crate) fn wait_closed(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
@@ -224,28 +254,32 @@ impl std::fmt::Display for SessionGone {
 
 impl std::error::Error for SessionGone {}
 
-/// Shared handle to a live session.
+/// Shared handle to a live session. Commands route to the executor
+/// shard that owns the session, addressed by its admission id.
 #[derive(Clone)]
 pub struct SessionHandle {
     pub name: String,
-    cmd: Sender<Cmd>,
+    pub(crate) id: u64,
+    pub(crate) shard: Sender<ShardMsg>,
     injector: Injector,
     closed: Arc<AtomicBool>,
     migration: Arc<MigrationPin>,
 }
 
 impl SessionHandle {
-    /// Queue a command for the driver. `Err` means the driver is gone
-    /// (evicted or closed).
+    /// Queue a command for the session's shard. `Err` means the session
+    /// is gone (evicted or closed).
     pub fn send(&self, cmd: Cmd) -> Result<(), SessionGone> {
         if self.is_closed() {
             return Err(SessionGone);
         }
-        self.cmd.send(cmd).map_err(|_| SessionGone)
+        self.shard
+            .send(ShardMsg::Cmd(self.id, cmd))
+            .map_err(|_| SessionGone)
     }
 
     /// The injection side-channel: offers go straight into the bounded
-    /// stream queue without a driver round-trip.
+    /// stream queue without a shard round-trip.
     pub fn injector(&self) -> &Injector {
         &self.injector
     }
@@ -260,9 +294,11 @@ impl SessionHandle {
     }
 }
 
-/// Spawn a session driver around a simulator instance. The thread is
-/// detached; it exits on `Close`, on idle timeout, or when every
-/// `SessionHandle` clone is dropped.
+/// Spawn a standalone session on a private single-shard executor. The
+/// shard thread is detached; it exits once the session closes (on
+/// `Close`, idle timeout, or `Retire`) or every `SessionHandle` clone
+/// plus the executor are dropped. Servers hosting many sessions should
+/// admit them to a shared [`ShardExecutor`] instead.
 pub fn spawn_session(
     name: String,
     sim: Box<dyn KernelSession>,
@@ -277,91 +313,46 @@ pub fn spawn_session(
 /// yet reached their tick when the session was quiesced.
 pub fn spawn_session_resumed(
     name: String,
-    mut sim: Box<dyn KernelSession>,
+    sim: Box<dyn KernelSession>,
     cfg: SessionConfig,
     base: SessionStats,
     pending: &[InputEvent],
 ) -> SessionHandle {
-    let (cmd_tx, cmd_rx) = mpsc::channel();
-    let (source, injector) = stream_channel(sim.network().num_cores(), cfg.input_capacity);
-    // sync: the driver's store(true, Release) on exit pairs with
-    // load(Acquire) in is_closed(), ordering the driver's final state
-    // before any caller that observes the handle as closed — so a
-    // handle seen closed is safe for the registry to reap and replace
-    // (model-checked in server::model_tests).
-    let closed = Arc::new(AtomicBool::new(false));
-    let migration = Arc::new(MigrationPin::new());
-    let handle = SessionHandle {
-        name: name.clone(),
-        cmd: cmd_tx,
-        injector: injector.clone(),
-        closed: Arc::clone(&closed),
-        migration: Arc::clone(&migration),
-    };
-    if !pending.is_empty() {
-        // The driver has no queued work yet, so re-offering the carried
-        // events here races nothing; capacity matches the source's
-        // config, so a ticket's worth always fits.
-        injector
-            .offer(pending)
-            .expect("migrated pending events were validated on first ingest");
-    }
-    sim.outputs().set_capacity(cfg.output_capacity);
-    let mut driver = Driver {
-        name,
-        sim,
-        source,
-        injector,
-        scheduler: TickScheduler::new(cfg.pace, cfg.tick_period),
-        subscribers: Vec::new(),
-        run_queue: VecDeque::new(),
-        obs: SessionObs::new(cfg.flight_capacity),
-        base,
-        quiesced_until: None,
-        pin: migration,
-    };
-    // sync: deliberately detached — the driver self-terminates on
-    // Close, idle timeout, or all handles dropping, and its last act
-    // is the closed.store(true, Release) the registry reaps on.
-    std::thread::Builder::new()
-        .name(format!("tn-session-{}", driver.name))
-        .spawn(move || {
-            driver.run(cmd_rx, cfg.idle_timeout);
-            // The pin reaches CLOSED before the closed flag flips, so a
-            // migrator that loses the pin race also sees is_closed().
-            driver.pin.close();
-            closed.store(true, Ordering::Release);
-        })
-        .expect("spawn session driver");
-    handle
+    let exec = ShardExecutor::new(ExecutorConfig {
+        shards: 1,
+        transient: true,
+    });
+    exec.admit(name, sim, cfg, base, pending, None)
+        .expect("a fresh transient executor always admits")
 }
 
-/// Model-checking constructor: a handle with no driver thread. The
-/// test plays the driver — it gets the `closed` flag to flip (the
-/// driver's exit protocol) and the command receiver so `send` works.
+/// Model-checking constructor: a handle with no shard behind it. The
+/// test plays the shard — it gets the `closed` flag to flip (the
+/// session's exit protocol) and the shard receiver so `send` works.
 #[cfg(all(tn_check, test))]
 pub(crate) fn model_handle(
     name: &str,
 ) -> (
     SessionHandle,
     Arc<AtomicBool>,
-    Receiver<Cmd>,
+    std::sync::mpsc::Receiver<ShardMsg>,
     Arc<MigrationPin>,
 ) {
-    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let (shard_tx, shard_rx) = std::sync::mpsc::channel();
     let (_source, injector) = stream_channel(1, 4);
-    // sync: see spawn_session — the model test flips this flag in the
-    // driver's stead.
+    // sync: see SessionTask::finish — the model test flips this flag in
+    // the shard's stead.
     let closed = Arc::new(AtomicBool::new(false));
     let migration = Arc::new(MigrationPin::new());
     let handle = SessionHandle {
         name: name.to_string(),
-        cmd: cmd_tx,
+        id: 1,
+        shard: shard_tx,
         injector,
         closed: Arc::clone(&closed),
         migration: Arc::clone(&migration),
     };
-    (handle, closed, cmd_rx, migration)
+    (handle, closed, shard_rx, migration)
 }
 
 /// A session's observability state: its own metrics registry (sessions
@@ -394,7 +385,7 @@ struct SessionObs {
 
 /// 1 µs … ~16 ms in ×4 steps: spans sub-tick jitter up to many whole
 /// 1 ms periods of lateness.
-const LATENESS_BOUNDS: [u64; 8] = [
+pub(crate) const LATENESS_BOUNDS: [u64; 8] = [
     1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000,
 ];
 
@@ -417,12 +408,15 @@ impl SessionObs {
     }
 }
 
-struct Driver {
-    name: String,
+/// One session's complete driving state, owned and advanced by exactly
+/// one executor shard (shards are single-threaded, so nothing in here
+/// needs interior synchronization beyond the shared pin/closed cell).
+pub(crate) struct SessionTask {
+    pub(crate) name: String,
     sim: Box<dyn KernelSession>,
     source: StreamSource,
     injector: Injector,
-    scheduler: TickScheduler,
+    pub(crate) scheduler: TickScheduler,
     subscribers: Vec<Sender<Outbound>>,
     /// Outstanding `RunFor` work: `(ticks_left, reply)` in arrival order.
     run_queue: VecDeque<(u64, Sender<Response>)>,
@@ -432,11 +426,92 @@ struct Driver {
     base: SessionStats,
     /// While `Some`, the session is quiesced for migration: no ticks
     /// run until `Resume`/`Retire` arrives or the deadline passes.
-    quiesced_until: Option<Instant>,
-    pin: Arc<MigrationPin>,
+    pub(crate) quiesced_until: Option<Instant>,
+    pub(crate) pin: Arc<MigrationPin>,
+    pub(crate) closed: Arc<AtomicBool>,
+    /// Evict when `Instant::now()` passes this with no queued work;
+    /// refreshed by every command and every tick.
+    pub(crate) idle_deadline: Instant,
+    idle_timeout: Duration,
 }
 
-impl Driver {
+impl SessionTask {
+    /// Build a task and its handle for admission to a shard. `base`/
+    /// `pending` are zero/empty for fresh sessions and carry the source
+    /// server's state for adopted ones; `grid_phase` resumes the
+    /// source's real-time deadline grid so the in-flight slot books on
+    /// exactly one side.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        id: u64,
+        shard: Sender<ShardMsg>,
+        name: String,
+        mut sim: Box<dyn KernelSession>,
+        cfg: SessionConfig,
+        base: SessionStats,
+        pending: &[InputEvent],
+        grid_phase: Option<Duration>,
+    ) -> (SessionTask, SessionHandle) {
+        let (source, injector) = stream_channel(sim.network().num_cores(), cfg.input_capacity);
+        // sync: the shard's store(true, Release) on removal pairs with
+        // load(Acquire) in is_closed(), ordering the session's final
+        // state before any caller that observes the handle as closed —
+        // so a handle seen closed is safe for the registry to reap and
+        // replace (model-checked in server::model_tests).
+        let closed = Arc::new(AtomicBool::new(false));
+        let migration = Arc::new(MigrationPin::new());
+        let handle = SessionHandle {
+            name: name.clone(),
+            id,
+            shard,
+            injector: injector.clone(),
+            closed: Arc::clone(&closed),
+            migration: Arc::clone(&migration),
+        };
+        if !pending.is_empty() {
+            // The task has no queued work yet, so re-offering the
+            // carried events here races nothing; capacity matches the
+            // source's config, so a ticket's worth always fits.
+            injector
+                .offer(pending)
+                .expect("migrated pending events were validated on first ingest");
+        }
+        sim.outputs().set_capacity(cfg.output_capacity);
+        let now = Instant::now();
+        let mut scheduler = TickScheduler::new(cfg.pace, cfg.tick_period);
+        if let Some(phase) = grid_phase {
+            scheduler.import_phase(now, phase);
+        }
+        let task = SessionTask {
+            name,
+            sim,
+            source,
+            injector,
+            scheduler,
+            subscribers: Vec::new(),
+            run_queue: VecDeque::new(),
+            obs: SessionObs::new(cfg.flight_capacity),
+            base,
+            quiesced_until: None,
+            pin: migration,
+            closed,
+            idle_deadline: now + cfg.idle_timeout,
+            idle_timeout: cfg.idle_timeout,
+        };
+        (task, handle)
+    }
+
+    /// Whether this task has tick work it may run right now.
+    pub(crate) fn runnable(&self) -> bool {
+        self.quiesced_until.is_none() && !self.run_queue.is_empty()
+    }
+
+    /// Restart the idle clock (a pinned session must not evict while
+    /// the control plane holds it, so its idle life begins anew).
+    pub(crate) fn extend_idle(&mut self, now: Instant) {
+        self.idle_deadline = now + self.idle_timeout;
+    }
+
     /// Degradation state: `Failed` once every core is disabled,
     /// `Degraded` while any core is disabled or the fault layer has
     /// dropped traffic, `Healthy` otherwise.
@@ -451,72 +526,20 @@ impl Driver {
         }
     }
 
-    fn run(&mut self, cmd_rx: Receiver<Cmd>, idle_timeout: Duration) {
-        loop {
-            if let Some(until) = self.quiesced_until {
-                // Quiesced for migration: frozen at the tick boundary.
-                // Serve commands, but run nothing until Resume/Retire —
-                // or the hold deadline, after which the driver thaws
-                // itself (a crashed migrator must not stop the ticking).
-                let now = Instant::now();
-                if now >= until {
-                    self.thaw();
-                    continue;
-                }
-                match cmd_rx.recv_timeout(until - now) {
-                    Ok(cmd) => {
-                        if self.handle_cmd(cmd) {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => self.thaw(),
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            } else if self.run_queue.is_empty() {
-                // Idle: block for the next command, up to eviction.
-                self.scheduler.reset();
-                match cmd_rx.recv_timeout(idle_timeout) {
-                    Ok(cmd) => {
-                        if self.handle_cmd(cmd) {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        // A migration in flight pins the session against
-                        // idle eviction; the pin also restarts the idle
-                        // clock, so a pinned session cannot be reaped
-                        // out from under its migrator.
-                        if self.pin.is_migrating() {
-                            continue;
-                        }
-                        return; // evicted
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return; // abandoned
-                    }
-                }
-            } else {
-                // Busy: service pending commands between ticks, without
-                // blocking the cadence.
-                while let Ok(cmd) = cmd_rx.try_recv() {
-                    if self.handle_cmd(cmd) {
-                        return;
-                    }
-                }
-                if self.run_queue.is_empty() {
-                    continue;
-                }
-                let pace = self.scheduler.pace();
-                self.tick(pace);
-            }
-        }
-    }
-
     /// Leave the quiesced state and re-anchor the real-time cadence so
     /// the frozen interval does not book phantom deadline misses.
-    fn thaw(&mut self) {
+    pub(crate) fn thaw(&mut self) {
         self.quiesced_until = None;
         self.scheduler.reset();
+        self.idle_deadline = Instant::now() + self.idle_timeout;
+    }
+
+    /// The session's exit protocol, run by its shard on removal: the
+    /// pin reaches CLOSED before the closed flag flips, so a migrator
+    /// that loses the pin race also sees `is_closed()`.
+    pub(crate) fn finish(&self) {
+        self.pin.close();
+        self.closed.store(true, Ordering::Release);
     }
 
     /// Point-in-time stats, with the migration baselines folded in so a
@@ -556,8 +579,9 @@ impl Driver {
         }
     }
 
-    /// Run exactly one tick and stream it to subscribers.
-    fn tick(&mut self, pace: PaceOutcome) {
+    /// Run exactly one tick and stream it to subscribers. Returns the
+    /// pacing outcome so the shard can fold it into its own telemetry.
+    pub(crate) fn tick(&mut self, pace: PaceOutcome) -> PaceOutcome {
         let tick = self.sim.current_tick();
         let energy_before = self.sim.energy_j().unwrap_or(0.0);
         let stats = self.sim.step(&mut self.source);
@@ -610,10 +634,18 @@ impl Driver {
                 let _ = reply.send(Response::Ok);
             }
         }
+        self.idle_deadline = Instant::now() + self.idle_timeout;
+        if self.run_queue.is_empty() {
+            // The burst is done; forget the cadence so the gap until the
+            // next RunFor is idleness, not bookable lateness.
+            self.scheduler.reset();
+        }
+        pace
     }
 
     /// Handle one command; returns `true` when the session should close.
-    fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+    pub(crate) fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+        self.idle_deadline = Instant::now() + self.idle_timeout;
         match cmd {
             Cmd::RunFor { ticks, reply } => {
                 if ticks == 0 {
@@ -685,12 +717,19 @@ impl Driver {
                 return true;
             }
             Cmd::Quiesce { hold, reply } => {
+                // Freeze the real-time grid first: any in-flight overrun
+                // books here, once, and the exported phase points at the
+                // next unbooked edge — so the stats baseline below
+                // already carries the booking and the adopting side
+                // resumes without re-counting it (satellite of the
+                // migration double-count fix).
+                let grid_phase = self.scheduler.export_phase(Instant::now());
                 // Settle the engine at the tick boundary (sharded
                 // sessions flush in-flight boundary batches), then build
                 // the ticket. Pending inputs are *copied*, not drained:
                 // an aborted migration must leave the source exactly as
                 // it was, and on commit the source queue dies with the
-                // retiring driver anyway.
+                // retiring task anyway.
                 self.sim.quiesce();
                 let snapshot = self.sim.checkpoint().to_bytes();
                 let baseline = self.stats();
@@ -700,6 +739,7 @@ impl Driver {
                     snapshot,
                     baseline,
                     pending,
+                    grid_phase,
                 });
             }
             Cmd::Resume => {
@@ -728,11 +768,22 @@ impl Driver {
         }
         false
     }
+
+    /// Abandon every waiter with a shutdown error (executor teardown).
+    pub(crate) fn abandon(&mut self) {
+        for (_, waiting) in self.run_queue.drain(..) {
+            let _ = waiting.send(Response::Error {
+                code: ErrorCode::Shutdown,
+                message: "session closed".to_string(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
     use tn_compass::ReferenceSim;
     use tn_core::NetworkBuilder;
 
@@ -769,7 +820,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(ask(&h, |r| Cmd::Close { reply: r }), Response::Ok);
-        // The driver marks itself closed promptly after Close.
+        // The shard marks the session closed promptly after Close.
         for _ in 0..100 {
             if h.is_closed() {
                 break;

@@ -14,7 +14,7 @@ pub(crate) mod atomic {
     pub(crate) use std::sync::atomic::Ordering;
 
     #[cfg(not(tn_check))]
-    pub(crate) use std::sync::atomic::AtomicBool;
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64};
     #[cfg(tn_check)]
-    pub(crate) use tn_check::sync::atomic::AtomicBool;
+    pub(crate) use tn_check::sync::atomic::{AtomicBool, AtomicU64};
 }

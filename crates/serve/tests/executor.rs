@@ -1,0 +1,146 @@
+//! Thread-lifecycle regression tests for the sharded session executor.
+//!
+//! The serving layer's thread count must be O(shards), not O(sessions)
+//! or O(connections). Two historical leaks pinned here:
+//!
+//! * per-session driver threads — replaced by the shard pool, so
+//!   creating many sessions must not grow the process thread count;
+//! * writer threads orphaned by abrupt client disconnects — the old
+//!   reader/writer pair never joined the writer when the reader died
+//!   mid-session; the poll-based connection loop has no per-connection
+//!   threads at all, so hard disconnects must leave nothing behind.
+//!
+//! Counts come from `/proc/self/task` (Linux). On other platforms the
+//! helper returns 0 and the assertions hold trivially.
+
+use std::time::{Duration, Instant};
+use tn_serve::{Client, Engine, ModelSource, Pace, Response, Server, ServerConfig, ServerHandle};
+
+fn spawn(mutate: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_speed: true,
+        ..Default::default()
+    };
+    mutate(&mut cfg);
+    Server::spawn(cfg).expect("bind loopback")
+}
+
+/// Process thread count via /proc (Linux); 0 elsewhere.
+fn count_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Wait for the thread count to settle at or below `limit` — control
+/// offload threads are short-lived and allowed to wind down.
+fn settles_below(limit: usize, timeout: Duration) -> (bool, usize) {
+    let deadline = Instant::now() + timeout;
+    let mut last = count_threads();
+    while Instant::now() < deadline {
+        last = count_threads();
+        if last <= limit {
+            return (true, last);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    (false, last)
+}
+
+fn create(client: &mut Client, name: &str) {
+    let resp = client
+        .create_session(
+            name,
+            Engine::Reference,
+            Pace::MaxSpeed,
+            ModelSource::Blank {
+                width: 2,
+                height: 2,
+                seed: 7,
+            },
+        )
+        .expect("create");
+    assert_eq!(
+        resp,
+        Response::Created {
+            session: name.into()
+        }
+    );
+}
+
+#[test]
+fn thread_count_is_o_shards_not_o_sessions() {
+    let server = spawn(|c| {
+        c.exec_shards = 2;
+        c.max_sessions = 256;
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Let the steady-state pool (acceptor + shards) come up first.
+    create(&mut client, "warmup");
+    assert_eq!(client.run_for("warmup", 5).unwrap(), Response::Ok);
+    let baseline = count_threads();
+
+    for i in 0..64 {
+        create(&mut client, &format!("s{i}"));
+        assert_eq!(client.run_for(&format!("s{i}"), 5).unwrap(), Response::Ok);
+    }
+    assert_eq!(server.session_count(), 65);
+
+    // 64 live sessions must not cost 64 threads — only transient
+    // control offloads may briefly exceed the baseline.
+    let slack = baseline + 4;
+    let (ok, n) = settles_below(slack, Duration::from_secs(5));
+    assert!(
+        ok,
+        "64 sessions grew the thread count past O(shards): baseline={baseline}, now={n}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnects_leak_no_threads_and_keep_sessions_alive() {
+    let server = spawn(|c| {
+        c.exec_shards = 1;
+        c.max_sessions = 256;
+    });
+    // Steady state first.
+    {
+        let mut c = Client::connect(server.addr()).expect("connect");
+        create(&mut c, "keeper");
+        assert_eq!(c.run_for("keeper", 3).unwrap(), Response::Ok);
+    } // dropped without CloseSession: a hard disconnect
+    let baseline = count_threads();
+
+    // A storm of connections that die abruptly — subscribed, mid-work,
+    // no goodbye. The old writer threads leaked exactly here.
+    for i in 0..48 {
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let name = format!("gone{i}");
+        create(&mut c, &name);
+        assert_eq!(c.subscribe(&name).unwrap(), Response::Ok);
+        assert_eq!(c.run_for(&name, 3).unwrap(), Response::Ok);
+        drop(c); // RST/EOF with a subscription still attached
+    }
+
+    let (ok, n) = settles_below(baseline + 4, Duration::from_secs(5));
+    assert!(
+        ok,
+        "48 abrupt disconnects leaked threads: baseline={baseline}, now={n}"
+    );
+
+    // Sessions outlive their connections: a fresh connection still sees
+    // every session and can drive one.
+    let mut c = Client::connect(server.addr()).expect("reconnect");
+    assert_eq!(server.session_count(), 49);
+    match c.stats("gone7").expect("stats") {
+        Response::StatsData(s) => assert_eq!(s.tick, 3),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.run_for("gone7", 2).unwrap(), Response::Ok);
+    server.shutdown();
+
+    // Shutdown winds the pool itself down.
+    let (ok, n) = settles_below(baseline, Duration::from_secs(5));
+    assert!(ok, "server shutdown left threads behind: {n} > {baseline}");
+}
